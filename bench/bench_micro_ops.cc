@@ -1,0 +1,147 @@
+// Google-benchmark microbenchmarks of the tensor/NN substrate: the kernels
+// that dominate RRRE training time (matmul, BiLSTM steps, attention blocks,
+// TextCNN) plus the non-neural detectors' inner loops (loopy BP, REV2).
+
+#include <benchmark/benchmark.h>
+
+#include "baselines/rev2.h"
+#include "common/rng.h"
+#include "data/synthetic.h"
+#include "graph/mrf.h"
+#include "nn/attention.h"
+#include "nn/fm.h"
+#include "nn/lstm.h"
+#include "tensor/ops.h"
+
+namespace {
+
+using rrre::common::Rng;
+using rrre::tensor::Tensor;
+
+void BM_MatMul(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::Randn({n, n}, rng);
+  Tensor b = Tensor::Randn({n, n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rrre::tensor::MatMul(a, b).data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_MatMulBackward(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::Randn({n, n}, rng, 1.0f, true);
+  Tensor b = Tensor::Randn({n, n}, rng, 1.0f, true);
+  for (auto _ : state) {
+    Tensor loss = rrre::tensor::Sum(rrre::tensor::MatMul(a, b));
+    loss.Backward();
+    benchmark::DoNotOptimize(a.grad().data());
+  }
+}
+BENCHMARK(BM_MatMulBackward)->Arg(32)->Arg(64);
+
+void BM_Softmax(benchmark::State& state) {
+  Rng rng(2);
+  Tensor a = Tensor::Randn({256, 64}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rrre::tensor::Softmax(a).data());
+  }
+}
+BENCHMARK(BM_Softmax);
+
+void BM_LstmCellStep(benchmark::State& state) {
+  const int64_t batch = state.range(0);
+  Rng rng(3);
+  rrre::nn::LstmCell cell(16, 16, rng);
+  Tensor x = Tensor::Randn({batch, 16}, rng);
+  auto st = cell.InitialState(batch);
+  for (auto _ : state) {
+    auto next = cell.Step(x, st);
+    benchmark::DoNotOptimize(next.h.data());
+  }
+}
+BENCHMARK(BM_LstmCellStep)->Arg(32)->Arg(384);
+
+void BM_BiLstmEncodeReview(benchmark::State& state) {
+  // One RRRE batch worth of reviews: 384 slots x 16 tokens x 16 dims.
+  Rng rng(4);
+  rrre::nn::BiLstmEncoder enc(16, 16, rng);
+  std::vector<Tensor> steps;
+  for (int t = 0; t < 16; ++t) steps.push_back(Tensor::Randn({384, 16}, rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(enc.Encode(steps).data());
+  }
+}
+BENCHMARK(BM_BiLstmEncodeReview);
+
+void BM_FraudAttention(benchmark::State& state) {
+  Rng rng(5);
+  rrre::nn::FraudAttention att(32, 16, 16, 16, rng);
+  Tensor rev = Tensor::Randn({384, 32}, rng);
+  Tensor eu = Tensor::Randn({384, 16}, rng);
+  Tensor ei = Tensor::Randn({384, 16}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(att.Forward(rev, eu, ei, 12).data());
+  }
+}
+BENCHMARK(BM_FraudAttention);
+
+void BM_Conv1dMaxPool(benchmark::State& state) {
+  Rng rng(6);
+  Tensor values = Tensor::Randn({384 * 16, 16}, rng);
+  Tensor kernel = Tensor::Randn({3 * 16, 16}, rng);
+  Tensor bias = Tensor::Randn({16}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        rrre::tensor::Conv1dMaxPool(values, 16, kernel, bias).data());
+  }
+}
+BENCHMARK(BM_Conv1dMaxPool);
+
+void BM_FactorizationMachine(benchmark::State& state) {
+  Rng rng(7);
+  rrre::nn::FactorizationMachine fm(32, 8, rng);
+  Tensor x = Tensor::Randn({256, 32}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fm.Forward(x).data());
+  }
+}
+BENCHMARK(BM_FactorizationMachine);
+
+void BM_LoopyBpIteration(benchmark::State& state) {
+  // A SpEagle-shaped graph: 2000 reviews on 200 users x 100 items.
+  Rng rng(8);
+  rrre::graph::PairwiseMrf mrf;
+  std::vector<int64_t> users;
+  std::vector<int64_t> items;
+  for (int i = 0; i < 200; ++i) users.push_back(mrf.AddNode({0.5, 0.5}));
+  for (int i = 0; i < 100; ++i) items.push_back(mrf.AddNode({0.5, 0.5}));
+  const rrre::graph::PairwiseMrf::Potential same = {{{0.9, 0.1}, {0.1, 0.9}}};
+  for (int r = 0; r < 2000; ++r) {
+    const int64_t rev = mrf.AddNode({0.6, 0.4});
+    mrf.AddEdge(users[rng.UniformInt(uint64_t{200})], rev, same);
+    mrf.AddEdge(rev, items[rng.UniformInt(uint64_t{100})], same);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mrf.RunLoopyBp(5, 0.3, 0.0).beliefs.data());
+  }
+}
+BENCHMARK(BM_LoopyBpIteration);
+
+void BM_Rev2Solve(benchmark::State& state) {
+  Rng rng(9);
+  auto ds = rrre::data::GenerateSyntheticDataset(
+      rrre::data::YelpChiProfile(0.2), rng);
+  rrre::baselines::Rev2 rev2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rev2.Solve(ds).reliability.data());
+  }
+}
+BENCHMARK(BM_Rev2Solve);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+// Extension bench (paper Sec. V scalability remark): catalog-scale scoring
+// with the tower-cached BatchScorer vs the straight per-pair pipeline.
+// Scores `--users` users against the full item catalog both ways and
+// reports wall-clock plus the speedup.
+
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "common/flags.h"
+#include "common/logging.h"
+#include "common/timer.h"
+#include "core/scorer.h"
+#include "core/trainer.h"
+
+int main(int argc, char** argv) {
+  using namespace rrre;  // NOLINT(build/namespaces)
+  common::FlagParser flags;
+  bench::RegisterBenchFlags(flags, /*default_scale=*/0.15);
+  flags.AddString("dataset", "yelpchi", "dataset profile");
+  flags.AddInt("users", 8, "users to serve full-catalog scores for");
+  RRRE_CHECK_OK(flags.Parse(argc, argv));
+  if (flags.help_requested()) {
+    std::printf("%s", flags.Usage(argv[0]).c_str());
+    return 0;
+  }
+  const bench::BenchOptions opts = bench::ReadBenchOptions(flags);
+
+  auto bundle = bench::MakeDataset(flags.GetString("dataset"), opts.scale,
+                                   opts.base_seed);
+  core::RrreTrainer trainer(bench::DefaultRrreConfig(opts, opts.base_seed));
+  std::printf("training on %ld reviews...\n",
+              static_cast<long>(bundle.train.size()));
+  trainer.Fit(bundle.train);
+
+  const int64_t num_users = flags.GetInt("users");
+  const int64_t num_items = bundle.train.num_items();
+  std::vector<std::pair<int64_t, int64_t>> pairs;
+  for (int64_t u = 0; u < num_users; ++u) {
+    for (int64_t i = 0; i < num_items; ++i) pairs.emplace_back(u, i);
+  }
+  std::printf("scoring %ld users x %ld items = %ld pairs\n\n",
+              static_cast<long>(num_users), static_cast<long>(num_items),
+              static_cast<long>(pairs.size()));
+
+  common::Timer full_timer;
+  auto full = trainer.PredictPairs(pairs);
+  const double full_seconds = full_timer.ElapsedSeconds();
+
+  common::Timer fast_timer;
+  core::BatchScorer scorer(&trainer);
+  auto fast = scorer.Score(pairs);
+  const double fast_seconds = fast_timer.ElapsedSeconds();
+
+  double max_dev = 0.0;
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    max_dev = std::max(max_dev,
+                       std::abs(full.reliabilities[i] - fast.reliabilities[i]));
+  }
+
+  std::printf("full per-pair pipeline : %7.2f s\n", full_seconds);
+  std::printf("tower-cached scorer    : %7.2f s  (%.1fx speedup)\n",
+              fast_seconds, full_seconds / std::max(fast_seconds, 1e-9));
+  std::printf("max |reliability delta|: %.2e (must be ~float epsilon)\n",
+              max_dev);
+  std::printf(
+      "\nThe cached path runs each tower once per distinct user/item; the "
+      "full path re-runs both towers for every pair — the gap widens "
+      "linearly with catalog size.\n");
+  return 0;
+}

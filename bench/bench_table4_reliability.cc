@@ -1,0 +1,90 @@
+// Regenerates Table IV: AUC and Average Precision of reliability scoring
+// for ICWSM13, SpEagle+, REV2 and RRRE across the five datasets.
+
+#include <cstdio>
+#include <map>
+
+#include "bench/harness.h"
+#include "bench/paper_reference.h"
+#include "common/flags.h"
+#include "common/logging.h"
+#include "common/strings.h"
+#include "eval/metrics.h"
+
+int main(int argc, char** argv) {
+  using namespace rrre;  // NOLINT(build/namespaces)
+  common::FlagParser flags;
+  bench::RegisterBenchFlags(flags);
+  flags.AddString("datasets", "", "comma-separated subset (default: all)");
+  flags.AddString("models", "", "comma-separated subset (default: all)");
+  RRRE_CHECK_OK(flags.Parse(argc, argv));
+  if (flags.help_requested()) {
+    std::printf("%s", flags.Usage(argv[0]).c_str());
+    return 0;
+  }
+  const bench::BenchOptions opts = bench::ReadBenchOptions(flags);
+
+  std::vector<std::string> datasets = bench::DatasetNames();
+  if (!flags.GetString("datasets").empty()) {
+    datasets = common::Split(flags.GetString("datasets"), ',');
+  }
+  std::vector<std::string> models = bench::ReliabilityModelNames();
+  if (!flags.GetString("models").empty()) {
+    models = common::Split(flags.GetString("models"), ',');
+  }
+
+  // measured[metric][model][dataset]
+  std::map<std::string, std::map<std::string, std::map<std::string, double>>>
+      measured;
+  for (const auto& dataset : datasets) {
+    for (int64_t rep = 0; rep < opts.seeds; ++rep) {
+      const uint64_t seed = opts.base_seed + 1000 * static_cast<uint64_t>(rep);
+      const auto bundle = bench::MakeDataset(dataset, opts.scale, seed);
+      const auto labels = bench::LabelsOf(bundle.test);
+      for (const auto& model_name : models) {
+        auto model = bench::MakeReliabilityModel(model_name, opts, seed);
+        model->Fit(bundle.train);
+        const auto scores = model->ScoreReviews(bundle.test);
+        measured["auc"][model_name][dataset] +=
+            eval::Auc(scores, labels) / static_cast<double>(opts.seeds);
+        measured["ap"][model_name][dataset] +=
+            eval::AveragePrecision(scores, labels) /
+            static_cast<double>(opts.seeds);
+      }
+    }
+  }
+
+  auto print_block = [&](const std::string& metric, const std::string& title,
+                         const std::map<std::string,
+                                        std::map<std::string, double>>& paper) {
+    std::printf("\nTable IV (%s) — measured (paper)\n\n", title.c_str());
+    bench::PrintRow("", datasets, 10, 16);
+    for (const auto& model_name : models) {
+      std::vector<std::string> cells;
+      for (const auto& dataset : datasets) {
+        std::string cell = common::StrFormat(
+            "%.3f", measured[metric][model_name][dataset]);
+        auto ds_it = paper.find(dataset);
+        if (ds_it != paper.end()) {
+          auto m_it = ds_it->second.find(model_name);
+          if (m_it != ds_it->second.end()) {
+            cell += common::StrFormat(" (%.3f)", m_it->second);
+          }
+        }
+        cells.push_back(cell);
+      }
+      bench::PrintRow(model_name, cells, 10, 16);
+    }
+  };
+
+  std::printf("Table IV: reliability scoring (scale=%.2f, epochs=%ld, seeds=%ld)\n",
+              opts.scale, static_cast<long>(opts.epochs),
+              static_cast<long>(opts.seeds));
+  print_block("auc", "AUC", bench::paper::Table4Auc());
+  print_block("ap", "Average Precision", bench::paper::Table4Ap());
+  std::printf(
+      "\nShape claims to check: RRRE best or near-best AUC everywhere and "
+      "best AP everywhere;\nICWSM13 strong AP (benign majority) but weaker "
+      "AUC; REV2 suffers on sparse Yelp-style graphs.\n");
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Regenerates Table V: NDCG@k of the compared reliability methods on the
+// YelpChi profile.
+
+#include "bench/ndcg_table.h"
+#include "bench/paper_reference.h"
+
+int main(int argc, char** argv) {
+  return rrre::bench::RunNdcgTable(
+      "Table V", "yelpchi", rrre::bench::paper::Table5NdcgYelpChi(), argc,
+      argv);
+}

@@ -1,0 +1,10 @@
+// Regenerates Table VI: NDCG@k of the compared reliability methods on the
+// CDs profile.
+
+#include "bench/ndcg_table.h"
+#include "bench/paper_reference.h"
+
+int main(int argc, char** argv) {
+  return rrre::bench::RunNdcgTable(
+      "Table VI", "cds", rrre::bench::paper::Table6NdcgCds(), argc, argv);
+}

@@ -1,0 +1,122 @@
+// Regenerates the case study of Tables VII-VIII: recommendation with a
+// reliable explanation. Trains RRRE, picks a test user with several
+// held-out reviews, shows predicted rating/reliability against ground truth
+// (Table VII), then explains the recommended item by ranking its reviews by
+// rating and filtering low-reliability ones (Table VIII).
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "bench/harness.h"
+#include "common/flags.h"
+#include "common/logging.h"
+#include "core/recommender.h"
+#include "core/trainer.h"
+
+namespace {
+
+std::string Snippet(const std::string& text, size_t max_chars = 56) {
+  if (text.size() <= max_chars) return text;
+  return text.substr(0, max_chars - 3) + "...";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rrre;  // NOLINT(build/namespaces)
+  common::FlagParser flags;
+  bench::RegisterBenchFlags(flags);
+  flags.AddString("dataset", "yelpchi", "dataset profile");
+  RRRE_CHECK_OK(flags.Parse(argc, argv));
+  if (flags.help_requested()) {
+    std::printf("%s", flags.Usage(argv[0]).c_str());
+    return 0;
+  }
+  const bench::BenchOptions opts = bench::ReadBenchOptions(flags);
+
+  auto bundle =
+      bench::MakeDataset(flags.GetString("dataset"), opts.scale,
+                         opts.base_seed);
+  core::RrreTrainer trainer(bench::DefaultRrreConfig(opts, opts.base_seed));
+  trainer.Fit(bundle.train);
+
+  // A test user with at least 3 held-out reviews makes a Table VII-like
+  // candidate list with known ground truth.
+  std::vector<std::vector<int64_t>> test_by_user(
+      static_cast<size_t>(bundle.test.num_users()));
+  for (int64_t i = 0; i < bundle.test.size(); ++i) {
+    test_by_user[static_cast<size_t>(bundle.test.review(i).user)].push_back(i);
+  }
+  int64_t user = -1;
+  for (int64_t u = 0; u < bundle.test.num_users(); ++u) {
+    if (test_by_user[static_cast<size_t>(u)].size() >= 3) {
+      user = u;
+      break;
+    }
+  }
+  RRRE_CHECK_GE(user, 0) << "no test user with >=3 reviews; raise --scale";
+
+  std::printf("Case study on %s (user %ld)\n\n",
+              flags.GetString("dataset").c_str(), static_cast<long>(user));
+  std::printf(
+      "Table VII: recommendation candidates — predicted (real) rating and "
+      "reliability\n\n");
+  std::printf("%-6s %-8s %-18s %-18s  %s\n", "item", "label", "pred r (real)",
+              "pred l (real)", "review snippet");
+
+  struct Candidate {
+    int64_t item;
+    double rating;
+    double reliability;
+  };
+  std::vector<Candidate> candidates;
+  const auto& test_reviews = test_by_user[static_cast<size_t>(user)];
+  for (size_t j = 0; j < test_reviews.size() && j < 3; ++j) {
+    const data::Review& r = bundle.test.review(test_reviews[j]);
+    auto pred = trainer.PredictPairs({{r.user, r.item}});
+    std::printf("%-6ld %-8s %6.3f (%.0f)%6s %6.3f (%d)%8s  %s\n",
+                static_cast<long>(r.item), r.is_benign() ? "benign" : "fake",
+                pred.ratings[0], r.rating, "", pred.reliabilities[0],
+                r.is_benign() ? 1 : 0, "", Snippet(r.text).c_str());
+    candidates.push_back({r.item, pred.ratings[0], pred.reliabilities[0]});
+  }
+
+  // Recommend the candidate with the highest reliability (Sec. III-B: top
+  // ratings re-ranked by reliability).
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const Candidate& a, const Candidate& b) {
+                     return a.rating > b.rating;
+                   });
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const Candidate& a, const Candidate& b) {
+                     return a.reliability > b.reliability;
+                   });
+  const int64_t recommended = candidates.front().item;
+  std::printf(
+      "\nRecommended item: %ld (highest reliability %.3f among top-rated "
+      "candidates)\n",
+      static_cast<long>(recommended), candidates.front().reliability);
+
+  // Table VIII: reviews of the recommended item ranked by predicted rating;
+  // the explanation filter drops low-reliability ones.
+  core::ReliableRecommender recommender(&trainer);
+  const auto pool = recommender.Explain(recommended, /*top_k=*/4,
+                                        /*candidate_pool=*/4);
+  std::printf(
+      "\nTable VIII: explanation candidates for item %ld — ranked by rating, "
+      "filtered by reliability\n\n",
+      static_cast<long>(recommended));
+  std::printf("%-6s %-10s %-10s %-8s  %s\n", "writer", "pred r", "pred l",
+              "label", "review snippet");
+  for (const auto& e : pool) {
+    const data::Review& r = bundle.train.review(e.review_index);
+    std::printf("%-6ld %-10.3f %-10.3f %-8s  %s\n",
+                static_cast<long>(e.user), e.rating, e.reliability,
+                r.is_benign() ? "benign" : "fake", Snippet(e.text).c_str());
+  }
+  std::printf(
+      "\nShape claims to check: the selected explanations are benign; fake "
+      "praise ranks high on rating but is filtered by low reliability.\n");
+  return 0;
+}

@@ -1,0 +1,22 @@
+#ifndef RRRE_BENCH_NDCG_TABLE_H_
+#define RRRE_BENCH_NDCG_TABLE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "bench/harness.h"
+
+namespace rrre::bench {
+
+/// Shared driver for Tables V and VI: scores the dataset's test reviews with
+/// every reliability model and prints NDCG@k rows for k = 100..1000
+/// (clamped to the test size), with the paper's values in parentheses.
+int RunNdcgTable(const std::string& table_name, const std::string& dataset,
+                 const std::map<int64_t, std::map<std::string, double>>&
+                     paper_values,
+                 int argc, char** argv);
+
+}  // namespace rrre::bench
+
+#endif  // RRRE_BENCH_NDCG_TABLE_H_

@@ -1,0 +1,105 @@
+#ifndef RRRE_BENCH_PAPER_REFERENCE_H_
+#define RRRE_BENCH_PAPER_REFERENCE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace rrre::bench::paper {
+
+/// Numbers reported by the paper, keyed by (dataset, model) or (k, model),
+/// printed next to measured values so shape agreement is easy to eyeball.
+/// Datasets: yelpchi, yelpnyc, yelpzip, musics, cds.
+
+/// Table III — bRMSE of rating prediction.
+inline const std::map<std::string, std::map<std::string, double>>&
+Table3Brmse() {
+  static const auto* t = new std::map<std::string, std::map<std::string, double>>{
+      {"yelpchi", {{"rrre", 0.965}, {"pmf", 1.052}, {"deepconn", 0.994},
+                   {"narre", 1.002}, {"der", 1.112}, {"rrre-", 1.041}}},
+      {"yelpnyc", {{"rrre", 0.989}, {"pmf", 1.081}, {"deepconn", 0.992},
+                   {"narre", 1.030}, {"der", 1.048}, {"rrre-", 1.058}}},
+      {"yelpzip", {{"rrre", 0.983}, {"pmf", 1.101}, {"deepconn", 1.092},
+                   {"narre", 1.073}, {"der", 1.087}, {"rrre-", 1.062}}},
+      {"musics", {{"rrre", 1.054}, {"pmf", 1.194}, {"deepconn", 1.143},
+                  {"narre", 1.156}, {"der", 1.170}, {"rrre-", 1.179}}},
+      {"cds", {{"rrre", 0.977}, {"pmf", 1.081}, {"deepconn", 0.998},
+               {"narre", 1.060}, {"der", 1.088}, {"rrre-", 1.098}}},
+  };
+  return *t;
+}
+
+/// Table IV — AUC of reliability scoring.
+inline const std::map<std::string, std::map<std::string, double>>&
+Table4Auc() {
+  static const auto* t = new std::map<std::string, std::map<std::string, double>>{
+      {"musics", {{"icwsm13", 0.734}, {"speagle+", 0.759}, {"rev2", 0.798},
+                  {"rrre", 0.911}}},
+      {"cds", {{"icwsm13", 0.722}, {"speagle+", 0.763}, {"rev2", 0.803},
+               {"rrre", 0.924}}},
+      {"yelpchi", {{"icwsm13", 0.713}, {"speagle+", 0.795}, {"rev2", 0.625},
+                   {"rrre", 0.789}}},
+      {"yelpnyc", {{"icwsm13", 0.654}, {"speagle+", 0.783}, {"rev2", 0.648},
+                   {"rrre", 0.791}}},
+      {"yelpzip", {{"icwsm13", 0.632}, {"speagle+", 0.804}, {"rev2", 0.634},
+                   {"rrre", 0.806}}},
+  };
+  return *t;
+}
+
+/// Table IV — average precision of reliability scoring.
+inline const std::map<std::string, std::map<std::string, double>>&
+Table4Ap() {
+  static const auto* t = new std::map<std::string, std::map<std::string, double>>{
+      {"musics", {{"icwsm13", 0.857}, {"speagle+", 0.416}, {"rev2", 0.801},
+                  {"rrre", 0.965}}},
+      {"cds", {{"icwsm13", 0.869}, {"speagle+", 0.405}, {"rev2", 0.819},
+               {"rrre", 0.977}}},
+      {"yelpchi", {{"icwsm13", 0.856}, {"speagle+", 0.397}, {"rev2", 0.532},
+                   {"rrre", 0.956}}},
+      {"yelpnyc", {{"icwsm13", 0.843}, {"speagle+", 0.348}, {"rev2", 0.503},
+                   {"rrre", 0.929}}},
+      {"yelpzip", {{"icwsm13", 0.895}, {"speagle+", 0.425}, {"rev2", 0.612},
+                   {"rrre", 0.934}}},
+  };
+  return *t;
+}
+
+/// Tables V-VI — NDCG@k (k -> model -> value).
+inline const std::map<int64_t, std::map<std::string, double>>&
+Table5NdcgYelpChi() {
+  static const auto* t = new std::map<int64_t, std::map<std::string, double>>{
+      {100, {{"icwsm13", 0.567}, {"speagle+", 0.975}, {"rev2", 0.432}, {"rrre", 0.989}}},
+      {200, {{"icwsm13", 0.551}, {"speagle+", 0.962}, {"rev2", 0.425}, {"rrre", 0.986}}},
+      {300, {{"icwsm13", 0.546}, {"speagle+", 0.951}, {"rev2", 0.419}, {"rrre", 0.986}}},
+      {400, {{"icwsm13", 0.541}, {"speagle+", 0.938}, {"rev2", 0.406}, {"rrre", 0.982}}},
+      {500, {{"icwsm13", 0.532}, {"speagle+", 0.924}, {"rev2", 0.395}, {"rrre", 0.979}}},
+      {600, {{"icwsm13", 0.535}, {"speagle+", 0.905}, {"rev2", 0.386}, {"rrre", 0.972}}},
+      {700, {{"icwsm13", 0.525}, {"speagle+", 0.889}, {"rev2", 0.389}, {"rrre", 0.967}}},
+      {800, {{"icwsm13", 0.511}, {"speagle+", 0.865}, {"rev2", 0.376}, {"rrre", 0.959}}},
+      {900, {{"icwsm13", 0.486}, {"speagle+", 0.849}, {"rev2", 0.374}, {"rrre", 0.951}}},
+      {1000, {{"icwsm13", 0.459}, {"speagle+", 0.835}, {"rev2", 0.364}, {"rrre", 0.940}}},
+  };
+  return *t;
+}
+
+inline const std::map<int64_t, std::map<std::string, double>>&
+Table6NdcgCds() {
+  static const auto* t = new std::map<int64_t, std::map<std::string, double>>{
+      {100, {{"icwsm13", 0.488}, {"speagle+", 0.921}, {"rev2", 0.554}, {"rrre", 0.998}}},
+      {200, {{"icwsm13", 0.465}, {"speagle+", 0.906}, {"rev2", 0.545}, {"rrre", 0.991}}},
+      {300, {{"icwsm13", 0.470}, {"speagle+", 0.885}, {"rev2", 0.542}, {"rrre", 0.985}}},
+      {400, {{"icwsm13", 0.454}, {"speagle+", 0.884}, {"rev2", 0.536}, {"rrre", 0.974}}},
+      {500, {{"icwsm13", 0.438}, {"speagle+", 0.875}, {"rev2", 0.532}, {"rrre", 0.971}}},
+      {600, {{"icwsm13", 0.435}, {"speagle+", 0.860}, {"rev2", 0.524}, {"rrre", 0.966}}},
+      {700, {{"icwsm13", 0.424}, {"speagle+", 0.858}, {"rev2", 0.515}, {"rrre", 0.956}}},
+      {800, {{"icwsm13", 0.417}, {"speagle+", 0.855}, {"rev2", 0.516}, {"rrre", 0.950}}},
+      {900, {{"icwsm13", 0.401}, {"speagle+", 0.824}, {"rev2", 0.494}, {"rrre", 0.936}}},
+      {1000, {{"icwsm13", 0.392}, {"speagle+", 0.801}, {"rev2", 0.482}, {"rrre", 0.927}}},
+  };
+  return *t;
+}
+
+}  // namespace rrre::bench::paper
+
+#endif  // RRRE_BENCH_PAPER_REFERENCE_H_

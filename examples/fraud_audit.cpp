@@ -1,0 +1,82 @@
+// Marketplace fraud audit: run the complementary detectors of Sec. II-B on
+// the same labeled corpus and compare what each catches. Demonstrates the
+// reliability-predictor API on ICWSM13 (behavioral), SpEagle+ (graph),
+// REV2 (rating consistency), and RRRE (joint neural).
+//
+//   ./build/examples/fraud_audit [--scale=0.15] [--dataset=musics]
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/icwsm13.h"
+#include "baselines/rev2.h"
+#include "baselines/rrre_adapter.h"
+#include "baselines/speagle.h"
+#include "common/flags.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "core/config.h"
+#include "data/profiles.h"
+#include "data/synthetic.h"
+#include "eval/metrics.h"
+
+int main(int argc, char** argv) {
+  using namespace rrre;  // NOLINT(build/namespaces)
+  common::FlagParser flags;
+  flags.AddDouble("scale", 0.15, "corpus size multiplier");
+  flags.AddString("dataset", "musics", "dataset profile");
+  flags.AddInt("epochs", 6, "RRRE training epochs");
+  RRRE_CHECK_OK(flags.Parse(argc, argv));
+  if (flags.help_requested()) {
+    std::printf("%s", flags.Usage(argv[0]).c_str());
+    return 0;
+  }
+
+  common::Rng rng(23);
+  auto profile =
+      data::ProfileByName(flags.GetString("dataset"), flags.GetDouble("scale"));
+  RRRE_CHECK_OK(profile.status());
+  data::ReviewDataset corpus =
+      data::GenerateSyntheticDataset(profile.value(), rng);
+  auto [train, test] = corpus.Split(0.7, rng);
+  std::vector<int> labels;
+  for (const data::Review& r : test.reviews()) {
+    labels.push_back(r.is_benign() ? 1 : 0);
+  }
+  std::printf("auditing %ld held-out reviews (%ld labeled fake)\n\n",
+              static_cast<long>(test.size()),
+              static_cast<long>(std::count(labels.begin(), labels.end(), 0)));
+
+  struct Detector {
+    std::string name;
+    std::unique_ptr<baselines::ReliabilityPredictor> model;
+  };
+  std::vector<Detector> detectors;
+  detectors.push_back({"icwsm13", std::make_unique<baselines::Icwsm13>()});
+  detectors.push_back({"speagle+", std::make_unique<baselines::SpEaglePlus>()});
+  detectors.push_back({"rev2", std::make_unique<baselines::Rev2>()});
+  core::RrreConfig rrre_config;
+  rrre_config.epochs = flags.GetInt("epochs");
+  detectors.push_back(
+      {"rrre", std::make_unique<baselines::RrreAdapter>(rrre_config)});
+
+  std::printf("%-10s %8s %8s %10s %10s\n", "detector", "AUC", "AP", "NDCG@100",
+              "prec@50");
+  for (auto& d : detectors) {
+    d.model->Fit(train);
+    const auto scores = d.model->ScoreReviews(test);
+    std::printf("%-10s %8.3f %8.3f %10.3f %10.3f\n", d.name.c_str(),
+                eval::Auc(scores, labels),
+                eval::AveragePrecision(scores, labels),
+                eval::NdcgAtK(scores, labels, 100),
+                eval::PrecisionAtK(scores, labels, 50));
+  }
+  std::printf(
+      "\nHigher is better everywhere; scores rank benign reviews above "
+      "fakes. NDCG@100 and precision@50 measure the clean head of the "
+      "ranking — what a moderation queue would surface first.\n");
+  return 0;
+}

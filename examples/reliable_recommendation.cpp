@@ -1,0 +1,78 @@
+// End-to-end reliable recommendation (Sec. III-B of the paper): train RRRE,
+// recommend items for a user (top ratings re-ranked by reliability), and
+// attach review-level explanations with fake praise filtered out.
+//
+//   ./build/examples/reliable_recommendation [--scale=0.1] [--user=0]
+
+#include <cstdio>
+#include <string>
+
+#include "common/flags.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "core/recommender.h"
+#include "core/trainer.h"
+#include "data/profiles.h"
+#include "data/synthetic.h"
+
+int main(int argc, char** argv) {
+  using namespace rrre;  // NOLINT(build/namespaces)
+  common::FlagParser flags;
+  flags.AddDouble("scale", 0.1, "corpus size multiplier");
+  flags.AddInt("user", -1, "user to serve (-1: pick an active one)");
+  flags.AddInt("topk", 3, "recommendations to produce");
+  flags.AddInt("epochs", 5, "training epochs");
+  RRRE_CHECK_OK(flags.Parse(argc, argv));
+  if (flags.help_requested()) {
+    std::printf("%s", flags.Usage(argv[0]).c_str());
+    return 0;
+  }
+
+  common::Rng rng(11);
+  data::ReviewDataset corpus = data::GenerateSyntheticDataset(
+      data::YelpChiProfile(flags.GetDouble("scale")), rng);
+  auto [train, test] = corpus.Split(0.7, rng);
+
+  core::RrreConfig config;
+  config.epochs = flags.GetInt("epochs");
+  core::RrreTrainer trainer(config);
+  std::printf("training RRRE on %ld reviews...\n",
+              static_cast<long>(train.size()));
+  trainer.Fit(train);
+
+  // Pick a user with a reasonable history if none was given.
+  int64_t user = flags.GetInt("user");
+  if (user < 0) {
+    for (int64_t u = 0; u < train.num_users(); ++u) {
+      if (train.ReviewsByUser(u).size() >= 3) {
+        user = u;
+        break;
+      }
+    }
+  }
+  RRRE_CHECK_GE(user, 0);
+
+  core::ReliableRecommender recommender(&trainer);
+  const int64_t top_k = flags.GetInt("topk");
+  auto recs = recommender.Recommend(user, top_k, /*candidate_pool=*/4 * top_k);
+  std::printf("\ntop-%ld recommendations for user %ld "
+              "(rating-ranked candidates, reliability re-ranked):\n",
+              static_cast<long>(top_k), static_cast<long>(user));
+  for (const auto& rec : recs) {
+    std::printf("  item %-5ld predicted rating %.2f, reliability %.2f\n",
+                static_cast<long>(rec.item), rec.rating, rec.reliability);
+    auto explanations = recommender.Explain(rec.item, /*top_k=*/1,
+                                            /*candidate_pool=*/3);
+    for (const auto& e : explanations) {
+      std::printf("      \"%.70s\"\n"
+                  "      — user %ld (predicted rating %.2f, reliability %.2f)\n",
+                  e.text.c_str(), static_cast<long>(e.user), e.rating,
+                  e.reliability);
+    }
+  }
+  std::printf(
+      "\nEach explanation is the item's most reliable well-rated review; "
+      "reviews that rank high on rating but low on reliability are "
+      "filtered (Table VIII's scenario).\n");
+  return 0;
+}

@@ -1,0 +1,132 @@
+#include "baselines/behavior_features.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "common/logging.h"
+#include "text/tokenizer.h"
+
+namespace rrre::baselines {
+
+std::vector<double> BehaviorFeatures::ToVector() const {
+  return {text_length,       rating_deviation,     rating_extremity,
+          user_max_per_day,  user_mean_deviation,  user_extreme_fraction,
+          user_review_count, user_self_similarity, item_burst,
+          user_span};
+}
+
+namespace {
+
+double Jaccard(const std::set<std::string>& a, const std::set<std::string>& b) {
+  if (a.empty() && b.empty()) return 0.0;
+  size_t inter = 0;
+  for (const auto& w : a) inter += b.count(w);
+  return static_cast<double>(inter) /
+         static_cast<double>(a.size() + b.size() - inter);
+}
+
+}  // namespace
+
+std::vector<BehaviorFeatures> ComputeBehaviorFeatures(
+    const data::ReviewDataset& ds) {
+  RRRE_CHECK(ds.indexed());
+  const auto item_means = ds.ItemMeanRatings();
+
+  // Tokenized word sets per review (for self-similarity).
+  std::vector<std::set<std::string>> word_sets(static_cast<size_t>(ds.size()));
+  for (int64_t i = 0; i < ds.size(); ++i) {
+    const auto toks = text::Tokenize(ds.review(i).text);
+    word_sets[static_cast<size_t>(i)] =
+        std::set<std::string>(toks.begin(), toks.end());
+  }
+
+  // Per-user aggregates.
+  struct UserAgg {
+    double max_per_day = 0.0;
+    double mean_deviation = 0.0;
+    double extreme_fraction = 0.0;
+    double count = 0.0;
+    double span = 0.0;
+  };
+  std::vector<UserAgg> user_aggs(static_cast<size_t>(ds.num_users()));
+  for (int64_t u = 0; u < ds.num_users(); ++u) {
+    const auto& reviews = ds.ReviewsByUser(u);
+    if (reviews.empty()) continue;
+    UserAgg agg;
+    std::map<int64_t, int64_t> per_day;
+    double dev_sum = 0.0;
+    int64_t extreme = 0;
+    int64_t min_ts = ds.review(reviews.front()).timestamp;
+    int64_t max_ts = min_ts;
+    for (int64_t idx : reviews) {
+      const data::Review& r = ds.review(idx);
+      ++per_day[r.timestamp];
+      dev_sum += std::abs(static_cast<double>(r.rating) -
+                          item_means[static_cast<size_t>(r.item)]);
+      extreme += (r.rating <= 1.0f || r.rating >= 5.0f) ? 1 : 0;
+      min_ts = std::min(min_ts, r.timestamp);
+      max_ts = std::max(max_ts, r.timestamp);
+    }
+    int64_t max_day = 0;
+    for (const auto& [day, count] : per_day) {
+      max_day = std::max(max_day, count);
+    }
+    const double n = static_cast<double>(reviews.size());
+    agg.max_per_day = std::log1p(static_cast<double>(max_day));
+    agg.mean_deviation = dev_sum / n;
+    agg.extreme_fraction = static_cast<double>(extreme) / n;
+    agg.count = std::log1p(n);
+    agg.span = std::log1p(static_cast<double>(max_ts - min_ts));
+    user_aggs[static_cast<size_t>(u)] = agg;
+  }
+
+  constexpr int64_t kBurstWindowDays = 3;
+  constexpr size_t kMaxSimilarityComparisons = 8;
+
+  std::vector<BehaviorFeatures> out(static_cast<size_t>(ds.size()));
+  for (int64_t i = 0; i < ds.size(); ++i) {
+    const data::Review& r = ds.review(i);
+    BehaviorFeatures f;
+    f.text_length =
+        std::log1p(static_cast<double>(word_sets[static_cast<size_t>(i)].size()));
+    f.rating_deviation = std::abs(static_cast<double>(r.rating) -
+                                  item_means[static_cast<size_t>(r.item)]);
+    f.rating_extremity = (r.rating <= 1.0f || r.rating >= 5.0f) ? 1.0 : 0.0;
+    const UserAgg& agg = user_aggs[static_cast<size_t>(r.user)];
+    f.user_max_per_day = agg.max_per_day;
+    f.user_mean_deviation = agg.mean_deviation;
+    f.user_extreme_fraction = agg.extreme_fraction;
+    f.user_review_count = agg.count;
+    f.user_span = agg.span;
+
+    // Max Jaccard similarity with a bounded sample of the user's other
+    // reviews (near-duplicate text is a classic spam tell).
+    const auto& mine = ds.ReviewsByUser(r.user);
+    double best = 0.0;
+    size_t compared = 0;
+    for (int64_t other : mine) {
+      if (other == i) continue;
+      best = std::max(best, Jaccard(word_sets[static_cast<size_t>(i)],
+                                    word_sets[static_cast<size_t>(other)]));
+      if (++compared >= kMaxSimilarityComparisons) break;
+    }
+    f.user_self_similarity = best;
+
+    // Same-item reviews inside the burst window around this review.
+    int64_t burst = 0;
+    for (int64_t other : ds.ReviewsByItem(r.item)) {
+      if (other == i) continue;
+      if (std::abs(ds.review(other).timestamp - r.timestamp) <=
+          kBurstWindowDays) {
+        ++burst;
+      }
+    }
+    f.item_burst = std::log1p(static_cast<double>(burst));
+    out[static_cast<size_t>(i)] = f;
+  }
+  return out;
+}
+
+}  // namespace rrre::baselines

@@ -1,0 +1,41 @@
+#ifndef RRRE_BASELINES_BEHAVIOR_FEATURES_H_
+#define RRRE_BASELINES_BEHAVIOR_FEATURES_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace rrre::baselines {
+
+/// Per-review behavioral/metadata features in the spirit of Mukherjee et
+/// al. (ICWSM 2013) — the signals a Yelp-filter-like detector reads:
+/// review-level text statistics, rating deviation, and the writer's
+/// behavioral footprint (burstiness, extremity, activity span). Also used
+/// to form SpEagle+'s supervised review priors.
+struct BehaviorFeatures {
+  static constexpr int kNumFeatures = 10;
+
+  double text_length = 0.0;          ///< log(1 + token count).
+  double rating_deviation = 0.0;     ///< |r - item mean rating|.
+  double rating_extremity = 0.0;     ///< 1 if rating is 1 or 5.
+  double user_max_per_day = 0.0;     ///< log(1 + max reviews in one day).
+  double user_mean_deviation = 0.0;  ///< Mean |r - item mean| over the user.
+  double user_extreme_fraction = 0.0;///< Fraction of the user's 1/5 ratings.
+  double user_review_count = 0.0;    ///< log(1 + #reviews by the user).
+  double user_self_similarity = 0.0; ///< Max Jaccard overlap with own reviews.
+  double item_burst = 0.0;           ///< log(1 + same-item reviews within a
+                                     ///<   +-3-day window of this one).
+  double user_span = 0.0;            ///< log(1 + active days of the user).
+
+  std::vector<double> ToVector() const;
+};
+
+/// Computes features for every review of `ds`, aligned with ds.reviews().
+/// All statistics are computed within `ds` itself (the detector sees the
+/// metadata of the corpus it is scoring).
+std::vector<BehaviorFeatures> ComputeBehaviorFeatures(
+    const data::ReviewDataset& ds);
+
+}  // namespace rrre::baselines
+
+#endif  // RRRE_BASELINES_BEHAVIOR_FEATURES_H_

@@ -1,0 +1,101 @@
+#include "baselines/deepconn.h"
+
+#include "common/logging.h"
+#include "tensor/ops.h"
+#include "text/tokenizer.h"
+
+namespace rrre::baselines {
+
+using tensor::Tensor;
+
+struct DeepCoNN::Net : public nn::Module {
+  Net(const Config& config, int64_t vocab_size, common::Rng& rng)
+      : words(vocab_size, config.common.word_dim, rng, 0.1f),
+        user_cnn(&words, config.doc_tokens, config.window, config.filters,
+                 rng),
+        item_cnn(&words, config.doc_tokens, config.window, config.filters,
+                 rng),
+        user_proj(config.filters, config.latent_dim, rng),
+        item_proj(config.filters, config.latent_dim, rng),
+        fm(2 * config.latent_dim, config.fm_factors, rng) {
+    RegisterModule("words", &words);
+    RegisterModule("user_cnn", &user_cnn);
+    RegisterModule("item_cnn", &item_cnn);
+    RegisterModule("user_proj", &user_proj);
+    RegisterModule("item_proj", &item_proj);
+    RegisterModule("fm", &fm);
+  }
+
+  nn::Embedding words;
+  TextCnnEncoder user_cnn;
+  TextCnnEncoder item_cnn;
+  nn::Linear user_proj;
+  nn::Linear item_proj;
+  nn::FactorizationMachine fm;
+};
+
+DeepCoNN::DeepCoNN() : DeepCoNN(Config()) {}
+
+DeepCoNN::DeepCoNN(Config config)
+    : NeuralRatingBaseline(config.common), config_(config) {}
+
+DeepCoNN::~DeepCoNN() = default;
+
+void DeepCoNN::BuildModel(int64_t /*num_users*/, int64_t /*num_items*/,
+                          int64_t vocab_size, common::Rng& rng) {
+  net_ = std::make_unique<Net>(config_, vocab_size, rng);
+  review_tokens_.clear();
+  review_tokens_.reserve(static_cast<size_t>(train_data().size()));
+  for (const data::Review& r : train_data().reviews()) {
+    auto ids = vocab().Encode(text::Tokenize(r.text));
+    // A single review never needs more than the whole document budget.
+    if (static_cast<int64_t>(ids.size()) > config_.doc_tokens) {
+      ids.resize(static_cast<size_t>(config_.doc_tokens));
+    }
+    review_tokens_.push_back(std::move(ids));
+  }
+}
+
+nn::Module* DeepCoNN::module() { return net_.get(); }
+
+nn::Embedding* DeepCoNN::word_embedding() { return &net_->words; }
+
+void DeepCoNN::AppendDoc(const std::vector<int64_t>& history, int64_t exclude,
+                         std::vector<int64_t>& out) const {
+  const size_t start = out.size();
+  // Newest reviews first so truncation keeps the most recent text.
+  for (auto it = history.rbegin(); it != history.rend(); ++it) {
+    if (*it == exclude) continue;
+    const auto& toks = review_tokens_[static_cast<size_t>(*it)];
+    for (int64_t id : toks) {
+      if (out.size() - start >= static_cast<size_t>(config_.doc_tokens)) break;
+      out.push_back(id);
+    }
+    if (out.size() - start >= static_cast<size_t>(config_.doc_tokens)) break;
+  }
+  out.resize(start + static_cast<size_t>(config_.doc_tokens),
+             text::Vocabulary::kPadId);
+}
+
+Tensor DeepCoNN::ForwardRating(
+    const std::vector<std::pair<int64_t, int64_t>>& pairs,
+    const std::vector<int64_t>& exclude, bool /*training*/,
+    common::Rng& /*rng*/) {
+  const int64_t b = static_cast<int64_t>(pairs.size());
+  std::vector<int64_t> user_docs;
+  std::vector<int64_t> item_docs;
+  user_docs.reserve(static_cast<size_t>(b * config_.doc_tokens));
+  item_docs.reserve(static_cast<size_t>(b * config_.doc_tokens));
+  for (int64_t e = 0; e < b; ++e) {
+    const auto [user, item] = pairs[static_cast<size_t>(e)];
+    AppendDoc(train_data().ReviewsByUser(user), exclude[static_cast<size_t>(e)],
+              user_docs);
+    AppendDoc(train_data().ReviewsByItem(item), exclude[static_cast<size_t>(e)],
+              item_docs);
+  }
+  Tensor xu = net_->user_proj.Forward(net_->user_cnn.Encode(user_docs, b));
+  Tensor yi = net_->item_proj.Forward(net_->item_cnn.Encode(item_docs, b));
+  return net_->fm.Forward(tensor::ConcatCols({xu, yi}));
+}
+
+}  // namespace rrre::baselines

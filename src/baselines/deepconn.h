@@ -1,0 +1,58 @@
+#ifndef RRRE_BASELINES_DEEPCONN_H_
+#define RRRE_BASELINES_DEEPCONN_H_
+
+#include <memory>
+#include <vector>
+
+#include "baselines/neural_base.h"
+#include "baselines/textcnn.h"
+#include "nn/fm.h"
+#include "nn/linear.h"
+
+namespace rrre::baselines {
+
+/// DeepCoNN (Zheng et al., WSDM 2017): the user's reviews are concatenated
+/// into one document, the item's likewise; two parallel TextCNN towers embed
+/// the documents, and a factorization machine couples the two latent
+/// vectors into a rating.
+class DeepCoNN : public NeuralRatingBaseline {
+ public:
+  struct Config {
+    CommonConfig common;
+    int64_t doc_tokens = 64;   ///< Tokens kept per user/item document.
+    int64_t window = 3;        ///< Convolution window.
+    int64_t filters = 16;      ///< CNN feature maps.
+    int64_t latent_dim = 8;    ///< Tower output dim fed into the FM.
+    int64_t fm_factors = 8;
+  };
+
+  DeepCoNN();
+  explicit DeepCoNN(Config config);
+  ~DeepCoNN() override;
+
+ protected:
+  void BuildModel(int64_t num_users, int64_t num_items, int64_t vocab_size,
+                  common::Rng& rng) override;
+  nn::Module* module() override;
+  nn::Embedding* word_embedding() override;
+  tensor::Tensor ForwardRating(
+      const std::vector<std::pair<int64_t, int64_t>>& pairs,
+      const std::vector<int64_t>& exclude, bool training,
+      common::Rng& rng) override;
+
+ private:
+  struct Net;
+  /// Concatenates the latest reviews of the history (excluding `exclude`)
+  /// into a doc_tokens-length id row, newest first, pad-filled.
+  void AppendDoc(const std::vector<int64_t>& history, int64_t exclude,
+                 std::vector<int64_t>& out) const;
+
+  Config config_;
+  std::unique_ptr<Net> net_;
+  /// Unpadded token ids per train review.
+  std::vector<std::vector<int64_t>> review_tokens_;
+};
+
+}  // namespace rrre::baselines
+
+#endif  // RRRE_BASELINES_DEEPCONN_H_

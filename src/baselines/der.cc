@@ -1,0 +1,155 @@
+#include "baselines/der.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "data/sampling.h"
+#include "nn/attention.h"
+#include "tensor/ops.h"
+#include "text/tokenizer.h"
+
+namespace rrre::baselines {
+
+using tensor::Tensor;
+
+struct Der::Net : public nn::Module {
+  Net(const Config& config, int64_t num_users, int64_t num_items,
+      int64_t vocab_size, common::Rng& rng)
+      : words(vocab_size, config.common.word_dim, rng, 0.1f),
+        user_ids(num_users, config.id_dim, rng, 0.1f),
+        item_ids(num_items, config.id_dim, rng, 0.1f),
+        user_cnn(&words, config.max_tokens, config.window, config.filters,
+                 rng),
+        item_cnn(&words, config.max_tokens, config.window, config.filters,
+                 rng),
+        gru(config.filters, config.hidden, rng),
+        user_map(config.hidden, config.id_dim, rng, /*use_bias=*/false),
+        item_map(config.filters, config.id_dim, rng, /*use_bias=*/false),
+        fm(2 * config.id_dim, config.fm_factors, rng) {
+    RegisterModule("words", &words);
+    RegisterModule("user_ids", &user_ids);
+    RegisterModule("item_ids", &item_ids);
+    RegisterModule("user_cnn", &user_cnn);
+    RegisterModule("item_cnn", &item_cnn);
+    RegisterModule("gru", &gru);
+    RegisterModule("user_map", &user_map);
+    RegisterModule("item_map", &item_map);
+    RegisterModule("fm", &fm);
+  }
+
+  nn::Embedding words;
+  nn::Embedding user_ids;
+  nn::Embedding item_ids;
+  TextCnnEncoder user_cnn;
+  TextCnnEncoder item_cnn;
+  nn::GruCell gru;
+  nn::Linear user_map;
+  nn::Linear item_map;
+  nn::FactorizationMachine fm;
+};
+
+Der::Der() : Der(Config()) {}
+
+Der::Der(Config config)
+    : NeuralRatingBaseline(config.common), config_(config) {}
+
+Der::~Der() = default;
+
+void Der::BuildModel(int64_t num_users, int64_t num_items, int64_t vocab_size,
+                     common::Rng& rng) {
+  net_ = std::make_unique<Net>(config_, num_users, num_items, vocab_size, rng);
+  token_cache_.clear();
+  token_cache_.reserve(
+      static_cast<size_t>(train_data().size() * config_.max_tokens));
+  for (const data::Review& r : train_data().reviews()) {
+    const auto ids =
+        vocab().EncodePadded(text::Tokenize(r.text), config_.max_tokens);
+    token_cache_.insert(token_cache_.end(), ids.begin(), ids.end());
+  }
+}
+
+nn::Module* Der::module() { return net_.get(); }
+
+nn::Embedding* Der::word_embedding() { return &net_->words; }
+
+Tensor Der::ForwardRating(
+    const std::vector<std::pair<int64_t, int64_t>>& pairs,
+    const std::vector<int64_t>& exclude, bool /*training*/, common::Rng& rng) {
+  using namespace tensor;  // NOLINT(build/namespaces) - op-heavy function.
+  const int64_t b = static_cast<int64_t>(pairs.size());
+  const int64_t t = config_.max_tokens;
+
+  auto append_tokens = [&](int64_t review_idx, std::vector<int64_t>& out) {
+    if (review_idx < 0) {
+      out.insert(out.end(), static_cast<size_t>(t), text::Vocabulary::kPadId);
+    } else {
+      const auto begin = token_cache_.begin() + review_idx * t;
+      out.insert(out.end(), begin, begin + t);
+    }
+  };
+
+  // User sequences: left-padded so absent slots precede the real reviews and
+  // the GRU's final state reflects the most recent one.
+  std::vector<int64_t> user_tokens;
+  std::vector<int64_t> item_tokens;
+  std::vector<float> item_mask;
+  user_tokens.reserve(static_cast<size_t>(b * config_.s_u * t));
+  item_tokens.reserve(static_cast<size_t>(b * config_.s_i * t));
+  item_mask.reserve(static_cast<size_t>(b * config_.s_i));
+  for (int64_t e = 0; e < b; ++e) {
+    const auto [user, item] = pairs[static_cast<size_t>(e)];
+    auto uh = data::SampleHistory(train_data().ReviewsByUser(user),
+                                  config_.s_u, data::SamplingStrategy::kLatest,
+                                  rng, exclude[static_cast<size_t>(e)]);
+    // Move the -1 tail to the front, preserving temporal order of the rest.
+    std::stable_partition(uh.begin(), uh.end(),
+                          [](int64_t v) { return v < 0; });
+    for (int64_t idx : uh) append_tokens(idx, user_tokens);
+
+    auto ih = data::SampleHistory(train_data().ReviewsByItem(item),
+                                  config_.s_i, data::SamplingStrategy::kLatest,
+                                  rng, exclude[static_cast<size_t>(e)]);
+    for (int64_t idx : ih) {
+      append_tokens(idx, item_tokens);
+      item_mask.push_back(idx < 0 ? nn::FraudAttention::kMaskedScore : 0.0f);
+    }
+  }
+
+  // User tower: encode the user histories in step-major order (all examples'
+  // step-s reviews in one batch), then run the GRU across the s_u steps.
+  std::vector<Tensor> steps;
+  steps.reserve(static_cast<size_t>(config_.s_u));
+  for (int64_t s = 0; s < config_.s_u; ++s) {
+    std::vector<int64_t> step_tokens;
+    step_tokens.reserve(static_cast<size_t>(b * t));
+    for (int64_t e = 0; e < b; ++e) {
+      const auto begin =
+          user_tokens.begin() + (e * config_.s_u + s) * t;
+      step_tokens.insert(step_tokens.end(), begin, begin + t);
+    }
+    steps.push_back(net_->user_cnn.Encode(step_tokens, b));
+  }
+  Tensor xu = net_->gru.Encode(steps);  // [b, hidden]
+
+  // Item tower: masked mean pooling over review embeddings.
+  Tensor rev_i = net_->item_cnn.Encode(item_tokens, b * config_.s_i);
+  Tensor mask_i = Tensor::FromVector({b, config_.s_i}, item_mask);
+  Tensor weights = Softmax(mask_i);  // Uniform over live slots.
+  Tensor yi = WeightedPool(rev_i, weights);  // [b, filters]
+
+  Tensor pu = Add(net_->user_ids.Forward([&] {
+                    std::vector<int64_t> ids;
+                    for (const auto& p : pairs) ids.push_back(p.first);
+                    return ids;
+                  }()),
+                  net_->user_map.Forward(xu));
+  Tensor qi = Add(net_->item_ids.Forward([&] {
+                    std::vector<int64_t> ids;
+                    for (const auto& p : pairs) ids.push_back(p.second);
+                    return ids;
+                  }()),
+                  net_->item_map.Forward(yi));
+  return net_->fm.Forward(ConcatCols({pu, qi}));
+}
+
+}  // namespace rrre::baselines

@@ -1,0 +1,61 @@
+#ifndef RRRE_BASELINES_DER_H_
+#define RRRE_BASELINES_DER_H_
+
+#include <memory>
+#include <vector>
+
+#include "baselines/neural_base.h"
+#include "baselines/textcnn.h"
+#include "nn/fm.h"
+#include "nn/gru.h"
+#include "nn/linear.h"
+
+namespace rrre::baselines {
+
+/// DER (Chen et al., AAAI 2019), simplified: the user's dynamic preference
+/// is the final state of a GRU over their time-ordered review embeddings
+/// (the paper's time-aware GRU with sentence-level attention is reduced to
+/// a review-level GRU); the item profile is a masked mean over its review
+/// embeddings; an FM head couples both with ID embeddings. As in the
+/// paper's discussion of Table III, the model leans on per-user sequence
+/// length — with a median of ~3 reviews per user it has little dynamics to
+/// exploit.
+class Der : public NeuralRatingBaseline {
+ public:
+  struct Config {
+    CommonConfig common;
+    int64_t max_tokens = 16;
+    int64_t s_u = 5;  ///< GRU sequence length over the user's reviews.
+    int64_t s_i = 7;  ///< Item history slots (mean-pooled).
+    int64_t window = 3;
+    int64_t filters = 16;
+    int64_t hidden = 16;  ///< GRU state size.
+    int64_t id_dim = 16;
+    int64_t fm_factors = 8;
+  };
+
+  Der();
+  explicit Der(Config config);
+  ~Der() override;
+
+ protected:
+  void BuildModel(int64_t num_users, int64_t num_items, int64_t vocab_size,
+                  common::Rng& rng) override;
+  nn::Module* module() override;
+  nn::Embedding* word_embedding() override;
+  tensor::Tensor ForwardRating(
+      const std::vector<std::pair<int64_t, int64_t>>& pairs,
+      const std::vector<int64_t>& exclude, bool training,
+      common::Rng& rng) override;
+
+ private:
+  struct Net;
+  Config config_;
+  std::unique_ptr<Net> net_;
+  /// Token ids padded to max_tokens per train review.
+  std::vector<int64_t> token_cache_;
+};
+
+}  // namespace rrre::baselines
+
+#endif  // RRRE_BASELINES_DER_H_

@@ -1,0 +1,44 @@
+#include "baselines/icwsm13.h"
+
+#include "baselines/behavior_features.h"
+#include "common/logging.h"
+
+namespace rrre::baselines {
+
+Icwsm13::Icwsm13() : Icwsm13(Config()) {}
+
+Icwsm13::Icwsm13(Config config) : config_(config) {}
+
+void Icwsm13::Fit(const data::ReviewDataset& train) {
+  RRRE_CHECK(train.indexed());
+  train_ = std::make_unique<data::ReviewDataset>(train);
+}
+
+std::vector<double> Icwsm13::ScoreReviews(const data::ReviewDataset& eval) {
+  RRRE_CHECK(train_ != nullptr) << "call Fit() first";
+  // Compute footprints over the combined corpus: train reviews occupy
+  // indices [0, train.size()), eval reviews follow.
+  const data::ReviewDataset combined =
+      data::ReviewDataset::Merge(*train_, eval);
+  const auto features = ComputeBehaviorFeatures(combined);
+
+  std::vector<std::vector<double>> train_x;
+  std::vector<int> train_y;
+  train_x.reserve(static_cast<size_t>(train_->size()));
+  for (int64_t i = 0; i < train_->size(); ++i) {
+    train_x.push_back(features[static_cast<size_t>(i)].ToVector());
+    train_y.push_back(train_->review(i).is_benign() ? 1 : 0);
+  }
+  LogisticRegression clf(config_.logreg);
+  clf.Fit(train_x, train_y);
+
+  std::vector<std::vector<double>> eval_x;
+  eval_x.reserve(static_cast<size_t>(eval.size()));
+  for (int64_t i = 0; i < eval.size(); ++i) {
+    eval_x.push_back(
+        features[static_cast<size_t>(train_->size() + i)].ToVector());
+  }
+  return clf.PredictProba(eval_x);
+}
+
+}  // namespace rrre::baselines

@@ -1,0 +1,36 @@
+#ifndef RRRE_BASELINES_ICWSM13_H_
+#define RRRE_BASELINES_ICWSM13_H_
+
+#include <memory>
+#include <vector>
+
+#include "baselines/logreg.h"
+#include "baselines/predictor.h"
+
+namespace rrre::baselines {
+
+/// ICWSM13 (Mukherjee et al., "What Yelp Fake Review Filter Might Be
+/// Doing"): a supervised classifier over behavioral + metadata features of
+/// each review and its writer. Scores eval reviews within the combined
+/// train+eval corpus so user footprints include all visible metadata;
+/// labels come from the training half only.
+class Icwsm13 : public ReliabilityPredictor {
+ public:
+  struct Config {
+    LogisticRegression::Config logreg;
+  };
+
+  Icwsm13();
+  explicit Icwsm13(Config config);
+
+  void Fit(const data::ReviewDataset& train) override;
+  std::vector<double> ScoreReviews(const data::ReviewDataset& eval) override;
+
+ private:
+  Config config_;
+  std::unique_ptr<data::ReviewDataset> train_;
+};
+
+}  // namespace rrre::baselines
+
+#endif  // RRRE_BASELINES_ICWSM13_H_

@@ -1,0 +1,97 @@
+#include "baselines/logreg.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace rrre::baselines {
+
+LogisticRegression::LogisticRegression() : LogisticRegression(Config()) {}
+
+LogisticRegression::LogisticRegression(Config config) : config_(config) {}
+
+namespace {
+
+double Sigmoid(double x) {
+  if (x >= 0.0) return 1.0 / (1.0 + std::exp(-x));
+  const double z = std::exp(x);
+  return z / (1.0 + z);
+}
+
+}  // namespace
+
+void LogisticRegression::Fit(const std::vector<std::vector<double>>& features,
+                             const std::vector<int>& labels) {
+  RRRE_CHECK(!features.empty());
+  RRRE_CHECK_EQ(features.size(), labels.size());
+  const size_t d = features[0].size();
+  const size_t n = features.size();
+
+  // Standardization statistics.
+  mean_.assign(d, 0.0);
+  stddev_.assign(d, 0.0);
+  for (const auto& row : features) {
+    RRRE_CHECK_EQ(row.size(), d);
+    for (size_t j = 0; j < d; ++j) mean_[j] += row[j];
+  }
+  for (size_t j = 0; j < d; ++j) mean_[j] /= static_cast<double>(n);
+  for (const auto& row : features) {
+    for (size_t j = 0; j < d; ++j) {
+      const double diff = row[j] - mean_[j];
+      stddev_[j] += diff * diff;
+    }
+  }
+  for (size_t j = 0; j < d; ++j) {
+    stddev_[j] = std::sqrt(stddev_[j] / static_cast<double>(n));
+    if (stddev_[j] < 1e-12) stddev_[j] = 1.0;
+  }
+
+  std::vector<std::vector<double>> x(n);
+  for (size_t i = 0; i < n; ++i) x[i] = Standardize(features[i]);
+
+  weights_.assign(d, 0.0);
+  bias_ = 0.0;
+  common::Rng rng(config_.seed);
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+
+  for (int64_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.Shuffle(order);
+    const double lr = config_.lr / (1.0 + 0.02 * static_cast<double>(epoch));
+    for (size_t i : order) {
+      double z = bias_;
+      for (size_t j = 0; j < d; ++j) z += weights_[j] * x[i][j];
+      const double err = static_cast<double>(labels[i]) - Sigmoid(z);
+      bias_ += lr * err;
+      for (size_t j = 0; j < d; ++j) {
+        weights_[j] += lr * (err * x[i][j] - config_.reg * weights_[j]);
+      }
+    }
+  }
+}
+
+std::vector<double> LogisticRegression::Standardize(
+    const std::vector<double>& row) const {
+  std::vector<double> out(row.size());
+  for (size_t j = 0; j < row.size(); ++j) {
+    out[j] = (row[j] - mean_[j]) / stddev_[j];
+  }
+  return out;
+}
+
+std::vector<double> LogisticRegression::PredictProba(
+    const std::vector<std::vector<double>>& features) const {
+  RRRE_CHECK(fitted()) << "call Fit() first";
+  std::vector<double> out;
+  out.reserve(features.size());
+  for (const auto& row : features) {
+    RRRE_CHECK_EQ(row.size(), weights_.size());
+    const auto x = Standardize(row);
+    double z = bias_;
+    for (size_t j = 0; j < x.size(); ++j) z += weights_[j] * x[j];
+    out.push_back(Sigmoid(z));
+  }
+  return out;
+}
+
+}  // namespace rrre::baselines

@@ -1,0 +1,49 @@
+#ifndef RRRE_BASELINES_LOGREG_H_
+#define RRRE_BASELINES_LOGREG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace rrre::baselines {
+
+/// L2-regularized binary logistic regression on dense features, trained with
+/// mini-batch gradient descent over standardized inputs. The workhorse of
+/// the feature-based detectors (ICWSM13, SpEagle+ priors).
+class LogisticRegression {
+ public:
+  struct Config {
+    double lr = 0.1;
+    double reg = 1e-4;
+    int64_t epochs = 100;
+    uint64_t seed = 42;
+  };
+
+  LogisticRegression();
+  explicit LogisticRegression(Config config);
+
+  /// features: one row per example; labels in {0, 1}.
+  void Fit(const std::vector<std::vector<double>>& features,
+           const std::vector<int>& labels);
+
+  /// P(label == 1) per row. Features are standardized with the training
+  /// statistics.
+  std::vector<double> PredictProba(
+      const std::vector<std::vector<double>>& features) const;
+
+  bool fitted() const { return !weights_.empty(); }
+
+ private:
+  std::vector<double> Standardize(const std::vector<double>& row) const;
+
+  Config config_;
+  std::vector<double> mean_;
+  std::vector<double> stddev_;
+  std::vector<double> weights_;
+  double bias_ = 0.0;
+};
+
+}  // namespace rrre::baselines
+
+#endif  // RRRE_BASELINES_LOGREG_H_

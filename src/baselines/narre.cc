@@ -1,0 +1,114 @@
+#include "baselines/narre.h"
+
+#include "common/logging.h"
+#include "tensor/ops.h"
+
+namespace rrre::baselines {
+
+using tensor::Tensor;
+
+struct Narre::Net : public nn::Module {
+  Net(const Config& config, int64_t num_users, int64_t num_items,
+      int64_t vocab_size, common::Rng& rng)
+      : words(vocab_size, config.common.word_dim, rng, 0.1f),
+        user_ids(num_users, config.id_dim, rng, 0.1f),
+        item_ids(num_items, config.id_dim, rng, 0.1f),
+        user_cnn(&words, config.max_tokens, config.window, config.filters,
+                 rng),
+        item_cnn(&words, config.max_tokens, config.window, config.filters,
+                 rng),
+        user_att(config.filters, config.id_dim, config.id_dim,
+                 config.attention_dim, rng),
+        item_att(config.filters, config.id_dim, config.id_dim,
+                 config.attention_dim, rng),
+        user_proj(config.filters, config.latent_dim, rng),
+        item_proj(config.filters, config.latent_dim, rng),
+        user_map(config.latent_dim, config.id_dim, rng, /*use_bias=*/false),
+        item_map(config.latent_dim, config.id_dim, rng, /*use_bias=*/false),
+        fm(2 * config.id_dim, config.fm_factors, rng) {
+    RegisterModule("words", &words);
+    RegisterModule("user_ids", &user_ids);
+    RegisterModule("item_ids", &item_ids);
+    RegisterModule("user_cnn", &user_cnn);
+    RegisterModule("item_cnn", &item_cnn);
+    RegisterModule("user_att", &user_att);
+    RegisterModule("item_att", &item_att);
+    RegisterModule("user_proj", &user_proj);
+    RegisterModule("item_proj", &item_proj);
+    RegisterModule("user_map", &user_map);
+    RegisterModule("item_map", &item_map);
+    RegisterModule("fm", &fm);
+  }
+
+  nn::Embedding words;
+  nn::Embedding user_ids;
+  nn::Embedding item_ids;
+  TextCnnEncoder user_cnn;
+  TextCnnEncoder item_cnn;
+  nn::FraudAttention user_att;
+  nn::FraudAttention item_att;
+  nn::Linear user_proj;
+  nn::Linear item_proj;
+  nn::Linear user_map;
+  nn::Linear item_map;
+  nn::FactorizationMachine fm;
+};
+
+Narre::Narre() : Narre(Config()) {}
+
+Narre::Narre(Config config)
+    : NeuralRatingBaseline(config.common), config_(config) {}
+
+Narre::~Narre() = default;
+
+void Narre::BuildModel(int64_t num_users, int64_t num_items,
+                       int64_t vocab_size, common::Rng& rng) {
+  net_ = std::make_unique<Net>(config_, num_users, num_items, vocab_size, rng);
+  // Reuse the RRRE feature pipeline for history sampling and token caching.
+  core::RrreConfig fc;
+  fc.max_tokens = config_.max_tokens;
+  fc.s_u = config_.s_u;
+  fc.s_i = config_.s_i;
+  features_ = std::make_unique<core::FeatureBuilder>(fc, &train_data(),
+                                                     &vocab());
+}
+
+nn::Module* Narre::module() { return net_.get(); }
+
+nn::Embedding* Narre::word_embedding() { return &net_->words; }
+
+Tensor Narre::ForwardRating(
+    const std::vector<std::pair<int64_t, int64_t>>& pairs,
+    const std::vector<int64_t>& exclude, bool /*training*/,
+    common::Rng& rng) {
+  using namespace tensor;  // NOLINT(build/namespaces) - op-heavy function.
+  const auto batch = features_->Build(pairs, exclude, rng);
+  const int64_t b = batch.batch_size;
+
+  // UserNet.
+  Tensor rev_u = net_->user_cnn.Encode(batch.user_hist_tokens,
+                                       b * config_.s_u);
+  Tensor mask_u = Tensor::FromVector({b, config_.s_u}, batch.user_hist_mask);
+  Tensor alpha_u = net_->user_att.Forward(
+      rev_u, net_->user_ids.Forward(batch.user_hist_users),
+      net_->item_ids.Forward(batch.user_hist_items), config_.s_u, mask_u);
+  Tensor xu = net_->user_proj.Forward(WeightedPool(rev_u, alpha_u));
+
+  // ItemNet.
+  Tensor rev_i = net_->item_cnn.Encode(batch.item_hist_tokens,
+                                       b * config_.s_i);
+  Tensor mask_i = Tensor::FromVector({b, config_.s_i}, batch.item_hist_mask);
+  Tensor alpha_i = net_->item_att.Forward(
+      rev_i, net_->user_ids.Forward(batch.item_hist_users),
+      net_->item_ids.Forward(batch.item_hist_items), config_.s_i, mask_i);
+  Tensor yi = net_->item_proj.Forward(WeightedPool(rev_i, alpha_i));
+
+  // Rating head with auxiliary ID embeddings.
+  Tensor pu = Add(net_->user_ids.Forward(batch.users),
+                  net_->user_map.Forward(xu));
+  Tensor qi = Add(net_->item_ids.Forward(batch.items),
+                  net_->item_map.Forward(yi));
+  return net_->fm.Forward(ConcatCols({pu, qi}));
+}
+
+}  // namespace rrre::baselines

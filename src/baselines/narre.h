@@ -1,0 +1,61 @@
+#ifndef RRRE_BASELINES_NARRE_H_
+#define RRRE_BASELINES_NARRE_H_
+
+#include <memory>
+#include <vector>
+
+#include "baselines/neural_base.h"
+#include "baselines/textcnn.h"
+#include "core/features.h"
+#include "nn/attention.h"
+#include "nn/fm.h"
+#include "nn/linear.h"
+
+namespace rrre::baselines {
+
+/// NARRE (Chen et al., WWW 2018): review-level attention over each user's
+/// and item's review histories, TextCNN review encoders, and an
+/// ID-embedding-augmented rating head. Differences from RRRE: no
+/// reliability head, plain (unbiased) MSE, CNN text encoder. The attention
+/// implementation is shared with RRRE (nn::FraudAttention), which scores a
+/// review from its content plus writer/target ID embeddings — a superset of
+/// NARRE's counterpart-ID attention.
+class Narre : public NeuralRatingBaseline {
+ public:
+  struct Config {
+    CommonConfig common;
+    int64_t max_tokens = 16;  ///< Tokens per review.
+    int64_t s_u = 5;          ///< User history slots.
+    int64_t s_i = 7;          ///< Item history slots.
+    int64_t window = 3;
+    int64_t filters = 16;
+    int64_t id_dim = 16;
+    int64_t attention_dim = 16;
+    int64_t latent_dim = 16;
+    int64_t fm_factors = 8;
+  };
+
+  Narre();
+  explicit Narre(Config config);
+  ~Narre() override;
+
+ protected:
+  void BuildModel(int64_t num_users, int64_t num_items, int64_t vocab_size,
+                  common::Rng& rng) override;
+  nn::Module* module() override;
+  nn::Embedding* word_embedding() override;
+  tensor::Tensor ForwardRating(
+      const std::vector<std::pair<int64_t, int64_t>>& pairs,
+      const std::vector<int64_t>& exclude, bool training,
+      common::Rng& rng) override;
+
+ private:
+  struct Net;
+  Config config_;
+  std::unique_ptr<Net> net_;
+  std::unique_ptr<core::FeatureBuilder> features_;
+};
+
+}  // namespace rrre::baselines
+
+#endif  // RRRE_BASELINES_NARRE_H_

@@ -1,0 +1,75 @@
+#include "baselines/pmf.h"
+
+#include "common/logging.h"
+
+namespace rrre::baselines {
+
+using common::Rng;
+
+Pmf::Pmf() : Pmf(Config()) {}
+
+Pmf::Pmf(Config config) : config_(config) {
+  RRRE_CHECK_GT(config_.factors, 0);
+  RRRE_CHECK_GT(config_.epochs, 0);
+}
+
+void Pmf::Fit(const data::ReviewDataset& train) {
+  RRRE_CHECK_GT(train.size(), 0);
+  Rng rng(config_.seed);
+  const int64_t f = config_.factors;
+  user_bias_.assign(static_cast<size_t>(train.num_users()), 0.0);
+  item_bias_.assign(static_cast<size_t>(train.num_items()), 0.0);
+  user_factors_.resize(static_cast<size_t>(train.num_users() * f));
+  item_factors_.resize(static_cast<size_t>(train.num_items() * f));
+  for (double& v : user_factors_) v = rng.Normal(0.0, 0.1);
+  for (double& v : item_factors_) v = rng.Normal(0.0, 0.1);
+
+  double sum = 0.0;
+  for (const data::Review& r : train.reviews()) sum += r.rating;
+  global_mean_ = sum / static_cast<double>(train.size());
+
+  std::vector<int64_t> order(static_cast<size_t>(train.size()));
+  for (int64_t i = 0; i < train.size(); ++i) order[static_cast<size_t>(i)] = i;
+
+  for (int64_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.Shuffle(order);
+    // Mild learning-rate decay stabilizes late epochs.
+    const double lr = config_.lr / (1.0 + 0.05 * static_cast<double>(epoch));
+    for (int64_t idx : order) {
+      const data::Review& r = train.review(idx);
+      double* pu = user_factors_.data() + r.user * f;
+      double* qi = item_factors_.data() + r.item * f;
+      const double err = static_cast<double>(r.rating) - Predict(r.user, r.item);
+      user_bias_[static_cast<size_t>(r.user)] +=
+          lr * (err - config_.reg * user_bias_[static_cast<size_t>(r.user)]);
+      item_bias_[static_cast<size_t>(r.item)] +=
+          lr * (err - config_.reg * item_bias_[static_cast<size_t>(r.item)]);
+      for (int64_t d = 0; d < f; ++d) {
+        const double pud = pu[d];
+        pu[d] += lr * (err * qi[d] - config_.reg * pud);
+        qi[d] += lr * (err * pud - config_.reg * qi[d]);
+      }
+    }
+  }
+}
+
+double Pmf::Predict(int64_t user, int64_t item) const {
+  const int64_t f = config_.factors;
+  double dot = 0.0;
+  const double* pu = user_factors_.data() + user * f;
+  const double* qi = item_factors_.data() + item * f;
+  for (int64_t d = 0; d < f; ++d) dot += pu[d] * qi[d];
+  return global_mean_ + user_bias_[static_cast<size_t>(user)] +
+         item_bias_[static_cast<size_t>(item)] + dot;
+}
+
+std::vector<double> Pmf::PredictRatings(
+    const std::vector<std::pair<int64_t, int64_t>>& pairs) {
+  RRRE_CHECK(!user_bias_.empty()) << "call Fit() first";
+  std::vector<double> out;
+  out.reserve(pairs.size());
+  for (const auto& [u, i] : pairs) out.push_back(Predict(u, i));
+  return out;
+}
+
+}  // namespace rrre::baselines

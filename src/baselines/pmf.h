@@ -1,0 +1,44 @@
+#ifndef RRRE_BASELINES_PMF_H_
+#define RRRE_BASELINES_PMF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/predictor.h"
+#include "common/rng.h"
+
+namespace rrre::baselines {
+
+/// Probabilistic Matrix Factorization (Mnih & Salakhutdinov 2008) trained
+/// with SGD: r_ui ~ mu + b_u + b_i + p_u . q_i with L2 regularization.
+class Pmf : public RatingPredictor {
+ public:
+  struct Config {
+    int64_t factors = 8;
+    double lr = 0.01;
+    double reg = 0.05;
+    int64_t epochs = 30;
+    uint64_t seed = 42;
+  };
+
+  Pmf();
+  explicit Pmf(Config config);
+
+  void Fit(const data::ReviewDataset& train) override;
+  std::vector<double> PredictRatings(
+      const std::vector<std::pair<int64_t, int64_t>>& pairs) override;
+
+ private:
+  double Predict(int64_t user, int64_t item) const;
+
+  Config config_;
+  double global_mean_ = 3.0;
+  std::vector<double> user_bias_;
+  std::vector<double> item_bias_;
+  std::vector<double> user_factors_;  ///< [num_users * factors]
+  std::vector<double> item_factors_;  ///< [num_items * factors]
+};
+
+}  // namespace rrre::baselines
+
+#endif  // RRRE_BASELINES_PMF_H_

@@ -1,0 +1,54 @@
+#ifndef RRRE_BASELINES_PREDICTOR_H_
+#define RRRE_BASELINES_PREDICTOR_H_
+
+#include <utility>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace rrre::baselines {
+
+/// Common interface of the rating-prediction baselines of Table III.
+/// Baselines are trained on all training reviews (fake included) — that is
+/// exactly the weakness the paper's biased loss addresses.
+class RatingPredictor {
+ public:
+  virtual ~RatingPredictor() = default;
+
+  virtual void Fit(const data::ReviewDataset& train) = 0;
+
+  /// Predicted ratings for explicit (user, item) pairs.
+  virtual std::vector<double> PredictRatings(
+      const std::vector<std::pair<int64_t, int64_t>>& pairs) = 0;
+
+  /// Predicted ratings aligned with `reviews.reviews()`.
+  std::vector<double> PredictDataset(const data::ReviewDataset& reviews) {
+    std::vector<std::pair<int64_t, int64_t>> pairs;
+    pairs.reserve(static_cast<size_t>(reviews.size()));
+    for (const data::Review& r : reviews.reviews()) {
+      pairs.emplace_back(r.user, r.item);
+    }
+    return PredictRatings(pairs);
+  }
+};
+
+/// Common interface of the reliability-scoring baselines of Tables IV-VI.
+/// These methods score reviews with their content/metadata available (they
+/// are detectors, not predictors): Fit sees the labeled training reviews,
+/// ScoreReviews scores held-out reviews, typically within the combined
+/// train+eval review graph (transductive, labels from train only).
+class ReliabilityPredictor {
+ public:
+  virtual ~ReliabilityPredictor() = default;
+
+  virtual void Fit(const data::ReviewDataset& train) = 0;
+
+  /// Benign-likelihood score per review of `eval`, aligned with
+  /// eval.reviews(). Higher = more likely benign.
+  virtual std::vector<double> ScoreReviews(
+      const data::ReviewDataset& eval) = 0;
+};
+
+}  // namespace rrre::baselines
+
+#endif  // RRRE_BASELINES_PREDICTOR_H_

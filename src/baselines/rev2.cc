@@ -1,0 +1,96 @@
+#include "baselines/rev2.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace rrre::baselines {
+
+Rev2::Rev2() : Rev2(Config()) {}
+
+Rev2::Rev2(Config config) : config_(config) {
+  RRRE_CHECK_GE(config_.gamma1, 0.0);
+  RRRE_CHECK_GE(config_.gamma2, 0.0);
+}
+
+void Rev2::Fit(const data::ReviewDataset& train) {
+  RRRE_CHECK(train.indexed());
+  train_ = std::make_unique<data::ReviewDataset>(train);
+}
+
+Rev2::Solution Rev2::Solve(const data::ReviewDataset& corpus) const {
+  RRRE_CHECK(corpus.indexed());
+  Solution s;
+  s.fairness.assign(static_cast<size_t>(corpus.num_users()), 1.0);
+  s.goodness.assign(static_cast<size_t>(corpus.num_items()), 1.0);
+  s.reliability.assign(static_cast<size_t>(corpus.size()), 1.0);
+
+  // Normalized rating score in [-1, 1].
+  auto score = [](float rating) {
+    return std::clamp((static_cast<double>(rating) - 3.0) / 2.0, -1.0, 1.0);
+  };
+
+  for (int64_t it = 0; it < config_.max_iterations; ++it) {
+    double max_delta = 0.0;
+    // Goodness from reliabilities.
+    for (int64_t i = 0; i < corpus.num_items(); ++i) {
+      const auto& in = corpus.ReviewsByItem(i);
+      double acc = config_.gamma2 * config_.mu_goodness;
+      for (int64_t r : in) {
+        acc += s.reliability[static_cast<size_t>(r)] *
+               score(corpus.review(r).rating);
+      }
+      const double g =
+          acc / (static_cast<double>(in.size()) + config_.gamma2);
+      max_delta = std::max(max_delta,
+                           std::abs(g - s.goodness[static_cast<size_t>(i)]));
+      s.goodness[static_cast<size_t>(i)] = g;
+    }
+    // Fairness from reliabilities.
+    for (int64_t u = 0; u < corpus.num_users(); ++u) {
+      const auto& out = corpus.ReviewsByUser(u);
+      double acc = config_.gamma1 * config_.mu_fairness;
+      for (int64_t r : out) acc += s.reliability[static_cast<size_t>(r)];
+      const double f =
+          acc / (static_cast<double>(out.size()) + config_.gamma1);
+      max_delta = std::max(max_delta,
+                           std::abs(f - s.fairness[static_cast<size_t>(u)]));
+      s.fairness[static_cast<size_t>(u)] = f;
+    }
+    // Reliability from fairness + goodness agreement.
+    for (int64_t r = 0; r < corpus.size(); ++r) {
+      const data::Review& review = corpus.review(r);
+      const double agreement =
+          1.0 - std::abs(score(review.rating) -
+                         s.goodness[static_cast<size_t>(review.item)]) /
+                    2.0;
+      const double rel =
+          (s.fairness[static_cast<size_t>(review.user)] + agreement) / 2.0;
+      max_delta = std::max(
+          max_delta, std::abs(rel - s.reliability[static_cast<size_t>(r)]));
+      s.reliability[static_cast<size_t>(r)] = rel;
+    }
+    s.iterations = it + 1;
+    if (max_delta < config_.tol) {
+      s.converged = true;
+      break;
+    }
+  }
+  return s;
+}
+
+std::vector<double> Rev2::ScoreReviews(const data::ReviewDataset& eval) {
+  RRRE_CHECK(train_ != nullptr) << "call Fit() first";
+  const data::ReviewDataset combined =
+      data::ReviewDataset::Merge(*train_, eval);
+  const Solution s = Solve(combined);
+  std::vector<double> out;
+  out.reserve(static_cast<size_t>(eval.size()));
+  for (int64_t i = 0; i < eval.size(); ++i) {
+    out.push_back(s.reliability[static_cast<size_t>(train_->size() + i)]);
+  }
+  return out;
+}
+
+}  // namespace rrre::baselines

@@ -1,0 +1,55 @@
+#ifndef RRRE_BASELINES_REV2_H_
+#define RRRE_BASELINES_REV2_H_
+
+#include <memory>
+#include <vector>
+
+#include "baselines/predictor.h"
+
+namespace rrre::baselines {
+
+/// REV2 (Kumar et al., WSDM 2018): the mutually recursive fixed point of
+/// user Fairness, item Goodness, and rating Reliability,
+///
+///   F(u) = ( sum_{r in Out(u)} R(r) + gamma1 * mu_F ) / (|Out(u)| + gamma1)
+///   G(p) = ( sum_{r in In(p)} R(r) * s(r) + gamma2 * mu_G ) / (|In(p)| + gamma2)
+///   R(r) = ( F(u) + (1 - |s(r) - G(p)| / 2) ) / 2
+///
+/// with ratings normalized to s(r) in [-1, 1] and Laplace-smoothed by the
+/// Bayesian priors (the paper's cold-start treatment). Unsupervised; run on
+/// the combined train+eval graph, scores are R of the eval reviews.
+class Rev2 : public ReliabilityPredictor {
+ public:
+  struct Config {
+    double gamma1 = 1.0;   ///< Fairness smoothing strength.
+    double gamma2 = 1.0;   ///< Goodness smoothing strength.
+    double mu_fairness = 0.5;
+    double mu_goodness = 0.0;
+    int64_t max_iterations = 100;
+    double tol = 1e-6;
+  };
+
+  Rev2();
+  explicit Rev2(Config config);
+
+  void Fit(const data::ReviewDataset& train) override;
+  std::vector<double> ScoreReviews(const data::ReviewDataset& eval) override;
+
+  /// Fixed-point state over an arbitrary corpus; exposed for tests/benches.
+  struct Solution {
+    std::vector<double> fairness;     ///< Per user, in [0, 1].
+    std::vector<double> goodness;     ///< Per item, in [-1, 1].
+    std::vector<double> reliability;  ///< Per review, in [0, 1].
+    int64_t iterations = 0;
+    bool converged = false;
+  };
+  Solution Solve(const data::ReviewDataset& corpus) const;
+
+ private:
+  Config config_;
+  std::unique_ptr<data::ReviewDataset> train_;
+};
+
+}  // namespace rrre::baselines
+
+#endif  // RRRE_BASELINES_REV2_H_

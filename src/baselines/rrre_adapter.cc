@@ -1,0 +1,24 @@
+#include "baselines/rrre_adapter.h"
+
+namespace rrre::baselines {
+
+RrreAdapter::RrreAdapter(core::RrreConfig config)
+    : trainer_(std::move(config)) {}
+
+void RrreAdapter::Fit(const data::ReviewDataset& train) {
+  trainer_.Fit(train);
+}
+
+std::vector<double> RrreAdapter::PredictRatings(
+    const std::vector<std::pair<int64_t, int64_t>>& pairs) {
+  return trainer_.PredictPairs(pairs).ratings;
+}
+
+std::vector<double> RrreAdapter::ScoreReviews(
+    const data::ReviewDataset& eval) {
+  // Transductive, like the detector baselines: W^u/W^i include the scored
+  // review itself (Eq. 1), though never its label.
+  return trainer_.PredictDatasetTransductive(eval).reliabilities;
+}
+
+}  // namespace rrre::baselines

@@ -1,0 +1,39 @@
+#ifndef RRRE_BASELINES_RRRE_ADAPTER_H_
+#define RRRE_BASELINES_RRRE_ADAPTER_H_
+
+#include <memory>
+#include <vector>
+
+#include "baselines/predictor.h"
+#include "core/config.h"
+#include "core/trainer.h"
+
+namespace rrre::baselines {
+
+/// Adapts core::RrreTrainer to the shared predictor interfaces so the bench
+/// harnesses treat RRRE (and RRRE^-) uniformly with the baselines. One
+/// adapter instance trains once and serves both tasks.
+class RrreAdapter : public RatingPredictor, public ReliabilityPredictor {
+ public:
+  /// For RRRE^- pass a config with biased_loss = false.
+  explicit RrreAdapter(core::RrreConfig config);
+
+  /// RatingPredictor + ReliabilityPredictor share this Fit.
+  void Fit(const data::ReviewDataset& train) override;
+
+  std::vector<double> PredictRatings(
+      const std::vector<std::pair<int64_t, int64_t>>& pairs) override;
+
+  /// Reliability from the (user, item) pair — RRRE does not look at the
+  /// eval review's own text/metadata, unlike the detector baselines.
+  std::vector<double> ScoreReviews(const data::ReviewDataset& eval) override;
+
+  core::RrreTrainer& trainer() { return trainer_; }
+
+ private:
+  core::RrreTrainer trainer_;
+};
+
+}  // namespace rrre::baselines
+
+#endif  // RRRE_BASELINES_RRRE_ADAPTER_H_

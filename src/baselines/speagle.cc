@@ -1,0 +1,181 @@
+#include "baselines/speagle.h"
+
+#include <algorithm>
+
+#include "baselines/behavior_features.h"
+#include "common/logging.h"
+#include "graph/mrf.h"
+
+namespace rrre::baselines {
+
+using graph::PairwiseMrf;
+
+namespace {
+
+/// Unsupervised anomaly prior: mean empirical upper-tail probability over
+/// the suspicion-oriented features (higher value = more anomalous), mapped
+/// to P(benign) = 1 - suspicion. Stands in for SpEagle's KDE priors.
+std::vector<double> UnsupervisedBenignPriors(
+    const std::vector<BehaviorFeatures>& features) {
+  const size_t n = features.size();
+  // Features where a high value indicates spam-like behavior.
+  const std::vector<std::vector<double>> columns = [&] {
+    std::vector<std::vector<double>> cols(5, std::vector<double>(n));
+    for (size_t i = 0; i < n; ++i) {
+      cols[0][i] = features[i].rating_deviation;
+      cols[1][i] = features[i].rating_extremity;
+      cols[2][i] = features[i].user_max_per_day;
+      cols[3][i] = features[i].user_self_similarity;
+      cols[4][i] = features[i].item_burst;
+    }
+    return cols;
+  }();
+
+  std::vector<double> suspicion(n, 0.0);
+  for (const auto& col : columns) {
+    // Empirical CDF via ranks (midrank for ties).
+    std::vector<size_t> order(n);
+    for (size_t i = 0; i < n; ++i) order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](size_t a, size_t b) { return col[a] < col[b]; });
+    std::vector<double> cdf(n);
+    size_t i = 0;
+    while (i < n) {
+      size_t j = i;
+      while (j + 1 < n && col[order[j + 1]] == col[order[i]]) ++j;
+      const double midrank = (static_cast<double>(i + j) / 2.0 + 1.0) /
+                             static_cast<double>(n);
+      for (size_t t = i; t <= j; ++t) cdf[order[t]] = midrank;
+      i = j + 1;
+    }
+    for (size_t r = 0; r < n; ++r) {
+      suspicion[r] += cdf[r] / static_cast<double>(columns.size());
+    }
+  }
+  std::vector<double> priors(n);
+  for (size_t r = 0; r < n; ++r) priors[r] = 1.0 - suspicion[r];
+  return priors;
+}
+
+}  // namespace
+
+SpEaglePlus::SpEaglePlus() : SpEaglePlus(Config()) {}
+
+SpEaglePlus::SpEaglePlus(Config config) : config_(config) {
+  RRRE_CHECK_GT(config_.user_epsilon, 0.0);
+  RRRE_CHECK_LT(config_.user_epsilon, 0.5);
+  RRRE_CHECK_GT(config_.item_epsilon, 0.0);
+  RRRE_CHECK_LT(config_.item_epsilon, 0.5);
+}
+
+void SpEaglePlus::Fit(const data::ReviewDataset& train) {
+  RRRE_CHECK(train.indexed());
+  train_ = std::make_unique<data::ReviewDataset>(train);
+}
+
+std::vector<double> SpEaglePlus::ScoreReviews(
+    const data::ReviewDataset& eval) {
+  RRRE_CHECK(train_ != nullptr) << "call Fit() first";
+  const data::ReviewDataset combined =
+      data::ReviewDataset::Merge(*train_, eval);
+
+  const auto features = ComputeBehaviorFeatures(combined);
+  std::vector<double> benign_priors;
+  if (config_.supervised_priors) {
+    // SpEagle+ : P(benign) from a classifier over behavioral features,
+    // trained on the labeled training half.
+    std::vector<std::vector<double>> train_x;
+    std::vector<int> train_y;
+    for (int64_t i = 0; i < train_->size(); ++i) {
+      train_x.push_back(features[static_cast<size_t>(i)].ToVector());
+      train_y.push_back(train_->review(i).is_benign() ? 1 : 0);
+    }
+    LogisticRegression prior_model(config_.prior_model);
+    prior_model.Fit(train_x, train_y);
+    std::vector<std::vector<double>> all_x;
+    all_x.reserve(static_cast<size_t>(combined.size()));
+    for (int64_t i = 0; i < combined.size(); ++i) {
+      all_x.push_back(features[static_cast<size_t>(i)].ToVector());
+    }
+    benign_priors = prior_model.PredictProba(all_x);
+  } else {
+    // Plain SpEagle: unsupervised anomaly priors. Each feature's empirical
+    // tail probability stands in for the original's KDE-based suspicion
+    // score: a review whose features sit deep in the upper tails of the
+    // rating-deviation / burstiness / extremity distributions gets a low
+    // benign prior. No labels are consulted.
+    benign_priors = UnsupervisedBenignPriors(features);
+  }
+
+  // Build the MRF. State convention: 0 = benign/good, 1 = fake/bad.
+  const double clamp = config_.prior_clamp;
+  auto clamped = [&](double p_state0) {
+    const double p = std::clamp(p_state0, 1.0 - clamp, clamp);
+    return PairwiseMrf::Belief{p, 1.0 - p};
+  };
+
+  PairwiseMrf mrf;
+  std::vector<int64_t> user_nodes(static_cast<size_t>(combined.num_users()));
+  for (int64_t u = 0; u < combined.num_users(); ++u) {
+    user_nodes[static_cast<size_t>(u)] = mrf.AddNode({0.5, 0.5});
+  }
+  std::vector<int64_t> item_nodes(static_cast<size_t>(combined.num_items()));
+  for (int64_t i = 0; i < combined.num_items(); ++i) {
+    item_nodes[static_cast<size_t>(i)] = mrf.AddNode({0.5, 0.5});
+  }
+  std::vector<int64_t> review_nodes(static_cast<size_t>(combined.size()));
+  for (int64_t r = 0; r < combined.size(); ++r) {
+    double p_benign;
+    if (r < train_->size()) {
+      // Supervised prior from the known training label.
+      p_benign = combined.review(r).is_benign() ? clamp : 1.0 - clamp;
+    } else {
+      p_benign = benign_priors[static_cast<size_t>(r)];
+    }
+    review_nodes[static_cast<size_t>(r)] = mrf.AddNode(clamped(p_benign));
+  }
+
+  const double ueps = config_.user_epsilon;
+  const double ieps = config_.item_epsilon;
+  const PairwiseMrf::Potential user_same = {{{1.0 - ueps, ueps},
+                                             {ueps, 1.0 - ueps}}};
+  const PairwiseMrf::Potential item_same = {{{1.0 - ieps, ieps},
+                                             {ieps, 1.0 - ieps}}};
+  const PairwiseMrf::Potential item_opposite = {{{ieps, 1.0 - ieps},
+                                                 {1.0 - ieps, ieps}}};
+  const PairwiseMrf::Potential uniform = {{{0.5, 0.5}, {0.5, 0.5}}};
+  for (int64_t r = 0; r < combined.size(); ++r) {
+    const data::Review& review = combined.review(r);
+    // Benign users tend to write benign reviews (loose coupling).
+    mrf.AddEdge(user_nodes[static_cast<size_t>(review.user)],
+                review_nodes[static_cast<size_t>(r)], user_same);
+    // Sentiment-dependent review-item compatibility: an honest positive
+    // review implies a good item; a fake positive review promotes a bad one
+    // (and symmetrically for negative reviews).
+    if (review.rating >= 4.0f) {
+      mrf.AddEdge(review_nodes[static_cast<size_t>(r)],
+                  item_nodes[static_cast<size_t>(review.item)], item_same);
+    } else if (review.rating <= 2.0f) {
+      mrf.AddEdge(review_nodes[static_cast<size_t>(r)],
+                  item_nodes[static_cast<size_t>(review.item)],
+                  item_opposite);
+    } else {
+      mrf.AddEdge(review_nodes[static_cast<size_t>(r)],
+                  item_nodes[static_cast<size_t>(review.item)], uniform);
+    }
+  }
+
+  const auto result =
+      mrf.RunLoopyBp(config_.bp_iterations, config_.bp_damping);
+
+  std::vector<double> out;
+  out.reserve(static_cast<size_t>(eval.size()));
+  for (int64_t i = 0; i < eval.size(); ++i) {
+    const int64_t node =
+        review_nodes[static_cast<size_t>(train_->size() + i)];
+    out.push_back(result.beliefs[static_cast<size_t>(node)][0]);
+  }
+  return out;
+}
+
+}  // namespace rrre::baselines

@@ -1,0 +1,51 @@
+#ifndef RRRE_BASELINES_SPEAGLE_H_
+#define RRRE_BASELINES_SPEAGLE_H_
+
+#include <memory>
+#include <vector>
+
+#include "baselines/logreg.h"
+#include "baselines/predictor.h"
+
+namespace rrre::baselines {
+
+/// SpEagle+ (Rayana & Akoglu, KDD 2015): loopy belief propagation over the
+/// user-review-item network with metadata-derived node priors; the "+"
+/// variant injects supervision from labeled training reviews. Users and
+/// reviews carry {benign, fake} states, items {good, bad}; compatibilities
+/// follow FraudEagle's sentiment logic (a fake positive review promotes a
+/// bad item; a fake negative review demotes a good one).
+class SpEaglePlus : public ReliabilityPredictor {
+ public:
+  struct Config {
+    /// Compatibility leak on user-review edges. Kept loose: one user mixes
+    /// benign and fake reviews more often than an item mixes sentiments.
+    double user_epsilon = 0.35;
+    /// Compatibility leak on review-item edges (the FraudEagle sentiment
+    /// coupling) — the stronger of the two signals.
+    double item_epsilon = 0.25;
+    double prior_clamp = 0.99;  ///< Max confidence of any node prior.
+    int64_t bp_iterations = 20;
+    double bp_damping = 0.3;
+    /// true: SpEagle+ — review priors from a classifier trained on the
+    /// labeled training reviews. false: plain SpEagle — unsupervised priors
+    /// from how anomalous each review's behavioral features are relative to
+    /// the corpus (no labels used anywhere).
+    bool supervised_priors = true;
+    LogisticRegression::Config prior_model;
+  };
+
+  SpEaglePlus();
+  explicit SpEaglePlus(Config config);
+
+  void Fit(const data::ReviewDataset& train) override;
+  std::vector<double> ScoreReviews(const data::ReviewDataset& eval) override;
+
+ private:
+  Config config_;
+  std::unique_ptr<data::ReviewDataset> train_;
+};
+
+}  // namespace rrre::baselines
+
+#endif  // RRRE_BASELINES_SPEAGLE_H_

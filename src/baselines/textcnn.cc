@@ -1,0 +1,35 @@
+#include "baselines/textcnn.h"
+
+#include "common/logging.h"
+#include "tensor/ops.h"
+
+namespace rrre::baselines {
+
+using tensor::Tensor;
+
+TextCnnEncoder::TextCnnEncoder(nn::Embedding* word_embedding,
+                               int64_t max_tokens, int64_t window,
+                               int64_t filters, common::Rng& rng)
+    : word_embedding_(word_embedding),
+      max_tokens_(max_tokens),
+      filters_(filters) {
+  RRRE_CHECK(word_embedding != nullptr);
+  RRRE_CHECK_GT(window, 0);
+  RRRE_CHECK_LE(window, max_tokens);
+  kernel_ = RegisterParameter(
+      "kernel", Tensor::XavierUniform({window * word_embedding->dim(), filters},
+                                      rng, /*requires_grad=*/true));
+  bias_ = RegisterParameter("bias",
+                            Tensor::Zeros({filters}, /*requires_grad=*/true));
+}
+
+Tensor TextCnnEncoder::Encode(const std::vector<int64_t>& token_ids,
+                              int64_t num_slots) const {
+  RRRE_CHECK_EQ(static_cast<int64_t>(token_ids.size()),
+                num_slots * max_tokens_);
+  Tensor words = word_embedding_->Forward(token_ids);  // [slots*T, d]
+  Tensor conv = tensor::Conv1dMaxPool(words, max_tokens_, kernel_, bias_);
+  return tensor::Relu(conv);  // [slots, filters]
+}
+
+}  // namespace rrre::baselines

@@ -1,0 +1,40 @@
+#ifndef RRRE_BASELINES_TEXTCNN_H_
+#define RRRE_BASELINES_TEXTCNN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/embedding.h"
+#include "nn/module.h"
+#include "tensor/tensor.h"
+
+namespace rrre::baselines {
+
+/// The TextCNN building block used by the DeepCoNN/NARRE/DER baselines
+/// (Kim 2014): word vectors -> 1-D convolution -> max-over-time -> ReLU.
+class TextCnnEncoder : public nn::Module {
+ public:
+  /// Output feature dim is `filters`.
+  TextCnnEncoder(nn::Embedding* word_embedding, int64_t max_tokens,
+                 int64_t window, int64_t filters, common::Rng& rng);
+
+  /// token_ids holds num_slots rows of exactly max_tokens ids; returns
+  /// [num_slots, filters].
+  tensor::Tensor Encode(const std::vector<int64_t>& token_ids,
+                        int64_t num_slots) const;
+
+  int64_t output_dim() const { return filters_; }
+  int64_t max_tokens() const { return max_tokens_; }
+
+ private:
+  nn::Embedding* word_embedding_;  // Not owned.
+  int64_t max_tokens_;
+  int64_t filters_;
+  tensor::Tensor kernel_;  ///< [window * word_dim, filters]
+  tensor::Tensor bias_;    ///< [filters]
+};
+
+}  // namespace rrre::baselines
+
+#endif  // RRRE_BASELINES_TEXTCNN_H_

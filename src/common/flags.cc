@@ -1,0 +1,174 @@
+#include "common/flags.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace rrre::common {
+
+void FlagParser::AddInt(const std::string& name, int64_t default_value,
+                        const std::string& help) {
+  Flag f;
+  f.type = Type::kInt;
+  f.help = help;
+  f.int_value = default_value;
+  flags_[name] = std::move(f);
+}
+
+void FlagParser::AddDouble(const std::string& name, double default_value,
+                           const std::string& help) {
+  Flag f;
+  f.type = Type::kDouble;
+  f.help = help;
+  f.double_value = default_value;
+  flags_[name] = std::move(f);
+}
+
+void FlagParser::AddString(const std::string& name,
+                           const std::string& default_value,
+                           const std::string& help) {
+  Flag f;
+  f.type = Type::kString;
+  f.help = help;
+  f.string_value = default_value;
+  flags_[name] = std::move(f);
+}
+
+void FlagParser::AddBool(const std::string& name, bool default_value,
+                         const std::string& help) {
+  Flag f;
+  f.type = Type::kBool;
+  f.help = help;
+  f.bool_value = default_value;
+  flags_[name] = std::move(f);
+}
+
+Status FlagParser::SetValue(const std::string& name, const std::string& value) {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    return Status::InvalidArgument("unknown flag: --" + name);
+  }
+  Flag& f = it->second;
+  char* end = nullptr;
+  switch (f.type) {
+    case Type::kInt: {
+      f.int_value = std::strtoll(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0') {
+        return Status::InvalidArgument("bad int for --" + name + ": " + value);
+      }
+      break;
+    }
+    case Type::kDouble: {
+      f.double_value = std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || *end != '\0') {
+        return Status::InvalidArgument("bad double for --" + name + ": " + value);
+      }
+      break;
+    }
+    case Type::kString:
+      f.string_value = value;
+      break;
+    case Type::kBool: {
+      std::string v = ToLower(value);
+      if (v == "true" || v == "1" || v == "yes" || v.empty()) {
+        f.bool_value = true;
+      } else if (v == "false" || v == "0" || v == "no") {
+        f.bool_value = false;
+      } else {
+        return Status::InvalidArgument("bad bool for --" + name + ": " + value);
+      }
+      break;
+    }
+  }
+  return Status::Ok();
+}
+
+Status FlagParser::Parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!StartsWith(arg, "--")) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    if (body == "help") {
+      help_requested_ = true;
+      continue;
+    }
+    std::string name;
+    std::string value;
+    size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      name = body.substr(0, eq);
+      value = body.substr(eq + 1);
+    } else {
+      name = body;
+      auto it = flags_.find(name);
+      if (it == flags_.end()) {
+        return Status::InvalidArgument("unknown flag: --" + name);
+      }
+      if (it->second.type == Type::kBool) {
+        value = "true";
+      } else {
+        if (i + 1 >= argc) {
+          return Status::InvalidArgument("missing value for --" + name);
+        }
+        value = argv[++i];
+      }
+    }
+    RRRE_RETURN_IF_ERROR(SetValue(name, value));
+  }
+  return Status::Ok();
+}
+
+const FlagParser::Flag& FlagParser::GetFlag(const std::string& name,
+                                            Type type) const {
+  auto it = flags_.find(name);
+  RRRE_CHECK(it != flags_.end()) << "flag not registered: " << name;
+  RRRE_CHECK(it->second.type == type) << "flag type mismatch: " << name;
+  return it->second;
+}
+
+int64_t FlagParser::GetInt(const std::string& name) const {
+  return GetFlag(name, Type::kInt).int_value;
+}
+
+double FlagParser::GetDouble(const std::string& name) const {
+  return GetFlag(name, Type::kDouble).double_value;
+}
+
+const std::string& FlagParser::GetString(const std::string& name) const {
+  return GetFlag(name, Type::kString).string_value;
+}
+
+bool FlagParser::GetBool(const std::string& name) const {
+  return GetFlag(name, Type::kBool).bool_value;
+}
+
+std::string FlagParser::Usage(const std::string& program) const {
+  std::ostringstream ss;
+  ss << "Usage: " << program << " [flags]\n";
+  for (const auto& [name, f] : flags_) {
+    ss << "  --" << name;
+    switch (f.type) {
+      case Type::kInt:
+        ss << "=<int> (default " << f.int_value << ")";
+        break;
+      case Type::kDouble:
+        ss << "=<double> (default " << f.double_value << ")";
+        break;
+      case Type::kString:
+        ss << "=<string> (default \"" << f.string_value << "\")";
+        break;
+      case Type::kBool:
+        ss << " (default " << (f.bool_value ? "true" : "false") << ")";
+        break;
+    }
+    ss << "  " << f.help << "\n";
+  }
+  return ss.str();
+}
+
+}  // namespace rrre::common

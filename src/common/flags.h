@@ -1,0 +1,69 @@
+#ifndef RRRE_COMMON_FLAGS_H_
+#define RRRE_COMMON_FLAGS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace rrre::common {
+
+/// Minimal command-line flag parser for the bench/example binaries.
+///
+/// Accepted syntax: --name=value, --name value, and bare --name for booleans.
+/// Unknown flags are an error; positional arguments are collected separately.
+///
+///   FlagParser flags;
+///   flags.AddInt("epochs", 10, "training epochs");
+///   flags.AddString("dataset", "yelpchi", "dataset profile");
+///   RRRE_CHECK_OK(flags.Parse(argc, argv));
+///   int epochs = flags.GetInt("epochs");
+class FlagParser {
+ public:
+  void AddInt(const std::string& name, int64_t default_value,
+              const std::string& help);
+  void AddDouble(const std::string& name, double default_value,
+                 const std::string& help);
+  void AddString(const std::string& name, const std::string& default_value,
+                 const std::string& help);
+  void AddBool(const std::string& name, bool default_value,
+               const std::string& help);
+
+  /// Parses argv. Returns InvalidArgument on unknown flags or bad values.
+  /// `--help` prints usage and sets help_requested().
+  Status Parse(int argc, const char* const* argv);
+
+  int64_t GetInt(const std::string& name) const;
+  double GetDouble(const std::string& name) const;
+  const std::string& GetString(const std::string& name) const;
+  bool GetBool(const std::string& name) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  bool help_requested() const { return help_requested_; }
+
+  /// Formatted flag list for --help output.
+  std::string Usage(const std::string& program) const;
+
+ private:
+  enum class Type { kInt, kDouble, kString, kBool };
+  struct Flag {
+    Type type;
+    std::string help;
+    int64_t int_value = 0;
+    double double_value = 0.0;
+    std::string string_value;
+    bool bool_value = false;
+  };
+
+  Status SetValue(const std::string& name, const std::string& value);
+  const Flag& GetFlag(const std::string& name, Type type) const;
+
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> positional_;
+  bool help_requested_ = false;
+};
+
+}  // namespace rrre::common
+
+#endif  // RRRE_COMMON_FLAGS_H_

@@ -1,0 +1,63 @@
+#include "common/io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace rrre::common {
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  if (in.bad()) return Status::IoError("read failed: " + path);
+  return ss.str();
+}
+
+Status WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  out << content;
+  out.flush();
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+Result<std::vector<std::vector<std::string>>> ReadTsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+  std::vector<std::vector<std::string>> rows;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    rows.push_back(Split(line, '\t'));
+  }
+  if (in.bad()) return Status::IoError("read failed: " + path);
+  return rows;
+}
+
+Status WriteTsv(const std::string& path,
+                const std::vector<std::vector<std::string>>& rows) {
+  std::ostringstream ss;
+  for (const auto& row : rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) ss << '\t';
+      ss << row[i];
+    }
+    ss << '\n';
+  }
+  return WriteFile(path, ss.str());
+}
+
+std::string EscapeTsvField(std::string_view field) {
+  std::string out(field);
+  for (char& c : out) {
+    if (c == '\t' || c == '\n' || c == '\r') c = ' ';
+  }
+  return out;
+}
+
+}  // namespace rrre::common

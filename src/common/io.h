@@ -1,0 +1,31 @@
+#ifndef RRRE_COMMON_IO_H_
+#define RRRE_COMMON_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace rrre::common {
+
+/// Reads a whole file into a string.
+Result<std::string> ReadFile(const std::string& path);
+
+/// Writes `content` to `path`, replacing any existing file.
+Status WriteFile(const std::string& path, const std::string& content);
+
+/// Reads a tab-separated file into rows of fields. Blank lines are skipped.
+/// Fields may not contain tabs or newlines; the review-text columns written by
+/// this library escape them (see EscapeTsvField).
+Result<std::vector<std::vector<std::string>>> ReadTsv(const std::string& path);
+
+/// Writes rows of fields as a tab-separated file.
+Status WriteTsv(const std::string& path,
+                const std::vector<std::vector<std::string>>& rows);
+
+/// Replaces tabs and newlines with spaces so a free-text field is TSV-safe.
+std::string EscapeTsvField(std::string_view field);
+
+}  // namespace rrre::common
+
+#endif  // RRRE_COMMON_IO_H_

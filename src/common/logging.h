@@ -1,0 +1,88 @@
+#ifndef RRRE_COMMON_LOGGING_H_
+#define RRRE_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace rrre::common {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Global minimum severity that is actually emitted (default: kInfo).
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+/// Accumulates one log line and flushes it to stderr on destruction.
+/// kFatal aborts the process after flushing.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Makes a streamed LogMessage usable as the second arm of a ?: whose first
+/// arm is (void)0 — the glog "voidify" trick that lets CHECK macros accept
+/// trailing `<< message` text.
+struct Voidify {
+  void operator&(LogMessage&) {}
+};
+
+}  // namespace internal
+}  // namespace rrre::common
+
+#define RRRE_LOG_DEBUG \
+  ::rrre::common::internal::LogMessage(::rrre::common::LogLevel::kDebug, __FILE__, __LINE__)
+#define RRRE_LOG_INFO \
+  ::rrre::common::internal::LogMessage(::rrre::common::LogLevel::kInfo, __FILE__, __LINE__)
+#define RRRE_LOG_WARNING \
+  ::rrre::common::internal::LogMessage(::rrre::common::LogLevel::kWarning, __FILE__, __LINE__)
+#define RRRE_LOG_ERROR \
+  ::rrre::common::internal::LogMessage(::rrre::common::LogLevel::kError, __FILE__, __LINE__)
+#define RRRE_LOG_FATAL \
+  ::rrre::common::internal::LogMessage(::rrre::common::LogLevel::kFatal, __FILE__, __LINE__)
+
+/// Aborts with a message when `cond` is false. Used for programmer-error
+/// invariants (shape mismatches etc.); recoverable errors use Status instead.
+/// Supports trailing streamed context: RRRE_CHECK(x) << "details".
+#define RRRE_CHECK(cond)                         \
+  (cond) ? (void)0                               \
+         : ::rrre::common::internal::Voidify() & \
+               RRRE_LOG_FATAL << "Check failed: " #cond " "
+
+#define RRRE_CHECK_OP_(a, b, op)                   \
+  ((a)op(b)) ? (void)0                             \
+             : ::rrre::common::internal::Voidify() & \
+                   RRRE_LOG_FATAL << "Check failed: " #a " " #op " " #b \
+                                  << " (" << (a) << " vs " << (b) << ") "
+
+#define RRRE_CHECK_EQ(a, b) RRRE_CHECK_OP_(a, b, ==)
+#define RRRE_CHECK_NE(a, b) RRRE_CHECK_OP_(a, b, !=)
+#define RRRE_CHECK_LT(a, b) RRRE_CHECK_OP_(a, b, <)
+#define RRRE_CHECK_LE(a, b) RRRE_CHECK_OP_(a, b, <=)
+#define RRRE_CHECK_GT(a, b) RRRE_CHECK_OP_(a, b, >)
+#define RRRE_CHECK_GE(a, b) RRRE_CHECK_OP_(a, b, >=)
+
+/// Aborts when a Status-returning expression fails.
+#define RRRE_CHECK_OK(expr)                                               \
+  do {                                                                    \
+    const auto& _st = (expr);                                             \
+    if (!_st.ok()) RRRE_LOG_FATAL << "Status not OK: " << _st.ToString(); \
+  } while (0)
+
+#endif  // RRRE_COMMON_LOGGING_H_

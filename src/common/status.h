@@ -1,0 +1,120 @@
+#ifndef RRRE_COMMON_STATUS_H_
+#define RRRE_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace rrre::common {
+
+/// Error codes carried by Status. Modeled after the Arrow/RocksDB convention:
+/// library functions that can fail return Status (or Result<T>) instead of
+/// throwing exceptions across the API boundary.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kIoError = 3,
+  kFailedPrecondition = 4,
+  kOutOfRange = 5,
+  kInternal = 6,
+};
+
+/// Returns a human-readable name for a status code ("OK", "InvalidArgument"...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// A success-or-error value. Cheap to copy in the OK case (no allocation).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  static Status NotFound(std::string message) {
+    return Status(StatusCode::kNotFound, std::move(message));
+  }
+  static Status IoError(std::string message) {
+    return Status(StatusCode::kIoError, std::move(message));
+  }
+  static Status FailedPrecondition(std::string message) {
+    return Status(StatusCode::kFailedPrecondition, std::move(message));
+  }
+  static Status OutOfRange(std::string message) {
+    return Status(StatusCode::kOutOfRange, std::move(message));
+  }
+  static Status Internal(std::string message) {
+    return Status(StatusCode::kInternal, std::move(message));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Accessing the value of an
+/// errored Result is a programming error (checked via CHECK in ValueOrDie).
+template <typename T>
+class Result {
+ public:
+  /// Implicit so `return value;` works in functions returning Result<T>.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit so `return Status::...();` works.
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return status_.ok() && value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return *std::move(value_); }
+
+  /// Moves the value out, or aborts with the error message if not ok.
+  T ValueOrDie() && {
+    RRRE_CHECK(ok()) << status_.ToString();
+    return *std::move(value_);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK status out of the calling function.
+#define RRRE_RETURN_IF_ERROR(expr)                    \
+  do {                                                \
+    ::rrre::common::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                        \
+  } while (0)
+
+/// Evaluates a Result<T> expression, assigning the value to `lhs` or
+/// returning its error status.
+#define RRRE_ASSIGN_OR_RETURN(lhs, expr)              \
+  RRRE_ASSIGN_OR_RETURN_IMPL_(                        \
+      RRRE_STATUS_CONCAT_(_result, __LINE__), lhs, expr)
+
+#define RRRE_STATUS_CONCAT_INNER_(a, b) a##b
+#define RRRE_STATUS_CONCAT_(a, b) RRRE_STATUS_CONCAT_INNER_(a, b)
+#define RRRE_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr)   \
+  auto tmp = (expr);                                  \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).value()
+
+}  // namespace rrre::common
+
+#endif  // RRRE_COMMON_STATUS_H_

@@ -1,0 +1,29 @@
+#ifndef RRRE_COMMON_TIMER_H_
+#define RRRE_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace rrre::common {
+
+/// Monotonic wall-clock stopwatch, used by the figure benches that report the
+/// paper's "time cost" series.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace rrre::common
+
+#endif  // RRRE_COMMON_TIMER_H_

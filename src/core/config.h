@@ -1,0 +1,58 @@
+#ifndef RRRE_CORE_CONFIG_H_
+#define RRRE_CORE_CONFIG_H_
+
+#include <cstdint>
+
+#include "data/sampling.h"
+
+namespace rrre::core {
+
+/// Hyper-parameters of the RRRE model and its trainer. Defaults are scaled
+/// for a single-core CPU run; the paper's reference settings (k = 64,
+/// s_u = 13, s_i = 12, batch 500) are reachable through the bench flags.
+struct RrreConfig {
+  // -- Architecture ----------------------------------------------------------
+  int64_t word_dim = 16;       ///< d: pretrained word-vector dimension.
+  int64_t rev_dim = 32;        ///< k: review embedding size (BiLSTM output).
+  int64_t id_dim = 16;         ///< User/item ID embedding size.
+  int64_t attention_dim = 16;  ///< Width of the fraud-attention hidden layer.
+  int64_t fm_factors = 8;      ///< FM pairwise factor count.
+  int64_t max_tokens = 16;     ///< T: tokens kept per review.
+  int64_t s_u = 5;             ///< User history slots (paper tunes 1..13).
+  int64_t s_i = 7;             ///< Item history slots (paper tunes 12..132).
+
+  // -- Objective ---------------------------------------------------------------
+  double lambda = 0.5;  ///< L = lambda*loss1 + (1-lambda)*loss2 (Eq. 15).
+  double gamma = 1e-5;  ///< L2 coefficient in loss2 (Eq. 14).
+  /// true: Eq. 14 (reliability-weighted MSE). false: Eq. 13 — RRRE^-.
+  bool biased_loss = true;
+  /// true: fraud-attention pooling. false: mean pooling (ablation).
+  bool use_attention = true;
+
+  // -- Optimization ------------------------------------------------------------
+  double lr = 6e-3;
+  int64_t batch_size = 32;
+  int64_t epochs = 5;
+  double dropout = 0.0;
+  double grad_clip = 5.0;
+  uint64_t seed = 42;
+
+  // -- Text pipeline -----------------------------------------------------------
+  int64_t vocab_min_count = 2;
+  bool pretrain_word_vectors = true;  ///< Skip-gram init (Sec. IV-A).
+  bool freeze_word_vectors = false;   ///< Fine-tune the pretrained vectors.
+  int64_t pretrain_epochs = 2;
+
+  // -- History sampling (Sec. III-D) -------------------------------------------
+  data::SamplingStrategy sampling = data::SamplingStrategy::kLatest;
+  /// When true, the target review is dropped from its own histories during
+  /// training. The paper's Eq. (1) builds W^u/W^i from all reviews of u and
+  /// i (including w_ui), so the faithful default keeps it — the model learns
+  /// to read the scored review's own content out of the history, which is
+  /// what transductive reliability scoring exploits.
+  bool exclude_target_from_history = false;
+};
+
+}  // namespace rrre::core
+
+#endif  // RRRE_CORE_CONFIG_H_

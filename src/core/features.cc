@@ -1,0 +1,103 @@
+#include "core/features.h"
+
+#include "common/logging.h"
+#include "data/sampling.h"
+#include "nn/attention.h"
+#include "text/tokenizer.h"
+
+namespace rrre::core {
+
+FeatureBuilder::FeatureBuilder(const RrreConfig& config,
+                               const data::ReviewDataset* train,
+                               const text::Vocabulary* vocab)
+    : config_(config), train_(train) {
+  RRRE_CHECK(train != nullptr);
+  RRRE_CHECK(vocab != nullptr);
+  RRRE_CHECK(train->indexed());
+  const int64_t t = config_.max_tokens;
+  token_cache_.reserve(static_cast<size_t>(train->size() * t));
+  for (const data::Review& r : train->reviews()) {
+    const auto ids = vocab->EncodePadded(text::Tokenize(r.text), t);
+    token_cache_.insert(token_cache_.end(), ids.begin(), ids.end());
+  }
+}
+
+RrreModel::Batch FeatureBuilder::Build(
+    const std::vector<std::pair<int64_t, int64_t>>& pairs,
+    const std::vector<int64_t>& exclude, common::Rng& rng) const {
+  RRRE_CHECK(!pairs.empty());
+  RRRE_CHECK_EQ(pairs.size(), exclude.size());
+  const int64_t b = static_cast<int64_t>(pairs.size());
+  const int64_t t = config_.max_tokens;
+  const int64_t s_u = config_.s_u;
+  const int64_t s_i = config_.s_i;
+
+  RrreModel::Batch batch;
+  batch.batch_size = b;
+  batch.users.reserve(static_cast<size_t>(b));
+  batch.items.reserve(static_cast<size_t>(b));
+  batch.user_hist_tokens.reserve(static_cast<size_t>(b * s_u * t));
+  batch.user_hist_users.reserve(static_cast<size_t>(b * s_u));
+  batch.user_hist_items.reserve(static_cast<size_t>(b * s_u));
+  batch.user_hist_mask.reserve(static_cast<size_t>(b * s_u));
+  batch.item_hist_tokens.reserve(static_cast<size_t>(b * s_i * t));
+  batch.item_hist_users.reserve(static_cast<size_t>(b * s_i));
+  batch.item_hist_items.reserve(static_cast<size_t>(b * s_i));
+  batch.item_hist_mask.reserve(static_cast<size_t>(b * s_i));
+
+  // Appends one history slot (or a pad slot for review -1).
+  auto append_slot = [&](int64_t review_idx, int64_t fallback_user,
+                         int64_t fallback_item,
+                         std::vector<int64_t>& tokens,
+                         std::vector<int64_t>& users,
+                         std::vector<int64_t>& items,
+                         std::vector<float>& mask) {
+    if (review_idx < 0) {
+      tokens.insert(tokens.end(), static_cast<size_t>(t),
+                    text::Vocabulary::kPadId);
+      users.push_back(fallback_user);
+      items.push_back(fallback_item);
+      mask.push_back(nn::FraudAttention::kMaskedScore);
+      return;
+    }
+    const auto begin = token_cache_.begin() + review_idx * t;
+    tokens.insert(tokens.end(), begin, begin + t);
+    const data::Review& r = train_->review(review_idx);
+    users.push_back(r.user);
+    items.push_back(r.item);
+    mask.push_back(0.0f);
+  };
+
+  for (int64_t e = 0; e < b; ++e) {
+    const auto [user, item] = pairs[static_cast<size_t>(e)];
+    batch.users.push_back(user);
+    batch.items.push_back(item);
+    const int64_t excluded = exclude[static_cast<size_t>(e)];
+
+    const auto user_hist =
+        data::SampleHistory(train_->ReviewsByUser(user), s_u,
+                            config_.sampling, rng, excluded);
+    for (int64_t idx : user_hist) {
+      append_slot(idx, user, item, batch.user_hist_tokens,
+                  batch.user_hist_users, batch.user_hist_items,
+                  batch.user_hist_mask);
+    }
+    const auto item_hist =
+        data::SampleHistory(train_->ReviewsByItem(item), s_i,
+                            config_.sampling, rng, excluded);
+    for (int64_t idx : item_hist) {
+      append_slot(idx, user, item, batch.item_hist_tokens,
+                  batch.item_hist_users, batch.item_hist_items,
+                  batch.item_hist_mask);
+    }
+  }
+  return batch;
+}
+
+RrreModel::Batch FeatureBuilder::Build(
+    const std::vector<std::pair<int64_t, int64_t>>& pairs,
+    common::Rng& rng) const {
+  return Build(pairs, std::vector<int64_t>(pairs.size(), -1), rng);
+}
+
+}  // namespace rrre::core

@@ -1,0 +1,49 @@
+#ifndef RRRE_CORE_FEATURES_H_
+#define RRRE_CORE_FEATURES_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/config.h"
+#include "core/model.h"
+#include "data/dataset.h"
+#include "text/vocab.h"
+
+namespace rrre::core {
+
+/// Turns (user, item) pairs into RrreModel batches: samples the review
+/// histories W^u and W^i from the training corpus (Sec. III-D), attaches
+/// cached token ids, writer/item ids, and padding masks.
+class FeatureBuilder {
+ public:
+  /// `train` and `vocab` must outlive the builder. Token ids of every train
+  /// review are tokenized and cached here once.
+  FeatureBuilder(const RrreConfig& config, const data::ReviewDataset* train,
+                 const text::Vocabulary* vocab);
+
+  /// Builds a batch for the given target pairs. `exclude[i]` is a train
+  /// review index removed from pair i's histories (-1 for none) — used
+  /// during training so the target review does not leak into its own input.
+  RrreModel::Batch Build(
+      const std::vector<std::pair<int64_t, int64_t>>& pairs,
+      const std::vector<int64_t>& exclude, common::Rng& rng) const;
+
+  /// Convenience overload with no exclusions (inference).
+  RrreModel::Batch Build(
+      const std::vector<std::pair<int64_t, int64_t>>& pairs,
+      common::Rng& rng) const;
+
+  const data::ReviewDataset& train() const { return *train_; }
+
+ private:
+  RrreConfig config_;
+  const data::ReviewDataset* train_;
+  /// Token ids of train review r: token_cache_[r*T, (r+1)*T).
+  std::vector<int64_t> token_cache_;
+};
+
+}  // namespace rrre::core
+
+#endif  // RRRE_CORE_FEATURES_H_

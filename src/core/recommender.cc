@@ -1,0 +1,107 @@
+#include "core/recommender.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.h"
+
+namespace rrre::core {
+
+ReliableRecommender::ReliableRecommender(RrreTrainer* trainer)
+    : trainer_(trainer) {
+  RRRE_CHECK(trainer != nullptr);
+  RRRE_CHECK(trainer->fitted()) << "fit the trainer before recommending";
+}
+
+std::vector<RecommendedItem> ReliableRecommender::Recommend(
+    int64_t user, int64_t top_k, int64_t candidate_pool, bool exclude_seen) {
+  RRRE_CHECK_GT(top_k, 0);
+  if (candidate_pool < 0) candidate_pool = top_k;
+  RRRE_CHECK_GE(candidate_pool, top_k);
+  const data::ReviewDataset& train = trainer_->train_data();
+
+  std::set<int64_t> seen;
+  if (exclude_seen) {
+    for (int64_t idx : train.ReviewsByUser(user)) {
+      seen.insert(train.review(idx).item);
+    }
+  }
+  std::vector<std::pair<int64_t, int64_t>> pairs;
+  std::vector<int64_t> items;
+  for (int64_t i = 0; i < train.num_items(); ++i) {
+    if (seen.count(i)) continue;
+    pairs.emplace_back(user, i);
+    items.push_back(i);
+  }
+  if (pairs.empty()) return {};
+
+  auto preds = trainer_->PredictPairs(pairs);
+  std::vector<RecommendedItem> scored;
+  scored.reserve(items.size());
+  for (size_t i = 0; i < items.size(); ++i) {
+    scored.push_back({items[i], preds.ratings[i], preds.reliabilities[i]});
+  }
+  // Stage 1: top candidates by predicted rating.
+  std::stable_sort(scored.begin(), scored.end(),
+                   [](const RecommendedItem& a, const RecommendedItem& b) {
+                     return a.rating > b.rating;
+                   });
+  if (static_cast<int64_t>(scored.size()) > candidate_pool) {
+    scored.resize(static_cast<size_t>(candidate_pool));
+  }
+  // Stage 2: re-rank candidates by reliability.
+  std::stable_sort(scored.begin(), scored.end(),
+                   [](const RecommendedItem& a, const RecommendedItem& b) {
+                     return a.reliability > b.reliability;
+                   });
+  if (static_cast<int64_t>(scored.size()) > top_k) {
+    scored.resize(static_cast<size_t>(top_k));
+  }
+  return scored;
+}
+
+std::vector<ReviewExplanation> ReliableRecommender::Explain(
+    int64_t item, int64_t top_k, int64_t candidate_pool) {
+  RRRE_CHECK_GT(top_k, 0);
+  if (candidate_pool < 0) candidate_pool = top_k;
+  RRRE_CHECK_GE(candidate_pool, top_k);
+  const data::ReviewDataset& train = trainer_->train_data();
+
+  const std::vector<int64_t>& reviews = train.ReviewsByItem(item);
+  if (reviews.empty()) return {};
+  std::vector<std::pair<int64_t, int64_t>> pairs;
+  pairs.reserve(reviews.size());
+  for (int64_t idx : reviews) {
+    pairs.emplace_back(train.review(idx).user, item);
+  }
+  auto preds = trainer_->PredictPairs(pairs);
+
+  std::vector<ReviewExplanation> scored;
+  scored.reserve(reviews.size());
+  for (size_t i = 0; i < reviews.size(); ++i) {
+    ReviewExplanation e;
+    e.review_index = reviews[i];
+    e.user = train.review(reviews[i]).user;
+    e.rating = preds.ratings[i];
+    e.reliability = preds.reliabilities[i];
+    e.text = train.review(reviews[i]).text;
+    scored.push_back(std::move(e));
+  }
+  std::stable_sort(scored.begin(), scored.end(),
+                   [](const ReviewExplanation& a, const ReviewExplanation& b) {
+                     return a.rating > b.rating;
+                   });
+  if (static_cast<int64_t>(scored.size()) > candidate_pool) {
+    scored.resize(static_cast<size_t>(candidate_pool));
+  }
+  std::stable_sort(scored.begin(), scored.end(),
+                   [](const ReviewExplanation& a, const ReviewExplanation& b) {
+                     return a.reliability > b.reliability;
+                   });
+  if (static_cast<int64_t>(scored.size()) > top_k) {
+    scored.resize(static_cast<size_t>(top_k));
+  }
+  return scored;
+}
+
+}  // namespace rrre::core

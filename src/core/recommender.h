@@ -1,0 +1,58 @@
+#ifndef RRRE_CORE_RECOMMENDER_H_
+#define RRRE_CORE_RECOMMENDER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/trainer.h"
+
+namespace rrre::core {
+
+/// An item surfaced to a user, with the scores that ranked it.
+struct RecommendedItem {
+  int64_t item = -1;
+  double rating = 0.0;
+  double reliability = 0.0;
+};
+
+/// A review selected as the explanation for a recommended item.
+struct ReviewExplanation {
+  int64_t review_index = -1;  ///< Index into the training corpus.
+  int64_t user = -1;          ///< The review's writer.
+  double rating = 0.0;        ///< Predicted rating of (writer, item).
+  double reliability = 0.0;   ///< Predicted reliability of (writer, item).
+  std::string text;           ///< The review content shown to the customer.
+};
+
+/// The recommendation/explanation pipeline of Sec. III-B: rank by predicted
+/// rating, keep the top candidates, re-rank those by predicted reliability
+/// so customers see well-rated items backed by trustworthy reviews.
+class ReliableRecommender {
+ public:
+  /// `trainer` must be fitted and outlive the recommender.
+  explicit ReliableRecommender(RrreTrainer* trainer);
+
+  /// Recommends `top_k` items for a user. `candidate_pool` is the size of
+  /// the rating-ranked candidate set before the reliability re-rank; the
+  /// paper uses candidate_pool == top_k (pass -1 for that default). Items
+  /// the user already reviewed in training are skipped when
+  /// `exclude_seen` is true.
+  std::vector<RecommendedItem> Recommend(int64_t user, int64_t top_k,
+                                         int64_t candidate_pool = -1,
+                                         bool exclude_seen = true);
+
+  /// Selects `top_k` reviews of an item as explanations: scores every
+  /// training review of the item via its (writer, item) pair, takes the
+  /// `candidate_pool` highest-rated, then re-ranks by reliability so fake
+  /// praise is filtered out (Table VIII's scenario).
+  std::vector<ReviewExplanation> Explain(int64_t item, int64_t top_k,
+                                         int64_t candidate_pool = -1);
+
+ private:
+  RrreTrainer* trainer_;
+};
+
+}  // namespace rrre::core
+
+#endif  // RRRE_CORE_RECOMMENDER_H_

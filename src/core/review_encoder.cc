@@ -1,0 +1,42 @@
+#include "core/review_encoder.h"
+
+#include "common/logging.h"
+#include "tensor/ops.h"
+
+namespace rrre::core {
+
+using tensor::Tensor;
+
+ReviewEncoder::ReviewEncoder(nn::Embedding* word_embedding,
+                             int64_t max_tokens, int64_t rev_dim,
+                             common::Rng& rng)
+    : word_embedding_(word_embedding),
+      max_tokens_(max_tokens),
+      encoder_(word_embedding->dim(), rev_dim / 2, rng) {
+  RRRE_CHECK(word_embedding != nullptr);
+  RRRE_CHECK_EQ(rev_dim % 2, 0) << "rev_dim must be even (BiLSTM concat)";
+  RRRE_CHECK_GT(max_tokens, 0);
+  RegisterModule("bilstm", &encoder_);
+  // word_embedding is registered by the owning model, not here, to avoid
+  // duplicating its parameters across UserNet and ItemNet.
+}
+
+Tensor ReviewEncoder::Encode(const std::vector<int64_t>& token_ids,
+                             int64_t num_slots) const {
+  RRRE_CHECK_EQ(static_cast<int64_t>(token_ids.size()),
+                num_slots * max_tokens_);
+  // One embedding lookup per timestep over the whole slot batch.
+  std::vector<Tensor> steps;
+  steps.reserve(static_cast<size_t>(max_tokens_));
+  std::vector<int64_t> step_ids(static_cast<size_t>(num_slots));
+  for (int64_t t = 0; t < max_tokens_; ++t) {
+    for (int64_t s = 0; s < num_slots; ++s) {
+      step_ids[static_cast<size_t>(s)] =
+          token_ids[static_cast<size_t>(s * max_tokens_ + t)];
+    }
+    steps.push_back(word_embedding_->Forward(step_ids));
+  }
+  return encoder_.Encode(steps);
+}
+
+}  // namespace rrre::core

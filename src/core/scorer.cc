@@ -1,0 +1,132 @@
+#include "core/scorer.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "tensor/tensor.h"
+
+namespace rrre::core {
+
+using tensor::Tensor;
+
+BatchScorer::BatchScorer(RrreTrainer* trainer)
+    : trainer_(trainer),
+      features_(trainer->config(), &trainer->train_data(),
+                &trainer->vocab()),
+      rng_(trainer->config().seed ^ 0xca11ab1eULL),
+      profile_dim_(trainer->config().rev_dim) {
+  RRRE_CHECK(trainer != nullptr);
+  RRRE_CHECK(trainer->fitted()) << "fit the trainer before scoring";
+}
+
+void BatchScorer::PrimeUsers(const std::vector<int64_t>& users) {
+  std::vector<int64_t> missing;
+  for (int64_t u : users) {
+    if (!user_profiles_.count(u)) missing.push_back(u);
+  }
+  std::sort(missing.begin(), missing.end());
+  missing.erase(std::unique(missing.begin(), missing.end()), missing.end());
+  const int64_t chunk_size = trainer_->config().batch_size;
+  for (size_t start = 0; start < missing.size();
+       start += static_cast<size_t>(chunk_size)) {
+    const size_t end =
+        std::min(missing.size(), start + static_cast<size_t>(chunk_size));
+    std::vector<std::pair<int64_t, int64_t>> pairs;
+    for (size_t i = start; i < end; ++i) {
+      pairs.emplace_back(missing[i], 0);  // Item id is inert for UserNet.
+    }
+    const auto batch = features_.Build(pairs, rng_);
+    Tensor profiles = trainer_->model().ComputeUserProfiles(batch);
+    for (size_t i = start; i < end; ++i) {
+      const int64_t row = static_cast<int64_t>(i - start);
+      std::vector<float> p(static_cast<size_t>(profile_dim_));
+      for (int64_t c = 0; c < profile_dim_; ++c) p[static_cast<size_t>(c)] = profiles.at(row, c);
+      user_profiles_.emplace(missing[i], std::move(p));
+    }
+  }
+}
+
+void BatchScorer::PrimeItems(const std::vector<int64_t>& items) {
+  std::vector<int64_t> missing;
+  for (int64_t i : items) {
+    if (!item_profiles_.count(i)) missing.push_back(i);
+  }
+  std::sort(missing.begin(), missing.end());
+  missing.erase(std::unique(missing.begin(), missing.end()), missing.end());
+  const int64_t chunk_size = trainer_->config().batch_size;
+  for (size_t start = 0; start < missing.size();
+       start += static_cast<size_t>(chunk_size)) {
+    const size_t end =
+        std::min(missing.size(), start + static_cast<size_t>(chunk_size));
+    std::vector<std::pair<int64_t, int64_t>> pairs;
+    for (size_t i = start; i < end; ++i) {
+      pairs.emplace_back(0, missing[i]);  // User id is inert for ItemNet.
+    }
+    const auto batch = features_.Build(pairs, rng_);
+    Tensor profiles = trainer_->model().ComputeItemProfiles(batch);
+    for (size_t i = start; i < end; ++i) {
+      const int64_t row = static_cast<int64_t>(i - start);
+      std::vector<float> p(static_cast<size_t>(profile_dim_));
+      for (int64_t c = 0; c < profile_dim_; ++c) p[static_cast<size_t>(c)] = profiles.at(row, c);
+      item_profiles_.emplace(missing[i], std::move(p));
+    }
+  }
+}
+
+RrreTrainer::Predictions BatchScorer::Score(
+    const std::vector<std::pair<int64_t, int64_t>>& pairs) {
+  std::vector<int64_t> users;
+  std::vector<int64_t> items;
+  users.reserve(pairs.size());
+  items.reserve(pairs.size());
+  for (const auto& [u, i] : pairs) {
+    users.push_back(u);
+    items.push_back(i);
+  }
+  PrimeUsers(users);
+  PrimeItems(items);
+
+  RrreTrainer::Predictions out;
+  out.ratings.reserve(pairs.size());
+  out.reliabilities.reserve(pairs.size());
+  const int64_t chunk_size = trainer_->config().batch_size;
+  const int64_t n = static_cast<int64_t>(pairs.size());
+  for (int64_t start = 0; start < n; start += chunk_size) {
+    const int64_t end = std::min(n, start + chunk_size);
+    const int64_t b = end - start;
+    std::vector<float> xu(static_cast<size_t>(b * profile_dim_));
+    std::vector<float> yi(static_cast<size_t>(b * profile_dim_));
+    std::vector<int64_t> chunk_users;
+    std::vector<int64_t> chunk_items;
+    for (int64_t e = 0; e < b; ++e) {
+      const auto& [u, i] = pairs[static_cast<size_t>(start + e)];
+      chunk_users.push_back(u);
+      chunk_items.push_back(i);
+      const auto& up = user_profiles_.at(u);
+      const auto& ip = item_profiles_.at(i);
+      std::copy(up.begin(), up.end(),
+                xu.begin() + e * profile_dim_);
+      std::copy(ip.begin(), ip.end(),
+                yi.begin() + e * profile_dim_);
+    }
+    auto fwd = trainer_->model().ForwardFromProfiles(
+        Tensor::FromVector({b, profile_dim_}, std::move(xu)),
+        Tensor::FromVector({b, profile_dim_}, std::move(yi)), chunk_users,
+        chunk_items);
+    for (int64_t e = 0; e < b; ++e) {
+      out.ratings.push_back(fwd.rating.at(e, 0) + trainer_->rating_offset());
+      out.reliabilities.push_back(fwd.reliability.at(e, 1));
+    }
+  }
+  return out;
+}
+
+RrreTrainer::Predictions BatchScorer::ScoreAllItemsForUser(int64_t user) {
+  std::vector<std::pair<int64_t, int64_t>> pairs;
+  const int64_t num_items = trainer_->train_data().num_items();
+  pairs.reserve(static_cast<size_t>(num_items));
+  for (int64_t i = 0; i < num_items; ++i) pairs.emplace_back(user, i);
+  return Score(pairs);
+}
+
+}  // namespace rrre::core

@@ -1,0 +1,64 @@
+#ifndef RRRE_CORE_SCORER_H_
+#define RRRE_CORE_SCORER_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/features.h"
+#include "core/trainer.h"
+
+namespace rrre::core {
+
+/// Tower-cached batch scorer — the fast path for catalog-scale scoring that
+/// the paper's Sec. V scalability remark asks for.
+///
+/// A user profile x_u depends only on the user's review history and an item
+/// profile y_i only on the item's (padding slots are masked out of the
+/// attention, so neither depends on the paired counterpart). The scorer
+/// therefore runs each tower once per distinct user/item, caches the
+/// profiles, and evaluates only the cheap prediction heads per pair —
+/// O(users + items) tower work instead of O(pairs).
+///
+/// Results are numerically identical to RrreTrainer::PredictPairs.
+class BatchScorer {
+ public:
+  /// `trainer` must be fitted and outlive the scorer. Cached profiles snap
+  /// the model's parameters at the time each profile is computed; create a
+  /// fresh scorer after further training.
+  explicit BatchScorer(RrreTrainer* trainer);
+
+  /// Precomputes profiles for the given ids (idempotent per id).
+  void PrimeUsers(const std::vector<int64_t>& users);
+  void PrimeItems(const std::vector<int64_t>& items);
+
+  /// Scores arbitrary pairs, priming any missing profiles on demand.
+  RrreTrainer::Predictions Score(
+      const std::vector<std::pair<int64_t, int64_t>>& pairs);
+
+  /// Convenience: scores user x every item; returns predictions aligned
+  /// with item ids 0..num_items-1.
+  RrreTrainer::Predictions ScoreAllItemsForUser(int64_t user);
+
+  int64_t cached_users() const {
+    return static_cast<int64_t>(user_profiles_.size());
+  }
+  int64_t cached_items() const {
+    return static_cast<int64_t>(item_profiles_.size());
+  }
+
+ private:
+  RrreTrainer* trainer_;
+  FeatureBuilder features_;
+  common::Rng rng_;
+  int64_t profile_dim_;
+  /// Cached tower outputs, one k-vector per id.
+  std::unordered_map<int64_t, std::vector<float>> user_profiles_;
+  std::unordered_map<int64_t, std::vector<float>> item_profiles_;
+};
+
+}  // namespace rrre::core
+
+#endif  // RRRE_CORE_SCORER_H_

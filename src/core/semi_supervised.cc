@@ -1,0 +1,56 @@
+#include "core/semi_supervised.h"
+
+#include "common/logging.h"
+
+namespace rrre::core {
+
+SemiSupervisedRrre::SemiSupervisedRrre(SemiSupervisedConfig config)
+    : config_(config), trainer_(config.base) {
+  RRRE_CHECK_GE(config_.rounds, 0);
+  RRRE_CHECK_GT(config_.confidence, 0.5);
+  RRRE_CHECK_LE(config_.confidence, 1.0);
+}
+
+void SemiSupervisedRrre::Fit(const data::ReviewDataset& labeled,
+                             const data::ReviewDataset& unlabeled) {
+  RRRE_CHECK_EQ(labeled.num_users(), unlabeled.num_users());
+  RRRE_CHECK_EQ(labeled.num_items(), unlabeled.num_items());
+  round_stats_.clear();
+
+  trainer_.Fit(labeled);
+  round_stats_.push_back({0, 0, 0});
+
+  for (int64_t round = 1; round <= config_.rounds; ++round) {
+    // Score the unlabeled pool with the current model; the scored review's
+    // own text is visible through its histories (transductive), which is
+    // exactly the setting in which a pseudo-label is meaningful.
+    auto preds = trainer_.PredictDatasetTransductive(unlabeled);
+
+    data::ReviewDataset augmented(labeled.num_users(), labeled.num_items());
+    for (const data::Review& r : labeled.reviews()) augmented.Add(r);
+    RoundStats stats;
+    stats.round = round;
+    for (int64_t i = 0; i < unlabeled.size(); ++i) {
+      const double p_benign = preds.reliabilities[static_cast<size_t>(i)];
+      data::Review pseudo = unlabeled.review(i);
+      if (p_benign >= config_.confidence) {
+        pseudo.label = data::ReliabilityLabel::kBenign;
+        ++stats.pseudo_benign;
+      } else if (p_benign <= 1.0 - config_.confidence) {
+        pseudo.label = data::ReliabilityLabel::kFake;
+        ++stats.pseudo_fake;
+      } else {
+        continue;  // Not confident enough; leave out this round.
+      }
+      augmented.Add(std::move(pseudo));
+    }
+    augmented.BuildIndex();
+    round_stats_.push_back(stats);
+
+    // Refit from scratch on the enlarged corpus (self-training restart
+    // avoids confirmation drift from warm-started optimizer state).
+    trainer_.Fit(augmented);
+  }
+}
+
+}  // namespace rrre::core

@@ -1,0 +1,54 @@
+#ifndef RRRE_CORE_SEMI_SUPERVISED_H_
+#define RRRE_CORE_SEMI_SUPERVISED_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/trainer.h"
+#include "data/dataset.h"
+
+namespace rrre::core {
+
+/// Configuration of the self-training extension.
+struct SemiSupervisedConfig {
+  RrreConfig base;          ///< The underlying RRRE configuration.
+  int64_t rounds = 1;       ///< Pseudo-labeling rounds after the initial fit.
+  /// A review is pseudo-labeled benign when its predicted reliability is at
+  /// least `confidence`, fake when at most 1 - confidence; anything in
+  /// between stays unused.
+  double confidence = 0.9;
+};
+
+/// Self-training RRRE — the semi-supervised extension the paper names as
+/// future work (Sec. V): fit on the labeled subset, transductively score
+/// the unlabeled reviews, adopt confident predictions as pseudo-labels,
+/// and refit on the enlarged corpus. Lets the model absorb new users and
+/// items that arrive without filter labels.
+class SemiSupervisedRrre {
+ public:
+  explicit SemiSupervisedRrre(SemiSupervisedConfig config);
+
+  struct RoundStats {
+    int64_t round = 0;          ///< 0 = the supervised warm-up fit.
+    int64_t pseudo_benign = 0;  ///< Unlabeled reviews adopted as benign.
+    int64_t pseudo_fake = 0;    ///< Unlabeled reviews adopted as fake.
+  };
+
+  /// `labeled` carries trusted labels; `unlabeled` shares the same
+  /// user/item universe and its labels are ignored. After Fit the inner
+  /// trainer predicts as usual.
+  void Fit(const data::ReviewDataset& labeled,
+           const data::ReviewDataset& unlabeled);
+
+  RrreTrainer& trainer() { return trainer_; }
+  const std::vector<RoundStats>& round_stats() const { return round_stats_; }
+
+ private:
+  SemiSupervisedConfig config_;
+  RrreTrainer trainer_;
+  std::vector<RoundStats> round_stats_;
+};
+
+}  // namespace rrre::core
+
+#endif  // RRRE_CORE_SEMI_SUPERVISED_H_

@@ -1,0 +1,256 @@
+#include "core/trainer.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/io.h"
+#include "common/logging.h"
+#include "common/timer.h"
+#include "nn/loss.h"
+#include "tensor/ops.h"
+#include "text/tokenizer.h"
+#include "text/word2vec.h"
+
+namespace rrre::core {
+
+using common::Rng;
+using tensor::Tensor;
+
+RrreTrainer::RrreTrainer(RrreConfig config)
+    : config_(config), rng_(config.seed) {
+  RRRE_CHECK_GT(config_.batch_size, 0);
+  RRRE_CHECK_GT(config_.epochs, 0);
+  RRRE_CHECK_GE(config_.lambda, 0.0);
+  RRRE_CHECK_LE(config_.lambda, 1.0);
+}
+
+void RrreTrainer::Fit(const data::ReviewDataset& train,
+                      EpochCallback callback) {
+  RRRE_CHECK(train.indexed());
+  RRRE_CHECK_GT(train.size(), 0);
+  train_ = std::make_unique<data::ReviewDataset>(train);
+
+  double rating_sum = 0.0;
+  for (const data::Review& r : train_->reviews()) rating_sum += r.rating;
+  rating_offset_ = rating_sum / static_cast<double>(train_->size());
+
+  // 1. Vocabulary over the training texts.
+  std::vector<std::vector<std::string>> docs;
+  docs.reserve(static_cast<size_t>(train_->size()));
+  for (const data::Review& r : train_->reviews()) {
+    docs.push_back(text::Tokenize(r.text));
+  }
+  vocab_ = std::make_unique<text::Vocabulary>(
+      text::Vocabulary::Build(docs, config_.vocab_min_count));
+
+  // 2. Model; word vectors pretrained with skip-gram when configured.
+  Rng init_rng = rng_.Fork();
+  model_ = std::make_unique<RrreModel>(config_, train_->num_users(),
+                                       train_->num_items(), vocab_->size(),
+                                       init_rng);
+  if (config_.pretrain_word_vectors) {
+    std::vector<std::vector<int64_t>> id_docs;
+    id_docs.reserve(docs.size());
+    for (const auto& doc : docs) id_docs.push_back(vocab_->Encode(doc));
+    text::SkipGramConfig sg;
+    sg.dim = config_.word_dim;
+    sg.epochs = config_.pretrain_epochs;
+    text::SkipGramTrainer pretrainer(sg, vocab_->size());
+    Rng sg_rng = rng_.Fork();
+    model_->word_embedding().SetWeights(pretrainer.Train(id_docs, sg_rng));
+  }
+
+  features_ = std::make_unique<FeatureBuilder>(config_, train_.get(),
+                                               vocab_.get());
+
+  auto params = config_.freeze_word_vectors
+                    ? model_->ParametersWithoutWordTable()
+                    : model_->Parameters();
+  optimizer_ = std::make_unique<nn::Adam>(params, config_.lr);
+
+  // 3. Training loop.
+  const int64_t n = train_->size();
+  std::vector<int64_t> order(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) order[static_cast<size_t>(i)] = i;
+
+  for (int64_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    common::Timer timer;
+    rng_.Shuffle(order);
+    double sum_loss = 0.0;
+    double sum_loss1 = 0.0;
+    double sum_loss2 = 0.0;
+    int64_t batches = 0;
+    for (int64_t start = 0; start < n; start += config_.batch_size) {
+      const int64_t end = std::min(n, start + config_.batch_size);
+      std::vector<std::pair<int64_t, int64_t>> pairs;
+      std::vector<int64_t> exclude;
+      std::vector<float> targets;
+      std::vector<int64_t> labels;
+      std::vector<float> weights;
+      pairs.reserve(static_cast<size_t>(end - start));
+      for (int64_t p = start; p < end; ++p) {
+        const int64_t idx = order[static_cast<size_t>(p)];
+        const data::Review& r = train_->review(idx);
+        pairs.emplace_back(r.user, r.item);
+        exclude.push_back(config_.exclude_target_from_history ? idx : -1);
+        targets.push_back(
+            static_cast<float>(r.rating - rating_offset_));
+        labels.push_back(r.is_benign() ? 1 : 0);
+        weights.push_back(config_.biased_loss ? (r.is_benign() ? 1.0f : 0.0f)
+                                              : 1.0f);
+      }
+      RrreModel::Batch batch = features_->Build(pairs, exclude, rng_);
+      RrreModel::Output out = model_->Forward(batch, /*training=*/true, &rng_);
+
+      // loss1 (Eq. 11): reliability cross-entropy; label 1 = benign.
+      Tensor loss1 =
+          tensor::CrossEntropyWithLogits(out.reliability_logits, labels);
+      // loss2 (Eq. 14 / Eq. 13 for RRRE^-): (weighted) MSE + L2.
+      Tensor mse = nn::WeightedMseLoss(out.rating, targets, weights,
+                                       nn::WeightedMseNorm::kBatchSize);
+      Tensor loss2 = mse;
+      if (config_.gamma > 0.0) {
+        loss2 = tensor::Add(
+            loss2, tensor::MulScalar(nn::L2Penalty(optimizer_->params()),
+                                     static_cast<float>(config_.gamma)));
+      }
+      // L = lambda*loss1 + (1-lambda)*loss2 (Eq. 15).
+      Tensor loss = tensor::Add(
+          tensor::MulScalar(loss1, static_cast<float>(config_.lambda)),
+          tensor::MulScalar(loss2, static_cast<float>(1.0 - config_.lambda)));
+
+      loss.Backward();
+      if (config_.grad_clip > 0.0) {
+        auto params_ref = optimizer_->params();
+        nn::ClipGradNorm(params_ref, config_.grad_clip);
+      }
+      optimizer_->Step();
+
+      sum_loss += loss.item();
+      sum_loss1 += loss1.item();
+      sum_loss2 += loss2.item();
+      ++batches;
+    }
+    if (callback) {
+      EpochStats stats;
+      stats.epoch = epoch;
+      stats.loss = sum_loss / batches;
+      stats.loss1 = sum_loss1 / batches;
+      stats.loss2 = sum_loss2 / batches;
+      stats.seconds = timer.ElapsedSeconds();
+      callback(stats);
+    }
+  }
+}
+
+RrreTrainer::Predictions RrreTrainer::PredictPairs(
+    const std::vector<std::pair<int64_t, int64_t>>& pairs) {
+  RRRE_CHECK(fitted()) << "call Fit() first";
+  Predictions out;
+  out.ratings.reserve(pairs.size());
+  out.reliabilities.reserve(pairs.size());
+  const int64_t n = static_cast<int64_t>(pairs.size());
+  for (int64_t start = 0; start < n; start += config_.batch_size) {
+    const int64_t end = std::min(n, start + config_.batch_size);
+    std::vector<std::pair<int64_t, int64_t>> chunk(
+        pairs.begin() + start, pairs.begin() + end);
+    RrreModel::Batch batch = features_->Build(chunk, rng_);
+    RrreModel::Output fwd =
+        model_->Forward(batch, /*training=*/false, nullptr);
+    for (int64_t i = 0; i < batch.batch_size; ++i) {
+      out.ratings.push_back(fwd.rating.at(i, 0) + rating_offset_);
+      out.reliabilities.push_back(fwd.reliability.at(i, 1));
+    }
+  }
+  return out;
+}
+
+RrreTrainer::Predictions RrreTrainer::PredictDataset(
+    const data::ReviewDataset& reviews) {
+  std::vector<std::pair<int64_t, int64_t>> pairs;
+  pairs.reserve(static_cast<size_t>(reviews.size()));
+  for (const data::Review& r : reviews.reviews()) {
+    pairs.emplace_back(r.user, r.item);
+  }
+  return PredictPairs(pairs);
+}
+
+RrreTrainer::Predictions RrreTrainer::PredictDatasetTransductive(
+    const data::ReviewDataset& reviews) {
+  RRRE_CHECK(fitted()) << "call Fit() first";
+  const data::ReviewDataset merged =
+      data::ReviewDataset::Merge(*train_, reviews);
+  FeatureBuilder merged_features(config_, &merged, vocab_.get());
+  Predictions out;
+  out.ratings.reserve(static_cast<size_t>(reviews.size()));
+  out.reliabilities.reserve(static_cast<size_t>(reviews.size()));
+  const int64_t n = reviews.size();
+  for (int64_t start = 0; start < n; start += config_.batch_size) {
+    const int64_t end = std::min(n, start + config_.batch_size);
+    std::vector<std::pair<int64_t, int64_t>> chunk;
+    for (int64_t i = start; i < end; ++i) {
+      const data::Review& r = reviews.review(i);
+      chunk.emplace_back(r.user, r.item);
+    }
+    RrreModel::Batch batch = merged_features.Build(chunk, rng_);
+    RrreModel::Output fwd =
+        model_->Forward(batch, /*training=*/false, nullptr);
+    for (int64_t i = 0; i < batch.batch_size; ++i) {
+      out.ratings.push_back(fwd.rating.at(i, 0) + rating_offset_);
+      out.reliabilities.push_back(fwd.reliability.at(i, 1));
+    }
+  }
+  return out;
+}
+
+common::Status RrreTrainer::Save(const std::string& prefix) const {
+  if (!fitted()) {
+    return common::Status::FailedPrecondition("trainer is not fitted");
+  }
+  RRRE_RETURN_IF_ERROR(model_->Save(prefix + ".model"));
+  RRRE_RETURN_IF_ERROR(vocab_->Save(prefix + ".vocab"));
+  RRRE_RETURN_IF_ERROR(train_->SaveTsv(prefix + ".train.tsv"));
+  return common::WriteFile(prefix + ".meta",
+                           std::to_string(rating_offset_) + "\n");
+}
+
+common::Status RrreTrainer::Load(const std::string& prefix) {
+  auto vocab = text::Vocabulary::Load(prefix + ".vocab");
+  if (!vocab.ok()) return vocab.status();
+  auto train = data::ReviewDataset::LoadTsv(prefix + ".train.tsv");
+  if (!train.ok()) return train.status();
+  auto meta = common::ReadFile(prefix + ".meta");
+  if (!meta.ok()) return meta.status();
+
+  vocab_ = std::make_unique<text::Vocabulary>(std::move(vocab).ValueOrDie());
+  train_ =
+      std::make_unique<data::ReviewDataset>(std::move(train).ValueOrDie());
+  rating_offset_ = std::atof(meta.value().c_str());
+
+  Rng init_rng = rng_.Fork();
+  model_ = std::make_unique<RrreModel>(config_, train_->num_users(),
+                                       train_->num_items(), vocab_->size(),
+                                       init_rng);
+  RRRE_RETURN_IF_ERROR(model_->Load(prefix + ".model"));
+  features_ = std::make_unique<FeatureBuilder>(config_, train_.get(),
+                                               vocab_.get());
+  optimizer_.reset();
+  return common::Status::Ok();
+}
+
+const RrreModel& RrreTrainer::model() const {
+  RRRE_CHECK(fitted());
+  return *model_;
+}
+
+const text::Vocabulary& RrreTrainer::vocab() const {
+  RRRE_CHECK(fitted());
+  return *vocab_;
+}
+
+const data::ReviewDataset& RrreTrainer::train_data() const {
+  RRRE_CHECK(fitted());
+  return *train_;
+}
+
+}  // namespace rrre::core

@@ -1,0 +1,98 @@
+#ifndef RRRE_CORE_TRAINER_H_
+#define RRRE_CORE_TRAINER_H_
+
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/config.h"
+#include "core/features.h"
+#include "core/model.h"
+#include "data/dataset.h"
+#include "nn/optimizer.h"
+#include "text/vocab.h"
+
+namespace rrre::core {
+
+/// End-to-end RRRE training and inference:
+///  1. builds the vocabulary from the training reviews,
+///  2. pretrains word vectors with skip-gram (Sec. IV-A),
+///  3. trains the joint objective L = lambda*loss1 + (1-lambda)*loss2
+///     (Eqs. 11, 14, 15) with Adam,
+///  4. predicts (rating, reliability) for arbitrary user-item pairs, with
+///     histories drawn from the training corpus.
+class RrreTrainer {
+ public:
+  explicit RrreTrainer(RrreConfig config);
+
+  struct EpochStats {
+    int64_t epoch = 0;
+    double loss = 0.0;     ///< Mean joint loss over batches.
+    double loss1 = 0.0;    ///< Mean reliability cross-entropy.
+    double loss2 = 0.0;    ///< Mean (biased) rating loss incl. L2.
+    double seconds = 0.0;  ///< Wall-clock time of the epoch.
+  };
+  using EpochCallback = std::function<void(const EpochStats&)>;
+
+  /// Trains on `train` (copied internally — histories are needed at
+  /// inference). Calling Fit twice restarts from scratch.
+  void Fit(const data::ReviewDataset& train, EpochCallback callback = nullptr);
+
+  struct Predictions {
+    std::vector<double> ratings;
+    std::vector<double> reliabilities;  ///< P(benign) per pair.
+  };
+
+  /// Predicts for explicit (user, item) pairs.
+  Predictions PredictPairs(
+      const std::vector<std::pair<int64_t, int64_t>>& pairs);
+
+  /// Predicts for every review in `reviews` (aligned with reviews.reviews())
+  /// with histories drawn from the training corpus only (inductive — used
+  /// for rating prediction, where the target review's text must not leak).
+  Predictions PredictDataset(const data::ReviewDataset& reviews);
+
+  /// Predicts for every review of `reviews` with histories drawn from the
+  /// union of the training corpus and `reviews` itself (labels unused).
+  /// This matches Eq. (1)'s W^u/W^i — all reviews of u and i, including the
+  /// one being scored — and gives RRRE the same information access as the
+  /// detector baselines when scoring reliability (Tables IV-VI).
+  Predictions PredictDatasetTransductive(const data::ReviewDataset& reviews);
+
+  /// Persists a fitted trainer: model parameters (<prefix>.model), the
+  /// vocabulary (<prefix>.vocab), the training corpus used for histories
+  /// (<prefix>.train.tsv) and scalar state (<prefix>.meta). The RrreConfig
+  /// is not serialized — construct the loading trainer with the same one.
+  common::Status Save(const std::string& prefix) const;
+
+  /// Restores a trainer saved by Save into this instance (which must have
+  /// been constructed with a matching config). After Load the trainer can
+  /// predict; calling Fit again retrains from scratch.
+  common::Status Load(const std::string& prefix);
+
+  bool fitted() const { return model_ != nullptr; }
+  const RrreModel& model() const;
+  const text::Vocabulary& vocab() const;
+  const data::ReviewDataset& train_data() const;
+  const RrreConfig& config() const { return config_; }
+  /// Mean training rating added back onto the FM head's residual output.
+  double rating_offset() const { return rating_offset_; }
+
+ private:
+  RrreConfig config_;
+  common::Rng rng_;
+  /// Mean training rating; the FM head learns residuals around it so the
+  /// rating loss does not dwarf the reliability loss early in training.
+  double rating_offset_ = 0.0;
+  std::unique_ptr<data::ReviewDataset> train_;
+  std::unique_ptr<text::Vocabulary> vocab_;
+  std::unique_ptr<RrreModel> model_;
+  std::unique_ptr<FeatureBuilder> features_;
+  std::unique_ptr<nn::Adam> optimizer_;
+};
+
+}  // namespace rrre::core
+
+#endif  // RRRE_CORE_TRAINER_H_

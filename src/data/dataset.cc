@@ -1,0 +1,247 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/io.h"
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace rrre::data {
+
+using common::Result;
+using common::Rng;
+using common::Status;
+
+ReviewDataset::ReviewDataset(int64_t num_users, int64_t num_items)
+    : num_users_(num_users), num_items_(num_items) {
+  RRRE_CHECK_GT(num_users, 0);
+  RRRE_CHECK_GT(num_items, 0);
+}
+
+void ReviewDataset::Add(Review review) {
+  RRRE_CHECK_GE(review.user, 0);
+  RRRE_CHECK_LT(review.user, num_users_);
+  RRRE_CHECK_GE(review.item, 0);
+  RRRE_CHECK_LT(review.item, num_items_);
+  reviews_.push_back(std::move(review));
+  indexed_ = false;
+}
+
+const Review& ReviewDataset::review(int64_t idx) const {
+  RRRE_CHECK_GE(idx, 0);
+  RRRE_CHECK_LT(idx, size());
+  return reviews_[static_cast<size_t>(idx)];
+}
+
+const std::vector<int64_t>& ReviewDataset::ReviewsByUser(int64_t user) const {
+  RRRE_CHECK(indexed_) << "call BuildIndex() first";
+  RRRE_CHECK_GE(user, 0);
+  RRRE_CHECK_LT(user, num_users_);
+  return by_user_[static_cast<size_t>(user)];
+}
+
+const std::vector<int64_t>& ReviewDataset::ReviewsByItem(int64_t item) const {
+  RRRE_CHECK(indexed_) << "call BuildIndex() first";
+  RRRE_CHECK_GE(item, 0);
+  RRRE_CHECK_LT(item, num_items_);
+  return by_item_[static_cast<size_t>(item)];
+}
+
+void ReviewDataset::BuildIndex() {
+  by_user_.assign(static_cast<size_t>(num_users_), {});
+  by_item_.assign(static_cast<size_t>(num_items_), {});
+  for (int64_t idx = 0; idx < size(); ++idx) {
+    const Review& r = reviews_[static_cast<size_t>(idx)];
+    by_user_[static_cast<size_t>(r.user)].push_back(idx);
+    by_item_[static_cast<size_t>(r.item)].push_back(idx);
+  }
+  auto by_time = [this](int64_t a, int64_t b) {
+    const Review& ra = reviews_[static_cast<size_t>(a)];
+    const Review& rb = reviews_[static_cast<size_t>(b)];
+    if (ra.timestamp != rb.timestamp) return ra.timestamp < rb.timestamp;
+    return a < b;
+  };
+  for (auto& v : by_user_) std::sort(v.begin(), v.end(), by_time);
+  for (auto& v : by_item_) std::sort(v.begin(), v.end(), by_time);
+  indexed_ = true;
+}
+
+namespace {
+
+int64_t MedianOfNonEmpty(const std::vector<std::vector<int64_t>>& index) {
+  std::vector<int64_t> degrees;
+  for (const auto& v : index) {
+    if (!v.empty()) degrees.push_back(static_cast<int64_t>(v.size()));
+  }
+  if (degrees.empty()) return 0;
+  std::sort(degrees.begin(), degrees.end());
+  return degrees[degrees.size() / 2];
+}
+
+int64_t MaxDegree(const std::vector<std::vector<int64_t>>& index) {
+  int64_t m = 0;
+  for (const auto& v : index) {
+    m = std::max(m, static_cast<int64_t>(v.size()));
+  }
+  return m;
+}
+
+}  // namespace
+
+DatasetStats ReviewDataset::Stats() const {
+  RRRE_CHECK(indexed_) << "call BuildIndex() first";
+  DatasetStats s;
+  s.num_reviews = size();
+  s.num_users = num_users_;
+  s.num_items = num_items_;
+  int64_t fake = 0;
+  for (const Review& r : reviews_) {
+    if (!r.is_benign()) ++fake;
+  }
+  s.fake_fraction =
+      size() == 0 ? 0.0 : static_cast<double>(fake) / static_cast<double>(size());
+  s.max_user_degree = MaxDegree(by_user_);
+  s.median_user_degree = MedianOfNonEmpty(by_user_);
+  s.max_item_degree = MaxDegree(by_item_);
+  s.median_item_degree = MedianOfNonEmpty(by_item_);
+  return s;
+}
+
+std::vector<double> ReviewDataset::ItemMeanRatings() const {
+  std::vector<double> sums(static_cast<size_t>(num_items_), 0.0);
+  std::vector<int64_t> counts(static_cast<size_t>(num_items_), 0);
+  double global_sum = 0.0;
+  for (const Review& r : reviews_) {
+    sums[static_cast<size_t>(r.item)] += r.rating;
+    counts[static_cast<size_t>(r.item)] += 1;
+    global_sum += r.rating;
+  }
+  const double global_mean =
+      size() == 0 ? 3.0 : global_sum / static_cast<double>(size());
+  std::vector<double> means(static_cast<size_t>(num_items_), global_mean);
+  for (int64_t i = 0; i < num_items_; ++i) {
+    if (counts[static_cast<size_t>(i)] > 0) {
+      means[static_cast<size_t>(i)] =
+          sums[static_cast<size_t>(i)] / counts[static_cast<size_t>(i)];
+    }
+  }
+  return means;
+}
+
+std::pair<ReviewDataset, ReviewDataset> ReviewDataset::Split(
+    double train_fraction, Rng& rng) const {
+  RRRE_CHECK_GT(train_fraction, 0.0);
+  RRRE_CHECK_LT(train_fraction, 1.0);
+  const int64_t n = size();
+  std::vector<int64_t> order(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) order[static_cast<size_t>(i)] = i;
+  rng.Shuffle(order);
+
+  const int64_t train_target =
+      std::max<int64_t>(1, static_cast<int64_t>(train_fraction * n));
+  std::vector<bool> in_train(static_cast<size_t>(n), false);
+  for (int64_t i = 0; i < train_target; ++i) {
+    in_train[static_cast<size_t>(order[static_cast<size_t>(i)])] = true;
+  }
+
+  // Best effort: the first review (by shuffled order) of any user or item
+  // that ended up fully in test is pulled into train.
+  std::vector<bool> user_covered(static_cast<size_t>(num_users_), false);
+  std::vector<bool> item_covered(static_cast<size_t>(num_items_), false);
+  for (int64_t i = 0; i < n; ++i) {
+    if (!in_train[static_cast<size_t>(i)]) continue;
+    user_covered[static_cast<size_t>(reviews_[static_cast<size_t>(i)].user)] =
+        true;
+    item_covered[static_cast<size_t>(reviews_[static_cast<size_t>(i)].item)] =
+        true;
+  }
+  for (int64_t i = 0; i < n; ++i) {
+    const Review& r = reviews_[static_cast<size_t>(i)];
+    if (!user_covered[static_cast<size_t>(r.user)] ||
+        !item_covered[static_cast<size_t>(r.item)]) {
+      in_train[static_cast<size_t>(i)] = true;
+      user_covered[static_cast<size_t>(r.user)] = true;
+      item_covered[static_cast<size_t>(r.item)] = true;
+    }
+  }
+
+  ReviewDataset train(num_users_, num_items_);
+  ReviewDataset test(num_users_, num_items_);
+  for (int64_t i = 0; i < n; ++i) {
+    if (in_train[static_cast<size_t>(i)]) {
+      train.Add(reviews_[static_cast<size_t>(i)]);
+    } else {
+      test.Add(reviews_[static_cast<size_t>(i)]);
+    }
+  }
+  train.BuildIndex();
+  test.BuildIndex();
+  return {std::move(train), std::move(test)};
+}
+
+ReviewDataset ReviewDataset::Merge(const ReviewDataset& a,
+                                   const ReviewDataset& b) {
+  RRRE_CHECK_EQ(a.num_users(), b.num_users());
+  RRRE_CHECK_EQ(a.num_items(), b.num_items());
+  ReviewDataset out(a.num_users(), a.num_items());
+  for (const Review& r : a.reviews()) out.Add(r);
+  for (const Review& r : b.reviews()) out.Add(r);
+  out.BuildIndex();
+  return out;
+}
+
+Status ReviewDataset::SaveTsv(const std::string& path) const {
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(static_cast<size_t>(size()) + 1);
+  rows.push_back({"# num_users", std::to_string(num_users_), "num_items",
+                  std::to_string(num_items_)});
+  for (const Review& r : reviews_) {
+    rows.push_back({std::to_string(r.user), std::to_string(r.item),
+                    common::StrFormat("%.1f", r.rating),
+                    std::to_string(static_cast<int>(r.label)),
+                    std::to_string(r.timestamp),
+                    common::EscapeTsvField(r.text)});
+  }
+  return common::WriteTsv(path, rows);
+}
+
+Result<ReviewDataset> ReviewDataset::LoadTsv(const std::string& path) {
+  auto rows_or = common::ReadTsv(path);
+  if (!rows_or.ok()) return rows_or.status();
+  const auto& rows = rows_or.value();
+  if (rows.empty() || rows[0].size() != 4 || rows[0][0] != "# num_users") {
+    return Status::InvalidArgument("missing dataset header in " + path);
+  }
+  const int64_t num_users = std::atoll(rows[0][1].c_str());
+  const int64_t num_items = std::atoll(rows[0][3].c_str());
+  if (num_users <= 0 || num_items <= 0) {
+    return Status::InvalidArgument("bad dataset universe in " + path);
+  }
+  ReviewDataset ds(num_users, num_items);
+  for (size_t i = 1; i < rows.size(); ++i) {
+    const auto& row = rows[i];
+    if (row.size() != 6) {
+      return Status::InvalidArgument(common::StrFormat(
+          "row %zu of %s has %zu fields, want 6", i, path.c_str(), row.size()));
+    }
+    Review r;
+    r.user = std::atoll(row[0].c_str());
+    r.item = std::atoll(row[1].c_str());
+    r.rating = static_cast<float>(std::atof(row[2].c_str()));
+    r.label = row[3] == "1" ? ReliabilityLabel::kBenign
+                            : ReliabilityLabel::kFake;
+    r.timestamp = std::atoll(row[4].c_str());
+    r.text = row[5];
+    if (r.user < 0 || r.user >= num_users || r.item < 0 ||
+        r.item >= num_items) {
+      return Status::InvalidArgument(
+          common::StrFormat("row %zu of %s outside universe", i, path.c_str()));
+    }
+    ds.Add(std::move(r));
+  }
+  ds.BuildIndex();
+  return ds;
+}
+
+}  // namespace rrre::data

@@ -1,0 +1,72 @@
+#ifndef RRRE_DATA_DATASET_H_
+#define RRRE_DATA_DATASET_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "data/review.h"
+
+namespace rrre::data {
+
+/// In-memory review corpus with per-user / per-item indexes. Review indices
+/// returned by the index accessors refer to positions in `reviews()`.
+class ReviewDataset {
+ public:
+  ReviewDataset(int64_t num_users, int64_t num_items);
+
+  /// Appends a review; user/item must be within the declared universe.
+  void Add(Review review);
+
+  const std::vector<Review>& reviews() const { return reviews_; }
+  const Review& review(int64_t idx) const;
+  int64_t size() const { return static_cast<int64_t>(reviews_.size()); }
+  int64_t num_users() const { return num_users_; }
+  int64_t num_items() const { return num_items_; }
+
+  /// Review indices written by a user, ascending by timestamp (stable).
+  /// BuildIndex() must have been called after the last Add.
+  const std::vector<int64_t>& ReviewsByUser(int64_t user) const;
+  /// Review indices written to an item, ascending by timestamp (stable).
+  const std::vector<int64_t>& ReviewsByItem(int64_t item) const;
+
+  /// (Re)builds the user/item indexes; call after the last Add.
+  void BuildIndex();
+  bool indexed() const { return indexed_; }
+
+  /// Table II-style statistics.
+  DatasetStats Stats() const;
+
+  /// Mean rating per item over a review subset (all reviews if empty);
+  /// items without reviews get the global mean. Used by baselines.
+  std::vector<double> ItemMeanRatings() const;
+
+  /// Random train/test split by review. Both halves keep the full user/item
+  /// universe. Best-effort guarantee (as in Sec. IV-C) that every user and
+  /// item with at least one review keeps one in the training half.
+  std::pair<ReviewDataset, ReviewDataset> Split(double train_fraction,
+                                                common::Rng& rng) const;
+
+  /// TSV persistence: user, item, rating, label, timestamp, text.
+  common::Status SaveTsv(const std::string& path) const;
+  static common::Result<ReviewDataset> LoadTsv(const std::string& path);
+
+  /// Concatenates two datasets over the same user/item universe (a's reviews
+  /// first). Used by transductive baselines that score a test set within the
+  /// combined review graph. The result is indexed.
+  static ReviewDataset Merge(const ReviewDataset& a, const ReviewDataset& b);
+
+ private:
+  int64_t num_users_;
+  int64_t num_items_;
+  std::vector<Review> reviews_;
+  std::vector<std::vector<int64_t>> by_user_;
+  std::vector<std::vector<int64_t>> by_item_;
+  bool indexed_ = false;
+};
+
+}  // namespace rrre::data
+
+#endif  // RRRE_DATA_DATASET_H_

@@ -1,0 +1,71 @@
+#ifndef RRRE_DATA_PROFILES_H_
+#define RRRE_DATA_PROFILES_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace rrre::data {
+
+/// Parameters of a synthetic corpus, shaped after one of the paper's five
+/// datasets (Table II) but scaled down for a single-core box. `scale`
+/// multiplies review/user counts (items scale with sqrt so item degree grows
+/// with scale, as in the real collections).
+struct DatasetProfile {
+  std::string name;
+  int64_t num_reviews = 0;
+  int64_t num_users = 0;
+  int64_t num_items = 0;
+  double fake_fraction = 0.13;     ///< Target fraction of fake reviews.
+  double fraud_user_fraction = 0.1;///< Fraction of users running campaigns.
+  /// Zipf-ish popularity skew for items (higher = heavier head).
+  double item_popularity_skew = 0.8;
+  /// Zipf-ish activity skew for users.
+  double user_activity_skew = 1.2;
+  /// Relative rate at which fraudsters author camouflage reviews (benign
+  /// process, benign label) so authorship alone does not give labels away.
+  double camouflage_rate = 1.0;
+  /// Days covered by the corpus.
+  int64_t horizon_days = 730;
+  /// Length of a fraud campaign burst in days. Wide bursts dilute the
+  /// temporal signal behavior-based detectors rely on.
+  int64_t campaign_burst_days = 150;
+  /// Probability a fake review carries the campaign's extreme rating (the
+  /// rest use a moderate 4/2 to blunt the rating-deviation signal).
+  double fake_extreme_prob = 0.55;
+  /// Fraction of benign users who review hastily: very short text, extreme
+  /// ratings, several reviews within a narrow window. Behavioral noise.
+  double hasty_user_fraction = 0.08;
+  /// Fraction of benign users whose taste opposes item quality. Their honest
+  /// ratings deviate strongly from item means — rating-deviation noise.
+  double contrarian_user_fraction = 0.10;
+  /// Label noise of the filtering oracle that produced the ground truth
+  /// (Yelp's filter / the helpfulness-vote rule are imperfect): probability
+  /// a benign-process review is labeled fake, and a campaign review is
+  /// labeled benign. Caps every detector's achievable metrics, as on the
+  /// real corpora.
+  double filter_false_positive_rate = 0.05;
+  double filter_miss_rate = 0.12;
+  /// Fake reviews a campaign plants on its target item (uniform range).
+  /// Large on Yelp-like corpora (popular restaurants absorb big campaigns);
+  /// small on Amazon-like ones (long-tail items, repeat offenders instead).
+  int64_t campaign_size_min = 5;
+  int64_t campaign_size_max = 15;
+  int num_categories = 6;
+};
+
+/// Named profiles: "yelpchi", "yelpnyc", "yelpzip", "musics", "cds".
+/// scale = 1.0 produces roughly 1/10 of the paper's review counts.
+common::Result<DatasetProfile> ProfileByName(const std::string& name,
+                                             double scale = 1.0);
+
+DatasetProfile YelpChiProfile(double scale = 1.0);
+DatasetProfile YelpNycProfile(double scale = 1.0);
+DatasetProfile YelpZipProfile(double scale = 1.0);
+DatasetProfile MusicsProfile(double scale = 1.0);
+DatasetProfile CdsProfile(double scale = 1.0);
+
+}  // namespace rrre::data
+
+#endif  // RRRE_DATA_PROFILES_H_

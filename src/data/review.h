@@ -1,0 +1,39 @@
+#ifndef RRRE_DATA_REVIEW_H_
+#define RRRE_DATA_REVIEW_H_
+
+#include <cstdint>
+#include <string>
+
+namespace rrre::data {
+
+/// Ground-truth reliability label of a review (the paper's l_ui).
+enum class ReliabilityLabel : int { kFake = 0, kBenign = 1 };
+
+/// One review tuple t^ui = {u, i, r_ui, l_ui, w_ui} plus a timestamp used by
+/// the time-based history sampling of Sec. III-D.
+struct Review {
+  int64_t user = -1;            ///< Dense user index in [0, num_users).
+  int64_t item = -1;            ///< Dense item index in [0, num_items).
+  float rating = 0.0f;          ///< Star rating in [1, 5].
+  ReliabilityLabel label = ReliabilityLabel::kBenign;
+  int64_t timestamp = 0;        ///< Days since the corpus epoch.
+  std::string text;             ///< Raw review content w_ui.
+
+  bool is_benign() const { return label == ReliabilityLabel::kBenign; }
+};
+
+/// Summary statistics in the shape of the paper's Table II.
+struct DatasetStats {
+  int64_t num_reviews = 0;
+  int64_t num_users = 0;
+  int64_t num_items = 0;
+  double fake_fraction = 0.0;
+  int64_t max_user_degree = 0;     ///< max |W^u|
+  int64_t median_user_degree = 0;  ///< median |W^u| over users with >=1 review
+  int64_t max_item_degree = 0;     ///< max |W^i|
+  int64_t median_item_degree = 0;  ///< median |W^i| over items with >=1 review
+};
+
+}  // namespace rrre::data
+
+#endif  // RRRE_DATA_REVIEW_H_

@@ -1,0 +1,36 @@
+#include "data/sampling.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace rrre::data {
+
+std::vector<int64_t> SampleHistory(const std::vector<int64_t>& history,
+                                   int64_t m, SamplingStrategy strategy,
+                                   common::Rng& rng, int64_t exclude) {
+  RRRE_CHECK_GT(m, 0);
+  std::vector<int64_t> pool;
+  pool.reserve(history.size());
+  for (int64_t idx : history) {
+    if (idx != exclude) pool.push_back(idx);
+  }
+
+  std::vector<int64_t> out;
+  out.reserve(static_cast<size_t>(m));
+  if (static_cast<int64_t>(pool.size()) <= m) {
+    out = pool;
+  } else if (strategy == SamplingStrategy::kLatest) {
+    // History is ascending by time: take the last m.
+    out.assign(pool.end() - m, pool.end());
+  } else {
+    auto picks = rng.SampleWithoutReplacement(pool.size(),
+                                              static_cast<size_t>(m));
+    std::sort(picks.begin(), picks.end());  // Preserve temporal order.
+    for (size_t p : picks) out.push_back(pool[p]);
+  }
+  out.resize(static_cast<size_t>(m), -1);
+  return out;
+}
+
+}  // namespace rrre::data

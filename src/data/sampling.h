@@ -1,0 +1,36 @@
+#ifndef RRRE_DATA_SAMPLING_H_
+#define RRRE_DATA_SAMPLING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+
+namespace rrre::data {
+
+/// How a history longer than the input size m is reduced (Sec. III-D).
+enum class SamplingStrategy {
+  /// Keep the m most recent reviews (the paper's time-based strategy:
+  /// "users' preferences change over time and the latest preference is more
+  /// useful").
+  kLatest,
+  /// Uniform random subset — the ablation alternative.
+  kRandom,
+};
+
+/// Shapes a review history to exactly `m` slots. `history` holds review
+/// indices ascending by timestamp (as produced by ReviewDataset indexes).
+/// If the history is longer than m it is subsampled per `strategy`; if
+/// shorter, the tail is filled with -1 (zero-padding sentinel). An optional
+/// `exclude` review index is dropped from the history first (used to avoid
+/// the target review leaking into its own history).
+///
+/// The returned indices are ordered ascending by timestamp.
+std::vector<int64_t> SampleHistory(const std::vector<int64_t>& history,
+                                   int64_t m, SamplingStrategy strategy,
+                                   common::Rng& rng, int64_t exclude = -1);
+
+}  // namespace rrre::data
+
+#endif  // RRRE_DATA_SAMPLING_H_

@@ -1,0 +1,327 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "common/logging.h"
+#include "data/wordbanks.h"
+
+namespace rrre::data {
+
+using common::Rng;
+
+namespace {
+
+constexpr int kLatentDim = 4;
+
+/// Rank-based power-law weights: weight of the element ranked r (0-based) is
+/// (r+1)^-skew; assignment of ranks to ids is a random permutation.
+std::vector<double> PowerLawWeights(int64_t n, double skew, Rng& rng) {
+  std::vector<int64_t> ranks(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) ranks[static_cast<size_t>(i)] = i;
+  rng.Shuffle(ranks);
+  std::vector<double> weights(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    weights[static_cast<size_t>(i)] =
+        std::pow(static_cast<double>(ranks[static_cast<size_t>(i)]) + 1.0,
+                 -skew);
+  }
+  return weights;
+}
+
+float ClampRating(double r) {
+  return static_cast<float>(std::clamp(std::round(r), 1.0, 5.0));
+}
+
+template <typename Pool>
+std::string_view Pick(const Pool& pool, Rng& rng) {
+  return pool[rng.UniformInt(static_cast<uint64_t>(pool.size()))];
+}
+
+/// Benign review text: aspect words of the item's category plus sentiment
+/// words consistent with the rating plus function words.
+std::string BenignText(float rating, int category, Rng& rng) {
+  const int64_t len = 8 + static_cast<int64_t>(rng.UniformInt(uint64_t{22}));
+  std::string out;
+  for (int64_t t = 0; t < len; ++t) {
+    const double roll = rng.Uniform();
+    std::string_view tok;
+    if (roll < 0.40) {
+      tok = Pick(wordbanks::Function(), rng);
+    } else if (roll < 0.65) {
+      tok = Pick(wordbanks::Aspects(category), rng);
+    } else {
+      // Sentiment word matching the rating, with some hedging noise.
+      const double noise = rng.Uniform();
+      if (rating >= 4.0f) {
+        tok = noise < 0.85 ? Pick(wordbanks::Positive(), rng)
+                           : Pick(wordbanks::Neutral(), rng);
+      } else if (rating <= 2.0f) {
+        tok = noise < 0.85 ? Pick(wordbanks::Negative(), rng)
+                           : Pick(wordbanks::Neutral(), rng);
+      } else {
+        if (noise < 0.6) {
+          tok = Pick(wordbanks::Neutral(), rng);
+        } else if (noise < 0.8) {
+          tok = Pick(wordbanks::Positive(), rng);
+        } else {
+          tok = Pick(wordbanks::Negative(), rng);
+        }
+      }
+    }
+    if (!out.empty()) out += ' ';
+    out += tok;
+  }
+  return out;
+}
+
+/// Very short, low-effort benign text written by hasty reviewers.
+std::string HastyText(float rating, int category, Rng& rng) {
+  const int64_t len = 3 + static_cast<int64_t>(rng.UniformInt(uint64_t{4}));
+  std::string out;
+  for (int64_t t = 0; t < len; ++t) {
+    const double roll = rng.Uniform();
+    std::string_view tok;
+    if (roll < 0.4) {
+      tok = Pick(wordbanks::Function(), rng);
+    } else if (roll < 0.6) {
+      tok = Pick(wordbanks::Aspects(category), rng);
+    } else if (rating >= 4.0f) {
+      tok = Pick(wordbanks::Positive(), rng);
+    } else if (rating <= 2.0f) {
+      tok = Pick(wordbanks::Negative(), rng);
+    } else {
+      tok = Pick(wordbanks::Neutral(), rng);
+    }
+    if (!out.empty()) out += ' ';
+    out += tok;
+  }
+  return out;
+}
+
+/// Spam text: generic superlatives/smears diluted with function words and a
+/// campaign-shared template phrase. Length matches benign reviews so text
+/// length alone is not a giveaway; the *vocabulary* is the signal.
+std::string SpamText(bool promote, int category, size_t template_id,
+                     Rng& rng) {
+  const int64_t len = 8 + static_cast<int64_t>(rng.UniformInt(uint64_t{14}));
+  std::string out;
+  for (int64_t t = 0; t < len; ++t) {
+    const double roll = rng.Uniform();
+    std::string_view tok;
+    if (roll < 0.50) {
+      tok = promote ? Pick(wordbanks::SpamPromote(), rng)
+                    : Pick(wordbanks::SpamDemote(), rng);
+    } else if (roll < 0.80) {
+      tok = Pick(wordbanks::Function(), rng);
+    } else if (roll < 0.92) {
+      tok = Pick(wordbanks::Aspects(category), rng);
+    } else {
+      // Sentiment-consistent camouflage words.
+      tok = promote ? Pick(wordbanks::Positive(), rng)
+                    : Pick(wordbanks::Negative(), rng);
+    }
+    if (!out.empty()) out += ' ';
+    out += tok;
+  }
+  if (rng.Uniform() < 0.5) {
+    const auto& templates = wordbanks::SpamTemplates();
+    const auto& phrase = templates[template_id % templates.size()];
+    for (std::string_view tok : phrase) {
+      out += ' ';
+      out += tok;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+ReviewDataset GenerateSyntheticDataset(const DatasetProfile& profile,
+                                       Rng& rng, SyntheticWorld* world) {
+  RRRE_CHECK_GT(profile.num_reviews, 0);
+  RRRE_CHECK_GT(profile.num_users, 0);
+  RRRE_CHECK_GT(profile.num_items, 0);
+  RRRE_CHECK_GE(profile.fake_fraction, 0.0);
+  RRRE_CHECK_LT(profile.fake_fraction, 1.0);
+  const int64_t num_users = profile.num_users;
+  const int64_t num_items = profile.num_items;
+
+  // --- Latent state -------------------------------------------------------
+  std::vector<int> item_category(static_cast<size_t>(num_items));
+  std::vector<double> item_quality(static_cast<size_t>(num_items));
+  std::vector<std::vector<double>> item_factors(static_cast<size_t>(num_items));
+  const int num_cats =
+      std::min(profile.num_categories, wordbanks::NumCategories());
+  for (int64_t i = 0; i < num_items; ++i) {
+    item_category[static_cast<size_t>(i)] =
+        static_cast<int>(rng.UniformInt(static_cast<uint64_t>(num_cats)));
+    item_quality[static_cast<size_t>(i)] =
+        std::clamp(rng.Normal(0.0, 0.8), -1.6, 1.6);
+    auto& f = item_factors[static_cast<size_t>(i)];
+    f.resize(kLatentDim);
+    for (double& v : f) v = rng.Normal();
+  }
+
+  std::vector<double> user_bias(static_cast<size_t>(num_users));
+  std::vector<std::vector<double>> user_factors(static_cast<size_t>(num_users));
+  // Benign behavioral noise: hasty users (short text, extreme ratings, a
+  // narrow active window) and contrarians (honest ratings that oppose item
+  // quality). Both generate the behavioral footprints detectors associate
+  // with fraud, on benign-labeled reviews.
+  std::vector<bool> is_hasty(static_cast<size_t>(num_users), false);
+  std::vector<bool> is_contrarian(static_cast<size_t>(num_users), false);
+  std::vector<int64_t> hasty_window_start(static_cast<size_t>(num_users), 0);
+  for (int64_t u = 0; u < num_users; ++u) {
+    user_bias[static_cast<size_t>(u)] = rng.Normal(0.0, 0.25);
+    auto& f = user_factors[static_cast<size_t>(u)];
+    f.resize(kLatentDim);
+    for (double& v : f) v = rng.Normal();
+    const double roll = rng.Uniform();
+    if (roll < profile.hasty_user_fraction) {
+      is_hasty[static_cast<size_t>(u)] = true;
+      hasty_window_start[static_cast<size_t>(u)] = static_cast<int64_t>(
+          rng.UniformInt(static_cast<uint64_t>(
+              std::max<int64_t>(1, profile.horizon_days - 30))));
+    } else if (roll <
+               profile.hasty_user_fraction + profile.contrarian_user_fraction) {
+      is_contrarian[static_cast<size_t>(u)] = true;
+    }
+  }
+
+  // --- Fraudster population ------------------------------------------------
+  const int64_t num_fraudsters = std::max<int64_t>(
+      1, static_cast<int64_t>(profile.fraud_user_fraction * num_users));
+  std::vector<bool> is_fraudster(static_cast<size_t>(num_users), false);
+  auto fraud_picks = rng.SampleWithoutReplacement(
+      static_cast<size_t>(num_users), static_cast<size_t>(num_fraudsters));
+  std::vector<int64_t> fraudsters;
+  fraudsters.reserve(fraud_picks.size());
+  for (size_t p : fraud_picks) {
+    is_fraudster[p] = true;
+    fraudsters.push_back(static_cast<int64_t>(p));
+  }
+
+  const std::vector<double> item_pop =
+      PowerLawWeights(num_items, profile.item_popularity_skew, rng);
+  const std::vector<double> user_act =
+      PowerLawWeights(num_users, profile.user_activity_skew, rng);
+
+  // Benign authorship: fraudsters camouflage by writing benign-process
+  // reviews at camouflage_rate times the ordinary activity level, so their
+  // behavioral profiles blend with the benign population.
+  std::vector<double> benign_author_weights = user_act;
+  for (int64_t u = 0; u < num_users; ++u) {
+    if (is_fraudster[static_cast<size_t>(u)]) {
+      benign_author_weights[static_cast<size_t>(u)] *= profile.camouflage_rate;
+    }
+  }
+
+  // Solve for the campaign volume c so the *labeled* fake fraction matches
+  // the profile after oracle noise: c*(1-miss) + (1-c)*fpr = fake_fraction.
+  const double denom =
+      1.0 - profile.filter_miss_rate - profile.filter_false_positive_rate;
+  RRRE_CHECK_GT(denom, 0.0);
+  const double campaign_fraction = std::clamp(
+      (profile.fake_fraction - profile.filter_false_positive_rate) / denom,
+      0.0, 0.9);
+  const int64_t num_fake =
+      static_cast<int64_t>(campaign_fraction * profile.num_reviews);
+  const int64_t num_benign = profile.num_reviews - num_fake;
+
+  ReviewDataset ds(num_users, num_items);
+
+  // --- Benign reviews -------------------------------------------------------
+  for (int64_t n = 0; n < num_benign; ++n) {
+    const int64_t u = static_cast<int64_t>(rng.Categorical(benign_author_weights));
+    const int64_t i = static_cast<int64_t>(rng.Categorical(item_pop));
+    double dot = 0.0;
+    for (int d = 0; d < kLatentDim; ++d) {
+      dot += user_factors[static_cast<size_t>(u)][static_cast<size_t>(d)] *
+             item_factors[static_cast<size_t>(i)][static_cast<size_t>(d)];
+    }
+    double mean = 3.25 + user_bias[static_cast<size_t>(u)] +
+                  0.9 * item_quality[static_cast<size_t>(i)] + 0.35 * dot;
+    if (is_contrarian[static_cast<size_t>(u)]) {
+      // Honest taste that opposes consensus: mirror around the global mean.
+      mean = 6.5 - mean;
+    }
+    Review r;
+    r.user = u;
+    r.item = i;
+    r.rating = ClampRating(mean + rng.Normal(0.0, 0.7));
+    // The filtering oracle occasionally flags honest reviews.
+    r.label = rng.Bernoulli(profile.filter_false_positive_rate)
+                  ? ReliabilityLabel::kFake
+                  : ReliabilityLabel::kBenign;
+    if (is_hasty[static_cast<size_t>(u)]) {
+      // Hasty users binge-review inside a narrow window with blunt ratings.
+      if (rng.Uniform() < 0.5) {
+        r.rating = r.rating >= 3.0f ? 5.0f : 1.0f;
+      }
+      r.timestamp = hasty_window_start[static_cast<size_t>(u)] +
+                    static_cast<int64_t>(rng.UniformInt(uint64_t{30}));
+      r.text =
+          HastyText(r.rating, item_category[static_cast<size_t>(i)], rng);
+    } else {
+      r.timestamp = static_cast<int64_t>(
+          rng.UniformInt(static_cast<uint64_t>(profile.horizon_days)));
+      r.text =
+          BenignText(r.rating, item_category[static_cast<size_t>(i)], rng);
+    }
+    ds.Add(std::move(r));
+  }
+
+  // --- Fraud campaigns -------------------------------------------------------
+  int64_t campaigns = 0;
+  int64_t fakes_emitted = 0;
+  while (fakes_emitted < num_fake) {
+    const int64_t target = static_cast<int64_t>(rng.Categorical(item_pop));
+    const double quality = item_quality[static_cast<size_t>(target)];
+    // Spam promotes bad items and demotes good items (Sec. I): direction is
+    // tied to quality with some noise.
+    const bool promote = rng.Uniform() < (quality < 0.0 ? 0.85 : 0.15);
+    const int64_t burst_start = static_cast<int64_t>(rng.UniformInt(
+        static_cast<uint64_t>(
+            std::max<int64_t>(1, profile.horizon_days -
+                                     profile.campaign_burst_days))));
+    const int64_t campaign_size = std::min<int64_t>(
+        num_fake - fakes_emitted,
+        rng.UniformInt(profile.campaign_size_min, profile.campaign_size_max));
+    const size_t template_id = static_cast<size_t>(rng.NextUint64() % 1024);
+    for (int64_t kth = 0; kth < campaign_size; ++kth) {
+      const int64_t u = fraudsters[rng.UniformInt(
+          static_cast<uint64_t>(fraudsters.size()))];
+      Review r;
+      r.user = u;
+      r.item = target;
+      const bool extreme = rng.Uniform() < profile.fake_extreme_prob;
+      r.rating = promote ? (extreme ? 5.0f : 4.0f) : (extreme ? 1.0f : 2.0f);
+      // The filtering oracle misses a share of the campaign reviews.
+      r.label = rng.Bernoulli(profile.filter_miss_rate)
+                    ? ReliabilityLabel::kBenign
+                    : ReliabilityLabel::kFake;
+      r.timestamp = burst_start + static_cast<int64_t>(rng.UniformInt(
+                                      static_cast<uint64_t>(
+                                          profile.campaign_burst_days)));
+      r.text = SpamText(promote, item_category[static_cast<size_t>(target)],
+                        template_id, rng);
+      ds.Add(std::move(r));
+      ++fakes_emitted;
+    }
+    ++campaigns;
+  }
+
+  ds.BuildIndex();
+  if (world != nullptr) {
+    world->item_category = std::move(item_category);
+    world->item_quality = std::move(item_quality);
+    world->is_fraudster = std::move(is_fraudster);
+    world->num_campaigns = campaigns;
+    world->num_fake_reviews = fakes_emitted;
+  }
+  return ds;
+}
+
+}  // namespace rrre::data

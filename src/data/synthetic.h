@@ -1,0 +1,46 @@
+#ifndef RRRE_DATA_SYNTHETIC_H_
+#define RRRE_DATA_SYNTHETIC_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+#include "data/profiles.h"
+
+namespace rrre::data {
+
+/// Latent ground truth behind a generated corpus; exposed so tests and
+/// benches can verify the planted structure.
+struct SyntheticWorld {
+  std::vector<int> item_category;      ///< Category per item.
+  std::vector<double> item_quality;    ///< Scalar quality per item.
+  std::vector<bool> is_fraudster;      ///< Campaign participation per user.
+  int64_t num_campaigns = 0;
+  int64_t num_fake_reviews = 0;
+};
+
+/// Generates a labeled review corpus with planted fraud campaigns.
+///
+/// The generator plants exactly the signals the paper's methods rely on:
+///  * Benign ratings follow a latent user x item factor model plus item
+///    quality, so rating prediction is learnable (PMF and better).
+///  * Benign text mixes category aspect words with sentiment words matching
+///    the rating — the review-content signal RRRE/DeepCoNN/NARRE read.
+///  * Fake reviews belong to promote/demote campaigns: extreme ratings
+///    decoupled from item quality (REV2/rating-deviation signal), generic
+///    spam vocabulary plus a campaign-shared template phrase (content
+///    signal), timestamps inside a short burst window (behavioral signal),
+///    and authorship concentrated on a small fraudster population hitting
+///    targeted items (graph signal for SpEagle+).
+///  * Fraudsters also write occasional camouflage reviews that look and are
+///    labeled benign, keeping user identity alone insufficient.
+///
+/// Deterministic given (profile, rng seed). If `world` is non-null the
+/// latent state is stored there.
+ReviewDataset GenerateSyntheticDataset(const DatasetProfile& profile,
+                                       common::Rng& rng,
+                                       SyntheticWorld* world = nullptr);
+
+}  // namespace rrre::data
+
+#endif  // RRRE_DATA_SYNTHETIC_H_

@@ -1,0 +1,152 @@
+#include "data/wordbanks.h"
+
+#include "common/logging.h"
+
+namespace rrre::data::wordbanks {
+
+namespace {
+
+// NOTE: pools are function-local statics of vectors of string_views over
+// string literals; the views are trivially destructible and the vectors are
+// created on first use.
+
+const std::vector<std::string_view>* MakePositive() {
+  return new std::vector<std::string_view>{
+      "great",     "friendly",  "delicious", "amazing",   "excellent",
+      "wonderful", "fresh",     "cozy",      "lovely",    "tasty",
+      "fantastic", "charming",  "attentive", "generous",  "crisp",
+      "perfect",   "impressive","warm",      "satisfying","delightful",
+      "superb",    "pleasant",  "polite",    "quick",     "clean",
+      "flavorful", "authentic", "reasonable","memorable", "inviting"};
+}
+
+const std::vector<std::string_view>* MakeNegative() {
+  return new std::vector<std::string_view>{
+      "terrible",  "rude",      "stale",     "awful",      "bland",
+      "dirty",     "slow",      "overpriced","disappointing","cold",
+      "greasy",    "noisy",     "cramped",   "soggy",      "burnt",
+      "mediocre",  "unfriendly","lazy",      "tasteless",  "messy",
+      "horrible",  "watery",    "chewy",     "crowded",    "smelly",
+      "broken",    "pricey",    "forgettable","sloppy",    "dreadful"};
+}
+
+const std::vector<std::string_view>* MakeNeutral() {
+  return new std::vector<std::string_view>{
+      "okay",    "average", "decent",   "typical", "standard",
+      "fine",    "regular", "ordinary", "usual",   "fair",
+      "passable","moderate","plain",    "simple",  "middling"};
+}
+
+const std::vector<std::string_view>* MakeFunction() {
+  return new std::vector<std::string_view>{
+      "the",  "a",    "and",  "was",  "were", "with", "very", "really",
+      "had",  "this", "that", "here", "they", "it",   "but",  "for",
+      "too",  "again","place","time", "staff","quite","some", "my"};
+}
+
+const std::vector<std::vector<std::string_view>>* MakeAspects() {
+  return new std::vector<std::vector<std::string_view>>{
+      // 0: restaurant
+      {"pasta", "burger", "sauce", "dessert", "menu", "kitchen", "waiter",
+       "appetizer", "brunch", "portion"},
+      // 1: bar
+      {"beer", "cocktail", "bartender", "draft", "whiskey", "lounge",
+       "happyhour", "stool", "brewery", "pint"},
+      // 2: cafe
+      {"coffee", "espresso", "latte", "pastry", "croissant", "barista",
+       "roast", "muffin", "wifi", "teapot"},
+      // 3: music album
+      {"album", "vocals", "guitar", "melody", "lyrics", "chorus", "drums",
+       "track", "producer", "mix"},
+      // 4: cd / boxset
+      {"boxset", "remaster", "liner", "disc", "edition", "booklet",
+       "recording", "pressing", "artwork", "bonus"},
+      // 5: hotel
+      {"room", "lobby", "bed", "shower", "checkin", "view", "breakfast",
+       "towel", "concierge", "elevator"},
+  };
+}
+
+const std::vector<std::string_view>* MakeSpamPromote() {
+  return new std::vector<std::string_view>{
+      "best",      "awesome",   "unbelievable", "must",      "ever",
+      "number1",   "top",       "greatest",     "insane",    "epic",
+      "flawless",  "ultimate",  "legendary",    "wow",       "incredible",
+      "unreal",    "goat",      "elite",        "supreme",   "unmatched",
+      "killer",    "stunning",  "magical",      "golden",    "worldclass",
+      "peak",      "divine",    "majestic",     "glorious",  "phenomenal"};
+}
+
+const std::vector<std::string_view>* MakeSpamDemote() {
+  return new std::vector<std::string_view>{
+      "worst",    "scam",     "fraud",    "disgusting", "never",
+      "avoid",    "ripoff",   "garbage",  "trash",      "zero",
+      "fake",     "joke",     "pathetic", "beware",     "nightmare",
+      "criminal", "shady",    "con",      "rotten",     "toxic",
+      "vile",     "worthless","bogus",    "sham",       "atrocious",
+      "abysmal",  "lousy",    "shoddy",   "crooked",    "wretched"};
+}
+
+const std::vector<std::vector<std::string_view>>* MakeSpamTemplates() {
+  return new std::vector<std::vector<std::string_view>>{
+      {"trust", "me", "you", "will", "not", "regret"},
+      {"five", "stars", "hands", "down", "period"},
+      {"tell", "all", "your", "friends", "right", "now"},
+      {"do", "not", "waste", "your", "money", "here"},
+      {"i", "cannot", "recommend", "this", "enough"},
+      {"stay", "away", "save", "yourself"},
+      {"simply", "the", "best", "in", "town", "guaranteed"},
+      {"total", "letdown", "do", "not", "believe", "the", "hype"},
+  };
+}
+
+}  // namespace
+
+const std::vector<std::string_view>& Positive() {
+  static const auto* pool = MakePositive();
+  return *pool;
+}
+
+const std::vector<std::string_view>& Negative() {
+  static const auto* pool = MakeNegative();
+  return *pool;
+}
+
+const std::vector<std::string_view>& Neutral() {
+  static const auto* pool = MakeNeutral();
+  return *pool;
+}
+
+const std::vector<std::string_view>& Function() {
+  static const auto* pool = MakeFunction();
+  return *pool;
+}
+
+const std::vector<std::string_view>& Aspects(int category) {
+  static const auto* pools = MakeAspects();
+  RRRE_CHECK_GE(category, 0);
+  RRRE_CHECK_LT(category, static_cast<int>(pools->size()));
+  return (*pools)[static_cast<size_t>(category)];
+}
+
+int NumCategories() {
+  static const auto* pools = MakeAspects();
+  return static_cast<int>(pools->size());
+}
+
+const std::vector<std::string_view>& SpamPromote() {
+  static const auto* pool = MakeSpamPromote();
+  return *pool;
+}
+
+const std::vector<std::string_view>& SpamDemote() {
+  static const auto* pool = MakeSpamDemote();
+  return *pool;
+}
+
+const std::vector<std::vector<std::string_view>>& SpamTemplates() {
+  static const auto* pool = MakeSpamTemplates();
+  return *pool;
+}
+
+}  // namespace rrre::data::wordbanks

@@ -1,0 +1,46 @@
+#ifndef RRRE_DATA_WORDBANKS_H_
+#define RRRE_DATA_WORDBANKS_H_
+
+#include <string_view>
+#include <vector>
+
+namespace rrre::data {
+
+/// Word pools used by the synthetic review-text generator. The pools are
+/// designed so that (a) benign review sentiment correlates with the rating,
+/// (b) spam text has its own recognizable register (generic superlatives and
+/// call-to-action phrases, few concrete aspects), and (c) each item category
+/// has distinctive aspect vocabulary — the three textual signals the paper's
+/// models exploit.
+namespace wordbanks {
+
+/// Positive sentiment words used in 4-5 star benign reviews.
+const std::vector<std::string_view>& Positive();
+
+/// Negative sentiment words used in 1-2 star benign reviews.
+const std::vector<std::string_view>& Negative();
+
+/// Neutral/hedging words mixed into 3-star and all benign reviews.
+const std::vector<std::string_view>& Neutral();
+
+/// Function words sprinkled everywhere.
+const std::vector<std::string_view>& Function();
+
+/// Aspect nouns for a category; `category` indexes a fixed set of pools.
+const std::vector<std::string_view>& Aspects(int category);
+int NumCategories();
+
+/// Generic superlatives characteristic of promotional spam.
+const std::vector<std::string_view>& SpamPromote();
+
+/// Generic smear words characteristic of demotion spam.
+const std::vector<std::string_view>& SpamDemote();
+
+/// Call-to-action / template phrases (multi-word, pre-tokenized) that spam
+/// campaigns reuse verbatim.
+const std::vector<std::vector<std::string_view>>& SpamTemplates();
+
+}  // namespace wordbanks
+}  // namespace rrre::data
+
+#endif  // RRRE_DATA_WORDBANKS_H_

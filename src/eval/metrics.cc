@@ -1,0 +1,141 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace rrre::eval {
+
+namespace {
+
+/// Indices sorted by descending score; ties broken by ascending index so all
+/// metrics are deterministic.
+std::vector<size_t> RankDescending(const std::vector<double>& scores) {
+  std::vector<size_t> order(scores.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return scores[a] > scores[b];
+  });
+  return order;
+}
+
+void CheckAligned(size_t a, size_t b) {
+  RRRE_CHECK_EQ(a, b) << "metric inputs must be aligned";
+}
+
+}  // namespace
+
+double Rmse(const std::vector<double>& predictions,
+            const std::vector<double>& targets) {
+  CheckAligned(predictions.size(), targets.size());
+  RRRE_CHECK(!predictions.empty());
+  double acc = 0.0;
+  for (size_t i = 0; i < predictions.size(); ++i) {
+    const double d = predictions[i] - targets[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(predictions.size()));
+}
+
+double BiasedRmse(const std::vector<double>& predictions,
+                  const std::vector<double>& targets,
+                  const std::vector<int>& labels) {
+  CheckAligned(predictions.size(), targets.size());
+  CheckAligned(predictions.size(), labels.size());
+  double acc = 0.0;
+  int64_t benign = 0;
+  for (size_t i = 0; i < predictions.size(); ++i) {
+    if (labels[i] == 0) continue;
+    const double d = predictions[i] - targets[i];
+    acc += d * d;
+    ++benign;
+  }
+  RRRE_CHECK_GT(benign, 0) << "bRMSE needs at least one benign pair";
+  return std::sqrt(acc / static_cast<double>(benign));
+}
+
+double Auc(const std::vector<double>& scores, const std::vector<int>& labels) {
+  CheckAligned(scores.size(), labels.size());
+  // Rank-sum formulation with midranks for ties.
+  std::vector<size_t> order(scores.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return scores[a] < scores[b];
+  });
+  std::vector<double> ranks(scores.size());
+  size_t i = 0;
+  while (i < order.size()) {
+    size_t j = i;
+    while (j + 1 < order.size() && scores[order[j + 1]] == scores[order[i]]) {
+      ++j;
+    }
+    const double midrank = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (size_t t = i; t <= j; ++t) ranks[order[t]] = midrank;
+    i = j + 1;
+  }
+  double pos_rank_sum = 0.0;
+  int64_t pos = 0;
+  int64_t neg = 0;
+  for (size_t t = 0; t < labels.size(); ++t) {
+    if (labels[t] == 1) {
+      pos_rank_sum += ranks[t];
+      ++pos;
+    } else {
+      ++neg;
+    }
+  }
+  if (pos == 0 || neg == 0) return 0.5;
+  const double u = pos_rank_sum - static_cast<double>(pos) * (pos + 1) / 2.0;
+  return u / (static_cast<double>(pos) * static_cast<double>(neg));
+}
+
+double AveragePrecision(const std::vector<double>& scores,
+                        const std::vector<int>& labels) {
+  CheckAligned(scores.size(), labels.size());
+  const auto order = RankDescending(scores);
+  double ap = 0.0;
+  int64_t hits = 0;
+  for (size_t rank = 0; rank < order.size(); ++rank) {
+    if (labels[order[rank]] == 1) {
+      ++hits;
+      ap += static_cast<double>(hits) / static_cast<double>(rank + 1);
+    }
+  }
+  if (hits == 0) return 0.0;
+  return ap / static_cast<double>(hits);
+}
+
+double NdcgAtK(const std::vector<double>& scores,
+               const std::vector<int>& labels, int64_t k) {
+  CheckAligned(scores.size(), labels.size());
+  RRRE_CHECK_GT(k, 0);
+  k = std::min<int64_t>(k, static_cast<int64_t>(scores.size()));
+  const auto order = RankDescending(scores);
+  double dcg = 0.0;
+  double idcg = 0.0;
+  for (int64_t rank = 0; rank < k; ++rank) {
+    const double discount =
+        1.0 / std::log2(static_cast<double>(rank) + 2.0);
+    // Binary labels: 2^l - 1 is l itself.
+    dcg += static_cast<double>(labels[order[static_cast<size_t>(rank)]]) *
+           discount;
+    idcg += discount;
+  }
+  return dcg / idcg;
+}
+
+double PrecisionAtK(const std::vector<double>& scores,
+                    const std::vector<int>& labels, int64_t k) {
+  CheckAligned(scores.size(), labels.size());
+  RRRE_CHECK_GT(k, 0);
+  k = std::min<int64_t>(k, static_cast<int64_t>(scores.size()));
+  const auto order = RankDescending(scores);
+  int64_t hits = 0;
+  for (int64_t rank = 0; rank < k; ++rank) {
+    hits += labels[order[static_cast<size_t>(rank)]] == 1 ? 1 : 0;
+  }
+  return static_cast<double>(hits) / static_cast<double>(k);
+}
+
+}  // namespace rrre::eval

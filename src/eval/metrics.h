@@ -1,0 +1,44 @@
+#ifndef RRRE_EVAL_METRICS_H_
+#define RRRE_EVAL_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace rrre::eval {
+
+/// Root mean square error over all pairs (Eq. 16).
+double Rmse(const std::vector<double>& predictions,
+            const std::vector<double>& targets);
+
+/// Biased RMSE (Eq. 17): the error of each pair is weighted by its
+/// ground-truth reliability label and normalized by the number of benign
+/// pairs, so fake reviews do not count.
+/// labels[i] is 1 for benign, 0 for fake.
+double BiasedRmse(const std::vector<double>& predictions,
+                  const std::vector<double>& targets,
+                  const std::vector<int>& labels);
+
+/// Area under the ROC curve of ranking benign (label 1) above fake
+/// (label 0). Ties in score contribute 1/2, the Mann-Whitney convention.
+/// Returns 0.5 when one class is empty.
+double Auc(const std::vector<double>& scores, const std::vector<int>& labels);
+
+/// Average precision of retrieving benign reviews when sorted by descending
+/// score. Deterministic tie-break by original index. Returns 0 when there
+/// are no positives.
+double AveragePrecision(const std::vector<double>& scores,
+                        const std::vector<int>& labels);
+
+/// NDCG@k per Eqs. (18)-(19): DCG@k = sum_{i=1..k} (2^{l_i}-1)/log2(i+1)
+/// over the top-k by descending score; IDCG@k assumes all l_i = 1 (the
+/// paper's ideal ranking). k is clamped to the list size.
+double NdcgAtK(const std::vector<double>& scores,
+               const std::vector<int>& labels, int64_t k);
+
+/// Fraction of benign reviews among the top-k by descending score.
+double PrecisionAtK(const std::vector<double>& scores,
+                    const std::vector<int>& labels, int64_t k);
+
+}  // namespace rrre::eval
+
+#endif  // RRRE_EVAL_METRICS_H_

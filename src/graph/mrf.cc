@@ -1,0 +1,157 @@
+#include "graph/mrf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace rrre::graph {
+
+namespace {
+
+void Normalize(PairwiseMrf::Belief& b) {
+  const double s = b[0] + b[1];
+  RRRE_CHECK_GT(s, 0.0);
+  b[0] /= s;
+  b[1] /= s;
+}
+
+}  // namespace
+
+int64_t PairwiseMrf::AddNode(const Belief& prior) {
+  RRRE_CHECK_GE(prior[0], 0.0);
+  RRRE_CHECK_GE(prior[1], 0.0);
+  RRRE_CHECK_GT(prior[0] + prior[1], 0.0);
+  priors_.push_back(prior);
+  Normalize(priors_.back());
+  adjacency_.emplace_back();
+  return num_nodes() - 1;
+}
+
+void PairwiseMrf::AddEdge(int64_t a, int64_t b, const Potential& potential) {
+  RRRE_CHECK_GE(a, 0);
+  RRRE_CHECK_LT(a, num_nodes());
+  RRRE_CHECK_GE(b, 0);
+  RRRE_CHECK_LT(b, num_nodes());
+  RRRE_CHECK_NE(a, b);
+  double total = 0.0;
+  for (const auto& row : potential) {
+    for (double v : row) {
+      RRRE_CHECK_GE(v, 0.0);
+      total += v;
+    }
+  }
+  RRRE_CHECK_GT(total, 0.0);
+  const int64_t idx = num_edges();
+  edges_.push_back({a, b, potential});
+  adjacency_[static_cast<size_t>(a)].emplace_back(idx, true);
+  adjacency_[static_cast<size_t>(b)].emplace_back(idx, false);
+}
+
+PairwiseMrf::BpResult PairwiseMrf::RunLoopyBp(int64_t max_iterations,
+                                              double damping,
+                                              double tol) const {
+  RRRE_CHECK_GE(damping, 0.0);
+  RRRE_CHECK_LT(damping, 1.0);
+  const int64_t e = num_edges();
+  // Two directed messages per edge: msg_ab_[i] flows a->b, msg_ba_[i] b->a.
+  std::vector<Belief> msg_ab(static_cast<size_t>(e), {0.5, 0.5});
+  std::vector<Belief> msg_ba(static_cast<size_t>(e), {0.5, 0.5});
+
+  // Incoming-product at a node excluding one edge, starting from the prior.
+  auto product_excluding = [&](int64_t node, int64_t excluded_edge) {
+    Belief p = priors_[static_cast<size_t>(node)];
+    for (const auto& [edge_idx, is_a] : adjacency_[static_cast<size_t>(node)]) {
+      if (edge_idx == excluded_edge) continue;
+      const Belief& incoming = is_a ? msg_ba[static_cast<size_t>(edge_idx)]
+                                    : msg_ab[static_cast<size_t>(edge_idx)];
+      p[0] *= incoming[0];
+      p[1] *= incoming[1];
+    }
+    Normalize(p);
+    return p;
+  };
+
+  BpResult result;
+  for (int64_t it = 0; it < max_iterations; ++it) {
+    double max_delta = 0.0;
+    std::vector<Belief> new_ab(msg_ab);
+    std::vector<Belief> new_ba(msg_ba);
+    for (int64_t i = 0; i < e; ++i) {
+      const Edge& edge = edges_[static_cast<size_t>(i)];
+      // a -> b: sum over a's states of potential * product of a's other
+      // incoming messages.
+      const Belief pa = product_excluding(edge.a, i);
+      Belief ab = {0.0, 0.0};
+      for (int sb = 0; sb < 2; ++sb) {
+        for (int sa = 0; sa < 2; ++sa) {
+          ab[static_cast<size_t>(sb)] +=
+              pa[static_cast<size_t>(sa)] *
+              edge.potential[static_cast<size_t>(sa)][static_cast<size_t>(sb)];
+        }
+      }
+      Normalize(ab);
+      const Belief pb = product_excluding(edge.b, i);
+      Belief ba = {0.0, 0.0};
+      for (int sa = 0; sa < 2; ++sa) {
+        for (int sb = 0; sb < 2; ++sb) {
+          ba[static_cast<size_t>(sa)] +=
+              pb[static_cast<size_t>(sb)] *
+              edge.potential[static_cast<size_t>(sa)][static_cast<size_t>(sb)];
+        }
+      }
+      Normalize(ba);
+      for (int s = 0; s < 2; ++s) {
+        const size_t si = static_cast<size_t>(s);
+        new_ab[static_cast<size_t>(i)][si] =
+            damping * msg_ab[static_cast<size_t>(i)][si] + (1 - damping) * ab[si];
+        new_ba[static_cast<size_t>(i)][si] =
+            damping * msg_ba[static_cast<size_t>(i)][si] + (1 - damping) * ba[si];
+        max_delta = std::max(
+            max_delta,
+            std::abs(new_ab[static_cast<size_t>(i)][si] -
+                     msg_ab[static_cast<size_t>(i)][si]));
+        max_delta = std::max(
+            max_delta,
+            std::abs(new_ba[static_cast<size_t>(i)][si] -
+                     msg_ba[static_cast<size_t>(i)][si]));
+      }
+    }
+    msg_ab.swap(new_ab);
+    msg_ba.swap(new_ba);
+    result.iterations = it + 1;
+    if (max_delta < tol) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.beliefs.resize(static_cast<size_t>(num_nodes()));
+  for (int64_t n = 0; n < num_nodes(); ++n) {
+    result.beliefs[static_cast<size_t>(n)] = product_excluding(n, -1);
+  }
+  return result;
+}
+
+std::vector<PairwiseMrf::Belief> PairwiseMrf::ExactMarginals() const {
+  const int64_t n = num_nodes();
+  RRRE_CHECK_LE(n, 20) << "exact marginals are exponential; test-only";
+  std::vector<Belief> marginals(static_cast<size_t>(n), {0.0, 0.0});
+  const uint64_t configs = uint64_t{1} << n;
+  for (uint64_t cfg = 0; cfg < configs; ++cfg) {
+    double weight = 1.0;
+    for (int64_t v = 0; v < n; ++v) {
+      weight *= priors_[static_cast<size_t>(v)][(cfg >> v) & 1u];
+    }
+    for (const Edge& edge : edges_) {
+      weight *= edge.potential[(cfg >> edge.a) & 1u][(cfg >> edge.b) & 1u];
+    }
+    for (int64_t v = 0; v < n; ++v) {
+      marginals[static_cast<size_t>(v)][(cfg >> v) & 1u] += weight;
+    }
+  }
+  for (auto& m : marginals) Normalize(m);
+  return marginals;
+}
+
+}  // namespace rrre::graph

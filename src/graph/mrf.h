@@ -1,0 +1,60 @@
+#ifndef RRRE_GRAPH_MRF_H_
+#define RRRE_GRAPH_MRF_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace rrre::graph {
+
+/// A pairwise Markov random field over binary-state nodes, solved with
+/// sum-product loopy belief propagation. This is the inference substrate of
+/// the SpEagle+ baseline, whose user-review-item network is a pairwise MRF
+/// with states {benign, fake} (users/reviews) and {good, bad} (items).
+class PairwiseMrf {
+ public:
+  using Belief = std::array<double, 2>;
+  /// potential[sa][sb] is the compatibility of node a in state sa with node
+  /// b in state sb. Must be non-negative with at least one positive entry.
+  using Potential = std::array<std::array<double, 2>, 2>;
+
+  /// Adds a node with the given (unnormalized, positive) prior over its two
+  /// states; returns its id.
+  int64_t AddNode(const Belief& prior);
+
+  /// Adds an undirected edge with the given potential (oriented a -> b).
+  void AddEdge(int64_t a, int64_t b, const Potential& potential);
+
+  int64_t num_nodes() const { return static_cast<int64_t>(priors_.size()); }
+  int64_t num_edges() const { return static_cast<int64_t>(edges_.size()); }
+
+  struct BpResult {
+    std::vector<Belief> beliefs;  ///< Normalized marginals per node.
+    int64_t iterations = 0;       ///< Iterations actually run.
+    bool converged = false;       ///< Max message delta fell below tol.
+  };
+
+  /// Runs synchronous sum-product loopy BP with damping. Deterministic.
+  BpResult RunLoopyBp(int64_t max_iterations = 50, double damping = 0.3,
+                      double tol = 1e-4) const;
+
+  /// Exact marginals by brute-force enumeration (exponential in node count;
+  /// only for testing small graphs).
+  std::vector<Belief> ExactMarginals() const;
+
+ private:
+  struct Edge {
+    int64_t a;
+    int64_t b;
+    Potential potential;
+  };
+
+  std::vector<Belief> priors_;
+  std::vector<Edge> edges_;
+  /// adjacency_[n] holds (edge index, true when n is endpoint `a`).
+  std::vector<std::vector<std::pair<int64_t, bool>>> adjacency_;
+};
+
+}  // namespace rrre::graph
+
+#endif  // RRRE_GRAPH_MRF_H_

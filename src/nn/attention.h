@@ -1,0 +1,49 @@
+#ifndef RRRE_NN_ATTENTION_H_
+#define RRRE_NN_ATTENTION_H_
+
+#include "common/rng.h"
+#include "nn/module.h"
+#include "tensor/tensor.h"
+
+namespace rrre::nn {
+
+/// The paper's fraud-attention (Eq. 5-6): scores each review in a user's
+/// (item's) history from its content embedding plus the ID embeddings of the
+/// review's writer and target, then softmax-normalizes within the history.
+///
+///   a*_j = h^T tanh(W_rev rev_j + W_u e^u_j + W_i e^i_j + b1) + b2
+///   alpha = softmax over the s reviews of each example
+///
+/// Inputs are flattened histories: [B*s, .] with each example's s reviews
+/// contiguous. Output is [B, s].
+class FraudAttention : public Module {
+ public:
+  FraudAttention(int64_t rev_dim, int64_t user_id_dim, int64_t item_id_dim,
+                 int64_t attention_dim, common::Rng& rng);
+
+  /// rev: [B*s, rev_dim]; user_ids: [B*s, user_id_dim];
+  /// item_ids: [B*s, item_id_dim]; group_size = s. Returns alphas [B, s].
+  ///
+  /// `mask` is optional ([B, s] when defined): entries with value 0 keep
+  /// their slot and entries with a large negative value (use kMaskedScore)
+  /// suppress zero-padded history slots before the softmax.
+  tensor::Tensor Forward(const tensor::Tensor& rev,
+                         const tensor::Tensor& user_ids,
+                         const tensor::Tensor& item_ids, int64_t group_size,
+                         const tensor::Tensor& mask = {}) const;
+
+  /// Additive score that effectively removes a slot from the softmax.
+  static constexpr float kMaskedScore = -1e9f;
+
+ private:
+  tensor::Tensor w_rev_;  // [rev_dim, attention_dim]
+  tensor::Tensor w_u_;    // [user_id_dim, attention_dim]
+  tensor::Tensor w_i_;    // [item_id_dim, attention_dim]
+  tensor::Tensor b1_;     // [attention_dim]
+  tensor::Tensor h_;      // [attention_dim, 1]
+  tensor::Tensor b2_;     // [1]
+};
+
+}  // namespace rrre::nn
+
+#endif  // RRRE_NN_ATTENTION_H_

@@ -1,0 +1,22 @@
+#include "nn/dropout.h"
+
+#include "common/logging.h"
+#include "tensor/ops.h"
+
+namespace rrre::nn {
+
+using tensor::Tensor;
+
+Tensor Dropout(const Tensor& x, double p, common::Rng& rng, bool training) {
+  RRRE_CHECK_GE(p, 0.0);
+  RRRE_CHECK_LT(p, 1.0);
+  if (!training || p == 0.0) return x;
+  const float keep_scale = static_cast<float>(1.0 / (1.0 - p));
+  Tensor mask = Tensor::Zeros(x.shape());
+  for (int64_t i = 0; i < mask.numel(); ++i) {
+    mask.at(i) = rng.Bernoulli(p) ? 0.0f : keep_scale;
+  }
+  return tensor::Mul(x, mask);
+}
+
+}  // namespace rrre::nn

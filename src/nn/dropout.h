@@ -1,0 +1,17 @@
+#ifndef RRRE_NN_DROPOUT_H_
+#define RRRE_NN_DROPOUT_H_
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace rrre::nn {
+
+/// Inverted dropout: during training each entry is zeroed with probability p
+/// and survivors are scaled by 1/(1-p); at inference the input passes
+/// through unchanged. Stateless — the mask is drawn from the caller's rng.
+tensor::Tensor Dropout(const tensor::Tensor& x, double p, common::Rng& rng,
+                       bool training);
+
+}  // namespace rrre::nn
+
+#endif  // RRRE_NN_DROPOUT_H_

@@ -1,0 +1,30 @@
+#include "nn/embedding.h"
+
+#include <algorithm>
+
+#include "tensor/ops.h"
+
+namespace rrre::nn {
+
+using tensor::Tensor;
+
+Embedding::Embedding(int64_t num_embeddings, int64_t dim, common::Rng& rng,
+                     float init_stddev)
+    : num_embeddings_(num_embeddings), dim_(dim) {
+  table_ = RegisterParameter(
+      "table", Tensor::Randn({num_embeddings, dim}, rng, init_stddev,
+                             /*requires_grad=*/true));
+}
+
+Tensor Embedding::Forward(const std::vector<int64_t>& ids) const {
+  return tensor::EmbeddingLookup(table_, ids);
+}
+
+void Embedding::SetWeights(const Tensor& values) {
+  RRRE_CHECK(values.shape() == table_.shape())
+      << tensor::ShapeToString(values.shape()) << " vs "
+      << tensor::ShapeToString(table_.shape());
+  std::copy(values.data(), values.data() + values.numel(), table_.data());
+}
+
+}  // namespace rrre::nn

@@ -1,0 +1,39 @@
+#ifndef RRRE_NN_EMBEDDING_H_
+#define RRRE_NN_EMBEDDING_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/module.h"
+#include "tensor/tensor.h"
+
+namespace rrre::nn {
+
+/// Trainable lookup table mapping integer ids to dense vectors. Used for the
+/// user/item ID embeddings e^u, e^i of the paper and for word embeddings.
+class Embedding : public Module {
+ public:
+  /// Entries are initialized N(0, init_stddev).
+  Embedding(int64_t num_embeddings, int64_t dim, common::Rng& rng,
+            float init_stddev = 0.1f);
+
+  /// ids (each in [0, num_embeddings)) -> [ids.size(), dim].
+  tensor::Tensor Forward(const std::vector<int64_t>& ids) const;
+
+  /// Overwrites the table with externally computed vectors (e.g. pretrained
+  /// word vectors); shape must match.
+  void SetWeights(const tensor::Tensor& values);
+
+  const tensor::Tensor& table() const { return table_; }
+  int64_t num_embeddings() const { return num_embeddings_; }
+  int64_t dim() const { return dim_; }
+
+ private:
+  int64_t num_embeddings_;
+  int64_t dim_;
+  tensor::Tensor table_;
+};
+
+}  // namespace rrre::nn
+
+#endif  // RRRE_NN_EMBEDDING_H_

@@ -1,0 +1,32 @@
+#ifndef RRRE_NN_FM_H_
+#define RRRE_NN_FM_H_
+
+#include "common/rng.h"
+#include "nn/module.h"
+#include "tensor/tensor.h"
+
+namespace rrre::nn {
+
+/// Second-order factorization machine over a dense feature vector (the FM()
+/// layer in Eq. 12 of the paper, as in NARRE/DeepCoNN):
+///
+///   y = w0 + x.w + 0.5 * sum_f [ (x V)_f^2 - (x^2)(V^2)_f ]
+///
+/// computed with the O(n*f) reformulation of Rendle (2010).
+class FactorizationMachine : public Module {
+ public:
+  FactorizationMachine(int64_t num_inputs, int64_t num_factors,
+                       common::Rng& rng);
+
+  /// x: [batch, num_inputs] -> [batch, 1].
+  tensor::Tensor Forward(const tensor::Tensor& x) const;
+
+ private:
+  tensor::Tensor w0_;  // [1]
+  tensor::Tensor w_;   // [num_inputs, 1]
+  tensor::Tensor v_;   // [num_inputs, num_factors]
+};
+
+}  // namespace rrre::nn
+
+#endif  // RRRE_NN_FM_H_

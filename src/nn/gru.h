@@ -1,0 +1,39 @@
+#ifndef RRRE_NN_GRU_H_
+#define RRRE_NN_GRU_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/module.h"
+#include "tensor/tensor.h"
+
+namespace rrre::nn {
+
+/// Single GRU cell (gate order r, z, n), used by the DER baseline to model a
+/// user's time-ordered review sequence.
+class GruCell : public Module {
+ public:
+  GruCell(int64_t input_size, int64_t hidden_size, common::Rng& rng);
+
+  /// Zero hidden state for a batch: [batch, hidden].
+  tensor::Tensor InitialState(int64_t batch) const;
+
+  /// One timestep: x [batch, input], h [batch, hidden] -> next h.
+  tensor::Tensor Step(const tensor::Tensor& x, const tensor::Tensor& h) const;
+
+  /// Runs the cell over a sequence and returns the final hidden state.
+  tensor::Tensor Encode(const std::vector<tensor::Tensor>& steps) const;
+
+  int64_t hidden_size() const { return hidden_size_; }
+
+ private:
+  int64_t input_size_;
+  int64_t hidden_size_;
+  tensor::Tensor w_ih_;  // [input, 3*hidden]
+  tensor::Tensor w_hh_;  // [hidden, 3*hidden]
+  tensor::Tensor bias_;  // [3*hidden]
+};
+
+}  // namespace rrre::nn
+
+#endif  // RRRE_NN_GRU_H_

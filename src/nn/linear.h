@@ -1,0 +1,32 @@
+#ifndef RRRE_NN_LINEAR_H_
+#define RRRE_NN_LINEAR_H_
+
+#include "common/rng.h"
+#include "nn/module.h"
+#include "tensor/tensor.h"
+
+namespace rrre::nn {
+
+/// Fully-connected layer: y = x W + b with W: [in, out].
+class Linear : public Module {
+ public:
+  Linear(int64_t in_features, int64_t out_features, common::Rng& rng,
+         bool use_bias = true);
+
+  /// x: [batch, in] -> [batch, out].
+  tensor::Tensor Forward(const tensor::Tensor& x) const;
+
+  int64_t in_features() const { return in_features_; }
+  int64_t out_features() const { return out_features_; }
+
+ private:
+  int64_t in_features_;
+  int64_t out_features_;
+  bool use_bias_;
+  tensor::Tensor weight_;
+  tensor::Tensor bias_;
+};
+
+}  // namespace rrre::nn
+
+#endif  // RRRE_NN_LINEAR_H_

@@ -1,0 +1,65 @@
+#include "nn/loss.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "tensor/ops.h"
+
+namespace rrre::nn {
+
+using tensor::Tensor;
+
+namespace {
+
+Tensor AsColumn(const Tensor& pred) {
+  if (pred.ndim() == 2) {
+    RRRE_CHECK_EQ(pred.dim(1), 1);
+    return pred;
+  }
+  RRRE_CHECK_EQ(pred.ndim(), 1);
+  return tensor::Reshape(pred, {pred.dim(0), 1});
+}
+
+}  // namespace
+
+Tensor MseLoss(const Tensor& pred, const std::vector<float>& targets) {
+  Tensor p = AsColumn(pred);
+  const int64_t b = p.dim(0);
+  RRRE_CHECK_EQ(static_cast<int64_t>(targets.size()), b);
+  Tensor t = Tensor::FromVector({b, 1}, targets);
+  return tensor::Mean(tensor::Square(tensor::Sub(p, t)));
+}
+
+Tensor WeightedMseLoss(const Tensor& pred, const std::vector<float>& targets,
+                       const std::vector<float>& weights,
+                       WeightedMseNorm norm) {
+  Tensor p = AsColumn(pred);
+  const int64_t b = p.dim(0);
+  RRRE_CHECK_EQ(static_cast<int64_t>(targets.size()), b);
+  RRRE_CHECK_EQ(static_cast<int64_t>(weights.size()), b);
+  Tensor t = Tensor::FromVector({b, 1}, targets);
+  Tensor w = Tensor::FromVector({b, 1}, weights);
+  Tensor weighted = tensor::Mul(w, tensor::Square(tensor::Sub(p, t)));
+  double denom = static_cast<double>(b);
+  if (norm == WeightedMseNorm::kWeightSum) {
+    double wsum = 0.0;
+    for (float v : weights) {
+      RRRE_CHECK_GE(v, 0.0f);
+      wsum += v;
+    }
+    denom = std::max(wsum, 1e-12);
+  }
+  return tensor::MulScalar(tensor::Sum(weighted),
+                           static_cast<float>(1.0 / denom));
+}
+
+Tensor L2Penalty(const std::vector<Tensor>& params) {
+  RRRE_CHECK(!params.empty());
+  Tensor total = tensor::Sum(tensor::Square(params[0]));
+  for (size_t i = 1; i < params.size(); ++i) {
+    total = tensor::Add(total, tensor::Sum(tensor::Square(params[i])));
+  }
+  return total;
+}
+
+}  // namespace rrre::nn

@@ -1,0 +1,85 @@
+#include "nn/module.h"
+
+#include "common/logging.h"
+#include "tensor/serialize.h"
+
+namespace rrre::nn {
+
+using common::Status;
+using tensor::Tensor;
+
+std::map<std::string, Tensor> Module::NamedParameters() const {
+  std::map<std::string, Tensor> out;
+  for (const auto& [name, t] : params_) {
+    const bool inserted = out.emplace(name, t).second;
+    RRRE_CHECK(inserted) << "duplicate parameter name: " << name;
+  }
+  for (const auto& [child_name, child] : children_) {
+    for (const auto& [name, t] : child->NamedParameters()) {
+      const bool inserted = out.emplace(child_name + "." + name, t).second;
+      RRRE_CHECK(inserted) << "duplicate parameter name: " << child_name << "."
+                           << name;
+    }
+  }
+  return out;
+}
+
+std::vector<Tensor> Module::Parameters() const {
+  std::vector<Tensor> out;
+  for (const auto& [name, t] : params_) out.push_back(t);
+  for (const auto& [child_name, child] : children_) {
+    auto child_params = child->Parameters();
+    out.insert(out.end(), child_params.begin(), child_params.end());
+  }
+  return out;
+}
+
+void Module::ZeroGrad() {
+  for (Tensor& t : Parameters()) t.ZeroGrad();
+}
+
+int64_t Module::NumParameters() const {
+  int64_t total = 0;
+  for (const Tensor& t : Parameters()) total += t.numel();
+  return total;
+}
+
+Status Module::Save(const std::string& path) const {
+  return tensor::SaveTensors(path, NamedParameters());
+}
+
+Status Module::Load(const std::string& path) {
+  auto loaded = tensor::LoadTensors(path);
+  if (!loaded.ok()) return loaded.status();
+  auto params = NamedParameters();
+  for (auto& [name, param] : params) {
+    auto it = loaded.value().find(name);
+    if (it == loaded.value().end()) {
+      return Status::InvalidArgument("checkpoint missing parameter: " + name);
+    }
+    const Tensor& src = it->second;
+    if (src.shape() != param.shape()) {
+      return Status::InvalidArgument(
+          "shape mismatch for " + name + ": checkpoint " +
+          tensor::ShapeToString(src.shape()) + " vs model " +
+          tensor::ShapeToString(param.shape()));
+    }
+    std::copy(src.data(), src.data() + src.numel(), param.data());
+  }
+  return Status::Ok();
+}
+
+Tensor Module::RegisterParameter(const std::string& name, Tensor t) {
+  RRRE_CHECK(t.defined());
+  RRRE_CHECK(t.requires_grad())
+      << "parameter " << name << " must require grad";
+  params_.emplace_back(name, t);
+  return t;
+}
+
+void Module::RegisterModule(const std::string& name, Module* child) {
+  RRRE_CHECK(child != nullptr);
+  children_.emplace_back(name, child);
+}
+
+}  // namespace rrre::nn

@@ -1,0 +1,64 @@
+#ifndef RRRE_NN_MODULE_H_
+#define RRRE_NN_MODULE_H_
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "tensor/tensor.h"
+
+namespace rrre::nn {
+
+/// Base class for neural layers and models. Provides a named registry of
+/// trainable parameters (and child modules) used by optimizers, L2
+/// regularization, and checkpointing.
+///
+/// Subclasses register parameters in their constructor:
+///   weight_ = RegisterParameter("weight", Tensor::XavierUniform(...));
+/// and register sub-layers with RegisterModule so their parameters are
+/// reachable from the root model.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// All trainable parameters, depth-first; child parameters are prefixed
+  /// with "<child>.".
+  std::map<std::string, tensor::Tensor> NamedParameters() const;
+
+  /// Flat view of the same parameters (registration order).
+  std::vector<tensor::Tensor> Parameters() const;
+
+  /// Zeroes gradient buffers of all parameters.
+  void ZeroGrad();
+
+  /// Total number of trainable scalars.
+  int64_t NumParameters() const;
+
+  /// Saves all parameters to a checkpoint file.
+  common::Status Save(const std::string& path) const;
+
+  /// Loads parameter values from a checkpoint written by Save. Every
+  /// parameter must be present with a matching shape.
+  common::Status Load(const std::string& path);
+
+ protected:
+  /// Registers (and returns) a trainable parameter.
+  tensor::Tensor RegisterParameter(const std::string& name, tensor::Tensor t);
+
+  /// Registers a child module. The pointer must outlive this module.
+  void RegisterModule(const std::string& name, Module* child);
+
+ private:
+  std::vector<std::pair<std::string, tensor::Tensor>> params_;
+  std::vector<std::pair<std::string, Module*>> children_;
+};
+
+}  // namespace rrre::nn
+
+#endif  // RRRE_NN_MODULE_H_

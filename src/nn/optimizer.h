@@ -1,0 +1,87 @@
+#ifndef RRRE_NN_OPTIMIZER_H_
+#define RRRE_NN_OPTIMIZER_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace rrre::nn {
+
+/// Base class for gradient-descent optimizers over a fixed parameter list.
+/// A parameter whose gradient buffer was never touched in the current step
+/// (e.g. an embedding row outside the batch's graph) is treated as having
+/// zero gradient and skipped.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<tensor::Tensor> params);
+  virtual ~Optimizer() = default;
+
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  /// Applies one update from the gradients currently stored in the params.
+  virtual void Step() = 0;
+
+  /// Zeroes all parameter gradients.
+  void ZeroGrad();
+
+  const std::vector<tensor::Tensor>& params() const { return params_; }
+
+ protected:
+  std::vector<tensor::Tensor> params_;
+};
+
+/// SGD with optional momentum and decoupled weight decay.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<tensor::Tensor> params, double lr, double momentum = 0.0,
+      double weight_decay = 0.0);
+
+  void Step() override;
+
+  void set_lr(double lr) { lr_ = lr; }
+  double lr() const { return lr_; }
+
+ private:
+  double lr_;
+  double momentum_;
+  double weight_decay_;
+  std::unordered_map<const void*, std::vector<float>> velocity_;
+};
+
+/// Adam (Kingma & Ba 2015) with optional decoupled weight decay.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<tensor::Tensor> params, double lr, double beta1 = 0.9,
+       double beta2 = 0.999, double eps = 1e-8, double weight_decay = 0.0);
+
+  void Step() override;
+
+  void set_lr(double lr) { lr_ = lr; }
+  double lr() const { return lr_; }
+
+ private:
+  struct Slot {
+    std::vector<float> m;
+    std::vector<float> v;
+  };
+  double lr_;
+  double beta1_;
+  double beta2_;
+  double eps_;
+  double weight_decay_;
+  int64_t t_ = 0;
+  std::unordered_map<const void*, Slot> slots_;
+};
+
+/// L2 norm of all gradients concatenated.
+double GlobalGradNorm(const std::vector<tensor::Tensor>& params);
+
+/// Scales all gradients so the global norm is at most max_norm. Returns the
+/// pre-clip norm.
+double ClipGradNorm(std::vector<tensor::Tensor>& params, double max_norm);
+
+}  // namespace rrre::nn
+
+#endif  // RRRE_NN_OPTIMIZER_H_

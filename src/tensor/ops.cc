@@ -1,0 +1,885 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace rrre::tensor {
+
+using internal::TensorImpl;
+
+namespace {
+
+/// Creates a result node whose parents are `parents`; requires_grad is
+/// inherited from any parent.
+std::shared_ptr<TensorImpl> MakeNode(const Shape& shape,
+                                     std::vector<Tensor> parents) {
+  auto impl = std::make_shared<TensorImpl>();
+  impl->shape = shape;
+  impl->data.assign(static_cast<size_t>(NumElements(shape)), 0.0f);
+  for (const Tensor& p : parents) {
+    RRRE_CHECK(p.defined());
+    impl->requires_grad = impl->requires_grad || p.requires_grad();
+    impl->parents.push_back(p.impl());
+  }
+  return impl;
+}
+
+/// True when the parent participates in differentiation and needs its grad
+/// buffer ready for accumulation.
+bool WantsGrad(TensorImpl* node) {
+  if (!node->requires_grad) return false;
+  node->EnsureGrad();
+  return true;
+}
+
+void CheckSameShape(const Tensor& a, const Tensor& b) {
+  RRRE_CHECK(a.shape() == b.shape())
+      << ShapeToString(a.shape()) << " vs " << ShapeToString(b.shape());
+}
+
+using BinaryForward = float (*)(float, float);
+
+}  // namespace
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b);
+  auto out = MakeNode(a.shape(), {a, b});
+  const size_t n = out->data.size();
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (size_t i = 0; i < n; ++i) out->data[i] = pa[i] + pb[i];
+  if (out->requires_grad) {
+    TensorImpl* o = out.get();
+    TensorImpl* ia = a.impl().get();
+    TensorImpl* ib = b.impl().get();
+    out->backward_fn = [o, ia, ib, n]() {
+      if (WantsGrad(ia)) {
+        for (size_t i = 0; i < n; ++i) ia->grad[i] += o->grad[i];
+      }
+      if (WantsGrad(ib)) {
+        for (size_t i = 0; i < n; ++i) ib->grad[i] += o->grad[i];
+      }
+    };
+  }
+  return Tensor::WrapImpl(out);
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b);
+  auto out = MakeNode(a.shape(), {a, b});
+  const size_t n = out->data.size();
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (size_t i = 0; i < n; ++i) out->data[i] = pa[i] - pb[i];
+  if (out->requires_grad) {
+    TensorImpl* o = out.get();
+    TensorImpl* ia = a.impl().get();
+    TensorImpl* ib = b.impl().get();
+    out->backward_fn = [o, ia, ib, n]() {
+      if (WantsGrad(ia)) {
+        for (size_t i = 0; i < n; ++i) ia->grad[i] += o->grad[i];
+      }
+      if (WantsGrad(ib)) {
+        for (size_t i = 0; i < n; ++i) ib->grad[i] -= o->grad[i];
+      }
+    };
+  }
+  return Tensor::WrapImpl(out);
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b);
+  auto out = MakeNode(a.shape(), {a, b});
+  const size_t n = out->data.size();
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (size_t i = 0; i < n; ++i) out->data[i] = pa[i] * pb[i];
+  if (out->requires_grad) {
+    TensorImpl* o = out.get();
+    TensorImpl* ia = a.impl().get();
+    TensorImpl* ib = b.impl().get();
+    out->backward_fn = [o, ia, ib, n]() {
+      if (WantsGrad(ia)) {
+        for (size_t i = 0; i < n; ++i) ia->grad[i] += o->grad[i] * ib->data[i];
+      }
+      if (WantsGrad(ib)) {
+        for (size_t i = 0; i < n; ++i) ib->grad[i] += o->grad[i] * ia->data[i];
+      }
+    };
+  }
+  return Tensor::WrapImpl(out);
+}
+
+Tensor Div(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b);
+  auto out = MakeNode(a.shape(), {a, b});
+  const size_t n = out->data.size();
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (size_t i = 0; i < n; ++i) out->data[i] = pa[i] / pb[i];
+  if (out->requires_grad) {
+    TensorImpl* o = out.get();
+    TensorImpl* ia = a.impl().get();
+    TensorImpl* ib = b.impl().get();
+    out->backward_fn = [o, ia, ib, n]() {
+      if (WantsGrad(ia)) {
+        for (size_t i = 0; i < n; ++i) ia->grad[i] += o->grad[i] / ib->data[i];
+      }
+      if (WantsGrad(ib)) {
+        for (size_t i = 0; i < n; ++i) {
+          ib->grad[i] -=
+              o->grad[i] * ia->data[i] / (ib->data[i] * ib->data[i]);
+        }
+      }
+    };
+  }
+  return Tensor::WrapImpl(out);
+}
+
+Tensor AddBias(const Tensor& a, const Tensor& bias) {
+  RRRE_CHECK_EQ(bias.ndim(), 1);
+  const int64_t n = bias.dim(0);
+  RRRE_CHECK_EQ(a.dim(-1), n);
+  auto out = MakeNode(a.shape(), {a, bias});
+  const int64_t rows = a.numel() / n;
+  const float* pa = a.data();
+  const float* pb = bias.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int64_t j = 0; j < n; ++j) {
+      out->data[static_cast<size_t>(r * n + j)] = pa[r * n + j] + pb[j];
+    }
+  }
+  if (out->requires_grad) {
+    TensorImpl* o = out.get();
+    TensorImpl* ia = a.impl().get();
+    TensorImpl* ib = bias.impl().get();
+    out->backward_fn = [o, ia, ib, rows, n]() {
+      if (WantsGrad(ia)) {
+        const size_t total = static_cast<size_t>(rows * n);
+        for (size_t i = 0; i < total; ++i) ia->grad[i] += o->grad[i];
+      }
+      if (WantsGrad(ib)) {
+        for (int64_t r = 0; r < rows; ++r) {
+          for (int64_t j = 0; j < n; ++j) {
+            ib->grad[static_cast<size_t>(j)] +=
+                o->grad[static_cast<size_t>(r * n + j)];
+          }
+        }
+      }
+    };
+  }
+  return Tensor::WrapImpl(out);
+}
+
+Tensor AddScalar(const Tensor& a, float s) {
+  auto out = MakeNode(a.shape(), {a});
+  const size_t n = out->data.size();
+  const float* pa = a.data();
+  for (size_t i = 0; i < n; ++i) out->data[i] = pa[i] + s;
+  if (out->requires_grad) {
+    TensorImpl* o = out.get();
+    TensorImpl* ia = a.impl().get();
+    out->backward_fn = [o, ia, n]() {
+      if (WantsGrad(ia)) {
+        for (size_t i = 0; i < n; ++i) ia->grad[i] += o->grad[i];
+      }
+    };
+  }
+  return Tensor::WrapImpl(out);
+}
+
+Tensor MulScalar(const Tensor& a, float s) {
+  auto out = MakeNode(a.shape(), {a});
+  const size_t n = out->data.size();
+  const float* pa = a.data();
+  for (size_t i = 0; i < n; ++i) out->data[i] = pa[i] * s;
+  if (out->requires_grad) {
+    TensorImpl* o = out.get();
+    TensorImpl* ia = a.impl().get();
+    out->backward_fn = [o, ia, n, s]() {
+      if (WantsGrad(ia)) {
+        for (size_t i = 0; i < n; ++i) ia->grad[i] += o->grad[i] * s;
+      }
+    };
+  }
+  return Tensor::WrapImpl(out);
+}
+
+Tensor Neg(const Tensor& a) { return MulScalar(a, -1.0f); }
+
+namespace {
+
+/// Shared implementation for unary elementwise ops where the local derivative
+/// can be computed from the output value.
+template <typename Fwd, typename DerivFromOut>
+Tensor UnaryFromOutput(const Tensor& a, Fwd fwd, DerivFromOut deriv) {
+  auto out = MakeNode(a.shape(), {a});
+  const size_t n = out->data.size();
+  const float* pa = a.data();
+  for (size_t i = 0; i < n; ++i) out->data[i] = fwd(pa[i]);
+  if (out->requires_grad) {
+    TensorImpl* o = out.get();
+    TensorImpl* ia = a.impl().get();
+    out->backward_fn = [o, ia, n, deriv]() {
+      if (WantsGrad(ia)) {
+        for (size_t i = 0; i < n; ++i) {
+          ia->grad[i] += o->grad[i] * deriv(o->data[i], ia->data[i]);
+        }
+      }
+    };
+  }
+  return Tensor::WrapImpl(out);
+}
+
+}  // namespace
+
+Tensor Tanh(const Tensor& a) {
+  return UnaryFromOutput(
+      a, [](float x) { return std::tanh(x); },
+      [](float y, float) { return 1.0f - y * y; });
+}
+
+Tensor Sigmoid(const Tensor& a) {
+  return UnaryFromOutput(
+      a,
+      [](float x) {
+        // Stable sigmoid for both signs of x.
+        if (x >= 0.0f) {
+          const float z = std::exp(-x);
+          return 1.0f / (1.0f + z);
+        }
+        const float z = std::exp(x);
+        return z / (1.0f + z);
+      },
+      [](float y, float) { return y * (1.0f - y); });
+}
+
+Tensor Relu(const Tensor& a) {
+  return UnaryFromOutput(
+      a, [](float x) { return x > 0.0f ? x : 0.0f; },
+      [](float, float x) { return x > 0.0f ? 1.0f : 0.0f; });
+}
+
+Tensor Exp(const Tensor& a) {
+  return UnaryFromOutput(
+      a, [](float x) { return std::exp(x); },
+      [](float y, float) { return y; });
+}
+
+Tensor Log(const Tensor& a) {
+  return UnaryFromOutput(
+      a, [](float x) { return std::log(x); },
+      [](float, float x) { return 1.0f / x; });
+}
+
+Tensor Sqrt(const Tensor& a) {
+  return UnaryFromOutput(
+      a, [](float x) { return std::sqrt(x); },
+      [](float y, float) { return 0.5f / y; });
+}
+
+Tensor Square(const Tensor& a) {
+  return UnaryFromOutput(
+      a, [](float x) { return x * x; },
+      [](float, float x) { return 2.0f * x; });
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  RRRE_CHECK_EQ(a.ndim(), 2);
+  RRRE_CHECK_EQ(b.ndim(), 2);
+  const int64_t m = a.dim(0);
+  const int64_t k = a.dim(1);
+  const int64_t n = b.dim(1);
+  RRRE_CHECK_EQ(b.dim(0), k) << "MatMul inner dims: "
+                             << ShapeToString(a.shape()) << " x "
+                             << ShapeToString(b.shape());
+  auto out = MakeNode({m, n}, {a, b});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = out->data.data();
+  // i-k-j loop order: streams through B and C rows for cache friendliness.
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float aik = pa[i * k + kk];
+      if (aik == 0.0f) continue;
+      const float* brow = pb + kk * n;
+      float* crow = pc + i * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+    }
+  }
+  if (out->requires_grad) {
+    TensorImpl* o = out.get();
+    TensorImpl* ia = a.impl().get();
+    TensorImpl* ib = b.impl().get();
+    out->backward_fn = [o, ia, ib, m, k, n]() {
+      // dA = dC * B^T
+      if (WantsGrad(ia)) {
+        for (int64_t i = 0; i < m; ++i) {
+          for (int64_t j = 0; j < n; ++j) {
+            const float g = o->grad[static_cast<size_t>(i * n + j)];
+            if (g == 0.0f) continue;
+            const float* brow = ib->data.data() + j;
+            float* garow = ia->grad.data() + i * k;
+            for (int64_t kk = 0; kk < k; ++kk) {
+              garow[kk] += g * brow[kk * n];
+            }
+          }
+        }
+      }
+      // dB = A^T * dC
+      if (WantsGrad(ib)) {
+        for (int64_t i = 0; i < m; ++i) {
+          const float* arow = ia->data.data() + i * k;
+          const float* grow = o->grad.data() + i * n;
+          for (int64_t kk = 0; kk < k; ++kk) {
+            const float av = arow[kk];
+            if (av == 0.0f) continue;
+            float* gbrow = ib->grad.data() + kk * n;
+            for (int64_t j = 0; j < n; ++j) gbrow[j] += av * grow[j];
+          }
+        }
+      }
+    };
+  }
+  return Tensor::WrapImpl(out);
+}
+
+Tensor Transpose(const Tensor& a) {
+  RRRE_CHECK_EQ(a.ndim(), 2);
+  const int64_t m = a.dim(0);
+  const int64_t n = a.dim(1);
+  auto out = MakeNode({n, m}, {a});
+  const float* pa = a.data();
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      out->data[static_cast<size_t>(j * m + i)] = pa[i * n + j];
+    }
+  }
+  if (out->requires_grad) {
+    TensorImpl* o = out.get();
+    TensorImpl* ia = a.impl().get();
+    out->backward_fn = [o, ia, m, n]() {
+      if (WantsGrad(ia)) {
+        for (int64_t i = 0; i < m; ++i) {
+          for (int64_t j = 0; j < n; ++j) {
+            ia->grad[static_cast<size_t>(i * n + j)] +=
+                o->grad[static_cast<size_t>(j * m + i)];
+          }
+        }
+      }
+    };
+  }
+  return Tensor::WrapImpl(out);
+}
+
+Tensor Softmax(const Tensor& a) {
+  RRRE_CHECK_EQ(a.ndim(), 2);
+  const int64_t rows = a.dim(0);
+  const int64_t cols = a.dim(1);
+  auto out = MakeNode(a.shape(), {a});
+  const float* pa = a.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* row = pa + r * cols;
+    float maxv = row[0];
+    for (int64_t j = 1; j < cols; ++j) maxv = std::max(maxv, row[j]);
+    float denom = 0.0f;
+    float* orow = out->data.data() + r * cols;
+    for (int64_t j = 0; j < cols; ++j) {
+      orow[j] = std::exp(row[j] - maxv);
+      denom += orow[j];
+    }
+    for (int64_t j = 0; j < cols; ++j) orow[j] /= denom;
+  }
+  if (out->requires_grad) {
+    TensorImpl* o = out.get();
+    TensorImpl* ia = a.impl().get();
+    out->backward_fn = [o, ia, rows, cols]() {
+      if (!WantsGrad(ia)) return;
+      for (int64_t r = 0; r < rows; ++r) {
+        const float* y = o->data.data() + r * cols;
+        const float* gy = o->grad.data() + r * cols;
+        float dot = 0.0f;
+        for (int64_t j = 0; j < cols; ++j) dot += y[j] * gy[j];
+        float* gx = ia->grad.data() + r * cols;
+        for (int64_t j = 0; j < cols; ++j) {
+          gx[j] += y[j] * (gy[j] - dot);
+        }
+      }
+    };
+  }
+  return Tensor::WrapImpl(out);
+}
+
+Tensor LogSoftmax(const Tensor& a) {
+  RRRE_CHECK_EQ(a.ndim(), 2);
+  const int64_t rows = a.dim(0);
+  const int64_t cols = a.dim(1);
+  auto out = MakeNode(a.shape(), {a});
+  const float* pa = a.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* row = pa + r * cols;
+    float maxv = row[0];
+    for (int64_t j = 1; j < cols; ++j) maxv = std::max(maxv, row[j]);
+    float denom = 0.0f;
+    for (int64_t j = 0; j < cols; ++j) denom += std::exp(row[j] - maxv);
+    const float log_denom = std::log(denom) + maxv;
+    float* orow = out->data.data() + r * cols;
+    for (int64_t j = 0; j < cols; ++j) orow[j] = row[j] - log_denom;
+  }
+  if (out->requires_grad) {
+    TensorImpl* o = out.get();
+    TensorImpl* ia = a.impl().get();
+    out->backward_fn = [o, ia, rows, cols]() {
+      if (!WantsGrad(ia)) return;
+      for (int64_t r = 0; r < rows; ++r) {
+        const float* y = o->data.data() + r * cols;
+        const float* gy = o->grad.data() + r * cols;
+        float gsum = 0.0f;
+        for (int64_t j = 0; j < cols; ++j) gsum += gy[j];
+        float* gx = ia->grad.data() + r * cols;
+        for (int64_t j = 0; j < cols; ++j) {
+          gx[j] += gy[j] - std::exp(y[j]) * gsum;
+        }
+      }
+    };
+  }
+  return Tensor::WrapImpl(out);
+}
+
+Tensor Sum(const Tensor& a) {
+  auto out = MakeNode({1}, {a});
+  const size_t n = a.impl()->data.size();
+  const float* pa = a.data();
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) acc += pa[i];
+  out->data[0] = static_cast<float>(acc);
+  if (out->requires_grad) {
+    TensorImpl* o = out.get();
+    TensorImpl* ia = a.impl().get();
+    out->backward_fn = [o, ia, n]() {
+      if (WantsGrad(ia)) {
+        const float g = o->grad[0];
+        for (size_t i = 0; i < n; ++i) ia->grad[i] += g;
+      }
+    };
+  }
+  return Tensor::WrapImpl(out);
+}
+
+Tensor Mean(const Tensor& a) {
+  return MulScalar(Sum(a), 1.0f / static_cast<float>(a.numel()));
+}
+
+Tensor RowSum(const Tensor& a) {
+  RRRE_CHECK_EQ(a.ndim(), 2);
+  const int64_t rows = a.dim(0);
+  const int64_t cols = a.dim(1);
+  auto out = MakeNode({rows, 1}, {a});
+  const float* pa = a.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    double acc = 0.0;
+    for (int64_t j = 0; j < cols; ++j) acc += pa[r * cols + j];
+    out->data[static_cast<size_t>(r)] = static_cast<float>(acc);
+  }
+  if (out->requires_grad) {
+    TensorImpl* o = out.get();
+    TensorImpl* ia = a.impl().get();
+    out->backward_fn = [o, ia, rows, cols]() {
+      if (!WantsGrad(ia)) return;
+      for (int64_t r = 0; r < rows; ++r) {
+        const float g = o->grad[static_cast<size_t>(r)];
+        float* grow = ia->grad.data() + r * cols;
+        for (int64_t j = 0; j < cols; ++j) grow[j] += g;
+      }
+    };
+  }
+  return Tensor::WrapImpl(out);
+}
+
+Tensor Reshape(const Tensor& a, const Shape& shape) {
+  RRRE_CHECK_EQ(NumElements(shape), a.numel())
+      << ShapeToString(a.shape()) << " -> " << ShapeToString(shape);
+  auto out = MakeNode(shape, {a});
+  out->data = a.impl()->data;
+  if (out->requires_grad) {
+    TensorImpl* o = out.get();
+    TensorImpl* ia = a.impl().get();
+    out->backward_fn = [o, ia]() {
+      if (WantsGrad(ia)) {
+        for (size_t i = 0; i < o->grad.size(); ++i) ia->grad[i] += o->grad[i];
+      }
+    };
+  }
+  return Tensor::WrapImpl(out);
+}
+
+Tensor ConcatCols(const std::vector<Tensor>& parts) {
+  RRRE_CHECK(!parts.empty());
+  const int64_t rows = parts[0].dim(0);
+  int64_t total_cols = 0;
+  for (const Tensor& p : parts) {
+    RRRE_CHECK_EQ(p.ndim(), 2);
+    RRRE_CHECK_EQ(p.dim(0), rows);
+    total_cols += p.dim(1);
+  }
+  auto out = MakeNode({rows, total_cols}, parts);
+  int64_t col_offset = 0;
+  for (const Tensor& p : parts) {
+    const int64_t cols = p.dim(1);
+    const float* pp = p.data();
+    for (int64_t r = 0; r < rows; ++r) {
+      std::copy(pp + r * cols, pp + (r + 1) * cols,
+                out->data.data() + r * total_cols + col_offset);
+    }
+    col_offset += cols;
+  }
+  if (out->requires_grad) {
+    TensorImpl* o = out.get();
+    std::vector<TensorImpl*> impls;
+    std::vector<int64_t> widths;
+    for (const Tensor& p : parts) {
+      impls.push_back(p.impl().get());
+      widths.push_back(p.dim(1));
+    }
+    out->backward_fn = [o, impls, widths, rows, total_cols]() {
+      int64_t offset = 0;
+      for (size_t pi = 0; pi < impls.size(); ++pi) {
+        const int64_t cols = widths[pi];
+        if (WantsGrad(impls[pi])) {
+          for (int64_t r = 0; r < rows; ++r) {
+            const float* src = o->grad.data() + r * total_cols + offset;
+            float* dst = impls[pi]->grad.data() + r * cols;
+            for (int64_t j = 0; j < cols; ++j) dst[j] += src[j];
+          }
+        }
+        offset += cols;
+      }
+    };
+  }
+  return Tensor::WrapImpl(out);
+}
+
+Tensor ConcatRows(const std::vector<Tensor>& parts) {
+  RRRE_CHECK(!parts.empty());
+  const int64_t cols = parts[0].dim(1);
+  int64_t total_rows = 0;
+  for (const Tensor& p : parts) {
+    RRRE_CHECK_EQ(p.ndim(), 2);
+    RRRE_CHECK_EQ(p.dim(1), cols);
+    total_rows += p.dim(0);
+  }
+  auto out = MakeNode({total_rows, cols}, parts);
+  int64_t row_offset = 0;
+  for (const Tensor& p : parts) {
+    const int64_t rows = p.dim(0);
+    std::copy(p.data(), p.data() + rows * cols,
+              out->data.data() + row_offset * cols);
+    row_offset += rows;
+  }
+  if (out->requires_grad) {
+    TensorImpl* o = out.get();
+    std::vector<TensorImpl*> impls;
+    std::vector<int64_t> heights;
+    for (const Tensor& p : parts) {
+      impls.push_back(p.impl().get());
+      heights.push_back(p.dim(0));
+    }
+    out->backward_fn = [o, impls, heights, cols]() {
+      int64_t offset = 0;
+      for (size_t pi = 0; pi < impls.size(); ++pi) {
+        const int64_t rows = heights[pi];
+        if (WantsGrad(impls[pi])) {
+          const float* src = o->grad.data() + offset * cols;
+          float* dst = impls[pi]->grad.data();
+          for (int64_t i = 0; i < rows * cols; ++i) dst[i] += src[i];
+        }
+        offset += rows;
+      }
+    };
+  }
+  return Tensor::WrapImpl(out);
+}
+
+Tensor SliceRows(const Tensor& a, int64_t start, int64_t len) {
+  RRRE_CHECK_EQ(a.ndim(), 2);
+  RRRE_CHECK_GE(start, 0);
+  RRRE_CHECK_GT(len, 0);
+  RRRE_CHECK_LE(start + len, a.dim(0));
+  const int64_t cols = a.dim(1);
+  auto out = MakeNode({len, cols}, {a});
+  std::copy(a.data() + start * cols, a.data() + (start + len) * cols,
+            out->data.data());
+  if (out->requires_grad) {
+    TensorImpl* o = out.get();
+    TensorImpl* ia = a.impl().get();
+    out->backward_fn = [o, ia, start, len, cols]() {
+      if (!WantsGrad(ia)) return;
+      float* dst = ia->grad.data() + start * cols;
+      for (int64_t i = 0; i < len * cols; ++i) dst[i] += o->grad[i];
+    };
+  }
+  return Tensor::WrapImpl(out);
+}
+
+Tensor SliceCols(const Tensor& a, int64_t start, int64_t len) {
+  RRRE_CHECK_EQ(a.ndim(), 2);
+  RRRE_CHECK_GE(start, 0);
+  RRRE_CHECK_GT(len, 0);
+  RRRE_CHECK_LE(start + len, a.dim(1));
+  const int64_t rows = a.dim(0);
+  const int64_t cols = a.dim(1);
+  auto out = MakeNode({rows, len}, {a});
+  const float* pa = a.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    std::copy(pa + r * cols + start, pa + r * cols + start + len,
+              out->data.data() + r * len);
+  }
+  if (out->requires_grad) {
+    TensorImpl* o = out.get();
+    TensorImpl* ia = a.impl().get();
+    out->backward_fn = [o, ia, start, len, rows, cols]() {
+      if (!WantsGrad(ia)) return;
+      for (int64_t r = 0; r < rows; ++r) {
+        const float* src = o->grad.data() + r * len;
+        float* dst = ia->grad.data() + r * cols + start;
+        for (int64_t j = 0; j < len; ++j) dst[j] += src[j];
+      }
+    };
+  }
+  return Tensor::WrapImpl(out);
+}
+
+Tensor Conv1dMaxPool(const Tensor& values, int64_t seq_len,
+                     const Tensor& kernel, const Tensor& bias) {
+  RRRE_CHECK_EQ(values.ndim(), 2);
+  RRRE_CHECK_EQ(kernel.ndim(), 2);
+  RRRE_CHECK_EQ(bias.ndim(), 1);
+  const int64_t d = values.dim(1);
+  RRRE_CHECK_GT(seq_len, 0);
+  RRRE_CHECK_EQ(values.dim(0) % seq_len, 0)
+      << "values rows must be a multiple of seq_len";
+  const int64_t b = values.dim(0) / seq_len;
+  RRRE_CHECK_EQ(kernel.dim(0) % d, 0)
+      << "kernel rows must be a multiple of the embedding dim";
+  const int64_t w = kernel.dim(0) / d;
+  RRRE_CHECK_LE(w, seq_len) << "window wider than sequence";
+  const int64_t f = kernel.dim(1);
+  RRRE_CHECK_EQ(bias.dim(0), f);
+  const int64_t positions = seq_len - w + 1;
+
+  auto out = MakeNode({b, f}, {values, kernel, bias});
+  // argmax[b*f + c] = best window start for that (example, filter).
+  auto argmax = std::make_shared<std::vector<int64_t>>(
+      static_cast<size_t>(b * f), int64_t{0});
+  const float* pv = values.data();
+  const float* pk = kernel.data();
+  const float* pb = bias.data();
+  for (int64_t bi = 0; bi < b; ++bi) {
+    float* orow = out->data.data() + bi * f;
+    std::vector<float> best(static_cast<size_t>(f),
+                            -std::numeric_limits<float>::infinity());
+    for (int64_t t = 0; t < positions; ++t) {
+      const float* window = pv + (bi * seq_len + t) * d;
+      for (int64_t c = 0; c < f; ++c) {
+        float acc = pb[c];
+        // kernel rows are laid out window-position-major: row (p*d + e).
+        for (int64_t p = 0; p < w; ++p) {
+          const float* vrow = window + p * d;
+          const float* krow = pk + p * d * f;
+          for (int64_t e = 0; e < d; ++e) acc += vrow[e] * krow[e * f + c];
+        }
+        if (acc > best[static_cast<size_t>(c)]) {
+          best[static_cast<size_t>(c)] = acc;
+          (*argmax)[static_cast<size_t>(bi * f + c)] = t;
+        }
+      }
+    }
+    for (int64_t c = 0; c < f; ++c) orow[c] = best[static_cast<size_t>(c)];
+  }
+
+  if (out->requires_grad) {
+    TensorImpl* o = out.get();
+    TensorImpl* iv = values.impl().get();
+    TensorImpl* ik = kernel.impl().get();
+    TensorImpl* ib = bias.impl().get();
+    out->backward_fn = [o, iv, ik, ib, argmax, b, f, w, d, seq_len]() {
+      const bool gv = WantsGrad(iv);
+      const bool gk = WantsGrad(ik);
+      const bool gb = WantsGrad(ib);
+      if (!gv && !gk && !gb) return;
+      for (int64_t bi = 0; bi < b; ++bi) {
+        for (int64_t c = 0; c < f; ++c) {
+          const float g = o->grad[static_cast<size_t>(bi * f + c)];
+          if (g == 0.0f) continue;
+          const int64_t t = (*argmax)[static_cast<size_t>(bi * f + c)];
+          if (gb) ib->grad[static_cast<size_t>(c)] += g;
+          for (int64_t p = 0; p < w; ++p) {
+            const int64_t vrow = (bi * seq_len + t + p) * d;
+            for (int64_t e = 0; e < d; ++e) {
+              const int64_t krow = (p * d + e) * f + c;
+              if (gv) {
+                iv->grad[static_cast<size_t>(vrow + e)] +=
+                    g * ik->data[static_cast<size_t>(krow)];
+              }
+              if (gk) {
+                ik->grad[static_cast<size_t>(krow)] +=
+                    g * iv->data[static_cast<size_t>(vrow + e)];
+              }
+            }
+          }
+        }
+      }
+    };
+  }
+  return Tensor::WrapImpl(out);
+}
+
+Tensor EmbeddingLookup(const Tensor& table, const std::vector<int64_t>& ids) {
+  RRRE_CHECK_EQ(table.ndim(), 2);
+  RRRE_CHECK(!ids.empty());
+  const int64_t v = table.dim(0);
+  const int64_t d = table.dim(1);
+  const int64_t n = static_cast<int64_t>(ids.size());
+  auto out = MakeNode({n, d}, {table});
+  const float* pt = table.data();
+  for (int64_t i = 0; i < n; ++i) {
+    RRRE_CHECK_GE(ids[static_cast<size_t>(i)], 0);
+    RRRE_CHECK_LT(ids[static_cast<size_t>(i)], v);
+    std::copy(pt + ids[static_cast<size_t>(i)] * d,
+              pt + (ids[static_cast<size_t>(i)] + 1) * d,
+              out->data.data() + i * d);
+  }
+  if (out->requires_grad) {
+    TensorImpl* o = out.get();
+    TensorImpl* it = table.impl().get();
+    out->backward_fn = [o, it, ids, n, d]() {
+      if (!WantsGrad(it)) return;
+      for (int64_t i = 0; i < n; ++i) {
+        const float* src = o->grad.data() + i * d;
+        float* dst = it->grad.data() + ids[static_cast<size_t>(i)] * d;
+        for (int64_t j = 0; j < d; ++j) dst[j] += src[j];
+      }
+    };
+  }
+  return Tensor::WrapImpl(out);
+}
+
+Tensor WeightedPool(const Tensor& values, const Tensor& weights) {
+  RRRE_CHECK_EQ(values.ndim(), 2);
+  RRRE_CHECK_EQ(weights.ndim(), 2);
+  const int64_t b = weights.dim(0);
+  const int64_t s = weights.dim(1);
+  const int64_t k = values.dim(1);
+  RRRE_CHECK_EQ(values.dim(0), b * s)
+      << "values rows must equal B*s: " << ShapeToString(values.shape())
+      << " with weights " << ShapeToString(weights.shape());
+  auto out = MakeNode({b, k}, {values, weights});
+  const float* pv = values.data();
+  const float* pw = weights.data();
+  for (int64_t bi = 0; bi < b; ++bi) {
+    float* orow = out->data.data() + bi * k;
+    for (int64_t j = 0; j < s; ++j) {
+      const float w = pw[bi * s + j];
+      if (w == 0.0f) continue;
+      const float* vrow = pv + (bi * s + j) * k;
+      for (int64_t c = 0; c < k; ++c) orow[c] += w * vrow[c];
+    }
+  }
+  if (out->requires_grad) {
+    TensorImpl* o = out.get();
+    TensorImpl* iv = values.impl().get();
+    TensorImpl* iw = weights.impl().get();
+    out->backward_fn = [o, iv, iw, b, s, k]() {
+      const bool gv = WantsGrad(iv);
+      const bool gw = WantsGrad(iw);
+      if (!gv && !gw) return;
+      for (int64_t bi = 0; bi < b; ++bi) {
+        const float* go = o->grad.data() + bi * k;
+        for (int64_t j = 0; j < s; ++j) {
+          const int64_t row = bi * s + j;
+          if (gv) {
+            const float w = iw->data[static_cast<size_t>(bi * s + j)];
+            float* gvrow = iv->grad.data() + row * k;
+            for (int64_t c = 0; c < k; ++c) gvrow[c] += w * go[c];
+          }
+          if (gw) {
+            const float* vrow = iv->data.data() + row * k;
+            float acc = 0.0f;
+            for (int64_t c = 0; c < k; ++c) acc += go[c] * vrow[c];
+            iw->grad[static_cast<size_t>(bi * s + j)] += acc;
+          }
+        }
+      }
+    };
+  }
+  return Tensor::WrapImpl(out);
+}
+
+Tensor CrossEntropyWithLogits(const Tensor& logits,
+                              const std::vector<int64_t>& labels,
+                              const std::vector<float>& example_weights) {
+  RRRE_CHECK_EQ(logits.ndim(), 2);
+  const int64_t b = logits.dim(0);
+  const int64_t c = logits.dim(1);
+  RRRE_CHECK_EQ(static_cast<int64_t>(labels.size()), b);
+  const bool weighted = !example_weights.empty();
+  if (weighted) {
+    RRRE_CHECK_EQ(static_cast<int64_t>(example_weights.size()), b);
+  }
+
+  // Forward: per-row stable log-softmax, gather label log-probability.
+  std::vector<float> probs(static_cast<size_t>(b * c));
+  const float* pl = logits.data();
+  double loss_acc = 0.0;
+  double weight_acc = 0.0;
+  for (int64_t r = 0; r < b; ++r) {
+    RRRE_CHECK_GE(labels[static_cast<size_t>(r)], 0);
+    RRRE_CHECK_LT(labels[static_cast<size_t>(r)], c);
+    const float* row = pl + r * c;
+    float maxv = row[0];
+    for (int64_t j = 1; j < c; ++j) maxv = std::max(maxv, row[j]);
+    float denom = 0.0f;
+    for (int64_t j = 0; j < c; ++j) {
+      probs[static_cast<size_t>(r * c + j)] = std::exp(row[j] - maxv);
+      denom += probs[static_cast<size_t>(r * c + j)];
+    }
+    for (int64_t j = 0; j < c; ++j) {
+      probs[static_cast<size_t>(r * c + j)] /= denom;
+    }
+    const float w = weighted ? example_weights[static_cast<size_t>(r)] : 1.0f;
+    const float logp =
+        row[labels[static_cast<size_t>(r)]] - maxv - std::log(denom);
+    loss_acc += -static_cast<double>(w) * logp;
+    weight_acc += w;
+  }
+  const float norm = static_cast<float>(std::max(weight_acc, 1e-12));
+
+  auto out = MakeNode({1}, {logits});
+  out->data[0] = static_cast<float>(loss_acc) / norm;
+  if (out->requires_grad) {
+    TensorImpl* o = out.get();
+    TensorImpl* il = logits.impl().get();
+    auto probs_shared = std::make_shared<std::vector<float>>(std::move(probs));
+    out->backward_fn = [o, il, probs_shared, labels, example_weights, weighted,
+                        b, c, norm]() {
+      if (!WantsGrad(il)) return;
+      const float g = o->grad[0] / norm;
+      const std::vector<float>& p = *probs_shared;
+      for (int64_t r = 0; r < b; ++r) {
+        const float w =
+            weighted ? example_weights[static_cast<size_t>(r)] : 1.0f;
+        if (w == 0.0f) continue;
+        float* grow = il->grad.data() + r * c;
+        const int64_t label = labels[static_cast<size_t>(r)];
+        for (int64_t j = 0; j < c; ++j) {
+          const float onehot = (j == label) ? 1.0f : 0.0f;
+          grow[j] += g * w * (p[static_cast<size_t>(r * c + j)] - onehot);
+        }
+      }
+    };
+  }
+  return Tensor::WrapImpl(out);
+}
+
+}  // namespace rrre::tensor

@@ -1,0 +1,109 @@
+#ifndef RRRE_TENSOR_OPS_H_
+#define RRRE_TENSOR_OPS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace rrre::tensor {
+
+// Differentiable operations over Tensor. Each op validates shapes with CHECK
+// (shape errors are programmer errors), computes the forward value eagerly,
+// and registers a backward closure on the result node.
+
+// -- Elementwise binary (operands must have identical shapes) ----------------
+
+Tensor Add(const Tensor& a, const Tensor& b);
+Tensor Sub(const Tensor& a, const Tensor& b);
+Tensor Mul(const Tensor& a, const Tensor& b);
+/// Elementwise division; caller guarantees b has no zero entries.
+Tensor Div(const Tensor& a, const Tensor& b);
+
+/// a[..., n] + bias[n]: broadcasts a rank-1 bias across all leading dims.
+Tensor AddBias(const Tensor& a, const Tensor& bias);
+
+// -- Scalar ops ---------------------------------------------------------------
+
+Tensor AddScalar(const Tensor& a, float s);
+Tensor MulScalar(const Tensor& a, float s);
+Tensor Neg(const Tensor& a);
+
+// -- Elementwise unary --------------------------------------------------------
+
+Tensor Tanh(const Tensor& a);
+Tensor Sigmoid(const Tensor& a);
+Tensor Relu(const Tensor& a);
+Tensor Exp(const Tensor& a);
+/// Natural log; caller guarantees positive entries.
+Tensor Log(const Tensor& a);
+Tensor Sqrt(const Tensor& a);
+Tensor Square(const Tensor& a);
+
+// -- Linear algebra -----------------------------------------------------------
+
+/// [m, k] x [k, n] -> [m, n].
+Tensor MatMul(const Tensor& a, const Tensor& b);
+/// 2-D transpose.
+Tensor Transpose(const Tensor& a);
+
+// -- Row-wise / reduction -----------------------------------------------------
+
+/// Softmax along the last dim of a 2-D tensor (per row), numerically stable.
+Tensor Softmax(const Tensor& a);
+/// Log-softmax along the last dim of a 2-D tensor.
+Tensor LogSoftmax(const Tensor& a);
+/// Sum of all entries -> shape {1}.
+Tensor Sum(const Tensor& a);
+/// Mean of all entries -> shape {1}.
+Tensor Mean(const Tensor& a);
+/// Row sums of a 2-D tensor: [m, n] -> [m, 1].
+Tensor RowSum(const Tensor& a);
+
+// -- Shape manipulation -------------------------------------------------------
+
+/// Returns a tensor with the same elements in a new shape (element count must
+/// match). The result is a distinct graph node; gradients flow through.
+Tensor Reshape(const Tensor& a, const Shape& shape);
+/// Concatenates 2-D tensors along columns (all must share dim 0).
+Tensor ConcatCols(const std::vector<Tensor>& parts);
+/// Concatenates 2-D tensors along rows (all must share dim 1).
+Tensor ConcatRows(const std::vector<Tensor>& parts);
+/// Rows [start, start+len) of a 2-D tensor.
+Tensor SliceRows(const Tensor& a, int64_t start, int64_t len);
+/// Columns [start, start+len) of a 2-D tensor.
+Tensor SliceCols(const Tensor& a, int64_t start, int64_t len);
+
+// -- Gather / pooling ---------------------------------------------------------
+
+/// Row lookup into an embedding table: table [V, d], ids (each in [0, V)) ->
+/// [ids.size(), d]. Gradients scatter-add into the table.
+Tensor EmbeddingLookup(const Tensor& table, const std::vector<int64_t>& ids);
+
+/// Attention-weighted pooling. values is [B*s, k] laid out with the s entries
+/// of each group contiguous; weights is [B, s]. Returns [B, k] where
+/// out[b] = sum_j weights[b, j] * values[b*s + j].
+Tensor WeightedPool(const Tensor& values, const Tensor& weights);
+
+/// 1-D convolution over a token-embedding sequence followed by max-over-time
+/// pooling (the TextCNN building block used by DeepCoNN). values is [B*T, d]
+/// with each example's T steps contiguous; kernel is [w*d, f] (window width w
+/// derived from kernel rows / d); bias is [f]. Output [B, f]:
+///   out[b, c] = max_t ( sum over window values[b, t..t+w) . kernel[:, c] + bias[c] ).
+/// Gradient routes through the argmax window per (b, c).
+Tensor Conv1dMaxPool(const Tensor& values, int64_t seq_len,
+                     const Tensor& kernel, const Tensor& bias);
+
+// -- Fused losses -------------------------------------------------------------
+
+/// Mean (or weighted mean) softmax cross-entropy with integer labels.
+/// logits: [B, C]; labels: B entries in [0, C); example_weights: empty or B
+/// non-negative entries. Returns a scalar:
+///   sum_b w_b * (-log softmax(logits_b)[label_b]) / max(sum_b w_b, eps).
+Tensor CrossEntropyWithLogits(const Tensor& logits,
+                              const std::vector<int64_t>& labels,
+                              const std::vector<float>& example_weights = {});
+
+}  // namespace rrre::tensor
+
+#endif  // RRRE_TENSOR_OPS_H_

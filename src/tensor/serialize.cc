@@ -1,0 +1,90 @@
+#include "tensor/serialize.h"
+
+#include <cstring>
+#include <fstream>
+
+namespace rrre::tensor {
+
+using common::Result;
+using common::Status;
+
+namespace {
+
+constexpr char kMagic[8] = {'R', 'R', 'R', 'E', 'T', 'N', 'S', '1'};
+
+template <typename T>
+void WritePod(std::ostream& out, T value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::istream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+Status SaveTensors(const std::string& path,
+                   const std::map<std::string, Tensor>& tensors) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  out.write(kMagic, sizeof(kMagic));
+  WritePod<uint32_t>(out, static_cast<uint32_t>(tensors.size()));
+  for (const auto& [name, t] : tensors) {
+    if (!t.defined()) {
+      return Status::InvalidArgument("undefined tensor: " + name);
+    }
+    WritePod<uint32_t>(out, static_cast<uint32_t>(name.size()));
+    out.write(name.data(), static_cast<std::streamsize>(name.size()));
+    WritePod<uint32_t>(out, static_cast<uint32_t>(t.ndim()));
+    for (int64_t d : t.shape()) WritePod<int64_t>(out, d);
+    out.write(reinterpret_cast<const char*>(t.data()),
+              static_cast<std::streamsize>(t.numel() * sizeof(float)));
+  }
+  out.flush();
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+Result<std::map<std::string, Tensor>> LoadTensors(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("bad checkpoint magic in " + path);
+  }
+  uint32_t count = 0;
+  if (!ReadPod(in, &count)) {
+    return Status::IoError("truncated checkpoint: " + path);
+  }
+  std::map<std::string, Tensor> out;
+  for (uint32_t e = 0; e < count; ++e) {
+    uint32_t name_len = 0;
+    if (!ReadPod(in, &name_len)) {
+      return Status::IoError("truncated checkpoint entry header: " + path);
+    }
+    std::string name(name_len, '\0');
+    in.read(name.data(), name_len);
+    uint32_t rank = 0;
+    if (!in || !ReadPod(in, &rank) || rank == 0 || rank > 8) {
+      return Status::InvalidArgument("bad tensor rank in " + path);
+    }
+    Shape shape(rank);
+    for (uint32_t d = 0; d < rank; ++d) {
+      if (!ReadPod(in, &shape[d]) || shape[d] <= 0) {
+        return Status::InvalidArgument("bad tensor dim in " + path);
+      }
+    }
+    const int64_t numel = NumElements(shape);
+    std::vector<float> data(static_cast<size_t>(numel));
+    in.read(reinterpret_cast<char*>(data.data()),
+            static_cast<std::streamsize>(numel * sizeof(float)));
+    if (!in) return Status::IoError("truncated tensor payload: " + path);
+    out.emplace(std::move(name), Tensor::FromVector(shape, std::move(data)));
+  }
+  return out;
+}
+
+}  // namespace rrre::tensor

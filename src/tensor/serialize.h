@@ -1,0 +1,26 @@
+#ifndef RRRE_TENSOR_SERIALIZE_H_
+#define RRRE_TENSOR_SERIALIZE_H_
+
+#include <map>
+#include <string>
+
+#include "common/status.h"
+#include "tensor/tensor.h"
+
+namespace rrre::tensor {
+
+/// Saves named tensors to a binary checkpoint file. Format:
+///   "RRRETNS1" magic, u32 entry count, then per entry:
+///   u32 name length, name bytes, u32 rank, i64 dims..., f32 payload.
+/// Little-endian, matching the only platform this library targets.
+common::Status SaveTensors(const std::string& path,
+                           const std::map<std::string, Tensor>& tensors);
+
+/// Loads a checkpoint written by SaveTensors. Loaded tensors are leaves with
+/// requires_grad = false; callers copy values into parameters as needed.
+common::Result<std::map<std::string, Tensor>> LoadTensors(
+    const std::string& path);
+
+}  // namespace rrre::tensor
+
+#endif  // RRRE_TENSOR_SERIALIZE_H_

@@ -1,0 +1,32 @@
+#include "tensor/shape.h"
+
+#include <sstream>
+
+namespace rrre::tensor {
+
+int64_t NumElements(const Shape& shape) {
+  int64_t n = 1;
+  for (int64_t d : shape) n *= d;
+  return n;
+}
+
+std::string ShapeToString(const Shape& shape) {
+  std::ostringstream ss;
+  ss << "[";
+  for (size_t i = 0; i < shape.size(); ++i) {
+    if (i > 0) ss << ", ";
+    ss << shape[i];
+  }
+  ss << "]";
+  return ss.str();
+}
+
+bool IsValidShape(const Shape& shape) {
+  if (shape.empty()) return false;
+  for (int64_t d : shape) {
+    if (d <= 0) return false;
+  }
+  return true;
+}
+
+}  // namespace rrre::tensor

@@ -1,0 +1,25 @@
+#ifndef RRRE_TENSOR_SHAPE_H_
+#define RRRE_TENSOR_SHAPE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rrre::tensor {
+
+/// Tensor dimensions, outermost first. Rank 0 is not used; scalars are
+/// represented as shape {1}.
+using Shape = std::vector<int64_t>;
+
+/// Product of all dimensions. Returns 1 for an empty shape.
+int64_t NumElements(const Shape& shape);
+
+/// "[2, 3, 4]"
+std::string ShapeToString(const Shape& shape);
+
+/// True when every dimension is positive.
+bool IsValidShape(const Shape& shape);
+
+}  // namespace rrre::tensor
+
+#endif  // RRRE_TENSOR_SHAPE_H_

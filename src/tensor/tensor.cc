@@ -1,0 +1,218 @@
+#include "tensor/tensor.h"
+
+#include <cmath>
+#include <unordered_set>
+
+namespace rrre::tensor {
+
+using internal::TensorImpl;
+
+namespace {
+
+std::shared_ptr<TensorImpl> MakeImpl(const Shape& shape, bool requires_grad) {
+  RRRE_CHECK(IsValidShape(shape)) << ShapeToString(shape);
+  auto impl = std::make_shared<TensorImpl>();
+  impl->shape = shape;
+  impl->data.assign(static_cast<size_t>(NumElements(shape)), 0.0f);
+  impl->requires_grad = requires_grad;
+  return impl;
+}
+
+}  // namespace
+
+Tensor Tensor::Zeros(const Shape& shape, bool requires_grad) {
+  return Tensor(MakeImpl(shape, requires_grad));
+}
+
+Tensor Tensor::Full(const Shape& shape, float value, bool requires_grad) {
+  auto impl = MakeImpl(shape, requires_grad);
+  for (float& v : impl->data) v = value;
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::FromVector(const Shape& shape, std::vector<float> values,
+                          bool requires_grad) {
+  RRRE_CHECK(IsValidShape(shape)) << ShapeToString(shape);
+  RRRE_CHECK_EQ(static_cast<int64_t>(values.size()), NumElements(shape));
+  auto impl = std::make_shared<TensorImpl>();
+  impl->shape = shape;
+  impl->data = std::move(values);
+  impl->requires_grad = requires_grad;
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::Scalar(float value, bool requires_grad) {
+  return Full({1}, value, requires_grad);
+}
+
+Tensor Tensor::Randn(const Shape& shape, common::Rng& rng, float stddev,
+                     bool requires_grad) {
+  auto impl = MakeImpl(shape, requires_grad);
+  for (float& v : impl->data) {
+    v = static_cast<float>(rng.Normal(0.0, stddev));
+  }
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::XavierUniform(const Shape& shape, common::Rng& rng,
+                             bool requires_grad) {
+  RRRE_CHECK_GE(shape.size(), 2u)
+      << "Xavier init needs at least 2 dims, got " << ShapeToString(shape);
+  const double fan_in = static_cast<double>(shape[shape.size() - 2]);
+  const double fan_out = static_cast<double>(shape[shape.size() - 1]);
+  const double bound = std::sqrt(6.0 / (fan_in + fan_out));
+  auto impl = MakeImpl(shape, requires_grad);
+  for (float& v : impl->data) {
+    v = static_cast<float>(rng.Uniform(-bound, bound));
+  }
+  return Tensor(std::move(impl));
+}
+
+const Shape& Tensor::shape() const {
+  RRRE_CHECK(defined());
+  return impl_->shape;
+}
+
+int64_t Tensor::dim(int64_t axis) const {
+  const Shape& s = shape();
+  if (axis < 0) axis += static_cast<int64_t>(s.size());
+  RRRE_CHECK_GE(axis, 0);
+  RRRE_CHECK_LT(axis, static_cast<int64_t>(s.size()));
+  return s[static_cast<size_t>(axis)];
+}
+
+bool Tensor::requires_grad() const {
+  RRRE_CHECK(defined());
+  return impl_->requires_grad;
+}
+
+float* Tensor::data() {
+  RRRE_CHECK(defined());
+  return impl_->data.data();
+}
+
+const float* Tensor::data() const {
+  RRRE_CHECK(defined());
+  return impl_->data.data();
+}
+
+float& Tensor::at(int64_t i) {
+  RRRE_CHECK_GE(i, 0);
+  RRRE_CHECK_LT(i, numel());
+  return impl_->data[static_cast<size_t>(i)];
+}
+
+float Tensor::at(int64_t i) const {
+  RRRE_CHECK_GE(i, 0);
+  RRRE_CHECK_LT(i, numel());
+  return impl_->data[static_cast<size_t>(i)];
+}
+
+float& Tensor::at(int64_t i, int64_t j) {
+  RRRE_CHECK_EQ(ndim(), 2);
+  RRRE_CHECK_GE(i, 0);
+  RRRE_CHECK_LT(i, dim(0));
+  RRRE_CHECK_GE(j, 0);
+  RRRE_CHECK_LT(j, dim(1));
+  return impl_->data[static_cast<size_t>(i * dim(1) + j)];
+}
+
+float Tensor::at(int64_t i, int64_t j) const {
+  return const_cast<Tensor*>(this)->at(i, j);
+}
+
+float& Tensor::at(int64_t i, int64_t j, int64_t k) {
+  RRRE_CHECK_EQ(ndim(), 3);
+  RRRE_CHECK_GE(i, 0);
+  RRRE_CHECK_LT(i, dim(0));
+  RRRE_CHECK_GE(j, 0);
+  RRRE_CHECK_LT(j, dim(1));
+  RRRE_CHECK_GE(k, 0);
+  RRRE_CHECK_LT(k, dim(2));
+  return impl_->data[static_cast<size_t>((i * dim(1) + j) * dim(2) + k)];
+}
+
+float Tensor::at(int64_t i, int64_t j, int64_t k) const {
+  return const_cast<Tensor*>(this)->at(i, j, k);
+}
+
+float Tensor::item() const {
+  RRRE_CHECK_EQ(numel(), 1);
+  return impl_->data[0];
+}
+
+std::vector<float> Tensor::ToVector() const {
+  RRRE_CHECK(defined());
+  return impl_->data;
+}
+
+const std::vector<float>& Tensor::grad() const {
+  RRRE_CHECK(defined());
+  RRRE_CHECK(impl_->requires_grad) << "tensor does not require grad";
+  const_cast<TensorImpl*>(impl_.get())->EnsureGrad();
+  return impl_->grad;
+}
+
+std::vector<float>& Tensor::mutable_grad() {
+  RRRE_CHECK(defined());
+  RRRE_CHECK(impl_->requires_grad) << "tensor does not require grad";
+  impl_->EnsureGrad();
+  return impl_->grad;
+}
+
+void Tensor::ZeroGrad() {
+  RRRE_CHECK(defined());
+  impl_->grad.assign(impl_->data.size(), 0.0f);
+}
+
+void Tensor::Backward() {
+  RRRE_CHECK(defined());
+  RRRE_CHECK_EQ(numel(), 1) << "Backward() requires a scalar output";
+  RRRE_CHECK(impl_->requires_grad)
+      << "Backward() on a tensor with requires_grad == false";
+
+  // Topological order via iterative post-order DFS.
+  std::vector<TensorImpl*> topo;
+  std::unordered_set<TensorImpl*> visited;
+  struct Frame {
+    TensorImpl* node;
+    size_t next_parent;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({impl_.get(), 0});
+  visited.insert(impl_.get());
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (f.next_parent < f.node->parents.size()) {
+      TensorImpl* parent = f.node->parents[f.next_parent++].get();
+      if (parent->requires_grad && visited.insert(parent).second) {
+        stack.push_back({parent, 0});
+      }
+    } else {
+      topo.push_back(f.node);
+      stack.pop_back();
+    }
+  }
+
+  // Zero gradients of every node in this graph, then seed the output.
+  for (TensorImpl* node : topo) {
+    node->grad.assign(node->data.size(), 0.0f);
+  }
+  impl_->grad[0] = 1.0f;
+
+  // topo is post-order (output last); walk it backwards.
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    if ((*it)->backward_fn) (*it)->backward_fn();
+  }
+}
+
+Tensor Tensor::Detach() const {
+  RRRE_CHECK(defined());
+  return FromVector(impl_->shape, impl_->data, /*requires_grad=*/false);
+}
+
+Tensor Tensor::WrapImpl(std::shared_ptr<TensorImpl> impl) {
+  return Tensor(std::move(impl));
+}
+
+}  // namespace rrre::tensor

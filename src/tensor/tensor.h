@@ -1,0 +1,123 @@
+#ifndef RRRE_TENSOR_TENSOR_H_
+#define RRRE_TENSOR_TENSOR_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "tensor/shape.h"
+
+namespace rrre::tensor {
+
+namespace internal {
+
+/// Shared node in the dynamic computation graph. Holds the value buffer, the
+/// (lazily allocated) gradient buffer, and the closure that pushes gradients
+/// to the node's parents during the backward pass.
+struct TensorImpl {
+  Shape shape;
+  std::vector<float> data;
+  std::vector<float> grad;
+  bool requires_grad = false;
+  /// Set on non-leaf nodes; propagates this node's grad to parents' grads.
+  std::function<void()> backward_fn;
+  /// Kept alive so backward can run after intermediate Tensors go out of
+  /// scope in user code.
+  std::vector<std::shared_ptr<TensorImpl>> parents;
+
+  void EnsureGrad() {
+    if (grad.size() != data.size()) grad.assign(data.size(), 0.0f);
+  }
+};
+
+}  // namespace internal
+
+/// A dense float tensor participating in reverse-mode automatic
+/// differentiation. Tensor is a cheap shared handle: copies alias the same
+/// storage and graph node, mirroring the semantics of torch.Tensor.
+///
+/// Leaves created with requires_grad=true act as trainable parameters; ops in
+/// ops.h build a dynamic graph; Backward() on a scalar result fills `grad()`
+/// buffers of every reachable node that requires grad.
+class Tensor {
+ public:
+  /// Undefined tensor (defined() == false). Using it in ops is an error.
+  Tensor() = default;
+
+  // -- Factories -------------------------------------------------------------
+
+  static Tensor Zeros(const Shape& shape, bool requires_grad = false);
+  static Tensor Full(const Shape& shape, float value,
+                     bool requires_grad = false);
+  /// Takes ownership of `values`; size must equal NumElements(shape).
+  static Tensor FromVector(const Shape& shape, std::vector<float> values,
+                           bool requires_grad = false);
+  /// Scalar (shape {1}).
+  static Tensor Scalar(float value, bool requires_grad = false);
+  /// I.i.d. normal entries with the given standard deviation.
+  static Tensor Randn(const Shape& shape, common::Rng& rng,
+                      float stddev = 1.0f, bool requires_grad = false);
+  /// Glorot/Xavier uniform init for a [fan_in, fan_out]-shaped weight.
+  static Tensor XavierUniform(const Shape& shape, common::Rng& rng,
+                              bool requires_grad = false);
+
+  // -- Introspection ----------------------------------------------------------
+
+  bool defined() const { return impl_ != nullptr; }
+  const Shape& shape() const;
+  int64_t ndim() const { return static_cast<int64_t>(shape().size()); }
+  int64_t dim(int64_t axis) const;
+  int64_t numel() const { return NumElements(shape()); }
+  bool requires_grad() const;
+
+  // -- Data access ------------------------------------------------------------
+
+  float* data();
+  const float* data() const;
+  /// Flat element access.
+  float& at(int64_t i);
+  float at(int64_t i) const;
+  /// 2-D element access (row-major).
+  float& at(int64_t i, int64_t j);
+  float at(int64_t i, int64_t j) const;
+  /// 3-D element access.
+  float& at(int64_t i, int64_t j, int64_t k);
+  float at(int64_t i, int64_t j, int64_t k) const;
+  /// Value of a scalar (shape-{1}) tensor.
+  float item() const;
+  /// Copies the value buffer out.
+  std::vector<float> ToVector() const;
+
+  /// Gradient buffer; valid after Backward(). CHECK-fails if the tensor does
+  /// not require grad.
+  const std::vector<float>& grad() const;
+  std::vector<float>& mutable_grad();
+  /// Clears this node's gradient buffer.
+  void ZeroGrad();
+
+  // -- Autograd ---------------------------------------------------------------
+
+  /// Runs reverse-mode differentiation from this scalar tensor. Seeds the
+  /// output gradient with 1 and accumulates into every reachable grad buffer.
+  void Backward();
+
+  /// Returns a leaf tensor sharing no graph history (value is copied).
+  Tensor Detach() const;
+
+  // -- Internal (used by ops.h) ----------------------------------------------
+
+  const std::shared_ptr<internal::TensorImpl>& impl() const { return impl_; }
+  static Tensor WrapImpl(std::shared_ptr<internal::TensorImpl> impl);
+
+ private:
+  explicit Tensor(std::shared_ptr<internal::TensorImpl> impl)
+      : impl_(std::move(impl)) {}
+
+  std::shared_ptr<internal::TensorImpl> impl_;
+};
+
+}  // namespace rrre::tensor
+
+#endif  // RRRE_TENSOR_TENSOR_H_

@@ -1,0 +1,17 @@
+#ifndef RRRE_TEXT_TOKENIZER_H_
+#define RRRE_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rrre::text {
+
+/// Splits review text into lowercase word tokens. A token is a maximal run of
+/// ASCII letters/digits (apostrophes inside words are dropped: "don't" ->
+/// "dont"). Punctuation and other symbols are separators.
+std::vector<std::string> Tokenize(std::string_view text);
+
+}  // namespace rrre::text
+
+#endif  // RRRE_TEXT_TOKENIZER_H_

@@ -1,0 +1,104 @@
+#include "text/vocab.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "common/io.h"
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace rrre::text {
+
+Vocabulary::Vocabulary() {
+  id_to_token_ = {"<pad>", "<unk>"};
+  token_to_id_ = {{"<pad>", kPadId}, {"<unk>", kUnkId}};
+}
+
+Vocabulary Vocabulary::Build(
+    const std::vector<std::vector<std::string>>& docs, int64_t min_count) {
+  std::map<std::string, int64_t> counts;
+  for (const auto& doc : docs) {
+    for (const auto& tok : doc) ++counts[tok];
+  }
+  std::vector<std::pair<std::string, int64_t>> kept;
+  for (const auto& [tok, count] : counts) {
+    if (count >= min_count) kept.emplace_back(tok, count);
+  }
+  std::sort(kept.begin(), kept.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  Vocabulary vocab;
+  for (const auto& [tok, count] : kept) {
+    const int64_t id = vocab.size();
+    vocab.token_to_id_.emplace(tok, id);
+    vocab.id_to_token_.push_back(tok);
+  }
+  return vocab;
+}
+
+int64_t Vocabulary::Id(const std::string& token) const {
+  auto it = token_to_id_.find(token);
+  return it == token_to_id_.end() ? kUnkId : it->second;
+}
+
+const std::string& Vocabulary::Token(int64_t id) const {
+  RRRE_CHECK_GE(id, 0);
+  RRRE_CHECK_LT(id, size());
+  return id_to_token_[static_cast<size_t>(id)];
+}
+
+bool Vocabulary::Contains(const std::string& token) const {
+  return token_to_id_.count(token) > 0;
+}
+
+std::vector<int64_t> Vocabulary::Encode(
+    const std::vector<std::string>& tokens) const {
+  std::vector<int64_t> ids;
+  ids.reserve(tokens.size());
+  for (const auto& tok : tokens) ids.push_back(Id(tok));
+  return ids;
+}
+
+std::vector<int64_t> Vocabulary::EncodePadded(
+    const std::vector<std::string>& tokens, int64_t length) const {
+  RRRE_CHECK_GT(length, 0);
+  std::vector<int64_t> ids(static_cast<size_t>(length), kPadId);
+  const size_t n = std::min(tokens.size(), static_cast<size_t>(length));
+  for (size_t i = 0; i < n; ++i) ids[i] = Id(tokens[i]);
+  return ids;
+}
+
+common::Status Vocabulary::Save(const std::string& path) const {
+  std::ostringstream out;
+  for (const auto& token : id_to_token_) out << token << '\n';
+  return common::WriteFile(path, out.str());
+}
+
+common::Result<Vocabulary> Vocabulary::Load(const std::string& path) {
+  auto content = common::ReadFile(path);
+  if (!content.ok()) return content.status();
+  std::vector<std::string> lines = common::Split(content.value(), '\n');
+  if (!lines.empty() && lines.back().empty()) lines.pop_back();
+  if (lines.size() < 2 || lines[0] != "<pad>" || lines[1] != "<unk>") {
+    return common::Status::InvalidArgument(
+        "vocabulary file missing reserved specials: " + path);
+  }
+  Vocabulary vocab;
+  for (size_t i = 2; i < lines.size(); ++i) {
+    if (lines[i].empty()) {
+      return common::Status::InvalidArgument(
+          "empty token in vocabulary file: " + path);
+    }
+    const int64_t id = vocab.size();
+    if (!vocab.token_to_id_.emplace(lines[i], id).second) {
+      return common::Status::InvalidArgument("duplicate token '" + lines[i] +
+                                             "' in " + path);
+    }
+    vocab.id_to_token_.push_back(lines[i]);
+  }
+  return vocab;
+}
+
+}  // namespace rrre::text

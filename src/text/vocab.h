@@ -1,0 +1,58 @@
+#ifndef RRRE_TEXT_VOCAB_H_
+#define RRRE_TEXT_VOCAB_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace rrre::text {
+
+/// Token-to-id mapping with reserved specials. Id 0 is <pad> (its word
+/// vector is pinned to zero so zero-padding is inert), id 1 is <unk>.
+class Vocabulary {
+ public:
+  static constexpr int64_t kPadId = 0;
+  static constexpr int64_t kUnkId = 1;
+
+  Vocabulary();
+
+  /// Builds from tokenized documents, keeping tokens that appear at least
+  /// min_count times, in descending frequency order (ties: lexicographic).
+  static Vocabulary Build(const std::vector<std::vector<std::string>>& docs,
+                          int64_t min_count = 1);
+
+  /// Token id, or kUnkId for unknown tokens.
+  int64_t Id(const std::string& token) const;
+
+  /// Token string for an id.
+  const std::string& Token(int64_t id) const;
+
+  bool Contains(const std::string& token) const;
+
+  /// Encodes tokens into ids (<unk> for out-of-vocabulary).
+  std::vector<int64_t> Encode(const std::vector<std::string>& tokens) const;
+
+  /// Encodes and shapes to exactly `length` ids: truncates long inputs,
+  /// right-pads short inputs with <pad>.
+  std::vector<int64_t> EncodePadded(const std::vector<std::string>& tokens,
+                                    int64_t length) const;
+
+  /// Number of entries including the specials.
+  int64_t size() const { return static_cast<int64_t>(id_to_token_.size()); }
+
+  /// Persists the vocabulary (one token per line, id = line number).
+  common::Status Save(const std::string& path) const;
+  /// Loads a vocabulary written by Save; validates the reserved specials.
+  static common::Result<Vocabulary> Load(const std::string& path);
+
+ private:
+  std::unordered_map<std::string, int64_t> token_to_id_;
+  std::vector<std::string> id_to_token_;
+};
+
+}  // namespace rrre::text
+
+#endif  // RRRE_TEXT_VOCAB_H_

@@ -1,0 +1,48 @@
+#ifndef RRRE_TEXT_WORD2VEC_H_
+#define RRRE_TEXT_WORD2VEC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+#include "text/vocab.h"
+
+namespace rrre::text {
+
+/// Configuration for skip-gram-with-negative-sampling pretraining.
+struct SkipGramConfig {
+  int64_t dim = 32;          ///< Word-vector dimensionality (paper's d).
+  int64_t window = 3;        ///< Max context distance.
+  int64_t negatives = 4;     ///< Negative samples per positive pair.
+  int64_t epochs = 3;        ///< Passes over the corpus.
+  double lr = 0.025;         ///< Initial learning rate (linearly decayed).
+  double min_lr = 1e-4;      ///< Learning-rate floor.
+  double subsample = 0.0;    ///< Frequent-word subsampling threshold (0=off).
+};
+
+/// Pretrains word vectors on token-id documents — the "pretrained as
+/// vectors" step of Sec. IV-A of the paper. A plain SGNS implementation on
+/// raw arrays (no autograd) for speed.
+///
+/// The returned table has shape [vocab_size, dim]; the <pad> row (id 0) is
+/// pinned to zero so zero-padded positions are inert in the BiLSTM input.
+class SkipGramTrainer {
+ public:
+  SkipGramTrainer(SkipGramConfig config, int64_t vocab_size);
+
+  /// Trains on documents of token ids and returns the input-vector table.
+  tensor::Tensor Train(const std::vector<std::vector<int64_t>>& docs,
+                       common::Rng& rng) const;
+
+ private:
+  SkipGramConfig config_;
+  int64_t vocab_size_;
+};
+
+/// Cosine similarity between rows a and b of an embedding table.
+double CosineSimilarity(const tensor::Tensor& table, int64_t a, int64_t b);
+
+}  // namespace rrre::text
+
+#endif  // RRRE_TEXT_WORD2VEC_H_

@@ -1,0 +1,364 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+
+#include "common/flags.h"
+#include "common/io.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/strings.h"
+
+namespace rrre::common {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Status / Result
+// ---------------------------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad k");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad k");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad k");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kNotFound), "NotFound");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kIoError), "IoError");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kFailedPrecondition),
+            "FailedPrecondition");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOutOfRange), "OutOfRange");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kInternal), "Internal");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 7;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 7);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("x");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+Result<int> HalveEven(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Status UseAssignOrReturn(int x, int* out) {
+  RRRE_ASSIGN_OR_RETURN(*out, HalveEven(x));
+  return Status::Ok();
+}
+
+TEST(ResultTest, AssignOrReturnPropagatesValue) {
+  int out = 0;
+  EXPECT_TRUE(UseAssignOrReturn(10, &out).ok());
+  EXPECT_EQ(out, 5);
+}
+
+TEST(ResultTest, AssignOrReturnPropagatesError) {
+  int out = 0;
+  Status s = UseAssignOrReturn(9, &out);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, ValueOrDieMovesValue) {
+  Result<std::string> r = std::string("hello");
+  EXPECT_EQ(std::move(r).ValueOrDie(), "hello");
+}
+
+// ---------------------------------------------------------------------------
+// Rng
+// ---------------------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) {
+    if (a.NextUint64() != b.NextUint64()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntRangeInclusive) {
+  Rng rng(7);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    const int64_t v = rng.UniformInt(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // All five values should appear in 500 draws.
+}
+
+TEST(RngTest, NormalHasApproximatelyUnitMoments) {
+  Rng rng(11);
+  const int n = 20000;
+  double sum = 0.0;
+  double sumsq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Normal();
+    sum += x;
+    sumsq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sumsq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.05);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(13);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, CategoricalRespectsWeights) {
+  Rng rng(17);
+  std::vector<double> w = {1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) counts[rng.Categorical(w)]++;
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.25, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.02);
+}
+
+TEST(RngTest, SampleWithoutReplacementIsDistinct) {
+  Rng rng(19);
+  auto sample = rng.SampleWithoutReplacement(50, 20);
+  EXPECT_EQ(sample.size(), 20u);
+  std::set<size_t> uniq(sample.begin(), sample.end());
+  EXPECT_EQ(uniq.size(), 20u);
+  for (size_t v : sample) EXPECT_LT(v, 50u);
+}
+
+TEST(RngTest, SampleWithoutReplacementFullRangeIsPermutation) {
+  Rng rng(23);
+  auto sample = rng.SampleWithoutReplacement(10, 10);
+  std::set<size_t> uniq(sample.begin(), sample.end());
+  EXPECT_EQ(uniq.size(), 10u);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(29);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6};
+  auto orig = v;
+  rng.Shuffle(v);
+  std::multiset<int> a(v.begin(), v.end());
+  std::multiset<int> b(orig.begin(), orig.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(31);
+  Rng child = a.Fork();
+  // The child stream must not simply mirror the parent's next outputs.
+  bool differs = false;
+  Rng a_copy(31);
+  a_copy.NextUint64();  // Mirror the draw consumed by Fork().
+  for (int i = 0; i < 8; ++i) {
+    if (child.NextUint64() != a_copy.NextUint64()) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+// ---------------------------------------------------------------------------
+// Strings
+// ---------------------------------------------------------------------------
+
+TEST(StringsTest, SplitKeepsEmptyFields) {
+  auto parts = Split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringsTest, SplitSingleField) {
+  auto parts = Split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(StringsTest, SplitWhitespaceDropsEmpty) {
+  auto parts = SplitWhitespace("  the\tquick \n brown  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "the");
+  EXPECT_EQ(parts[1], "quick");
+  EXPECT_EQ(parts[2], "brown");
+}
+
+TEST(StringsTest, JoinRoundTrip) {
+  std::vector<std::string> parts = {"a", "b", "c"};
+  EXPECT_EQ(Join(parts, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(Trim("  x y\t"), "x y");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(StringsTest, ToLower) { EXPECT_EQ(ToLower("AbC9!"), "abc9!"); }
+
+TEST(StringsTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("--flag", "--"));
+  EXPECT_FALSE(StartsWith("-", "--"));
+  EXPECT_TRUE(EndsWith("model.bin", ".bin"));
+  EXPECT_FALSE(EndsWith("bin", ".bin"));
+}
+
+TEST(StringsTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%.3f|%d|%s", 1.5, 7, "x"), "1.500|7|x");
+  EXPECT_EQ(StrFormat("no args"), "no args");
+}
+
+// ---------------------------------------------------------------------------
+// IO
+// ---------------------------------------------------------------------------
+
+TEST(IoTest, WriteAndReadFileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/rrre_io_test.txt";
+  ASSERT_TRUE(WriteFile(path, "hello\nworld").ok());
+  auto r = ReadFile(path);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), "hello\nworld");
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, ReadMissingFileFails) {
+  auto r = ReadFile("/nonexistent/definitely/missing");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+TEST(IoTest, TsvRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/rrre_tsv_test.tsv";
+  std::vector<std::vector<std::string>> rows = {
+      {"u1", "i1", "5", "nice place"},
+      {"u2", "i2", "1", "terrible"},
+  };
+  ASSERT_TRUE(WriteTsv(path, rows).ok());
+  auto r = ReadTsv(path);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), rows);
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, TsvSkipsBlankLines) {
+  const std::string path = ::testing::TempDir() + "/rrre_tsv_blank.tsv";
+  ASSERT_TRUE(WriteFile(path, "a\tb\n\nc\td\n\n").ok());
+  auto r = ReadTsv(path);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().size(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, EscapeTsvFieldReplacesControlChars) {
+  EXPECT_EQ(EscapeTsvField("a\tb\nc\rd"), "a b c d");
+}
+
+// ---------------------------------------------------------------------------
+// Flags
+// ---------------------------------------------------------------------------
+
+TEST(FlagsTest, DefaultsUsedWhenNotPassed) {
+  FlagParser flags;
+  flags.AddInt("epochs", 10, "");
+  flags.AddString("dataset", "yelpchi", "");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(flags.Parse(1, argv).ok());
+  EXPECT_EQ(flags.GetInt("epochs"), 10);
+  EXPECT_EQ(flags.GetString("dataset"), "yelpchi");
+}
+
+TEST(FlagsTest, ParsesEqualsAndSpaceSyntax) {
+  FlagParser flags;
+  flags.AddInt("epochs", 10, "");
+  flags.AddDouble("lr", 0.01, "");
+  flags.AddBool("verbose", false, "");
+  const char* argv[] = {"prog", "--epochs=25", "--lr", "0.5", "--verbose"};
+  ASSERT_TRUE(flags.Parse(5, argv).ok());
+  EXPECT_EQ(flags.GetInt("epochs"), 25);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("lr"), 0.5);
+  EXPECT_TRUE(flags.GetBool("verbose"));
+}
+
+TEST(FlagsTest, UnknownFlagIsError) {
+  FlagParser flags;
+  const char* argv[] = {"prog", "--nope=1"};
+  EXPECT_FALSE(flags.Parse(2, argv).ok());
+}
+
+TEST(FlagsTest, BadIntIsError) {
+  FlagParser flags;
+  flags.AddInt("epochs", 10, "");
+  const char* argv[] = {"prog", "--epochs=ten"};
+  EXPECT_FALSE(flags.Parse(2, argv).ok());
+}
+
+TEST(FlagsTest, PositionalArgumentsCollected) {
+  FlagParser flags;
+  flags.AddInt("k", 1, "");
+  const char* argv[] = {"prog", "input.tsv", "--k=3", "out.tsv"};
+  ASSERT_TRUE(flags.Parse(4, argv).ok());
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "input.tsv");
+  EXPECT_EQ(flags.positional()[1], "out.tsv");
+}
+
+TEST(FlagsTest, HelpRequested) {
+  FlagParser flags;
+  flags.AddInt("k", 1, "neighborhood size");
+  const char* argv[] = {"prog", "--help"};
+  ASSERT_TRUE(flags.Parse(2, argv).ok());
+  EXPECT_TRUE(flags.help_requested());
+  EXPECT_NE(flags.Usage("prog").find("neighborhood size"), std::string::npos);
+}
+
+TEST(FlagsTest, BoolExplicitFalse) {
+  FlagParser flags;
+  flags.AddBool("verbose", true, "");
+  const char* argv[] = {"prog", "--verbose=false"};
+  ASSERT_TRUE(flags.Parse(2, argv).ok());
+  EXPECT_FALSE(flags.GetBool("verbose"));
+}
+
+}  // namespace
+}  // namespace rrre::common

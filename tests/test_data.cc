@@ -1,0 +1,477 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <set>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+#include "data/profiles.h"
+#include "data/sampling.h"
+#include "data/synthetic.h"
+#include "data/wordbanks.h"
+#include "text/tokenizer.h"
+
+namespace rrre::data {
+namespace {
+
+using common::Rng;
+
+Review MakeReview(int64_t user, int64_t item, float rating, int64_t ts,
+                  ReliabilityLabel label = ReliabilityLabel::kBenign,
+                  std::string text = "nice") {
+  Review r;
+  r.user = user;
+  r.item = item;
+  r.rating = rating;
+  r.label = label;
+  r.timestamp = ts;
+  r.text = std::move(text);
+  return r;
+}
+
+ReviewDataset SmallDataset() {
+  ReviewDataset ds(3, 2);
+  ds.Add(MakeReview(0, 0, 5.0f, 10));
+  ds.Add(MakeReview(0, 1, 4.0f, 5));
+  ds.Add(MakeReview(1, 0, 1.0f, 7, ReliabilityLabel::kFake, "worst scam"));
+  ds.Add(MakeReview(2, 1, 3.0f, 20));
+  ds.BuildIndex();
+  return ds;
+}
+
+// ---------------------------------------------------------------------------
+// ReviewDataset
+// ---------------------------------------------------------------------------
+
+TEST(DatasetTest, IndexesSortedByTimestamp) {
+  ReviewDataset ds = SmallDataset();
+  const auto& u0 = ds.ReviewsByUser(0);
+  ASSERT_EQ(u0.size(), 2u);
+  // Review with ts=5 (index 1) must come before ts=10 (index 0).
+  EXPECT_EQ(u0[0], 1);
+  EXPECT_EQ(u0[1], 0);
+  const auto& i0 = ds.ReviewsByItem(0);
+  ASSERT_EQ(i0.size(), 2u);
+  EXPECT_EQ(i0[0], 2);  // ts=7
+  EXPECT_EQ(i0[1], 0);  // ts=10
+}
+
+TEST(DatasetTest, StatsMatchHandCount) {
+  ReviewDataset ds = SmallDataset();
+  DatasetStats s = ds.Stats();
+  EXPECT_EQ(s.num_reviews, 4);
+  EXPECT_EQ(s.num_users, 3);
+  EXPECT_EQ(s.num_items, 2);
+  EXPECT_NEAR(s.fake_fraction, 0.25, 1e-9);
+  EXPECT_EQ(s.max_user_degree, 2);
+  EXPECT_EQ(s.median_user_degree, 1);
+  EXPECT_EQ(s.max_item_degree, 2);
+  EXPECT_EQ(s.median_item_degree, 2);
+}
+
+TEST(DatasetTest, ItemMeanRatings) {
+  ReviewDataset ds = SmallDataset();
+  auto means = ds.ItemMeanRatings();
+  ASSERT_EQ(means.size(), 2u);
+  EXPECT_NEAR(means[0], 3.0, 1e-9);   // (5 + 1) / 2
+  EXPECT_NEAR(means[1], 3.5, 1e-9);   // (4 + 3) / 2
+}
+
+TEST(DatasetTest, ItemMeanFallsBackToGlobalMean) {
+  ReviewDataset ds(2, 3);
+  ds.Add(MakeReview(0, 0, 5.0f, 1));
+  ds.Add(MakeReview(1, 0, 1.0f, 2));
+  ds.BuildIndex();
+  auto means = ds.ItemMeanRatings();
+  EXPECT_NEAR(means[1], 3.0, 1e-9);
+  EXPECT_NEAR(means[2], 3.0, 1e-9);
+}
+
+TEST(DatasetTest, SaveLoadRoundTrip) {
+  ReviewDataset ds = SmallDataset();
+  const std::string path = ::testing::TempDir() + "/rrre_ds.tsv";
+  ASSERT_TRUE(ds.SaveTsv(path).ok());
+  auto loaded = ReviewDataset::LoadTsv(path);
+  ASSERT_TRUE(loaded.ok());
+  const ReviewDataset& l = loaded.value();
+  ASSERT_EQ(l.size(), ds.size());
+  EXPECT_EQ(l.num_users(), 3);
+  EXPECT_EQ(l.num_items(), 2);
+  for (int64_t i = 0; i < ds.size(); ++i) {
+    EXPECT_EQ(l.review(i).user, ds.review(i).user);
+    EXPECT_EQ(l.review(i).item, ds.review(i).item);
+    EXPECT_EQ(l.review(i).rating, ds.review(i).rating);
+    EXPECT_EQ(l.review(i).label, ds.review(i).label);
+    EXPECT_EQ(l.review(i).timestamp, ds.review(i).timestamp);
+    EXPECT_EQ(l.review(i).text, ds.review(i).text);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DatasetTest, LoadRejectsMissingHeader) {
+  const std::string path = ::testing::TempDir() + "/rrre_bad_ds.tsv";
+  FILE* f = std::fopen(path.c_str(), "w");
+  std::fputs("0\t0\t5.0\t1\t3\thello\n", f);
+  std::fclose(f);
+  EXPECT_FALSE(ReviewDataset::LoadTsv(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(DatasetTest, SplitPreservesAllReviews) {
+  Rng rng(1);
+  DatasetProfile p = YelpChiProfile(0.05);
+  ReviewDataset ds = GenerateSyntheticDataset(p, rng);
+  auto [train, test] = ds.Split(0.7, rng);
+  EXPECT_EQ(train.size() + test.size(), ds.size());
+  EXPECT_GT(test.size(), 0);
+  // Roughly 70/30 (coverage fixups may shift it slightly).
+  EXPECT_NEAR(static_cast<double>(train.size()) / ds.size(), 0.7, 0.1);
+}
+
+TEST(DatasetTest, SplitKeepsUserAndItemCoverageInTrain) {
+  Rng rng(2);
+  DatasetProfile p = YelpChiProfile(0.05);
+  ReviewDataset ds = GenerateSyntheticDataset(p, rng);
+  auto [train, test] = ds.Split(0.7, rng);
+  std::set<int64_t> users_with_reviews;
+  std::set<int64_t> items_with_reviews;
+  for (const Review& r : ds.reviews()) {
+    users_with_reviews.insert(r.user);
+    items_with_reviews.insert(r.item);
+  }
+  std::set<int64_t> train_users;
+  std::set<int64_t> train_items;
+  for (const Review& r : train.reviews()) {
+    train_users.insert(r.user);
+    train_items.insert(r.item);
+  }
+  EXPECT_EQ(train_users.size(), users_with_reviews.size());
+  EXPECT_EQ(train_items.size(), items_with_reviews.size());
+}
+
+// ---------------------------------------------------------------------------
+// SampleHistory
+// ---------------------------------------------------------------------------
+
+TEST(SamplingTest, PadsShortHistory) {
+  Rng rng(3);
+  auto out = SampleHistory({7, 9}, 4, SamplingStrategy::kLatest, rng);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[0], 7);
+  EXPECT_EQ(out[1], 9);
+  EXPECT_EQ(out[2], -1);
+  EXPECT_EQ(out[3], -1);
+}
+
+TEST(SamplingTest, LatestKeepsMostRecent) {
+  Rng rng(4);
+  // Ascending by time; latest-3 = {30, 40, 50}.
+  auto out = SampleHistory({10, 20, 30, 40, 50}, 3, SamplingStrategy::kLatest,
+                           rng);
+  EXPECT_EQ(out, (std::vector<int64_t>{30, 40, 50}));
+}
+
+TEST(SamplingTest, RandomKeepsTemporalOrderOfPicks) {
+  Rng rng(5);
+  std::vector<int64_t> history = {10, 20, 30, 40, 50, 60};
+  auto out = SampleHistory(history, 3, SamplingStrategy::kRandom, rng);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
+  std::set<int64_t> allowed(history.begin(), history.end());
+  for (int64_t v : out) EXPECT_TRUE(allowed.count(v));
+}
+
+TEST(SamplingTest, ExcludeDropsTargetReview) {
+  Rng rng(6);
+  auto out = SampleHistory({1, 2, 3}, 3, SamplingStrategy::kLatest, rng,
+                           /*exclude=*/2);
+  EXPECT_EQ(out, (std::vector<int64_t>{1, 3, -1}));
+}
+
+TEST(SamplingTest, RandomCoversWholeHistoryOverManyDraws) {
+  Rng rng(7);
+  std::set<int64_t> seen;
+  for (int trial = 0; trial < 200; ++trial) {
+    for (int64_t v :
+         SampleHistory({1, 2, 3, 4, 5}, 2, SamplingStrategy::kRandom, rng)) {
+      seen.insert(v);
+    }
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+// ---------------------------------------------------------------------------
+// Profiles
+// ---------------------------------------------------------------------------
+
+TEST(ProfilesTest, AllNamesResolve) {
+  for (const char* name :
+       {"yelpchi", "yelpnyc", "yelpzip", "musics", "cds"}) {
+    auto p = ProfileByName(name);
+    ASSERT_TRUE(p.ok()) << name;
+    EXPECT_EQ(p.value().name, name);
+  }
+  EXPECT_FALSE(ProfileByName("nope").ok());
+}
+
+TEST(ProfilesTest, TableIIOrderingsPreserved) {
+  auto chi = YelpChiProfile();
+  auto nyc = YelpNycProfile();
+  auto zip = YelpZipProfile();
+  auto musics = MusicsProfile();
+  auto cds = CdsProfile();
+  // Size ordering of the Yelp corpora.
+  EXPECT_LT(chi.num_reviews, nyc.num_reviews);
+  EXPECT_LT(nyc.num_reviews, zip.num_reviews);
+  // Amazon datasets are more fake-heavy than Yelp ones.
+  EXPECT_GT(musics.fake_fraction, zip.fake_fraction);
+  EXPECT_GT(cds.fake_fraction, zip.fake_fraction);
+  // Amazon item universes dwarf their user-degree (low item degree).
+  EXPECT_GT(musics.num_items, musics.num_users);
+  EXPECT_GT(cds.num_items, cds.num_users);
+}
+
+TEST(ProfilesTest, ScaleChangesCounts) {
+  auto small = YelpChiProfile(0.1);
+  auto big = YelpChiProfile(1.0);
+  EXPECT_LT(small.num_reviews, big.num_reviews);
+  EXPECT_LT(small.num_items, big.num_items);
+}
+
+// ---------------------------------------------------------------------------
+// Word banks
+// ---------------------------------------------------------------------------
+
+TEST(WordbanksTest, PoolsAreNonEmptyAndDisjointSentiment) {
+  EXPECT_GE(wordbanks::Positive().size(), 20u);
+  EXPECT_GE(wordbanks::Negative().size(), 20u);
+  std::set<std::string_view> pos(wordbanks::Positive().begin(),
+                                 wordbanks::Positive().end());
+  for (auto w : wordbanks::Negative()) EXPECT_FALSE(pos.count(w)) << w;
+}
+
+TEST(WordbanksTest, SpamPoolsDisjointFromBenignSentiment) {
+  std::set<std::string_view> benign;
+  for (auto w : wordbanks::Positive()) benign.insert(w);
+  for (auto w : wordbanks::Negative()) benign.insert(w);
+  for (auto w : wordbanks::SpamPromote()) EXPECT_FALSE(benign.count(w)) << w;
+  for (auto w : wordbanks::SpamDemote()) EXPECT_FALSE(benign.count(w)) << w;
+}
+
+TEST(WordbanksTest, CategoriesHaveDistinctAspects) {
+  ASSERT_GE(wordbanks::NumCategories(), 2);
+  std::set<std::string_view> a(wordbanks::Aspects(0).begin(),
+                               wordbanks::Aspects(0).end());
+  for (auto w : wordbanks::Aspects(1)) EXPECT_FALSE(a.count(w)) << w;
+}
+
+// ---------------------------------------------------------------------------
+// Synthetic generator
+// ---------------------------------------------------------------------------
+
+class SyntheticTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(42);
+    profile_ = YelpChiProfile(0.2);
+    ds_ = std::make_unique<ReviewDataset>(
+        GenerateSyntheticDataset(profile_, rng, &world_));
+  }
+  DatasetProfile profile_;
+  SyntheticWorld world_;
+  std::unique_ptr<ReviewDataset> ds_;
+};
+
+TEST_F(SyntheticTest, CountsMatchProfile) {
+  EXPECT_EQ(ds_->num_users(), profile_.num_users);
+  EXPECT_EQ(ds_->num_items(), profile_.num_items);
+  // Campaigns emit in chunks, so total review count is within one campaign
+  // of the target.
+  EXPECT_GE(ds_->size(), profile_.num_reviews - 16);
+  EXPECT_LE(ds_->size(), profile_.num_reviews + 16);
+  const DatasetStats s = ds_->Stats();
+  EXPECT_NEAR(s.fake_fraction, profile_.fake_fraction, 0.02);
+}
+
+TEST_F(SyntheticTest, MostFakeReviewsComeFromFraudsters) {
+  // The filtering oracle's false positives put a few benign users' reviews
+  // into the labeled-fake set; the bulk must still be campaign output.
+  int64_t fake = 0;
+  int64_t fake_by_fraudster = 0;
+  for (const Review& r : ds_->reviews()) {
+    if (!r.is_benign()) {
+      ++fake;
+      fake_by_fraudster +=
+          world_.is_fraudster[static_cast<size_t>(r.user)] ? 1 : 0;
+    }
+  }
+  ASSERT_GT(fake, 0);
+  EXPECT_GT(static_cast<double>(fake_by_fraudster) / fake, 0.6);
+}
+
+TEST_F(SyntheticTest, FakeRatingsSkewExtreme) {
+  int64_t fake = 0;
+  int64_t polarized = 0;
+  for (const Review& r : ds_->reviews()) {
+    if (!r.is_benign()) {
+      ++fake;
+      polarized += (r.rating <= 2.0f || r.rating >= 4.0f) ? 1 : 0;
+    }
+  }
+  ASSERT_GT(fake, 0);
+  EXPECT_GT(static_cast<double>(polarized) / fake, 0.8);
+}
+
+TEST_F(SyntheticTest, BenignRatingsTrackItemQuality) {
+  // Average benign rating of high-quality items must exceed low-quality ones.
+  double hi_sum = 0.0;
+  double lo_sum = 0.0;
+  int64_t hi_n = 0;
+  int64_t lo_n = 0;
+  for (const Review& r : ds_->reviews()) {
+    if (!r.is_benign()) continue;
+    if (world_.item_quality[static_cast<size_t>(r.item)] > 0.5) {
+      hi_sum += r.rating;
+      ++hi_n;
+    } else if (world_.item_quality[static_cast<size_t>(r.item)] < -0.5) {
+      lo_sum += r.rating;
+      ++lo_n;
+    }
+  }
+  ASSERT_GT(hi_n, 20);
+  ASSERT_GT(lo_n, 20);
+  EXPECT_GT(hi_sum / hi_n, lo_sum / lo_n + 0.8);
+}
+
+TEST_F(SyntheticTest, SpamVocabularyConcentratesInFakeReviews) {
+  std::set<std::string> spam_words;
+  for (auto w : wordbanks::SpamPromote()) spam_words.emplace(w);
+  for (auto w : wordbanks::SpamDemote()) spam_words.emplace(w);
+  auto spam_ratio = [&](const Review& r) {
+    auto toks = text::Tokenize(r.text);
+    if (toks.empty()) return 0.0;
+    int hits = 0;
+    for (const auto& t : toks) hits += spam_words.count(t) ? 1 : 0;
+    return static_cast<double>(hits) / toks.size();
+  };
+  double fake_ratio = 0.0;
+  double benign_ratio = 0.0;
+  int64_t nf = 0;
+  int64_t nb = 0;
+  for (const Review& r : ds_->reviews()) {
+    if (r.is_benign()) {
+      benign_ratio += spam_ratio(r);
+      ++nb;
+    } else {
+      fake_ratio += spam_ratio(r);
+      ++nf;
+    }
+  }
+  // The filter-missed campaign reviews sit in the benign-labeled pool, so
+  // its average is small but not zero.
+  EXPECT_GT(fake_ratio / nf, 0.2);
+  EXPECT_LT(benign_ratio / nb, 0.12);
+  EXPECT_GT(fake_ratio / nf, 4.0 * benign_ratio / nb);
+}
+
+TEST_F(SyntheticTest, FakeReviewsBurstInTime) {
+  // Max reviews in any single day per fraudulent item should far exceed the
+  // benign per-day rate for that item.
+  std::map<std::pair<int64_t, int64_t>, int64_t> fake_day_counts;
+  for (const Review& r : ds_->reviews()) {
+    if (!r.is_benign()) {
+      ++fake_day_counts[{r.item, r.timestamp / profile_.campaign_burst_days}];
+    }
+  }
+  int64_t max_burst = 0;
+  for (const auto& [key, count] : fake_day_counts) {
+    max_burst = std::max(max_burst, count);
+  }
+  EXPECT_GE(max_burst, 4);
+}
+
+TEST_F(SyntheticTest, BenignSentimentMatchesRating) {
+  std::set<std::string> pos;
+  std::set<std::string> neg;
+  for (auto w : wordbanks::Positive()) pos.emplace(w);
+  for (auto w : wordbanks::Negative()) neg.emplace(w);
+  int64_t consistent = 0;
+  int64_t total = 0;
+  for (const Review& r : ds_->reviews()) {
+    if (!r.is_benign() || (r.rating > 2.0f && r.rating < 4.0f)) continue;
+    int p = 0;
+    int n = 0;
+    for (const auto& t : text::Tokenize(r.text)) {
+      p += pos.count(t) ? 1 : 0;
+      n += neg.count(t) ? 1 : 0;
+    }
+    if (p + n == 0) continue;
+    ++total;
+    if ((r.rating >= 4.0f && p >= n) || (r.rating <= 2.0f && n >= p)) {
+      ++consistent;
+    }
+  }
+  ASSERT_GT(total, 100);
+  EXPECT_GT(static_cast<double>(consistent) / total, 0.9);
+}
+
+TEST_F(SyntheticTest, DeterministicForSeed) {
+  Rng rng1(7);
+  Rng rng2(7);
+  DatasetProfile p = YelpChiProfile(0.05);
+  ReviewDataset a = GenerateSyntheticDataset(p, rng1);
+  ReviewDataset b = GenerateSyntheticDataset(p, rng2);
+  ASSERT_EQ(a.size(), b.size());
+  for (int64_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.review(i).user, b.review(i).user);
+    EXPECT_EQ(a.review(i).text, b.review(i).text);
+  }
+}
+
+TEST_F(SyntheticTest, CampaignsTargetPromotesBadItems) {
+  // Promoted (high-rated fake, fraudster-authored) items should mostly have
+  // below-average quality; demotion campaigns the reverse. A single small
+  // corpus holds only ~a dozen campaigns, so aggregate over several seeds.
+  int64_t promote_bad = 0;
+  int64_t promote_total = 0;
+  int64_t demote_good = 0;
+  int64_t demote_total = 0;
+  for (uint64_t seed : {101u, 202u, 303u, 404u}) {
+    Rng rng(seed);
+    SyntheticWorld world;
+    ReviewDataset ds =
+        GenerateSyntheticDataset(YelpChiProfile(0.3), rng, &world);
+    for (const Review& r : ds.reviews()) {
+      if (r.is_benign()) continue;
+      if (!world.is_fraudster[static_cast<size_t>(r.user)]) continue;
+      const bool bad = world.item_quality[static_cast<size_t>(r.item)] < 0.0;
+      if (r.rating >= 4.0f) {
+        ++promote_total;
+        promote_bad += bad ? 1 : 0;
+      } else if (r.rating <= 2.0f) {
+        ++demote_total;
+        demote_good += bad ? 0 : 1;
+      }
+    }
+  }
+  ASSERT_GT(promote_total, 50);
+  ASSERT_GT(demote_total, 50);
+  EXPECT_GT(static_cast<double>(promote_bad) / promote_total, 0.55);
+  EXPECT_GT(static_cast<double>(demote_good) / demote_total, 0.55);
+}
+
+TEST_F(SyntheticTest, AmazonProfileHasLowItemDegree) {
+  Rng rng(11);
+  ReviewDataset musics = GenerateSyntheticDataset(MusicsProfile(0.2), rng);
+  const DatasetStats s = musics.Stats();
+  EXPECT_LE(s.median_item_degree, 4);
+  Rng rng2(11);
+  ReviewDataset chi = GenerateSyntheticDataset(YelpChiProfile(0.2), rng2);
+  EXPECT_GT(chi.Stats().median_item_degree, s.median_item_degree);
+}
+
+}  // namespace
+}  // namespace rrre::data

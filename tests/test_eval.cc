@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "eval/metrics.h"
+
+namespace rrre::eval {
+namespace {
+
+// ---------------------------------------------------------------------------
+// RMSE / bRMSE
+// ---------------------------------------------------------------------------
+
+TEST(RmseTest, HandComputed) {
+  EXPECT_NEAR(Rmse({1.0, 3.0}, {2.0, 1.0}), std::sqrt((1.0 + 4.0) / 2.0),
+              1e-12);
+}
+
+TEST(RmseTest, PerfectPredictionIsZero) {
+  EXPECT_EQ(Rmse({2.5, 4.0, 1.0}, {2.5, 4.0, 1.0}), 0.0);
+}
+
+TEST(BiasedRmseTest, IgnoresFakePairs) {
+  // Fake pair has huge error but label 0.
+  const double b =
+      BiasedRmse({5.0, 1.0, 3.0}, {4.0, 5.0, 3.0}, {1, 0, 1});
+  EXPECT_NEAR(b, std::sqrt((1.0 + 0.0) / 2.0), 1e-12);
+}
+
+TEST(BiasedRmseTest, AllBenignMatchesRmse) {
+  std::vector<double> p = {1.0, 2.0, 4.5};
+  std::vector<double> t = {2.0, 2.0, 4.0};
+  EXPECT_NEAR(BiasedRmse(p, t, {1, 1, 1}), Rmse(p, t), 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// AUC
+// ---------------------------------------------------------------------------
+
+TEST(AucTest, PerfectSeparation) {
+  EXPECT_NEAR(Auc({0.9, 0.8, 0.2, 0.1}, {1, 1, 0, 0}), 1.0, 1e-12);
+}
+
+TEST(AucTest, PerfectInversion) {
+  EXPECT_NEAR(Auc({0.1, 0.2, 0.8, 0.9}, {1, 1, 0, 0}), 0.0, 1e-12);
+}
+
+TEST(AucTest, AllTiedIsHalf) {
+  EXPECT_NEAR(Auc({0.5, 0.5, 0.5, 0.5}, {1, 0, 1, 0}), 0.5, 1e-12);
+}
+
+TEST(AucTest, HandComputedMixedCase) {
+  // scores: pos {0.8, 0.4}, neg {0.6, 0.2}.
+  // Pairs: (0.8>0.6)=1, (0.8>0.2)=1, (0.4<0.6)=0, (0.4>0.2)=1 -> 3/4.
+  EXPECT_NEAR(Auc({0.8, 0.4, 0.6, 0.2}, {1, 1, 0, 0}), 0.75, 1e-12);
+}
+
+TEST(AucTest, TieAcrossClassesCountsHalf) {
+  // pos 0.5 ties neg 0.5 -> 0.5 of one pair.
+  EXPECT_NEAR(Auc({0.5, 0.5}, {1, 0}), 0.5, 1e-12);
+}
+
+TEST(AucTest, DegenerateSingleClass) {
+  EXPECT_NEAR(Auc({0.1, 0.9}, {1, 1}), 0.5, 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// Average precision
+// ---------------------------------------------------------------------------
+
+TEST(ApTest, PerfectRankingIsOne) {
+  EXPECT_NEAR(AveragePrecision({0.9, 0.8, 0.1}, {1, 1, 0}), 1.0, 1e-12);
+}
+
+TEST(ApTest, HandComputed) {
+  // Ranking: pos(1), neg, pos(2). AP = (1/1 + 2/3) / 2.
+  EXPECT_NEAR(AveragePrecision({0.9, 0.5, 0.4}, {1, 0, 1}),
+              (1.0 + 2.0 / 3.0) / 2.0, 1e-12);
+}
+
+TEST(ApTest, NoPositivesIsZero) {
+  EXPECT_EQ(AveragePrecision({0.9, 0.1}, {0, 0}), 0.0);
+}
+
+TEST(ApTest, MajorityPositiveBaselineIsHigh) {
+  // With 90% positives even a random-ish ordering scores near 0.9 — this is
+  // why Table IV's AP column rewards ranking benign (the majority) on top.
+  std::vector<double> scores;
+  std::vector<int> labels;
+  for (int i = 0; i < 100; ++i) {
+    scores.push_back(static_cast<double>((i * 37) % 100));
+    labels.push_back(i % 10 == 0 ? 0 : 1);
+  }
+  EXPECT_GT(AveragePrecision(scores, labels), 0.8);
+}
+
+// ---------------------------------------------------------------------------
+// NDCG@k
+// ---------------------------------------------------------------------------
+
+TEST(NdcgTest, AllBenignTopKIsOne) {
+  EXPECT_NEAR(NdcgAtK({0.9, 0.8, 0.1, 0.05}, {1, 1, 0, 0}, 2), 1.0, 1e-12);
+}
+
+TEST(NdcgTest, AllFakeTopKIsZero) {
+  EXPECT_NEAR(NdcgAtK({0.9, 0.8, 0.1, 0.05}, {0, 0, 1, 1}, 2), 0.0, 1e-12);
+}
+
+TEST(NdcgTest, HandComputedAtTwo) {
+  // Top-2 by score: labels {0, 1}. DCG = 0/log2(2) + 1/log2(3).
+  // IDCG = 1/log2(2) + 1/log2(3).
+  const double dcg = 1.0 / std::log2(3.0);
+  const double idcg = 1.0 / std::log2(2.0) + 1.0 / std::log2(3.0);
+  EXPECT_NEAR(NdcgAtK({0.9, 0.8, 0.1}, {0, 1, 1}, 2), dcg / idcg, 1e-12);
+}
+
+TEST(NdcgTest, ClampsKToListSize) {
+  EXPECT_NEAR(NdcgAtK({0.9, 0.1}, {1, 1}, 100), 1.0, 1e-12);
+}
+
+TEST(NdcgTest, MonotoneDegradationAsFakesRankHigher) {
+  std::vector<int> labels = {1, 1, 1, 1, 0, 0, 0, 0};
+  // Good ranking: positives first.
+  std::vector<double> good = {8, 7, 6, 5, 4, 3, 2, 1};
+  // Bad ranking: alternating.
+  std::vector<double> bad = {8, 4, 7, 3, 6, 2, 5, 1};
+  EXPECT_GT(NdcgAtK(good, labels, 6), NdcgAtK(bad, labels, 6));
+}
+
+// ---------------------------------------------------------------------------
+// Precision@k
+// ---------------------------------------------------------------------------
+
+TEST(PrecisionAtKTest, HandComputed) {
+  EXPECT_NEAR(PrecisionAtK({0.9, 0.8, 0.7, 0.1}, {1, 0, 1, 1}, 3), 2.0 / 3.0,
+              1e-12);
+}
+
+TEST(PrecisionAtKTest, TopOne) {
+  EXPECT_EQ(PrecisionAtK({0.9, 0.1}, {0, 1}, 1), 0.0);
+  EXPECT_EQ(PrecisionAtK({0.1, 0.9}, {0, 1}, 1), 1.0);
+}
+
+}  // namespace
+}  // namespace rrre::eval

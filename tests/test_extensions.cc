@@ -1,0 +1,227 @@
+// Tests of the extension features: vocabulary persistence, trainer
+// checkpointing, and the semi-supervised self-training loop (the paper's
+// Sec. V future work).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "common/rng.h"
+#include "core/semi_supervised.h"
+#include "core/trainer.h"
+#include "data/synthetic.h"
+#include "eval/metrics.h"
+#include "text/vocab.h"
+
+namespace rrre {
+namespace {
+
+using common::Rng;
+
+core::RrreConfig TinyConfig() {
+  core::RrreConfig c;
+  c.word_dim = 8;
+  c.rev_dim = 8;
+  c.id_dim = 4;
+  c.attention_dim = 6;
+  c.fm_factors = 4;
+  c.max_tokens = 8;
+  c.s_u = 3;
+  c.s_i = 4;
+  c.batch_size = 16;
+  c.epochs = 2;
+  c.pretrain_epochs = 1;
+  return c;
+}
+
+data::ReviewDataset TinyCorpus(uint64_t seed = 9) {
+  Rng rng(seed);
+  return data::GenerateSyntheticDataset(data::YelpChiProfile(0.05), rng);
+}
+
+// ---------------------------------------------------------------------------
+// Vocabulary persistence
+// ---------------------------------------------------------------------------
+
+TEST(VocabPersistenceTest, SaveLoadRoundTrip) {
+  text::Vocabulary v = text::Vocabulary::Build(
+      {{"good", "food"}, {"good", "beer"}}, /*min_count=*/1);
+  const std::string path = ::testing::TempDir() + "/vocab_rt.txt";
+  ASSERT_TRUE(v.Save(path).ok());
+  auto loaded = text::Vocabulary::Load(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().size(), v.size());
+  for (int64_t id = 0; id < v.size(); ++id) {
+    EXPECT_EQ(loaded.value().Token(id), v.Token(id));
+    EXPECT_EQ(loaded.value().Id(v.Token(id)), id);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(VocabPersistenceTest, LoadRejectsMissingSpecials) {
+  const std::string path = ::testing::TempDir() + "/vocab_bad.txt";
+  FILE* f = std::fopen(path.c_str(), "w");
+  std::fputs("good\nfood\n", f);
+  std::fclose(f);
+  EXPECT_FALSE(text::Vocabulary::Load(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(VocabPersistenceTest, LoadRejectsDuplicates) {
+  const std::string path = ::testing::TempDir() + "/vocab_dup.txt";
+  FILE* f = std::fopen(path.c_str(), "w");
+  std::fputs("<pad>\n<unk>\ngood\ngood\n", f);
+  std::fclose(f);
+  EXPECT_FALSE(text::Vocabulary::Load(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(VocabPersistenceTest, LoadMissingFileFails) {
+  EXPECT_FALSE(text::Vocabulary::Load("/nope/vocab.txt").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Trainer checkpointing
+// ---------------------------------------------------------------------------
+
+TEST(TrainerPersistenceTest, SaveLoadReproducesPredictions) {
+  data::ReviewDataset corpus = TinyCorpus();
+  core::RrreTrainer trainer(TinyConfig());
+  trainer.Fit(corpus);
+  const std::string prefix = ::testing::TempDir() + "/rrre_ckpt";
+  ASSERT_TRUE(trainer.Save(prefix).ok());
+
+  core::RrreTrainer restored(TinyConfig());
+  ASSERT_TRUE(restored.Load(prefix).ok());
+  EXPECT_TRUE(restored.fitted());
+
+  std::vector<std::pair<int64_t, int64_t>> pairs;
+  for (int64_t i = 0; i < std::min<int64_t>(corpus.size(), 40); ++i) {
+    pairs.emplace_back(corpus.review(i).user, corpus.review(i).item);
+  }
+  auto a = trainer.PredictPairs(pairs);
+  auto b = restored.PredictPairs(pairs);
+  ASSERT_EQ(a.ratings.size(), b.ratings.size());
+  for (size_t i = 0; i < a.ratings.size(); ++i) {
+    EXPECT_NEAR(a.ratings[i], b.ratings[i], 1e-5) << i;
+    EXPECT_NEAR(a.reliabilities[i], b.reliabilities[i], 1e-5) << i;
+  }
+  for (const char* suffix : {".model", ".vocab", ".train.tsv", ".meta"}) {
+    std::remove((prefix + suffix).c_str());
+  }
+}
+
+TEST(TrainerPersistenceTest, SaveUnfittedFails) {
+  core::RrreTrainer trainer(TinyConfig());
+  EXPECT_FALSE(trainer.Save(::testing::TempDir() + "/nofit").ok());
+}
+
+TEST(TrainerPersistenceTest, LoadMissingCheckpointFails) {
+  core::RrreTrainer trainer(TinyConfig());
+  EXPECT_FALSE(trainer.Load("/definitely/not/there").ok());
+}
+
+TEST(TrainerPersistenceTest, LoadWithMismatchedConfigFails) {
+  data::ReviewDataset corpus = TinyCorpus();
+  core::RrreTrainer trainer(TinyConfig());
+  trainer.Fit(corpus);
+  const std::string prefix = ::testing::TempDir() + "/rrre_mismatch";
+  ASSERT_TRUE(trainer.Save(prefix).ok());
+  core::RrreConfig other = TinyConfig();
+  other.rev_dim = 16;  // Different tower width -> shape mismatch.
+  core::RrreTrainer restored(other);
+  EXPECT_FALSE(restored.Load(prefix).ok());
+  for (const char* suffix : {".model", ".vocab", ".train.tsv", ".meta"}) {
+    std::remove((prefix + suffix).c_str());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Semi-supervised self-training
+// ---------------------------------------------------------------------------
+
+TEST(SemiSupervisedTest, FitRunsAndRecordsRounds) {
+  Rng rng(13);
+  data::ReviewDataset corpus = TinyCorpus(21);
+  auto [labeled, unlabeled] = corpus.Split(0.5, rng);
+
+  core::SemiSupervisedConfig config;
+  config.base = TinyConfig();
+  config.rounds = 2;
+  config.confidence = 0.8;
+  core::SemiSupervisedRrre model(config);
+  model.Fit(labeled, unlabeled);
+
+  ASSERT_EQ(model.round_stats().size(), 3u);  // warm-up + 2 rounds.
+  for (size_t r = 1; r < model.round_stats().size(); ++r) {
+    const auto& s = model.round_stats()[r];
+    EXPECT_EQ(s.round, static_cast<int64_t>(r));
+    EXPECT_GE(s.pseudo_benign, 0);
+    EXPECT_GE(s.pseudo_fake, 0);
+    EXPECT_LE(s.pseudo_benign + s.pseudo_fake, unlabeled.size());
+  }
+  EXPECT_TRUE(model.trainer().fitted());
+}
+
+TEST(SemiSupervisedTest, PseudoLabelsMostlyCorrectOnConfidentPool) {
+  // With a decently trained base model, adopted pseudo-labels should agree
+  // with the hidden ground truth far better than the base rate.
+  Rng rng(17);
+  Rng gen_rng(29);
+  data::ReviewDataset corpus = data::GenerateSyntheticDataset(
+      data::YelpChiProfile(0.12), gen_rng);
+  auto [labeled, unlabeled] = corpus.Split(0.6, rng);
+
+  core::SemiSupervisedConfig config;
+  config.base = TinyConfig();
+  config.base.epochs = 4;
+  config.rounds = 1;
+  config.confidence = 0.95;
+  core::SemiSupervisedRrre model(config);
+  model.Fit(labeled, unlabeled);
+
+  // Re-derive the adopted pseudo-labels and compare with hidden labels.
+  core::RrreTrainer reference(config.base);
+  reference.Fit(labeled);
+  auto preds = reference.PredictDatasetTransductive(unlabeled);
+  int64_t adopted = 0;
+  int64_t correct = 0;
+  for (int64_t i = 0; i < unlabeled.size(); ++i) {
+    const double p = preds.reliabilities[static_cast<size_t>(i)];
+    if (p >= config.confidence) {
+      ++adopted;
+      correct += unlabeled.review(i).is_benign() ? 1 : 0;
+    } else if (p <= 1.0 - config.confidence) {
+      ++adopted;
+      correct += unlabeled.review(i).is_benign() ? 0 : 1;
+    }
+  }
+  ASSERT_GT(adopted, 20);
+  EXPECT_GT(static_cast<double>(correct) / adopted, 0.85);
+}
+
+TEST(SemiSupervisedTest, ZeroRoundsEqualsSupervised) {
+  Rng rng(19);
+  data::ReviewDataset corpus = TinyCorpus(33);
+  auto [labeled, unlabeled] = corpus.Split(0.5, rng);
+
+  core::SemiSupervisedConfig config;
+  config.base = TinyConfig();
+  config.rounds = 0;
+  core::SemiSupervisedRrre ss(config);
+  ss.Fit(labeled, unlabeled);
+  core::RrreTrainer supervised(TinyConfig());
+  supervised.Fit(labeled);
+
+  std::vector<std::pair<int64_t, int64_t>> pairs;
+  for (int64_t i = 0; i < std::min<int64_t>(unlabeled.size(), 30); ++i) {
+    pairs.emplace_back(unlabeled.review(i).user, unlabeled.review(i).item);
+  }
+  auto a = ss.trainer().PredictPairs(pairs);
+  auto b = supervised.PredictPairs(pairs);
+  EXPECT_EQ(a.reliabilities, b.reliabilities);
+}
+
+}  // namespace
+}  // namespace rrre

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/mrf.h"
+
+namespace rrre::graph {
+namespace {
+
+using Belief = PairwiseMrf::Belief;
+using Potential = PairwiseMrf::Potential;
+
+constexpr Potential kAttractive = {{{0.9, 0.1}, {0.1, 0.9}}};
+constexpr Potential kRepulsive = {{{0.1, 0.9}, {0.9, 0.1}}};
+
+TEST(MrfTest, SingleNodeBeliefIsPrior) {
+  PairwiseMrf mrf;
+  mrf.AddNode({0.3, 0.7});
+  auto result = mrf.RunLoopyBp();
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.beliefs[0][0], 0.3, 1e-9);
+  EXPECT_NEAR(result.beliefs[0][1], 0.7, 1e-9);
+}
+
+TEST(MrfTest, PriorsAreNormalizedOnAdd) {
+  PairwiseMrf mrf;
+  mrf.AddNode({3.0, 1.0});
+  auto result = mrf.RunLoopyBp();
+  EXPECT_NEAR(result.beliefs[0][0], 0.75, 1e-9);
+}
+
+TEST(MrfTest, BpExactOnChain) {
+  // BP is exact on trees: compare against brute force on a 4-chain.
+  PairwiseMrf mrf;
+  int64_t a = mrf.AddNode({0.8, 0.2});
+  int64_t b = mrf.AddNode({0.5, 0.5});
+  int64_t c = mrf.AddNode({0.5, 0.5});
+  int64_t d = mrf.AddNode({0.3, 0.7});
+  mrf.AddEdge(a, b, kAttractive);
+  mrf.AddEdge(b, c, kAttractive);
+  mrf.AddEdge(c, d, kRepulsive);
+  auto bp = mrf.RunLoopyBp(200, 0.0, 1e-10);
+  auto exact = mrf.ExactMarginals();
+  ASSERT_TRUE(bp.converged);
+  for (size_t n = 0; n < exact.size(); ++n) {
+    EXPECT_NEAR(bp.beliefs[n][0], exact[n][0], 1e-6) << "node " << n;
+    EXPECT_NEAR(bp.beliefs[n][1], exact[n][1], 1e-6) << "node " << n;
+  }
+}
+
+TEST(MrfTest, BpExactOnStar) {
+  PairwiseMrf mrf;
+  int64_t hub = mrf.AddNode({0.5, 0.5});
+  for (int i = 0; i < 5; ++i) {
+    int64_t leaf = mrf.AddNode(i % 2 == 0 ? Belief{0.9, 0.1}
+                                          : Belief{0.4, 0.6});
+    mrf.AddEdge(hub, leaf, kAttractive);
+  }
+  auto bp = mrf.RunLoopyBp(200, 0.0, 1e-10);
+  auto exact = mrf.ExactMarginals();
+  for (size_t n = 0; n < exact.size(); ++n) {
+    EXPECT_NEAR(bp.beliefs[n][0], exact[n][0], 1e-6) << "node " << n;
+  }
+}
+
+TEST(MrfTest, AttractiveEdgePropagatesEvidence) {
+  PairwiseMrf mrf;
+  int64_t known = mrf.AddNode({0.95, 0.05});
+  int64_t unknown = mrf.AddNode({0.5, 0.5});
+  mrf.AddEdge(known, unknown, kAttractive);
+  auto result = mrf.RunLoopyBp();
+  // The unknown node should lean toward state 0 like its neighbor.
+  EXPECT_GT(result.beliefs[1][0], 0.7);
+}
+
+TEST(MrfTest, RepulsiveEdgeFlipsEvidence) {
+  PairwiseMrf mrf;
+  int64_t known = mrf.AddNode({0.95, 0.05});
+  int64_t unknown = mrf.AddNode({0.5, 0.5});
+  mrf.AddEdge(known, unknown, kRepulsive);
+  auto result = mrf.RunLoopyBp();
+  EXPECT_GT(result.beliefs[1][1], 0.7);
+}
+
+TEST(MrfTest, LoopyGraphStillConvergesReasonably) {
+  // A frustrated 3-cycle with mixed potentials; loopy BP is approximate but
+  // must converge with damping and produce normalized beliefs.
+  PairwiseMrf mrf;
+  int64_t a = mrf.AddNode({0.6, 0.4});
+  int64_t b = mrf.AddNode({0.5, 0.5});
+  int64_t c = mrf.AddNode({0.4, 0.6});
+  mrf.AddEdge(a, b, kAttractive);
+  mrf.AddEdge(b, c, kAttractive);
+  mrf.AddEdge(c, a, kRepulsive);
+  auto result = mrf.RunLoopyBp(500, 0.5, 1e-8);
+  EXPECT_TRUE(result.converged);
+  for (const auto& belief : result.beliefs) {
+    EXPECT_NEAR(belief[0] + belief[1], 1.0, 1e-9);
+    EXPECT_GE(belief[0], 0.0);
+    EXPECT_GE(belief[1], 0.0);
+  }
+}
+
+TEST(MrfTest, UniformPotentialLeavesPriorsUntouched) {
+  PairwiseMrf mrf;
+  int64_t a = mrf.AddNode({0.7, 0.3});
+  int64_t b = mrf.AddNode({0.2, 0.8});
+  mrf.AddEdge(a, b, Potential{{{1.0, 1.0}, {1.0, 1.0}}});
+  auto result = mrf.RunLoopyBp();
+  EXPECT_NEAR(result.beliefs[0][0], 0.7, 1e-9);
+  EXPECT_NEAR(result.beliefs[1][0], 0.2, 1e-9);
+}
+
+TEST(MrfTest, ChainOfEvidenceDecaysWithDistance) {
+  // Influence of strong evidence should weaken along a chain.
+  PairwiseMrf mrf;
+  std::vector<int64_t> nodes;
+  nodes.push_back(mrf.AddNode({0.99, 0.01}));
+  for (int i = 1; i < 5; ++i) {
+    nodes.push_back(mrf.AddNode({0.5, 0.5}));
+    mrf.AddEdge(nodes[static_cast<size_t>(i) - 1],
+                nodes[static_cast<size_t>(i)], kAttractive);
+  }
+  auto result = mrf.RunLoopyBp(300, 0.0, 1e-10);
+  for (size_t i = 1; i + 1 < nodes.size(); ++i) {
+    EXPECT_GT(result.beliefs[i][0], result.beliefs[i + 1][0])
+        << "influence must decay along the chain at node " << i;
+  }
+}
+
+TEST(MrfTest, DeterministicAcrossRuns) {
+  PairwiseMrf mrf;
+  int64_t a = mrf.AddNode({0.6, 0.4});
+  int64_t b = mrf.AddNode({0.5, 0.5});
+  mrf.AddEdge(a, b, kAttractive);
+  auto r1 = mrf.RunLoopyBp();
+  auto r2 = mrf.RunLoopyBp();
+  EXPECT_EQ(r1.beliefs[0][0], r2.beliefs[0][0]);
+  EXPECT_EQ(r1.iterations, r2.iterations);
+}
+
+}  // namespace
+}  // namespace rrre::graph

@@ -1,0 +1,184 @@
+// Property-style parameterized tests of the synthetic corpus generator:
+// structural invariants that must hold for every dataset profile.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "common/rng.h"
+#include "data/profiles.h"
+#include "data/synthetic.h"
+#include "graph/mrf.h"
+
+namespace rrre::data {
+namespace {
+
+using common::Rng;
+
+class ProfilePropertyTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  DatasetProfile Profile(double scale = 0.12) const {
+    auto p = ProfileByName(GetParam(), scale);
+    EXPECT_TRUE(p.ok());
+    return std::move(p).ValueOrDie();
+  }
+};
+
+TEST_P(ProfilePropertyTest, GeneratedCorpusRespectsUniverse) {
+  Rng rng(1);
+  const DatasetProfile profile = Profile();
+  ReviewDataset ds = GenerateSyntheticDataset(profile, rng);
+  EXPECT_EQ(ds.num_users(), profile.num_users);
+  EXPECT_EQ(ds.num_items(), profile.num_items);
+  for (const Review& r : ds.reviews()) {
+    EXPECT_GE(r.user, 0);
+    EXPECT_LT(r.user, profile.num_users);
+    EXPECT_GE(r.item, 0);
+    EXPECT_LT(r.item, profile.num_items);
+    EXPECT_GE(r.rating, 1.0f);
+    EXPECT_LE(r.rating, 5.0f);
+    EXPECT_GE(r.timestamp, 0);
+    EXPECT_FALSE(r.text.empty());
+  }
+}
+
+TEST_P(ProfilePropertyTest, LabeledFakeFractionNearProfileTarget) {
+  Rng rng(2);
+  const DatasetProfile profile = Profile(0.3);
+  ReviewDataset ds = GenerateSyntheticDataset(profile, rng);
+  EXPECT_NEAR(ds.Stats().fake_fraction, profile.fake_fraction, 0.035);
+}
+
+TEST_P(ProfilePropertyTest, DeterministicGivenSeed) {
+  const DatasetProfile profile = Profile(0.05);
+  Rng r1(3);
+  Rng r2(3);
+  ReviewDataset a = GenerateSyntheticDataset(profile, r1);
+  ReviewDataset b = GenerateSyntheticDataset(profile, r2);
+  ASSERT_EQ(a.size(), b.size());
+  for (int64_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.review(i).user, b.review(i).user);
+    EXPECT_EQ(a.review(i).item, b.review(i).item);
+    EXPECT_EQ(a.review(i).rating, b.review(i).rating);
+    EXPECT_EQ(a.review(i).label, b.review(i).label);
+    EXPECT_EQ(a.review(i).text, b.review(i).text);
+  }
+}
+
+TEST_P(ProfilePropertyTest, DifferentSeedsProduceDifferentCorpora) {
+  const DatasetProfile profile = Profile(0.05);
+  Rng r1(4);
+  Rng r2(5);
+  ReviewDataset a = GenerateSyntheticDataset(profile, r1);
+  ReviewDataset b = GenerateSyntheticDataset(profile, r2);
+  bool differs = a.size() != b.size();
+  for (int64_t i = 0; !differs && i < std::min(a.size(), b.size()); ++i) {
+    differs = a.review(i).text != b.review(i).text;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST_P(ProfilePropertyTest, SplitIsAPartition) {
+  Rng rng(6);
+  ReviewDataset ds = GenerateSyntheticDataset(Profile(), rng);
+  auto [train, test] = ds.Split(0.7, rng);
+  EXPECT_EQ(train.size() + test.size(), ds.size());
+  // Multiset of (user, item, timestamp, rating) must be preserved.
+  auto key = [](const Review& r) {
+    return std::make_tuple(r.user, r.item, r.timestamp, r.rating, r.text);
+  };
+  std::multiset<std::tuple<int64_t, int64_t, int64_t, float, std::string>>
+      whole, parts;
+  for (const Review& r : ds.reviews()) whole.insert(key(r));
+  for (const Review& r : train.reviews()) parts.insert(key(r));
+  for (const Review& r : test.reviews()) parts.insert(key(r));
+  EXPECT_EQ(whole, parts);
+}
+
+TEST_P(ProfilePropertyTest, SaveLoadRoundTripsWholeCorpus) {
+  Rng rng(7);
+  ReviewDataset ds = GenerateSyntheticDataset(Profile(0.05), rng);
+  const std::string path =
+      ::testing::TempDir() + "/prop_" + GetParam() + ".tsv";
+  ASSERT_TRUE(ds.SaveTsv(path).ok());
+  auto loaded = ReviewDataset::LoadTsv(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded.value().size(), ds.size());
+  for (int64_t i = 0; i < ds.size(); ++i) {
+    EXPECT_EQ(loaded.value().review(i).text, ds.review(i).text);
+    EXPECT_EQ(loaded.value().review(i).label, ds.review(i).label);
+  }
+  std::remove(path.c_str());
+}
+
+TEST_P(ProfilePropertyTest, IndexesAreConsistentWithReviews) {
+  Rng rng(8);
+  ReviewDataset ds = GenerateSyntheticDataset(Profile(0.08), rng);
+  int64_t via_users = 0;
+  for (int64_t u = 0; u < ds.num_users(); ++u) {
+    for (int64_t idx : ds.ReviewsByUser(u)) {
+      EXPECT_EQ(ds.review(idx).user, u);
+      ++via_users;
+    }
+  }
+  EXPECT_EQ(via_users, ds.size());
+  int64_t via_items = 0;
+  for (int64_t i = 0; i < ds.num_items(); ++i) {
+    int64_t prev_ts = -1;
+    for (int64_t idx : ds.ReviewsByItem(i)) {
+      EXPECT_EQ(ds.review(idx).item, i);
+      EXPECT_GE(ds.review(idx).timestamp, prev_ts);  // Time-sorted.
+      prev_ts = ds.review(idx).timestamp;
+      ++via_items;
+    }
+  }
+  EXPECT_EQ(via_items, ds.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProfiles, ProfilePropertyTest,
+    ::testing::Values("yelpchi", "yelpnyc", "yelpzip", "musics", "cds"));
+
+}  // namespace
+}  // namespace rrre::data
+
+namespace rrre::graph {
+namespace {
+
+/// BP must be exact on randomly generated trees, whatever their shape.
+class TreeBpPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TreeBpPropertyTest, LoopyBpMatchesExactMarginalsOnRandomTrees) {
+  common::Rng rng(GetParam());
+  PairwiseMrf mrf;
+  const int64_t n = 2 + static_cast<int64_t>(rng.UniformInt(uint64_t{8}));
+  for (int64_t v = 0; v < n; ++v) {
+    const double p = rng.Uniform(0.1, 0.9);
+    mrf.AddNode({p, 1.0 - p});
+  }
+  for (int64_t v = 1; v < n; ++v) {
+    const int64_t parent = static_cast<int64_t>(
+        rng.UniformInt(static_cast<uint64_t>(v)));
+    const double eps = rng.Uniform(0.05, 0.45);
+    const bool attractive = rng.Bernoulli(0.5);
+    PairwiseMrf::Potential pot =
+        attractive
+            ? PairwiseMrf::Potential{{{1 - eps, eps}, {eps, 1 - eps}}}
+            : PairwiseMrf::Potential{{{eps, 1 - eps}, {1 - eps, eps}}};
+    mrf.AddEdge(parent, v, pot);
+  }
+  auto bp = mrf.RunLoopyBp(300, 0.0, 1e-11);
+  auto exact = mrf.ExactMarginals();
+  ASSERT_TRUE(bp.converged);
+  for (size_t v = 0; v < exact.size(); ++v) {
+    EXPECT_NEAR(bp.beliefs[v][0], exact[v][0], 1e-6) << "node " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TreeBpPropertyTest,
+                         ::testing::Values(10u, 20u, 30u, 40u, 50u, 60u, 70u,
+                                           80u));
+
+}  // namespace
+}  // namespace rrre::graph

@@ -1,0 +1,144 @@
+// Property-style parameterized tests of the evaluation metrics: invariances
+// and symmetries that must hold for any scored, labeled population.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "eval/metrics.h"
+
+namespace rrre::eval {
+namespace {
+
+using common::Rng;
+
+struct Population {
+  std::vector<double> scores;
+  std::vector<int> labels;
+};
+
+Population MakePopulation(uint64_t seed, size_t n, double positive_rate,
+                          bool informative) {
+  Rng rng(seed);
+  Population p;
+  for (size_t i = 0; i < n; ++i) {
+    const int label = rng.Bernoulli(positive_rate) ? 1 : 0;
+    double score = rng.Normal();
+    if (informative) score += label == 1 ? 1.0 : -1.0;
+    p.labels.push_back(label);
+    p.scores.push_back(score);
+  }
+  return p;
+}
+
+class MetricPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MetricPropertyTest, AucInvariantUnderMonotoneTransform) {
+  Population p = MakePopulation(GetParam(), 300, 0.8, true);
+  std::vector<double> transformed;
+  for (double s : p.scores) transformed.push_back(std::tanh(s / 3.0) * 10.0);
+  EXPECT_NEAR(Auc(p.scores, p.labels), Auc(transformed, p.labels), 1e-12);
+}
+
+TEST_P(MetricPropertyTest, AucOfNegatedScoresIsComplement) {
+  Population p = MakePopulation(GetParam(), 300, 0.8, true);
+  std::vector<double> negated;
+  for (double s : p.scores) negated.push_back(-s);
+  EXPECT_NEAR(Auc(p.scores, p.labels) + Auc(negated, p.labels), 1.0, 1e-12);
+}
+
+TEST_P(MetricPropertyTest, InformativeScoresBeatChance) {
+  Population p = MakePopulation(GetParam(), 400, 0.8, true);
+  EXPECT_GT(Auc(p.scores, p.labels), 0.6);
+}
+
+TEST_P(MetricPropertyTest, UninformativeScoresNearChance) {
+  Population p = MakePopulation(GetParam(), 2000, 0.8, false);
+  EXPECT_NEAR(Auc(p.scores, p.labels), 0.5, 0.06);
+}
+
+TEST_P(MetricPropertyTest, ApAtLeastPositiveRateForPerfectRanking) {
+  Population p = MakePopulation(GetParam(), 200, 0.7, true);
+  // Perfect ranking: score == label.
+  std::vector<double> perfect;
+  for (int l : p.labels) perfect.push_back(l);
+  EXPECT_NEAR(AveragePrecision(perfect, p.labels), 1.0, 1e-12);
+  // Any ranking is at least... and at most 1.
+  const double ap = AveragePrecision(p.scores, p.labels);
+  EXPECT_GE(ap, 0.0);
+  EXPECT_LE(ap, 1.0);
+}
+
+TEST_P(MetricPropertyTest, ApInvariantUnderMonotoneTransform) {
+  Population p = MakePopulation(GetParam(), 300, 0.8, true);
+  std::vector<double> transformed;
+  for (double s : p.scores) transformed.push_back(std::exp(s * 0.3));
+  EXPECT_NEAR(AveragePrecision(p.scores, p.labels),
+              AveragePrecision(transformed, p.labels), 1e-12);
+}
+
+TEST_P(MetricPropertyTest, NdcgMonotoneInRankingQuality) {
+  Population p = MakePopulation(GetParam(), 500, 0.8, true);
+  // Perfect vs random ranking.
+  std::vector<double> perfect;
+  for (int l : p.labels) perfect.push_back(l);
+  Rng rng(GetParam() ^ 0xabc);
+  std::vector<double> random;
+  for (size_t i = 0; i < p.labels.size(); ++i) random.push_back(rng.Uniform());
+  for (int64_t k : {50L, 200L}) {
+    EXPECT_GE(NdcgAtK(perfect, p.labels, k) + 1e-12,
+              NdcgAtK(p.scores, p.labels, k));
+    EXPECT_GE(NdcgAtK(p.scores, p.labels, k) + 0.1,
+              NdcgAtK(random, p.labels, k));
+  }
+}
+
+TEST_P(MetricPropertyTest, NdcgBoundedByUnitInterval) {
+  Population p = MakePopulation(GetParam(), 300, 0.5, false);
+  for (int64_t k : {1L, 10L, 100L, 1000L}) {
+    const double v = NdcgAtK(p.scores, p.labels, k);
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST_P(MetricPropertyTest, PrecisionAtFullDepthIsPositiveRate) {
+  Population p = MakePopulation(GetParam(), 400, 0.8, true);
+  int64_t positives = 0;
+  for (int l : p.labels) positives += l;
+  EXPECT_NEAR(
+      PrecisionAtK(p.scores, p.labels,
+                   static_cast<int64_t>(p.labels.size())),
+      static_cast<double>(positives) / static_cast<double>(p.labels.size()),
+      1e-12);
+}
+
+TEST_P(MetricPropertyTest, BrmseEqualsRmseOnBenignSubset) {
+  Rng rng(GetParam());
+  std::vector<double> preds;
+  std::vector<double> targets;
+  std::vector<int> labels;
+  std::vector<double> benign_preds;
+  std::vector<double> benign_targets;
+  for (int i = 0; i < 200; ++i) {
+    const double t = rng.Uniform(1.0, 5.0);
+    const double pr = t + rng.Normal();
+    const int l = rng.Bernoulli(0.85) ? 1 : 0;
+    preds.push_back(pr);
+    targets.push_back(t);
+    labels.push_back(l);
+    if (l == 1) {
+      benign_preds.push_back(pr);
+      benign_targets.push_back(t);
+    }
+  }
+  EXPECT_NEAR(BiasedRmse(preds, targets, labels),
+              Rmse(benign_preds, benign_targets), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetricPropertyTest,
+                         ::testing::Values(3u, 17u, 59u, 101u, 2024u));
+
+}  // namespace
+}  // namespace rrre::eval

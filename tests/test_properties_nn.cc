@@ -1,0 +1,166 @@
+// Property-style parameterized tests of the NN layer library: full-layer
+// numerical gradient checks across a sweep of layer sizes, and training
+// dynamics invariants.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <tuple>
+
+#include "common/rng.h"
+#include "nn/attention.h"
+#include "nn/embedding.h"
+#include "nn/fm.h"
+#include "nn/gru.h"
+#include "nn/linear.h"
+#include "nn/lstm.h"
+#include "nn/optimizer.h"
+#include "tensor/ops.h"
+
+namespace rrre::nn {
+namespace {
+
+using common::Rng;
+using tensor::Tensor;
+
+/// Central-difference check of every parameter of `module` against the
+/// autograd gradients of scalar-valued `f`.
+void CheckModuleGradients(Module& module, const std::function<Tensor()>& f,
+                          float eps = 1e-2f, float tol = 3e-2f) {
+  Tensor out = f();
+  ASSERT_EQ(out.numel(), 1);
+  out.Backward();
+  for (auto& [name, p] : module.NamedParameters()) {
+    const auto analytic = p.grad();
+    Tensor param = p;
+    for (int64_t i = 0; i < param.numel(); ++i) {
+      const float orig = param.at(i);
+      param.at(i) = orig + eps;
+      const float up = f().item();
+      param.at(i) = orig - eps;
+      const float down = f().item();
+      param.at(i) = orig;
+      const float numeric = (up - down) / (2.0f * eps);
+      const float a = analytic[static_cast<size_t>(i)];
+      const float scale = std::max({std::abs(a), std::abs(numeric), 1.0f});
+      EXPECT_NEAR(a, numeric, tol * scale) << name << " entry " << i;
+    }
+  }
+}
+
+/// (batch, input dim, output/hidden dim, seed)
+using LayerShape = std::tuple<int64_t, int64_t, int64_t, uint64_t>;
+
+class LayerGradCheckTest : public ::testing::TestWithParam<LayerShape> {
+ protected:
+  int64_t batch() const { return std::get<0>(GetParam()); }
+  int64_t in() const { return std::get<1>(GetParam()); }
+  int64_t out() const { return std::get<2>(GetParam()); }
+  uint64_t seed() const { return std::get<3>(GetParam()); }
+};
+
+TEST_P(LayerGradCheckTest, Linear) {
+  Rng rng(seed());
+  Linear layer(in(), out(), rng);
+  Tensor x = Tensor::Randn({batch(), in()}, rng, 0.7f);
+  CheckModuleGradients(layer, [&]() {
+    return tensor::Sum(tensor::Square(layer.Forward(x)));
+  });
+}
+
+TEST_P(LayerGradCheckTest, LstmCellStep) {
+  Rng rng(seed());
+  LstmCell cell(in(), out(), rng);
+  Tensor x = Tensor::Randn({batch(), in()}, rng, 0.7f);
+  CheckModuleGradients(cell, [&]() {
+    auto st = cell.Step(x, cell.InitialState(batch()));
+    return tensor::Sum(tensor::Square(tensor::ConcatCols({st.h, st.c})));
+  });
+}
+
+TEST_P(LayerGradCheckTest, GruTwoSteps) {
+  Rng rng(seed());
+  GruCell cell(in(), out(), rng);
+  Tensor x1 = Tensor::Randn({batch(), in()}, rng, 0.7f);
+  Tensor x2 = Tensor::Randn({batch(), in()}, rng, 0.7f);
+  CheckModuleGradients(cell, [&]() {
+    Tensor h = cell.Step(x2, cell.Step(x1, cell.InitialState(batch())));
+    return tensor::Sum(tensor::Square(h));
+  });
+}
+
+TEST_P(LayerGradCheckTest, FactorizationMachine) {
+  Rng rng(seed());
+  FactorizationMachine fm(in(), out(), rng);
+  Tensor x = Tensor::Randn({batch(), in()}, rng, 0.7f);
+  CheckModuleGradients(fm, [&]() {
+    return tensor::Sum(tensor::Square(fm.Forward(x)));
+  });
+}
+
+TEST_P(LayerGradCheckTest, FraudAttentionPooling) {
+  Rng rng(seed());
+  const int64_t s = 3;
+  FraudAttention att(in(), out(), out(), 5, rng);
+  Tensor rev = Tensor::Randn({batch() * s, in()}, rng, 0.7f);
+  Tensor eu = Tensor::Randn({batch() * s, out()}, rng, 0.7f);
+  Tensor ei = Tensor::Randn({batch() * s, out()}, rng, 0.7f);
+  CheckModuleGradients(att, [&]() {
+    Tensor alphas = att.Forward(rev, eu, ei, s);
+    return tensor::Sum(tensor::Square(tensor::WeightedPool(rev, alphas)));
+  });
+}
+
+TEST_P(LayerGradCheckTest, EmbeddingThroughLinear) {
+  Rng rng(seed());
+  Embedding emb(8, in(), rng);
+  Linear head(in(), out(), rng);
+  std::vector<int64_t> ids;
+  for (int64_t i = 0; i < batch(); ++i) ids.push_back(i % 8);
+  CheckModuleGradients(emb, [&]() {
+    return tensor::Sum(tensor::Square(head.Forward(emb.Forward(ids))));
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, LayerGradCheckTest,
+    ::testing::Values(LayerShape{1, 2, 3, 7}, LayerShape{2, 4, 4, 21},
+                      LayerShape{3, 5, 2, 77}, LayerShape{4, 3, 6, 99}));
+
+// ---------------------------------------------------------------------------
+// Optimizer dynamics, parameterized by learning rate.
+// ---------------------------------------------------------------------------
+
+class OptimizerDynamicsTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(OptimizerDynamicsTest, AdamConvergesOnConvexLoss) {
+  // Adam is not monotone step-to-step (it can overshoot at high rates), but
+  // it must make large overall progress on a convex bowl.
+  Rng rng(5);
+  Tensor x = Tensor::Randn({6}, rng, 2.0f, true);
+  const double initial = tensor::Sum(tensor::Square(x)).item();
+  Adam opt({x}, GetParam());
+  for (int step = 0; step < 200; ++step) {
+    Tensor loss = tensor::Sum(tensor::Square(x));
+    loss.Backward();
+    opt.Step();
+  }
+  EXPECT_LT(tensor::Sum(tensor::Square(x)).item(), initial / 10.0);
+}
+
+TEST_P(OptimizerDynamicsTest, GradClipNeverIncreasesNorm) {
+  Rng rng(6);
+  Tensor a = Tensor::Randn({10}, rng, 5.0f, true);
+  tensor::Sum(tensor::Square(a)).Backward();
+  std::vector<Tensor> params = {a};
+  const double before = GlobalGradNorm(params);
+  ClipGradNorm(params, GetParam() * 100.0);
+  EXPECT_LE(GlobalGradNorm(params), before + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(LearningRates, OptimizerDynamicsTest,
+                         ::testing::Values(0.01, 0.05, 0.2));
+
+}  // namespace
+}  // namespace rrre::nn

@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "text/tokenizer.h"
+#include "text/vocab.h"
+#include "text/word2vec.h"
+
+namespace rrre::text {
+namespace {
+
+using common::Rng;
+
+// ---------------------------------------------------------------------------
+// Tokenizer
+// ---------------------------------------------------------------------------
+
+TEST(TokenizerTest, LowercasesAndSplitsOnPunctuation) {
+  auto toks = Tokenize("Great FOOD, friendly service!");
+  ASSERT_EQ(toks.size(), 4u);
+  EXPECT_EQ(toks[0], "great");
+  EXPECT_EQ(toks[1], "food");
+  EXPECT_EQ(toks[2], "friendly");
+  EXPECT_EQ(toks[3], "service");
+}
+
+TEST(TokenizerTest, KeepsDigitsInsideTokens) {
+  auto toks = Tokenize("open 24 hours, top10 pick");
+  ASSERT_EQ(toks.size(), 5u);
+  EXPECT_EQ(toks[1], "24");
+  EXPECT_EQ(toks[3], "top10");
+}
+
+TEST(TokenizerTest, DropsApostrophes) {
+  auto toks = Tokenize("don't, won't");
+  ASSERT_EQ(toks.size(), 2u);
+  EXPECT_EQ(toks[0], "dont");
+  EXPECT_EQ(toks[1], "wont");
+}
+
+TEST(TokenizerTest, EmptyAndSymbolOnlyInputs) {
+  EXPECT_TRUE(Tokenize("").empty());
+  EXPECT_TRUE(Tokenize("!!! --- ???").empty());
+}
+
+// ---------------------------------------------------------------------------
+// Vocabulary
+// ---------------------------------------------------------------------------
+
+std::vector<std::vector<std::string>> SmallCorpus() {
+  return {
+      {"good", "food", "good", "service"},
+      {"bad", "food"},
+      {"good", "vibes"},
+  };
+}
+
+TEST(VocabTest, SpecialsAreReserved) {
+  Vocabulary v = Vocabulary::Build(SmallCorpus());
+  EXPECT_EQ(v.Token(Vocabulary::kPadId), "<pad>");
+  EXPECT_EQ(v.Token(Vocabulary::kUnkId), "<unk>");
+  EXPECT_EQ(v.Id("<pad>"), Vocabulary::kPadId);
+}
+
+TEST(VocabTest, FrequencyOrderAfterSpecials) {
+  Vocabulary v = Vocabulary::Build(SmallCorpus());
+  // "good" (3) must come before "food" (2) before singletons.
+  EXPECT_EQ(v.Id("good"), 2);
+  EXPECT_EQ(v.Id("food"), 3);
+  EXPECT_LT(v.Id("food"), v.Id("bad"));
+}
+
+TEST(VocabTest, MinCountFiltersRareTokens) {
+  Vocabulary v = Vocabulary::Build(SmallCorpus(), /*min_count=*/2);
+  EXPECT_TRUE(v.Contains("good"));
+  EXPECT_TRUE(v.Contains("food"));
+  EXPECT_FALSE(v.Contains("vibes"));
+  EXPECT_EQ(v.Id("vibes"), Vocabulary::kUnkId);
+}
+
+TEST(VocabTest, EncodeMapsUnknownsToUnk) {
+  Vocabulary v = Vocabulary::Build(SmallCorpus());
+  auto ids = v.Encode({"good", "zebra"});
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_EQ(ids[0], v.Id("good"));
+  EXPECT_EQ(ids[1], Vocabulary::kUnkId);
+}
+
+TEST(VocabTest, EncodePaddedTruncatesAndPads) {
+  Vocabulary v = Vocabulary::Build(SmallCorpus());
+  auto padded = v.EncodePadded({"good"}, 3);
+  ASSERT_EQ(padded.size(), 3u);
+  EXPECT_EQ(padded[0], v.Id("good"));
+  EXPECT_EQ(padded[1], Vocabulary::kPadId);
+  EXPECT_EQ(padded[2], Vocabulary::kPadId);
+
+  auto truncated = v.EncodePadded({"good", "food", "bad", "vibes"}, 2);
+  ASSERT_EQ(truncated.size(), 2u);
+  EXPECT_EQ(truncated[0], v.Id("good"));
+  EXPECT_EQ(truncated[1], v.Id("food"));
+}
+
+TEST(VocabTest, SizeCountsSpecials) {
+  Vocabulary v = Vocabulary::Build(SmallCorpus());
+  EXPECT_EQ(v.size(), 2 + 5);  // pad, unk + good food service bad vibes.
+}
+
+// ---------------------------------------------------------------------------
+// SkipGram
+// ---------------------------------------------------------------------------
+
+/// Synthetic corpus with two disjoint topics; words within a topic co-occur.
+std::vector<std::vector<int64_t>> TwoTopicCorpus(Rng& rng, int64_t words_per_topic,
+                                                 int docs, int doc_len) {
+  // Ids: [2, 2+wpt) topic A, [2+wpt, 2+2*wpt) topic B.
+  std::vector<std::vector<int64_t>> out;
+  for (int d = 0; d < docs; ++d) {
+    const int64_t base = (d % 2 == 0) ? 2 : 2 + words_per_topic;
+    std::vector<int64_t> doc;
+    for (int t = 0; t < doc_len; ++t) {
+      doc.push_back(base + static_cast<int64_t>(
+                               rng.UniformInt(static_cast<uint64_t>(words_per_topic))));
+    }
+    out.push_back(std::move(doc));
+  }
+  return out;
+}
+
+TEST(SkipGramTest, OutputShapeAndPadRowZero) {
+  Rng rng(1);
+  const int64_t vocab_size = 12;
+  auto docs = TwoTopicCorpus(rng, 5, 10, 20);
+  SkipGramTrainer trainer({.dim = 8, .window = 2, .negatives = 3, .epochs = 1},
+                          vocab_size);
+  tensor::Tensor table = trainer.Train(docs, rng);
+  EXPECT_EQ(table.shape(), (tensor::Shape{12, 8}));
+  for (int64_t j = 0; j < 8; ++j) {
+    EXPECT_EQ(table.at(Vocabulary::kPadId, j), 0.0f);
+  }
+}
+
+TEST(SkipGramTest, CoOccurringWordsAreMoreSimilar) {
+  Rng rng(2);
+  const int64_t wpt = 5;
+  const int64_t vocab_size = 2 + 2 * wpt;
+  auto docs = TwoTopicCorpus(rng, wpt, 200, 30);
+  SkipGramTrainer trainer(
+      {.dim = 16, .window = 3, .negatives = 5, .epochs = 3}, vocab_size);
+  tensor::Tensor table = trainer.Train(docs, rng);
+
+  // Average within-topic similarity must exceed cross-topic similarity.
+  double within = 0.0;
+  double across = 0.0;
+  int nw = 0;
+  int na = 0;
+  for (int64_t a = 2; a < 2 + wpt; ++a) {
+    for (int64_t b = a + 1; b < 2 + wpt; ++b) {
+      within += CosineSimilarity(table, a, b);
+      ++nw;
+    }
+    for (int64_t b = 2 + wpt; b < 2 + 2 * wpt; ++b) {
+      across += CosineSimilarity(table, a, b);
+      ++na;
+    }
+  }
+  within /= nw;
+  across /= na;
+  EXPECT_GT(within, across + 0.2)
+      << "within=" << within << " across=" << across;
+}
+
+TEST(SkipGramTest, DeterministicGivenSeed) {
+  const int64_t vocab_size = 12;
+  SkipGramTrainer trainer({.dim = 8, .window = 2, .negatives = 2, .epochs = 1},
+                          vocab_size);
+  Rng rng_a(3);
+  auto docs_a = TwoTopicCorpus(rng_a, 5, 6, 15);
+  tensor::Tensor t1 = trainer.Train(docs_a, rng_a);
+  Rng rng_b(3);
+  auto docs_b = TwoTopicCorpus(rng_b, 5, 6, 15);
+  tensor::Tensor t2 = trainer.Train(docs_b, rng_b);
+  EXPECT_EQ(t1.ToVector(), t2.ToVector());
+}
+
+TEST(CosineTest, IdenticalAndOrthogonalRows) {
+  tensor::Tensor t =
+      tensor::Tensor::FromVector({3, 2}, {1, 0, 0, 2, 3, 0});
+  EXPECT_NEAR(CosineSimilarity(t, 0, 2), 1.0, 1e-6);
+  EXPECT_NEAR(CosineSimilarity(t, 0, 1), 0.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace rrre::text
