@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_item_input_size.dir/bench_fig4_item_input_size.cc.o"
+  "CMakeFiles/bench_fig4_item_input_size.dir/bench_fig4_item_input_size.cc.o.d"
+  "bench_fig4_item_input_size"
+  "bench_fig4_item_input_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_item_input_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

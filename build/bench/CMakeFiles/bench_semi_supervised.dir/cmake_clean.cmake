@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_semi_supervised.dir/bench_semi_supervised.cc.o"
+  "CMakeFiles/bench_semi_supervised.dir/bench_semi_supervised.cc.o.d"
+  "bench_semi_supervised"
+  "bench_semi_supervised.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_semi_supervised.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

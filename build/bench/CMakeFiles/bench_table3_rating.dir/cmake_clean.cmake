@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_rating.dir/bench_table3_rating.cc.o"
+  "CMakeFiles/bench_table3_rating.dir/bench_table3_rating.cc.o.d"
+  "bench_table3_rating"
+  "bench_table3_rating.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_rating.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

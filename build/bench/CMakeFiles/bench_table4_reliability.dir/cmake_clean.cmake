@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_reliability.dir/bench_table4_reliability.cc.o"
+  "CMakeFiles/bench_table4_reliability.dir/bench_table4_reliability.cc.o.d"
+  "bench_table4_reliability"
+  "bench_table4_reliability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_ndcg_yelpchi.dir/bench_table5_ndcg_yelpchi.cc.o"
+  "CMakeFiles/bench_table5_ndcg_yelpchi.dir/bench_table5_ndcg_yelpchi.cc.o.d"
+  "bench_table5_ndcg_yelpchi"
+  "bench_table5_ndcg_yelpchi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_ndcg_yelpchi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_ndcg_cds.dir/bench_table6_ndcg_cds.cc.o"
+  "CMakeFiles/bench_table6_ndcg_cds.dir/bench_table6_ndcg_cds.cc.o.d"
+  "bench_table6_ndcg_cds"
+  "bench_table6_ndcg_cds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_ndcg_cds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrre_bench_harness.dir/harness.cc.o"
+  "CMakeFiles/rrre_bench_harness.dir/harness.cc.o.d"
+  "CMakeFiles/rrre_bench_harness.dir/ndcg_table.cc.o"
+  "CMakeFiles/rrre_bench_harness.dir/ndcg_table.cc.o.d"
+  "librrre_bench_harness.a"
+  "librrre_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrre_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

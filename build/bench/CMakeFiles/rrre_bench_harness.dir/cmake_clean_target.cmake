@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librrre_bench_harness.a"
+)

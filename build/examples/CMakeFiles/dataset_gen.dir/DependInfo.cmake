@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/dataset_gen.cpp" "examples/CMakeFiles/dataset_gen.dir/dataset_gen.cpp.o" "gcc" "examples/CMakeFiles/dataset_gen.dir/dataset_gen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/rrre_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rrre_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/rrre_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/rrre_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/rrre_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/rrre_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/rrre_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/rrre_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rrre_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

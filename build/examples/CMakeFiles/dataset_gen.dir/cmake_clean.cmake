@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataset_gen.dir/dataset_gen.cpp.o"
+  "CMakeFiles/dataset_gen.dir/dataset_gen.cpp.o.d"
+  "dataset_gen"
+  "dataset_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataset_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fraud_audit.dir/fraud_audit.cpp.o"
+  "CMakeFiles/fraud_audit.dir/fraud_audit.cpp.o.d"
+  "fraud_audit"
+  "fraud_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fraud_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reliable_recommendation.dir/reliable_recommendation.cpp.o"
+  "CMakeFiles/reliable_recommendation.dir/reliable_recommendation.cpp.o.d"
+  "reliable_recommendation"
+  "reliable_recommendation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reliable_recommendation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for reliable_recommendation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrre_cli.dir/rrre_cli.cpp.o"
+  "CMakeFiles/rrre_cli.dir/rrre_cli.cpp.o.d"
+  "rrre_cli"
+  "rrre_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrre_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/behavior_features.cc" "src/baselines/CMakeFiles/rrre_baselines.dir/behavior_features.cc.o" "gcc" "src/baselines/CMakeFiles/rrre_baselines.dir/behavior_features.cc.o.d"
+  "/root/repo/src/baselines/deepconn.cc" "src/baselines/CMakeFiles/rrre_baselines.dir/deepconn.cc.o" "gcc" "src/baselines/CMakeFiles/rrre_baselines.dir/deepconn.cc.o.d"
+  "/root/repo/src/baselines/der.cc" "src/baselines/CMakeFiles/rrre_baselines.dir/der.cc.o" "gcc" "src/baselines/CMakeFiles/rrre_baselines.dir/der.cc.o.d"
+  "/root/repo/src/baselines/icwsm13.cc" "src/baselines/CMakeFiles/rrre_baselines.dir/icwsm13.cc.o" "gcc" "src/baselines/CMakeFiles/rrre_baselines.dir/icwsm13.cc.o.d"
+  "/root/repo/src/baselines/logreg.cc" "src/baselines/CMakeFiles/rrre_baselines.dir/logreg.cc.o" "gcc" "src/baselines/CMakeFiles/rrre_baselines.dir/logreg.cc.o.d"
+  "/root/repo/src/baselines/narre.cc" "src/baselines/CMakeFiles/rrre_baselines.dir/narre.cc.o" "gcc" "src/baselines/CMakeFiles/rrre_baselines.dir/narre.cc.o.d"
+  "/root/repo/src/baselines/neural_base.cc" "src/baselines/CMakeFiles/rrre_baselines.dir/neural_base.cc.o" "gcc" "src/baselines/CMakeFiles/rrre_baselines.dir/neural_base.cc.o.d"
+  "/root/repo/src/baselines/pmf.cc" "src/baselines/CMakeFiles/rrre_baselines.dir/pmf.cc.o" "gcc" "src/baselines/CMakeFiles/rrre_baselines.dir/pmf.cc.o.d"
+  "/root/repo/src/baselines/rev2.cc" "src/baselines/CMakeFiles/rrre_baselines.dir/rev2.cc.o" "gcc" "src/baselines/CMakeFiles/rrre_baselines.dir/rev2.cc.o.d"
+  "/root/repo/src/baselines/rrre_adapter.cc" "src/baselines/CMakeFiles/rrre_baselines.dir/rrre_adapter.cc.o" "gcc" "src/baselines/CMakeFiles/rrre_baselines.dir/rrre_adapter.cc.o.d"
+  "/root/repo/src/baselines/speagle.cc" "src/baselines/CMakeFiles/rrre_baselines.dir/speagle.cc.o" "gcc" "src/baselines/CMakeFiles/rrre_baselines.dir/speagle.cc.o.d"
+  "/root/repo/src/baselines/textcnn.cc" "src/baselines/CMakeFiles/rrre_baselines.dir/textcnn.cc.o" "gcc" "src/baselines/CMakeFiles/rrre_baselines.dir/textcnn.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rrre_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/rrre_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/rrre_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/rrre_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/rrre_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/rrre_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rrre_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrre_baselines.dir/behavior_features.cc.o"
+  "CMakeFiles/rrre_baselines.dir/behavior_features.cc.o.d"
+  "CMakeFiles/rrre_baselines.dir/deepconn.cc.o"
+  "CMakeFiles/rrre_baselines.dir/deepconn.cc.o.d"
+  "CMakeFiles/rrre_baselines.dir/der.cc.o"
+  "CMakeFiles/rrre_baselines.dir/der.cc.o.d"
+  "CMakeFiles/rrre_baselines.dir/icwsm13.cc.o"
+  "CMakeFiles/rrre_baselines.dir/icwsm13.cc.o.d"
+  "CMakeFiles/rrre_baselines.dir/logreg.cc.o"
+  "CMakeFiles/rrre_baselines.dir/logreg.cc.o.d"
+  "CMakeFiles/rrre_baselines.dir/narre.cc.o"
+  "CMakeFiles/rrre_baselines.dir/narre.cc.o.d"
+  "CMakeFiles/rrre_baselines.dir/neural_base.cc.o"
+  "CMakeFiles/rrre_baselines.dir/neural_base.cc.o.d"
+  "CMakeFiles/rrre_baselines.dir/pmf.cc.o"
+  "CMakeFiles/rrre_baselines.dir/pmf.cc.o.d"
+  "CMakeFiles/rrre_baselines.dir/rev2.cc.o"
+  "CMakeFiles/rrre_baselines.dir/rev2.cc.o.d"
+  "CMakeFiles/rrre_baselines.dir/rrre_adapter.cc.o"
+  "CMakeFiles/rrre_baselines.dir/rrre_adapter.cc.o.d"
+  "CMakeFiles/rrre_baselines.dir/speagle.cc.o"
+  "CMakeFiles/rrre_baselines.dir/speagle.cc.o.d"
+  "CMakeFiles/rrre_baselines.dir/textcnn.cc.o"
+  "CMakeFiles/rrre_baselines.dir/textcnn.cc.o.d"
+  "librrre_baselines.a"
+  "librrre_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrre_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

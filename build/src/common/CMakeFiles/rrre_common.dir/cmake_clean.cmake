@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrre_common.dir/flags.cc.o"
+  "CMakeFiles/rrre_common.dir/flags.cc.o.d"
+  "CMakeFiles/rrre_common.dir/io.cc.o"
+  "CMakeFiles/rrre_common.dir/io.cc.o.d"
+  "CMakeFiles/rrre_common.dir/logging.cc.o"
+  "CMakeFiles/rrre_common.dir/logging.cc.o.d"
+  "CMakeFiles/rrre_common.dir/rng.cc.o"
+  "CMakeFiles/rrre_common.dir/rng.cc.o.d"
+  "CMakeFiles/rrre_common.dir/status.cc.o"
+  "CMakeFiles/rrre_common.dir/status.cc.o.d"
+  "CMakeFiles/rrre_common.dir/strings.cc.o"
+  "CMakeFiles/rrre_common.dir/strings.cc.o.d"
+  "librrre_common.a"
+  "librrre_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrre_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/features.cc" "src/core/CMakeFiles/rrre_core.dir/features.cc.o" "gcc" "src/core/CMakeFiles/rrre_core.dir/features.cc.o.d"
+  "/root/repo/src/core/model.cc" "src/core/CMakeFiles/rrre_core.dir/model.cc.o" "gcc" "src/core/CMakeFiles/rrre_core.dir/model.cc.o.d"
+  "/root/repo/src/core/recommender.cc" "src/core/CMakeFiles/rrre_core.dir/recommender.cc.o" "gcc" "src/core/CMakeFiles/rrre_core.dir/recommender.cc.o.d"
+  "/root/repo/src/core/review_encoder.cc" "src/core/CMakeFiles/rrre_core.dir/review_encoder.cc.o" "gcc" "src/core/CMakeFiles/rrre_core.dir/review_encoder.cc.o.d"
+  "/root/repo/src/core/scorer.cc" "src/core/CMakeFiles/rrre_core.dir/scorer.cc.o" "gcc" "src/core/CMakeFiles/rrre_core.dir/scorer.cc.o.d"
+  "/root/repo/src/core/semi_supervised.cc" "src/core/CMakeFiles/rrre_core.dir/semi_supervised.cc.o" "gcc" "src/core/CMakeFiles/rrre_core.dir/semi_supervised.cc.o.d"
+  "/root/repo/src/core/trainer.cc" "src/core/CMakeFiles/rrre_core.dir/trainer.cc.o" "gcc" "src/core/CMakeFiles/rrre_core.dir/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/rrre_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/rrre_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/rrre_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/rrre_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rrre_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrre_core.dir/features.cc.o"
+  "CMakeFiles/rrre_core.dir/features.cc.o.d"
+  "CMakeFiles/rrre_core.dir/model.cc.o"
+  "CMakeFiles/rrre_core.dir/model.cc.o.d"
+  "CMakeFiles/rrre_core.dir/recommender.cc.o"
+  "CMakeFiles/rrre_core.dir/recommender.cc.o.d"
+  "CMakeFiles/rrre_core.dir/review_encoder.cc.o"
+  "CMakeFiles/rrre_core.dir/review_encoder.cc.o.d"
+  "CMakeFiles/rrre_core.dir/scorer.cc.o"
+  "CMakeFiles/rrre_core.dir/scorer.cc.o.d"
+  "CMakeFiles/rrre_core.dir/semi_supervised.cc.o"
+  "CMakeFiles/rrre_core.dir/semi_supervised.cc.o.d"
+  "CMakeFiles/rrre_core.dir/trainer.cc.o"
+  "CMakeFiles/rrre_core.dir/trainer.cc.o.d"
+  "librrre_core.a"
+  "librrre_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrre_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

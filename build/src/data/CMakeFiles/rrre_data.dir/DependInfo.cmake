@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/dataset.cc" "src/data/CMakeFiles/rrre_data.dir/dataset.cc.o" "gcc" "src/data/CMakeFiles/rrre_data.dir/dataset.cc.o.d"
+  "/root/repo/src/data/profiles.cc" "src/data/CMakeFiles/rrre_data.dir/profiles.cc.o" "gcc" "src/data/CMakeFiles/rrre_data.dir/profiles.cc.o.d"
+  "/root/repo/src/data/sampling.cc" "src/data/CMakeFiles/rrre_data.dir/sampling.cc.o" "gcc" "src/data/CMakeFiles/rrre_data.dir/sampling.cc.o.d"
+  "/root/repo/src/data/synthetic.cc" "src/data/CMakeFiles/rrre_data.dir/synthetic.cc.o" "gcc" "src/data/CMakeFiles/rrre_data.dir/synthetic.cc.o.d"
+  "/root/repo/src/data/wordbanks.cc" "src/data/CMakeFiles/rrre_data.dir/wordbanks.cc.o" "gcc" "src/data/CMakeFiles/rrre_data.dir/wordbanks.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rrre_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

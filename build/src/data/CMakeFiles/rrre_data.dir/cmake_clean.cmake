@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrre_data.dir/dataset.cc.o"
+  "CMakeFiles/rrre_data.dir/dataset.cc.o.d"
+  "CMakeFiles/rrre_data.dir/profiles.cc.o"
+  "CMakeFiles/rrre_data.dir/profiles.cc.o.d"
+  "CMakeFiles/rrre_data.dir/sampling.cc.o"
+  "CMakeFiles/rrre_data.dir/sampling.cc.o.d"
+  "CMakeFiles/rrre_data.dir/synthetic.cc.o"
+  "CMakeFiles/rrre_data.dir/synthetic.cc.o.d"
+  "CMakeFiles/rrre_data.dir/wordbanks.cc.o"
+  "CMakeFiles/rrre_data.dir/wordbanks.cc.o.d"
+  "librrre_data.a"
+  "librrre_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrre_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

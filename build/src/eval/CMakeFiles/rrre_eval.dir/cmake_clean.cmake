@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrre_eval.dir/metrics.cc.o"
+  "CMakeFiles/rrre_eval.dir/metrics.cc.o.d"
+  "librrre_eval.a"
+  "librrre_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrre_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

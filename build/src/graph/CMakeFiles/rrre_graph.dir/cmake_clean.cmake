@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrre_graph.dir/mrf.cc.o"
+  "CMakeFiles/rrre_graph.dir/mrf.cc.o.d"
+  "librrre_graph.a"
+  "librrre_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrre_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

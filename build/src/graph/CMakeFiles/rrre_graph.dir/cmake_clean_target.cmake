@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librrre_graph.a"
+)

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/attention.cc" "src/nn/CMakeFiles/rrre_nn.dir/attention.cc.o" "gcc" "src/nn/CMakeFiles/rrre_nn.dir/attention.cc.o.d"
+  "/root/repo/src/nn/dropout.cc" "src/nn/CMakeFiles/rrre_nn.dir/dropout.cc.o" "gcc" "src/nn/CMakeFiles/rrre_nn.dir/dropout.cc.o.d"
+  "/root/repo/src/nn/embedding.cc" "src/nn/CMakeFiles/rrre_nn.dir/embedding.cc.o" "gcc" "src/nn/CMakeFiles/rrre_nn.dir/embedding.cc.o.d"
+  "/root/repo/src/nn/fm.cc" "src/nn/CMakeFiles/rrre_nn.dir/fm.cc.o" "gcc" "src/nn/CMakeFiles/rrre_nn.dir/fm.cc.o.d"
+  "/root/repo/src/nn/gru.cc" "src/nn/CMakeFiles/rrre_nn.dir/gru.cc.o" "gcc" "src/nn/CMakeFiles/rrre_nn.dir/gru.cc.o.d"
+  "/root/repo/src/nn/linear.cc" "src/nn/CMakeFiles/rrre_nn.dir/linear.cc.o" "gcc" "src/nn/CMakeFiles/rrre_nn.dir/linear.cc.o.d"
+  "/root/repo/src/nn/loss.cc" "src/nn/CMakeFiles/rrre_nn.dir/loss.cc.o" "gcc" "src/nn/CMakeFiles/rrre_nn.dir/loss.cc.o.d"
+  "/root/repo/src/nn/lstm.cc" "src/nn/CMakeFiles/rrre_nn.dir/lstm.cc.o" "gcc" "src/nn/CMakeFiles/rrre_nn.dir/lstm.cc.o.d"
+  "/root/repo/src/nn/module.cc" "src/nn/CMakeFiles/rrre_nn.dir/module.cc.o" "gcc" "src/nn/CMakeFiles/rrre_nn.dir/module.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "src/nn/CMakeFiles/rrre_nn.dir/optimizer.cc.o" "gcc" "src/nn/CMakeFiles/rrre_nn.dir/optimizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/rrre_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rrre_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

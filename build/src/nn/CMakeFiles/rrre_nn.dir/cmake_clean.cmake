@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrre_nn.dir/attention.cc.o"
+  "CMakeFiles/rrre_nn.dir/attention.cc.o.d"
+  "CMakeFiles/rrre_nn.dir/dropout.cc.o"
+  "CMakeFiles/rrre_nn.dir/dropout.cc.o.d"
+  "CMakeFiles/rrre_nn.dir/embedding.cc.o"
+  "CMakeFiles/rrre_nn.dir/embedding.cc.o.d"
+  "CMakeFiles/rrre_nn.dir/fm.cc.o"
+  "CMakeFiles/rrre_nn.dir/fm.cc.o.d"
+  "CMakeFiles/rrre_nn.dir/gru.cc.o"
+  "CMakeFiles/rrre_nn.dir/gru.cc.o.d"
+  "CMakeFiles/rrre_nn.dir/linear.cc.o"
+  "CMakeFiles/rrre_nn.dir/linear.cc.o.d"
+  "CMakeFiles/rrre_nn.dir/loss.cc.o"
+  "CMakeFiles/rrre_nn.dir/loss.cc.o.d"
+  "CMakeFiles/rrre_nn.dir/lstm.cc.o"
+  "CMakeFiles/rrre_nn.dir/lstm.cc.o.d"
+  "CMakeFiles/rrre_nn.dir/module.cc.o"
+  "CMakeFiles/rrre_nn.dir/module.cc.o.d"
+  "CMakeFiles/rrre_nn.dir/optimizer.cc.o"
+  "CMakeFiles/rrre_nn.dir/optimizer.cc.o.d"
+  "librrre_nn.a"
+  "librrre_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrre_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

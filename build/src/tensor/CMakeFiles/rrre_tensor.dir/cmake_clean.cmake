@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrre_tensor.dir/ops.cc.o"
+  "CMakeFiles/rrre_tensor.dir/ops.cc.o.d"
+  "CMakeFiles/rrre_tensor.dir/serialize.cc.o"
+  "CMakeFiles/rrre_tensor.dir/serialize.cc.o.d"
+  "CMakeFiles/rrre_tensor.dir/shape.cc.o"
+  "CMakeFiles/rrre_tensor.dir/shape.cc.o.d"
+  "CMakeFiles/rrre_tensor.dir/tensor.cc.o"
+  "CMakeFiles/rrre_tensor.dir/tensor.cc.o.d"
+  "librrre_tensor.a"
+  "librrre_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrre_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/text/tokenizer.cc" "src/text/CMakeFiles/rrre_text.dir/tokenizer.cc.o" "gcc" "src/text/CMakeFiles/rrre_text.dir/tokenizer.cc.o.d"
+  "/root/repo/src/text/vocab.cc" "src/text/CMakeFiles/rrre_text.dir/vocab.cc.o" "gcc" "src/text/CMakeFiles/rrre_text.dir/vocab.cc.o.d"
+  "/root/repo/src/text/word2vec.cc" "src/text/CMakeFiles/rrre_text.dir/word2vec.cc.o" "gcc" "src/text/CMakeFiles/rrre_text.dir/word2vec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/rrre_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rrre_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

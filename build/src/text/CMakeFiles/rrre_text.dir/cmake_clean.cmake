@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrre_text.dir/tokenizer.cc.o"
+  "CMakeFiles/rrre_text.dir/tokenizer.cc.o.d"
+  "CMakeFiles/rrre_text.dir/vocab.cc.o"
+  "CMakeFiles/rrre_text.dir/vocab.cc.o.d"
+  "CMakeFiles/rrre_text.dir/word2vec.cc.o"
+  "CMakeFiles/rrre_text.dir/word2vec.cc.o.d"
+  "librrre_text.a"
+  "librrre_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrre_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for rrre_text.
+# This may be replaced when dependencies are built.

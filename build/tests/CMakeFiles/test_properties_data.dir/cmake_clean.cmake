@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_properties_data.dir/test_properties_data.cc.o"
+  "CMakeFiles/test_properties_data.dir/test_properties_data.cc.o.d"
+  "test_properties_data"
+  "test_properties_data.pdb"
+  "test_properties_data[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_properties_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_properties_eval.dir/test_properties_eval.cc.o"
+  "CMakeFiles/test_properties_eval.dir/test_properties_eval.cc.o.d"
+  "test_properties_eval"
+  "test_properties_eval.pdb"
+  "test_properties_eval[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_properties_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

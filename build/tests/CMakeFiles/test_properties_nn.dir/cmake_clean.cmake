@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_properties_nn.dir/test_properties_nn.cc.o"
+  "CMakeFiles/test_properties_nn.dir/test_properties_nn.cc.o.d"
+  "test_properties_nn"
+  "test_properties_nn.pdb"
+  "test_properties_nn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_properties_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

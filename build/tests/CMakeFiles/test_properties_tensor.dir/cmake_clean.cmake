@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_properties_tensor.dir/test_properties_tensor.cc.o"
+  "CMakeFiles/test_properties_tensor.dir/test_properties_tensor.cc.o.d"
+  "test_properties_tensor"
+  "test_properties_tensor.pdb"
+  "test_properties_tensor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_properties_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

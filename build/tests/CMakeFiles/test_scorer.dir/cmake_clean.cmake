@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scorer.dir/test_scorer.cc.o"
+  "CMakeFiles/test_scorer.dir/test_scorer.cc.o.d"
+  "test_scorer"
+  "test_scorer.pdb"
+  "test_scorer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

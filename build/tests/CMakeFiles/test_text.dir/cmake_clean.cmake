@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_text.dir/test_text.cc.o"
+  "CMakeFiles/test_text.dir/test_text.cc.o.d"
+  "test_text"
+  "test_text.pdb"
+  "test_text[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
