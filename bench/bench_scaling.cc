@@ -1,16 +1,36 @@
-// Extension bench (paper Sec. V scalability remark): catalog-scale scoring
-// with the tower-cached BatchScorer vs the straight per-pair pipeline.
-// Scores `--users` users against the full item catalog both ways and
-// reports wall-clock plus the speedup.
+// Extension bench (paper Sec. V scalability remark):
+//  1. thread scaling — one training epoch serially vs on the --num_threads
+//     pool (same sharded math, so only wall-clock may differ);
+//  2. catalog-scale scoring with the tower-cached BatchScorer vs the
+//     straight per-pair pipeline.
 
 #include <cstdio>
 
 #include "bench/harness.h"
 #include "common/flags.h"
 #include "common/logging.h"
+#include "common/threadpool.h"
 #include "common/timer.h"
 #include "core/scorer.h"
 #include "core/trainer.h"
+
+namespace {
+
+/// Mean epoch seconds of a short training run at the given pool size.
+double EpochSeconds(const rrre::core::RrreConfig& config,
+                    const rrre::data::ReviewDataset& train, int threads) {
+  rrre::common::ThreadPool::SetGlobalSize(threads);
+  rrre::core::RrreTrainer trainer(config);
+  double total = 0.0;
+  int64_t epochs = 0;
+  trainer.Fit(train, [&](const rrre::core::RrreTrainer::EpochStats& s) {
+    total += s.seconds;
+    ++epochs;
+  });
+  return total / static_cast<double>(epochs);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace rrre;  // NOLINT(build/namespaces)
@@ -27,6 +47,33 @@ int main(int argc, char** argv) {
 
   auto bundle = bench::MakeDataset(flags.GetString("dataset"), opts.scale,
                                    opts.base_seed);
+
+  // -- Part 1: training epoch time, serial vs pool ---------------------------
+  const int pool_threads = common::ThreadPool::GlobalSize();
+  {
+    core::RrreConfig scaling_config =
+        bench::DefaultRrreConfig(opts, opts.base_seed);
+    scaling_config.epochs = 2;
+    std::printf("thread scaling on %ld reviews (shard_size %lld):\n",
+                static_cast<long>(bundle.train.size()),
+                static_cast<long long>(scaling_config.shard_size));
+    const double serial_s = EpochSeconds(scaling_config, bundle.train, 1);
+    std::printf("  1 thread : %7.2f s/epoch\n", serial_s);
+    if (pool_threads > 1) {
+      const double parallel_s =
+          EpochSeconds(scaling_config, bundle.train, pool_threads);
+      std::printf("  %d threads: %7.2f s/epoch  (%.2fx speedup)\n",
+                  pool_threads, parallel_s,
+                  serial_s / std::max(parallel_s, 1e-9));
+    } else {
+      std::printf(
+          "  (single-core host: pass --num_threads to measure scaling)\n");
+    }
+    common::ThreadPool::SetGlobalSize(static_cast<int>(opts.num_threads));
+    std::printf("\n");
+  }
+
+  // -- Part 2: catalog-scale scoring ----------------------------------------
   core::RrreTrainer trainer(bench::DefaultRrreConfig(opts, opts.base_seed));
   std::printf("training on %ld reviews...\n",
               static_cast<long>(bundle.train.size()));

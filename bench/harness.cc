@@ -12,6 +12,7 @@
 #include "baselines/speagle.h"
 #include "common/logging.h"
 #include "common/rng.h"
+#include "common/threadpool.h"
 #include "data/profiles.h"
 #include "data/synthetic.h"
 
@@ -55,6 +56,10 @@ void RegisterBenchFlags(common::FlagParser& flags, double default_scale) {
   flags.AddBool("random-sampling", false,
                 "random instead of time-based history sampling");
   flags.AddDouble("lambda", 0.5, "RRRE loss mixing weight (Eq. 15)");
+  flags.AddInt("num_threads", 0,
+               "thread pool size (0 = hardware concurrency, 1 = serial)");
+  flags.AddInt("shard_size", 8,
+               "examples per data-parallel shard (0 = whole-batch serial)");
 }
 
 BenchOptions ReadBenchOptions(const common::FlagParser& flags) {
@@ -66,6 +71,15 @@ BenchOptions ReadBenchOptions(const common::FlagParser& flags) {
   opts.ablate_attention = flags.GetBool("ablate-attention");
   opts.random_sampling = flags.GetBool("random-sampling");
   opts.lambda = flags.GetDouble("lambda");
+  opts.num_threads = flags.GetInt("num_threads");
+  opts.shard_size = flags.GetInt("shard_size");
+  // Apply immediately so every subsequent kernel/trainer call uses it; the
+  // pool size is reported so speedup numbers are attributable.
+  common::ThreadPool::SetGlobalSize(static_cast<int>(opts.num_threads));
+  std::printf("threads: %d (requested %lld), shard_size: %lld\n",
+              common::ThreadPool::GlobalSize(),
+              static_cast<long long>(opts.num_threads),
+              static_cast<long long>(opts.shard_size));
   return opts;
 }
 
@@ -85,6 +99,7 @@ core::RrreConfig DefaultRrreConfig(const BenchOptions& opts, uint64_t seed) {
   c.use_attention = !opts.ablate_attention;
   c.sampling = opts.random_sampling ? data::SamplingStrategy::kRandom
                                     : data::SamplingStrategy::kLatest;
+  c.shard_size = opts.shard_size;
   return c;
 }
 
@@ -104,18 +119,21 @@ std::unique_ptr<baselines::RatingPredictor> MakeRatingModel(
     baselines::DeepCoNN::Config c;
     c.common.epochs = opts.epochs;
     c.common.seed = seed;
+    c.common.shard_size = opts.shard_size;
     return std::make_unique<baselines::DeepCoNN>(c);
   }
   if (name == "narre") {
     baselines::Narre::Config c;
     c.common.epochs = opts.epochs;
     c.common.seed = seed;
+    c.common.shard_size = opts.shard_size;
     return std::make_unique<baselines::Narre>(c);
   }
   if (name == "der") {
     baselines::Der::Config c;
     c.common.epochs = opts.epochs;
     c.common.seed = seed;
+    c.common.shard_size = opts.shard_size;
     return std::make_unique<baselines::Der>(c);
   }
   RRRE_LOG_FATAL << "unknown rating model: " << name;

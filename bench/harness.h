@@ -38,9 +38,11 @@ struct BenchOptions {
   bool ablate_attention = false;   ///< Mean pooling instead of attention.
   bool random_sampling = false;    ///< Random instead of time-based history.
   double lambda = 0.5;             ///< RRRE loss mix.
+  int64_t num_threads = 0;         ///< Global pool size; 0 = hardware.
+  int64_t shard_size = 8;          ///< Data-parallel shard (0 = serial path).
 };
 
-/// Registers --scale/--epochs/--seeds/--seed flags on a parser.
+/// Registers --scale/--epochs/--seeds/--seed/--num_threads flags on a parser.
 /// `default_scale` lets expensive sweeps (Fig. 4) default smaller.
 void RegisterBenchFlags(common::FlagParser& flags, double default_scale = 0.25);
 /// Reads the registered flags back.

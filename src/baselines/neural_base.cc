@@ -1,9 +1,14 @@
 #include "baselines/neural_base.h"
 
 #include <algorithm>
+#include <memory>
+#include <unordered_set>
 
 #include "common/logging.h"
+#include "common/threadpool.h"
 #include "nn/loss.h"
+#include "tensor/grad_sink.h"
+#include "tensor/ops.h"
 #include "text/tokenizer.h"
 #include "text/word2vec.h"
 
@@ -72,9 +77,53 @@ void NeuralRatingBaseline::Fit(const data::ReviewDataset& train) {
         exclude.push_back(config_.exclude_target ? idx : -1);
         targets.push_back(r.rating);
       }
-      Tensor pred = ForwardRating(pairs, exclude, /*training=*/true, rng_);
-      Tensor loss = nn::MseLoss(pred, targets);
-      loss.Backward();
+      if (config_.shard_size <= 0) {
+        Tensor pred = ForwardRating(pairs, exclude, /*training=*/true, rng_);
+        Tensor loss = nn::MseLoss(pred, targets);
+        loss.Backward();
+      } else {
+        // Data-parallel shards, merged in shard order — same scheme as
+        // RrreTrainer::Fit: mean-MSE over the batch decomposes exactly into
+        // sum_s (b_s / B) * MSE_s.
+        const int64_t bsz = end - start;
+        const int64_t ssz = config_.shard_size;
+        const int64_t num_shards = (bsz + ssz - 1) / ssz;
+        Rng batch_rng = rng_.Fork();
+        const std::vector<Tensor> all_params = module()->Parameters();
+        std::vector<std::unique_ptr<tensor::GradSink>> sinks(
+            static_cast<size_t>(num_shards));
+        common::ParallelFor(0, num_shards, 1, [&](int64_t lo, int64_t hi) {
+          for (int64_t s = lo; s < hi; ++s) {
+            const int64_t s0 = s * ssz;
+            const int64_t s1 = std::min(bsz, s0 + ssz);
+            Rng shard_rng = batch_rng.Fork(static_cast<uint64_t>(s));
+            std::vector<std::pair<int64_t, int64_t>> spairs(
+                pairs.begin() + s0, pairs.begin() + s1);
+            std::vector<int64_t> sexclude(exclude.begin() + s0,
+                                          exclude.begin() + s1);
+            std::vector<float> stargets(targets.begin() + s0,
+                                        targets.begin() + s1);
+            Tensor pred =
+                ForwardRating(spairs, sexclude, /*training=*/true, shard_rng);
+            Tensor mse = nn::MseLoss(pred, stargets);
+            const float frac =
+                static_cast<float>(s1 - s0) / static_cast<float>(bsz);
+            Tensor shard_loss = tensor::MulScalar(mse, frac);
+            sinks[static_cast<size_t>(s)] =
+                std::make_unique<tensor::GradSink>(all_params);
+            tensor::GradSink::Scope scope(
+                sinks[static_cast<size_t>(s)].get());
+            shard_loss.Backward();
+          }
+        });
+        std::unordered_set<tensor::internal::TensorImpl*> zeroed;
+        for (const auto& sink : sinks) {
+          for (Tensor t : sink->Touched()) {
+            if (zeroed.insert(t.impl().get()).second) t.ZeroGrad();
+          }
+        }
+        for (const auto& sink : sinks) sink->AccumulateInto();
+      }
       if (config_.grad_clip > 0.0) {
         auto params_ref = optimizer_->params();
         nn::ClipGradNorm(params_ref, config_.grad_clip);
@@ -88,19 +137,29 @@ void NeuralRatingBaseline::Fit(const data::ReviewDataset& train) {
 std::vector<double> NeuralRatingBaseline::PredictRatings(
     const std::vector<std::pair<int64_t, int64_t>>& pairs) {
   RRRE_CHECK(fitted_) << "call Fit() first";
-  std::vector<double> out;
-  out.reserve(pairs.size());
   const int64_t n = static_cast<int64_t>(pairs.size());
-  for (int64_t start = 0; start < n; start += config_.batch_size) {
-    const int64_t end = std::min(n, start + config_.batch_size);
-    std::vector<std::pair<int64_t, int64_t>> chunk(pairs.begin() + start,
-                                                   pairs.begin() + end);
-    std::vector<int64_t> exclude(chunk.size(), -1);
-    Tensor pred = ForwardRating(chunk, exclude, /*training=*/false, rng_);
-    for (int64_t i = 0; i < static_cast<int64_t>(chunk.size()); ++i) {
-      out.push_back(pred.at(i, 0));
+  std::vector<double> out(static_cast<size_t>(n));
+  const int64_t bs = config_.batch_size;
+  const int64_t num_chunks = (n + bs - 1) / bs;
+  // Forward-only chunks with disjoint output ranges; rngs forked serially so
+  // results do not depend on chunk scheduling.
+  std::vector<Rng> chunk_rngs;
+  chunk_rngs.reserve(static_cast<size_t>(num_chunks));
+  for (int64_t c = 0; c < num_chunks; ++c) chunk_rngs.push_back(rng_.Fork());
+  common::ParallelFor(0, num_chunks, 1, [&](int64_t lo, int64_t hi) {
+    for (int64_t c = lo; c < hi; ++c) {
+      const int64_t start = c * bs;
+      const int64_t end = std::min(n, start + bs);
+      std::vector<std::pair<int64_t, int64_t>> chunk(pairs.begin() + start,
+                                                     pairs.begin() + end);
+      std::vector<int64_t> exclude(chunk.size(), -1);
+      Tensor pred = ForwardRating(chunk, exclude, /*training=*/false,
+                                  chunk_rngs[static_cast<size_t>(c)]);
+      for (int64_t i = 0; i < static_cast<int64_t>(chunk.size()); ++i) {
+        out[static_cast<size_t>(start + i)] = pred.at(i, 0);
+      }
     }
-  }
+  });
   return out;
 }
 

@@ -38,6 +38,9 @@ class NeuralRatingBaseline : public RatingPredictor {
     bool freeze_word_vectors = true;
     /// Drop the target review from its own input during training.
     bool exclude_target = true;
+    /// Examples per data-parallel shard; 0 = whole batch on one graph (the
+    /// exact serial path). Same contract as RrreConfig::shard_size.
+    int64_t shard_size = 0;
   };
 
   void Fit(const data::ReviewDataset& train) final;

@@ -111,4 +111,15 @@ std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
 
 Rng Rng::Fork() { return Rng(NextUint64()); }
 
+Rng Rng::Fork(uint64_t stream) const {
+  // Mix the full 256-bit state with the stream id through two splitmix64
+  // rounds. Consecutive stream ids land in unrelated regions of seed space,
+  // and the parent's own sequence is untouched (const).
+  uint64_t sm = s_[0] ^ Rotl(s_[1], 13) ^ Rotl(s_[2], 29) ^ Rotl(s_[3], 41);
+  sm += 0x9e3779b97f4a7c15ULL * (stream + 1);
+  uint64_t seed = SplitMix64(sm);
+  seed ^= SplitMix64(sm);
+  return Rng(seed);
+}
+
 }  // namespace rrre::common

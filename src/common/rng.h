@@ -56,8 +56,18 @@ class Rng {
   std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
 
   /// Derives an independent child generator; used to give each subsystem its
-  /// own stream without coupling their draw sequences.
+  /// own stream without coupling their draw sequences. Advances this
+  /// generator by one draw.
   Rng Fork();
+
+  /// Keyed fork: derives the `stream`-th child of this generator's current
+  /// state WITHOUT advancing it, so Fork(0), Fork(1), ... are stable,
+  /// decorrelated streams from one parent state. The derivation runs the
+  /// (state, stream) pair through splitmix64, is pure 64-bit integer
+  /// arithmetic, and therefore produces identical streams on every platform.
+  /// This is how parallel workers get per-shard randomness that does not
+  /// depend on the number of threads or the order shards execute in.
+  Rng Fork(uint64_t stream) const;
 
  private:
   uint64_t s_[4];

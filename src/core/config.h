@@ -36,6 +36,14 @@ struct RrreConfig {
   double dropout = 0.0;
   double grad_clip = 5.0;
   uint64_t seed = 42;
+  /// Examples per data-parallel shard. 0 = whole batch on one graph (the
+  /// exact serial code path). When > 0, each minibatch is partitioned into
+  /// ceil(B / shard_size) shards that build features, run forward and run
+  /// backward concurrently on the global thread pool; shard gradients are
+  /// merged in shard order before the single optimizer step, so results do
+  /// not depend on the number of threads (see DESIGN.md, "Parallel
+  /// execution").
+  int64_t shard_size = 0;
 
   // -- Text pipeline -----------------------------------------------------------
   int64_t vocab_min_count = 2;

@@ -2,11 +2,15 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <memory>
+#include <unordered_set>
 
 #include "common/io.h"
 #include "common/logging.h"
+#include "common/threadpool.h"
 #include "common/timer.h"
 #include "nn/loss.h"
+#include "tensor/grad_sink.h"
 #include "tensor/ops.h"
 #include "text/tokenizer.h"
 #include "text/word2vec.h"
@@ -99,36 +103,140 @@ void RrreTrainer::Fit(const data::ReviewDataset& train,
         weights.push_back(config_.biased_loss ? (r.is_benign() ? 1.0f : 0.0f)
                                               : 1.0f);
       }
-      RrreModel::Batch batch = features_->Build(pairs, exclude, rng_);
-      RrreModel::Output out = model_->Forward(batch, /*training=*/true, &rng_);
+      if (config_.shard_size <= 0) {
+        // Whole-batch path: one graph, one backward.
+        RrreModel::Batch batch = features_->Build(pairs, exclude, rng_);
+        RrreModel::Output out =
+            model_->Forward(batch, /*training=*/true, &rng_);
 
-      // loss1 (Eq. 11): reliability cross-entropy; label 1 = benign.
-      Tensor loss1 =
-          tensor::CrossEntropyWithLogits(out.reliability_logits, labels);
-      // loss2 (Eq. 14 / Eq. 13 for RRRE^-): (weighted) MSE + L2.
-      Tensor mse = nn::WeightedMseLoss(out.rating, targets, weights,
-                                       nn::WeightedMseNorm::kBatchSize);
-      Tensor loss2 = mse;
-      if (config_.gamma > 0.0) {
-        loss2 = tensor::Add(
-            loss2, tensor::MulScalar(nn::L2Penalty(optimizer_->params()),
-                                     static_cast<float>(config_.gamma)));
+        // loss1 (Eq. 11): reliability cross-entropy; label 1 = benign.
+        Tensor loss1 =
+            tensor::CrossEntropyWithLogits(out.reliability_logits, labels);
+        // loss2 (Eq. 14 / Eq. 13 for RRRE^-): (weighted) MSE + L2.
+        Tensor mse = nn::WeightedMseLoss(out.rating, targets, weights,
+                                         nn::WeightedMseNorm::kBatchSize);
+        Tensor loss2 = mse;
+        if (config_.gamma > 0.0) {
+          loss2 = tensor::Add(
+              loss2, tensor::MulScalar(nn::L2Penalty(optimizer_->params()),
+                                       static_cast<float>(config_.gamma)));
+        }
+        // L = lambda*loss1 + (1-lambda)*loss2 (Eq. 15).
+        Tensor loss = tensor::Add(
+            tensor::MulScalar(loss1, static_cast<float>(config_.lambda)),
+            tensor::MulScalar(loss2,
+                              static_cast<float>(1.0 - config_.lambda)));
+
+        loss.Backward();
+        if (config_.grad_clip > 0.0) {
+          auto params_ref = optimizer_->params();
+          nn::ClipGradNorm(params_ref, config_.grad_clip);
+        }
+        optimizer_->Step();
+
+        sum_loss += loss.item();
+        sum_loss1 += loss1.item();
+        sum_loss2 += loss2.item();
+      } else {
+        // Data-parallel path: the batch is split into fixed-size shards that
+        // run forward + backward concurrently, each on a private graph with
+        // gradients redirected into a per-shard GradSink. The decomposition
+        // is exact: with shard fractions f_s = b_s / B,
+        //   lambda*CE_B + (1-lambda)*MSE_B
+        //     = sum_s f_s * (lambda*CE_s + (1-lambda)*MSE_s),
+        // so merging shard gradients in shard order and stepping once
+        // reproduces the whole-batch objective. Shard randomness comes from
+        // keyed forks of one per-batch rng, making the result independent of
+        // the thread count and of shard scheduling order.
+        const int64_t bsz = end - start;
+        const int64_t ssz = config_.shard_size;
+        const int64_t num_shards = (bsz + ssz - 1) / ssz;
+        const float lam = static_cast<float>(config_.lambda);
+        Rng batch_rng = rng_.Fork();
+        const std::vector<Tensor> all_params = model_->Parameters();
+        std::vector<std::unique_ptr<tensor::GradSink>> sinks(
+            static_cast<size_t>(num_shards));
+        std::vector<double> ce_vals(static_cast<size_t>(num_shards), 0.0);
+        std::vector<double> mse_vals(static_cast<size_t>(num_shards), 0.0);
+        common::ParallelFor(0, num_shards, 1, [&](int64_t lo, int64_t hi) {
+          for (int64_t s = lo; s < hi; ++s) {
+            const int64_t s0 = s * ssz;
+            const int64_t s1 = std::min(bsz, s0 + ssz);
+            Rng shard_rng = batch_rng.Fork(static_cast<uint64_t>(s));
+            std::vector<std::pair<int64_t, int64_t>> spairs(
+                pairs.begin() + s0, pairs.begin() + s1);
+            std::vector<int64_t> sexclude(exclude.begin() + s0,
+                                          exclude.begin() + s1);
+            std::vector<float> stargets(targets.begin() + s0,
+                                        targets.begin() + s1);
+            std::vector<int64_t> slabels(labels.begin() + s0,
+                                         labels.begin() + s1);
+            std::vector<float> sweights(weights.begin() + s0,
+                                        weights.begin() + s1);
+            RrreModel::Batch sbatch =
+                features_->Build(spairs, sexclude, shard_rng);
+            RrreModel::Output sout =
+                model_->Forward(sbatch, /*training=*/true, &shard_rng);
+            Tensor ce = tensor::CrossEntropyWithLogits(
+                sout.reliability_logits, slabels);
+            Tensor mse = nn::WeightedMseLoss(sout.rating, stargets, sweights,
+                                             nn::WeightedMseNorm::kBatchSize);
+            const float frac =
+                static_cast<float>(s1 - s0) / static_cast<float>(bsz);
+            Tensor shard_loss =
+                tensor::Add(tensor::MulScalar(ce, lam * frac),
+                            tensor::MulScalar(mse, (1.0f - lam) * frac));
+            sinks[static_cast<size_t>(s)] =
+                std::make_unique<tensor::GradSink>(all_params);
+            tensor::GradSink::Scope scope(sinks[static_cast<size_t>(s)].get());
+            shard_loss.Backward();
+            ce_vals[static_cast<size_t>(s)] = ce.item() * frac;
+            mse_vals[static_cast<size_t>(s)] = mse.item() * frac;
+          }
+        });
+
+        // The L2 term lives on the master graph. Its Backward() zeroes the
+        // optimizer parameters' real grads (providing the fresh-grad
+        // guarantee the whole-batch Backward gave) and must therefore run
+        // BEFORE the shard sinks are merged.
+        double l2_val = 0.0;
+        std::unordered_set<tensor::internal::TensorImpl*> zeroed;
+        if (config_.gamma > 0.0) {
+          Tensor l2_pen = nn::L2Penalty(optimizer_->params());
+          Tensor l2_scaled = tensor::MulScalar(
+              l2_pen, (1.0f - lam) * static_cast<float>(config_.gamma));
+          l2_scaled.Backward();
+          l2_val = l2_pen.item();
+          for (const Tensor& p : optimizer_->params()) {
+            zeroed.insert(p.impl().get());
+          }
+        }
+        // Any touched parameter outside the L2 graph (e.g. a frozen word
+        // table) still needs a fresh grad before merging.
+        for (const auto& sink : sinks) {
+          for (Tensor t : sink->Touched()) {
+            if (zeroed.insert(t.impl().get()).second) t.ZeroGrad();
+          }
+        }
+        for (const auto& sink : sinks) sink->AccumulateInto();
+        if (config_.grad_clip > 0.0) {
+          auto params_ref = optimizer_->params();
+          nn::ClipGradNorm(params_ref, config_.grad_clip);
+        }
+        optimizer_->Step();
+
+        double ce_full = 0.0;
+        double mse_full = 0.0;
+        for (int64_t s = 0; s < num_shards; ++s) {
+          ce_full += ce_vals[static_cast<size_t>(s)];
+          mse_full += mse_vals[static_cast<size_t>(s)];
+        }
+        const double loss2_val = mse_full + config_.gamma * l2_val;
+        sum_loss +=
+            config_.lambda * ce_full + (1.0 - config_.lambda) * loss2_val;
+        sum_loss1 += ce_full;
+        sum_loss2 += loss2_val;
       }
-      // L = lambda*loss1 + (1-lambda)*loss2 (Eq. 15).
-      Tensor loss = tensor::Add(
-          tensor::MulScalar(loss1, static_cast<float>(config_.lambda)),
-          tensor::MulScalar(loss2, static_cast<float>(1.0 - config_.lambda)));
-
-      loss.Backward();
-      if (config_.grad_clip > 0.0) {
-        auto params_ref = optimizer_->params();
-        nn::ClipGradNorm(params_ref, config_.grad_clip);
-      }
-      optimizer_->Step();
-
-      sum_loss += loss.item();
-      sum_loss1 += loss1.item();
-      sum_loss2 += loss2.item();
       ++batches;
     }
     if (callback) {
@@ -147,21 +255,35 @@ RrreTrainer::Predictions RrreTrainer::PredictPairs(
     const std::vector<std::pair<int64_t, int64_t>>& pairs) {
   RRRE_CHECK(fitted()) << "call Fit() first";
   Predictions out;
-  out.ratings.reserve(pairs.size());
-  out.reliabilities.reserve(pairs.size());
   const int64_t n = static_cast<int64_t>(pairs.size());
-  for (int64_t start = 0; start < n; start += config_.batch_size) {
-    const int64_t end = std::min(n, start + config_.batch_size);
-    std::vector<std::pair<int64_t, int64_t>> chunk(
-        pairs.begin() + start, pairs.begin() + end);
-    RrreModel::Batch batch = features_->Build(chunk, rng_);
-    RrreModel::Output fwd =
-        model_->Forward(batch, /*training=*/false, nullptr);
-    for (int64_t i = 0; i < batch.batch_size; ++i) {
-      out.ratings.push_back(fwd.rating.at(i, 0) + rating_offset_);
-      out.reliabilities.push_back(fwd.reliability.at(i, 1));
+  out.ratings.resize(static_cast<size_t>(n));
+  out.reliabilities.resize(static_cast<size_t>(n));
+  const int64_t bs = config_.batch_size;
+  const int64_t num_chunks = (n + bs - 1) / bs;
+  // Chunks are forward-only and write disjoint output ranges, so they run
+  // concurrently; each gets its rng forked serially up front so history
+  // sampling does not depend on chunk scheduling.
+  std::vector<Rng> chunk_rngs;
+  chunk_rngs.reserve(static_cast<size_t>(num_chunks));
+  for (int64_t c = 0; c < num_chunks; ++c) chunk_rngs.push_back(rng_.Fork());
+  common::ParallelFor(0, num_chunks, 1, [&](int64_t lo, int64_t hi) {
+    for (int64_t c = lo; c < hi; ++c) {
+      const int64_t start = c * bs;
+      const int64_t end = std::min(n, start + bs);
+      std::vector<std::pair<int64_t, int64_t>> chunk(pairs.begin() + start,
+                                                     pairs.begin() + end);
+      RrreModel::Batch batch =
+          features_->Build(chunk, chunk_rngs[static_cast<size_t>(c)]);
+      RrreModel::Output fwd =
+          model_->Forward(batch, /*training=*/false, nullptr);
+      for (int64_t i = 0; i < batch.batch_size; ++i) {
+        out.ratings[static_cast<size_t>(start + i)] =
+            fwd.rating.at(i, 0) + rating_offset_;
+        out.reliabilities[static_cast<size_t>(start + i)] =
+            fwd.reliability.at(i, 1);
+      }
     }
-  }
+  });
   return out;
 }
 
@@ -182,24 +304,35 @@ RrreTrainer::Predictions RrreTrainer::PredictDatasetTransductive(
       data::ReviewDataset::Merge(*train_, reviews);
   FeatureBuilder merged_features(config_, &merged, vocab_.get());
   Predictions out;
-  out.ratings.reserve(static_cast<size_t>(reviews.size()));
-  out.reliabilities.reserve(static_cast<size_t>(reviews.size()));
   const int64_t n = reviews.size();
-  for (int64_t start = 0; start < n; start += config_.batch_size) {
-    const int64_t end = std::min(n, start + config_.batch_size);
-    std::vector<std::pair<int64_t, int64_t>> chunk;
-    for (int64_t i = start; i < end; ++i) {
-      const data::Review& r = reviews.review(i);
-      chunk.emplace_back(r.user, r.item);
+  out.ratings.resize(static_cast<size_t>(n));
+  out.reliabilities.resize(static_cast<size_t>(n));
+  const int64_t bs = config_.batch_size;
+  const int64_t num_chunks = (n + bs - 1) / bs;
+  std::vector<Rng> chunk_rngs;
+  chunk_rngs.reserve(static_cast<size_t>(num_chunks));
+  for (int64_t c = 0; c < num_chunks; ++c) chunk_rngs.push_back(rng_.Fork());
+  common::ParallelFor(0, num_chunks, 1, [&](int64_t lo, int64_t hi) {
+    for (int64_t c = lo; c < hi; ++c) {
+      const int64_t start = c * bs;
+      const int64_t end = std::min(n, start + bs);
+      std::vector<std::pair<int64_t, int64_t>> chunk;
+      for (int64_t i = start; i < end; ++i) {
+        const data::Review& r = reviews.review(i);
+        chunk.emplace_back(r.user, r.item);
+      }
+      RrreModel::Batch batch =
+          merged_features.Build(chunk, chunk_rngs[static_cast<size_t>(c)]);
+      RrreModel::Output fwd =
+          model_->Forward(batch, /*training=*/false, nullptr);
+      for (int64_t i = 0; i < batch.batch_size; ++i) {
+        out.ratings[static_cast<size_t>(start + i)] =
+            fwd.rating.at(i, 0) + rating_offset_;
+        out.reliabilities[static_cast<size_t>(start + i)] =
+            fwd.reliability.at(i, 1);
+      }
     }
-    RrreModel::Batch batch = merged_features.Build(chunk, rng_);
-    RrreModel::Output fwd =
-        model_->Forward(batch, /*training=*/false, nullptr);
-    for (int64_t i = 0; i < batch.batch_size; ++i) {
-      out.ratings.push_back(fwd.rating.at(i, 0) + rating_offset_);
-      out.reliabilities.push_back(fwd.reliability.at(i, 1));
-    }
-  }
+  });
   return out;
 }
 

@@ -1,0 +1,70 @@
+#include "tensor/grad_sink.h"
+
+namespace rrre::tensor {
+
+using internal::TensorImpl;
+
+namespace {
+
+thread_local GradSink* tls_active_sink = nullptr;
+
+}  // namespace
+
+GradSink::GradSink(const std::vector<Tensor>& leaves) {
+  leaves_.reserve(leaves.size());
+  buffers_.reserve(leaves.size());
+  for (const Tensor& leaf : leaves) {
+    RRRE_CHECK(leaf.defined());
+    // Only the impl pointers are stored; no buffer is allocated until a
+    // backward pass touches the leaf.
+    if (buffers_.emplace(leaf.impl().get(), std::vector<float>()).second) {
+      leaves_.push_back(leaf);
+    }
+  }
+}
+
+GradSink::Scope::Scope(GradSink* sink) : previous_(tls_active_sink) {
+  tls_active_sink = sink;
+}
+
+GradSink::Scope::~Scope() { tls_active_sink = previous_; }
+
+float* GradSink::ActiveFind(TensorImpl* node) {
+  GradSink* sink = tls_active_sink;
+  if (sink == nullptr) return nullptr;
+  auto it = sink->buffers_.find(node);
+  if (it == sink->buffers_.end()) return nullptr;
+  if (it->second.size() != node->data.size()) {
+    it->second.assign(node->data.size(), 0.0f);
+  }
+  return it->second.data();
+}
+
+bool GradSink::ActiveCovers(const TensorImpl* node) {
+  GradSink* sink = tls_active_sink;
+  if (sink == nullptr) return false;
+  return sink->buffers_.count(const_cast<TensorImpl*>(node)) > 0;
+}
+
+void GradSink::AccumulateInto() {
+  for (const Tensor& leaf : leaves_) {
+    TensorImpl* impl = leaf.impl().get();
+    const std::vector<float>& buf = buffers_[impl];
+    if (buf.empty()) continue;
+    impl->EnsureGrad();
+    float* dst = impl->grad.data();
+    const size_t n = buf.size();
+    for (size_t i = 0; i < n; ++i) dst[i] += buf[i];
+  }
+}
+
+std::vector<Tensor> GradSink::Touched() const {
+  std::vector<Tensor> out;
+  for (const Tensor& leaf : leaves_) {
+    auto it = buffers_.find(leaf.impl().get());
+    if (it != buffers_.end() && !it->second.empty()) out.push_back(leaf);
+  }
+  return out;
+}
+
+}  // namespace rrre::tensor

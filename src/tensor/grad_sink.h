@@ -1,0 +1,82 @@
+#ifndef RRRE_TENSOR_GRAD_SINK_H_
+#define RRRE_TENSOR_GRAD_SINK_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace rrre::tensor {
+
+/// Redirects gradient accumulation for a fixed set of leaf tensors (model
+/// parameters) into private per-sink buffers, so several backward passes
+/// over graphs that share the same parameter leaves can run concurrently —
+/// the data-parallel trainer's building block.
+///
+/// Usage (one sink per shard, activated on the thread running the shard):
+///
+///   GradSink sink(model.Parameters());
+///   {
+///     GradSink::Scope scope(&sink);   // thread-local activation
+///     shard_loss.Backward();          // leaf grads land in the sink
+///   }
+///   ...
+///   sink.AccumulateInto();            // serial, in shard order
+///
+/// While a scope is active on a thread, every write the backward closures
+/// would make to a covered leaf's `grad` goes to the sink's buffer instead;
+/// Backward() also skips zeroing covered leaves (sink buffers start zeroed).
+/// Buffers are allocated lazily on first touch, so a parameter that never
+/// participates in the shard's graph stays untouched — preserving the
+/// optimizer's "no live grad, no update" semantics.
+///
+/// A sink must only be activated on one thread at a time and is not
+/// self-synchronizing; the caller orders AccumulateInto calls.
+class GradSink {
+ public:
+  explicit GradSink(const std::vector<Tensor>& leaves);
+
+  GradSink(const GradSink&) = delete;
+  GradSink& operator=(const GradSink&) = delete;
+  GradSink(GradSink&&) = default;
+  GradSink& operator=(GradSink&&) = default;
+
+  /// RAII thread-local activation. Scopes nest (inner wins).
+  class Scope {
+   public:
+    explicit Scope(GradSink* sink);
+    ~Scope();
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    GradSink* previous_;
+  };
+
+  /// Buffer of the active sink covering `node` on this thread, allocated and
+  /// zeroed on first touch; nullptr when no active sink covers it. Called
+  /// from the backward closures in ops.cc.
+  static float* ActiveFind(internal::TensorImpl* node);
+
+  /// True when the active sink on this thread covers `node` (without
+  /// touching it). Used by Tensor::Backward to skip zeroing shared leaves.
+  static bool ActiveCovers(const internal::TensorImpl* node);
+
+  /// Adds every touched buffer into its leaf's real grad (EnsureGrad'ed
+  /// first), in the leaf order given at construction. Call serially.
+  void AccumulateInto();
+
+  /// Leaves whose buffers were touched by a backward pass, in construction
+  /// order. Valid until the sink is destroyed.
+  std::vector<Tensor> Touched() const;
+
+ private:
+  /// Construction order of the leaves, for deterministic accumulation.
+  std::vector<Tensor> leaves_;
+  /// Leaf impl -> lazily allocated grad buffer (empty until touched).
+  std::unordered_map<internal::TensorImpl*, std::vector<float>> buffers_;
+};
+
+}  // namespace rrre::tensor
+
+#endif  // RRRE_TENSOR_GRAD_SINK_H_

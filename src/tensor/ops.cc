@@ -4,11 +4,30 @@
 #include <cmath>
 #include <limits>
 
+#include "common/threadpool.h"
+#include "tensor/grad_sink.h"
+
 namespace rrre::tensor {
 
+using common::ParallelFor;
 using internal::TensorImpl;
 
 namespace {
+
+// Determinism contract of every kernel here: the arithmetic is a function of
+// the operand shapes only, never of the thread count. Loops whose iterations
+// write disjoint outputs are split freely; reductions are computed over
+// fixed-grain chunks whose partials are combined in chunk order, so results
+// are bitwise identical whether the chunks run on 1 thread or 16.
+
+/// Elements per chunk for cheap elementwise kernels.
+constexpr int64_t kElemGrain = 1 << 14;
+
+/// Rows per chunk for row-partitioned kernels, sized so a chunk carries
+/// roughly kElemGrain scalar operations. Depends only on the shape.
+int64_t RowGrain(int64_t cost_per_row) {
+  return std::max<int64_t>(1, kElemGrain / std::max<int64_t>(1, cost_per_row));
+}
 
 /// Creates a result node whose parents are `parents`; requires_grad is
 /// inherited from any parent.
@@ -25,12 +44,17 @@ std::shared_ptr<TensorImpl> MakeNode(const Shape& shape,
   return impl;
 }
 
-/// True when the parent participates in differentiation and needs its grad
-/// buffer ready for accumulation.
-bool WantsGrad(TensorImpl* node) {
-  if (!node->requires_grad) return false;
+/// Buffer gradient contributions for `node` accumulate into, or nullptr when
+/// the node does not participate in differentiation. When a GradSink scope
+/// is active on this thread and covers the node (a shared parameter leaf in
+/// a data-parallel shard), the sink's private buffer is returned instead of
+/// the node's own grad — resolve this on the thread running backward, before
+/// fanning chunks out to the pool.
+float* GradBuf(TensorImpl* node) {
+  if (!node->requires_grad) return nullptr;
+  if (float* redirected = GradSink::ActiveFind(node)) return redirected;
   node->EnsureGrad();
-  return true;
+  return node->grad.data();
 }
 
 void CheckSameShape(const Tensor& a, const Tensor& b) {
@@ -38,28 +62,34 @@ void CheckSameShape(const Tensor& a, const Tensor& b) {
       << ShapeToString(a.shape()) << " vs " << ShapeToString(b.shape());
 }
 
-using BinaryForward = float (*)(float, float);
-
 }  // namespace
 
 Tensor Add(const Tensor& a, const Tensor& b) {
   CheckSameShape(a, b);
   auto out = MakeNode(a.shape(), {a, b});
-  const size_t n = out->data.size();
+  const int64_t n = static_cast<int64_t>(out->data.size());
   const float* pa = a.data();
   const float* pb = b.data();
-  for (size_t i = 0; i < n; ++i) out->data[i] = pa[i] + pb[i];
+  float* po = out->data.data();
+  ParallelFor(0, n, kElemGrain, [=](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) po[i] = pa[i] + pb[i];
+  });
   if (out->requires_grad) {
     TensorImpl* o = out.get();
     TensorImpl* ia = a.impl().get();
     TensorImpl* ib = b.impl().get();
     out->backward_fn = [o, ia, ib, n]() {
-      if (WantsGrad(ia)) {
-        for (size_t i = 0; i < n; ++i) ia->grad[i] += o->grad[i];
-      }
-      if (WantsGrad(ib)) {
-        for (size_t i = 0; i < n; ++i) ib->grad[i] += o->grad[i];
-      }
+      float* ga = GradBuf(ia);
+      float* gb = GradBuf(ib);
+      const float* go = o->grad.data();
+      ParallelFor(0, n, kElemGrain, [=](int64_t lo, int64_t hi) {
+        if (ga != nullptr) {
+          for (int64_t i = lo; i < hi; ++i) ga[i] += go[i];
+        }
+        if (gb != nullptr) {
+          for (int64_t i = lo; i < hi; ++i) gb[i] += go[i];
+        }
+      });
     };
   }
   return Tensor::WrapImpl(out);
@@ -68,21 +98,29 @@ Tensor Add(const Tensor& a, const Tensor& b) {
 Tensor Sub(const Tensor& a, const Tensor& b) {
   CheckSameShape(a, b);
   auto out = MakeNode(a.shape(), {a, b});
-  const size_t n = out->data.size();
+  const int64_t n = static_cast<int64_t>(out->data.size());
   const float* pa = a.data();
   const float* pb = b.data();
-  for (size_t i = 0; i < n; ++i) out->data[i] = pa[i] - pb[i];
+  float* po = out->data.data();
+  ParallelFor(0, n, kElemGrain, [=](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) po[i] = pa[i] - pb[i];
+  });
   if (out->requires_grad) {
     TensorImpl* o = out.get();
     TensorImpl* ia = a.impl().get();
     TensorImpl* ib = b.impl().get();
     out->backward_fn = [o, ia, ib, n]() {
-      if (WantsGrad(ia)) {
-        for (size_t i = 0; i < n; ++i) ia->grad[i] += o->grad[i];
-      }
-      if (WantsGrad(ib)) {
-        for (size_t i = 0; i < n; ++i) ib->grad[i] -= o->grad[i];
-      }
+      float* ga = GradBuf(ia);
+      float* gb = GradBuf(ib);
+      const float* go = o->grad.data();
+      ParallelFor(0, n, kElemGrain, [=](int64_t lo, int64_t hi) {
+        if (ga != nullptr) {
+          for (int64_t i = lo; i < hi; ++i) ga[i] += go[i];
+        }
+        if (gb != nullptr) {
+          for (int64_t i = lo; i < hi; ++i) gb[i] -= go[i];
+        }
+      });
     };
   }
   return Tensor::WrapImpl(out);
@@ -91,21 +129,31 @@ Tensor Sub(const Tensor& a, const Tensor& b) {
 Tensor Mul(const Tensor& a, const Tensor& b) {
   CheckSameShape(a, b);
   auto out = MakeNode(a.shape(), {a, b});
-  const size_t n = out->data.size();
+  const int64_t n = static_cast<int64_t>(out->data.size());
   const float* pa = a.data();
   const float* pb = b.data();
-  for (size_t i = 0; i < n; ++i) out->data[i] = pa[i] * pb[i];
+  float* po = out->data.data();
+  ParallelFor(0, n, kElemGrain, [=](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) po[i] = pa[i] * pb[i];
+  });
   if (out->requires_grad) {
     TensorImpl* o = out.get();
     TensorImpl* ia = a.impl().get();
     TensorImpl* ib = b.impl().get();
     out->backward_fn = [o, ia, ib, n]() {
-      if (WantsGrad(ia)) {
-        for (size_t i = 0; i < n; ++i) ia->grad[i] += o->grad[i] * ib->data[i];
-      }
-      if (WantsGrad(ib)) {
-        for (size_t i = 0; i < n; ++i) ib->grad[i] += o->grad[i] * ia->data[i];
-      }
+      float* ga = GradBuf(ia);
+      float* gb = GradBuf(ib);
+      const float* go = o->grad.data();
+      const float* da = ia->data.data();
+      const float* db = ib->data.data();
+      ParallelFor(0, n, kElemGrain, [=](int64_t lo, int64_t hi) {
+        if (ga != nullptr) {
+          for (int64_t i = lo; i < hi; ++i) ga[i] += go[i] * db[i];
+        }
+        if (gb != nullptr) {
+          for (int64_t i = lo; i < hi; ++i) gb[i] += go[i] * da[i];
+        }
+      });
     };
   }
   return Tensor::WrapImpl(out);
@@ -114,24 +162,33 @@ Tensor Mul(const Tensor& a, const Tensor& b) {
 Tensor Div(const Tensor& a, const Tensor& b) {
   CheckSameShape(a, b);
   auto out = MakeNode(a.shape(), {a, b});
-  const size_t n = out->data.size();
+  const int64_t n = static_cast<int64_t>(out->data.size());
   const float* pa = a.data();
   const float* pb = b.data();
-  for (size_t i = 0; i < n; ++i) out->data[i] = pa[i] / pb[i];
+  float* po = out->data.data();
+  ParallelFor(0, n, kElemGrain, [=](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) po[i] = pa[i] / pb[i];
+  });
   if (out->requires_grad) {
     TensorImpl* o = out.get();
     TensorImpl* ia = a.impl().get();
     TensorImpl* ib = b.impl().get();
     out->backward_fn = [o, ia, ib, n]() {
-      if (WantsGrad(ia)) {
-        for (size_t i = 0; i < n; ++i) ia->grad[i] += o->grad[i] / ib->data[i];
-      }
-      if (WantsGrad(ib)) {
-        for (size_t i = 0; i < n; ++i) {
-          ib->grad[i] -=
-              o->grad[i] * ia->data[i] / (ib->data[i] * ib->data[i]);
+      float* ga = GradBuf(ia);
+      float* gb = GradBuf(ib);
+      const float* go = o->grad.data();
+      const float* da = ia->data.data();
+      const float* db = ib->data.data();
+      ParallelFor(0, n, kElemGrain, [=](int64_t lo, int64_t hi) {
+        if (ga != nullptr) {
+          for (int64_t i = lo; i < hi; ++i) ga[i] += go[i] / db[i];
         }
-      }
+        if (gb != nullptr) {
+          for (int64_t i = lo; i < hi; ++i) {
+            gb[i] -= go[i] * da[i] / (db[i] * db[i]);
+          }
+        }
+      });
     };
   }
   return Tensor::WrapImpl(out);
@@ -145,26 +202,42 @@ Tensor AddBias(const Tensor& a, const Tensor& bias) {
   const int64_t rows = a.numel() / n;
   const float* pa = a.data();
   const float* pb = bias.data();
-  for (int64_t r = 0; r < rows; ++r) {
-    for (int64_t j = 0; j < n; ++j) {
-      out->data[static_cast<size_t>(r * n + j)] = pa[r * n + j] + pb[j];
+  float* po = out->data.data();
+  ParallelFor(0, rows, RowGrain(n), [=](int64_t lo, int64_t hi) {
+    for (int64_t r = lo; r < hi; ++r) {
+      for (int64_t j = 0; j < n; ++j) po[r * n + j] = pa[r * n + j] + pb[j];
     }
-  }
+  });
   if (out->requires_grad) {
     TensorImpl* o = out.get();
     TensorImpl* ia = a.impl().get();
     TensorImpl* ib = bias.impl().get();
     out->backward_fn = [o, ia, ib, rows, n]() {
-      if (WantsGrad(ia)) {
-        const size_t total = static_cast<size_t>(rows * n);
-        for (size_t i = 0; i < total; ++i) ia->grad[i] += o->grad[i];
+      const float* go = o->grad.data();
+      if (float* ga = GradBuf(ia)) {
+        const int64_t total = rows * n;
+        ParallelFor(0, total, kElemGrain, [=](int64_t lo, int64_t hi) {
+          for (int64_t i = lo; i < hi; ++i) ga[i] += go[i];
+        });
       }
-      if (WantsGrad(ib)) {
-        for (int64_t r = 0; r < rows; ++r) {
-          for (int64_t j = 0; j < n; ++j) {
-            ib->grad[static_cast<size_t>(j)] +=
-                o->grad[static_cast<size_t>(r * n + j)];
+      if (float* gb = GradBuf(ib)) {
+        // Bias grad is a cross-row reduction: fixed-grain chunk partials,
+        // combined in chunk order.
+        const int64_t grain = RowGrain(n);
+        const int64_t chunks = (rows + grain - 1) / grain;
+        std::vector<std::vector<float>> partials(
+            static_cast<size_t>(chunks));
+        ParallelFor(0, rows, grain, [&, grain](int64_t lo, int64_t hi) {
+          auto& part = partials[static_cast<size_t>(lo / grain)];
+          part.assign(static_cast<size_t>(n), 0.0f);
+          for (int64_t r = lo; r < hi; ++r) {
+            for (int64_t j = 0; j < n; ++j) {
+              part[static_cast<size_t>(j)] += go[r * n + j];
+            }
           }
+        });
+        for (const auto& part : partials) {
+          for (int64_t j = 0; j < n; ++j) gb[j] += part[static_cast<size_t>(j)];
         }
       }
     };
@@ -174,15 +247,21 @@ Tensor AddBias(const Tensor& a, const Tensor& bias) {
 
 Tensor AddScalar(const Tensor& a, float s) {
   auto out = MakeNode(a.shape(), {a});
-  const size_t n = out->data.size();
+  const int64_t n = static_cast<int64_t>(out->data.size());
   const float* pa = a.data();
-  for (size_t i = 0; i < n; ++i) out->data[i] = pa[i] + s;
+  float* po = out->data.data();
+  ParallelFor(0, n, kElemGrain, [=](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) po[i] = pa[i] + s;
+  });
   if (out->requires_grad) {
     TensorImpl* o = out.get();
     TensorImpl* ia = a.impl().get();
     out->backward_fn = [o, ia, n]() {
-      if (WantsGrad(ia)) {
-        for (size_t i = 0; i < n; ++i) ia->grad[i] += o->grad[i];
+      if (float* ga = GradBuf(ia)) {
+        const float* go = o->grad.data();
+        ParallelFor(0, n, kElemGrain, [=](int64_t lo, int64_t hi) {
+          for (int64_t i = lo; i < hi; ++i) ga[i] += go[i];
+        });
       }
     };
   }
@@ -191,15 +270,21 @@ Tensor AddScalar(const Tensor& a, float s) {
 
 Tensor MulScalar(const Tensor& a, float s) {
   auto out = MakeNode(a.shape(), {a});
-  const size_t n = out->data.size();
+  const int64_t n = static_cast<int64_t>(out->data.size());
   const float* pa = a.data();
-  for (size_t i = 0; i < n; ++i) out->data[i] = pa[i] * s;
+  float* po = out->data.data();
+  ParallelFor(0, n, kElemGrain, [=](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) po[i] = pa[i] * s;
+  });
   if (out->requires_grad) {
     TensorImpl* o = out.get();
     TensorImpl* ia = a.impl().get();
     out->backward_fn = [o, ia, n, s]() {
-      if (WantsGrad(ia)) {
-        for (size_t i = 0; i < n; ++i) ia->grad[i] += o->grad[i] * s;
+      if (float* ga = GradBuf(ia)) {
+        const float* go = o->grad.data();
+        ParallelFor(0, n, kElemGrain, [=](int64_t lo, int64_t hi) {
+          for (int64_t i = lo; i < hi; ++i) ga[i] += go[i] * s;
+        });
       }
     };
   }
@@ -215,17 +300,25 @@ namespace {
 template <typename Fwd, typename DerivFromOut>
 Tensor UnaryFromOutput(const Tensor& a, Fwd fwd, DerivFromOut deriv) {
   auto out = MakeNode(a.shape(), {a});
-  const size_t n = out->data.size();
+  const int64_t n = static_cast<int64_t>(out->data.size());
   const float* pa = a.data();
-  for (size_t i = 0; i < n; ++i) out->data[i] = fwd(pa[i]);
+  float* po = out->data.data();
+  ParallelFor(0, n, kElemGrain, [=](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) po[i] = fwd(pa[i]);
+  });
   if (out->requires_grad) {
     TensorImpl* o = out.get();
     TensorImpl* ia = a.impl().get();
     out->backward_fn = [o, ia, n, deriv]() {
-      if (WantsGrad(ia)) {
-        for (size_t i = 0; i < n; ++i) {
-          ia->grad[i] += o->grad[i] * deriv(o->data[i], ia->data[i]);
-        }
+      if (float* ga = GradBuf(ia)) {
+        const float* go = o->grad.data();
+        const float* yo = o->data.data();
+        const float* xa = ia->data.data();
+        ParallelFor(0, n, kElemGrain, [=](int64_t lo, int64_t hi) {
+          for (int64_t i = lo; i < hi; ++i) {
+            ga[i] += go[i] * deriv(yo[i], xa[i]);
+          }
+        });
       }
     };
   }
@@ -298,47 +391,59 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = out->data.data();
-  // i-k-j loop order: streams through B and C rows for cache friendliness.
-  for (int64_t i = 0; i < m; ++i) {
-    for (int64_t kk = 0; kk < k; ++kk) {
-      const float aik = pa[i * k + kk];
-      if (aik == 0.0f) continue;
-      const float* brow = pb + kk * n;
-      float* crow = pc + i * n;
-      for (int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+  // Row-partitioned i-k-j loops: each output row is produced by exactly one
+  // chunk with the serial accumulation order, so the forward value does not
+  // depend on the thread count.
+  ParallelFor(0, m, RowGrain(k * n), [=](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      for (int64_t kk = 0; kk < k; ++kk) {
+        const float aik = pa[i * k + kk];
+        if (aik == 0.0f) continue;
+        const float* brow = pb + kk * n;
+        float* crow = pc + i * n;
+        for (int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+      }
     }
-  }
+  });
   if (out->requires_grad) {
     TensorImpl* o = out.get();
     TensorImpl* ia = a.impl().get();
     TensorImpl* ib = b.impl().get();
     out->backward_fn = [o, ia, ib, m, k, n]() {
-      // dA = dC * B^T
-      if (WantsGrad(ia)) {
-        for (int64_t i = 0; i < m; ++i) {
-          for (int64_t j = 0; j < n; ++j) {
-            const float g = o->grad[static_cast<size_t>(i * n + j)];
-            if (g == 0.0f) continue;
-            const float* brow = ib->data.data() + j;
-            float* garow = ia->grad.data() + i * k;
-            for (int64_t kk = 0; kk < k; ++kk) {
-              garow[kk] += g * brow[kk * n];
+      const float* go = o->grad.data();
+      // dA = dC * B^T, partitioned by rows of A (private per chunk).
+      if (float* ga = GradBuf(ia)) {
+        const float* db = ib->data.data();
+        ParallelFor(0, m, RowGrain(k * n), [=](int64_t lo, int64_t hi) {
+          for (int64_t i = lo; i < hi; ++i) {
+            for (int64_t j = 0; j < n; ++j) {
+              const float g = go[i * n + j];
+              if (g == 0.0f) continue;
+              const float* brow = db + j;
+              float* garow = ga + i * k;
+              for (int64_t kk = 0; kk < k; ++kk) {
+                garow[kk] += g * brow[kk * n];
+              }
             }
           }
-        }
+        });
       }
-      // dB = A^T * dC
-      if (WantsGrad(ib)) {
-        for (int64_t i = 0; i < m; ++i) {
-          const float* arow = ia->data.data() + i * k;
-          const float* grow = o->grad.data() + i * n;
-          for (int64_t kk = 0; kk < k; ++kk) {
-            const float av = arow[kk];
-            if (av == 0.0f) continue;
-            float* gbrow = ib->grad.data() + kk * n;
-            for (int64_t j = 0; j < n; ++j) gbrow[j] += av * grow[j];
+      // dB = A^T * dC, partitioned by rows of B (index kk): each chunk owns
+      // its rows of dB outright, and the i-ascending accumulation order per
+      // row is fixed — no thread-count dependence.
+      if (float* gb = GradBuf(ib)) {
+        const float* da = ia->data.data();
+        ParallelFor(0, k, RowGrain(m * n), [=](int64_t lo, int64_t hi) {
+          for (int64_t kk = lo; kk < hi; ++kk) {
+            float* gbrow = gb + kk * n;
+            for (int64_t i = 0; i < m; ++i) {
+              const float av = da[i * k + kk];
+              if (av == 0.0f) continue;
+              const float* grow = go + i * n;
+              for (int64_t j = 0; j < n; ++j) gbrow[j] += av * grow[j];
+            }
           }
-        }
+        });
       }
     };
   }
@@ -351,22 +456,23 @@ Tensor Transpose(const Tensor& a) {
   const int64_t n = a.dim(1);
   auto out = MakeNode({n, m}, {a});
   const float* pa = a.data();
-  for (int64_t i = 0; i < m; ++i) {
-    for (int64_t j = 0; j < n; ++j) {
-      out->data[static_cast<size_t>(j * m + i)] = pa[i * n + j];
+  float* po = out->data.data();
+  ParallelFor(0, m, RowGrain(n), [=](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      for (int64_t j = 0; j < n; ++j) po[j * m + i] = pa[i * n + j];
     }
-  }
+  });
   if (out->requires_grad) {
     TensorImpl* o = out.get();
     TensorImpl* ia = a.impl().get();
     out->backward_fn = [o, ia, m, n]() {
-      if (WantsGrad(ia)) {
-        for (int64_t i = 0; i < m; ++i) {
-          for (int64_t j = 0; j < n; ++j) {
-            ia->grad[static_cast<size_t>(i * n + j)] +=
-                o->grad[static_cast<size_t>(j * m + i)];
+      if (float* ga = GradBuf(ia)) {
+        const float* go = o->grad.data();
+        ParallelFor(0, m, RowGrain(n), [=](int64_t lo, int64_t hi) {
+          for (int64_t i = lo; i < hi; ++i) {
+            for (int64_t j = 0; j < n; ++j) ga[i * n + j] += go[j * m + i];
           }
-        }
+        });
       }
     };
   }
@@ -379,33 +485,41 @@ Tensor Softmax(const Tensor& a) {
   const int64_t cols = a.dim(1);
   auto out = MakeNode(a.shape(), {a});
   const float* pa = a.data();
-  for (int64_t r = 0; r < rows; ++r) {
-    const float* row = pa + r * cols;
-    float maxv = row[0];
-    for (int64_t j = 1; j < cols; ++j) maxv = std::max(maxv, row[j]);
-    float denom = 0.0f;
-    float* orow = out->data.data() + r * cols;
-    for (int64_t j = 0; j < cols; ++j) {
-      orow[j] = std::exp(row[j] - maxv);
-      denom += orow[j];
+  float* po = out->data.data();
+  ParallelFor(0, rows, RowGrain(cols), [=](int64_t lo, int64_t hi) {
+    for (int64_t r = lo; r < hi; ++r) {
+      const float* row = pa + r * cols;
+      float maxv = row[0];
+      for (int64_t j = 1; j < cols; ++j) maxv = std::max(maxv, row[j]);
+      float denom = 0.0f;
+      float* orow = po + r * cols;
+      for (int64_t j = 0; j < cols; ++j) {
+        orow[j] = std::exp(row[j] - maxv);
+        denom += orow[j];
+      }
+      for (int64_t j = 0; j < cols; ++j) orow[j] /= denom;
     }
-    for (int64_t j = 0; j < cols; ++j) orow[j] /= denom;
-  }
+  });
   if (out->requires_grad) {
     TensorImpl* o = out.get();
     TensorImpl* ia = a.impl().get();
     out->backward_fn = [o, ia, rows, cols]() {
-      if (!WantsGrad(ia)) return;
-      for (int64_t r = 0; r < rows; ++r) {
-        const float* y = o->data.data() + r * cols;
-        const float* gy = o->grad.data() + r * cols;
-        float dot = 0.0f;
-        for (int64_t j = 0; j < cols; ++j) dot += y[j] * gy[j];
-        float* gx = ia->grad.data() + r * cols;
-        for (int64_t j = 0; j < cols; ++j) {
-          gx[j] += y[j] * (gy[j] - dot);
+      float* ga = GradBuf(ia);
+      if (ga == nullptr) return;
+      const float* yo = o->data.data();
+      const float* go = o->grad.data();
+      ParallelFor(0, rows, RowGrain(cols), [=](int64_t lo, int64_t hi) {
+        for (int64_t r = lo; r < hi; ++r) {
+          const float* y = yo + r * cols;
+          const float* gy = go + r * cols;
+          float dot = 0.0f;
+          for (int64_t j = 0; j < cols; ++j) dot += y[j] * gy[j];
+          float* gx = ga + r * cols;
+          for (int64_t j = 0; j < cols; ++j) {
+            gx[j] += y[j] * (gy[j] - dot);
+          }
         }
-      }
+      });
     };
   }
   return Tensor::WrapImpl(out);
@@ -417,31 +531,39 @@ Tensor LogSoftmax(const Tensor& a) {
   const int64_t cols = a.dim(1);
   auto out = MakeNode(a.shape(), {a});
   const float* pa = a.data();
-  for (int64_t r = 0; r < rows; ++r) {
-    const float* row = pa + r * cols;
-    float maxv = row[0];
-    for (int64_t j = 1; j < cols; ++j) maxv = std::max(maxv, row[j]);
-    float denom = 0.0f;
-    for (int64_t j = 0; j < cols; ++j) denom += std::exp(row[j] - maxv);
-    const float log_denom = std::log(denom) + maxv;
-    float* orow = out->data.data() + r * cols;
-    for (int64_t j = 0; j < cols; ++j) orow[j] = row[j] - log_denom;
-  }
+  float* po = out->data.data();
+  ParallelFor(0, rows, RowGrain(cols), [=](int64_t lo, int64_t hi) {
+    for (int64_t r = lo; r < hi; ++r) {
+      const float* row = pa + r * cols;
+      float maxv = row[0];
+      for (int64_t j = 1; j < cols; ++j) maxv = std::max(maxv, row[j]);
+      float denom = 0.0f;
+      for (int64_t j = 0; j < cols; ++j) denom += std::exp(row[j] - maxv);
+      const float log_denom = std::log(denom) + maxv;
+      float* orow = po + r * cols;
+      for (int64_t j = 0; j < cols; ++j) orow[j] = row[j] - log_denom;
+    }
+  });
   if (out->requires_grad) {
     TensorImpl* o = out.get();
     TensorImpl* ia = a.impl().get();
     out->backward_fn = [o, ia, rows, cols]() {
-      if (!WantsGrad(ia)) return;
-      for (int64_t r = 0; r < rows; ++r) {
-        const float* y = o->data.data() + r * cols;
-        const float* gy = o->grad.data() + r * cols;
-        float gsum = 0.0f;
-        for (int64_t j = 0; j < cols; ++j) gsum += gy[j];
-        float* gx = ia->grad.data() + r * cols;
-        for (int64_t j = 0; j < cols; ++j) {
-          gx[j] += gy[j] - std::exp(y[j]) * gsum;
+      float* ga = GradBuf(ia);
+      if (ga == nullptr) return;
+      const float* yo = o->data.data();
+      const float* go = o->grad.data();
+      ParallelFor(0, rows, RowGrain(cols), [=](int64_t lo, int64_t hi) {
+        for (int64_t r = lo; r < hi; ++r) {
+          const float* y = yo + r * cols;
+          const float* gy = go + r * cols;
+          float gsum = 0.0f;
+          for (int64_t j = 0; j < cols; ++j) gsum += gy[j];
+          float* gx = ga + r * cols;
+          for (int64_t j = 0; j < cols; ++j) {
+            gx[j] += gy[j] - std::exp(y[j]) * gsum;
+          }
         }
-      }
+      });
     };
   }
   return Tensor::WrapImpl(out);
@@ -449,18 +571,30 @@ Tensor LogSoftmax(const Tensor& a) {
 
 Tensor Sum(const Tensor& a) {
   auto out = MakeNode({1}, {a});
-  const size_t n = a.impl()->data.size();
+  const int64_t n = static_cast<int64_t>(a.impl()->data.size());
   const float* pa = a.data();
-  double acc = 0.0;
-  for (size_t i = 0; i < n; ++i) acc += pa[i];
-  out->data[0] = static_cast<float>(acc);
+  // Fixed-grain chunk partials combined in chunk order: for n <= kElemGrain
+  // this is the plain serial double accumulation.
+  const int64_t chunks = (n + kElemGrain - 1) / kElemGrain;
+  std::vector<double> partials(static_cast<size_t>(std::max<int64_t>(chunks, 1)),
+                               0.0);
+  ParallelFor(0, n, kElemGrain, [&](int64_t lo, int64_t hi) {
+    double acc = 0.0;
+    for (int64_t i = lo; i < hi; ++i) acc += pa[i];
+    partials[static_cast<size_t>(lo / kElemGrain)] = acc;
+  });
+  double total = 0.0;
+  for (double p : partials) total += p;
+  out->data[0] = static_cast<float>(total);
   if (out->requires_grad) {
     TensorImpl* o = out.get();
     TensorImpl* ia = a.impl().get();
     out->backward_fn = [o, ia, n]() {
-      if (WantsGrad(ia)) {
+      if (float* ga = GradBuf(ia)) {
         const float g = o->grad[0];
-        for (size_t i = 0; i < n; ++i) ia->grad[i] += g;
+        ParallelFor(0, n, kElemGrain, [=](int64_t lo, int64_t hi) {
+          for (int64_t i = lo; i < hi; ++i) ga[i] += g;
+        });
       }
     };
   }
@@ -477,20 +611,27 @@ Tensor RowSum(const Tensor& a) {
   const int64_t cols = a.dim(1);
   auto out = MakeNode({rows, 1}, {a});
   const float* pa = a.data();
-  for (int64_t r = 0; r < rows; ++r) {
-    double acc = 0.0;
-    for (int64_t j = 0; j < cols; ++j) acc += pa[r * cols + j];
-    out->data[static_cast<size_t>(r)] = static_cast<float>(acc);
-  }
+  float* po = out->data.data();
+  ParallelFor(0, rows, RowGrain(cols), [=](int64_t lo, int64_t hi) {
+    for (int64_t r = lo; r < hi; ++r) {
+      double acc = 0.0;
+      for (int64_t j = 0; j < cols; ++j) acc += pa[r * cols + j];
+      po[r] = static_cast<float>(acc);
+    }
+  });
   if (out->requires_grad) {
     TensorImpl* o = out.get();
     TensorImpl* ia = a.impl().get();
     out->backward_fn = [o, ia, rows, cols]() {
-      if (!WantsGrad(ia)) return;
-      for (int64_t r = 0; r < rows; ++r) {
-        const float g = o->grad[static_cast<size_t>(r)];
-        float* grow = ia->grad.data() + r * cols;
-        for (int64_t j = 0; j < cols; ++j) grow[j] += g;
+      if (float* ga = GradBuf(ia)) {
+        const float* go = o->grad.data();
+        ParallelFor(0, rows, RowGrain(cols), [=](int64_t lo, int64_t hi) {
+          for (int64_t r = lo; r < hi; ++r) {
+            const float g = go[r];
+            float* grow = ga + r * cols;
+            for (int64_t j = 0; j < cols; ++j) grow[j] += g;
+          }
+        });
       }
     };
   }
@@ -506,8 +647,12 @@ Tensor Reshape(const Tensor& a, const Shape& shape) {
     TensorImpl* o = out.get();
     TensorImpl* ia = a.impl().get();
     out->backward_fn = [o, ia]() {
-      if (WantsGrad(ia)) {
-        for (size_t i = 0; i < o->grad.size(); ++i) ia->grad[i] += o->grad[i];
+      if (float* ga = GradBuf(ia)) {
+        const float* go = o->grad.data();
+        const int64_t n = static_cast<int64_t>(o->grad.size());
+        ParallelFor(0, n, kElemGrain, [=](int64_t lo, int64_t hi) {
+          for (int64_t i = lo; i < hi; ++i) ga[i] += go[i];
+        });
       }
     };
   }
@@ -528,10 +673,12 @@ Tensor ConcatCols(const std::vector<Tensor>& parts) {
   for (const Tensor& p : parts) {
     const int64_t cols = p.dim(1);
     const float* pp = p.data();
-    for (int64_t r = 0; r < rows; ++r) {
-      std::copy(pp + r * cols, pp + (r + 1) * cols,
-                out->data.data() + r * total_cols + col_offset);
-    }
+    float* po = out->data.data() + col_offset;
+    ParallelFor(0, rows, RowGrain(cols), [=](int64_t lo, int64_t hi) {
+      for (int64_t r = lo; r < hi; ++r) {
+        std::copy(pp + r * cols, pp + (r + 1) * cols, po + r * total_cols);
+      }
+    });
     col_offset += cols;
   }
   if (out->requires_grad) {
@@ -546,12 +693,15 @@ Tensor ConcatCols(const std::vector<Tensor>& parts) {
       int64_t offset = 0;
       for (size_t pi = 0; pi < impls.size(); ++pi) {
         const int64_t cols = widths[pi];
-        if (WantsGrad(impls[pi])) {
-          for (int64_t r = 0; r < rows; ++r) {
-            const float* src = o->grad.data() + r * total_cols + offset;
-            float* dst = impls[pi]->grad.data() + r * cols;
-            for (int64_t j = 0; j < cols; ++j) dst[j] += src[j];
-          }
+        if (float* gp = GradBuf(impls[pi])) {
+          const float* go = o->grad.data() + offset;
+          ParallelFor(0, rows, RowGrain(cols), [=](int64_t lo, int64_t hi) {
+            for (int64_t r = lo; r < hi; ++r) {
+              const float* src = go + r * total_cols;
+              float* dst = gp + r * cols;
+              for (int64_t j = 0; j < cols; ++j) dst[j] += src[j];
+            }
+          });
         }
         offset += cols;
       }
@@ -589,10 +739,12 @@ Tensor ConcatRows(const std::vector<Tensor>& parts) {
       int64_t offset = 0;
       for (size_t pi = 0; pi < impls.size(); ++pi) {
         const int64_t rows = heights[pi];
-        if (WantsGrad(impls[pi])) {
+        if (float* gp = GradBuf(impls[pi])) {
           const float* src = o->grad.data() + offset * cols;
-          float* dst = impls[pi]->grad.data();
-          for (int64_t i = 0; i < rows * cols; ++i) dst[i] += src[i];
+          const int64_t total = rows * cols;
+          ParallelFor(0, total, kElemGrain, [=](int64_t lo, int64_t hi) {
+            for (int64_t i = lo; i < hi; ++i) gp[i] += src[i];
+          });
         }
         offset += rows;
       }
@@ -614,9 +766,14 @@ Tensor SliceRows(const Tensor& a, int64_t start, int64_t len) {
     TensorImpl* o = out.get();
     TensorImpl* ia = a.impl().get();
     out->backward_fn = [o, ia, start, len, cols]() {
-      if (!WantsGrad(ia)) return;
-      float* dst = ia->grad.data() + start * cols;
-      for (int64_t i = 0; i < len * cols; ++i) dst[i] += o->grad[i];
+      if (float* ga = GradBuf(ia)) {
+        float* dst = ga + start * cols;
+        const float* go = o->grad.data();
+        const int64_t total = len * cols;
+        ParallelFor(0, total, kElemGrain, [=](int64_t lo, int64_t hi) {
+          for (int64_t i = lo; i < hi; ++i) dst[i] += go[i];
+        });
+      }
     };
   }
   return Tensor::WrapImpl(out);
@@ -631,24 +788,40 @@ Tensor SliceCols(const Tensor& a, int64_t start, int64_t len) {
   const int64_t cols = a.dim(1);
   auto out = MakeNode({rows, len}, {a});
   const float* pa = a.data();
-  for (int64_t r = 0; r < rows; ++r) {
-    std::copy(pa + r * cols + start, pa + r * cols + start + len,
-              out->data.data() + r * len);
-  }
+  float* po = out->data.data();
+  ParallelFor(0, rows, RowGrain(len), [=](int64_t lo, int64_t hi) {
+    for (int64_t r = lo; r < hi; ++r) {
+      std::copy(pa + r * cols + start, pa + r * cols + start + len,
+                po + r * len);
+    }
+  });
   if (out->requires_grad) {
     TensorImpl* o = out.get();
     TensorImpl* ia = a.impl().get();
     out->backward_fn = [o, ia, start, len, rows, cols]() {
-      if (!WantsGrad(ia)) return;
-      for (int64_t r = 0; r < rows; ++r) {
-        const float* src = o->grad.data() + r * len;
-        float* dst = ia->grad.data() + r * cols + start;
-        for (int64_t j = 0; j < len; ++j) dst[j] += src[j];
+      if (float* ga = GradBuf(ia)) {
+        const float* go = o->grad.data();
+        ParallelFor(0, rows, RowGrain(len), [=](int64_t lo, int64_t hi) {
+          for (int64_t r = lo; r < hi; ++r) {
+            const float* src = go + r * len;
+            float* dst = ga + r * cols + start;
+            for (int64_t j = 0; j < len; ++j) dst[j] += src[j];
+          }
+        });
       }
     };
   }
   return Tensor::WrapImpl(out);
 }
+
+namespace {
+
+/// Examples per chunk in Conv1dMaxPool's backward kernel-gradient reduction.
+/// Fixed so the chunk partials (and their combination order) do not depend on
+/// the thread count.
+constexpr int64_t kConvChunk = 16;
+
+}  // namespace
 
 Tensor Conv1dMaxPool(const Tensor& values, int64_t seq_len,
                      const Tensor& kernel, const Tensor& bias) {
@@ -675,28 +848,35 @@ Tensor Conv1dMaxPool(const Tensor& values, int64_t seq_len,
   const float* pv = values.data();
   const float* pk = kernel.data();
   const float* pb = bias.data();
-  for (int64_t bi = 0; bi < b; ++bi) {
-    float* orow = out->data.data() + bi * f;
-    std::vector<float> best(static_cast<size_t>(f),
-                            -std::numeric_limits<float>::infinity());
-    for (int64_t t = 0; t < positions; ++t) {
-      const float* window = pv + (bi * seq_len + t) * d;
-      for (int64_t c = 0; c < f; ++c) {
-        float acc = pb[c];
-        // kernel rows are laid out window-position-major: row (p*d + e).
-        for (int64_t p = 0; p < w; ++p) {
-          const float* vrow = window + p * d;
-          const float* krow = pk + p * d * f;
-          for (int64_t e = 0; e < d; ++e) acc += vrow[e] * krow[e * f + c];
-        }
-        if (acc > best[static_cast<size_t>(c)]) {
-          best[static_cast<size_t>(c)] = acc;
-          (*argmax)[static_cast<size_t>(bi * f + c)] = t;
+  float* po = out->data.data();
+  int64_t* pam = argmax->data();
+  // Examples are independent: partition by bi.
+  ParallelFor(0, b, RowGrain(positions * f * w * d),
+              [=](int64_t lo, int64_t hi) {
+    std::vector<float> best(static_cast<size_t>(f));
+    for (int64_t bi = lo; bi < hi; ++bi) {
+      float* orow = po + bi * f;
+      best.assign(static_cast<size_t>(f),
+                  -std::numeric_limits<float>::infinity());
+      for (int64_t t = 0; t < positions; ++t) {
+        const float* window = pv + (bi * seq_len + t) * d;
+        for (int64_t c = 0; c < f; ++c) {
+          float acc = pb[c];
+          // kernel rows are laid out window-position-major: row (p*d + e).
+          for (int64_t p = 0; p < w; ++p) {
+            const float* vrow = window + p * d;
+            const float* krow = pk + p * d * f;
+            for (int64_t e = 0; e < d; ++e) acc += vrow[e] * krow[e * f + c];
+          }
+          if (acc > best[static_cast<size_t>(c)]) {
+            best[static_cast<size_t>(c)] = acc;
+            pam[bi * f + c] = t;
+          }
         }
       }
+      for (int64_t c = 0; c < f; ++c) orow[c] = best[static_cast<size_t>(c)];
     }
-    for (int64_t c = 0; c < f; ++c) orow[c] = best[static_cast<size_t>(c)];
-  }
+  });
 
   if (out->requires_grad) {
     TensorImpl* o = out.get();
@@ -704,30 +884,60 @@ Tensor Conv1dMaxPool(const Tensor& values, int64_t seq_len,
     TensorImpl* ik = kernel.impl().get();
     TensorImpl* ib = bias.impl().get();
     out->backward_fn = [o, iv, ik, ib, argmax, b, f, w, d, seq_len]() {
-      const bool gv = WantsGrad(iv);
-      const bool gk = WantsGrad(ik);
-      const bool gb = WantsGrad(ib);
-      if (!gv && !gk && !gb) return;
-      for (int64_t bi = 0; bi < b; ++bi) {
-        for (int64_t c = 0; c < f; ++c) {
-          const float g = o->grad[static_cast<size_t>(bi * f + c)];
-          if (g == 0.0f) continue;
-          const int64_t t = (*argmax)[static_cast<size_t>(bi * f + c)];
-          if (gb) ib->grad[static_cast<size_t>(c)] += g;
-          for (int64_t p = 0; p < w; ++p) {
-            const int64_t vrow = (bi * seq_len + t + p) * d;
-            for (int64_t e = 0; e < d; ++e) {
-              const int64_t krow = (p * d + e) * f + c;
-              if (gv) {
-                iv->grad[static_cast<size_t>(vrow + e)] +=
-                    g * ik->data[static_cast<size_t>(krow)];
-              }
-              if (gk) {
-                ik->grad[static_cast<size_t>(krow)] +=
-                    g * iv->data[static_cast<size_t>(vrow + e)];
+      float* gv = GradBuf(iv);
+      float* gk = GradBuf(ik);
+      float* gb = GradBuf(ib);
+      if (gv == nullptr && gk == nullptr && gb == nullptr) return;
+      const float* go = o->grad.data();
+      const float* dk = ik->data.data();
+      const float* dv = iv->data.data();
+      const int64_t* pam2 = argmax->data();
+      // Value grads are private per example; kernel and bias grads are
+      // cross-example reductions — accumulate per-chunk partials (fixed
+      // kConvChunk examples each) and combine them in chunk order.
+      const int64_t ksize = w * d * f;
+      const int64_t chunks = (b + kConvChunk - 1) / kConvChunk;
+      std::vector<std::vector<float>> k_partials(
+          static_cast<size_t>(chunks));
+      std::vector<std::vector<float>> b_partials(
+          static_cast<size_t>(chunks));
+      ParallelFor(0, b, kConvChunk, [&, ksize](int64_t lo, int64_t hi) {
+        const size_t chunk = static_cast<size_t>(lo / kConvChunk);
+        float* kp = nullptr;
+        float* bp = nullptr;
+        if (gk != nullptr) {
+          k_partials[chunk].assign(static_cast<size_t>(ksize), 0.0f);
+          kp = k_partials[chunk].data();
+        }
+        if (gb != nullptr) {
+          b_partials[chunk].assign(static_cast<size_t>(f), 0.0f);
+          bp = b_partials[chunk].data();
+        }
+        for (int64_t bi = lo; bi < hi; ++bi) {
+          for (int64_t c = 0; c < f; ++c) {
+            const float g = go[bi * f + c];
+            if (g == 0.0f) continue;
+            const int64_t t = pam2[bi * f + c];
+            if (bp != nullptr) bp[c] += g;
+            for (int64_t p = 0; p < w; ++p) {
+              const int64_t vrow = (bi * seq_len + t + p) * d;
+              for (int64_t e = 0; e < d; ++e) {
+                const int64_t krow = (p * d + e) * f + c;
+                if (gv != nullptr) gv[vrow + e] += g * dk[krow];
+                if (kp != nullptr) kp[krow] += g * dv[vrow + e];
               }
             }
           }
+        }
+      });
+      for (int64_t c = 0; c < chunks; ++c) {
+        if (gk != nullptr && !k_partials[static_cast<size_t>(c)].empty()) {
+          const float* kp = k_partials[static_cast<size_t>(c)].data();
+          for (int64_t i = 0; i < ksize; ++i) gk[i] += kp[i];
+        }
+        if (gb != nullptr && !b_partials[static_cast<size_t>(c)].empty()) {
+          const float* bp = b_partials[static_cast<size_t>(c)].data();
+          for (int64_t i = 0; i < f; ++i) gb[i] += bp[i];
         }
       }
     };
@@ -742,22 +952,29 @@ Tensor EmbeddingLookup(const Tensor& table, const std::vector<int64_t>& ids) {
   const int64_t d = table.dim(1);
   const int64_t n = static_cast<int64_t>(ids.size());
   auto out = MakeNode({n, d}, {table});
-  const float* pt = table.data();
   for (int64_t i = 0; i < n; ++i) {
     RRRE_CHECK_GE(ids[static_cast<size_t>(i)], 0);
     RRRE_CHECK_LT(ids[static_cast<size_t>(i)], v);
-    std::copy(pt + ids[static_cast<size_t>(i)] * d,
-              pt + (ids[static_cast<size_t>(i)] + 1) * d,
-              out->data.data() + i * d);
   }
+  const float* pt = table.data();
+  const int64_t* pid = ids.data();
+  float* po = out->data.data();
+  ParallelFor(0, n, RowGrain(d), [=](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      std::copy(pt + pid[i] * d, pt + (pid[i] + 1) * d, po + i * d);
+    }
+  });
   if (out->requires_grad) {
     TensorImpl* o = out.get();
     TensorImpl* it = table.impl().get();
     out->backward_fn = [o, it, ids, n, d]() {
-      if (!WantsGrad(it)) return;
+      float* gt = GradBuf(it);
+      if (gt == nullptr) return;
+      // Serial: duplicate ids scatter-add into the same table row.
+      const float* go = o->grad.data();
       for (int64_t i = 0; i < n; ++i) {
-        const float* src = o->grad.data() + i * d;
-        float* dst = it->grad.data() + ids[static_cast<size_t>(i)] * d;
+        const float* src = go + i * d;
+        float* dst = gt + ids[static_cast<size_t>(i)] * d;
         for (int64_t j = 0; j < d; ++j) dst[j] += src[j];
       }
     };
@@ -777,40 +994,49 @@ Tensor WeightedPool(const Tensor& values, const Tensor& weights) {
   auto out = MakeNode({b, k}, {values, weights});
   const float* pv = values.data();
   const float* pw = weights.data();
-  for (int64_t bi = 0; bi < b; ++bi) {
-    float* orow = out->data.data() + bi * k;
-    for (int64_t j = 0; j < s; ++j) {
-      const float w = pw[bi * s + j];
-      if (w == 0.0f) continue;
-      const float* vrow = pv + (bi * s + j) * k;
-      for (int64_t c = 0; c < k; ++c) orow[c] += w * vrow[c];
+  float* po = out->data.data();
+  ParallelFor(0, b, RowGrain(s * k), [=](int64_t lo, int64_t hi) {
+    for (int64_t bi = lo; bi < hi; ++bi) {
+      float* orow = po + bi * k;
+      for (int64_t j = 0; j < s; ++j) {
+        const float w = pw[bi * s + j];
+        if (w == 0.0f) continue;
+        const float* vrow = pv + (bi * s + j) * k;
+        for (int64_t c = 0; c < k; ++c) orow[c] += w * vrow[c];
+      }
     }
-  }
+  });
   if (out->requires_grad) {
     TensorImpl* o = out.get();
     TensorImpl* iv = values.impl().get();
     TensorImpl* iw = weights.impl().get();
     out->backward_fn = [o, iv, iw, b, s, k]() {
-      const bool gv = WantsGrad(iv);
-      const bool gw = WantsGrad(iw);
-      if (!gv && !gw) return;
-      for (int64_t bi = 0; bi < b; ++bi) {
-        const float* go = o->grad.data() + bi * k;
-        for (int64_t j = 0; j < s; ++j) {
-          const int64_t row = bi * s + j;
-          if (gv) {
-            const float w = iw->data[static_cast<size_t>(bi * s + j)];
-            float* gvrow = iv->grad.data() + row * k;
-            for (int64_t c = 0; c < k; ++c) gvrow[c] += w * go[c];
-          }
-          if (gw) {
-            const float* vrow = iv->data.data() + row * k;
-            float acc = 0.0f;
-            for (int64_t c = 0; c < k; ++c) acc += go[c] * vrow[c];
-            iw->grad[static_cast<size_t>(bi * s + j)] += acc;
+      float* gv = GradBuf(iv);
+      float* gw = GradBuf(iw);
+      if (gv == nullptr && gw == nullptr) return;
+      const float* go = o->grad.data();
+      const float* dw = iw->data.data();
+      const float* dv = iv->data.data();
+      // Rows (bi*s + j) and weight entries are private per example.
+      ParallelFor(0, b, RowGrain(s * k), [=](int64_t lo, int64_t hi) {
+        for (int64_t bi = lo; bi < hi; ++bi) {
+          const float* gorow = go + bi * k;
+          for (int64_t j = 0; j < s; ++j) {
+            const int64_t row = bi * s + j;
+            if (gv != nullptr) {
+              const float w = dw[bi * s + j];
+              float* gvrow = gv + row * k;
+              for (int64_t c = 0; c < k; ++c) gvrow[c] += w * gorow[c];
+            }
+            if (gw != nullptr) {
+              const float* vrow = dv + row * k;
+              float acc = 0.0f;
+              for (int64_t c = 0; c < k; ++c) acc += gorow[c] * vrow[c];
+              gw[bi * s + j] += acc;
+            }
           }
         }
-      }
+      });
     };
   }
   return Tensor::WrapImpl(out);
@@ -827,31 +1053,47 @@ Tensor CrossEntropyWithLogits(const Tensor& logits,
   if (weighted) {
     RRRE_CHECK_EQ(static_cast<int64_t>(example_weights.size()), b);
   }
-
-  // Forward: per-row stable log-softmax, gather label log-probability.
-  std::vector<float> probs(static_cast<size_t>(b * c));
-  const float* pl = logits.data();
-  double loss_acc = 0.0;
-  double weight_acc = 0.0;
   for (int64_t r = 0; r < b; ++r) {
     RRRE_CHECK_GE(labels[static_cast<size_t>(r)], 0);
     RRRE_CHECK_LT(labels[static_cast<size_t>(r)], c);
-    const float* row = pl + r * c;
-    float maxv = row[0];
-    for (int64_t j = 1; j < c; ++j) maxv = std::max(maxv, row[j]);
-    float denom = 0.0f;
-    for (int64_t j = 0; j < c; ++j) {
-      probs[static_cast<size_t>(r * c + j)] = std::exp(row[j] - maxv);
-      denom += probs[static_cast<size_t>(r * c + j)];
+  }
+
+  // Forward: per-row stable log-softmax, gather label log-probability. The
+  // (loss, weight) accumulators are reduced over fixed-grain row chunks.
+  std::vector<float> probs(static_cast<size_t>(b * c));
+  const float* pl = logits.data();
+  const int64_t grain = RowGrain(c);
+  const int64_t chunks = (b + grain - 1) / grain;
+  std::vector<double> loss_partials(static_cast<size_t>(chunks), 0.0);
+  std::vector<double> weight_partials(static_cast<size_t>(chunks), 0.0);
+  float* pp = probs.data();
+  ParallelFor(0, b, grain, [&, grain](int64_t lo, int64_t hi) {
+    double loss_acc = 0.0;
+    double weight_acc = 0.0;
+    for (int64_t r = lo; r < hi; ++r) {
+      const float* row = pl + r * c;
+      float maxv = row[0];
+      for (int64_t j = 1; j < c; ++j) maxv = std::max(maxv, row[j]);
+      float denom = 0.0f;
+      for (int64_t j = 0; j < c; ++j) {
+        pp[r * c + j] = std::exp(row[j] - maxv);
+        denom += pp[r * c + j];
+      }
+      for (int64_t j = 0; j < c; ++j) pp[r * c + j] /= denom;
+      const float w = weighted ? example_weights[static_cast<size_t>(r)] : 1.0f;
+      const float logp =
+          row[labels[static_cast<size_t>(r)]] - maxv - std::log(denom);
+      loss_acc += -static_cast<double>(w) * logp;
+      weight_acc += w;
     }
-    for (int64_t j = 0; j < c; ++j) {
-      probs[static_cast<size_t>(r * c + j)] /= denom;
-    }
-    const float w = weighted ? example_weights[static_cast<size_t>(r)] : 1.0f;
-    const float logp =
-        row[labels[static_cast<size_t>(r)]] - maxv - std::log(denom);
-    loss_acc += -static_cast<double>(w) * logp;
-    weight_acc += w;
+    loss_partials[static_cast<size_t>(lo / grain)] = loss_acc;
+    weight_partials[static_cast<size_t>(lo / grain)] = weight_acc;
+  });
+  double loss_acc = 0.0;
+  double weight_acc = 0.0;
+  for (int64_t i = 0; i < chunks; ++i) {
+    loss_acc += loss_partials[static_cast<size_t>(i)];
+    weight_acc += weight_partials[static_cast<size_t>(i)];
   }
   const float norm = static_cast<float>(std::max(weight_acc, 1e-12));
 
@@ -863,20 +1105,24 @@ Tensor CrossEntropyWithLogits(const Tensor& logits,
     auto probs_shared = std::make_shared<std::vector<float>>(std::move(probs));
     out->backward_fn = [o, il, probs_shared, labels, example_weights, weighted,
                         b, c, norm]() {
-      if (!WantsGrad(il)) return;
+      float* gl = GradBuf(il);
+      if (gl == nullptr) return;
       const float g = o->grad[0] / norm;
-      const std::vector<float>& p = *probs_shared;
-      for (int64_t r = 0; r < b; ++r) {
-        const float w =
-            weighted ? example_weights[static_cast<size_t>(r)] : 1.0f;
-        if (w == 0.0f) continue;
-        float* grow = il->grad.data() + r * c;
-        const int64_t label = labels[static_cast<size_t>(r)];
-        for (int64_t j = 0; j < c; ++j) {
-          const float onehot = (j == label) ? 1.0f : 0.0f;
-          grow[j] += g * w * (p[static_cast<size_t>(r * c + j)] - onehot);
+      const float* p = probs_shared->data();
+      const float* wts = weighted ? example_weights.data() : nullptr;
+      const int64_t* lab = labels.data();
+      ParallelFor(0, b, RowGrain(c), [=](int64_t lo, int64_t hi) {
+        for (int64_t r = lo; r < hi; ++r) {
+          const float w = wts != nullptr ? wts[r] : 1.0f;
+          if (w == 0.0f) continue;
+          float* grow = gl + r * c;
+          const int64_t label = lab[r];
+          for (int64_t j = 0; j < c; ++j) {
+            const float onehot = (j == label) ? 1.0f : 0.0f;
+            grow[j] += g * w * (p[r * c + j] - onehot);
+          }
         }
-      }
+      });
     };
   }
   return Tensor::WrapImpl(out);

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "tensor/grad_sink.h"
+
 namespace rrre::tensor {
 
 using internal::TensorImpl;
@@ -194,8 +196,12 @@ void Tensor::Backward() {
     }
   }
 
-  // Zero gradients of every node in this graph, then seed the output.
+  // Zero gradients of every node in this graph, then seed the output. Leaves
+  // covered by an active GradSink are skipped: their contributions go to the
+  // sink's (already zeroed) private buffer, and their real grads may be
+  // concurrently owned by another shard's merge.
   for (TensorImpl* node : topo) {
+    if (GradSink::ActiveCovers(node)) continue;
     node->grad.assign(node->data.size(), 0.0f);
   }
   impl_->grad[0] = 1.0f;

@@ -196,6 +196,66 @@ TEST(RngTest, ForkProducesIndependentStream) {
   EXPECT_TRUE(differs);
 }
 
+TEST(RngTest, KeyedForkDoesNotAdvanceParent) {
+  Rng a(31);
+  Rng untouched(31);
+  (void)a.Fork(0);
+  (void)a.Fork(7);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(a.NextUint64(), untouched.NextUint64());
+  }
+}
+
+TEST(RngTest, KeyedForkStreamsAreStableAndRepeatable) {
+  Rng a(31);
+  Rng b(31);
+  for (uint64_t stream : {0ull, 1ull, 5ull, 1000000007ull}) {
+    Rng ca = a.Fork(stream);
+    Rng cb = b.Fork(stream);
+    for (int i = 0; i < 8; ++i) EXPECT_EQ(ca.NextUint64(), cb.NextUint64());
+  }
+}
+
+TEST(RngTest, KeyedForkStreamsAreDecorrelated) {
+  // Consecutive stream ids must land in unrelated regions of seed space:
+  // interleaved bit agreement between neighboring streams should look like
+  // coin flips, and no two streams may collide on their prefix.
+  Rng parent(31);
+  constexpr int kStreams = 32;
+  constexpr int kDraws = 64;
+  std::vector<std::vector<uint64_t>> draws(kStreams);
+  for (int s = 0; s < kStreams; ++s) {
+    Rng child = parent.Fork(static_cast<uint64_t>(s));
+    for (int i = 0; i < kDraws; ++i) draws[s].push_back(child.NextUint64());
+  }
+  for (int s = 0; s + 1 < kStreams; ++s) {
+    EXPECT_NE(draws[s], draws[s + 1]);
+    int64_t agreeing_bits = 0;
+    for (int i = 0; i < kDraws; ++i) {
+      agreeing_bits += 64 - __builtin_popcountll(draws[s][i] ^ draws[s + 1][i]);
+    }
+    // 64 * kDraws fair coin flips: mean 2048, stddev 32. Allow 6 sigma.
+    EXPECT_NEAR(static_cast<double>(agreeing_bits), 2048.0, 192.0)
+        << "streams " << s << " and " << s + 1;
+  }
+}
+
+TEST(RngTest, KeyedForkIsPlatformStable) {
+  // Golden values: pure 64-bit integer derivation, identical on every
+  // platform and compiler. A change here breaks saved-experiment
+  // reproducibility — do not update casually.
+  Rng parent(31);
+  Rng s0 = parent.Fork(0);
+  EXPECT_EQ(s0.NextUint64(), 13313566557847529207ULL);
+  EXPECT_EQ(s0.NextUint64(), 1018600636666621339ULL);
+  Rng s1 = parent.Fork(1);
+  EXPECT_EQ(s1.NextUint64(), 6198543860755348987ULL);
+  EXPECT_EQ(s1.NextUint64(), 10363436723649855775ULL);
+  Rng s2 = parent.Fork(2);
+  EXPECT_EQ(s2.NextUint64(), 17481159588961507605ULL);
+  EXPECT_EQ(s2.NextUint64(), 10205662166185360746ULL);
+}
+
 // ---------------------------------------------------------------------------
 // Strings
 // ---------------------------------------------------------------------------

@@ -9,6 +9,7 @@
 #include <tuple>
 
 #include "common/rng.h"
+#include "common/threadpool.h"
 #include "nn/attention.h"
 #include "nn/embedding.h"
 #include "nn/fm.h"
@@ -49,15 +50,26 @@ void CheckModuleGradients(Module& module, const std::function<Tensor()>& f,
   }
 }
 
-/// (batch, input dim, output/hidden dim, seed)
-using LayerShape = std::tuple<int64_t, int64_t, int64_t, uint64_t>;
+/// (batch, input dim, output/hidden dim, seed, num_threads)
+using LayerShape = std::tuple<int64_t, int64_t, int64_t, uint64_t, int>;
 
 class LayerGradCheckTest : public ::testing::TestWithParam<LayerShape> {
  protected:
+  void SetUp() override {
+    original_pool_size_ = common::ThreadPool::GlobalSize();
+    common::ThreadPool::SetGlobalSize(std::get<4>(GetParam()));
+  }
+  void TearDown() override {
+    common::ThreadPool::SetGlobalSize(original_pool_size_);
+  }
+
   int64_t batch() const { return std::get<0>(GetParam()); }
   int64_t in() const { return std::get<1>(GetParam()); }
   int64_t out() const { return std::get<2>(GetParam()); }
   uint64_t seed() const { return std::get<3>(GetParam()); }
+
+ private:
+  int original_pool_size_ = 0;
 };
 
 TEST_P(LayerGradCheckTest, Linear) {
@@ -123,10 +135,14 @@ TEST_P(LayerGradCheckTest, EmbeddingThroughLinear) {
   });
 }
 
+// Every shape runs with the serial pool and with 4 threads: the gradients
+// must check out either way (the kernels are thread-count-invariant).
 INSTANTIATE_TEST_SUITE_P(
     Shapes, LayerGradCheckTest,
-    ::testing::Values(LayerShape{1, 2, 3, 7}, LayerShape{2, 4, 4, 21},
-                      LayerShape{3, 5, 2, 77}, LayerShape{4, 3, 6, 99}));
+    ::testing::Values(LayerShape{1, 2, 3, 7, 1}, LayerShape{2, 4, 4, 21, 1},
+                      LayerShape{3, 5, 2, 77, 1}, LayerShape{4, 3, 6, 99, 1},
+                      LayerShape{1, 2, 3, 7, 4}, LayerShape{2, 4, 4, 21, 4},
+                      LayerShape{3, 5, 2, 77, 4}, LayerShape{4, 3, 6, 99, 4}));
 
 // ---------------------------------------------------------------------------
 // Optimizer dynamics, parameterized by learning rate.

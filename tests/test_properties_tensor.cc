@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <functional>
 #include <tuple>
 
 #include "common/rng.h"
@@ -178,6 +179,70 @@ TEST_P(AutogradPropertyTest, NumericalGradientOfRandomComposite) {
                 2e-2f * std::max(1.0f, std::abs(numeric)))
         << "entry " << i;
   }
+}
+
+namespace {
+
+/// Central-difference check of d(f(x))/dx against x.grad() after Backward.
+void CheckNumericalGradient(Tensor& x, const std::function<Tensor()>& f,
+                            float eps = 1e-2f, float tol = 2e-2f) {
+  Tensor out = f();
+  out.Backward();
+  const auto gx = x.grad();
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    const float orig = x.at(i);
+    x.at(i) = orig + eps;
+    const float up = f().item();
+    x.at(i) = orig - eps;
+    const float down = f().item();
+    x.at(i) = orig;
+    const float numeric = (up - down) / (2.0f * eps);
+    EXPECT_NEAR(gx[static_cast<size_t>(i)], numeric,
+                tol * std::max(1.0f, std::abs(numeric)))
+        << "entry " << i;
+  }
+}
+
+}  // namespace
+
+TEST_P(AutogradPropertyTest, NumericalGradientOfDiv) {
+  Rng rng(GetParam());
+  Tensor a = Tensor::Randn({3, 4}, rng, 0.6f, true);
+  // Denominator bounded away from zero so finite differences stay sane.
+  Tensor b = Tensor::Randn({3, 4}, rng, 0.4f, true);
+  for (int64_t i = 0; i < b.numel(); ++i) {
+    b.at(i) = (b.at(i) >= 0.0f ? 1.5f : -1.5f) + b.at(i);
+  }
+  auto f = [&]() { return Mean(Div(a, b)); };
+  CheckNumericalGradient(a, f);
+  CheckNumericalGradient(b, f);
+}
+
+TEST_P(AutogradPropertyTest, NumericalGradientOfSqrt) {
+  Rng rng(GetParam());
+  Tensor x = Tensor::Randn({3, 4}, rng, 0.5f, true);
+  // Sqrt needs strictly positive inputs, away from the eps used by the
+  // finite difference.
+  for (int64_t i = 0; i < x.numel(); ++i) x.at(i) = 0.5f + x.at(i) * x.at(i);
+  CheckNumericalGradient(x, [&]() { return Mean(Sqrt(x)); });
+}
+
+TEST_P(AutogradPropertyTest, NumericalGradientOfSliceCols) {
+  Rng rng(GetParam());
+  Tensor x = Tensor::Randn({4, 6}, rng, 0.8f, true);
+  Tensor scale = Tensor::Randn({4, 3}, rng, 1.0f, false);
+  CheckNumericalGradient(
+      x, [&]() { return Mean(Mul(SliceCols(x, 2, 3), scale)); });
+}
+
+TEST_P(AutogradPropertyTest, NumericalGradientOfConcatRows) {
+  Rng rng(GetParam());
+  Tensor a = Tensor::Randn({2, 5}, rng, 0.8f, true);
+  Tensor b = Tensor::Randn({3, 5}, rng, 0.8f, true);
+  Tensor scale = Tensor::Randn({5, 5}, rng, 1.0f, false);
+  auto f = [&]() { return Mean(Mul(ConcatRows({a, b}), scale)); };
+  CheckNumericalGradient(a, f);
+  CheckNumericalGradient(b, f);
 }
 
 TEST_P(AutogradPropertyTest, BackwardTwiceGivesIdenticalGradients) {

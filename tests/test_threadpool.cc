@@ -1,0 +1,235 @@
+#include "common/threadpool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace rrre::common {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Construction / teardown
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPoolTest, ConstructsAndJoinsAcrossSizes) {
+  for (int n : {1, 2, 4, 8}) {
+    ThreadPool pool(n);
+    EXPECT_EQ(pool.size(), n);
+  }  // destructor joins workers
+}
+
+TEST(ThreadPoolTest, ZeroMeansHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1);
+}
+
+TEST(ThreadPoolTest, TeardownWithNoWorkIsClean) {
+  for (int i = 0; i < 20; ++i) {
+    ThreadPool pool(4);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Coverage: every index exactly once
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  for (int threads : {1, 2, 4}) {
+    ThreadPool pool(threads);
+    for (int64_t n : {0, 1, 7, 64, 1000}) {
+      for (int64_t grain : {1, 3, 64, 1000}) {
+        std::vector<std::atomic<int>> hits(static_cast<size_t>(n));
+        for (auto& h : hits) h.store(0);
+        pool.ParallelFor(0, n, grain, [&](int64_t lo, int64_t hi) {
+          ASSERT_LE(0, lo);
+          ASSERT_LE(lo, hi);
+          ASSERT_LE(hi, n);
+          ASSERT_LE(hi - lo, grain);
+          for (int64_t i = lo; i < hi; ++i) {
+            hits[static_cast<size_t>(i)].fetch_add(1);
+          }
+        });
+        for (int64_t i = 0; i < n; ++i) {
+          EXPECT_EQ(hits[static_cast<size_t>(i)].load(), 1)
+              << "threads=" << threads << " n=" << n << " grain=" << grain
+              << " i=" << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(ThreadPoolTest, NonZeroBeginIsRespected) {
+  ThreadPool pool(3);
+  std::atomic<int64_t> sum{0};
+  pool.ParallelFor(10, 20, 3, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) sum.fetch_add(i);
+  });
+  EXPECT_EQ(sum.load(), 145);  // 10 + 11 + ... + 19
+}
+
+TEST(ThreadPoolTest, ChunkPartitionIsIndependentOfThreadCount) {
+  // Record the chunk boundaries seen under each pool size; the partition
+  // must be identical (only the execution interleaving may differ).
+  auto partition_of = [](int threads) {
+    ThreadPool pool(threads);
+    std::mutex mu;
+    std::vector<std::pair<int64_t, int64_t>> chunks;
+    pool.ParallelFor(0, 103, 10, [&](int64_t lo, int64_t hi) {
+      std::lock_guard<std::mutex> lock(mu);
+      chunks.emplace_back(lo, hi);
+    });
+    std::sort(chunks.begin(), chunks.end());
+    return chunks;
+  };
+  const auto serial = partition_of(1);
+  EXPECT_EQ(partition_of(2), serial);
+  EXPECT_EQ(partition_of(4), serial);
+  ASSERT_EQ(serial.size(), 11u);
+  EXPECT_EQ(serial.front(), (std::pair<int64_t, int64_t>{0, 10}));
+  EXPECT_EQ(serial.back(), (std::pair<int64_t, int64_t>{100, 103}));
+}
+
+// ---------------------------------------------------------------------------
+// Edge cases
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPoolTest, EmptyRangeDoesNotInvoke) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.ParallelFor(5, 5, 1, [&](int64_t, int64_t) { ++calls; });
+  pool.ParallelFor(7, 3, 1, [&](int64_t, int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPoolTest, GrainLargerThanRangeRunsOneChunk) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.ParallelFor(0, 5, 1000, [&](int64_t lo, int64_t hi) {
+    EXPECT_EQ(lo, 0);
+    EXPECT_EQ(hi, 5);
+    calls.fetch_add(1);
+  });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ThreadPoolTest, SerialPoolRunsChunksInOrder) {
+  ThreadPool pool(1);
+  std::vector<int64_t> starts;
+  pool.ParallelFor(0, 10, 3, [&](int64_t lo, int64_t) {
+    starts.push_back(lo);
+  });
+  EXPECT_EQ(starts, (std::vector<int64_t>{0, 3, 6, 9}));
+}
+
+// ---------------------------------------------------------------------------
+// Nesting
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPoolTest, NestedParallelForRunsInlineAndCovers) {
+  ThreadPool pool(4);
+  constexpr int64_t kOuter = 8;
+  constexpr int64_t kInner = 50;
+  std::vector<std::atomic<int>> hits(kOuter * kInner);
+  for (auto& h : hits) h.store(0);
+  pool.ParallelFor(0, kOuter, 1, [&](int64_t olo, int64_t ohi) {
+    for (int64_t o = olo; o < ohi; ++o) {
+      EXPECT_TRUE(ThreadPool::InWorker());
+      // The nested call must not deadlock and must cover its own range.
+      pool.ParallelFor(0, kInner, 7, [&, o](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+          hits[static_cast<size_t>(o * kInner + i)].fetch_add(1);
+        }
+      });
+    }
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, InWorkerIsFalseOutsideTasks) {
+  EXPECT_FALSE(ThreadPool::InWorker());
+  ThreadPool pool(2);
+  pool.ParallelFor(0, 1, 1, [](int64_t, int64_t) {
+    EXPECT_TRUE(ThreadPool::InWorker());
+  });
+  EXPECT_FALSE(ThreadPool::InWorker());
+}
+
+// ---------------------------------------------------------------------------
+// Exceptions
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPoolTest, ExceptionPropagatesToCaller) {
+  for (int threads : {1, 4}) {
+    ThreadPool pool(threads);
+    EXPECT_THROW(
+        pool.ParallelFor(0, 100, 1,
+                         [](int64_t lo, int64_t) {
+                           if (lo == 37) throw std::runtime_error("boom");
+                         }),
+        std::runtime_error);
+    // The pool must remain usable after an exception.
+    std::atomic<int64_t> sum{0};
+    pool.ParallelFor(0, 10, 1, [&](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) sum.fetch_add(i);
+    });
+    EXPECT_EQ(sum.load(), 45);
+  }
+}
+
+TEST(ThreadPoolTest, NestedExceptionPropagates) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.ParallelFor(0, 4, 1,
+                                [&](int64_t, int64_t) {
+                                  pool.ParallelFor(
+                                      0, 4, 1, [](int64_t lo, int64_t) {
+                                        if (lo == 2) {
+                                          throw std::runtime_error("inner");
+                                        }
+                                      });
+                                }),
+               std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Global pool
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPoolTest, GlobalPoolResizes) {
+  const int original = ThreadPool::GlobalSize();
+  ThreadPool::SetGlobalSize(3);
+  EXPECT_EQ(ThreadPool::GlobalSize(), 3);
+  EXPECT_EQ(ThreadPool::Global().size(), 3);
+  std::atomic<int64_t> count{0};
+  ParallelFor(0, 100, 10,
+              [&](int64_t lo, int64_t hi) { count.fetch_add(hi - lo); });
+  EXPECT_EQ(count.load(), 100);
+  ThreadPool::SetGlobalSize(original);
+}
+
+// ---------------------------------------------------------------------------
+// Stress: repeated dispatch from a loop, mixed sizes, runs fine under
+// `ctest -j` alongside the other binaries.
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPoolTest, StressRepeatedDispatch) {
+  ThreadPool pool(4);
+  for (int iter = 0; iter < 200; ++iter) {
+    const int64_t n = 1 + (iter * 37) % 257;
+    const int64_t grain = 1 + iter % 13;
+    std::atomic<int64_t> sum{0};
+    pool.ParallelFor(0, n, grain, [&](int64_t lo, int64_t hi) {
+      int64_t local = 0;
+      for (int64_t i = lo; i < hi; ++i) local += i;
+      sum.fetch_add(local);
+    });
+    EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+  }
+}
+
+}  // namespace
+}  // namespace rrre::common

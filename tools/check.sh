@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# CI entry point: tier-1 verification (default build + full test suite),
+# then the same suite under ThreadSanitizer to vet the parallel layer.
+#
+# Usage: tools/check.sh [--skip-tsan]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SKIP_TSAN=0
+for arg in "$@"; do
+  case "$arg" in
+    --skip-tsan) SKIP_TSAN=1 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+echo "== tier-1: default build + tests =="
+cmake -B build -S . >/dev/null
+cmake --build build -j >/dev/null
+(cd build && ctest --output-on-failure -j)
+
+if [[ "$SKIP_TSAN" == "1" ]]; then
+  echo "== TSan pass skipped =="
+  exit 0
+fi
+
+echo "== TSan: parallel-layer tests under ThreadSanitizer =="
+cmake -B build-tsan -S . -DRRRE_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j \
+  --target test_threadpool test_parallel_determinism test_tensor >/dev/null
+(cd build-tsan && ctest --output-on-failure \
+  -R "ThreadPool|ParallelDeterminism" )
+
+echo "== all checks passed =="
