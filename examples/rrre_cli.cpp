@@ -54,7 +54,7 @@ int Train(const common::FlagParser& flags) {
     std::fprintf(stderr, "save failed: %s\n", st.ToString().c_str());
     return 1;
   }
-  std::printf("checkpoint written to %s.{model,vocab,train.tsv,meta}\n",
+  std::printf("checkpoint written to %s.{model,vocab,train.tsv,meta,optimizer}\n",
               model.c_str());
   return 0;
 }

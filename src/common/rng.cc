@@ -1,5 +1,6 @@
 #include "common/rng.h"
 
+#include <bit>
 #include <cmath>
 #include <numbers>
 
@@ -110,6 +111,17 @@ std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
 }
 
 Rng Rng::Fork() { return Rng(NextUint64()); }
+
+std::array<uint64_t, Rng::kStateWords> Rng::SerializeState() const {
+  return {s_[0], s_[1], s_[2], s_[3], has_cached_normal_ ? uint64_t{1} : 0,
+          std::bit_cast<uint64_t>(cached_normal_)};
+}
+
+void Rng::RestoreState(const std::array<uint64_t, kStateWords>& state) {
+  for (int i = 0; i < 4; ++i) s_[i] = state[static_cast<size_t>(i)];
+  has_cached_normal_ = state[4] != 0;
+  cached_normal_ = std::bit_cast<double>(state[5]);
+}
 
 Rng Rng::Fork(uint64_t stream) const {
   // Mix the full 256-bit state with the stream id through two splitmix64

@@ -1,6 +1,7 @@
 #ifndef RRRE_COMMON_RNG_H_
 #define RRRE_COMMON_RNG_H_
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <utility>
@@ -68,6 +69,17 @@ class Rng {
   /// This is how parallel workers get per-shard randomness that does not
   /// depend on the number of threads or the order shards execute in.
   Rng Fork(uint64_t stream) const;
+
+  /// Number of 64-bit words in a serialized state.
+  static constexpr size_t kStateWords = 6;
+
+  /// Captures the complete generator state (the four xoshiro words plus the
+  /// Box-Muller normal cache) so a restored generator continues the exact
+  /// same draw sequence — the hook exact-resume checkpoints use.
+  std::array<uint64_t, kStateWords> SerializeState() const;
+
+  /// Restores a state captured by SerializeState.
+  void RestoreState(const std::array<uint64_t, kStateWords>& state);
 
  private:
   uint64_t s_[4];

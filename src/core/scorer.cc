@@ -14,12 +14,31 @@ BatchScorer::BatchScorer(RrreTrainer* trainer)
       features_(trainer->config(), &trainer->train_data(),
                 &trainer->vocab()),
       rng_(trainer->config().seed ^ 0xca11ab1eULL),
-      profile_dim_(trainer->config().rev_dim) {
+      profile_dim_(trainer->config().rev_dim),
+      params_version_(trainer->params_version()) {
   RRRE_CHECK(trainer != nullptr);
   RRRE_CHECK(trainer->fitted()) << "fit the trainer before scoring";
 }
 
+void BatchScorer::Invalidate() {
+  user_profiles_.clear();
+  item_profiles_.clear();
+  // Re-bind the feature builder too: Fit and Load replace the trainer's
+  // corpus and vocabulary outright, so the pointers captured at
+  // construction would dangle.
+  features_ = FeatureBuilder(trainer_->config(), &trainer_->train_data(),
+                             &trainer_->vocab());
+  params_version_ = trainer_->params_version();
+}
+
+void BatchScorer::CheckNotStale() const {
+  RRRE_CHECK_EQ(trainer_->params_version(), params_version_)
+      << "BatchScorer caches are stale: the trainer's parameters changed "
+         "since this scorer was created — call Invalidate() first";
+}
+
 void BatchScorer::PrimeUsers(const std::vector<int64_t>& users) {
+  CheckNotStale();
   std::vector<int64_t> missing;
   for (int64_t u : users) {
     if (!user_profiles_.count(u)) missing.push_back(u);
@@ -47,6 +66,7 @@ void BatchScorer::PrimeUsers(const std::vector<int64_t>& users) {
 }
 
 void BatchScorer::PrimeItems(const std::vector<int64_t>& items) {
+  CheckNotStale();
   std::vector<int64_t> missing;
   for (int64_t i : items) {
     if (!item_profiles_.count(i)) missing.push_back(i);
@@ -75,6 +95,7 @@ void BatchScorer::PrimeItems(const std::vector<int64_t>& items) {
 
 RrreTrainer::Predictions BatchScorer::Score(
     const std::vector<std::pair<int64_t, int64_t>>& pairs) {
+  CheckNotStale();
   std::vector<int64_t> users;
   std::vector<int64_t> items;
   users.reserve(pairs.size());

@@ -26,9 +26,17 @@ namespace rrre::core {
 class BatchScorer {
  public:
   /// `trainer` must be fitted and outlive the scorer. Cached profiles snap
-  /// the model's parameters at the time each profile is computed; create a
-  /// fresh scorer after further training.
+  /// the model's parameters at construction time: the scorer records the
+  /// trainer's params_version() and every scoring call checks it, so using
+  /// a scorer after further training (or a checkpoint Load) is a hard error
+  /// rather than silently stale scores. Call Invalidate() to drop the
+  /// caches and re-bind to the current parameters.
   explicit BatchScorer(RrreTrainer* trainer);
+
+  /// Drops all cached profiles and re-snapshots the trainer's parameter
+  /// version — call after the trainer's parameters changed (more training,
+  /// a checkpoint Load) to keep using the same scorer.
+  void Invalidate();
 
   /// Precomputes profiles for the given ids (idempotent per id).
   void PrimeUsers(const std::vector<int64_t>& users);
@@ -50,10 +58,16 @@ class BatchScorer {
   }
 
  private:
+  /// Fatal unless the trainer's parameters are still the ones the cached
+  /// profiles were computed from.
+  void CheckNotStale() const;
+
   RrreTrainer* trainer_;
   FeatureBuilder features_;
   common::Rng rng_;
   int64_t profile_dim_;
+  /// trainer_->params_version() the caches are bound to.
+  int64_t params_version_;
   /// Cached tower outputs, one k-vector per id.
   std::unordered_map<int64_t, std::vector<float>> user_profiles_;
   std::unordered_map<int64_t, std::vector<float>> item_profiles_;

@@ -1,0 +1,134 @@
+#include "core/serving.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/io.h"
+#include "common/strings.h"
+#include "common/timer.h"
+#include "core/scorer.h"
+
+namespace rrre::core {
+
+using common::Result;
+using common::Status;
+
+namespace {
+
+/// Strict integer parse; rejects trailing junk so a mangled request file
+/// fails loudly instead of scoring the wrong id.
+bool ParseId(const std::string& field, int64_t* out) {
+  if (field.empty()) return false;
+  char* end = nullptr;
+  const long long v = std::strtoll(field.c_str(), &end, 10);
+  if (end != field.c_str() + field.size()) return false;
+  *out = v;
+  return true;
+}
+
+Status BadLine(const std::string& path, size_t line, const std::string& what) {
+  return Status::InvalidArgument(path + ":" + std::to_string(line + 1) + ": " +
+                                 what);
+}
+
+}  // namespace
+
+Result<std::vector<std::pair<int64_t, int64_t>>> ReadScoreRequests(
+    const std::string& path, bool catalog, int64_t num_users,
+    int64_t num_items, int64_t* num_requests) {
+  auto rows = common::ReadTsv(path);
+  if (!rows.ok()) return rows.status();
+  std::vector<std::pair<int64_t, int64_t>> pairs;
+  int64_t requests = 0;
+  for (size_t line = 0; line < rows.value().size(); ++line) {
+    const auto& row = rows.value()[line];
+    if (!row.empty() && common::StartsWith(row[0], "#")) continue;
+    int64_t user = 0;
+    // A non-numeric first row is the conventional "user[\titem]" header.
+    if (line == 0 && !ParseId(row.empty() ? "" : row[0], &user)) continue;
+    const size_t want_cols = catalog ? 1 : 2;
+    if (row.size() != want_cols) {
+      return BadLine(path, line,
+                     "expected " + std::to_string(want_cols) +
+                         " column(s), got " + std::to_string(row.size()));
+    }
+    if (!ParseId(row[0], &user)) {
+      return BadLine(path, line, "bad user id \"" + row[0] + "\"");
+    }
+    if (user < 0 || user >= num_users) {
+      return BadLine(path, line,
+                     "user " + std::to_string(user) + " out of range [0, " +
+                         std::to_string(num_users) + ")");
+    }
+    ++requests;
+    if (catalog) {
+      for (int64_t i = 0; i < num_items; ++i) pairs.emplace_back(user, i);
+      continue;
+    }
+    int64_t item = 0;
+    if (!ParseId(row[1], &item)) {
+      return BadLine(path, line, "bad item id \"" + row[1] + "\"");
+    }
+    if (item < 0 || item >= num_items) {
+      return BadLine(path, line,
+                     "item " + std::to_string(item) + " out of range [0, " +
+                         std::to_string(num_items) + ")");
+    }
+    pairs.emplace_back(user, item);
+  }
+  if (num_requests != nullptr) *num_requests = requests;
+  return pairs;
+}
+
+Result<ServeStats> ServeBatch(RrreTrainer& trainer,
+                              const ServeOptions& options) {
+  if (!trainer.fitted()) {
+    return Status::FailedPrecondition("trainer is not fitted or loaded");
+  }
+  ServeStats stats;
+  auto pairs = ReadScoreRequests(
+      options.input_path, options.catalog, trainer.train_data().num_users(),
+      trainer.train_data().num_items(), &stats.num_requests);
+  if (!pairs.ok()) return pairs.status();
+
+  common::Timer timer;
+  BatchScorer scorer(&trainer);
+  // Score() primes missing towers on demand; priming explicitly up front
+  // keeps the per-tower batches dense when requests repeat users/items.
+  std::vector<int64_t> users;
+  std::vector<int64_t> items;
+  users.reserve(pairs.value().size());
+  items.reserve(pairs.value().size());
+  for (const auto& [u, i] : pairs.value()) {
+    users.push_back(u);
+    items.push_back(i);
+  }
+  scorer.PrimeUsers(users);
+  scorer.PrimeItems(items);
+  const RrreTrainer::Predictions preds = scorer.Score(pairs.value());
+  stats.num_scored = static_cast<int64_t>(pairs.value().size());
+  stats.users_primed = scorer.cached_users();
+  stats.items_primed = scorer.cached_items();
+  stats.seconds = timer.ElapsedSeconds();
+
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(pairs.value().size() + 1);
+  rows.push_back({"user", "item", "rating", "reliability"});
+  for (size_t i = 0; i < pairs.value().size(); ++i) {
+    rows.push_back({std::to_string(pairs.value()[i].first),
+                    std::to_string(pairs.value()[i].second),
+                    common::StrFormat("%.17g", preds.ratings[i]),
+                    common::StrFormat("%.17g", preds.reliabilities[i])});
+  }
+  RRRE_RETURN_IF_ERROR(common::WriteTsv(options.output_path, rows));
+  return stats;
+}
+
+Result<ServeStats> LoadAndServe(const RrreConfig& config,
+                                const ServeOptions& options) {
+  RrreTrainer trainer(config);
+  RRRE_RETURN_IF_ERROR(trainer.Load(options.model_prefix));
+  return ServeBatch(trainer, options);
+}
+
+}  // namespace rrre::core

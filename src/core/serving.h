@@ -1,0 +1,63 @@
+#ifndef RRRE_CORE_SERVING_H_
+#define RRRE_CORE_SERVING_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "core/config.h"
+#include "core/trainer.h"
+
+namespace rrre::core {
+
+/// Options for the train-once/serve-many batch scoring entry point behind
+/// the `rrre_serve` tool: load a checkpoint, prime the tower-cached
+/// BatchScorer, score a TSV of requests, emit rating + reliability TSV.
+struct ServeOptions {
+  /// Checkpoint prefix as passed to RrreTrainer::Save / Load.
+  std::string model_prefix;
+  /// Request TSV. Pair mode: one "user<TAB>item" per line. Catalog mode:
+  /// one "user" per line, expanded to the full item catalog. A leading
+  /// header row ("user[<TAB>item]") and '#' comment lines are skipped.
+  std::string input_path;
+  /// Output TSV: header then "user<TAB>item<TAB>rating<TAB>reliability"
+  /// rows aligned with the expanded request order. Values are printed with
+  /// enough digits to round-trip doubles exactly.
+  std::string output_path;
+  /// True: each request line is a bare user id scored against every item.
+  bool catalog = false;
+};
+
+struct ServeStats {
+  int64_t num_requests = 0;   ///< Request lines read (after header/comments).
+  int64_t num_scored = 0;     ///< (user, item) pairs scored.
+  int64_t users_primed = 0;   ///< Distinct user tower profiles computed.
+  int64_t items_primed = 0;   ///< Distinct item tower profiles computed.
+  double seconds = 0.0;       ///< Wall-clock scoring time (excludes load).
+};
+
+/// Parses a request TSV (see ServeOptions::input_path) and expands it into
+/// explicit (user, item) pairs, validating every id against the trainer's
+/// corpus bounds. Errors carry the offending line number.
+common::Result<std::vector<std::pair<int64_t, int64_t>>> ReadScoreRequests(
+    const std::string& path, bool catalog, int64_t num_users,
+    int64_t num_items, int64_t* num_requests = nullptr);
+
+/// Scores the requests in `options` with a tower-cached BatchScorer over the
+/// already-loaded `trainer` and writes the output TSV. The scorer primes
+/// each distinct user/item tower once — O(users + items) tower work plus
+/// cheap per-pair heads — so full-catalog sweeps cost far less than the
+/// naive per-pair pipeline.
+common::Result<ServeStats> ServeBatch(RrreTrainer& trainer,
+                                      const ServeOptions& options);
+
+/// Convenience used by the CLI: constructs a trainer from `config`, loads
+/// `options.model_prefix`, and runs ServeBatch.
+common::Result<ServeStats> LoadAndServe(const RrreConfig& config,
+                                        const ServeOptions& options);
+
+}  // namespace rrre::core
+
+#endif  // RRRE_CORE_SERVING_H_

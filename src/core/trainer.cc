@@ -1,17 +1,22 @@
 #include "core/trainer.h"
 
 #include <algorithm>
+#include <array>
+#include <bit>
+#include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <unordered_set>
 
 #include "common/io.h"
 #include "common/logging.h"
+#include "common/strings.h"
 #include "common/threadpool.h"
 #include "common/timer.h"
 #include "nn/loss.h"
 #include "tensor/grad_sink.h"
 #include "tensor/ops.h"
+#include "tensor/serialize.h"
 #include "text/tokenizer.h"
 #include "text/word2vec.h"
 
@@ -73,12 +78,23 @@ void RrreTrainer::Fit(const data::ReviewDataset& train,
   optimizer_ = std::make_unique<nn::Adam>(params, config_.lr);
 
   // 3. Training loop.
+  epochs_completed_ = 0;
+  ++params_version_;
+  TrainEpochs(0, callback);
+}
+
+void RrreTrainer::TrainEpochs(int64_t first_epoch,
+                              const EpochCallback& callback) {
   const int64_t n = train_->size();
   std::vector<int64_t> order(static_cast<size_t>(n));
-  for (int64_t i = 0; i < n; ++i) order[static_cast<size_t>(i)] = i;
 
-  for (int64_t epoch = 0; epoch < config_.epochs; ++epoch) {
+  for (int64_t epoch = first_epoch; epoch < config_.epochs; ++epoch) {
     common::Timer timer;
+    // The permutation is re-derived from identity every epoch so it is a
+    // pure function of the RNG state at the epoch boundary — the property
+    // that lets a Load + Resume replay the exact shuffle an uninterrupted
+    // run would have drawn.
+    for (int64_t i = 0; i < n; ++i) order[static_cast<size_t>(i)] = i;
     rng_.Shuffle(order);
     double sum_loss = 0.0;
     double sum_loss1 = 0.0;
@@ -133,6 +149,7 @@ void RrreTrainer::Fit(const data::ReviewDataset& train,
           nn::ClipGradNorm(params_ref, config_.grad_clip);
         }
         optimizer_->Step();
+        ++params_version_;
 
         sum_loss += loss.item();
         sum_loss1 += loss1.item();
@@ -224,6 +241,7 @@ void RrreTrainer::Fit(const data::ReviewDataset& train,
           nn::ClipGradNorm(params_ref, config_.grad_clip);
         }
         optimizer_->Step();
+        ++params_version_;
 
         double ce_full = 0.0;
         double mse_full = 0.0;
@@ -239,6 +257,7 @@ void RrreTrainer::Fit(const data::ReviewDataset& train,
       }
       ++batches;
     }
+    epochs_completed_ = epoch + 1;
     if (callback) {
       EpochStats stats;
       stats.epoch = epoch;
@@ -343,22 +362,125 @@ common::Status RrreTrainer::Save(const std::string& prefix) const {
   RRRE_RETURN_IF_ERROR(model_->Save(prefix + ".model"));
   RRRE_RETURN_IF_ERROR(vocab_->Save(prefix + ".vocab"));
   RRRE_RETURN_IF_ERROR(train_->SaveTsv(prefix + ".train.tsv"));
-  return common::WriteFile(prefix + ".meta",
-                           std::to_string(rating_offset_) + "\n");
+  if (optimizer_ != nullptr) {
+    RRRE_RETURN_IF_ERROR(
+        tensor::SaveTensors(prefix + ".optimizer", optimizer_->StateTensors()));
+  }
+  // Scalar state. The rating offset is stored as raw IEEE-754 bits (the
+  // decimal form is informational only) and the RNG as its full word state,
+  // so a Load + Resume replays training bitwise identically.
+  std::string meta;
+  meta += "format=2\n";
+  meta += common::StrFormat("rating_offset_bits=%016llx\n",
+                            static_cast<unsigned long long>(
+                                std::bit_cast<uint64_t>(rating_offset_)));
+  meta += common::StrFormat("rating_offset=%.17g\n", rating_offset_);
+  meta += common::StrFormat("epochs_completed=%lld\n",
+                            static_cast<long long>(epochs_completed_));
+  meta += common::StrFormat("has_optimizer=%d\n", optimizer_ != nullptr);
+  meta += "rng=";
+  const auto rng_state = rng_.SerializeState();
+  for (size_t i = 0; i < rng_state.size(); ++i) {
+    meta += common::StrFormat(
+        "%s%016llx", i == 0 ? "" : ",",
+        static_cast<unsigned long long>(rng_state[i]));
+  }
+  meta += "\n";
+  return common::WriteFile(prefix + ".meta", meta);
 }
+
+namespace {
+
+/// Parses the key=value .meta file written by Save (format 2), or the legacy
+/// single-number form that held only the rating offset.
+struct TrainerMeta {
+  double rating_offset = 0.0;
+  int64_t epochs_completed = 0;
+  bool has_optimizer = false;
+  bool has_rng = false;
+  std::array<uint64_t, common::Rng::kStateWords> rng_state{};
+};
+
+common::Result<TrainerMeta> ParseTrainerMeta(const std::string& content,
+                                             const std::string& path) {
+  TrainerMeta meta;
+  if (content.find('=') == std::string::npos) {  // Legacy scalar-only form.
+    meta.rating_offset = std::atof(content.c_str());
+    return meta;
+  }
+  bool have_offset = false;
+  for (const std::string& raw : common::Split(content, '\n')) {
+    const std::string line(common::Trim(raw));
+    if (line.empty()) continue;
+    const size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      return common::Status::InvalidArgument("malformed meta line \"" + line +
+                                             "\" in " + path);
+    }
+    const std::string key = line.substr(0, eq);
+    const std::string value = line.substr(eq + 1);
+    if (key == "format") {
+      if (value != "2") {
+        return common::Status::InvalidArgument(
+            "unsupported trainer meta format " + value + " in " + path);
+      }
+    } else if (key == "rating_offset_bits") {
+      uint64_t bits = 0;
+      if (std::sscanf(value.c_str(), "%llx",
+                      reinterpret_cast<unsigned long long*>(&bits)) != 1) {
+        return common::Status::InvalidArgument("bad rating_offset_bits in " +
+                                               path);
+      }
+      meta.rating_offset = std::bit_cast<double>(bits);
+      have_offset = true;
+    } else if (key == "rating_offset") {
+      // Informational duplicate of rating_offset_bits; used only when the
+      // exact form is absent.
+      if (!have_offset) meta.rating_offset = std::atof(value.c_str());
+    } else if (key == "epochs_completed") {
+      meta.epochs_completed = std::atoll(value.c_str());
+      if (meta.epochs_completed < 0) {
+        return common::Status::InvalidArgument("bad epochs_completed in " +
+                                               path);
+      }
+    } else if (key == "has_optimizer") {
+      meta.has_optimizer = value == "1";
+    } else if (key == "rng") {
+      const auto words = common::Split(value, ',');
+      if (words.size() != meta.rng_state.size()) {
+        return common::Status::InvalidArgument("bad rng state in " + path);
+      }
+      for (size_t i = 0; i < words.size(); ++i) {
+        unsigned long long w = 0;
+        if (std::sscanf(words[i].c_str(), "%llx", &w) != 1) {
+          return common::Status::InvalidArgument("bad rng state in " + path);
+        }
+        meta.rng_state[i] = w;
+      }
+      meta.has_rng = true;
+    }
+    // Unknown keys are skipped so future formats stay forward-readable.
+  }
+  return meta;
+}
+
+}  // namespace
 
 common::Status RrreTrainer::Load(const std::string& prefix) {
   auto vocab = text::Vocabulary::Load(prefix + ".vocab");
   if (!vocab.ok()) return vocab.status();
   auto train = data::ReviewDataset::LoadTsv(prefix + ".train.tsv");
   if (!train.ok()) return train.status();
-  auto meta = common::ReadFile(prefix + ".meta");
+  auto meta_content = common::ReadFile(prefix + ".meta");
+  if (!meta_content.ok()) return meta_content.status();
+  auto meta = ParseTrainerMeta(meta_content.value(), prefix + ".meta");
   if (!meta.ok()) return meta.status();
 
   vocab_ = std::make_unique<text::Vocabulary>(std::move(vocab).ValueOrDie());
   train_ =
       std::make_unique<data::ReviewDataset>(std::move(train).ValueOrDie());
-  rating_offset_ = std::atof(meta.value().c_str());
+  rating_offset_ = meta.value().rating_offset;
+  epochs_completed_ = meta.value().epochs_completed;
 
   Rng init_rng = rng_.Fork();
   model_ = std::make_unique<RrreModel>(config_, train_->num_users(),
@@ -368,6 +490,34 @@ common::Status RrreTrainer::Load(const std::string& prefix) {
   features_ = std::make_unique<FeatureBuilder>(config_, train_.get(),
                                                vocab_.get());
   optimizer_.reset();
+  if (meta.value().has_optimizer) {
+    auto state = tensor::LoadTensors(prefix + ".optimizer");
+    if (!state.ok()) return state.status();
+    auto params = config_.freeze_word_vectors
+                      ? model_->ParametersWithoutWordTable()
+                      : model_->Parameters();
+    auto optimizer = std::make_unique<nn::Adam>(params, config_.lr);
+    RRRE_RETURN_IF_ERROR(optimizer->LoadStateTensors(state.value()));
+    optimizer_ = std::move(optimizer);
+  }
+  // Restored last: the forks above must not perturb the checkpointed stream.
+  if (meta.value().has_rng) rng_.RestoreState(meta.value().rng_state);
+  ++params_version_;
+  return common::Status::Ok();
+}
+
+common::Status RrreTrainer::Resume(EpochCallback callback) {
+  if (!fitted()) {
+    return common::Status::FailedPrecondition(
+        "nothing to resume: trainer is not fitted");
+  }
+  if (optimizer_ == nullptr) {
+    return common::Status::FailedPrecondition(
+        "checkpoint carries no optimizer state; it was saved before training "
+        "or by a pre-resume version — call Fit to retrain instead");
+  }
+  if (epochs_completed_ >= config_.epochs) return common::Status::Ok();
+  TrainEpochs(epochs_completed_, callback);
   return common::Status::Ok();
 }
 

@@ -40,6 +40,15 @@ class RrreTrainer {
   /// inference). Calling Fit twice restarts from scratch.
   void Fit(const data::ReviewDataset& train, EpochCallback callback = nullptr);
 
+  /// Continues training a checkpoint restored by Load: runs the remaining
+  /// epochs [epochs_completed(), config().epochs). Because Save captures the
+  /// optimizer moments, step count and RNG state, the resumed run is bitwise
+  /// identical to one that was never interrupted. Returns
+  /// FailedPrecondition when the checkpoint carries no optimizer state
+  /// (saved by an older version, or never trained); a no-op when training
+  /// already reached config().epochs.
+  common::Status Resume(EpochCallback callback = nullptr);
+
   struct Predictions {
     std::vector<double> ratings;
     std::vector<double> reliabilities;  ///< P(benign) per pair.
@@ -63,13 +72,17 @@ class RrreTrainer {
 
   /// Persists a fitted trainer: model parameters (<prefix>.model), the
   /// vocabulary (<prefix>.vocab), the training corpus used for histories
-  /// (<prefix>.train.tsv) and scalar state (<prefix>.meta). The RrreConfig
-  /// is not serialized — construct the loading trainer with the same one.
+  /// (<prefix>.train.tsv), optimizer moments when available
+  /// (<prefix>.optimizer) and scalar state — exact rating offset, epoch
+  /// counter and RNG state — in <prefix>.meta. The RrreConfig is not
+  /// serialized — construct the loading trainer with the same one.
   common::Status Save(const std::string& prefix) const;
 
   /// Restores a trainer saved by Save into this instance (which must have
   /// been constructed with a matching config). After Load the trainer can
-  /// predict; calling Fit again retrains from scratch.
+  /// predict, Resume() remaining epochs (when optimizer state was saved), or
+  /// Fit again to retrain from scratch. Legacy checkpoints (scalar-only
+  /// .meta) still load but cannot Resume.
   common::Status Load(const std::string& prefix);
 
   bool fitted() const { return model_ != nullptr; }
@@ -79,13 +92,26 @@ class RrreTrainer {
   const RrreConfig& config() const { return config_; }
   /// Mean training rating added back onto the FM head's residual output.
   double rating_offset() const { return rating_offset_; }
+  /// Epochs finished so far (across Fit and Resume; restored by Load).
+  int64_t epochs_completed() const { return epochs_completed_; }
+  /// Monotone counter bumped whenever the model parameters change (each
+  /// optimizer step, each Fit restart, each Load). Consumers that cache
+  /// parameter-derived values (e.g. BatchScorer tower profiles) snapshot it
+  /// and treat a mismatch as staleness.
+  int64_t params_version() const { return params_version_; }
 
  private:
+  /// Runs epochs [first_epoch, config_.epochs) of the training loop on the
+  /// already-initialized model/optimizer/features.
+  void TrainEpochs(int64_t first_epoch, const EpochCallback& callback);
+
   RrreConfig config_;
   common::Rng rng_;
   /// Mean training rating; the FM head learns residuals around it so the
   /// rating loss does not dwarf the reliability loss early in training.
   double rating_offset_ = 0.0;
+  int64_t epochs_completed_ = 0;
+  int64_t params_version_ = 0;
   std::unique_ptr<data::ReviewDataset> train_;
   std::unique_ptr<text::Vocabulary> vocab_;
   std::unique_ptr<RrreModel> model_;

@@ -112,6 +112,13 @@ double NdcgAtK(const std::vector<double>& scores,
   RRRE_CHECK_GT(k, 0);
   k = std::min<int64_t>(k, static_cast<int64_t>(scores.size()));
   const auto order = RankDescending(scores);
+  // The ideal ranking puts every positive first, so IDCG sums discounts over
+  // min(k, #positives) positions — summing over all k would understate NDCG
+  // whenever the list holds fewer than k positives.
+  int64_t positives = 0;
+  for (int label : labels) positives += label == 1 ? 1 : 0;
+  const int64_t ideal = std::min<int64_t>(k, positives);
+  if (ideal == 0) return 0.0;
   double dcg = 0.0;
   double idcg = 0.0;
   for (int64_t rank = 0; rank < k; ++rank) {
@@ -120,7 +127,7 @@ double NdcgAtK(const std::vector<double>& scores,
     // Binary labels: 2^l - 1 is l itself.
     dcg += static_cast<double>(labels[order[static_cast<size_t>(rank)]]) *
            discount;
-    idcg += discount;
+    if (rank < ideal) idcg += discount;
   }
   return dcg / idcg;
 }

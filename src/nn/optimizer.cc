@@ -94,6 +94,92 @@ void Adam::Step() {
   }
 }
 
+std::map<std::string, Tensor> Adam::StateTensors() const {
+  std::map<std::string, Tensor> state;
+  // Two f32 words hold the step count exactly for t < 2^48 (a float is
+  // integer-exact up to 2^24).
+  const auto lo = static_cast<float>(t_ & ((int64_t{1} << 24) - 1));
+  const auto hi = static_cast<float>(t_ >> 24);
+  state.emplace("adam.t", Tensor::FromVector({2}, {lo, hi}));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    const auto it = slots_.find(params_[i].impl().get());
+    if (it == slots_.end()) continue;
+    const std::string key = "adam." + std::to_string(i);
+    const auto n = static_cast<int64_t>(it->second.m.size());
+    state.emplace(key + ".m", Tensor::FromVector({n}, it->second.m));
+    state.emplace(key + ".v", Tensor::FromVector({n}, it->second.v));
+  }
+  return state;
+}
+
+common::Status Adam::LoadStateTensors(
+    const std::map<std::string, Tensor>& state) {
+  const auto t_it = state.find("adam.t");
+  if (t_it == state.end() || t_it->second.numel() != 2) {
+    return common::Status::InvalidArgument(
+        "optimizer state is missing a valid adam.t entry");
+  }
+  // Validate everything before mutating so a bad checkpoint cannot leave the
+  // optimizer half-restored.
+  std::unordered_map<const void*, Slot> slots;
+  for (const auto& [name, t] : state) {
+    if (name == "adam.t") continue;
+    if (name.rfind("adam.", 0) != 0) {
+      return common::Status::InvalidArgument("unknown optimizer state key: " +
+                                             name);
+    }
+    const std::string body = name.substr(5);  // "<i>.m" or "<i>.v"
+    const size_t dot = body.find('.');
+    if (dot == std::string::npos ||
+        (body.substr(dot + 1) != "m" && body.substr(dot + 1) != "v")) {
+      return common::Status::InvalidArgument("unknown optimizer state key: " +
+                                             name);
+    }
+    size_t index = 0;
+    try {
+      index = std::stoul(body.substr(0, dot));
+    } catch (...) {
+      return common::Status::InvalidArgument("unknown optimizer state key: " +
+                                             name);
+    }
+    if (index >= params_.size()) {
+      return common::Status::InvalidArgument(
+          "optimizer state key " + name + " exceeds the parameter count (" +
+          std::to_string(params_.size()) + ")");
+    }
+    const Tensor& param = params_[index];
+    if (t.numel() != param.numel()) {
+      return common::Status::InvalidArgument(
+          "optimizer state size mismatch for " + name + ": " +
+          std::to_string(t.numel()) + " vs parameter " +
+          std::to_string(param.numel()));
+    }
+    Slot& slot = slots[param.impl().get()];
+    auto& dst = body.substr(dot + 1) == "m" ? slot.m : slot.v;
+    if (!dst.empty()) {
+      return common::Status::InvalidArgument("duplicate optimizer state key: " +
+                                             name);
+    }
+    dst = t.ToVector();
+  }
+  for (const auto& [impl, slot] : slots) {
+    (void)impl;
+    if (slot.m.size() != slot.v.size()) {
+      return common::Status::InvalidArgument(
+          "optimizer state has an unpaired adam.<i>.m / adam.<i>.v entry");
+    }
+  }
+  const auto lo = static_cast<int64_t>(t_it->second.at(0));
+  const auto hi = static_cast<int64_t>(t_it->second.at(1));
+  if (lo < 0 || hi < 0 || lo >= (int64_t{1} << 24)) {
+    return common::Status::InvalidArgument(
+        "optimizer state has an invalid step count");
+  }
+  t_ = (hi << 24) | lo;
+  slots_ = std::move(slots);
+  return common::Status::Ok();
+}
+
 double GlobalGradNorm(const std::vector<Tensor>& params) {
   double total = 0.0;
   for (const Tensor& p : params) {

@@ -1,9 +1,12 @@
 #ifndef RRRE_NN_OPTIMIZER_H_
 #define RRRE_NN_OPTIMIZER_H_
 
+#include <map>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/status.h"
 #include "tensor/tensor.h"
 
 namespace rrre::nn {
@@ -60,6 +63,24 @@ class Adam : public Optimizer {
 
   void set_lr(double lr) { lr_ = lr; }
   double lr() const { return lr_; }
+
+  /// Number of optimizer steps taken so far (the bias-correction time t).
+  int64_t step_count() const { return t_; }
+
+  /// Exports the complete optimizer state as named tensors suitable for
+  /// SaveTensors: "adam.t" (step count, split into two exact f32 words) plus
+  /// "adam.<i>.m" / "adam.<i>.v" first/second moments for every parameter i
+  /// (indexed in params() order) that has accumulated a slot. Parameters
+  /// whose gradient was never live have no slot and are omitted.
+  std::map<std::string, tensor::Tensor> StateTensors() const;
+
+  /// Restores state exported by StateTensors onto an optimizer constructed
+  /// over the same parameter list (same order and shapes). Replaces any
+  /// existing moments; a resumed run then steps bitwise identically to one
+  /// that was never interrupted. Unknown keys, missing counterparts, or
+  /// size mismatches are errors and leave the optimizer unchanged.
+  common::Status LoadStateTensors(
+      const std::map<std::string, tensor::Tensor>& state);
 
  private:
   struct Slot {

@@ -1,7 +1,10 @@
 #include "tensor/serialize.h"
 
+#include <array>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <utility>
 
 namespace rrre::tensor {
 
@@ -10,7 +13,20 @@ using common::Status;
 
 namespace {
 
-constexpr char kMagic[8] = {'R', 'R', 'R', 'E', 'T', 'N', 'S', '1'};
+constexpr char kMagicV1[8] = {'R', 'R', 'R', 'E', 'T', 'N', 'S', '1'};
+constexpr char kMagicV2[8] = {'R', 'R', 'R', 'E', 'T', 'N', 'S', '2'};
+
+std::array<uint32_t, 256> BuildCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1) ? (0xedb88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
 
 template <typename T>
 void WritePod(std::ostream& out, T value) {
@@ -23,27 +39,131 @@ bool ReadPod(std::istream& in, T* value) {
   return static_cast<bool>(in);
 }
 
+/// Reads and validates one tensor entry. `version` selects whether a CRC
+/// field is expected. On success the entry is inserted into `out`.
+Status ReadEntry(std::istream& in, const std::string& path, uint32_t version,
+                 std::map<std::string, Tensor>* out) {
+  uint32_t name_len = 0;
+  if (!ReadPod(in, &name_len)) {
+    return Status::IoError("truncated checkpoint entry header: " + path);
+  }
+  if (name_len == 0 || name_len > kMaxTensorNameLen) {
+    return Status::InvalidArgument("bad tensor name length (" +
+                                   std::to_string(name_len) + ") in " + path);
+  }
+  std::string name(name_len, '\0');
+  in.read(name.data(), name_len);
+  if (!in) return Status::IoError("truncated tensor name in " + path);
+  uint32_t rank = 0;
+  if (!ReadPod(in, &rank)) {
+    return Status::IoError("truncated checkpoint entry header: " + path);
+  }
+  if (rank == 0 || rank > 8) {
+    return Status::InvalidArgument("bad tensor rank (" + std::to_string(rank) +
+                                   ") for \"" + name + "\" in " + path);
+  }
+  Shape shape(rank);
+  int64_t numel = 1;
+  for (uint32_t d = 0; d < rank; ++d) {
+    if (!ReadPod(in, &shape[d])) {
+      return Status::IoError("truncated tensor dims in " + path);
+    }
+    if (shape[d] <= 0) {
+      return Status::InvalidArgument(
+          "bad tensor dim (" + std::to_string(shape[d]) + ") for \"" + name +
+          "\" in " + path);
+    }
+    // Overflow-safe product: reject before multiplying past the bound.
+    if (shape[d] > kMaxTensorElements / numel) {
+      return Status::InvalidArgument("tensor \"" + name + "\" in " + path +
+                                     " exceeds the element bound (dims "
+                                     "overflow or oversized payload)");
+    }
+    numel *= shape[d];
+  }
+  uint32_t stored_crc = 0;
+  if (version >= 2 && !ReadPod(in, &stored_crc)) {
+    return Status::IoError("truncated tensor checksum in " + path);
+  }
+  std::vector<float> data(static_cast<size_t>(numel));
+  in.read(reinterpret_cast<char*>(data.data()),
+          static_cast<std::streamsize>(numel * sizeof(float)));
+  if (!in) {
+    return Status::IoError("truncated payload for tensor \"" + name +
+                           "\" in " + path);
+  }
+  if (version >= 2) {
+    const uint32_t actual =
+        Crc32(data.data(), data.size() * sizeof(float));
+    if (actual != stored_crc) {
+      return Status::InvalidArgument(
+          "checksum mismatch for tensor \"" + name + "\" in " + path +
+          " (checkpoint is corrupt)");
+    }
+  }
+  auto [it, inserted] =
+      out->emplace(std::move(name), Tensor::FromVector(shape, std::move(data)));
+  if (!inserted) {
+    return Status::InvalidArgument("duplicate tensor name \"" + it->first +
+                                   "\" in " + path);
+  }
+  return Status::Ok();
+}
+
 }  // namespace
+
+uint32_t Crc32(const void* data, size_t len, uint32_t seed) {
+  static const std::array<uint32_t, 256> table = BuildCrcTable();
+  uint32_t crc = ~seed;
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < len; ++i) {
+    crc = table[(crc ^ bytes[i]) & 0xffu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
 
 Status SaveTensors(const std::string& path,
                    const std::map<std::string, Tensor>& tensors) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::IoError("cannot open for writing: " + path);
-  out.write(kMagic, sizeof(kMagic));
-  WritePod<uint32_t>(out, static_cast<uint32_t>(tensors.size()));
-  for (const auto& [name, t] : tensors) {
-    if (!t.defined()) {
-      return Status::InvalidArgument("undefined tensor: " + name);
-    }
-    WritePod<uint32_t>(out, static_cast<uint32_t>(name.size()));
-    out.write(name.data(), static_cast<std::streamsize>(name.size()));
-    WritePod<uint32_t>(out, static_cast<uint32_t>(t.ndim()));
-    for (int64_t d : t.shape()) WritePod<int64_t>(out, d);
-    out.write(reinterpret_cast<const char*>(t.data()),
-              static_cast<std::streamsize>(t.numel() * sizeof(float)));
+  if (tensors.size() > kMaxCheckpointEntries) {
+    return Status::InvalidArgument("too many tensors for one checkpoint: " +
+                                   std::to_string(tensors.size()));
   }
-  out.flush();
-  if (!out) return Status::IoError("write failed: " + path);
+  // Write to a temp file and rename into place so readers never observe a
+  // partially written checkpoint, even across a crash mid-save.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IoError("cannot open for writing: " + tmp);
+    out.write(kMagicV2, sizeof(kMagicV2));
+    WritePod<uint32_t>(out, static_cast<uint32_t>(tensors.size()));
+    for (const auto& [name, t] : tensors) {
+      if (!t.defined()) {
+        std::remove(tmp.c_str());
+        return Status::InvalidArgument("undefined tensor: " + name);
+      }
+      if (name.empty() || name.size() > kMaxTensorNameLen) {
+        std::remove(tmp.c_str());
+        return Status::InvalidArgument("bad tensor name: \"" + name + "\"");
+      }
+      WritePod<uint32_t>(out, static_cast<uint32_t>(name.size()));
+      out.write(name.data(), static_cast<std::streamsize>(name.size()));
+      WritePod<uint32_t>(out, static_cast<uint32_t>(t.ndim()));
+      for (int64_t d : t.shape()) WritePod<int64_t>(out, d);
+      WritePod<uint32_t>(
+          out, Crc32(t.data(), static_cast<size_t>(t.numel()) * sizeof(float)));
+      out.write(reinterpret_cast<const char*>(t.data()),
+                static_cast<std::streamsize>(t.numel() * sizeof(float)));
+    }
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      return Status::IoError("write failed: " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IoError("cannot rename " + tmp + " to " + path);
+  }
   return Status::Ok();
 }
 
@@ -52,37 +172,32 @@ Result<std::map<std::string, Tensor>> LoadTensors(const std::string& path) {
   if (!in) return Status::IoError("cannot open for reading: " + path);
   char magic[8];
   in.read(magic, sizeof(magic));
-  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+  if (!in) return Status::IoError("truncated checkpoint header: " + path);
+  uint32_t version = 0;
+  if (std::memcmp(magic, kMagicV2, sizeof(kMagicV2)) == 0) {
+    version = 2;
+  } else if (std::memcmp(magic, kMagicV1, sizeof(kMagicV1)) == 0) {
+    version = 1;
+  } else {
     return Status::InvalidArgument("bad checkpoint magic in " + path);
   }
   uint32_t count = 0;
   if (!ReadPod(in, &count)) {
     return Status::IoError("truncated checkpoint: " + path);
   }
+  if (count > kMaxCheckpointEntries) {
+    return Status::InvalidArgument("implausible entry count (" +
+                                   std::to_string(count) + ") in " + path);
+  }
   std::map<std::string, Tensor> out;
   for (uint32_t e = 0; e < count; ++e) {
-    uint32_t name_len = 0;
-    if (!ReadPod(in, &name_len)) {
-      return Status::IoError("truncated checkpoint entry header: " + path);
-    }
-    std::string name(name_len, '\0');
-    in.read(name.data(), name_len);
-    uint32_t rank = 0;
-    if (!in || !ReadPod(in, &rank) || rank == 0 || rank > 8) {
-      return Status::InvalidArgument("bad tensor rank in " + path);
-    }
-    Shape shape(rank);
-    for (uint32_t d = 0; d < rank; ++d) {
-      if (!ReadPod(in, &shape[d]) || shape[d] <= 0) {
-        return Status::InvalidArgument("bad tensor dim in " + path);
-      }
-    }
-    const int64_t numel = NumElements(shape);
-    std::vector<float> data(static_cast<size_t>(numel));
-    in.read(reinterpret_cast<char*>(data.data()),
-            static_cast<std::streamsize>(numel * sizeof(float)));
-    if (!in) return Status::IoError("truncated tensor payload: " + path);
-    out.emplace(std::move(name), Tensor::FromVector(shape, std::move(data)));
+    RRRE_RETURN_IF_ERROR(ReadEntry(in, path, version, &out));
+  }
+  // Exactly `count` entries must account for every byte in the file.
+  in.peek();
+  if (!in.eof()) {
+    return Status::InvalidArgument("trailing garbage after last tensor in " +
+                                   path);
   }
   return out;
 }

@@ -1,6 +1,7 @@
 #ifndef RRRE_TENSOR_SERIALIZE_H_
 #define RRRE_TENSOR_SERIALIZE_H_
 
+#include <cstdint>
 #include <map>
 #include <string>
 
@@ -9,15 +10,39 @@
 
 namespace rrre::tensor {
 
-/// Saves named tensors to a binary checkpoint file. Format:
-///   "RRRETNS1" magic, u32 entry count, then per entry:
-///   u32 name length, name bytes, u32 rank, i64 dims..., f32 payload.
+/// Current checkpoint format version written by SaveTensors.
+inline constexpr uint32_t kCheckpointVersion = 2;
+
+/// Hard limits enforced by the checkpoint reader. A file that exceeds any of
+/// them is rejected before memory is allocated, so a corrupt or hostile
+/// header cannot trigger a multi-gigabyte allocation or integer overflow.
+inline constexpr uint32_t kMaxCheckpointEntries = 1u << 20;
+inline constexpr uint32_t kMaxTensorNameLen = 4096;
+inline constexpr int64_t kMaxTensorElements = int64_t{1} << 31;  ///< 8 GiB f32.
+
+/// CRC-32 (IEEE 802.3, reflected) of `len` bytes at `data`, seeded with
+/// `seed` so checksums can be chained across buffers. Exposed for tests.
+uint32_t Crc32(const void* data, size_t len, uint32_t seed = 0);
+
+/// Saves named tensors to a binary checkpoint file (format v2):
+///   "RRRETNS2" magic, u32 entry count, then per entry:
+///   u32 name length, name bytes, u32 rank, i64 dims...,
+///   u32 CRC-32 of the payload, f32 payload.
 /// Little-endian, matching the only platform this library targets.
+///
+/// The write is atomic: bytes go to "<path>.tmp" which is renamed over
+/// `path` only after a successful flush, so a crash mid-save can never leave
+/// a half-written checkpoint at `path`.
 common::Status SaveTensors(const std::string& path,
                            const std::map<std::string, Tensor>& tensors);
 
-/// Loads a checkpoint written by SaveTensors. Loaded tensors are leaves with
-/// requires_grad = false; callers copy values into parameters as needed.
+/// Loads a checkpoint written by SaveTensors. Reads both format v2 and the
+/// legacy v1 ("RRRETNS1", no checksums). Every structural field is validated
+/// before use: name/rank/dim bounds, overflow-safe element counts, duplicate
+/// tensor names, payload checksums (v2) and trailing garbage after the last
+/// entry are all distinct, descriptive errors — a corrupt file yields a
+/// clean Status, never a crash or partial result. Loaded tensors are leaves
+/// with requires_grad = false; callers copy values into parameters.
 common::Result<std::map<std::string, Tensor>> LoadTensors(
     const std::string& path);
 

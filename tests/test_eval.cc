@@ -127,6 +127,27 @@ TEST(NdcgTest, MonotoneDegradationAsFakesRankHigher) {
   EXPECT_GT(NdcgAtK(good, labels, 6), NdcgAtK(bad, labels, 6));
 }
 
+TEST(NdcgTest, PerfectRankingWithFewerPositivesThanKIsOne) {
+  // One positive, ranked first, k=3: the ideal ranking can do no better, so
+  // NDCG must be exactly 1 (IDCG normalizes over min(k, #positives), not k).
+  EXPECT_NEAR(NdcgAtK({0.9, 0.5, 0.4, 0.3}, {1, 0, 0, 0}, 3), 1.0, 1e-12);
+  // Two positives, both in the top-2 of a k=4 window.
+  EXPECT_NEAR(NdcgAtK({0.9, 0.8, 0.4, 0.3}, {1, 1, 0, 0}, 4), 1.0, 1e-12);
+}
+
+TEST(NdcgTest, HandComputedWithFewerPositivesThanK) {
+  // One positive at rank 3 (0-based rank 2), k=3.
+  // DCG = 1/log2(4); IDCG over min(3, 1) = 1 ideal slot = 1/log2(2).
+  const double dcg = 1.0 / std::log2(4.0);
+  const double idcg = 1.0 / std::log2(2.0);
+  EXPECT_NEAR(NdcgAtK({0.9, 0.5, 0.4, 0.3}, {0, 0, 1, 0}, 3), dcg / idcg,
+              1e-12);
+}
+
+TEST(NdcgTest, NoPositivesAnywhereIsZero) {
+  EXPECT_NEAR(NdcgAtK({0.9, 0.5, 0.4}, {0, 0, 0}, 2), 0.0, 1e-12);
+}
+
 // ---------------------------------------------------------------------------
 // Precision@k
 // ---------------------------------------------------------------------------

@@ -107,7 +107,8 @@ TEST(TrainerPersistenceTest, SaveLoadReproducesPredictions) {
     EXPECT_NEAR(a.ratings[i], b.ratings[i], 1e-5) << i;
     EXPECT_NEAR(a.reliabilities[i], b.reliabilities[i], 1e-5) << i;
   }
-  for (const char* suffix : {".model", ".vocab", ".train.tsv", ".meta"}) {
+  for (const char* suffix :
+       {".model", ".vocab", ".train.tsv", ".meta", ".optimizer"}) {
     std::remove((prefix + suffix).c_str());
   }
 }
@@ -132,7 +133,61 @@ TEST(TrainerPersistenceTest, LoadWithMismatchedConfigFails) {
   other.rev_dim = 16;  // Different tower width -> shape mismatch.
   core::RrreTrainer restored(other);
   EXPECT_FALSE(restored.Load(prefix).ok());
+  for (const char* suffix :
+       {".model", ".vocab", ".train.tsv", ".meta", ".optimizer"}) {
+    std::remove((prefix + suffix).c_str());
+  }
+}
+
+TEST(TrainerPersistenceTest, LegacyScalarMetaLoadsButCannotResume) {
+  // Checkpoints written before format v2 stored only the rating offset in
+  // .meta and no .optimizer file. They must still load and predict, but
+  // Resume must fail with a descriptive error instead of silently
+  // restarting the optimizer from zeroed moments.
+  data::ReviewDataset corpus = TinyCorpus();
+  core::RrreTrainer trainer(TinyConfig());
+  trainer.Fit(corpus);
+  const std::string prefix = ::testing::TempDir() + "/rrre_legacy";
+  ASSERT_TRUE(trainer.Save(prefix).ok());
+  // Rewrite .meta in the legacy single-number format and drop .optimizer.
+  {
+    FILE* f = std::fopen((prefix + ".meta").c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fprintf(f, "%.17g\n", trainer.rating_offset());
+    std::fclose(f);
+  }
+  std::remove((prefix + ".optimizer").c_str());
+
+  core::RrreTrainer restored(TinyConfig());
+  ASSERT_TRUE(restored.Load(prefix).ok());
+  EXPECT_TRUE(restored.fitted());
+  EXPECT_NEAR(restored.rating_offset(), trainer.rating_offset(), 1e-12);
+  auto status = restored.Resume();
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("optimizer"), std::string::npos)
+      << status.ToString();
   for (const char* suffix : {".model", ".vocab", ".train.tsv", ".meta"}) {
+    std::remove((prefix + suffix).c_str());
+  }
+}
+
+TEST(TrainerPersistenceTest, ResumeWithoutLoadFails) {
+  core::RrreTrainer trainer(TinyConfig());
+  EXPECT_FALSE(trainer.Resume().ok());
+}
+
+TEST(TrainerPersistenceTest, SaveCapturesEpochCounter) {
+  data::ReviewDataset corpus = TinyCorpus();
+  core::RrreTrainer trainer(TinyConfig());  // epochs = 2
+  trainer.Fit(corpus);
+  EXPECT_EQ(trainer.epochs_completed(), 2);
+  const std::string prefix = ::testing::TempDir() + "/rrre_epochs";
+  ASSERT_TRUE(trainer.Save(prefix).ok());
+  core::RrreTrainer restored(TinyConfig());
+  ASSERT_TRUE(restored.Load(prefix).ok());
+  EXPECT_EQ(restored.epochs_completed(), 2);
+  for (const char* suffix :
+       {".model", ".vocab", ".train.tsv", ".meta", ".optimizer"}) {
     std::remove((prefix + suffix).c_str());
   }
 }

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
 #include <string>
 #include <vector>
 
@@ -257,6 +258,144 @@ TEST_F(ParallelDeterminismTest, UnevenShardSplitStaysExact) {
   const FitResult b = RunFit(config, 4);
   EXPECT_EQ(a.losses, b.losses);
   EXPECT_EQ(a.params, b.params);
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint-level: a run interrupted by Save + Load + Resume is bitwise
+// identical to one that was never interrupted — the checkpoint captures the
+// optimizer moments, step count and RNG state exactly.
+// ---------------------------------------------------------------------------
+
+std::vector<float> FlattenParams(const core::RrreTrainer& trainer) {
+  std::vector<float> params;
+  for (const Tensor& p : trainer.model().Parameters()) {
+    const std::vector<float> v = p.ToVector();
+    params.insert(params.end(), v.begin(), v.end());
+  }
+  return params;
+}
+
+void RemoveCheckpoint(const std::string& prefix) {
+  for (const char* suffix :
+       {".model", ".vocab", ".train.tsv", ".meta", ".optimizer"}) {
+    std::remove((prefix + suffix).c_str());
+  }
+}
+
+TEST_F(ParallelDeterminismTest, KillThenResumeIsBitwiseIdentical) {
+  ThreadPool::SetGlobalSize(2);
+  data::ReviewDataset corpus = SmallCorpus();
+  core::RrreConfig config = SmallConfig();
+  config.epochs = 4;
+
+  // Reference: 4 uninterrupted epochs.
+  std::vector<double> straight_losses;
+  core::RrreTrainer straight(config);
+  straight.Fit(corpus, [&](const core::RrreTrainer::EpochStats& s) {
+    straight_losses.push_back(s.loss);
+  });
+  ASSERT_EQ(straight_losses.size(), 4u);
+
+  // "Killed" run: train 2 epochs, checkpoint, then restore into a fresh
+  // trainer (simulating a new process) and Resume the remaining two.
+  const std::string prefix = ::testing::TempDir() + "/resume_ckpt";
+  std::vector<double> resumed_losses;
+  {
+    core::RrreConfig half = config;
+    half.epochs = 2;
+    core::RrreTrainer first(half);
+    first.Fit(corpus, [&](const core::RrreTrainer::EpochStats& s) {
+      resumed_losses.push_back(s.loss);
+    });
+    ASSERT_TRUE(first.Save(prefix).ok());
+  }
+  core::RrreTrainer resumed(config);  // Full-length schedule this time.
+  ASSERT_TRUE(resumed.Load(prefix).ok());
+  EXPECT_EQ(resumed.epochs_completed(), 2);
+  ASSERT_TRUE(resumed
+                  .Resume([&](const core::RrreTrainer::EpochStats& s) {
+                    resumed_losses.push_back(s.loss);
+                  })
+                  .ok());
+  EXPECT_EQ(resumed.epochs_completed(), 4);
+
+  // Bitwise: per-epoch losses, every parameter, and downstream predictions.
+  EXPECT_EQ(resumed_losses, straight_losses);
+  EXPECT_EQ(FlattenParams(resumed), FlattenParams(straight));
+  const auto expect = straight.PredictDataset(corpus);
+  const auto actual = resumed.PredictDataset(corpus);
+  EXPECT_EQ(actual.ratings, expect.ratings);
+  EXPECT_EQ(actual.reliabilities, expect.reliabilities);
+  RemoveCheckpoint(prefix);
+}
+
+TEST_F(ParallelDeterminismTest, ResumeIsExactAtEveryInterruptionPoint) {
+  // Interrupt after each possible epoch boundary; every resume must land on
+  // the same final parameters.
+  data::ReviewDataset corpus = SmallCorpus();
+  core::RrreConfig config = SmallConfig();
+  config.epochs = 3;
+  core::RrreTrainer straight(config);
+  straight.Fit(corpus);
+  const std::vector<float> want = FlattenParams(straight);
+
+  const std::string prefix = ::testing::TempDir() + "/resume_pt_ckpt";
+  for (int64_t stop = 1; stop < config.epochs; ++stop) {
+    core::RrreConfig partial = config;
+    partial.epochs = stop;
+    core::RrreTrainer first(partial);
+    first.Fit(corpus);
+    ASSERT_TRUE(first.Save(prefix).ok());
+    core::RrreTrainer resumed(config);
+    ASSERT_TRUE(resumed.Load(prefix).ok());
+    ASSERT_TRUE(resumed.Resume().ok());
+    EXPECT_EQ(FlattenParams(resumed), want) << "interrupted after " << stop;
+    RemoveCheckpoint(prefix);
+  }
+}
+
+TEST_F(ParallelDeterminismTest, ResumeAfterAllEpochsIsANoOp) {
+  data::ReviewDataset corpus = SmallCorpus();
+  core::RrreConfig config = SmallConfig();  // epochs = 1
+  core::RrreTrainer trainer(config);
+  trainer.Fit(corpus);
+  const std::string prefix = ::testing::TempDir() + "/resume_noop_ckpt";
+  ASSERT_TRUE(trainer.Save(prefix).ok());
+  core::RrreTrainer resumed(config);
+  ASSERT_TRUE(resumed.Load(prefix).ok());
+  const std::vector<float> before = FlattenParams(resumed);
+  int callbacks = 0;
+  ASSERT_TRUE(
+      resumed.Resume([&](const core::RrreTrainer::EpochStats&) { ++callbacks; })
+          .ok());
+  EXPECT_EQ(callbacks, 0);
+  EXPECT_EQ(FlattenParams(resumed), before);
+  RemoveCheckpoint(prefix);
+}
+
+TEST_F(ParallelDeterminismTest, ResumeIsThreadCountInvariant) {
+  // Save on 1 thread, resume on 4 — still bitwise equal to the straight run.
+  data::ReviewDataset corpus = SmallCorpus();
+  core::RrreConfig config = SmallConfig();
+  config.epochs = 2;
+  config.shard_size = 4;
+  ThreadPool::SetGlobalSize(1);
+  core::RrreTrainer straight(config);
+  straight.Fit(corpus);
+
+  const std::string prefix = ::testing::TempDir() + "/resume_threads_ckpt";
+  core::RrreConfig half = config;
+  half.epochs = 1;
+  core::RrreTrainer first(half);
+  first.Fit(corpus);
+  ASSERT_TRUE(first.Save(prefix).ok());
+
+  ThreadPool::SetGlobalSize(4);
+  core::RrreTrainer resumed(config);
+  ASSERT_TRUE(resumed.Load(prefix).ok());
+  ASSERT_TRUE(resumed.Resume().ok());
+  EXPECT_EQ(FlattenParams(resumed), FlattenParams(straight));
+  RemoveCheckpoint(prefix);
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 
 #include "common/rng.h"
 #include "common/timer.h"
@@ -98,6 +99,53 @@ TEST_F(BatchScorerTest, CachedCatalogScoringIsFasterSecondTime) {
   scorer.ScoreAllItemsForUser(4);  // Item profiles all cached already.
   const double warm = warm_timer.ElapsedSeconds();
   EXPECT_LT(warm, cold);  // Heads only vs towers + heads.
+}
+
+TEST_F(BatchScorerTest, InvalidateDropsCachesAndRebinds) {
+  BatchScorer scorer(trainer_);
+  scorer.Score({{0, 0}, {1, 1}});
+  EXPECT_EQ(scorer.cached_users(), 2);
+  EXPECT_EQ(scorer.cached_items(), 2);
+  scorer.Invalidate();
+  EXPECT_EQ(scorer.cached_users(), 0);
+  EXPECT_EQ(scorer.cached_items(), 0);
+  // Still scores correctly after rebinding (parameters are unchanged here,
+  // so the numbers must match the full pipeline as usual).
+  auto fast = scorer.Score({{0, 0}});
+  auto full = trainer_->PredictPairs({{0, 0}});
+  EXPECT_NEAR(fast.reliabilities[0], full.reliabilities[0], 2e-5);
+}
+
+TEST_F(BatchScorerTest, StaleCachesAreACheckedError) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  BatchScorer scorer(trainer_);
+  scorer.Score({{0, 0}});
+  // Further training bumps the trainer's params_version; the next scoring
+  // call must die loudly instead of mixing old cached towers with new
+  // parameters. (The mutation happens in the death-test child process, so
+  // the suite's shared trainer is unaffected.)
+  EXPECT_DEATH(
+      {
+        trainer_->Fit(*corpus_);
+        scorer.Score({{0, 0}});
+      },
+      "stale");
+}
+
+TEST_F(BatchScorerTest, InvalidateAfterRetrainingRestoresService) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  // Same scenario, but the consumer reacts correctly: Invalidate() after
+  // the retrain re-binds the scorer and scoring succeeds again.
+  EXPECT_EXIT(
+      {
+        BatchScorer scorer(trainer_);
+        scorer.Score({{0, 0}});
+        trainer_->Fit(*corpus_);
+        scorer.Invalidate();
+        scorer.Score({{0, 0}});
+        std::exit(0);
+      },
+      ::testing::ExitedWithCode(0), "");
 }
 
 TEST_F(BatchScorerTest, ProfilesIndependentOfPairedCounterpart) {

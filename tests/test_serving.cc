@@ -1,0 +1,249 @@
+// Tests of the batch serving layer behind tools/rrre_serve: request parsing,
+// the checkpoint -> BatchScorer -> TSV pipeline, and its exactness against
+// RrreTrainer::PredictPairs on the same checkpoint.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/io.h"
+#include "common/rng.h"
+#include "core/serving.h"
+#include "core/trainer.h"
+#include "data/synthetic.h"
+
+namespace rrre::core {
+namespace {
+
+using common::Rng;
+
+RrreConfig TinyConfig() {
+  RrreConfig c;
+  c.word_dim = 8;
+  c.rev_dim = 8;
+  c.id_dim = 4;
+  c.attention_dim = 6;
+  c.fm_factors = 4;
+  c.max_tokens = 8;
+  c.s_u = 3;
+  c.s_i = 4;
+  c.batch_size = 16;
+  c.epochs = 2;
+  c.pretrain_epochs = 1;
+  return c;
+}
+
+/// One fitted + checkpointed trainer shared by the suite (fitting is the
+/// expensive part). The checkpoint lives under TempDir for all tests.
+class ServingTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    Rng rng(27);
+    corpus_ = new data::ReviewDataset(
+        data::GenerateSyntheticDataset(data::YelpChiProfile(0.05), rng));
+    trainer_ = new RrreTrainer(TinyConfig());
+    trainer_->Fit(*corpus_);
+    prefix_ = new std::string(::testing::TempDir() + "/serving_ckpt");
+    ASSERT_TRUE(trainer_->Save(*prefix_).ok());
+  }
+
+  static void TearDownTestSuite() {
+    for (const char* suffix :
+         {".model", ".vocab", ".train.tsv", ".meta", ".optimizer"}) {
+      std::remove((*prefix_ + suffix).c_str());
+    }
+    delete trainer_;
+    delete corpus_;
+    delete prefix_;
+    trainer_ = nullptr;
+    corpus_ = nullptr;
+    prefix_ = nullptr;
+  }
+
+  static std::string TempPath(const std::string& name) {
+    return ::testing::TempDir() + "/" + name;
+  }
+
+  static void WriteRequests(const std::string& path,
+                            const std::string& content) {
+    ASSERT_TRUE(common::WriteFile(path, content).ok());
+  }
+
+  static data::ReviewDataset* corpus_;
+  static RrreTrainer* trainer_;
+  static std::string* prefix_;
+};
+
+data::ReviewDataset* ServingTest::corpus_ = nullptr;
+RrreTrainer* ServingTest::trainer_ = nullptr;
+std::string* ServingTest::prefix_ = nullptr;
+
+TEST_F(ServingTest, ServeMatchesPredictPairsOnSameCheckpoint) {
+  std::vector<std::pair<int64_t, int64_t>> pairs;
+  std::string requests = "user\titem\n";
+  for (int64_t i = 0; i < 30; ++i) {
+    const data::Review& r = corpus_->review((i * 7) % corpus_->size());
+    pairs.emplace_back(r.user, r.item);
+    requests += std::to_string(r.user) + "\t" + std::to_string(r.item) + "\n";
+  }
+  const std::string in = TempPath("serve_req.tsv");
+  const std::string out = TempPath("serve_out.tsv");
+  WriteRequests(in, requests);
+
+  ServeOptions options;
+  options.model_prefix = *prefix_;
+  options.input_path = in;
+  options.output_path = out;
+  auto stats = LoadAndServe(TinyConfig(), options);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats.value().num_requests, 30);
+  EXPECT_EQ(stats.value().num_scored, 30);
+
+  // Reference: the full per-pair pipeline on a trainer restored from the
+  // same checkpoint.
+  RrreTrainer restored(TinyConfig());
+  ASSERT_TRUE(restored.Load(*prefix_).ok());
+  auto reference = restored.PredictPairs(pairs);
+
+  auto rows = common::ReadTsv(out);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows.value().size(), pairs.size() + 1);  // Header + rows.
+  EXPECT_EQ(rows.value()[0],
+            (std::vector<std::string>{"user", "item", "rating",
+                                      "reliability"}));
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    const auto& row = rows.value()[i + 1];
+    ASSERT_EQ(row.size(), 4u);
+    EXPECT_EQ(std::stoll(row[0]), pairs[i].first);
+    EXPECT_EQ(std::stoll(row[1]), pairs[i].second);
+    EXPECT_NEAR(std::atof(row[2].c_str()), reference.ratings[i], 2e-4) << i;
+    EXPECT_NEAR(std::atof(row[3].c_str()), reference.reliabilities[i], 2e-5)
+        << i;
+  }
+  std::remove(in.c_str());
+  std::remove(out.c_str());
+}
+
+TEST_F(ServingTest, ServeIsDeterministicAcrossRuns) {
+  const std::string in = TempPath("serve_det_req.tsv");
+  WriteRequests(in, "0\t1\n2\t3\n4\t5\n0\t1\n");
+  ServeOptions options;
+  options.model_prefix = *prefix_;
+  options.input_path = in;
+  ServeOptions second = options;
+  options.output_path = TempPath("serve_det_a.tsv");
+  second.output_path = TempPath("serve_det_b.tsv");
+  ASSERT_TRUE(LoadAndServe(TinyConfig(), options).ok());
+  ASSERT_TRUE(LoadAndServe(TinyConfig(), second).ok());
+  auto a = common::ReadFile(options.output_path);
+  auto b = common::ReadFile(second.output_path);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value(), b.value());  // Byte-identical scores, full precision.
+  std::remove(in.c_str());
+  std::remove(options.output_path.c_str());
+  std::remove(second.output_path.c_str());
+}
+
+TEST_F(ServingTest, CatalogModeScoresEveryItem) {
+  const std::string in = TempPath("serve_cat_req.tsv");
+  const std::string out = TempPath("serve_cat_out.tsv");
+  WriteRequests(in, "user\n3\n5\n");
+  ServeOptions options;
+  options.model_prefix = *prefix_;
+  options.input_path = in;
+  options.output_path = out;
+  options.catalog = true;
+  auto stats = LoadAndServe(TinyConfig(), options);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats.value().num_requests, 2);
+  EXPECT_EQ(stats.value().num_scored, 2 * corpus_->num_items());
+  EXPECT_EQ(stats.value().items_primed, corpus_->num_items());
+  EXPECT_EQ(stats.value().users_primed, 2);
+  auto rows = common::ReadTsv(out);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(static_cast<int64_t>(rows.value().size()),
+            2 * corpus_->num_items() + 1);
+  // First block is user 3 against items 0..n-1 in order.
+  EXPECT_EQ(rows.value()[1][0], "3");
+  EXPECT_EQ(rows.value()[1][1], "0");
+  EXPECT_EQ(rows.value()[static_cast<size_t>(corpus_->num_items())][1],
+            std::to_string(corpus_->num_items() - 1));
+  std::remove(in.c_str());
+  std::remove(out.c_str());
+}
+
+TEST_F(ServingTest, SkipsHeaderAndComments) {
+  const int64_t num_users = corpus_->num_users();
+  const int64_t num_items = corpus_->num_items();
+  const std::string in = TempPath("serve_hdr_req.tsv");
+  WriteRequests(in, "user\titem\n# a comment line\n1\t2\n");
+  int64_t requests = 0;
+  auto pairs = ReadScoreRequests(in, /*catalog=*/false, num_users, num_items,
+                                 &requests);
+  ASSERT_TRUE(pairs.ok()) << pairs.status().ToString();
+  EXPECT_EQ(requests, 1);
+  ASSERT_EQ(pairs.value().size(), 1u);
+  EXPECT_EQ(pairs.value()[0], (std::pair<int64_t, int64_t>{1, 2}));
+  std::remove(in.c_str());
+}
+
+TEST_F(ServingTest, RejectsMalformedRequests) {
+  const int64_t num_users = corpus_->num_users();
+  const int64_t num_items = corpus_->num_items();
+  const std::string in = TempPath("serve_bad_req.tsv");
+
+  struct Case {
+    const char* content;
+    const char* expect_substring;
+  };
+  // A valid first row, then the malformed line. (An unparsable first row
+  // would be skipped as the conventional header.)
+  const Case cases[] = {
+      {"0\t1\t2\n", "expected 2 column(s)"},
+      {"0\n", "expected 2 column(s)"},
+      {"x\t1\n", "bad user id"},
+      {"0\tx\n", "bad item id"},
+      {"0\t3.5\n", "bad item id"},
+      {"-1\t0\n", "out of range"},
+      {"0\t999999\n", "out of range"},
+  };
+  for (const Case& c : cases) {
+    WriteRequests(in, std::string("0\t1\n") + c.content);
+    auto pairs = ReadScoreRequests(in, /*catalog=*/false, num_users,
+                                   num_items);
+    ASSERT_FALSE(pairs.ok()) << c.content;
+    EXPECT_NE(pairs.status().message().find(c.expect_substring),
+              std::string::npos)
+        << "error was: " << pairs.status().ToString();
+    // Errors carry the 1-based offending line number.
+    EXPECT_NE(pairs.status().message().find(":2:"), std::string::npos)
+        << pairs.status().ToString();
+  }
+  std::remove(in.c_str());
+}
+
+TEST_F(ServingTest, MissingCheckpointFails) {
+  ServeOptions options;
+  options.model_prefix = TempPath("no_such_ckpt");
+  options.input_path = TempPath("unused.tsv");
+  options.output_path = TempPath("unused_out.tsv");
+  auto stats = LoadAndServe(TinyConfig(), options);
+  EXPECT_FALSE(stats.ok());
+}
+
+TEST_F(ServingTest, MissingRequestFileFails) {
+  ServeOptions options;
+  options.model_prefix = *prefix_;
+  options.input_path = TempPath("definitely_missing_requests.tsv");
+  options.output_path = TempPath("unused_out2.tsv");
+  auto stats = LoadAndServe(TinyConfig(), options);
+  EXPECT_FALSE(stats.ok());
+}
+
+}  // namespace
+}  // namespace rrre::core

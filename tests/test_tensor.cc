@@ -1,8 +1,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <functional>
+#include <string>
 
 #include "common/rng.h"
 #include "tensor/ops.h"
@@ -568,6 +572,200 @@ TEST(SerializeTest, RejectsCorruptFile) {
 
 TEST(SerializeTest, MissingFileFails) {
   EXPECT_FALSE(LoadTensors("/definitely/not/here.bin").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint format v2: corruption corpus
+// ---------------------------------------------------------------------------
+//
+// Every corrupted variant of a valid checkpoint must come back as a clean
+// Status error naming the problem — never a crash, hang, or silent
+// misload. The helpers below mutate the serialized bytes directly.
+
+std::string SlurpBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::string(std::istreambuf_iterator<char>(in), {});
+}
+
+void SpitBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+/// Saves one known tensor and returns the checkpoint's raw bytes.
+std::string ValidCheckpointBytes(const std::string& path) {
+  Rng rng(7);
+  std::map<std::string, Tensor> tensors;
+  tensors["weights"] = Tensor::Randn({4, 5}, rng);
+  EXPECT_TRUE(SaveTensors(path, tensors).ok());
+  return SlurpBytes(path);
+}
+
+/// Appends little-endian POD bytes to a buffer (test-side writer for
+/// hand-crafting v1 entries).
+template <typename T>
+void AppendPod(std::string* buf, T value) {
+  buf->append(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+/// Hand-writes a v1-format checkpoint (no CRC field) containing `copies`
+/// entries all named `name`, each a {2} tensor.
+std::string V1Bytes(const std::string& name, uint32_t copies) {
+  std::string buf("RRRETNS1", 8);
+  AppendPod<uint32_t>(&buf, copies);
+  for (uint32_t i = 0; i < copies; ++i) {
+    AppendPod<uint32_t>(&buf, static_cast<uint32_t>(name.size()));
+    buf += name;
+    AppendPod<uint32_t>(&buf, 1);           // rank
+    AppendPod<int64_t>(&buf, 2);            // dims
+    AppendPod<float>(&buf, 1.5f + i);       // payload
+    AppendPod<float>(&buf, -2.5f);
+  }
+  return buf;
+}
+
+TEST(SerializeTest, Crc32MatchesIeeeCheckValue) {
+  // The standard check value for CRC-32/ISO-HDLC ("123456789").
+  EXPECT_EQ(Crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(Crc32("", 0), 0u);
+}
+
+TEST(SerializeTest, SaveIsAtomicNoTempFileRemains) {
+  const std::string path = ::testing::TempDir() + "/rrre_atomic.bin";
+  ValidCheckpointBytes(path);
+  std::ifstream tmp(path + ".tmp", std::ios::binary);
+  EXPECT_FALSE(tmp.good());  // Renamed into place, not left behind.
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, BitFlipInPayloadFailsChecksum) {
+  const std::string path = ::testing::TempDir() + "/rrre_flip.bin";
+  std::string bytes = ValidCheckpointBytes(path);
+  bytes[bytes.size() - 3] ^= 0x40;  // Flip one bit deep in the payload.
+  SpitBytes(path, bytes);
+  auto loaded = LoadTensors(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("checksum mismatch"),
+            std::string::npos)
+      << loaded.status().ToString();
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, TruncationAtEveryPrefixFailsCleanly) {
+  const std::string path = ::testing::TempDir() + "/rrre_trunc.bin";
+  const std::string bytes = ValidCheckpointBytes(path);
+  // Every proper prefix must be rejected (sampled densely; the file is
+  // small enough to try them all).
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    SpitBytes(path, bytes.substr(0, len));
+    EXPECT_FALSE(LoadTensors(path).ok()) << "prefix length " << len;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, BadMagicFails) {
+  const std::string path = ::testing::TempDir() + "/rrre_magic.bin";
+  std::string bytes = ValidCheckpointBytes(path);
+  bytes[0] = 'X';
+  SpitBytes(path, bytes);
+  auto loaded = LoadTensors(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("bad checkpoint magic"),
+            std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, TrailingGarbageFails) {
+  const std::string path = ::testing::TempDir() + "/rrre_trailing.bin";
+  std::string bytes = ValidCheckpointBytes(path);
+  bytes += "extra";
+  SpitBytes(path, bytes);
+  auto loaded = LoadTensors(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("trailing garbage"),
+            std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, ImplausibleEntryCountFails) {
+  const std::string path = ::testing::TempDir() + "/rrre_count.bin";
+  std::string bytes = ValidCheckpointBytes(path);
+  const uint32_t huge = 0xffffffffu;
+  std::memcpy(bytes.data() + 8, &huge, sizeof(huge));
+  SpitBytes(path, bytes);
+  auto loaded = LoadTensors(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("implausible entry count"),
+            std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, OversizedDimsRejectedBeforeAllocation) {
+  // rank=2, dims {2^40, 2^40}: numel would overflow int64 and the payload
+  // bound; the loader must reject on the dims, not attempt the allocation.
+  const std::string path = ::testing::TempDir() + "/rrre_dims.bin";
+  std::string buf("RRRETNS1", 8);
+  AppendPod<uint32_t>(&buf, 1);
+  AppendPod<uint32_t>(&buf, 1);  // name_len
+  buf += "w";
+  AppendPod<uint32_t>(&buf, 2);  // rank
+  AppendPod<int64_t>(&buf, int64_t{1} << 40);
+  AppendPod<int64_t>(&buf, int64_t{1} << 40);
+  SpitBytes(path, buf);
+  auto loaded = LoadTensors(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("element bound"), std::string::npos)
+      << loaded.status().ToString();
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, NegativeDimFails) {
+  const std::string path = ::testing::TempDir() + "/rrre_negdim.bin";
+  std::string buf("RRRETNS1", 8);
+  AppendPod<uint32_t>(&buf, 1);
+  AppendPod<uint32_t>(&buf, 1);
+  buf += "w";
+  AppendPod<uint32_t>(&buf, 1);
+  AppendPod<int64_t>(&buf, -4);
+  SpitBytes(path, buf);
+  auto loaded = LoadTensors(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("bad tensor dim"),
+            std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, DuplicateTensorNameFails) {
+  const std::string path = ::testing::TempDir() + "/rrre_dup.bin";
+  SpitBytes(path, V1Bytes("w", 2));
+  auto loaded = LoadTensors(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("duplicate tensor name"),
+            std::string::npos)
+      << loaded.status().ToString();
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, ReadsLegacyV1Checkpoints) {
+  const std::string path = ::testing::TempDir() + "/rrre_v1.bin";
+  SpitBytes(path, V1Bytes("w", 1));
+  auto loaded = LoadTensors(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded.value().size(), 1u);
+  const Tensor& t = loaded.value().at("w");
+  EXPECT_EQ(t.shape(), (Shape{2}));
+  EXPECT_EQ(t.ToVector(), (std::vector<float>{1.5f, -2.5f}));
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, NewCheckpointsCarryV2Magic) {
+  const std::string path = ::testing::TempDir() + "/rrre_v2magic.bin";
+  const std::string bytes = ValidCheckpointBytes(path);
+  ASSERT_GE(bytes.size(), 8u);
+  EXPECT_EQ(bytes.substr(0, 8), "RRRETNS2");
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -1,16 +1,21 @@
 #!/usr/bin/env bash
 # CI entry point: tier-1 verification (default build + full test suite),
-# then the same suite under ThreadSanitizer to vet the parallel layer.
+# then the full suite under ThreadSanitizer to vet the parallel layer, then
+# the checkpoint/serve/resume tests under AddressSanitizer — the corruption
+# corpus feeds deliberately malformed bytes to the loader, and ASan proves
+# the rejection paths are free of out-of-bounds reads and leaks.
 #
-# Usage: tools/check.sh [--skip-tsan]
+# Usage: tools/check.sh [--skip-tsan] [--skip-asan]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 SKIP_TSAN=0
+SKIP_ASAN=0
 for arg in "$@"; do
   case "$arg" in
     --skip-tsan) SKIP_TSAN=1 ;;
+    --skip-asan) SKIP_ASAN=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -22,14 +27,24 @@ cmake --build build -j >/dev/null
 
 if [[ "$SKIP_TSAN" == "1" ]]; then
   echo "== TSan pass skipped =="
-  exit 0
+else
+  echo "== TSan: parallel-layer tests under ThreadSanitizer =="
+  cmake -B build-tsan -S . -DRRRE_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j \
+    --target test_threadpool test_parallel_determinism test_tensor >/dev/null
+  (cd build-tsan && ctest --output-on-failure \
+    -R "ThreadPool|ParallelDeterminism" )
 fi
 
-echo "== TSan: parallel-layer tests under ThreadSanitizer =="
-cmake -B build-tsan -S . -DRRRE_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j \
-  --target test_threadpool test_parallel_determinism test_tensor >/dev/null
-(cd build-tsan && ctest --output-on-failure \
-  -R "ThreadPool|ParallelDeterminism" )
+if [[ "$SKIP_ASAN" == "1" ]]; then
+  echo "== ASan pass skipped =="
+else
+  echo "== ASan: checkpoint/serve/resume tests under AddressSanitizer =="
+  cmake -B build-asan -S . -DRRRE_SANITIZE=address >/dev/null
+  cmake --build build-asan -j \
+    --target test_tensor test_serving test_extensions >/dev/null
+  (cd build-asan && ctest --output-on-failure \
+    -R "Serialize|Serving|TrainerPersistence" )
+fi
 
 echo "== all checks passed =="
