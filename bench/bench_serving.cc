@@ -1,0 +1,148 @@
+// Online serving bench: trains a bench-scale RRRE model, checkpoints it,
+// starts an in-process rrre_served Server on an ephemeral port, and drives it
+// with the loadgen client. Reports sustained QPS, round-trip latency
+// percentiles and the micro-batcher's realized batch-size distribution, and
+// writes the numbers to BENCH_serving.json for tracking across commits.
+//
+//   bench_serving [--scale=0.15] [--connections=8] [--requests=5000]
+//                 [--qps=0] [--max_batch=64] [--max_delay_us=1000]
+//                 [--out=BENCH_serving.json]
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "bench/harness.h"
+#include "common/flags.h"
+#include "common/io.h"
+#include "common/logging.h"
+#include "common/strings.h"
+#include "common/threadpool.h"
+#include "core/trainer.h"
+#include "serve/loadgen.h"
+#include "serve/server.h"
+
+namespace {
+
+std::string JsonHistogram(const rrre::common::Histogram& h) {
+  return rrre::common::StrFormat(
+      "{\"count\": %lld, \"mean\": %.3f, \"p50\": %.1f, \"p95\": %.1f, "
+      "\"p99\": %.1f, \"min\": %.1f, \"max\": %.1f}",
+      static_cast<long long>(h.count()), h.Mean(), h.Percentile(50.0),
+      h.Percentile(95.0), h.Percentile(99.0), h.Min(), h.Max());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rrre;  // NOLINT(build/namespaces)
+  common::FlagParser flags;
+  bench::RegisterBenchFlags(flags, /*default_scale=*/0.15);
+  flags.AddString("dataset", "yelpchi", "dataset profile");
+  flags.AddInt("connections", 8, "concurrent loadgen connections");
+  flags.AddInt("requests", 5000, "total requests across all connections");
+  flags.AddDouble("qps", 0.0, "target aggregate rate (0 = closed-loop max)");
+  flags.AddInt("max_batch", 64, "server: max expanded pairs per batch");
+  flags.AddInt("max_delay_us", 1000, "server: batching linger");
+  flags.AddInt("queue_cap", 1024, "server: admission queue bound");
+  flags.AddString("out", "BENCH_serving.json", "JSON results path");
+  RRRE_CHECK_OK(flags.Parse(argc, argv));
+  if (flags.help_requested()) {
+    std::printf("%s", flags.Usage(argv[0]).c_str());
+    return 0;
+  }
+  const bench::BenchOptions opts = bench::ReadBenchOptions(flags);
+
+  auto bundle = bench::MakeDataset(flags.GetString("dataset"), opts.scale,
+                                   opts.base_seed);
+  const core::RrreConfig config =
+      bench::DefaultRrreConfig(opts, opts.base_seed);
+  std::printf("training on %ld reviews...\n",
+              static_cast<long>(bundle.train.size()));
+  core::RrreTrainer trainer(config);
+  trainer.Fit(bundle.train);
+  const std::string prefix = "/tmp/rrre_bench_serving_ckpt";
+  RRRE_CHECK_OK(trainer.Save(prefix));
+
+  serve::ServerOptions server_options;
+  server_options.config = config;
+  server_options.model_prefix = prefix;
+  server_options.port = 0;  // Ephemeral.
+  server_options.batcher.max_batch = flags.GetInt("max_batch");
+  server_options.batcher.max_delay_us = flags.GetInt("max_delay_us");
+  server_options.batcher.queue_capacity = flags.GetInt("queue_cap");
+  auto server = serve::Server::Start(server_options);
+  RRRE_CHECK_OK(server.status());
+  std::printf("serving %lld users x %lld items on port %u\n",
+              static_cast<long long>(bundle.train.num_users()),
+              static_cast<long long>(bundle.train.num_items()),
+              server.value()->port());
+
+  serve::LoadGenOptions load;
+  load.port = server.value()->port();
+  load.connections = flags.GetInt("connections");
+  load.total_requests = flags.GetInt("requests");
+  load.target_qps = flags.GetDouble("qps");
+  load.seed = opts.base_seed;
+  auto report = serve::RunLoadGen(load);
+  RRRE_CHECK_OK(report.status());
+  const serve::LoadGenReport& r = report.value();
+
+  server.value()->Shutdown();
+  const serve::ServerStats stats = server.value()->stats();
+
+  std::printf("\n%lld requests over %lld connections in %.3fs -> %.1f qps\n",
+              static_cast<long long>(r.sent),
+              static_cast<long long>(load.connections), r.seconds, r.qps);
+  std::printf("  scored=%lld overloaded=%lld errors=%lld\n",
+              static_cast<long long>(r.scored),
+              static_cast<long long>(r.overloaded),
+              static_cast<long long>(r.errors));
+  std::printf("  latency (us): %s\n", r.latency_us.Summary().c_str());
+  std::printf("  batch size (pairs): %s\n",
+              stats.batcher.batch_pairs.Summary().c_str());
+  std::printf("  batch latency (us): %s\n",
+              stats.batcher.batch_latency_us.Summary().c_str());
+
+  const std::string json = common::StrFormat(
+      "{\n"
+      "  \"bench\": \"serving\",\n"
+      "  \"dataset\": \"%s\",\n"
+      "  \"scale\": %.3f,\n"
+      "  \"connections\": %lld,\n"
+      "  \"requests\": %lld,\n"
+      "  \"target_qps\": %.1f,\n"
+      "  \"max_batch\": %lld,\n"
+      "  \"max_delay_us\": %lld,\n"
+      "  \"seconds\": %.3f,\n"
+      "  \"qps\": %.1f,\n"
+      "  \"scored\": %lld,\n"
+      "  \"overloaded\": %lld,\n"
+      "  \"errors\": %lld,\n"
+      "  \"latency_us\": %s,\n"
+      "  \"batch_pairs\": %s,\n"
+      "  \"batch_latency_us\": %s,\n"
+      "  \"batches\": %lld,\n"
+      "  \"pairs_scored\": %lld\n"
+      "}\n",
+      flags.GetString("dataset").c_str(), opts.scale,
+      static_cast<long long>(load.connections),
+      static_cast<long long>(load.total_requests), load.target_qps,
+      static_cast<long long>(server_options.batcher.max_batch),
+      static_cast<long long>(server_options.batcher.max_delay_us), r.seconds,
+      r.qps, static_cast<long long>(r.scored),
+      static_cast<long long>(r.overloaded),
+      static_cast<long long>(r.errors), JsonHistogram(r.latency_us).c_str(),
+      JsonHistogram(stats.batcher.batch_pairs).c_str(),
+      JsonHistogram(stats.batcher.batch_latency_us).c_str(),
+      static_cast<long long>(stats.batcher.batches),
+      static_cast<long long>(stats.batcher.pairs_scored));
+  RRRE_CHECK_OK(common::WriteFile(flags.GetString("out"), json));
+  std::printf("\nresults written to %s\n", flags.GetString("out").c_str());
+
+  for (const char* suffix :
+       {".model", ".vocab", ".train.tsv", ".meta", ".optimizer"}) {
+    std::remove((prefix + std::string(suffix)).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,88 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace rrre::common {
+
+Histogram::Histogram() : buckets_(kNumBuckets, 0) {}
+
+int Histogram::BucketIndex(double value) {
+  if (!(value > 1.0)) return 0;  // NaN, negatives and [0, 1].
+  int exp = 0;
+  const double mantissa = std::frexp(value, &exp);  // value = m * 2^exp.
+  const int octave = exp - 1;                       // floor(log2(value)) >= 0.
+  const int sub = std::min(
+      kSubBuckets - 1,
+      static_cast<int>((mantissa * 2.0 - 1.0) * kSubBuckets));
+  const int index = 1 + octave * kSubBuckets + sub;
+  return std::min(index, kNumBuckets - 1);
+}
+
+double Histogram::BucketUpperEdge(int index) {
+  if (index <= 0) return 1.0;
+  const int octave = (index - 1) / kSubBuckets;
+  const int sub = (index - 1) % kSubBuckets;
+  return std::ldexp(1.0 + static_cast<double>(sub + 1) / kSubBuckets, octave);
+}
+
+void Histogram::Record(double value) {
+  ++buckets_[static_cast<size_t>(BucketIndex(value))];
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  for (size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+double Histogram::Mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double Histogram::Min() const { return count_ == 0 ? 0.0 : min_; }
+
+double Histogram::Max() const { return count_ == 0 ? 0.0 : max_; }
+
+double Histogram::Percentile(double pct) const {
+  if (count_ == 0) return 0.0;
+  RRRE_CHECK(pct >= 0.0 && pct <= 100.0) << "percentile out of range: " << pct;
+  const int64_t rank = std::clamp(
+      static_cast<int64_t>(std::ceil(pct / 100.0 * static_cast<double>(count_))),
+      int64_t{1}, count_);
+  int64_t cumulative = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    cumulative += buckets_[static_cast<size_t>(i)];
+    if (cumulative >= rank) {
+      return std::clamp(BucketUpperEdge(i), min_, max_);
+    }
+  }
+  return max_;  // Unreachable: counts always sum to count_.
+}
+
+std::string Histogram::Summary() const {
+  return StrFormat("n=%lld mean=%.1f p50=%.0f p95=%.0f p99=%.0f max=%.0f",
+                   static_cast<long long>(count_), Mean(), Percentile(50.0),
+                   Percentile(95.0), Percentile(99.0), Max());
+}
+
+}  // namespace rrre::common

@@ -1,0 +1,65 @@
+#ifndef RRRE_COMMON_HISTOGRAM_H_
+#define RRRE_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rrre::common {
+
+/// Log-bucketed latency/size histogram with percentile queries.
+///
+/// Buckets are log-linear (HdrHistogram style): each power-of-two octave is
+/// split into kSubBuckets equal-width sub-buckets, so the relative error of a
+/// percentile is bounded by 1/kSubBuckets (~6%) regardless of magnitude.
+/// Values in [0, 1] (and any negative or NaN input) land in the first bucket —
+/// callers record in units where sub-unit resolution is irrelevant
+/// (microseconds for latencies, counts for batch sizes).
+///
+/// A Histogram is not thread-safe. The intended concurrent pattern is one
+/// instance per thread, combined with Merge() once the threads are done —
+/// merging only adds bucket counts, so a merged histogram reports exactly the
+/// percentiles of the union of the inputs' samples (to bucket resolution).
+class Histogram {
+ public:
+  Histogram();
+
+  /// Adds one sample.
+  void Record(double value);
+
+  /// Adds all of `other`'s samples to this histogram.
+  void Merge(const Histogram& other);
+
+  int64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double Mean() const;
+  /// Exact smallest / largest recorded value (0 when empty).
+  double Min() const;
+  double Max() const;
+
+  /// Value at or below which `pct` percent of samples fall, to bucket
+  /// resolution (clamped to the exact [Min, Max] range; exact for p100).
+  /// `pct` is in [0, 100]. Returns 0 for an empty histogram.
+  double Percentile(double pct) const;
+
+  /// "n=120 mean=41.2 p50=38 p95=70 p99=83 max=91" — for log lines.
+  std::string Summary() const;
+
+ private:
+  static int BucketIndex(double value);
+  static double BucketUpperEdge(int index);
+
+  static constexpr int kSubBuckets = 16;  ///< Per octave; ~6% resolution.
+  static constexpr int kOctaves = 44;     ///< Covers values up to ~1.7e13.
+  static constexpr int kNumBuckets = 1 + kOctaves * kSubBuckets;
+
+  std::vector<int64_t> buckets_;
+  int64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace rrre::common
+
+#endif  // RRRE_COMMON_HISTOGRAM_H_

@@ -1,0 +1,40 @@
+#include "common/signals.h"
+
+#include <atomic>
+#include <csignal>
+
+namespace rrre::common {
+
+namespace {
+
+std::atomic<bool> g_shutdown{false};
+std::atomic<uint64_t> g_reload_count{0};
+
+static_assert(std::atomic<bool>::is_always_lock_free &&
+                  std::atomic<uint64_t>::is_always_lock_free,
+              "signal handlers require lock-free atomics");
+
+void HandleShutdownSignal(int) { g_shutdown.store(true); }
+
+void HandleReloadSignal(int) { g_reload_count.fetch_add(1); }
+
+}  // namespace
+
+void InstallServeSignalHandlers() {
+  struct sigaction sa {};
+  sa.sa_handler = HandleShutdownSignal;
+  sigemptyset(&sa.sa_mask);
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+  sa.sa_handler = HandleReloadSignal;
+  sigaction(SIGHUP, &sa, nullptr);
+  std::signal(SIGPIPE, SIG_IGN);
+}
+
+bool ShutdownRequested() { return g_shutdown.load(); }
+
+void RequestShutdown() { g_shutdown.store(true); }
+
+uint64_t ReloadRequestCount() { return g_reload_count.load(); }
+
+}  // namespace rrre::common

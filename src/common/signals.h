@@ -1,0 +1,29 @@
+#ifndef RRRE_COMMON_SIGNALS_H_
+#define RRRE_COMMON_SIGNALS_H_
+
+#include <cstdint>
+
+namespace rrre::common {
+
+/// Process-wide signal flags for long-lived servers. The handlers only touch
+/// lock-free atomics — the async-signal-safe subset — and the serving loop
+/// polls the flags from ordinary thread context.
+///
+/// SIGINT / SIGTERM set the shutdown flag (graceful drain); each SIGHUP bumps
+/// a reload counter (hot checkpoint reload). SIGPIPE is ignored so a peer
+/// hanging up mid-write surfaces as a send() error, not process death.
+void InstallServeSignalHandlers();
+
+/// True once SIGINT/SIGTERM arrived or RequestShutdown() was called.
+bool ShutdownRequested();
+
+/// Sets the shutdown flag from ordinary code (tests, error paths).
+void RequestShutdown();
+
+/// Monotone count of SIGHUPs received. Callers remember the last value they
+/// acted on and reload when the counter moves.
+uint64_t ReloadRequestCount();
+
+}  // namespace rrre::common
+
+#endif  // RRRE_COMMON_SIGNALS_H_

@@ -1,0 +1,84 @@
+#ifndef RRRE_COMMON_SOCKET_H_
+#define RRRE_COMMON_SOCKET_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace rrre::common {
+
+/// RAII wrapper over a POSIX TCP socket (IPv4). Used by the online serving
+/// layer; only the operations the line protocol needs are exposed.
+///
+/// Thread-safety: a Socket may be used by one reading and one writing thread
+/// concurrently (recv and send on a connected TCP fd are independent), and
+/// ShutdownRead/ShutdownBoth may be called from a third thread to unblock
+/// them — that is the server's drain path. Close() must only run once no
+/// other thread can touch the fd.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  /// Binds to `port` on all interfaces (0 = ephemeral; the chosen port is
+  /// reported by local_port()) and starts listening.
+  static Result<Socket> Listen(uint16_t port, int backlog = 128);
+
+  /// Connects to a numeric IPv4 address ("127.0.0.1").
+  static Result<Socket> Connect(const std::string& host, uint16_t port);
+
+  /// Waits up to `timeout_ms` for a pending connection; returns an empty
+  /// optional on timeout. The timeout is what lets the accept loop poll a
+  /// shutdown flag instead of blocking forever in accept(2).
+  Result<std::optional<Socket>> AcceptWithTimeout(int timeout_ms);
+
+  /// Sends the whole buffer (looping over partial sends, EINTR-safe, no
+  /// SIGPIPE). Fails when the peer has closed.
+  Status SendAll(std::string_view data);
+
+  /// Receives up to `len` bytes. 0 means clean EOF.
+  Result<size_t> RecvSome(char* buf, size_t len);
+
+  /// Half-closes the read side: a blocked reader sees EOF, writes still
+  /// flush. This is the graceful-drain primitive.
+  void ShutdownRead();
+  void ShutdownBoth();
+  void Close();
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  /// Port a listening socket is bound to (0 otherwise).
+  uint16_t local_port() const { return local_port_; }
+
+ private:
+  int fd_ = -1;
+  uint16_t local_port_ = 0;
+};
+
+/// Buffered newline-delimited reader over a Socket. Returns lines without
+/// the trailing '\n' (and without '\r' for CRLF peers); an empty optional
+/// signals clean EOF. A final unterminated line before EOF is returned as-is.
+class LineReader {
+ public:
+  explicit LineReader(Socket* socket) : socket_(socket) {}
+
+  Result<std::optional<std::string>> ReadLine();
+
+ private:
+  Socket* socket_;
+  std::string buffer_;
+  size_t pos_ = 0;  ///< Start of the unconsumed region of buffer_.
+};
+
+}  // namespace rrre::common
+
+#endif  // RRRE_COMMON_SOCKET_H_

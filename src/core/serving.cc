@@ -43,6 +43,14 @@ Result<std::vector<std::pair<int64_t, int64_t>>> ReadScoreRequests(
   for (size_t line = 0; line < rows.value().size(); ++line) {
     const auto& row = rows.value()[line];
     if (!row.empty() && common::StartsWith(row[0], "#")) continue;
+    // ReadTsv drops fully blank lines; whitespace-only lines survive as one
+    // or more spacey fields (a lone tab makes two) and are equally
+    // meaningless — skip them too.
+    if (std::all_of(row.begin(), row.end(), [](const std::string& field) {
+          return common::Trim(field).empty();
+        })) {
+      continue;
+    }
     int64_t user = 0;
     // A non-numeric first row is the conventional "user[\titem]" header.
     if (line == 0 && !ParseId(row.empty() ? "" : row[0], &user)) continue;
@@ -105,8 +113,30 @@ Result<ServeStats> ServeBatch(RrreTrainer& trainer,
   }
   scorer.PrimeUsers(users);
   scorer.PrimeItems(items);
-  const RrreTrainer::Predictions preds = scorer.Score(pairs.value());
-  stats.num_scored = static_cast<int64_t>(pairs.value().size());
+  // Score in score_batch-sized chunks so per-batch latency is observable
+  // (the online server lives and dies by this number). Chunking cannot
+  // change the scores: profiles are cached per id and the prediction heads
+  // are independent per pair.
+  const int64_t total = static_cast<int64_t>(pairs.value().size());
+  const int64_t chunk = options.score_batch > 0 ? options.score_batch : total;
+  RrreTrainer::Predictions preds;
+  preds.ratings.reserve(static_cast<size_t>(total));
+  preds.reliabilities.reserve(static_cast<size_t>(total));
+  for (int64_t start = 0; start < total; start += chunk) {
+    const int64_t end = std::min(total, start + chunk);
+    const std::vector<std::pair<int64_t, int64_t>> batch(
+        pairs.value().begin() + start, pairs.value().begin() + end);
+    common::Timer batch_timer;
+    const RrreTrainer::Predictions batch_preds = scorer.Score(batch);
+    stats.batch_latency_us.Record(batch_timer.ElapsedSeconds() * 1e6);
+    ++stats.num_batches;
+    preds.ratings.insert(preds.ratings.end(), batch_preds.ratings.begin(),
+                         batch_preds.ratings.end());
+    preds.reliabilities.insert(preds.reliabilities.end(),
+                               batch_preds.reliabilities.begin(),
+                               batch_preds.reliabilities.end());
+  }
+  stats.num_scored = total;
   stats.users_primed = scorer.cached_users();
   stats.items_primed = scorer.cached_items();
   stats.seconds = timer.ElapsedSeconds();

@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/histogram.h"
 #include "common/status.h"
 #include "core/config.h"
 #include "core/trainer.h"
@@ -20,7 +21,8 @@ struct ServeOptions {
   std::string model_prefix;
   /// Request TSV. Pair mode: one "user<TAB>item" per line. Catalog mode:
   /// one "user" per line, expanded to the full item catalog. A leading
-  /// header row ("user[<TAB>item]") and '#' comment lines are skipped.
+  /// header row ("user[<TAB>item]"), '#' comment lines, and blank or
+  /// whitespace-only lines are skipped; CRLF line endings are accepted.
   std::string input_path;
   /// Output TSV: header then "user<TAB>item<TAB>rating<TAB>reliability"
   /// rows aligned with the expanded request order. Values are printed with
@@ -28,6 +30,10 @@ struct ServeOptions {
   std::string output_path;
   /// True: each request line is a bare user id scored against every item.
   bool catalog = false;
+  /// Pairs per scoring batch. Towers are still primed once up front; this
+  /// chunks the prediction-head sweep so ServeStats can report a per-batch
+  /// latency distribution. 0 = one batch. Chunking never changes scores.
+  int64_t score_batch = 1024;
 };
 
 struct ServeStats {
@@ -36,6 +42,10 @@ struct ServeStats {
   int64_t users_primed = 0;   ///< Distinct user tower profiles computed.
   int64_t items_primed = 0;   ///< Distinct item tower profiles computed.
   double seconds = 0.0;       ///< Wall-clock scoring time (excludes load).
+  int64_t num_batches = 0;    ///< Scoring batches of <= score_batch pairs.
+  /// Per-batch prediction-head latency (towers are primed up front, outside
+  /// the batches); query Percentile(50/95/99) for the tool's summary line.
+  common::Histogram batch_latency_us;
 };
 
 /// Parses a request TSV (see ServeOptions::input_path) and expands it into

@@ -1,0 +1,47 @@
+#ifndef RRRE_SERVE_LOADGEN_H_
+#define RRRE_SERVE_LOADGEN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/histogram.h"
+#include "common/status.h"
+
+namespace rrre::serve {
+
+/// Closed-loop load generator for rrre_served, shared by tools/rrre_loadgen
+/// and bench_serving: N concurrent connections each issue pair requests
+/// (uniformly random ids) and wait for the response, optionally paced to a
+/// target aggregate QPS.
+struct LoadGenOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  int64_t connections = 4;
+  /// Total requests across all connections.
+  int64_t total_requests = 1000;
+  /// Aggregate target rate; 0 = as fast as the closed loop allows.
+  double target_qps = 0.0;
+  uint64_t seed = 42;
+  /// Id ranges to draw from. 0 = discover from the server via STATS.
+  int64_t num_users = 0;
+  int64_t num_items = 0;
+};
+
+struct LoadGenReport {
+  int64_t sent = 0;
+  int64_t scored = 0;      ///< Score-line responses.
+  int64_t overloaded = 0;  ///< "!ERR overload" responses.
+  int64_t errors = 0;      ///< Other error responses.
+  double seconds = 0.0;    ///< Wall clock over the whole run.
+  double qps = 0.0;        ///< Responses per second.
+  /// Per-request round-trip latency, merged across connections.
+  common::Histogram latency_us;
+};
+
+/// Runs the load and blocks until every connection finished. Fails if the
+/// server is unreachable or a connection breaks mid-run.
+common::Result<LoadGenReport> RunLoadGen(const LoadGenOptions& options);
+
+}  // namespace rrre::serve
+
+#endif  // RRRE_SERVE_LOADGEN_H_

@@ -1,0 +1,366 @@
+#include "serve/server.h"
+
+#include <condition_variable>
+#include <deque>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "serve/protocol.h"
+
+namespace rrre::serve {
+
+using common::Result;
+using common::Socket;
+using common::Status;
+
+/// One client connection. The reader thread owns parsing and admission; the
+/// writer thread owns the socket's send side and flushes responses strictly
+/// in request order. Batcher callbacks (scorer thread) only fill pending
+/// slots under the connection mutex — they never touch the socket.
+class Server::Connection
+    : public std::enable_shared_from_this<Server::Connection> {
+ public:
+  Connection(Server* server, Socket socket)
+      : server_(server), socket_(std::move(socket)) {}
+
+  ~Connection() {
+    // Threads are joined by the server (reap or Shutdown) before the last
+    // reference can drop on a foreign thread; these joins are a no-op then.
+    if (reader_.joinable()) reader_.join();
+    if (writer_.joinable()) writer_.join();
+  }
+
+  void Start() {
+    auto self = shared_from_this();
+    reader_ = std::thread([self] { self->ReaderLoop(); });
+    writer_ = std::thread([self] { self->WriterLoop(); });
+  }
+
+  /// Half-closes the read side: the reader sees EOF and stops admitting;
+  /// responses already admitted still flush. Safe from any thread.
+  void AbortRead() { socket_.ShutdownRead(); }
+
+  /// Both loops have run to completion — Join will not block.
+  bool Finished() const { return exited_.load() == 2; }
+
+  void Join() {
+    if (reader_.joinable()) reader_.join();
+    if (writer_.joinable()) writer_.join();
+  }
+
+ private:
+  /// A response slot in the per-connection FIFO. `ready` flips exactly once,
+  /// under mu_.
+  struct Pending {
+    bool ready = false;
+    std::string payload;
+  };
+
+  std::shared_ptr<Pending> PushPending() {
+    auto pending = std::make_shared<Pending>();
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(pending);
+    return pending;
+  }
+
+  void PushReady(std::string payload) {
+    auto pending = std::make_shared<Pending>();
+    pending->ready = true;
+    pending->payload = std::move(payload);
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(pending));
+    cv_.notify_all();
+  }
+
+  void Fulfill(const std::shared_ptr<Pending>& pending, std::string payload) {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending->payload = std::move(payload);
+    pending->ready = true;
+    cv_.notify_all();
+  }
+
+  void ReaderLoop() {
+    common::LineReader reader(&socket_);
+    for (;;) {
+      auto line = reader.ReadLine();
+      if (!line.ok() || !line.value().has_value()) break;
+      if (!HandleLine(*line.value())) break;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      reader_done_ = true;
+      cv_.notify_all();
+    }
+    exited_.fetch_add(1);
+  }
+
+  /// Returns false when the connection should close (QUIT).
+  bool HandleLine(const std::string& line) {
+    const Request req = ParseRequest(line);
+    if (req.type == Request::Type::kBlank) return true;
+    server_->requests_.fetch_add(1);
+    switch (req.type) {
+      case Request::Type::kPing:
+        PushReady(FormatPong());
+        return true;
+      case Request::Type::kStats:
+        PushReady(server_->FormatStatsLine());
+        return true;
+      case Request::Type::kQuit:
+        PushReady(FormatBye());
+        return false;
+      case Request::Type::kReload: {
+        auto pending = PushPending();
+        auto self = shared_from_this();
+        server_->batcher_->RequestReload(
+            server_->options_.model_prefix,
+            [self, pending](const Status& status, int64_t generation) {
+              self->Fulfill(pending,
+                            status.ok()
+                                ? FormatReloaded(generation)
+                                : FormatError("reload", status.ToString()));
+            });
+        return true;
+      }
+      case Request::Type::kInvalid:
+        server_->parse_errors_.fetch_add(1);
+        PushReady(FormatError("parse", req.error));
+        return true;
+      case Request::Type::kPair:
+      case Request::Type::kCatalog:
+        HandleScoreRequest(req);
+        return true;
+      case Request::Type::kBlank:
+        return true;
+    }
+    return true;
+  }
+
+  void HandleScoreRequest(const Request& req) {
+    const bool catalog = req.type == Request::Type::kCatalog;
+    const int64_t num_users = server_->batcher_->num_users();
+    const int64_t num_items = server_->batcher_->num_items();
+    if (req.user < 0 || req.user >= num_users) {
+      server_->range_errors_.fetch_add(1);
+      PushReady(FormatError(
+          "range", "user " + std::to_string(req.user) + " out of range [0, " +
+                       std::to_string(num_users) + ")"));
+      return;
+    }
+    if (!catalog && (req.item < 0 || req.item >= num_items)) {
+      server_->range_errors_.fetch_add(1);
+      PushReady(FormatError(
+          "range", "item " + std::to_string(req.item) + " out of range [0, " +
+                       std::to_string(num_items) + ")"));
+      return;
+    }
+    auto pending = PushPending();
+    auto self = shared_from_this();
+    const int64_t user = req.user;
+    const bool accepted = server_->batcher_->TrySubmit(
+        req.user, catalog ? MicroBatcher::kCatalogItem : req.item,
+        [self, pending, user, catalog](
+            const Status& status,
+            const std::vector<MicroBatcher::ScoredPair>& results) {
+          if (!status.ok()) {
+            self->server_->range_errors_.fetch_add(1);
+            self->Fulfill(pending, FormatError("range", status.message()));
+            return;
+          }
+          std::string out;
+          if (catalog) {
+            out = FormatCatalogHeader(user,
+                                      static_cast<int64_t>(results.size()));
+          }
+          for (const auto& r : results) {
+            out += FormatScoreLine(r.user, r.item, r.rating, r.reliability);
+          }
+          self->Fulfill(pending, std::move(out));
+        });
+    if (!accepted) {
+      server_->overloads_.fetch_add(1);
+      Fulfill(pending, FormatError("overload",
+                                   "admission queue full — retry later"));
+    }
+  }
+
+  void WriterLoop() {
+    bool send_failed = false;
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      cv_.wait(lock, [&] {
+        return (!queue_.empty() && queue_.front()->ready) ||
+               (reader_done_ && queue_.empty());
+      });
+      if (queue_.empty()) break;
+      std::string payload = std::move(queue_.front()->payload);
+      queue_.pop_front();
+      lock.unlock();
+      // After a send failure (peer hung up) keep consuming so every pending
+      // callback still finds its slot, but stop writing.
+      if (!send_failed && !socket_.SendAll(payload).ok()) send_failed = true;
+      lock.lock();
+    }
+    lock.unlock();
+    // Reader is done and everything admitted was answered: full close so the
+    // peer sees EOF promptly.
+    socket_.ShutdownBoth();
+    exited_.fetch_add(1);
+  }
+
+  Server* server_;
+  Socket socket_;
+  std::thread reader_;
+  std::thread writer_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::shared_ptr<Pending>> queue_;  ///< Response FIFO.
+  bool reader_done_ = false;
+  std::atomic<int> exited_{0};
+};
+
+Result<std::unique_ptr<Server>> Server::Start(const ServerOptions& options) {
+  auto trainer = std::make_unique<core::RrreTrainer>(options.config);
+  RRRE_RETURN_IF_ERROR(trainer->Load(options.model_prefix));
+  auto listener = Socket::Listen(options.port);
+  if (!listener.ok()) return listener.status();
+  auto batcher =
+      std::make_unique<MicroBatcher>(std::move(trainer), options.batcher);
+  std::unique_ptr<Server> server(new Server(
+      options, std::move(batcher), std::move(listener).ValueOrDie()));
+  return server;
+}
+
+Server::Server(const ServerOptions& options,
+               std::unique_ptr<MicroBatcher> batcher, Socket listener)
+    : options_(options),
+      batcher_(std::move(batcher)),
+      listener_(std::move(listener)) {
+  accept_thread_ = std::thread(&Server::AcceptLoop, this);
+}
+
+Server::~Server() { Shutdown(); }
+
+void Server::Reload(MicroBatcher::ReloadDoneFn done) {
+  batcher_->RequestReload(
+      options_.model_prefix,
+      [done](const Status& status, int64_t generation) {
+        if (status.ok()) {
+          RRRE_LOG_INFO << "hot reload complete, serving generation "
+                        << generation;
+        }
+        if (done) done(status, generation);
+      });
+}
+
+void Server::AcceptLoop() {
+  while (!stopping_.load()) {
+    auto client = listener_.AcceptWithTimeout(/*timeout_ms=*/100);
+    ReapFinishedConnections();
+    if (!client.ok()) {
+      if (stopping_.load()) break;
+      RRRE_LOG_WARNING << "accept failed: " << client.status().ToString();
+      continue;
+    }
+    if (!client.value().has_value()) continue;  // Poll timeout.
+    Socket socket = std::move(*client.value());
+    std::shared_ptr<Connection> conn;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (static_cast<int64_t>(connections_.size()) >=
+          options_.max_connections) {
+        connections_rejected_.fetch_add(1);
+        socket.SendAll(FormatError("busy", "connection limit reached"));
+        continue;  // Socket closes on scope exit.
+      }
+      conn = std::make_shared<Connection>(this, std::move(socket));
+      connections_.push_back(conn);
+    }
+    connections_accepted_.fetch_add(1);
+    conn->Start();
+  }
+}
+
+void Server::ReapFinishedConnections() {
+  std::vector<std::shared_ptr<Connection>> finished;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t i = 0; i < connections_.size();) {
+      if (connections_[i]->Finished()) {
+        finished.push_back(std::move(connections_[i]));
+        connections_[i] = std::move(connections_.back());
+        connections_.pop_back();
+      } else {
+        ++i;
+      }
+    }
+  }
+  for (auto& conn : finished) conn->Join();
+}
+
+void Server::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_done_) return;
+    shutdown_done_ = true;
+  }
+  stopping_.store(true);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::shared_ptr<Connection>> conns;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    conns = connections_;
+  }
+  // Half-close every connection: readers stop admitting, the batcher keeps
+  // running so admitted requests drain to their writers.
+  for (auto& conn : conns) conn->AbortRead();
+  batcher_->Resume();  // A paused batcher would deadlock the drain.
+  for (auto& conn : conns) conn->Join();
+  batcher_->Stop();
+  std::lock_guard<std::mutex> lock(mu_);
+  connections_.clear();
+}
+
+ServerStats Server::stats() const {
+  ServerStats out;
+  out.connections_accepted = connections_accepted_.load();
+  out.connections_rejected = connections_rejected_.load();
+  out.requests = requests_.load();
+  out.parse_errors = parse_errors_.load();
+  out.range_errors = range_errors_.load();
+  out.overloads = overloads_.load();
+  out.batcher = batcher_->stats();
+  std::lock_guard<std::mutex> lock(mu_);
+  out.connections_active = static_cast<int64_t>(connections_.size());
+  return out;
+}
+
+std::string Server::FormatStatsLine() const {
+  const MicroBatcher::Stats b = batcher_->stats();
+  int64_t active;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    active = static_cast<int64_t>(connections_.size());
+  }
+  return common::StrFormat(
+      "#stats\tusers=%lld\titems=%lld\tversion=%lld\tgeneration=%lld\t"
+      "requests=%lld\tparse_errors=%lld\trange_errors=%lld\toverloads=%lld\t"
+      "submitted=%lld\trejected=%lld\tbatches=%lld\tpairs=%lld\t"
+      "reloads=%lld\tconnections=%lld\n",
+      static_cast<long long>(batcher_->num_users()),
+      static_cast<long long>(batcher_->num_items()),
+      static_cast<long long>(batcher_->params_version()),
+      static_cast<long long>(batcher_->generation()),
+      static_cast<long long>(requests_.load()),
+      static_cast<long long>(parse_errors_.load()),
+      static_cast<long long>(range_errors_.load()),
+      static_cast<long long>(overloads_.load()),
+      static_cast<long long>(b.submitted), static_cast<long long>(b.rejected),
+      static_cast<long long>(b.batches),
+      static_cast<long long>(b.pairs_scored),
+      static_cast<long long>(b.reloads), static_cast<long long>(active));
+}
+
+}  // namespace rrre::serve

@@ -1,0 +1,112 @@
+#ifndef RRRE_SERVE_SERVER_H_
+#define RRRE_SERVE_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/socket.h"
+#include "common/status.h"
+#include "core/config.h"
+#include "serve/batcher.h"
+
+namespace rrre::serve {
+
+struct ServerOptions {
+  /// Architecture config matching the checkpoint (the checkpoint stores
+  /// parameters, not the RrreConfig).
+  core::RrreConfig config;
+  /// Checkpoint prefix loaded at startup and re-loaded on hot reload.
+  std::string model_prefix;
+  /// TCP port to listen on; 0 picks an ephemeral port (see Server::port()).
+  uint16_t port = 0;
+  MicroBatcher::Options batcher;
+  /// Connections beyond this are answered with "!ERR busy" and closed.
+  int64_t max_connections = 256;
+};
+
+struct ServerStats {
+  int64_t connections_accepted = 0;
+  int64_t connections_active = 0;
+  int64_t connections_rejected = 0;
+  int64_t requests = 0;      ///< Protocol requests parsed (incl. control).
+  int64_t parse_errors = 0;
+  int64_t range_errors = 0;
+  int64_t overloads = 0;     ///< Requests refused by admission control.
+  MicroBatcher::Stats batcher;
+};
+
+/// The long-lived rrre_served server: accepts concurrent line-protocol
+/// connections (see serve/protocol.h), funnels score requests into the
+/// MicroBatcher, and writes responses back in request order per connection.
+///
+/// Connection state machine: a reader thread parses lines and either answers
+/// immediately (control, parse/range/overload errors) or registers an
+/// ordered pending slot fulfilled later by the batcher; a writer thread
+/// flushes slots strictly in request order, so pipelined clients get every
+/// response, in order, exactly once.
+///
+/// Shutdown() drains gracefully: the listener stops, every connection's read
+/// side is half-closed (clients see EOF for new requests), all admitted
+/// requests still get their responses, then threads are joined.
+class Server {
+ public:
+  /// Loads the checkpoint, binds the listener and starts the accept loop.
+  static common::Result<std::unique_ptr<Server>> Start(
+      const ServerOptions& options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bound port (useful with options.port == 0).
+  uint16_t port() const { return listener_.local_port(); }
+
+  /// Asynchronous hot reload of options.model_prefix (the SIGHUP path).
+  /// The outcome is logged; pass `done` to observe it.
+  void Reload(MicroBatcher::ReloadDoneFn done = nullptr);
+
+  /// Graceful drain; idempotent; blocks until everything is joined.
+  void Shutdown();
+
+  ServerStats stats() const;
+
+  /// The scheduler, exposed for tests (Pause/Resume/Drain) and stats.
+  MicroBatcher& batcher() { return *batcher_; }
+
+ private:
+  class Connection;
+
+  Server(const ServerOptions& options, std::unique_ptr<MicroBatcher> batcher,
+         common::Socket listener);
+
+  void AcceptLoop();
+  /// Joins and erases finished connections (accept-loop thread only).
+  void ReapFinishedConnections();
+  std::string FormatStatsLine() const;
+
+  ServerOptions options_;
+  std::unique_ptr<MicroBatcher> batcher_;
+  common::Socket listener_;
+
+  std::atomic<bool> stopping_{false};
+  std::atomic<int64_t> requests_{0};
+  std::atomic<int64_t> parse_errors_{0};
+  std::atomic<int64_t> range_errors_{0};
+  std::atomic<int64_t> overloads_{0};
+  std::atomic<int64_t> connections_accepted_{0};
+  std::atomic<int64_t> connections_rejected_{0};
+
+  mutable std::mutex mu_;  ///< Guards connections_ and shutdown_done_.
+  std::vector<std::shared_ptr<Connection>> connections_;
+  bool shutdown_done_ = false;
+
+  std::thread accept_thread_;
+};
+
+}  // namespace rrre::serve
+
+#endif  // RRRE_SERVE_SERVER_H_

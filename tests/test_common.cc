@@ -2,8 +2,11 @@
 
 #include <cstdio>
 #include <set>
+#include <thread>
+#include <vector>
 
 #include "common/flags.h"
+#include "common/histogram.h"
 #include "common/io.h"
 #include "common/rng.h"
 #include "common/status.h"
@@ -418,6 +421,130 @@ TEST(FlagsTest, BoolExplicitFalse) {
   const char* argv[] = {"prog", "--verbose=false"};
   ASSERT_TRUE(flags.Parse(2, argv).ok());
   EXPECT_FALSE(flags.GetBool("verbose"));
+}
+
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+TEST(HistogramTest, EmptyReportsZeros) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.sum(), 0.0);
+  EXPECT_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.Min(), 0.0);
+  EXPECT_EQ(h.Max(), 0.0);
+  EXPECT_EQ(h.Percentile(50.0), 0.0);
+  EXPECT_EQ(h.Percentile(99.0), 0.0);
+}
+
+TEST(HistogramTest, SingleValueIsEveryPercentile) {
+  Histogram h;
+  h.Record(1234.5);
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_DOUBLE_EQ(h.Mean(), 1234.5);
+  // Percentiles are clamped to the exact [Min, Max] range, so a single
+  // sample is reported exactly at every percentile.
+  EXPECT_DOUBLE_EQ(h.Percentile(0.0), 1234.5);
+  EXPECT_DOUBLE_EQ(h.Percentile(50.0), 1234.5);
+  EXPECT_DOUBLE_EQ(h.Percentile(100.0), 1234.5);
+}
+
+TEST(HistogramTest, PercentilesOfUniformRampWithinBucketResolution) {
+  Histogram h;
+  for (int v = 1; v <= 1000; ++v) h.Record(static_cast<double>(v));
+  EXPECT_EQ(h.count(), 1000);
+  EXPECT_DOUBLE_EQ(h.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.Max(), 1000.0);
+  // Log-linear buckets with 16 sub-buckets per octave bound the relative
+  // error by 1/16; allow 10% slack.
+  EXPECT_NEAR(h.Percentile(50.0), 500.0, 50.0);
+  EXPECT_NEAR(h.Percentile(95.0), 950.0, 95.0);
+  EXPECT_NEAR(h.Percentile(99.0), 990.0, 99.0);
+  // Percentiles are monotone and p100 is exact.
+  EXPECT_LE(h.Percentile(50.0), h.Percentile(95.0));
+  EXPECT_LE(h.Percentile(95.0), h.Percentile(99.0));
+  EXPECT_DOUBLE_EQ(h.Percentile(100.0), 1000.0);
+}
+
+TEST(HistogramTest, NonPositiveAndSubUnitValuesLandInFirstBucket) {
+  Histogram h;
+  h.Record(-5.0);
+  h.Record(0.0);
+  h.Record(0.3);
+  h.Record(1.0);
+  EXPECT_EQ(h.count(), 4);
+  EXPECT_DOUBLE_EQ(h.Min(), -5.0);
+  EXPECT_DOUBLE_EQ(h.Max(), 1.0);
+  // All samples share the first bucket; its upper edge is clamped to Max.
+  EXPECT_DOUBLE_EQ(h.Percentile(50.0), 1.0);
+}
+
+TEST(HistogramTest, MergeMatchesRecordingEverythingIntoOne) {
+  Histogram a;
+  Histogram b;
+  Histogram combined;
+  Rng rng(7);
+  for (int i = 0; i < 500; ++i) {
+    const double v = rng.Uniform(0.0, 5e6);
+    (i % 2 == 0 ? a : b).Record(v);
+    combined.Record(v);
+  }
+  Histogram merged;
+  merged.Merge(a);
+  merged.Merge(b);
+  EXPECT_EQ(merged.count(), combined.count());
+  EXPECT_DOUBLE_EQ(merged.sum(), combined.sum());
+  EXPECT_DOUBLE_EQ(merged.Min(), combined.Min());
+  EXPECT_DOUBLE_EQ(merged.Max(), combined.Max());
+  for (double p : {10.0, 50.0, 90.0, 95.0, 99.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(merged.Percentile(p), combined.Percentile(p)) << p;
+  }
+}
+
+TEST(HistogramTest, MergeIntoEmptyAndOfEmptyIsIdentity) {
+  Histogram a;
+  a.Record(10.0);
+  a.Record(100.0);
+  Histogram empty;
+  Histogram merged;
+  merged.Merge(a);
+  merged.Merge(empty);  // No-op.
+  EXPECT_EQ(merged.count(), 2);
+  EXPECT_DOUBLE_EQ(merged.Min(), 10.0);
+  EXPECT_DOUBLE_EQ(merged.Max(), 100.0);
+}
+
+TEST(HistogramTest, PerThreadHistogramsMergeAcrossThreads) {
+  // The intended concurrent pattern: one histogram per thread, merged once
+  // the threads are done.
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 250;
+  std::vector<Histogram> per_thread(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &per_thread] {
+      for (int i = 0; i < kPerThread; ++i) {
+        per_thread[t].Record(static_cast<double>(t * kPerThread + i + 1));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  Histogram merged;
+  for (const auto& h : per_thread) merged.Merge(h);
+  EXPECT_EQ(merged.count(), kThreads * kPerThread);
+  EXPECT_DOUBLE_EQ(merged.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(merged.Max(), kThreads * kPerThread);
+}
+
+TEST(HistogramTest, SummaryMentionsCountAndPercentiles) {
+  Histogram h;
+  for (int i = 1; i <= 64; ++i) h.Record(static_cast<double>(i));
+  const std::string s = h.Summary();
+  EXPECT_NE(s.find("n=64"), std::string::npos) << s;
+  EXPECT_NE(s.find("p50="), std::string::npos) << s;
+  EXPECT_NE(s.find("p99="), std::string::npos) << s;
 }
 
 }  // namespace

@@ -245,5 +245,129 @@ TEST_F(ServingTest, MissingRequestFileFails) {
   EXPECT_FALSE(stats.ok());
 }
 
+TEST_F(ServingTest, AcceptsCrlfAndSkipsWhitespaceOnlyLines) {
+  const int64_t num_users = corpus_->num_users();
+  const int64_t num_items = corpus_->num_items();
+  const std::string in = TempPath("serve_crlf_req.tsv");
+  // CRLF terminators, blank lines, space-only and tab-only lines — all
+  // accepted or skipped; only the two real requests survive.
+  WriteRequests(in, "user\titem\r\n1\t2\r\n\r\n   \n\t\n3\t4\r\n");
+  int64_t requests = 0;
+  auto pairs = ReadScoreRequests(in, /*catalog=*/false, num_users, num_items,
+                                 &requests);
+  ASSERT_TRUE(pairs.ok()) << pairs.status().ToString();
+  EXPECT_EQ(requests, 2);
+  ASSERT_EQ(pairs.value().size(), 2u);
+  EXPECT_EQ(pairs.value()[0], (std::pair<int64_t, int64_t>{1, 2}));
+  EXPECT_EQ(pairs.value()[1], (std::pair<int64_t, int64_t>{3, 4}));
+  std::remove(in.c_str());
+}
+
+TEST_F(ServingTest, EmptyRequestFileServesZeroPairs) {
+  const std::string in = TempPath("serve_empty_req.tsv");
+  const std::string out = TempPath("serve_empty_out.tsv");
+  WriteRequests(in, "");
+  ServeOptions options;
+  options.model_prefix = *prefix_;
+  options.input_path = in;
+  options.output_path = out;
+  auto stats = LoadAndServe(TinyConfig(), options);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats.value().num_requests, 0);
+  EXPECT_EQ(stats.value().num_scored, 0);
+  EXPECT_EQ(stats.value().num_batches, 0);
+  auto text = common::ReadFile(out);
+  ASSERT_TRUE(text.ok());
+  EXPECT_EQ(text.value(), "user\titem\trating\treliability\n");
+  std::remove(in.c_str());
+  std::remove(out.c_str());
+}
+
+TEST_F(ServingTest, HeaderOnlyCatalogFileIsZeroRequests) {
+  const std::string in = TempPath("serve_hdr_only_req.tsv");
+  WriteRequests(in, "user\n");
+  int64_t requests = -1;
+  auto pairs = ReadScoreRequests(in, /*catalog=*/true, corpus_->num_users(),
+                                 corpus_->num_items(), &requests);
+  ASSERT_TRUE(pairs.ok()) << pairs.status().ToString();
+  EXPECT_EQ(requests, 0);
+  EXPECT_TRUE(pairs.value().empty());
+  std::remove(in.c_str());
+}
+
+TEST_F(ServingTest, IdBoundsAreExactlyExclusiveAtCorpusSize) {
+  const int64_t num_users = corpus_->num_users();
+  const int64_t num_items = corpus_->num_items();
+  const std::string in = TempPath("serve_bounds_req.tsv");
+
+  // The last valid ids are num_users-1 / num_items-1...
+  WriteRequests(in, std::to_string(num_users - 1) + "\t" +
+                        std::to_string(num_items - 1) + "\n");
+  auto pairs = ReadScoreRequests(in, /*catalog=*/false, num_users, num_items);
+  ASSERT_TRUE(pairs.ok()) << pairs.status().ToString();
+  ASSERT_EQ(pairs.value().size(), 1u);
+  EXPECT_EQ(pairs.value()[0],
+            (std::pair<int64_t, int64_t>{num_users - 1, num_items - 1}));
+
+  // ...and exactly num_users / num_items are the first invalid ones.
+  WriteRequests(in, std::to_string(num_users) + "\t0\n");
+  auto bad_user =
+      ReadScoreRequests(in, /*catalog=*/false, num_users, num_items);
+  ASSERT_FALSE(bad_user.ok());
+  EXPECT_NE(bad_user.status().message().find("out of range"),
+            std::string::npos);
+
+  WriteRequests(in, "0\t" + std::to_string(num_items) + "\n");
+  auto bad_item =
+      ReadScoreRequests(in, /*catalog=*/false, num_users, num_items);
+  ASSERT_FALSE(bad_item.ok());
+  EXPECT_NE(bad_item.status().message().find("out of range"),
+            std::string::npos);
+  std::remove(in.c_str());
+}
+
+TEST_F(ServingTest, ChunkedScoringIsByteIdenticalAndRecordsLatency) {
+  // 30 requests at score_batch=8 -> 4 batches; chunking must not change a
+  // single output byte versus one big batch, and the latency histogram must
+  // have one sample per batch.
+  std::string requests = "user\titem\n";
+  for (int64_t i = 0; i < 30; ++i) {
+    const data::Review& r = corpus_->review((i * 5) % corpus_->size());
+    requests += std::to_string(r.user) + "\t" + std::to_string(r.item) + "\n";
+  }
+  const std::string in = TempPath("serve_chunk_req.tsv");
+  WriteRequests(in, requests);
+
+  ServeOptions chunked;
+  chunked.model_prefix = *prefix_;
+  chunked.input_path = in;
+  chunked.output_path = TempPath("serve_chunk_a.tsv");
+  chunked.score_batch = 8;
+  ServeOptions single = chunked;
+  single.output_path = TempPath("serve_chunk_b.tsv");
+  single.score_batch = 0;
+
+  auto chunked_stats = LoadAndServe(TinyConfig(), chunked);
+  ASSERT_TRUE(chunked_stats.ok()) << chunked_stats.status().ToString();
+  EXPECT_EQ(chunked_stats.value().num_batches, 4);  // ceil(30 / 8).
+  EXPECT_EQ(chunked_stats.value().batch_latency_us.count(), 4);
+  EXPECT_GT(chunked_stats.value().batch_latency_us.Percentile(50.0), 0.0);
+  EXPECT_LE(chunked_stats.value().batch_latency_us.Percentile(50.0),
+            chunked_stats.value().batch_latency_us.Percentile(99.0));
+
+  auto single_stats = LoadAndServe(TinyConfig(), single);
+  ASSERT_TRUE(single_stats.ok());
+  EXPECT_EQ(single_stats.value().num_batches, 1);
+
+  auto a = common::ReadFile(chunked.output_path);
+  auto b = common::ReadFile(single.output_path);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value(), b.value());
+  std::remove(in.c_str());
+  std::remove(chunked.output_path.c_str());
+  std::remove(single.output_path.c_str());
+}
+
 }  // namespace
 }  // namespace rrre::core

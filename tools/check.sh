@@ -28,12 +28,13 @@ cmake --build build -j >/dev/null
 if [[ "$SKIP_TSAN" == "1" ]]; then
   echo "== TSan pass skipped =="
 else
-  echo "== TSan: parallel-layer tests under ThreadSanitizer =="
+  echo "== TSan: parallel-layer + online-serving tests under ThreadSanitizer =="
   cmake -B build-tsan -S . -DRRRE_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j \
-    --target test_threadpool test_parallel_determinism test_tensor >/dev/null
+    --target test_threadpool test_parallel_determinism test_tensor \
+             test_batcher test_served >/dev/null
   (cd build-tsan && ctest --output-on-failure \
-    -R "ThreadPool|ParallelDeterminism" )
+    -R "ThreadPool|ParallelDeterminism|MicroBatcher|ServedTest" )
 fi
 
 if [[ "$SKIP_ASAN" == "1" ]]; then

@@ -34,6 +34,7 @@ int main(int argc, char** argv) {
   flags.AddString("input", "", "request TSV: user<TAB>item (or user with --catalog)");
   flags.AddString("output", "", "output TSV: user, item, rating, reliability");
   flags.AddBool("catalog", false, "score each requested user against every item");
+  flags.AddInt("score_batch", 1024, "pairs per scoring batch (0 = one batch)");
   flags.AddInt("num_threads", 0, "global thread pool size (0 = hardware)");
   flags.AddInt("su", 5, "user history slots (must match training)");
   flags.AddInt("si", 7, "item history slots (must match training)");
@@ -64,6 +65,7 @@ int main(int argc, char** argv) {
   options.input_path = flags.GetString("input");
   options.output_path = flags.GetString("output");
   options.catalog = flags.GetBool("catalog");
+  options.score_batch = flags.GetInt("score_batch");
 
   auto stats = core::LoadAndServe(config, options);
   if (!stats.ok()) {
@@ -79,6 +81,16 @@ int main(int argc, char** argv) {
       static_cast<long long>(stats.value().users_primed),
       static_cast<long long>(stats.value().items_primed),
       common::ThreadPool::GlobalSize());
+  const auto& latency = stats.value().batch_latency_us;
+  std::printf(
+      "scoring latency over %lld batches of <=%lld pairs: "
+      "p50=%.0fus p95=%.0fus p99=%.0fus max=%.0fus\n",
+      static_cast<long long>(stats.value().num_batches),
+      static_cast<long long>(options.score_batch > 0
+                                 ? options.score_batch
+                                 : stats.value().num_scored),
+      latency.Percentile(50.0), latency.Percentile(95.0),
+      latency.Percentile(99.0), latency.Max());
   std::printf("scores written to %s\n", options.output_path.c_str());
   return 0;
 }
