@@ -1,8 +1,14 @@
 // Google-benchmark microbenchmarks of the tensor/NN substrate: the kernels
 // that dominate RRRE training time (matmul, BiLSTM steps, attention blocks,
 // TextCNN) plus the non-neural detectors' inner loops (loopy BP, REV2).
+//
+// Run with RRRE_PROF=1 to additionally dump the span histograms the kernels
+// record (span_matmul_us, span_conv1d_maxpool_us, span_attention_forward_us,
+// ...) so wall time can be attributed to individual ops across a whole run.
 
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
 
 #include "baselines/rev2.h"
 #include "common/rng.h"
@@ -11,6 +17,8 @@
 #include "nn/attention.h"
 #include "nn/fm.h"
 #include "nn/lstm.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tensor/ops.h"
 
 namespace {
@@ -144,4 +152,14 @@ BENCHMARK(BM_Rev2Solve);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (rrre::obs::ProfilingEnabled()) {
+    std::printf("\n# RRRE_PROF kernel span attribution\n%s",
+                rrre::obs::MetricsRegistry::Global().RenderText().c_str());
+  }
+  return 0;
+}

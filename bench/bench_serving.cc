@@ -4,6 +4,11 @@
 // percentiles and the micro-batcher's realized batch-size distribution, and
 // writes the numbers to BENCH_serving.json for tracking across commits.
 //
+// Runs the identical load twice — once with the metrics registry enabled
+// (the production default) and once with it disabled — and reports the QPS
+// overhead the instrumentation costs, so the "<3% regression" budget is
+// checked on every bench run rather than assumed.
+//
 //   bench_serving [--scale=0.15] [--connections=8] [--requests=5000]
 //                 [--qps=0] [--max_batch=64] [--max_delay_us=1000]
 //                 [--out=BENCH_serving.json]
@@ -30,6 +35,30 @@ std::string JsonHistogram(const rrre::common::Histogram& h) {
       "\"p99\": %.1f, \"min\": %.1f, \"max\": %.1f}",
       static_cast<long long>(h.count()), h.Mean(), h.Percentile(50.0),
       h.Percentile(95.0), h.Percentile(99.0), h.Min(), h.Max());
+}
+
+struct PhaseResult {
+  rrre::serve::LoadGenReport report;
+  rrre::serve::ServerStats stats;
+  std::string metrics_text;  ///< Empty when metrics were disabled.
+};
+
+/// One full server lifecycle (start -> loadgen -> drain -> shutdown) so the
+/// metrics-on and metrics-off measurements see identical conditions.
+PhaseResult RunPhase(const rrre::serve::ServerOptions& server_options,
+                     rrre::serve::LoadGenOptions load) {
+  using namespace rrre;  // NOLINT(build/namespaces)
+  auto server = serve::Server::Start(server_options);
+  RRRE_CHECK_OK(server.status());
+  load.port = server.value()->port();
+  auto report = serve::RunLoadGen(load);
+  RRRE_CHECK_OK(report.status());
+  PhaseResult out;
+  out.report = report.value();
+  out.metrics_text = server.value()->RenderMetricsText();
+  server.value()->Shutdown();
+  out.stats = server.value()->stats();
+  return out;
 }
 
 }  // namespace
@@ -71,25 +100,30 @@ int main(int argc, char** argv) {
   server_options.batcher.max_batch = flags.GetInt("max_batch");
   server_options.batcher.max_delay_us = flags.GetInt("max_delay_us");
   server_options.batcher.queue_capacity = flags.GetInt("queue_cap");
-  auto server = serve::Server::Start(server_options);
-  RRRE_CHECK_OK(server.status());
-  std::printf("serving %lld users x %lld items on port %u\n",
+  std::printf("serving %lld users x %lld items\n",
               static_cast<long long>(bundle.train.num_users()),
-              static_cast<long long>(bundle.train.num_items()),
-              server.value()->port());
+              static_cast<long long>(bundle.train.num_items()));
 
   serve::LoadGenOptions load;
-  load.port = server.value()->port();
   load.connections = flags.GetInt("connections");
   load.total_requests = flags.GetInt("requests");
   load.target_qps = flags.GetDouble("qps");
   load.seed = opts.base_seed;
-  auto report = serve::RunLoadGen(load);
-  RRRE_CHECK_OK(report.status());
-  const serve::LoadGenReport& r = report.value();
 
-  server.value()->Shutdown();
-  const serve::ServerStats stats = server.value()->stats();
+  // Metrics-off first (the baseline), then the instrumented run the rest of
+  // the report describes.
+  server_options.enable_metrics = false;
+  std::printf("phase 1/2: metrics off...\n");
+  const PhaseResult off = RunPhase(server_options, load);
+  server_options.enable_metrics = true;
+  std::printf("phase 2/2: metrics on...\n");
+  const PhaseResult on = RunPhase(server_options, load);
+
+  const serve::LoadGenReport& r = on.report;
+  const serve::ServerStats& stats = on.stats;
+  const double overhead_pct =
+      off.report.qps > 0.0 ? (off.report.qps - r.qps) / off.report.qps * 100.0
+                           : 0.0;
 
   std::printf("\n%lld requests over %lld connections in %.3fs -> %.1f qps\n",
               static_cast<long long>(r.sent),
@@ -103,6 +137,8 @@ int main(int argc, char** argv) {
               stats.batcher.batch_pairs.Summary().c_str());
   std::printf("  batch latency (us): %s\n",
               stats.batcher.batch_latency_us.Summary().c_str());
+  std::printf("  metrics off: %.1f qps -> metrics overhead %.2f%%\n",
+              off.report.qps, overhead_pct);
 
   const std::string json = common::StrFormat(
       "{\n"
@@ -123,7 +159,9 @@ int main(int argc, char** argv) {
       "  \"batch_pairs\": %s,\n"
       "  \"batch_latency_us\": %s,\n"
       "  \"batches\": %lld,\n"
-      "  \"pairs_scored\": %lld\n"
+      "  \"pairs_scored\": %lld,\n"
+      "  \"qps_metrics_off\": %.1f,\n"
+      "  \"metrics_overhead_pct\": %.2f\n"
       "}\n",
       flags.GetString("dataset").c_str(), opts.scale,
       static_cast<long long>(load.connections),
@@ -136,7 +174,8 @@ int main(int argc, char** argv) {
       JsonHistogram(stats.batcher.batch_pairs).c_str(),
       JsonHistogram(stats.batcher.batch_latency_us).c_str(),
       static_cast<long long>(stats.batcher.batches),
-      static_cast<long long>(stats.batcher.pairs_scored));
+      static_cast<long long>(stats.batcher.pairs_scored), off.report.qps,
+      overhead_pct);
   RRRE_CHECK_OK(common::WriteFile(flags.GetString("out"), json));
   std::printf("\nresults written to %s\n", flags.GetString("out").c_str());
 

@@ -10,6 +10,7 @@
 // user<TAB>item<TAB>rating<TAB>label<TAB>timestamp<TAB>text.
 
 #include <cstdio>
+#include <memory>
 #include <string>
 
 #include "common/flags.h"
@@ -19,6 +20,7 @@
 #include "core/trainer.h"
 #include "data/dataset.h"
 #include "eval/metrics.h"
+#include "obs/telemetry.h"
 
 namespace {
 
@@ -41,6 +43,22 @@ int Train(const common::FlagParser& flags) {
     return 1;
   }
   core::RrreTrainer trainer(ConfigFromFlags(flags));
+  std::unique_ptr<obs::TelemetryWriter> telemetry;
+  if (!flags.GetString("telemetry_out").empty()) {
+    obs::TelemetryWriter::Options writer_options;
+    writer_options.path = flags.GetString("telemetry_out");
+    writer_options.include_timings = flags.GetBool("telemetry_timings");
+    telemetry = std::make_unique<obs::TelemetryWriter>(writer_options);
+    if (!telemetry->status().ok()) {
+      std::fprintf(stderr, "cannot open --telemetry_out: %s\n",
+                   telemetry->status().ToString().c_str());
+      return 1;
+    }
+    core::RrreTrainer::TelemetryOptions topts;
+    topts.writer = telemetry.get();
+    topts.eval = &data.value();
+    trainer.SetTelemetry(topts);
+  }
   std::printf("training on %ld reviews...\n",
               static_cast<long>(data.value().size()));
   trainer.Fit(data.value(), [](const core::RrreTrainer::EpochStats& s) {
@@ -140,6 +158,11 @@ int main(int argc, char** argv) {
   flags.AddString("data", "", "TSV corpus (train/score)");
   flags.AddString("model", "", "checkpoint prefix");
   flags.AddString("out", "", "score: per-review output TSV");
+  flags.AddString("telemetry_out", "",
+                  "train: per-epoch telemetry JSONL (loss, grad norm, eval)");
+  flags.AddBool("telemetry_timings", true,
+                "train: include wall-clock fields in --telemetry_out "
+                "(false makes the file thread-count independent)");
   flags.AddInt("epochs", 8, "training epochs");
   flags.AddInt("su", 5, "user history slots");
   flags.AddInt("si", 7, "item history slots");

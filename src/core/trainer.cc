@@ -13,7 +13,9 @@
 #include "common/strings.h"
 #include "common/threadpool.h"
 #include "common/timer.h"
+#include "eval/metrics.h"
 #include "nn/loss.h"
+#include "obs/trace.h"
 #include "tensor/grad_sink.h"
 #include "tensor/ops.h"
 #include "tensor/serialize.h"
@@ -99,7 +101,11 @@ void RrreTrainer::TrainEpochs(int64_t first_epoch,
     double sum_loss = 0.0;
     double sum_loss1 = 0.0;
     double sum_loss2 = 0.0;
+    double sum_grad_norm = 0.0;
     int64_t batches = 0;
+    // Per-shard wall-times for this epoch's telemetry; only the sharded path
+    // fills it, and only wall-clock-including telemetry reports it.
+    common::Histogram shard_seconds_us;
     for (int64_t start = 0; start < n; start += config_.batch_size) {
       const int64_t end = std::min(n, start + config_.batch_size);
       std::vector<std::pair<int64_t, int64_t>> pairs;
@@ -146,7 +152,9 @@ void RrreTrainer::TrainEpochs(int64_t first_epoch,
         loss.Backward();
         if (config_.grad_clip > 0.0) {
           auto params_ref = optimizer_->params();
-          nn::ClipGradNorm(params_ref, config_.grad_clip);
+          sum_grad_norm += nn::ClipGradNorm(params_ref, config_.grad_clip);
+        } else if (telemetry_.writer != nullptr) {
+          sum_grad_norm += nn::GlobalGradNorm(optimizer_->params());
         }
         optimizer_->Step();
         ++params_version_;
@@ -175,8 +183,11 @@ void RrreTrainer::TrainEpochs(int64_t first_epoch,
             static_cast<size_t>(num_shards));
         std::vector<double> ce_vals(static_cast<size_t>(num_shards), 0.0);
         std::vector<double> mse_vals(static_cast<size_t>(num_shards), 0.0);
+        std::vector<double> shard_secs(static_cast<size_t>(num_shards), 0.0);
         common::ParallelFor(0, num_shards, 1, [&](int64_t lo, int64_t hi) {
           for (int64_t s = lo; s < hi; ++s) {
+            obs::TraceSpan span("train_shard");
+            common::Timer shard_timer;
             const int64_t s0 = s * ssz;
             const int64_t s1 = std::min(bsz, s0 + ssz);
             Rng shard_rng = batch_rng.Fork(static_cast<uint64_t>(s));
@@ -209,8 +220,12 @@ void RrreTrainer::TrainEpochs(int64_t first_epoch,
             shard_loss.Backward();
             ce_vals[static_cast<size_t>(s)] = ce.item() * frac;
             mse_vals[static_cast<size_t>(s)] = mse.item() * frac;
+            shard_secs[static_cast<size_t>(s)] = shard_timer.ElapsedSeconds();
           }
         });
+        if (telemetry_.writer != nullptr) {
+          for (double secs : shard_secs) shard_seconds_us.Record(secs * 1e6);
+        }
 
         // The L2 term lives on the master graph. Its Backward() zeroes the
         // optimizer parameters' real grads (providing the fresh-grad
@@ -238,7 +253,9 @@ void RrreTrainer::TrainEpochs(int64_t first_epoch,
         for (const auto& sink : sinks) sink->AccumulateInto();
         if (config_.grad_clip > 0.0) {
           auto params_ref = optimizer_->params();
-          nn::ClipGradNorm(params_ref, config_.grad_clip);
+          sum_grad_norm += nn::ClipGradNorm(params_ref, config_.grad_clip);
+        } else if (telemetry_.writer != nullptr) {
+          sum_grad_norm += nn::GlobalGradNorm(optimizer_->params());
         }
         optimizer_->Step();
         ++params_version_;
@@ -258,15 +275,61 @@ void RrreTrainer::TrainEpochs(int64_t first_epoch,
       ++batches;
     }
     epochs_completed_ = epoch + 1;
-    if (callback) {
-      EpochStats stats;
-      stats.epoch = epoch;
-      stats.loss = sum_loss / batches;
-      stats.loss1 = sum_loss1 / batches;
-      stats.loss2 = sum_loss2 / batches;
-      stats.seconds = timer.ElapsedSeconds();
-      callback(stats);
+    EpochStats stats;
+    stats.epoch = epoch;
+    stats.loss = sum_loss / batches;
+    stats.loss1 = sum_loss1 / batches;
+    stats.loss2 = sum_loss2 / batches;
+    stats.seconds = timer.ElapsedSeconds();
+    stats.grad_norm = sum_grad_norm / static_cast<double>(batches);
+    if (telemetry_.writer != nullptr) {
+      EmitEpochTelemetry(stats, n, batches, shard_seconds_us);
     }
+    if (callback) callback(stats);
+  }
+}
+
+void RrreTrainer::EmitEpochTelemetry(const EpochStats& stats,
+                                     int64_t examples, int64_t batches,
+                                     const common::Histogram& shard_seconds) {
+  obs::JsonRecord record;
+  record.AddInt("epoch", stats.epoch);
+  record.AddDouble("loss", stats.loss);
+  record.AddDouble("loss1", stats.loss1);
+  record.AddDouble("loss2", stats.loss2);
+  record.AddDouble("grad_norm", stats.grad_norm);
+  record.AddInt("examples", examples);
+  record.AddInt("batches", batches);
+  if (telemetry_.eval != nullptr && telemetry_.eval->size() > 0) {
+    // Scoring draws histories through the trainer RNG; snapshot and restore
+    // it so instrumented and uninstrumented runs train bitwise identically.
+    const auto rng_state = rng_.SerializeState();
+    const Predictions preds = PredictDataset(*telemetry_.eval);
+    rng_.RestoreState(rng_state);
+    std::vector<double> targets;
+    std::vector<int> labels;
+    targets.reserve(static_cast<size_t>(telemetry_.eval->size()));
+    labels.reserve(static_cast<size_t>(telemetry_.eval->size()));
+    for (const data::Review& r : telemetry_.eval->reviews()) {
+      targets.push_back(r.rating);
+      labels.push_back(r.is_benign() ? 1 : 0);
+    }
+    record.AddDouble("eval_brmse",
+                     eval::BiasedRmse(preds.ratings, targets, labels));
+    record.AddDouble("eval_auc", eval::Auc(preds.reliabilities, labels));
+  }
+  if (telemetry_.writer->include_timings()) {
+    record.AddDouble("seconds", stats.seconds);
+    if (shard_seconds.count() > 0) {
+      record.AddInt("shards", shard_seconds.count());
+      record.AddDouble("shard_us_mean", shard_seconds.Mean());
+      record.AddDouble("shard_us_p95", shard_seconds.Percentile(95.0));
+      record.AddDouble("shard_us_max", shard_seconds.Max());
+    }
+  }
+  const common::Status status = telemetry_.writer->Write(record);
+  if (!status.ok()) {
+    RRRE_LOG_WARNING << "epoch telemetry dropped: " << status.ToString();
   }
 }
 

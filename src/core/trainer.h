@@ -6,12 +6,14 @@
 #include <utility>
 #include <vector>
 
+#include "common/histogram.h"
 #include "common/rng.h"
 #include "core/config.h"
 #include "core/features.h"
 #include "core/model.h"
 #include "data/dataset.h"
 #include "nn/optimizer.h"
+#include "obs/telemetry.h"
 #include "text/vocab.h"
 
 namespace rrre::core {
@@ -29,12 +31,30 @@ class RrreTrainer {
 
   struct EpochStats {
     int64_t epoch = 0;
-    double loss = 0.0;     ///< Mean joint loss over batches.
-    double loss1 = 0.0;    ///< Mean reliability cross-entropy.
-    double loss2 = 0.0;    ///< Mean (biased) rating loss incl. L2.
-    double seconds = 0.0;  ///< Wall-clock time of the epoch.
+    double loss = 0.0;       ///< Mean joint loss over batches.
+    double loss1 = 0.0;      ///< Mean reliability cross-entropy.
+    double loss2 = 0.0;      ///< Mean (biased) rating loss incl. L2.
+    double seconds = 0.0;    ///< Wall-clock time of the epoch.
+    double grad_norm = 0.0;  ///< Mean pre-clip global gradient norm.
   };
   using EpochCallback = std::function<void(const EpochStats&)>;
+
+  /// Per-epoch JSONL telemetry. When `writer` is set, Fit/Resume append one
+  /// record per epoch: the joint-objective decomposition (loss/loss1/loss2),
+  /// the mean pre-clip gradient norm, batch/example counts, and — when
+  /// `eval` is set — bRMSE and AUC of the current parameters on that
+  /// held-out set. Wall-clock fields (epoch seconds, per-shard wall-times)
+  /// are emitted only when the writer includes timings, so a timing-free
+  /// stream is bitwise identical across thread counts and runs.
+  ///
+  /// Evaluating mid-training does not perturb the run: the trainer's RNG
+  /// state is snapshotted around the eval pass, so the shuffles and history
+  /// draws of later epochs are exactly those of an uninstrumented run.
+  struct TelemetryOptions {
+    obs::TelemetryWriter* writer = nullptr;  ///< Not owned; may be null.
+    const data::ReviewDataset* eval = nullptr;  ///< Not owned; optional.
+  };
+  void SetTelemetry(TelemetryOptions telemetry) { telemetry_ = telemetry; }
 
   /// Trains on `train` (copied internally — histories are needed at
   /// inference). Calling Fit twice restarts from scratch.
@@ -105,7 +125,14 @@ class RrreTrainer {
   /// already-initialized model/optimizer/features.
   void TrainEpochs(int64_t first_epoch, const EpochCallback& callback);
 
+  /// Scores telemetry_.eval with the current parameters and appends one
+  /// telemetry record for `stats`; RNG state is preserved across the call.
+  void EmitEpochTelemetry(const EpochStats& stats, int64_t examples,
+                          int64_t batches,
+                          const common::Histogram& shard_seconds);
+
   RrreConfig config_;
+  TelemetryOptions telemetry_;
   common::Rng rng_;
   /// Mean training rating; the FM head learns residuals around it so the
   /// rating loss does not dwarf the reliability loss early in training.

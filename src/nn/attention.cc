@@ -1,5 +1,6 @@
 #include "nn/attention.h"
 
+#include "obs/trace.h"
 #include "tensor/ops.h"
 
 namespace rrre::nn {
@@ -24,6 +25,7 @@ FraudAttention::FraudAttention(int64_t rev_dim, int64_t user_id_dim,
 Tensor FraudAttention::Forward(const Tensor& rev, const Tensor& user_ids,
                                const Tensor& item_ids, int64_t group_size,
                                const Tensor& mask) const {
+  obs::TraceSpan span("attention_forward");
   using namespace tensor;  // NOLINT(build/namespaces) - op-heavy function.
   const int64_t rows = rev.dim(0);
   RRRE_CHECK_EQ(user_ids.dim(0), rows);

@@ -1,0 +1,107 @@
+#include "obs/metrics.h"
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace rrre::obs {
+
+namespace internal {
+
+int ThreadShardIndex() {
+  static std::atomic<int> next{0};
+  thread_local const int index =
+      next.fetch_add(1, std::memory_order_relaxed) % kNumShards;
+  return index;
+}
+
+}  // namespace internal
+
+MetricsRegistry::Entry* MetricsRegistry::GetEntry(const std::string& name,
+                                                  Kind kind,
+                                                  const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    RRRE_CHECK(it->second.kind == kind)
+        << "metric \"" << name << "\" already registered as a different kind";
+    return &it->second;
+  }
+  Entry entry;
+  entry.kind = kind;
+  entry.help = help;
+  switch (kind) {
+    case Kind::kCounter:
+      entry.counter = std::make_unique<Counter>();
+      break;
+    case Kind::kGauge:
+      entry.gauge = std::make_unique<Gauge>();
+      break;
+    case Kind::kHistogram:
+      entry.histogram = std::make_unique<HistogramMetric>();
+      break;
+  }
+  return &entries_.emplace(name, std::move(entry)).first->second;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help) {
+  return GetEntry(name, Kind::kCounter, help)->counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& help) {
+  return GetEntry(name, Kind::kGauge, help)->gauge.get();
+}
+
+HistogramMetric* MetricsRegistry::GetHistogram(const std::string& name,
+                                               const std::string& help) {
+  return GetEntry(name, Kind::kHistogram, help)->histogram.get();
+}
+
+std::string MetricsRegistry::RenderText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, entry] : entries_) {  // std::map: sorted by name.
+    if (!entry.help.empty()) {
+      out += "# HELP " + name + " " + entry.help + "\n";
+    }
+    switch (entry.kind) {
+      case Kind::kCounter:
+        out += "# TYPE " + name + " counter\n";
+        out += common::StrFormat(
+            "%s %lld\n", name.c_str(),
+            static_cast<long long>(entry.counter->Value()));
+        break;
+      case Kind::kGauge:
+        out += "# TYPE " + name + " gauge\n";
+        out += common::StrFormat(
+            "%s %lld\n", name.c_str(),
+            static_cast<long long>(entry.gauge->Value()));
+        break;
+      case Kind::kHistogram: {
+        const common::Histogram h = entry.histogram->Snapshot();
+        out += "# TYPE " + name + " summary\n";
+        out += common::StrFormat("%s{quantile=\"0.5\"} %.17g\n", name.c_str(),
+                                 h.Percentile(50.0));
+        out += common::StrFormat("%s{quantile=\"0.95\"} %.17g\n", name.c_str(),
+                                 h.Percentile(95.0));
+        out += common::StrFormat("%s{quantile=\"0.99\"} %.17g\n", name.c_str(),
+                                 h.Percentile(99.0));
+        out += common::StrFormat("%s_sum %.17g\n", name.c_str(), h.sum());
+        out += common::StrFormat("%s_count %lld\n", name.c_str(),
+                                 static_cast<long long>(h.count()));
+        out += common::StrFormat("%s_min %.17g\n", name.c_str(), h.Min());
+        out += common::StrFormat("%s_max %.17g\n", name.c_str(), h.Max());
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace rrre::obs

@@ -1,0 +1,147 @@
+#ifndef RRRE_OBS_METRICS_H_
+#define RRRE_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/histogram.h"
+
+namespace rrre::obs {
+
+namespace internal {
+/// Number of per-thread shards each sharded metric carries. Threads are
+/// assigned a shard index on first use (round-robin over a process-wide
+/// counter, modulo kNumShards), so writes from different threads hit
+/// different cache lines in steady state while scrapes stay O(kNumShards).
+constexpr int kNumShards = 16;
+
+/// Stable shard index of the calling thread, in [0, kNumShards).
+int ThreadShardIndex();
+}  // namespace internal
+
+/// Monotone event count, sharded per thread: Increment touches only the
+/// calling thread's shard (one relaxed atomic add on a private cache line),
+/// Value sums the shards in index order. Integer addition is exact and
+/// commutative, so Value is independent of thread scheduling.
+class Counter {
+ public:
+  void Increment(int64_t delta = 1) {
+    shards_[static_cast<size_t>(internal::ThreadShardIndex())].value.fetch_add(
+        delta, std::memory_order_relaxed);
+  }
+
+  int64_t Value() const {
+    int64_t total = 0;
+    for (const Shard& s : shards_) {
+      total += s.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<int64_t> value{0};
+  };
+  std::array<Shard, internal::kNumShards> shards_{};
+};
+
+/// Point-in-time level (queue depth, active connections). Set semantics do
+/// not shard — the last write wins — so a single atomic suffices.
+class Gauge {
+ public:
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Latency/value distribution, sharded per thread over common::Histogram.
+/// Record locks only the calling thread's shard (uncontended in steady
+/// state); Snapshot merges the shards in index order — the deterministic
+/// merge order that makes two scrapes with no intervening traffic
+/// byte-identical (bucket counts are integers; the running sum is merged in
+/// a fixed order so its floating-point value is reproducible too).
+class HistogramMetric {
+ public:
+  void Record(double value) {
+    Shard& s = shards_[static_cast<size_t>(internal::ThreadShardIndex())];
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.histogram.Record(value);
+  }
+
+  /// Merged view of all shards, in shard-index order.
+  common::Histogram Snapshot() const {
+    common::Histogram merged;
+    for (const Shard& s : shards_) {
+      std::lock_guard<std::mutex> lock(s.mu);
+      merged.Merge(s.histogram);
+    }
+    return merged;
+  }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    common::Histogram histogram;
+  };
+  std::array<Shard, internal::kNumShards> shards_{};
+};
+
+/// Registry of named metrics with a Prometheus-style text exposition.
+///
+/// Handles returned by GetCounter/GetGauge/GetHistogram are stable for the
+/// registry's lifetime — resolve them once at setup and keep the pointer;
+/// the hot path never touches the registry map. Calling a getter twice with
+/// the same name returns the same metric; a name registered as one kind
+/// cannot be re-registered as another (checked).
+///
+/// Servers own an instance each (so tests and multi-server processes do not
+/// bleed counts into each other); process-wide instrumentation such as the
+/// RRRE_PROF kernel spans uses Global().
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(const std::string& name, const std::string& help = "");
+  Gauge* GetGauge(const std::string& name, const std::string& help = "");
+  HistogramMetric* GetHistogram(const std::string& name,
+                                const std::string& help = "");
+
+  /// Prometheus-style text exposition: one "# TYPE" line per metric, values
+  /// with %.17g doubles, metrics sorted by name. Counters/gauges are single
+  /// samples; histograms render as summaries (quantile samples plus _sum,
+  /// _count, _min, _max). Deterministic: two scrapes with no intervening
+  /// writes are byte-identical.
+  std::string RenderText() const;
+
+  /// The process-wide registry (kernel spans, offline tools).
+  static MetricsRegistry& Global();
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    Kind kind;
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<HistogramMetric> histogram;
+  };
+
+  Entry* GetEntry(const std::string& name, Kind kind, const std::string& help);
+
+  mutable std::mutex mu_;  ///< Guards the map shape, not metric values.
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace rrre::obs
+
+#endif  // RRRE_OBS_METRICS_H_

@@ -1,0 +1,239 @@
+#include "obs/telemetry.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/strings.h"
+
+namespace rrre::obs {
+
+using common::Result;
+using common::Status;
+
+namespace {
+
+std::string EscapeJsonString(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void JsonRecord::AddInt(const std::string& key, int64_t value) {
+  fields_.emplace_back(
+      key, common::StrFormat("%lld", static_cast<long long>(value)));
+  quoted_.push_back(false);
+}
+
+void JsonRecord::AddDouble(const std::string& key, double value) {
+  fields_.emplace_back(key, common::StrFormat("%.17g", value));
+  quoted_.push_back(false);
+}
+
+void JsonRecord::AddString(const std::string& key, const std::string& value) {
+  fields_.emplace_back(key, value);
+  quoted_.push_back(true);
+}
+
+std::string JsonRecord::ToJsonLine() const {
+  std::string out = "{";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out += "\"" + EscapeJsonString(fields_[i].first) + "\":";
+    if (quoted_[i]) {
+      out += "\"" + EscapeJsonString(fields_[i].second) + "\"";
+    } else {
+      out += fields_[i].second;
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+const std::string* JsonRecord::Find(const std::string& key) const {
+  for (const auto& [k, v] : fields_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+namespace {
+
+/// Parses a JSON string starting at `pos` (which must point at the opening
+/// quote); leaves `pos` one past the closing quote.
+Result<std::string> ParseQuoted(const std::string& line, size_t* pos) {
+  if (*pos >= line.size() || line[*pos] != '"') {
+    return Status::InvalidArgument("expected '\"' at offset " +
+                                   std::to_string(*pos));
+  }
+  ++*pos;
+  std::string out;
+  while (*pos < line.size() && line[*pos] != '"') {
+    char c = line[*pos];
+    if (c == '\\') {
+      ++*pos;
+      if (*pos >= line.size()) {
+        return Status::InvalidArgument("dangling escape in JSON string");
+      }
+      switch (line[*pos]) {
+        case '"': c = '"'; break;
+        case '\\': c = '\\'; break;
+        case 'n': c = '\n'; break;
+        case 't': c = '\t'; break;
+        case 'r': c = '\r'; break;
+        default:
+          return Status::InvalidArgument("unsupported JSON escape \\" +
+                                         std::string(1, line[*pos]));
+      }
+    }
+    out.push_back(c);
+    ++*pos;
+  }
+  if (*pos >= line.size()) {
+    return Status::InvalidArgument("unterminated JSON string");
+  }
+  ++*pos;  // Closing quote.
+  return out;
+}
+
+}  // namespace
+
+Result<JsonRecord> ParseJsonLine(const std::string& line) {
+  JsonRecord record;
+  size_t pos = 0;
+  // '\n' counts as whitespace so a ToJsonLine() result parses unmodified.
+  auto skip_ws = [&] {
+    while (pos < line.size() &&
+           (line[pos] == ' ' || line[pos] == '\t' || line[pos] == '\r' ||
+            line[pos] == '\n')) {
+      ++pos;
+    }
+  };
+  skip_ws();
+  if (pos >= line.size() || line[pos] != '{') {
+    return Status::InvalidArgument("telemetry line does not start with '{'");
+  }
+  ++pos;
+  skip_ws();
+  if (pos < line.size() && line[pos] == '}') {
+    ++pos;
+    return record;
+  }
+  for (;;) {
+    skip_ws();
+    auto key = ParseQuoted(line, &pos);
+    if (!key.ok()) return key.status();
+    skip_ws();
+    if (pos >= line.size() || line[pos] != ':') {
+      return Status::InvalidArgument("expected ':' after key \"" +
+                                     key.value() + "\"");
+    }
+    ++pos;
+    skip_ws();
+    if (pos < line.size() && line[pos] == '"') {
+      auto value = ParseQuoted(line, &pos);
+      if (!value.ok()) return value.status();
+      record.fields_.emplace_back(key.value(), value.value());
+      record.quoted_.push_back(true);
+    } else {
+      const size_t start = pos;
+      while (pos < line.size() && line[pos] != ',' && line[pos] != '}') ++pos;
+      const std::string value(common::Trim(line.substr(start, pos - start)));
+      if (value.empty()) {
+        return Status::InvalidArgument("empty value for key \"" + key.value() +
+                                       "\"");
+      }
+      record.fields_.emplace_back(key.value(), value);
+      record.quoted_.push_back(false);
+    }
+    skip_ws();
+    if (pos >= line.size()) {
+      return Status::InvalidArgument("unterminated telemetry object");
+    }
+    if (line[pos] == ',') {
+      ++pos;
+      continue;
+    }
+    if (line[pos] == '}') {
+      ++pos;
+      break;
+    }
+    return Status::InvalidArgument("expected ',' or '}' at offset " +
+                                   std::to_string(pos));
+  }
+  skip_ws();
+  if (pos != line.size()) {
+    return Status::InvalidArgument("trailing bytes after telemetry object");
+  }
+  return record;
+}
+
+Result<std::vector<JsonRecord>> ParseJsonLines(const std::string& content) {
+  std::vector<JsonRecord> records;
+  size_t start = 0;
+  int64_t line_no = 0;
+  while (start < content.size()) {
+    size_t end = content.find('\n', start);
+    if (end == std::string::npos) end = content.size();
+    const std::string line = content.substr(start, end - start);
+    start = end + 1;
+    ++line_no;
+    if (common::Trim(line).empty()) continue;
+    auto record = ParseJsonLine(line);
+    if (!record.ok()) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) + ": " +
+                                     record.status().message());
+    }
+    records.push_back(std::move(record).ValueOrDie());
+  }
+  return records;
+}
+
+TelemetryWriter::TelemetryWriter(Options options)
+    : options_(std::move(options)), status_(Status::Ok()) {
+  file_ = std::fopen(options_.path.c_str(), "w");
+  if (file_ == nullptr) {
+    status_ = Status::IoError("cannot open telemetry file " + options_.path +
+                              ": " + std::strerror(errno));
+  }
+}
+
+TelemetryWriter::~TelemetryWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status TelemetryWriter::Write(const JsonRecord& record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!status_.ok()) return status_;
+  const std::string line = record.ToJsonLine();
+  if (std::fwrite(line.data(), 1, line.size(), file_) != line.size() ||
+      std::fflush(file_) != 0) {
+    status_ = Status::IoError("telemetry write to " + options_.path +
+                              " failed: " + std::strerror(errno));
+  }
+  return status_;
+}
+
+}  // namespace rrre::obs

@@ -1,0 +1,92 @@
+#ifndef RRRE_OBS_TELEMETRY_H_
+#define RRRE_OBS_TELEMETRY_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace rrre::obs {
+
+/// One flat JSON object with insertion-ordered fields — the unit of a JSONL
+/// telemetry stream. Doubles are printed with %.17g so every value
+/// round-trips bitwise through the parser; field order is the insertion
+/// order, so a record built from the same values serializes byte-identically
+/// regardless of platform map iteration quirks.
+class JsonRecord {
+ public:
+  void AddInt(const std::string& key, int64_t value);
+  void AddDouble(const std::string& key, double value);
+  void AddString(const std::string& key, const std::string& value);
+
+  /// {"k":v,...}\n — one JSONL line.
+  std::string ToJsonLine() const;
+
+  /// Raw serialized value for `key` ("" when absent). For strings this is
+  /// the unquoted, unescaped payload.
+  const std::string* Find(const std::string& key) const;
+
+  const std::vector<std::pair<std::string, std::string>>& fields() const {
+    return fields_;
+  }
+
+ private:
+  friend common::Result<JsonRecord> ParseJsonLine(const std::string& line);
+  /// (key, serialized value) pairs; strings are stored unescaped and
+  /// re-escaped on serialization, with quoted_ marking them.
+  std::vector<std::pair<std::string, std::string>> fields_;
+  std::vector<bool> quoted_;
+};
+
+/// Parses one flat JSONL object produced by JsonRecord::ToJsonLine (string,
+/// integer and floating-point values; no nesting). The returned record
+/// re-serializes to the exact input line — the round-trip property the
+/// telemetry tests rely on.
+common::Result<JsonRecord> ParseJsonLine(const std::string& line);
+
+/// Parses a whole JSONL file content, one record per non-empty line.
+common::Result<std::vector<JsonRecord>> ParseJsonLines(
+    const std::string& content);
+
+/// Append-only JSONL sink for training/serving telemetry. Records are
+/// written and flushed line-atomically under a mutex, so concurrent writers
+/// interleave whole lines, never bytes.
+///
+/// `include_timings` gates wall-clock fields: producers route timing fields
+/// through AddTiming*, which no-op when timings are excluded. A file written
+/// with include_timings = false is a pure function of the computation and
+/// therefore bitwise identical across thread counts and runs.
+class TelemetryWriter {
+ public:
+  struct Options {
+    std::string path;
+    bool include_timings = true;
+  };
+
+  /// Creates/truncates options.path. Check ok() before writing.
+  explicit TelemetryWriter(Options options);
+  ~TelemetryWriter();
+
+  TelemetryWriter(const TelemetryWriter&) = delete;
+  TelemetryWriter& operator=(const TelemetryWriter&) = delete;
+
+  common::Status status() const { return status_; }
+  bool include_timings() const { return options_.include_timings; }
+
+  /// Appends one record as a JSONL line and flushes.
+  common::Status Write(const JsonRecord& record);
+
+ private:
+  Options options_;
+  common::Status status_;
+  std::mutex mu_;
+  std::FILE* file_ = nullptr;
+};
+
+}  // namespace rrre::obs
+
+#endif  // RRRE_OBS_TELEMETRY_H_

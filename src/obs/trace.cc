@@ -1,0 +1,61 @@
+#include "obs/trace.h"
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace rrre::obs {
+
+namespace {
+
+std::atomic<bool>& ProfilingFlag() {
+  static std::atomic<bool> enabled = [] {
+    const char* env = std::getenv("RRRE_PROF");
+    return env != nullptr && std::string(env) == "1";
+  }();
+  return enabled;
+}
+
+/// The calling thread's stack of open spans (innermost last).
+std::vector<TraceSpan*>& SpanStack() {
+  thread_local std::vector<TraceSpan*> stack;
+  return stack;
+}
+
+}  // namespace
+
+bool ProfilingEnabled() {
+  return ProfilingFlag().load(std::memory_order_relaxed);
+}
+
+void SetProfilingEnabled(bool enabled) {
+  ProfilingFlag().store(enabled, std::memory_order_relaxed);
+}
+
+TraceSpan::TraceSpan(const char* name, MetricsRegistry* registry)
+    : active_(ProfilingEnabled()), name_(name), registry_(registry) {
+  if (!active_) return;
+  SpanStack().push_back(this);
+  start_ = std::chrono::steady_clock::now();
+}
+
+TraceSpan::~TraceSpan() {
+  if (!active_) return;
+  const double total_us =
+      std::chrono::duration<double, std::micro>(
+          std::chrono::steady_clock::now() - start_)
+          .count();
+  std::vector<TraceSpan*>& stack = SpanStack();
+  stack.pop_back();  // Scoped lifetimes guarantee this span is innermost.
+  if (!stack.empty()) stack.back()->child_us_ += total_us;
+  const std::string base = std::string("span_") + name_;
+  registry_->GetHistogram(base + "_us")->Record(total_us);
+  if (child_us_ > 0.0) {
+    registry_->GetHistogram(base + "_self_us")
+        ->Record(total_us - child_us_);
+  }
+}
+
+int TraceSpan::Depth() { return static_cast<int>(SpanStack().size()); }
+
+}  // namespace rrre::obs

@@ -1,0 +1,52 @@
+#ifndef RRRE_OBS_TRACE_H_
+#define RRRE_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+
+#include "obs/metrics.h"
+
+namespace rrre::obs {
+
+/// Whether trace spans record anything. Initialized once from the RRRE_PROF
+/// environment variable (RRRE_PROF=1 enables); tests can flip it at runtime.
+/// When disabled a TraceSpan costs one relaxed atomic load and a branch, so
+/// spans are cheap enough to leave in hot kernels permanently.
+bool ProfilingEnabled();
+void SetProfilingEnabled(bool enabled);
+
+/// RAII scoped timer. On construction (when profiling is enabled) it pushes
+/// itself onto the calling thread's span stack; on destruction it pops,
+/// records its total duration into the histogram `span_<name>_us` in
+/// `registry`, adds that duration to its parent's child-time accumulator,
+/// and records the self time (total minus children) into
+/// `span_<name>_self_us` whenever the two differ (i.e. the span had nested
+/// children). Nesting is per thread; spans on different threads are
+/// independent stacks feeding the same sharded histograms.
+///
+/// `name` must be a string literal (or otherwise outlive the span): it is
+/// captured by pointer, not copied, to keep construction allocation-free.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name,
+                     MetricsRegistry* registry = &MetricsRegistry::Global());
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Depth of the calling thread's span stack (0 = no open span). Exposed
+  /// for tests.
+  static int Depth();
+
+ private:
+  bool active_;
+  const char* name_;
+  MetricsRegistry* registry_;
+  double child_us_ = 0.0;  ///< Filled in by nested spans as they close.
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace rrre::obs
+
+#endif  // RRRE_OBS_TRACE_H_

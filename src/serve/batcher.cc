@@ -10,6 +10,18 @@ namespace rrre::serve {
 
 using common::Status;
 
+namespace {
+
+inline void Inc(obs::Counter* counter, int64_t delta = 1) {
+  if (counter != nullptr) counter->Increment(delta);
+}
+
+inline void GaugeAdd(obs::Gauge* gauge, int64_t delta) {
+  if (gauge != nullptr) gauge->Add(delta);
+}
+
+}  // namespace
+
 MicroBatcher::MicroBatcher(std::unique_ptr<core::RrreTrainer> trainer,
                            Options options)
     : options_(options), trainer_(std::move(trainer)) {
@@ -18,6 +30,27 @@ MicroBatcher::MicroBatcher(std::unique_ptr<core::RrreTrainer> trainer,
   RRRE_CHECK_GE(options_.max_batch, 1);
   RRRE_CHECK_GE(options_.queue_capacity, 1);
   RRRE_CHECK_GE(options_.max_delay_us, 0);
+  if (options_.metrics != nullptr) {
+    obs::MetricsRegistry* m = options_.metrics;
+    m_submitted_ = m->GetCounter("rrre_batcher_submitted_total",
+                                 "requests admitted to the batching queue");
+    m_rejected_ = m->GetCounter("rrre_batcher_rejected_total",
+                                "requests refused by admission control");
+    m_batches_ =
+        m->GetCounter("rrre_batcher_batches_total", "Score calls executed");
+    m_pairs_scored_ = m->GetCounter("rrre_batcher_pairs_scored_total",
+                                    "expanded pairs across all batches");
+    m_reloads_ = m->GetCounter("rrre_batcher_reloads_total",
+                               "successful checkpoint swaps");
+    m_queue_depth_ = m->GetGauge("rrre_batcher_queue_depth",
+                                 "requests waiting for a batch slot");
+    m_generation_ = m->GetGauge("rrre_batcher_generation",
+                                "serving snapshot counter (+1 per reload)");
+    m_batch_pairs_ = m->GetHistogram("rrre_batcher_batch_pairs",
+                                     "expanded pairs per executed batch");
+    m_batch_latency_us_ = m->GetHistogram(
+        "rrre_batcher_batch_latency_us", "per-batch Score latency");
+  }
   scorer_ = std::make_unique<core::BatchScorer>(trainer_.get());
   num_users_.store(trainer_->train_data().num_users());
   num_items_.store(trainer_->train_data().num_items());
@@ -33,10 +66,13 @@ bool MicroBatcher::TrySubmit(int64_t user, int64_t item, DoneFn done) {
   if (stopping_ ||
       static_cast<int64_t>(queue_.size()) >= options_.queue_capacity) {
     ++stats_.rejected;
+    Inc(m_rejected_);
     return false;
   }
   queue_.push_back(WorkItem{user, item, std::move(done)});
   ++stats_.submitted;
+  Inc(m_submitted_);
+  GaugeAdd(m_queue_depth_, 1);
   work_cv_.notify_one();
   return true;
 }
@@ -124,6 +160,7 @@ void MicroBatcher::ScorerLoop() {
         if (!batch.empty() && pair_count + weight > options_.max_batch) break;
         batch.push_back(std::move(queue_.front()));
         queue_.pop_front();
+        GaugeAdd(m_queue_depth_, -1);
         pair_count += weight;
       }
       if (pair_count >= options_.max_batch || stopping_) break;
@@ -188,11 +225,19 @@ void MicroBatcher::ExecuteBatch(std::vector<WorkItem> batch) {
   // Account the batch before dispatching callbacks, so an observer woken by
   // its completion reads stats that already include the batch it was in.
   if (!pairs.empty()) {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.batches;
-    stats_.pairs_scored += static_cast<int64_t>(pairs.size());
-    stats_.batch_pairs.Record(static_cast<double>(pairs.size()));
-    stats_.batch_latency_us.Record(elapsed_us);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.batches;
+      stats_.pairs_scored += static_cast<int64_t>(pairs.size());
+      stats_.batch_pairs.Record(static_cast<double>(pairs.size()));
+      stats_.batch_latency_us.Record(elapsed_us);
+    }
+    Inc(m_batches_);
+    Inc(m_pairs_scored_, static_cast<int64_t>(pairs.size()));
+    if (m_batch_pairs_ != nullptr) {
+      m_batch_pairs_->Record(static_cast<double>(pairs.size()));
+      m_batch_latency_us_->Record(elapsed_us);
+    }
   }
 
   for (size_t w = 0; w < batch.size(); ++w) {
@@ -229,6 +274,8 @@ void MicroBatcher::DoReload(ReloadRequest request) {
     num_items_.store(trainer_->train_data().num_items());
     params_version_.store(trainer_->params_version());
     generation = generation_.fetch_add(1) + 1;
+    Inc(m_reloads_);
+    if (m_generation_ != nullptr) m_generation_->Set(generation);
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.reloads;
   } else {

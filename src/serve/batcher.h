@@ -16,6 +16,7 @@
 #include "common/status.h"
 #include "core/scorer.h"
 #include "core/trainer.h"
+#include "obs/metrics.h"
 
 namespace rrre::serve {
 
@@ -51,6 +52,12 @@ class MicroBatcher {
     /// Start with the scorer gate closed (tests use this to fill the queue
     /// deterministically); call Resume() to open it.
     bool start_paused = false;
+    /// When set, the batcher mirrors its accounting into this registry
+    /// (rrre_batcher_* counters, queue-depth gauge, batch histograms) for
+    /// the METRICS exposition. Null disables the mirroring entirely — the
+    /// configuration the serving bench compares against. Not owned; must
+    /// outlive the batcher.
+    obs::MetricsRegistry* metrics = nullptr;
   };
 
   struct ScoredPair {
@@ -143,6 +150,18 @@ class MicroBatcher {
   const Options options_;
   std::unique_ptr<core::RrreTrainer> trainer_;
   std::unique_ptr<core::BatchScorer> scorer_;
+
+  /// Registry handles, resolved once in the constructor; all null when
+  /// options_.metrics is null (the hot path then pays one branch each).
+  obs::Counter* m_submitted_ = nullptr;
+  obs::Counter* m_rejected_ = nullptr;
+  obs::Counter* m_batches_ = nullptr;
+  obs::Counter* m_pairs_scored_ = nullptr;
+  obs::Counter* m_reloads_ = nullptr;
+  obs::Gauge* m_queue_depth_ = nullptr;
+  obs::Gauge* m_generation_ = nullptr;
+  obs::HistogramMetric* m_batch_pairs_ = nullptr;
+  obs::HistogramMetric* m_batch_latency_us_ = nullptr;
 
   std::atomic<int64_t> num_users_{0};
   std::atomic<int64_t> num_items_{0};

@@ -40,6 +40,10 @@ Request ParseRequest(std::string_view line) {
     req.type = Request::Type::kStats;
     return req;
   }
+  if (line == "METRICS") {
+    req.type = Request::Type::kMetrics;
+    return req;
+  }
   if (line == "RELOAD") {
     req.type = Request::Type::kReload;
     return req;
@@ -81,6 +85,11 @@ std::string FormatCatalogHeader(int64_t user, int64_t count) {
   return common::StrFormat("#catalog\t%lld\t%lld\n",
                            static_cast<long long>(user),
                            static_cast<long long>(count));
+}
+
+std::string FormatMetricsHeader(int64_t lines) {
+  return common::StrFormat("#metrics\tlines=%lld\n",
+                           static_cast<long long>(lines));
 }
 
 std::string FormatError(std::string_view code, std::string_view message) {

@@ -13,7 +13,7 @@ namespace rrre::serve {
 ///   request   := pair | catalog | control | comment | blank
 ///   pair      := INT '\t' INT        -- user, item
 ///   catalog   := INT                 -- user, scored against every item
-///   control   := "PING" | "STATS" | "RELOAD" | "QUIT"
+///   control   := "PING" | "STATS" | "METRICS" | "RELOAD" | "QUIT"
 ///   comment   := '#' ...             -- ignored, no response
 ///
 /// Every pair/catalog/control request gets exactly one response, written in
@@ -25,6 +25,10 @@ namespace rrre::serve {
 ///   PING    -> "#pong"
 ///   STATS   -> "#stats \t key=value ..."  (includes users=, items=,
 ///              version=)
+///   METRICS -> "#metrics \t lines=N" followed by N lines of Prometheus-style
+///              text exposition (counters, gauges, histogram summaries); the
+///              scrape itself does not move any exposed metric, so two
+///              scrapes with no intervening traffic are byte-identical
 ///   RELOAD  -> "#reloaded \t version=N" after the checkpoint swap
 ///   QUIT    -> "#bye", then the server closes the connection
 ///
@@ -38,6 +42,7 @@ struct Request {
     kCatalog,  ///< Score user against the full item catalog.
     kPing,
     kStats,
+    kMetrics,
     kReload,
     kQuit,
     kInvalid,  ///< Syntax error; `error` says why.
@@ -59,6 +64,8 @@ std::string FormatScoreLine(int64_t user, int64_t item, double rating,
                             double reliability);
 
 std::string FormatCatalogHeader(int64_t user, int64_t count);
+/// "#metrics \t lines=N"; the N exposition lines follow verbatim.
+std::string FormatMetricsHeader(int64_t lines);
 std::string FormatError(std::string_view code, std::string_view message);
 std::string FormatPong();
 std::string FormatBye();

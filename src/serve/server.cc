@@ -14,6 +14,14 @@ using common::Result;
 using common::Socket;
 using common::Status;
 
+namespace {
+
+inline void Inc(obs::Counter* counter) {
+  if (counter != nullptr) counter->Increment();
+}
+
+}  // namespace
+
 /// One client connection. The reader thread owns parsing and admission; the
 /// writer thread owns the socket's send side and flushes responses strictly
 /// in request order. Batcher callbacks (scorer thread) only fill pending
@@ -107,6 +115,11 @@ class Server::Connection
       case Request::Type::kStats:
         PushReady(server_->FormatStatsLine());
         return true;
+      case Request::Type::kMetrics:
+        // The scrape is deliberately not counted in any exposed metric, so
+        // it cannot perturb what it reports.
+        PushReady(server_->FormatMetricsResponse());
+        return true;
       case Request::Type::kQuit:
         PushReady(FormatBye());
         return false;
@@ -125,10 +138,12 @@ class Server::Connection
       }
       case Request::Type::kInvalid:
         server_->parse_errors_.fetch_add(1);
+        Inc(server_->m_parse_errors_);
         PushReady(FormatError("parse", req.error));
         return true;
       case Request::Type::kPair:
       case Request::Type::kCatalog:
+        Inc(server_->m_requests_);
         HandleScoreRequest(req);
         return true;
       case Request::Type::kBlank:
@@ -143,6 +158,7 @@ class Server::Connection
     const int64_t num_items = server_->batcher_->num_items();
     if (req.user < 0 || req.user >= num_users) {
       server_->range_errors_.fetch_add(1);
+      Inc(server_->m_range_errors_);
       PushReady(FormatError(
           "range", "user " + std::to_string(req.user) + " out of range [0, " +
                        std::to_string(num_users) + ")"));
@@ -150,6 +166,7 @@ class Server::Connection
     }
     if (!catalog && (req.item < 0 || req.item >= num_items)) {
       server_->range_errors_.fetch_add(1);
+      Inc(server_->m_range_errors_);
       PushReady(FormatError(
           "range", "item " + std::to_string(req.item) + " out of range [0, " +
                        std::to_string(num_items) + ")"));
@@ -165,6 +182,7 @@ class Server::Connection
             const std::vector<MicroBatcher::ScoredPair>& results) {
           if (!status.ok()) {
             self->server_->range_errors_.fetch_add(1);
+            Inc(self->server_->m_range_errors_);
             self->Fulfill(pending, FormatError("range", status.message()));
             return;
           }
@@ -180,6 +198,7 @@ class Server::Connection
         });
     if (!accepted) {
       server_->overloads_.fetch_add(1);
+      Inc(server_->m_overloads_);
       Fulfill(pending, FormatError("overload",
                                    "admission queue full — retry later"));
     }
@@ -226,18 +245,47 @@ Result<std::unique_ptr<Server>> Server::Start(const ServerOptions& options) {
   RRRE_RETURN_IF_ERROR(trainer->Load(options.model_prefix));
   auto listener = Socket::Listen(options.port);
   if (!listener.ok()) return listener.status();
+  std::unique_ptr<obs::MetricsRegistry> metrics;
+  MicroBatcher::Options batcher_options = options.batcher;
+  if (options.enable_metrics) {
+    metrics = std::make_unique<obs::MetricsRegistry>();
+    batcher_options.metrics = metrics.get();
+  } else {
+    batcher_options.metrics = nullptr;
+  }
   auto batcher =
-      std::make_unique<MicroBatcher>(std::move(trainer), options.batcher);
-  std::unique_ptr<Server> server(new Server(
-      options, std::move(batcher), std::move(listener).ValueOrDie()));
+      std::make_unique<MicroBatcher>(std::move(trainer), batcher_options);
+  std::unique_ptr<Server> server(
+      new Server(options, std::move(metrics), std::move(batcher),
+                 std::move(listener).ValueOrDie()));
   return server;
 }
 
 Server::Server(const ServerOptions& options,
+               std::unique_ptr<obs::MetricsRegistry> metrics,
                std::unique_ptr<MicroBatcher> batcher, Socket listener)
     : options_(options),
+      metrics_(std::move(metrics)),
       batcher_(std::move(batcher)),
       listener_(std::move(listener)) {
+  if (metrics_ != nullptr) {
+    m_requests_ = metrics_->GetCounter(
+        "rrre_serve_requests_total",
+        "score requests received (pair + catalog; control verbs excluded)");
+    m_parse_errors_ = metrics_->GetCounter("rrre_serve_parse_errors_total",
+                                           "malformed request lines");
+    m_range_errors_ = metrics_->GetCounter("rrre_serve_range_errors_total",
+                                           "requests with out-of-range ids");
+    m_overloads_ = metrics_->GetCounter(
+        "rrre_serve_overloads_total", "requests refused by admission control");
+    m_connections_accepted_ = metrics_->GetCounter(
+        "rrre_serve_connections_accepted_total", "connections accepted");
+    m_connections_rejected_ = metrics_->GetCounter(
+        "rrre_serve_connections_rejected_total",
+        "connections refused at the connection limit");
+    m_connections_active_ = metrics_->GetGauge("rrre_serve_connections_active",
+                                               "currently open connections");
+  }
   accept_thread_ = std::thread(&Server::AcceptLoop, this);
 }
 
@@ -272,13 +320,18 @@ void Server::AcceptLoop() {
       if (static_cast<int64_t>(connections_.size()) >=
           options_.max_connections) {
         connections_rejected_.fetch_add(1);
+        Inc(m_connections_rejected_);
         socket.SendAll(FormatError("busy", "connection limit reached"));
         continue;  // Socket closes on scope exit.
       }
       conn = std::make_shared<Connection>(this, std::move(socket));
       connections_.push_back(conn);
+      if (m_connections_active_ != nullptr) {
+        m_connections_active_->Set(static_cast<int64_t>(connections_.size()));
+      }
     }
     connections_accepted_.fetch_add(1);
+    Inc(m_connections_accepted_);
     conn->Start();
   }
 }
@@ -295,6 +348,9 @@ void Server::ReapFinishedConnections() {
       } else {
         ++i;
       }
+    }
+    if (m_connections_active_ != nullptr) {
+      m_connections_active_->Set(static_cast<int64_t>(connections_.size()));
     }
   }
   for (auto& conn : finished) conn->Join();
@@ -361,6 +417,20 @@ std::string Server::FormatStatsLine() const {
       static_cast<long long>(b.batches),
       static_cast<long long>(b.pairs_scored),
       static_cast<long long>(b.reloads), static_cast<long long>(active));
+}
+
+std::string Server::RenderMetricsText() const {
+  return metrics_ == nullptr ? std::string() : metrics_->RenderText();
+}
+
+std::string Server::FormatMetricsResponse() const {
+  if (metrics_ == nullptr) {
+    return FormatError("metrics", "metrics are disabled on this server");
+  }
+  const std::string text = metrics_->RenderText();
+  int64_t lines = 0;
+  for (char c : text) lines += c == '\n' ? 1 : 0;
+  return FormatMetricsHeader(lines) + text;
 }
 
 }  // namespace rrre::serve

@@ -11,6 +11,7 @@
 #include "common/socket.h"
 #include "common/status.h"
 #include "core/config.h"
+#include "obs/metrics.h"
 #include "serve/batcher.h"
 
 namespace rrre::serve {
@@ -26,6 +27,12 @@ struct ServerOptions {
   MicroBatcher::Options batcher;
   /// Connections beyond this are answered with "!ERR busy" and closed.
   int64_t max_connections = 256;
+  /// When true the server owns a MetricsRegistry, instruments itself and the
+  /// batcher into it, and answers the METRICS verb with its exposition.
+  /// False turns all metric writes into dead branches (the baseline the
+  /// serving bench measures overhead against); METRICS then answers
+  /// "!ERR metrics". STATS is unaffected either way.
+  bool enable_metrics = true;
 };
 
 struct ServerStats {
@@ -74,21 +81,39 @@ class Server {
 
   ServerStats stats() const;
 
+  /// The METRICS exposition text (empty when metrics are disabled). The
+  /// scrape is read-only: it never moves a metric, so back-to-back calls
+  /// with no intervening traffic return byte-identical text.
+  std::string RenderMetricsText() const;
+
   /// The scheduler, exposed for tests (Pause/Resume/Drain) and stats.
   MicroBatcher& batcher() { return *batcher_; }
 
  private:
   class Connection;
 
-  Server(const ServerOptions& options, std::unique_ptr<MicroBatcher> batcher,
-         common::Socket listener);
+  Server(const ServerOptions& options,
+         std::unique_ptr<obs::MetricsRegistry> metrics,
+         std::unique_ptr<MicroBatcher> batcher, common::Socket listener);
 
   void AcceptLoop();
   /// Joins and erases finished connections (accept-loop thread only).
   void ReapFinishedConnections();
   std::string FormatStatsLine() const;
+  std::string FormatMetricsResponse() const;
 
   ServerOptions options_;
+  /// Owns the batcher's registry too (batcher options point into it); null
+  /// when options_.enable_metrics is false. Declared before batcher_ so the
+  /// registry outlives every handle.
+  std::unique_ptr<obs::MetricsRegistry> metrics_;
+  obs::Counter* m_requests_ = nullptr;        ///< Score requests only.
+  obs::Counter* m_parse_errors_ = nullptr;
+  obs::Counter* m_range_errors_ = nullptr;
+  obs::Counter* m_overloads_ = nullptr;
+  obs::Counter* m_connections_accepted_ = nullptr;
+  obs::Counter* m_connections_rejected_ = nullptr;
+  obs::Gauge* m_connections_active_ = nullptr;
   std::unique_ptr<MicroBatcher> batcher_;
   common::Socket listener_;
 

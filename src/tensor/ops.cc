@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/threadpool.h"
+#include "obs/trace.h"
 #include "tensor/grad_sink.h"
 
 namespace rrre::tensor {
@@ -379,6 +380,7 @@ Tensor Square(const Tensor& a) {
 }
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
+  obs::TraceSpan span("matmul");
   RRRE_CHECK_EQ(a.ndim(), 2);
   RRRE_CHECK_EQ(b.ndim(), 2);
   const int64_t m = a.dim(0);
@@ -825,6 +827,7 @@ constexpr int64_t kConvChunk = 16;
 
 Tensor Conv1dMaxPool(const Tensor& values, int64_t seq_len,
                      const Tensor& kernel, const Tensor& bias) {
+  obs::TraceSpan span("conv1d_maxpool");
   RRRE_CHECK_EQ(values.ndim(), 2);
   RRRE_CHECK_EQ(kernel.ndim(), 2);
   RRRE_CHECK_EQ(bias.ndim(), 1);

@@ -217,6 +217,50 @@ TEST(ProfilesTest, AllNamesResolve) {
   EXPECT_FALSE(ProfileByName("nope").ok());
 }
 
+TEST(ProfilesTest, UnknownNameErrorListsValidProfiles) {
+  for (const char* bad : {"", "yelp", "yelpchi2", "CDs ", "amazon"}) {
+    auto p = ProfileByName(bad);
+    ASSERT_FALSE(p.ok()) << "\"" << bad << "\" resolved unexpectedly";
+    const std::string message = p.status().ToString();
+    // The error names the offender and every valid choice, so a mistyped
+    // --dataset flag is self-diagnosing.
+    EXPECT_NE(message.find("unknown dataset profile"), std::string::npos)
+        << message;
+    for (const char* valid :
+         {"yelpchi", "yelpnyc", "yelpzip", "musics", "cds"}) {
+      EXPECT_NE(message.find(valid), std::string::npos)
+          << message << " lacks " << valid;
+    }
+  }
+}
+
+TEST(ProfilesTest, NamesAreCaseInsensitive) {
+  auto upper = ProfileByName("YelpChi");
+  ASSERT_TRUE(upper.ok());
+  EXPECT_EQ(upper.value().name, "yelpchi");
+}
+
+TEST(ProfilesTest, AllProfilesWellFormedAtEveryScale) {
+  for (const char* name :
+       {"yelpchi", "yelpnyc", "yelpzip", "musics", "cds"}) {
+    for (double scale : {0.02, 0.1, 0.5, 1.0, 2.0}) {
+      auto p = ProfileByName(name, scale);
+      ASSERT_TRUE(p.ok()) << name << " scale=" << scale;
+      const DatasetProfile& profile = p.value();
+      EXPECT_GT(profile.fake_fraction, 0.0) << name << " scale=" << scale;
+      EXPECT_LT(profile.fake_fraction, 1.0) << name << " scale=" << scale;
+      EXPECT_GT(profile.num_reviews, 0) << name << " scale=" << scale;
+      EXPECT_GT(profile.num_users, 0) << name << " scale=" << scale;
+      EXPECT_GT(profile.num_items, 0) << name << " scale=" << scale;
+      EXPECT_GT(profile.fraud_user_fraction, 0.0) << name;
+      EXPECT_LT(profile.fraud_user_fraction, 1.0) << name;
+      EXPECT_GE(profile.campaign_size_max, profile.campaign_size_min) << name;
+      EXPECT_GT(profile.campaign_size_min, 0) << name;
+      EXPECT_GT(profile.horizon_days, 0) << name;
+    }
+  }
+}
+
 TEST(ProfilesTest, TableIIOrderingsPreserved) {
   auto chi = YelpChiProfile();
   auto nyc = YelpNycProfile();

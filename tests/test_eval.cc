@@ -64,6 +64,22 @@ TEST(AucTest, DegenerateSingleClass) {
   EXPECT_NEAR(Auc({0.1, 0.9}, {1, 1}), 0.5, 1e-12);
 }
 
+TEST(AucTest, AllPositiveIsHalf) {
+  // No negative to rank against: the convention is chance level, regardless
+  // of how the scores are ordered.
+  EXPECT_EQ(Auc({0.9, 0.5, 0.1, 0.7}, {1, 1, 1, 1}), 0.5);
+}
+
+TEST(AucTest, AllNegativeIsHalf) {
+  EXPECT_EQ(Auc({0.9, 0.5, 0.1, 0.7}, {0, 0, 0, 0}), 0.5);
+}
+
+TEST(AucTest, TiesWithinOneClassDoNotMatter) {
+  // Ties among positives (or among negatives) never change the Mann-Whitney
+  // statistic — only cross-class ties contribute the 1/2 terms.
+  EXPECT_NEAR(Auc({0.8, 0.8, 0.2, 0.2}, {1, 1, 0, 0}), 1.0, 1e-12);
+}
+
 // ---------------------------------------------------------------------------
 // Average precision
 // ---------------------------------------------------------------------------
@@ -80,6 +96,27 @@ TEST(ApTest, HandComputed) {
 
 TEST(ApTest, NoPositivesIsZero) {
   EXPECT_EQ(AveragePrecision({0.9, 0.1}, {0, 0}), 0.0);
+}
+
+TEST(ApTest, TiedScoresBreakByOriginalIndex) {
+  // All three tie; the stable descending sort keeps the original order, so
+  // the ranking is index 0 (neg), 1 (pos), 2 (pos):
+  //   AP = (1/2 + 2/3) / 2 = 7/12.
+  EXPECT_NEAR(AveragePrecision({0.5, 0.5, 0.5}, {0, 1, 1}), 7.0 / 12.0,
+              1e-12);
+  // Same tie, positive first by index: it ranks on top and AP is 1; with the
+  // labels swapped the positive falls to rank 2 and AP halves. The tie-break
+  // is what makes both values deterministic.
+  EXPECT_NEAR(AveragePrecision({0.5, 0.5}, {1, 0}), 1.0, 1e-12);
+  EXPECT_NEAR(AveragePrecision({0.5, 0.5}, {0, 1}), 0.5, 1e-12);
+}
+
+TEST(ApTest, PartialTieHandComputed) {
+  // Ranking: idx 0 (0.9, pos), then the 0.4 tie in index order: idx 1 (neg),
+  // idx 3 (pos), then idx 2 (0.2, neg).
+  //   AP = (1/1 + 2/3) / 2 = 5/6.
+  EXPECT_NEAR(AveragePrecision({0.9, 0.4, 0.2, 0.4}, {1, 0, 0, 1}), 5.0 / 6.0,
+              1e-12);
 }
 
 TEST(ApTest, MajorityPositiveBaselineIsHigh) {
@@ -116,6 +153,18 @@ TEST(NdcgTest, HandComputedAtTwo) {
 
 TEST(NdcgTest, ClampsKToListSize) {
   EXPECT_NEAR(NdcgAtK({0.9, 0.1}, {1, 1}, 100), 1.0, 1e-12);
+}
+
+TEST(NdcgTest, KBeyondListLengthHandComputed) {
+  // k=10 clamps to the 3-element list. Ranking by score: idx 0 (neg),
+  // idx 1 (pos), idx 2 (neg).
+  //   DCG  = 1/log2(3)          (the one positive at rank 2)
+  //   IDCG = 1/log2(2) = 1      (min(k, #positives) = 1 ideal slot)
+  EXPECT_NEAR(NdcgAtK({0.9, 0.5, 0.4}, {0, 1, 0}, 10),
+              1.0 / std::log2(3.0), 1e-12);
+  // The clamp is exact: any k >= the list size gives the same value.
+  EXPECT_EQ(NdcgAtK({0.9, 0.5, 0.4}, {0, 1, 0}, 3),
+            NdcgAtK({0.9, 0.5, 0.4}, {0, 1, 0}, 1000));
 }
 
 TEST(NdcgTest, MonotoneDegradationAsFakesRankHigher) {

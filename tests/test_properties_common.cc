@@ -1,0 +1,153 @@
+// Property tests of common::Histogram — the merge algebra the sharded
+// metrics and the data-parallel trainer rely on (merge order must not change
+// what a scrape reports) and the percentile invariants every consumer
+// assumes.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/rng.h"
+
+namespace rrre {
+namespace {
+
+using common::Histogram;
+using common::Rng;
+
+/// Random positive sample stream spanning several octaves, so merges
+/// exercise many buckets.
+std::vector<double> RandomStream(uint64_t seed, int n) {
+  Rng rng(seed);
+  std::vector<double> values;
+  values.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const double magnitude = std::pow(10.0, rng.Uniform() * 6.0);  // [1, 1e6)
+    values.push_back(magnitude * (0.5 + rng.Uniform()));
+  }
+  return values;
+}
+
+Histogram Fill(const std::vector<double>& values) {
+  Histogram h;
+  for (double v : values) h.Record(v);
+  return h;
+}
+
+/// The bucket-exact part of a histogram's state: everything but the
+/// floating-point running sum must match bitwise under reordered merges.
+void ExpectExactStateEq(const Histogram& a, const Histogram& b) {
+  EXPECT_EQ(a.count(), b.count());
+  EXPECT_EQ(a.Min(), b.Min());
+  EXPECT_EQ(a.Max(), b.Max());
+  for (double pct : {0.0, 10.0, 50.0, 90.0, 95.0, 99.0, 99.9, 100.0}) {
+    EXPECT_EQ(a.Percentile(pct), b.Percentile(pct)) << "pct=" << pct;
+  }
+}
+
+TEST(HistogramPropertyTest, MergeIsCommutative) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto sa = RandomStream(seed, 500);
+    const auto sb = RandomStream(seed + 100, 300);
+    Histogram ab = Fill(sa);
+    ab.Merge(Fill(sb));
+    Histogram ba = Fill(sb);
+    ba.Merge(Fill(sa));
+    ExpectExactStateEq(ab, ba);
+    // Double addition is commutative (unlike associative), so two-way merge
+    // sums are exactly equal too.
+    EXPECT_EQ(ab.sum(), ba.sum()) << "seed=" << seed;
+  }
+}
+
+TEST(HistogramPropertyTest, MergeIsAssociative) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto sa = RandomStream(seed, 400);
+    const auto sb = RandomStream(seed + 100, 250);
+    const auto sc = RandomStream(seed + 200, 350);
+    // (A + B) + C
+    Histogram left = Fill(sa);
+    left.Merge(Fill(sb));
+    left.Merge(Fill(sc));
+    // A + (B + C)
+    Histogram bc = Fill(sb);
+    bc.Merge(Fill(sc));
+    Histogram right = Fill(sa);
+    right.Merge(bc);
+    // Bucket counts are integers: the distribution is exactly associative.
+    ExpectExactStateEq(left, right);
+    // The running sum is floating point, so associativity only holds to
+    // rounding — which is why scrape determinism requires a *fixed* shard
+    // merge order rather than relying on FP algebra.
+    EXPECT_NEAR(left.sum(), right.sum(), 1e-6 * std::abs(left.sum()));
+    EXPECT_NEAR(left.Mean(), right.Mean(), 1e-6 * std::abs(left.Mean()));
+  }
+}
+
+TEST(HistogramPropertyTest, MergeMatchesSingleHistogramOfUnion) {
+  const auto sa = RandomStream(7, 600);
+  const auto sb = RandomStream(11, 400);
+  Histogram merged = Fill(sa);
+  merged.Merge(Fill(sb));
+  std::vector<double> all = sa;
+  all.insert(all.end(), sb.begin(), sb.end());
+  const Histogram direct = Fill(all);
+  ExpectExactStateEq(merged, direct);
+}
+
+TEST(HistogramPropertyTest, PercentilesAreMonotoneAndBracketed) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    const Histogram h = Fill(RandomStream(seed, 777));
+    const double p50 = h.Percentile(50.0);
+    const double p95 = h.Percentile(95.0);
+    const double p99 = h.Percentile(99.0);
+    EXPECT_LE(p50, p95) << "seed=" << seed;
+    EXPECT_LE(p95, p99) << "seed=" << seed;
+    EXPECT_GE(p50, h.Min()) << "seed=" << seed;
+    EXPECT_LE(p99, h.Max()) << "seed=" << seed;
+    EXPECT_EQ(h.Percentile(100.0), h.Max()) << "seed=" << seed;
+    EXPECT_GE(h.Percentile(0.0), h.Min()) << "seed=" << seed;
+  }
+}
+
+TEST(HistogramPropertyTest, SingleValueCollapsesAllPercentiles) {
+  Histogram h;
+  h.Record(1234.5);
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_EQ(h.Min(), 1234.5);
+  EXPECT_EQ(h.Max(), 1234.5);
+  for (double pct : {0.0, 50.0, 95.0, 99.0, 100.0}) {
+    EXPECT_EQ(h.Percentile(pct), 1234.5) << "pct=" << pct;
+  }
+}
+
+TEST(HistogramPropertyTest, EmptyHistogramIsWellDefined) {
+  const Histogram empty;
+  EXPECT_EQ(empty.count(), 0);
+  EXPECT_EQ(empty.sum(), 0.0);
+  EXPECT_EQ(empty.Mean(), 0.0);
+  EXPECT_EQ(empty.Min(), 0.0);
+  EXPECT_EQ(empty.Max(), 0.0);
+  for (double pct : {0.0, 50.0, 99.0, 100.0}) {
+    EXPECT_EQ(empty.Percentile(pct), 0.0) << "pct=" << pct;
+  }
+  EXPECT_FALSE(empty.Summary().empty());
+}
+
+TEST(HistogramPropertyTest, MergingEmptyIsIdentity) {
+  const auto stream = RandomStream(3, 321);
+  Histogram h = Fill(stream);
+  const Histogram before = h;
+  h.Merge(Histogram());
+  ExpectExactStateEq(h, before);
+  EXPECT_EQ(h.sum(), before.sum());
+
+  Histogram onto_empty;
+  onto_empty.Merge(before);
+  ExpectExactStateEq(onto_empty, before);
+}
+
+}  // namespace
+}  // namespace rrre

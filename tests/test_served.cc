@@ -8,6 +8,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -437,6 +438,101 @@ TEST_F(ServedTest, ConnectionLimitAnswersBusy) {
   EXPECT_EQ(line.find("!ERR\tbusy\t"), 0u) << line;
   EXPECT_FALSE(second.ReadLine().has_value());
   EXPECT_EQ(server->stats().connections_rejected, 1);
+}
+
+/// Sends METRICS and returns the full exposition payload (header excluded).
+std::string ScrapeMetrics(Client& client) {
+  client.Send("METRICS\n");
+  const std::string header = client.MustReadLine();
+  EXPECT_EQ(header.find("#metrics\tlines="), 0u) << header;
+  const long long lines =
+      std::atoll(header.c_str() + sizeof("#metrics\tlines=") - 1);
+  EXPECT_GT(lines, 0) << header;
+  std::string text;
+  for (long long i = 0; i < lines; ++i) text += client.MustReadLine() + "\n";
+  return text;
+}
+
+TEST_F(ServedTest, MetricsScrapeIsByteIdenticalWhenIdle) {
+  auto server = StartServer(BaseOptions());
+  Client client(server->port());
+  client.Send("0\t1\n1\t2\n2\t3\n");
+  for (int i = 0; i < 3; ++i) client.MustReadLine();
+
+  // The scrape itself moves no metric, so back-to-back scrapes over the same
+  // connection with no intervening traffic must match byte for byte.
+  const std::string first = ScrapeMetrics(client);
+  const std::string second = ScrapeMetrics(client);
+  EXPECT_EQ(first, second);
+
+  // The exposition reflects the traffic that preceded it (score requests
+  // only: the scrapes themselves are absent by design).
+  EXPECT_NE(first.find("rrre_serve_requests_total 3"), std::string::npos)
+      << first;
+  EXPECT_NE(first.find("rrre_batcher_pairs_scored_total 3"),
+            std::string::npos)
+      << first;
+  EXPECT_NE(first.find("rrre_batcher_queue_depth 0"), std::string::npos)
+      << first;
+  EXPECT_NE(first.find("rrre_serve_connections_active 1"), std::string::npos)
+      << first;
+  EXPECT_NE(first.find("rrre_batcher_batch_latency_us"), std::string::npos)
+      << first;
+  // Server-side view matches what went over the wire.
+  EXPECT_EQ(server->RenderMetricsText(), first);
+}
+
+TEST_F(ServedTest, MetricsUnderConcurrentLoadStaysConsistent) {
+  // Scrapes race score traffic from several connections — the TSan leg of
+  // tools/check.sh runs this to prove the sharded registry is data-race
+  // free. Afterwards, a quiesced scrape must add up exactly.
+  auto server = StartServer(BaseOptions());
+  constexpr int kClients = 3;
+  constexpr int kRequests = 30;
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      Client client(server->port());
+      for (int i = 0; i < kRequests; ++i) {
+        client.Send(std::to_string((c + i) % corpus_->num_users()) + "\t" +
+                    std::to_string(i % corpus_->num_items()) + "\n");
+        client.MustReadLine();
+      }
+    });
+  }
+  std::thread scraper([&] {
+    Client client(server->port());
+    for (int i = 0; i < 10; ++i) {
+      const std::string text = ScrapeMetrics(client);
+      EXPECT_NE(text.find("rrre_serve_requests_total"), std::string::npos);
+    }
+  });
+  for (auto& t : threads) t.join();
+  scraper.join();
+  Client client(server->port());
+  const std::string text = ScrapeMetrics(client);
+  EXPECT_NE(text.find("rrre_serve_requests_total " +
+                      std::to_string(kClients * kRequests)),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("rrre_batcher_pairs_scored_total " +
+                      std::to_string(kClients * kRequests)),
+            std::string::npos)
+      << text;
+}
+
+TEST_F(ServedTest, MetricsDisabledAnswersExplicitError) {
+  ServerOptions options = BaseOptions();
+  options.enable_metrics = false;
+  auto server = StartServer(options);
+  Client client(server->port());
+  // Scoring and STATS are unaffected; METRICS reports the feature is off.
+  client.Send("0\t1\nMETRICS\nSTATS\n");
+  EXPECT_EQ(client.MustReadLine(), ExpectedScoreLine(0, 1));
+  const std::string line = client.MustReadLine();
+  EXPECT_EQ(line.find("!ERR\tmetrics\t"), 0u) << line;
+  EXPECT_EQ(client.MustReadLine().find("#stats\t"), 0u);
+  EXPECT_EQ(server->RenderMetricsText(), "");
 }
 
 TEST_F(ServedTest, ConcurrentClientsEachGetTheirOwnResponses) {

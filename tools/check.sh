@@ -1,51 +1,103 @@
 #!/usr/bin/env bash
 # CI entry point: tier-1 verification (default build + full test suite),
-# then the full suite under ThreadSanitizer to vet the parallel layer, then
-# the checkpoint/serve/resume tests under AddressSanitizer — the corruption
-# corpus feeds deliberately malformed bytes to the loader, and ASan proves
-# the rejection paths are free of out-of-bounds reads and leaks.
+# then the full suite under ThreadSanitizer to vet the parallel layer and the
+# online-serving/metrics path, then the checkpoint/serve/resume tests under
+# AddressSanitizer — the corruption corpus feeds deliberately malformed bytes
+# to the loader, and ASan proves the rejection paths are free of
+# out-of-bounds reads and leaks — and finally the observability + serving
+# suites under UndefinedBehaviorSanitizer.
 #
-# Usage: tools/check.sh [--skip-tsan] [--skip-asan]
+# Every ctest invocation runs with --no-tests=error: a filter that matches
+# zero tests (e.g. after a suite rename) fails the leg instead of silently
+# passing it. The script exits non-zero unless every leg that was not
+# explicitly skipped on the command line actually ran, and it prints which
+# legs ran so CI logs show the coverage at a glance.
+#
+# Usage: tools/check.sh [--skip-tsan] [--skip-asan] [--skip-ubsan]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 SKIP_TSAN=0
 SKIP_ASAN=0
+SKIP_UBSAN=0
 for arg in "$@"; do
   case "$arg" in
     --skip-tsan) SKIP_TSAN=1 ;;
     --skip-asan) SKIP_ASAN=1 ;;
+    --skip-ubsan) SKIP_UBSAN=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
 
+LEGS_RUN=()
+LEGS_SKIPPED=()
+
+# require_build_dir <dir> — the configure step must have produced a build
+# tree; anything else means the leg cannot have run and the script must die.
+require_build_dir() {
+  if [[ ! -f "$1/CMakeCache.txt" ]]; then
+    echo "FATAL: build directory '$1' missing after configure" >&2
+    exit 1
+  fi
+}
+
 echo "== tier-1: default build + tests =="
 cmake -B build -S . >/dev/null
+require_build_dir build
 cmake --build build -j >/dev/null
-(cd build && ctest --output-on-failure -j)
+(cd build && ctest --output-on-failure --no-tests=error -j)
+LEGS_RUN+=(tier1)
 
 if [[ "$SKIP_TSAN" == "1" ]]; then
-  echo "== TSan pass skipped =="
+  echo "== TSan pass skipped (--skip-tsan) =="
+  LEGS_SKIPPED+=(tsan)
 else
   echo "== TSan: parallel-layer + online-serving tests under ThreadSanitizer =="
   cmake -B build-tsan -S . -DRRRE_SANITIZE=thread >/dev/null
+  require_build_dir build-tsan
   cmake --build build-tsan -j \
     --target test_threadpool test_parallel_determinism test_tensor \
              test_batcher test_served >/dev/null
-  (cd build-tsan && ctest --output-on-failure \
+  (cd build-tsan && ctest --output-on-failure --no-tests=error \
     -R "ThreadPool|ParallelDeterminism|MicroBatcher|ServedTest" )
+  LEGS_RUN+=(tsan)
 fi
 
 if [[ "$SKIP_ASAN" == "1" ]]; then
-  echo "== ASan pass skipped =="
+  echo "== ASan pass skipped (--skip-asan) =="
+  LEGS_SKIPPED+=(asan)
 else
   echo "== ASan: checkpoint/serve/resume tests under AddressSanitizer =="
   cmake -B build-asan -S . -DRRRE_SANITIZE=address >/dev/null
+  require_build_dir build-asan
   cmake --build build-asan -j \
     --target test_tensor test_serving test_extensions >/dev/null
-  (cd build-asan && ctest --output-on-failure \
+  (cd build-asan && ctest --output-on-failure --no-tests=error \
     -R "Serialize|Serving|TrainerPersistence" )
+  LEGS_RUN+=(asan)
 fi
 
+if [[ "$SKIP_UBSAN" == "1" ]]; then
+  echo "== UBSan pass skipped (--skip-ubsan) =="
+  LEGS_SKIPPED+=(ubsan)
+else
+  echo "== UBSan: observability + serving tests under UndefinedBehaviorSanitizer =="
+  cmake -B build-ubsan -S . -DRRRE_SANITIZE=undefined >/dev/null
+  require_build_dir build-ubsan
+  cmake --build build-ubsan -j \
+    --target test_obs test_properties_common test_batcher test_served >/dev/null
+  # The obs label covers the metrics/trace/telemetry and histogram-property
+  # suites; the explicit regex adds the online-serving path.
+  (cd build-ubsan && ctest --output-on-failure --no-tests=error -L obs)
+  (cd build-ubsan && ctest --output-on-failure --no-tests=error \
+    -R "MicroBatcher|ServedTest" )
+  LEGS_RUN+=(ubsan)
+fi
+
+SUMMARY="== legs run: ${LEGS_RUN[*]}"
+if [[ "${#LEGS_SKIPPED[@]}" -gt 0 ]]; then
+  SUMMARY+=" | skipped on request: ${LEGS_SKIPPED[*]}"
+fi
+echo "$SUMMARY =="
 echo "== all checks passed =="

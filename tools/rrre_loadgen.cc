@@ -4,16 +4,65 @@
 //
 //   rrre_loadgen --port=7475 [--host=127.0.0.1] [--connections=8]
 //                [--requests=10000] [--qps=0] [--seed=42]
-//                [--users=0 --items=0]
+//                [--users=0 --items=0] [--metrics]
 //
 // Id ranges default to whatever the server reports via STATS, so pointing
-// the tool at a running rrre_served is enough.
+// the tool at a running rrre_served is enough. --metrics additionally
+// scrapes the server's METRICS exposition after the run and prints it.
 
 #include <cstdio>
+#include <cstdlib>
+#include <string>
 
 #include "common/flags.h"
 #include "common/logging.h"
+#include "common/socket.h"
+#include "common/strings.h"
 #include "serve/loadgen.h"
+
+namespace {
+
+/// Connects, sends METRICS, and prints the "#metrics\tlines=N" payload.
+int ScrapeMetrics(const std::string& host, uint16_t port) {
+  using namespace rrre;  // NOLINT(build/namespaces)
+  auto socket = common::Socket::Connect(host, port);
+  if (!socket.ok()) {
+    std::fprintf(stderr, "metrics scrape failed: %s\n",
+                 socket.status().ToString().c_str());
+    return 1;
+  }
+  const common::Status sent = socket.value().SendAll("METRICS\n");
+  if (!sent.ok()) {
+    std::fprintf(stderr, "metrics scrape failed: %s\n",
+                 sent.ToString().c_str());
+    return 1;
+  }
+  common::LineReader reader(&socket.value());
+  auto header = reader.ReadLine();
+  if (!header.ok() || !header.value().has_value()) {
+    std::fprintf(stderr, "metrics scrape failed: no response header\n");
+    return 1;
+  }
+  if (!common::StartsWith(*header.value(), "#metrics\tlines=")) {
+    std::fprintf(stderr, "metrics scrape failed: %s\n",
+                 header.value()->c_str());
+    return 1;
+  }
+  const long long lines =
+      std::atoll(header.value()->c_str() + sizeof("#metrics\tlines=") - 1);
+  std::printf("%s\n", header.value()->c_str());
+  for (long long i = 0; i < lines; ++i) {
+    auto line = reader.ReadLine();
+    if (!line.ok() || !line.value().has_value()) {
+      std::fprintf(stderr, "metrics scrape truncated at line %lld\n", i);
+      return 1;
+    }
+    std::printf("%s\n", line.value()->c_str());
+  }
+  return 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace rrre;  // NOLINT(build/namespaces)
@@ -27,6 +76,8 @@ int main(int argc, char** argv) {
   flags.AddInt("seed", 42, "request-stream seed");
   flags.AddInt("users", 0, "user id range (0 = discover via STATS)");
   flags.AddInt("items", 0, "item id range (0 = discover via STATS)");
+  flags.AddBool("metrics", false,
+                "scrape and print the METRICS exposition after the run");
   RRRE_CHECK_OK(flags.Parse(argc, argv));
   if (flags.help_requested()) {
     std::printf("usage: %s --port=PORT [--connections=N --requests=M]\n%s",
@@ -62,5 +113,8 @@ int main(int argc, char** argv) {
   std::printf("  latency p50=%.0fus p95=%.0fus p99=%.0fus max=%.0fus\n",
               r.latency_us.Percentile(50.0), r.latency_us.Percentile(95.0),
               r.latency_us.Percentile(99.0), r.latency_us.Max());
+  if (flags.GetBool("metrics")) {
+    return ScrapeMetrics(options.host, options.port);
+  }
   return 0;
 }

@@ -3,6 +3,7 @@
 //
 //   rrre_serve --model=/ckpt/m --input=requests.tsv --output=scores.tsv
 //              [--catalog] [--num_threads=8] [--su=5 --si=7 --seed=42]
+//              [--metrics_out=spans.txt]
 //
 // The input TSV holds one request per line: "user<TAB>item" pairs, or with
 // --catalog a bare "user" that is scored against every item in the training
@@ -22,9 +23,12 @@
 #include <cstdio>
 
 #include "common/flags.h"
+#include "common/io.h"
 #include "common/logging.h"
 #include "common/threadpool.h"
 #include "core/serving.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 int main(int argc, char** argv) {
   using namespace rrre;  // NOLINT(build/namespaces)
@@ -35,6 +39,9 @@ int main(int argc, char** argv) {
   flags.AddString("output", "", "output TSV: user, item, rating, reliability");
   flags.AddBool("catalog", false, "score each requested user against every item");
   flags.AddInt("score_batch", 1024, "pairs per scoring batch (0 = one batch)");
+  flags.AddString("metrics_out", "",
+                  "write the kernel span exposition here after the run "
+                  "(implies profiling, as if RRRE_PROF=1)");
   flags.AddInt("num_threads", 0, "global thread pool size (0 = hardware)");
   flags.AddInt("su", 5, "user history slots (must match training)");
   flags.AddInt("si", 7, "item history slots (must match training)");
@@ -54,6 +61,9 @@ int main(int argc, char** argv) {
 
   common::ThreadPool::SetGlobalSize(
       static_cast<int>(flags.GetInt("num_threads")));
+  if (!flags.GetString("metrics_out").empty()) {
+    obs::SetProfilingEnabled(true);
+  }
 
   core::RrreConfig config;
   config.s_u = flags.GetInt("su");
@@ -92,5 +102,17 @@ int main(int argc, char** argv) {
       latency.Percentile(50.0), latency.Percentile(95.0),
       latency.Percentile(99.0), latency.Max());
   std::printf("scores written to %s\n", options.output_path.c_str());
+  if (!flags.GetString("metrics_out").empty()) {
+    const common::Status written =
+        common::WriteFile(flags.GetString("metrics_out"),
+                          obs::MetricsRegistry::Global().RenderText());
+    if (!written.ok()) {
+      std::fprintf(stderr, "failed to write --metrics_out: %s\n",
+                   written.ToString().c_str());
+      return 1;
+    }
+    std::printf("kernel span metrics written to %s\n",
+                flags.GetString("metrics_out").c_str());
+  }
   return 0;
 }

@@ -8,7 +8,8 @@
 //
 // Clients speak a line protocol (see src/serve/protocol.h): "user<TAB>item"
 // scores one pair, a bare "user" scores the whole catalog, and PING / STATS
-// / RELOAD / QUIT are control commands. Requests from all connections are
+// / METRICS / RELOAD / QUIT are control commands (METRICS returns a
+// Prometheus-style exposition; disable the registry with --metrics=false). Requests from all connections are
 // funneled into a dynamic micro-batcher (up to --max_batch pairs or
 // --max_delay_us of linger, whichever first) running on the tower-cached
 // BatchScorer over the global thread pool. The admission queue is bounded
@@ -44,6 +45,8 @@ int main(int argc, char** argv) {
                "batching linger after the first queued request");
   flags.AddInt("queue_cap", 1024, "admission queue bound (requests)");
   flags.AddInt("max_connections", 256, "concurrent connection limit");
+  flags.AddBool("metrics", true,
+                "maintain the metrics registry and answer the METRICS verb");
   flags.AddInt("num_threads", 0, "global thread pool size (0 = hardware)");
   flags.AddInt("su", 5, "user history slots (must match training)");
   flags.AddInt("si", 7, "item history slots (must match training)");
@@ -73,6 +76,7 @@ int main(int argc, char** argv) {
   options.batcher.max_delay_us = flags.GetInt("max_delay_us");
   options.batcher.queue_capacity = flags.GetInt("queue_cap");
   options.max_connections = flags.GetInt("max_connections");
+  options.enable_metrics = flags.GetBool("metrics");
 
   auto server = serve::Server::Start(options);
   if (!server.ok()) {
