@@ -1,0 +1,257 @@
+#include "common/failpoint.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/strings.h"
+
+namespace rrre::common::failpoint {
+
+namespace {
+
+struct Point {
+  Config config;
+  int64_t evals = 0;
+  int64_t fires = 0;
+  Rng rng{0};
+};
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, Point> points;
+  /// Number of armed points; the lock-free gate behind Enabled().
+  std::atomic<int64_t> armed{0};
+};
+
+/// Parses the comma-separated clause list of one spec entry into `config`.
+Status ParseClausesInto(const std::string& clauses, Config* config) {
+  for (const std::string& raw : Split(clauses, ',')) {
+    const std::string clause(Trim(raw));
+    if (clause.empty()) continue;
+    const size_t eq = clause.find('=');
+    const std::string key =
+        eq == std::string::npos ? clause : clause.substr(0, eq);
+    const std::string value =
+        eq == std::string::npos ? std::string() : clause.substr(eq + 1);
+    auto parse_int = [&](int64_t* out) -> Status {
+      if (value.empty()) {
+        return Status::InvalidArgument("clause \"" + key +
+                                       "\" needs an integer value");
+      }
+      char* end = nullptr;
+      const long long v = std::strtoll(value.c_str(), &end, 10);
+      if (end != value.c_str() + value.size()) {
+        return Status::InvalidArgument("bad integer \"" + value +
+                                       "\" in clause \"" + clause + "\"");
+      }
+      *out = v;
+      return Status::Ok();
+    };
+    if (key == "error") {
+      config->action = Action::kError;
+    } else if (key == "short") {
+      config->action = Action::kShortIo;
+      if (!value.empty()) RRRE_RETURN_IF_ERROR(parse_int(&config->arg));
+    } else if (key == "delay") {
+      config->action = Action::kDelayUs;
+      RRRE_RETURN_IF_ERROR(parse_int(&config->arg));
+    } else if (key == "crash") {
+      config->action = Action::kCrash;
+    } else if (key == "after") {
+      RRRE_RETURN_IF_ERROR(parse_int(&config->after));
+      if (config->after < 0) {
+        return Status::InvalidArgument("after must be >= 0");
+      }
+    } else if (key == "count") {
+      RRRE_RETURN_IF_ERROR(parse_int(&config->count));
+    } else if (key == "prob") {
+      if (value.empty()) {
+        return Status::InvalidArgument("prob needs a value");
+      }
+      char* end = nullptr;
+      config->prob = std::strtod(value.c_str(), &end);
+      if (end != value.c_str() + value.size() || config->prob < 0.0 ||
+          config->prob > 1.0) {
+        return Status::InvalidArgument("bad probability \"" + value + "\"");
+      }
+    } else if (key == "seed") {
+      int64_t seed = 0;
+      RRRE_RETURN_IF_ERROR(parse_int(&seed));
+      config->seed = static_cast<uint64_t>(seed);
+    } else {
+      return Status::InvalidArgument("unknown failpoint clause \"" + clause +
+                                     "\"");
+    }
+  }
+  return Status::Ok();
+}
+
+/// Parses a whole RRRE_FAILPOINTS spec; all-or-nothing into `out`.
+Status ParseSpecInto(const std::string& spec,
+                     std::map<std::string, Config>* out) {
+  for (const std::string& entry : Split(spec, ';')) {
+    const std::string trimmed(Trim(entry));
+    if (trimmed.empty()) continue;
+    const size_t colon = trimmed.find(':');
+    const std::string name = trimmed.substr(0, colon);
+    if (name.empty()) {
+      return Status::InvalidArgument("empty failpoint name in \"" + trimmed +
+                                     "\"");
+    }
+    Config config;
+    if (colon != std::string::npos) {
+      RRRE_RETURN_IF_ERROR(
+          ParseClausesInto(trimmed.substr(colon + 1), &config));
+    }
+    (*out)[name] = config;
+  }
+  return Status::Ok();
+}
+
+/// The process-wide registry. RRRE_FAILPOINTS is parsed exactly once, inside
+/// the static initializer (i.e. on the first failpoint call of the process).
+/// A malformed spec is a hard configuration error: fault-injection runs are
+/// deliberate, and silently dropping a typoed point would let a "tested"
+/// schedule inject nothing.
+Registry& GetRegistry() {
+  static Registry* registry = [] {
+    auto* r = new Registry();
+    const char* env = std::getenv("RRRE_FAILPOINTS");
+    if (env != nullptr && env[0] != '\0') {
+      std::map<std::string, Config> parsed;
+      const Status status = ParseSpecInto(env, &parsed);
+      if (!status.ok()) {
+        RRRE_LOG_FATAL << "bad RRRE_FAILPOINTS spec: " << status.ToString();
+      }
+      for (const auto& [name, config] : parsed) {
+        Point point;
+        point.config = config;
+        point.rng = Rng(config.seed);
+        r->points.emplace(name, std::move(point));
+      }
+      r->armed.store(static_cast<int64_t>(r->points.size()),
+                     std::memory_order_relaxed);
+    }
+    return r;
+  }();
+  return *registry;
+}
+
+}  // namespace
+
+bool Enabled() {
+  return GetRegistry().armed.load(std::memory_order_relaxed) > 0;
+}
+
+std::optional<Fired> Check(const char* name) {
+  Registry& registry = GetRegistry();
+  if (registry.armed.load(std::memory_order_relaxed) <= 0) {
+    return std::nullopt;
+  }
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto it = registry.points.find(name);
+  if (it == registry.points.end()) return std::nullopt;
+  Point& point = it->second;
+  const int64_t eval = point.evals++;
+  if (eval < point.config.after) return std::nullopt;
+  if (point.config.count >= 0 && point.fires >= point.config.count) {
+    return std::nullopt;
+  }
+  if (point.config.prob < 1.0 && !point.rng.Bernoulli(point.config.prob)) {
+    return std::nullopt;
+  }
+  ++point.fires;
+  return Fired{point.config.action, point.config.arg};
+}
+
+Status MaybeError(const char* name, const std::string& what) {
+  const auto fired = Check(name);
+  if (!fired.has_value()) return Status::Ok();
+  switch (fired->action) {
+    case Action::kDelayUs:
+      std::this_thread::sleep_for(std::chrono::microseconds(fired->arg));
+      return Status::Ok();
+    case Action::kCrash:
+      // _Exit skips atexit handlers and stream flushing — the closest
+      // userspace approximation of the process dying at this instruction.
+      std::_Exit(137);
+    case Action::kError:
+    case Action::kShortIo:
+      return Status::IoError("injected failure at " + what + " [failpoint " +
+                             name + "]");
+  }
+  return Status::Ok();
+}
+
+size_t AllowedBytes(const char* name, size_t len) {
+  const auto fired = Check(name);
+  if (!fired.has_value() || fired->action != Action::kShortIo || len == 0) {
+    return len;
+  }
+  return std::min(len, static_cast<size_t>(std::max<int64_t>(1, fired->arg)));
+}
+
+void Arm(const std::string& name, const Config& config) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  Point point;
+  point.config = config;
+  point.rng = Rng(config.seed);
+  registry.points[name] = std::move(point);
+  registry.armed.store(static_cast<int64_t>(registry.points.size()),
+                       std::memory_order_relaxed);
+}
+
+void Disarm(const std::string& name) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  registry.points.erase(name);
+  registry.armed.store(static_cast<int64_t>(registry.points.size()),
+                       std::memory_order_relaxed);
+}
+
+void DisarmAll() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  registry.points.clear();
+  registry.armed.store(0, std::memory_order_relaxed);
+}
+
+Status ArmFromSpec(const std::string& spec) {
+  std::map<std::string, Config> parsed;
+  RRRE_RETURN_IF_ERROR(ParseSpecInto(spec, &parsed));
+  for (const auto& [name, config] : parsed) Arm(name, config);
+  return Status::Ok();
+}
+
+int64_t EvalCount(const std::string& name) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto it = registry.points.find(name);
+  return it == registry.points.end() ? 0 : it->second.evals;
+}
+
+int64_t FireCount(const std::string& name) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto it = registry.points.find(name);
+  return it == registry.points.end() ? 0 : it->second.fires;
+}
+
+std::vector<std::string> ArmedPoints() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  std::vector<std::string> names;
+  names.reserve(registry.points.size());
+  for (const auto& [name, point] : registry.points) names.push_back(name);
+  return names;
+}
+
+}  // namespace rrre::common::failpoint

@@ -1,0 +1,112 @@
+#ifndef RRRE_COMMON_FAILPOINT_H_
+#define RRRE_COMMON_FAILPOINT_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace rrre::common::failpoint {
+
+/// Named-failpoint fault injection for the I/O and network seams.
+///
+/// A *failpoint* is a named hook compiled into a seam (checkpoint writes,
+/// socket send/recv, the hot-reload path). Disarmed — the production state —
+/// evaluating a point costs one relaxed atomic load and a branch, the same
+/// trick the RRRE_PROF trace spans use, so the hooks stay in release builds.
+/// Armed, the point fires according to a deterministic trigger schedule and
+/// the seam injects the corresponding fault.
+///
+/// Arming is either programmatic (Arm/Disarm, used by tests) or via the
+/// RRRE_FAILPOINTS environment variable, parsed on first use:
+///
+///   RRRE_FAILPOINTS='ckpt.write:short=64,after=3;sock.send.reset:prob=0.01'
+///
+///   spec   := entry (';' entry)*
+///   entry  := point [':' clause (',' clause)*]
+///   clause := 'error' | 'short' ['=' BYTES] | 'delay' '=' USEC | 'crash'
+///           | 'after' '=' N | 'count' '=' N | 'prob' '=' P | 'seed' '=' S
+///
+/// The action clauses say *what* to inject; seams that encode the fault in
+/// the point name (e.g. `sock.send.reset`) ignore the action and only honor
+/// the trigger clauses. The trigger clauses say *when*: skip the first
+/// `after` evaluations, fire at most `count` times, and fire each eligible
+/// evaluation with probability `prob` drawn from a per-point Rng seeded by
+/// `seed` — so a fault schedule replays exactly from (spec, seed).
+///
+/// The failpoint catalog (which seams evaluate which names) lives in
+/// DESIGN.md "Fault injection & durability".
+enum class Action {
+  kError,    ///< The seam fails with an injected I/O error.
+  kShortIo,  ///< The seam processes at most `arg` bytes, then (for writes)
+             ///< fails — modeling a torn write.
+  kDelayUs,  ///< Sleep `arg` microseconds, then proceed normally.
+  kCrash,    ///< std::_Exit the process — a crash / power-loss at the seam.
+};
+
+struct Config {
+  Action action = Action::kError;
+  /// Action argument: byte budget for short-io, microseconds for delay-us.
+  int64_t arg = 1;
+  /// Skip the first `after` evaluations of the point.
+  int64_t after = 0;
+  /// Fire at most this many times; -1 = unlimited.
+  int64_t count = -1;
+  /// Probability a post-`after`, under-`count` evaluation fires.
+  double prob = 1.0;
+  /// Seed of the per-point Rng behind `prob` draws.
+  uint64_t seed = 0x5eedfa11;
+};
+
+/// What an armed point injects when it fires.
+struct Fired {
+  Action action;
+  int64_t arg;
+};
+
+/// True when at least one point is armed. The disabled fast path: callers
+/// gate every Check behind this single relaxed load.
+bool Enabled();
+
+/// Evaluates the named point: increments its evaluation counter and returns
+/// the action to inject when the trigger schedule says fire, nullopt to
+/// proceed normally. Never fires for disarmed points.
+std::optional<Fired> Check(const char* name);
+
+/// Status-seam helper: OK unless `name` fires. kError/kShortIo fire as
+/// IoError mentioning `what` and the point name; kDelayUs sleeps and returns
+/// OK; kCrash exits the process (simulated power loss — no cleanup runs).
+Status MaybeError(const char* name, const std::string& what);
+
+/// Byte-seam helper: the number of bytes the seam may process. Returns `len`
+/// unless `name` fires with kShortIo, in which case min(len, max(1, arg)).
+/// Other actions at a byte seam degrade: kError/kCrash are handled as in
+/// MaybeError via the returned `fired` flag being irrelevant — callers that
+/// need those arm the seam's error point instead.
+size_t AllowedBytes(const char* name, size_t len);
+
+/// Arms `name` with the given config, resetting its counters. Replaces any
+/// existing arming of the same point.
+void Arm(const std::string& name, const Config& config = Config());
+
+/// Disarms one point / every point. Counters are discarded.
+void Disarm(const std::string& name);
+void DisarmAll();
+
+/// Parses an RRRE_FAILPOINTS-grammar spec and arms every entry. On a parse
+/// error nothing is armed and the error names the offending entry.
+Status ArmFromSpec(const std::string& spec);
+
+/// Evaluation / fire counters of an armed point (0 for unknown points) —
+/// what makes fault schedules assertable and replayable in tests.
+int64_t EvalCount(const std::string& name);
+int64_t FireCount(const std::string& name);
+
+/// Names of all armed points, sorted.
+std::vector<std::string> ArmedPoints();
+
+}  // namespace rrre::common::failpoint
+
+#endif  // RRRE_COMMON_FAILPOINT_H_

@@ -1,11 +1,199 @@
 #include "common/io.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
+#include "common/failpoint.h"
 #include "common/strings.h"
 
 namespace rrre::common {
+
+namespace {
+
+std::string ParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+std::string ErrnoString() { return std::strerror(errno); }
+
+}  // namespace
+
+AtomicFileWriter::~AtomicFileWriter() { Abandon(); }
+
+void AtomicFileWriter::Abandon() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  if (!committed_ && !tmp_path_.empty()) {
+    ::unlink(tmp_path_.c_str());
+  }
+  tmp_path_.clear();
+}
+
+Status AtomicFileWriter::Open(const std::string& path,
+                              const std::string& point_prefix) {
+  RRRE_CHECK(fd_ < 0) << "AtomicFileWriter::Open called twice";
+  path_ = path;
+  point_prefix_ = point_prefix;
+  committed_ = false;
+  if (failpoint::Enabled()) {
+    RRRE_RETURN_IF_ERROR(
+        failpoint::MaybeError((point_prefix_ + ".open").c_str(),
+                              "open " + path));
+  }
+  const std::string tmp = path + ".tmp";
+  const int fd =
+      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return Status::IoError("cannot open for writing: " + tmp + " (" +
+                           ErrnoString() + ")");
+  }
+  fd_ = fd;
+  tmp_path_ = tmp;
+  return Status::Ok();
+}
+
+Status AtomicFileWriter::Append(const void* data, size_t len) {
+  RRRE_CHECK(fd_ >= 0) << "AtomicFileWriter::Append before Open";
+  const char* p = static_cast<const char*>(data);
+  const bool inject = failpoint::Enabled();
+  while (len > 0) {
+    const size_t want = len;
+    if (inject) {
+      // One Check per iteration, dispatched over every action here: routing
+      // short-io through AllowedBytes and the rest through MaybeError would
+      // evaluate the point twice and burn count/after budget on the probe.
+      const std::string point = point_prefix_ + ".write";
+      if (const auto fired = failpoint::Check(point.c_str())) {
+        switch (fired->action) {
+          case failpoint::Action::kDelayUs:
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(fired->arg));
+            break;
+          case failpoint::Action::kCrash:
+            std::_Exit(137);  // Simulated power loss: no cleanup runs.
+          case failpoint::Action::kShortIo: {
+            // A short-io fires as a torn write: some bytes land, then the
+            // write fails — the state a crash or full disk leaves behind.
+            const size_t torn = std::min(
+                len, static_cast<size_t>(std::max<int64_t>(1, fired->arg)));
+            ::write(fd_, p, torn);
+            Abandon();
+            return Status::IoError("injected short write at " + tmp_path_ +
+                                   " [failpoint " + point + "]");
+          }
+          case failpoint::Action::kError: {
+            const std::string tmp = tmp_path_;
+            Abandon();
+            return Status::IoError("injected failure at write " + tmp +
+                                   " [failpoint " + point + "]");
+          }
+        }
+      }
+    }
+    const ssize_t n = ::write(fd_, p, want);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const std::string err = ErrnoString();
+      Abandon();
+      return Status::IoError("write failed: " + tmp_path_ + " (" + err + ")");
+    }
+    p += n;
+    len -= static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Status AtomicFileWriter::Commit() {
+  RRRE_CHECK(fd_ >= 0) << "AtomicFileWriter::Commit before Open";
+  const bool inject = failpoint::Enabled();
+  // 1. fsync the tmp file: its bytes must be durable before the rename can
+  //    make them reachable, or a post-rename power loss surfaces a
+  //    zero-length "valid" file.
+  if (inject) {
+    const Status status = failpoint::MaybeError(
+        (point_prefix_ + ".fsync").c_str(), "fsync " + tmp_path_);
+    if (!status.ok()) {
+      Abandon();
+      return status;
+    }
+  }
+  if (::fsync(fd_) != 0) {
+    const std::string err = ErrnoString();
+    Abandon();
+    return Status::IoError("fsync failed: " + tmp_path_ + " (" + err + ")");
+  }
+  if (::close(fd_) != 0) {
+    fd_ = -1;
+    const std::string err = ErrnoString();
+    Abandon();
+    return Status::IoError("close failed: " + tmp_path_ + " (" + err + ")");
+  }
+  fd_ = -1;
+  // 2. rename: atomically replace the target. Readers see old or new bytes,
+  //    never a mix.
+  if (inject) {
+    const Status status = failpoint::MaybeError(
+        (point_prefix_ + ".rename").c_str(), "rename " + tmp_path_);
+    if (!status.ok()) {
+      Abandon();
+      return status;
+    }
+  }
+  if (std::rename(tmp_path_.c_str(), path_.c_str()) != 0) {
+    const std::string err = ErrnoString();
+    Abandon();
+    return Status::IoError("rename failed: " + tmp_path_ + " -> " + path_ +
+                           " (" + err + ")");
+  }
+  committed_ = true;
+  tmp_path_.clear();
+  // 3. fsync the parent directory: the rename itself is metadata in the
+  //    directory, and is not durable until the directory inode is synced.
+  if (inject) {
+    RRRE_RETURN_IF_ERROR(failpoint::MaybeError(
+        (point_prefix_ + ".dirsync").c_str(), "fsync dir of " + path_));
+  }
+  return FsyncParentDir(path_);
+}
+
+Status FsyncParentDir(const std::string& path) {
+  const std::string dir = ParentDir(path);
+  const int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dir_fd < 0) {
+    return Status::IoError("cannot open parent dir for fsync: " + dir + " (" +
+                           ErrnoString() + ")");
+  }
+  const int rc = ::fsync(dir_fd);
+  const int saved_errno = errno;
+  ::close(dir_fd);
+  if (rc != 0) {
+    return Status::IoError("parent dir fsync failed: " + dir + " (" +
+                           std::strerror(saved_errno) + ")");
+  }
+  return Status::Ok();
+}
+
+Status AtomicWriteFile(const std::string& path, const std::string& content) {
+  AtomicFileWriter writer;
+  RRRE_RETURN_IF_ERROR(writer.Open(path));
+  RRRE_RETURN_IF_ERROR(writer.Append(content));
+  return writer.Commit();
+}
 
 Result<std::string> ReadFile(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
@@ -17,12 +205,7 @@ Result<std::string> ReadFile(const std::string& path) {
 }
 
 Status WriteFile(const std::string& path, const std::string& content) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::IoError("cannot open for writing: " + path);
-  out << content;
-  out.flush();
-  if (!out) return Status::IoError("write failed: " + path);
-  return Status::Ok();
+  return AtomicWriteFile(path, content);
 }
 
 Result<std::vector<std::vector<std::string>>> ReadTsv(const std::string& path) {

@@ -11,7 +11,58 @@ namespace rrre::common {
 /// Reads a whole file into a string.
 Result<std::string> ReadFile(const std::string& path);
 
-/// Writes `content` to `path`, replacing any existing file.
+/// Crash-safe file writer: streams into `path + ".tmp"`, and on Commit()
+/// fsyncs the tmp file, renames it over `path`, and fsyncs the parent
+/// directory. A crash at any point leaves either the old file intact or a
+/// stray `.tmp` — never a torn or zero-length `path`. The destructor unlinks
+/// the tmp file if Commit() was not reached.
+///
+/// Every step evaluates a failpoint named `<point_prefix>.<step>` for steps
+/// open / write / fsync / rename / dirsync, so fault-injection tests can
+/// break any stage of the sequence (see common/failpoint.h).
+class AtomicFileWriter {
+ public:
+  AtomicFileWriter() = default;
+  ~AtomicFileWriter();
+  AtomicFileWriter(const AtomicFileWriter&) = delete;
+  AtomicFileWriter& operator=(const AtomicFileWriter&) = delete;
+
+  /// Creates/truncates `path + ".tmp"`. `point_prefix` names the failpoint
+  /// family this writer evaluates (e.g. "ckpt", "io").
+  Status Open(const std::string& path, const std::string& point_prefix = "io");
+
+  /// Appends bytes to the tmp file. Short kernel writes are retried.
+  Status Append(const void* data, size_t len);
+  Status Append(const std::string& content) {
+    return Append(content.data(), content.size());
+  }
+
+  /// fsync(tmp), rename(tmp -> path), fsync(parent dir). After an OK return
+  /// the new content is durable under the final name.
+  Status Commit();
+
+ private:
+  void Abandon();
+
+  int fd_ = -1;
+  std::string path_;
+  std::string tmp_path_;
+  std::string point_prefix_;
+  bool committed_ = false;
+};
+
+/// Writes `content` to `path` atomically and durably (tmp + fsync + rename +
+/// parent-dir fsync). This is the crash-safe path every output writer should
+/// use; a mid-write crash can never tear an existing `path`.
+Status AtomicWriteFile(const std::string& path, const std::string& content);
+
+/// fsyncs the directory containing `path` — what makes a rename(2) into that
+/// directory durable. Writers that stream + rename outside AtomicFileWriter
+/// (e.g. TelemetryWriter) finish their commit with this.
+Status FsyncParentDir(const std::string& path);
+
+/// Writes `content` to `path`, replacing any existing file. Routed through
+/// AtomicWriteFile so partially-written output files cannot be observed.
 Status WriteFile(const std::string& path, const std::string& content);
 
 /// Reads a tab-separated file into rows of fields. Blank lines are skipped.

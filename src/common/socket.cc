@@ -7,8 +7,11 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 #include <utility>
+
+#include "common/failpoint.h"
 
 namespace rrre::common {
 
@@ -94,12 +97,26 @@ Result<std::optional<Socket>> Socket::AcceptWithTimeout(int timeout_ms) {
 }
 
 Status Socket::SendAll(std::string_view data) {
+  const bool inject = failpoint::Enabled();
   size_t sent = 0;
   while (sent < data.size()) {
-    const ssize_t n = ::send(fd_, data.data() + sent, data.size() - sent,
-                             MSG_NOSIGNAL);
+    size_t want = data.size() - sent;
+    if (inject) {
+      if (failpoint::Check("sock.send.reset").has_value()) {
+        return Status::IoError("send: injected connection reset"
+                               " [failpoint sock.send.reset]");
+      }
+      // An injected EINTR models a signal landing mid-send: skip this
+      // iteration, re-enter the loop — the syscall must be retried.
+      if (failpoint::Check("sock.send.eintr").has_value()) continue;
+      want = failpoint::AllowedBytes("sock.send.short", want);
+    }
+    const ssize_t n = ::send(fd_, data.data() + sent, want, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::DeadlineExceeded("send timed out");
+      }
       return ErrnoStatus("send");
     }
     sent += static_cast<size_t>(n);
@@ -108,6 +125,18 @@ Status Socket::SendAll(std::string_view data) {
 }
 
 Result<size_t> Socket::RecvSome(char* buf, size_t len) {
+  if (failpoint::Enabled()) {
+    // A reset reads as EOF to callers, matching the real ECONNRESET path.
+    if (failpoint::Check("sock.recv.reset").has_value()) return size_t{0};
+    if (failpoint::Check("sock.recv.eagain").has_value()) {
+      return Status::DeadlineExceeded(
+          "recv timed out [failpoint sock.recv.eagain]");
+    }
+    while (failpoint::Check("sock.recv.eintr").has_value()) {
+      // Each fire models one EINTR-interrupted recv; the loop is the retry.
+    }
+    len = failpoint::AllowedBytes("sock.recv.short", len);
+  }
   ssize_t n;
   do {
     n = ::recv(fd_, buf, len, 0);
@@ -115,9 +144,34 @@ Result<size_t> Socket::RecvSome(char* buf, size_t len) {
   if (n < 0) {
     // A reset or an abort from the drain path both read as EOF to callers.
     if (errno == ECONNRESET) return size_t{0};
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::DeadlineExceeded("recv timed out");
+    }
     return ErrnoStatus("recv");
   }
   return static_cast<size_t>(n);
+}
+
+namespace {
+
+Status SetTimeoutOption(int fd, int option, int ms) {
+  timeval tv{};
+  tv.tv_sec = ms / 1000;
+  tv.tv_usec = static_cast<suseconds_t>(ms % 1000) * 1000;
+  if (::setsockopt(fd, SOL_SOCKET, option, &tv, sizeof(tv)) != 0) {
+    return ErrnoStatus("setsockopt timeout");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status Socket::SetRecvTimeout(int ms) {
+  return SetTimeoutOption(fd_, SO_RCVTIMEO, ms);
+}
+
+Status Socket::SetSendTimeout(int ms) {
+  return SetTimeoutOption(fd_, SO_SNDTIMEO, ms);
 }
 
 void Socket::ShutdownRead() {
@@ -130,6 +184,17 @@ void Socket::ShutdownBoth() {
 
 void Socket::Close() {
   if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::CloseWithReset() {
+  if (fd_ >= 0) {
+    linger lg{};
+    lg.l_onoff = 1;
+    lg.l_linger = 0;
+    ::setsockopt(fd_, SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
     ::close(fd_);
     fd_ = -1;
   }

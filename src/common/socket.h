@@ -42,17 +42,42 @@ class Socket {
   Result<std::optional<Socket>> AcceptWithTimeout(int timeout_ms);
 
   /// Sends the whole buffer (looping over partial sends, EINTR-safe, no
-  /// SIGPIPE). Fails when the peer has closed.
+  /// SIGPIPE). Fails when the peer has closed; DeadlineExceeded when a send
+  /// timeout set via SetSendTimeout expires.
+  ///
+  /// Failpoints: `sock.send.reset` (IoError as if the peer reset),
+  /// `sock.send.eintr` (extra retry loop iterations), `sock.send.short`
+  /// (clamps each kernel send to the configured byte budget — exercises the
+  /// partial-send resume path).
   Status SendAll(std::string_view data);
 
-  /// Receives up to `len` bytes. 0 means clean EOF.
+  /// Receives up to `len` bytes. 0 means clean EOF (a peer reset also reads
+  /// as EOF, matching the drain path). DeadlineExceeded when a receive
+  /// timeout set via SetRecvTimeout expires.
+  ///
+  /// Failpoints: `sock.recv.reset` (EOF as if the peer reset),
+  /// `sock.recv.eagain` (DeadlineExceeded as if the read deadline fired),
+  /// `sock.recv.eintr` (extra retry iterations), `sock.recv.short` (clamps
+  /// the bytes delivered per call — exercises reassembly in LineReader).
   Result<size_t> RecvSome(char* buf, size_t len);
+
+  /// Arms SO_RCVTIMEO / SO_SNDTIMEO: a blocked recv/send returns
+  /// DeadlineExceeded after `ms` milliseconds. 0 disables the deadline.
+  /// The server puts a receive deadline on accepted connections so a stalled
+  /// client cannot pin a drain forever.
+  Status SetRecvTimeout(int ms);
+  Status SetSendTimeout(int ms);
 
   /// Half-closes the read side: a blocked reader sees EOF, writes still
   /// flush. This is the graceful-drain primitive.
   void ShutdownRead();
   void ShutdownBoth();
   void Close();
+
+  /// Closes with SO_LINGER{on, 0}: the kernel sends a real RST instead of a
+  /// FIN and discards unsent data. Tests use this to subject the server to a
+  /// genuine mid-conversation connection reset.
+  void CloseWithReset();
 
   bool valid() const { return fd_ >= 0; }
   int fd() const { return fd_; }

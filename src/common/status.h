@@ -21,6 +21,7 @@ enum class StatusCode {
   kFailedPrecondition = 4,
   kOutOfRange = 5,
   kInternal = 6,
+  kDeadlineExceeded = 7,
 };
 
 /// Returns a human-readable name for a status code ("OK", "InvalidArgument"...).
@@ -53,6 +54,9 @@ class Status {
   }
   static Status Internal(std::string message) {
     return Status(StatusCode::kInternal, std::move(message));
+  }
+  static Status DeadlineExceeded(std::string message) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(message));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

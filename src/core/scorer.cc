@@ -9,8 +9,49 @@ namespace rrre::core {
 
 using tensor::Tensor;
 
+void BatchScorer::ProfileCache::Touch(int64_t id) {
+  auto it = index_.find(id);
+  RRRE_CHECK(it != index_.end());
+  lru_.splice(lru_.begin(), lru_, it->second);
+}
+
+const std::vector<float>& BatchScorer::ProfileCache::At(int64_t id) const {
+  auto it = index_.find(id);
+  RRRE_CHECK(it != index_.end()) << "profile for id " << id << " not cached";
+  return it->second->second;
+}
+
+int64_t BatchScorer::ProfileCache::Insert(int64_t id,
+                                          std::vector<float> profile,
+                                          int64_t cap) {
+  auto it = index_.find(id);
+  if (it != index_.end()) {
+    it->second->second = std::move(profile);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return 0;
+  }
+  lru_.emplace_front(id, std::move(profile));
+  index_[id] = lru_.begin();
+  int64_t evicted = 0;
+  while (cap > 0 && static_cast<int64_t>(index_.size()) > cap) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++evicted;
+  }
+  return evicted;
+}
+
+void BatchScorer::ProfileCache::Clear() {
+  lru_.clear();
+  index_.clear();
+}
+
 BatchScorer::BatchScorer(RrreTrainer* trainer)
+    : BatchScorer(trainer, Options()) {}
+
+BatchScorer::BatchScorer(RrreTrainer* trainer, Options options)
     : trainer_(trainer),
+      options_(options),
       features_(trainer->config(), &trainer->train_data(),
                 &trainer->vocab()),
       rng_(trainer->config().seed ^ 0xca11ab1eULL),
@@ -18,11 +59,12 @@ BatchScorer::BatchScorer(RrreTrainer* trainer)
       params_version_(trainer->params_version()) {
   RRRE_CHECK(trainer != nullptr);
   RRRE_CHECK(trainer->fitted()) << "fit the trainer before scoring";
+  RRRE_CHECK_GE(options_.tower_cache_cap, 0);
 }
 
 void BatchScorer::Invalidate() {
-  user_profiles_.clear();
-  item_profiles_.clear();
+  user_profiles_.Clear();
+  item_profiles_.Clear();
   // Re-bind the feature builder too: Fit and Load replace the trainer's
   // corpus and vocabulary outright, so the pointers captured at
   // construction would dangle.
@@ -37,15 +79,31 @@ void BatchScorer::CheckNotStale() const {
          "since this scorer was created — call Invalidate() first";
 }
 
+int64_t BatchScorer::EffectiveCap() const {
+  if (options_.tower_cache_cap == 0) return 0;
+  return std::max(options_.tower_cache_cap, trainer_->config().batch_size);
+}
+
 void BatchScorer::PrimeUsers(const std::vector<int64_t>& users) {
   CheckNotStale();
+  std::vector<int64_t> distinct = users;
+  std::sort(distinct.begin(), distinct.end());
+  distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                 distinct.end());
   std::vector<int64_t> missing;
-  for (int64_t u : users) {
-    if (!user_profiles_.count(u)) missing.push_back(u);
+  for (int64_t u : distinct) {
+    if (user_profiles_.Contains(u)) {
+      // Touching hits first moves the whole working set to the MRU end, so
+      // the inserts below can only evict ids outside this Prime call.
+      ++user_stats_.hits;
+      user_profiles_.Touch(u);
+    } else {
+      ++user_stats_.misses;
+      missing.push_back(u);
+    }
   }
-  std::sort(missing.begin(), missing.end());
-  missing.erase(std::unique(missing.begin(), missing.end()), missing.end());
   const int64_t chunk_size = trainer_->config().batch_size;
+  const int64_t cap = EffectiveCap();
   for (size_t start = 0; start < missing.size();
        start += static_cast<size_t>(chunk_size)) {
     const size_t end =
@@ -59,21 +117,33 @@ void BatchScorer::PrimeUsers(const std::vector<int64_t>& users) {
     for (size_t i = start; i < end; ++i) {
       const int64_t row = static_cast<int64_t>(i - start);
       std::vector<float> p(static_cast<size_t>(profile_dim_));
-      for (int64_t c = 0; c < profile_dim_; ++c) p[static_cast<size_t>(c)] = profiles.at(row, c);
-      user_profiles_.emplace(missing[i], std::move(p));
+      for (int64_t c = 0; c < profile_dim_; ++c) {
+        p[static_cast<size_t>(c)] = profiles.at(row, c);
+      }
+      user_stats_.evictions +=
+          user_profiles_.Insert(missing[i], std::move(p), cap);
     }
   }
 }
 
 void BatchScorer::PrimeItems(const std::vector<int64_t>& items) {
   CheckNotStale();
+  std::vector<int64_t> distinct = items;
+  std::sort(distinct.begin(), distinct.end());
+  distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                 distinct.end());
   std::vector<int64_t> missing;
-  for (int64_t i : items) {
-    if (!item_profiles_.count(i)) missing.push_back(i);
+  for (int64_t i : distinct) {
+    if (item_profiles_.Contains(i)) {
+      ++item_stats_.hits;
+      item_profiles_.Touch(i);
+    } else {
+      ++item_stats_.misses;
+      missing.push_back(i);
+    }
   }
-  std::sort(missing.begin(), missing.end());
-  missing.erase(std::unique(missing.begin(), missing.end()), missing.end());
   const int64_t chunk_size = trainer_->config().batch_size;
+  const int64_t cap = EffectiveCap();
   for (size_t start = 0; start < missing.size();
        start += static_cast<size_t>(chunk_size)) {
     const size_t end =
@@ -87,8 +157,11 @@ void BatchScorer::PrimeItems(const std::vector<int64_t>& items) {
     for (size_t i = start; i < end; ++i) {
       const int64_t row = static_cast<int64_t>(i - start);
       std::vector<float> p(static_cast<size_t>(profile_dim_));
-      for (int64_t c = 0; c < profile_dim_; ++c) p[static_cast<size_t>(c)] = profiles.at(row, c);
-      item_profiles_.emplace(missing[i], std::move(p));
+      for (int64_t c = 0; c < profile_dim_; ++c) {
+        p[static_cast<size_t>(c)] = profiles.at(row, c);
+      }
+      item_stats_.evictions +=
+          item_profiles_.Insert(missing[i], std::move(p), cap);
     }
   }
 }
@@ -96,17 +169,6 @@ void BatchScorer::PrimeItems(const std::vector<int64_t>& items) {
 RrreTrainer::Predictions BatchScorer::Score(
     const std::vector<std::pair<int64_t, int64_t>>& pairs) {
   CheckNotStale();
-  std::vector<int64_t> users;
-  std::vector<int64_t> items;
-  users.reserve(pairs.size());
-  items.reserve(pairs.size());
-  for (const auto& [u, i] : pairs) {
-    users.push_back(u);
-    items.push_back(i);
-  }
-  PrimeUsers(users);
-  PrimeItems(items);
-
   RrreTrainer::Predictions out;
   out.ratings.reserve(pairs.size());
   out.reliabilities.reserve(pairs.size());
@@ -115,20 +177,25 @@ RrreTrainer::Predictions BatchScorer::Score(
   for (int64_t start = 0; start < n; start += chunk_size) {
     const int64_t end = std::min(n, start + chunk_size);
     const int64_t b = end - start;
-    std::vector<float> xu(static_cast<size_t>(b * profile_dim_));
-    std::vector<float> yi(static_cast<size_t>(b * profile_dim_));
     std::vector<int64_t> chunk_users;
     std::vector<int64_t> chunk_items;
     for (int64_t e = 0; e < b; ++e) {
       const auto& [u, i] = pairs[static_cast<size_t>(start + e)];
       chunk_users.push_back(u);
       chunk_items.push_back(i);
-      const auto& up = user_profiles_.at(u);
-      const auto& ip = item_profiles_.at(i);
-      std::copy(up.begin(), up.end(),
-                xu.begin() + e * profile_dim_);
-      std::copy(ip.begin(), ip.end(),
-                yi.begin() + e * profile_dim_);
+    }
+    // Prime per chunk, not per call: a chunk holds at most chunk_size
+    // distinct ids and the caches hold at least that many (EffectiveCap), so
+    // nothing this chunk needs can be evicted before it is read back below.
+    PrimeUsers(chunk_users);
+    PrimeItems(chunk_items);
+    std::vector<float> xu(static_cast<size_t>(b * profile_dim_));
+    std::vector<float> yi(static_cast<size_t>(b * profile_dim_));
+    for (int64_t e = 0; e < b; ++e) {
+      const auto& up = user_profiles_.At(chunk_users[static_cast<size_t>(e)]);
+      const auto& ip = item_profiles_.At(chunk_items[static_cast<size_t>(e)]);
+      std::copy(up.begin(), up.end(), xu.begin() + e * profile_dim_);
+      std::copy(ip.begin(), ip.end(), yi.begin() + e * profile_dim_);
     }
     auto fwd = trainer_->model().ForwardFromProfiles(
         Tensor::FromVector({b, profile_dim_}, std::move(xu)),

@@ -1,8 +1,12 @@
 #include "obs/telemetry.h"
 
+#include <unistd.h>
+
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 
+#include "common/io.h"
 #include "common/strings.h"
 
 namespace rrre::obs {
@@ -213,26 +217,62 @@ Result<std::vector<JsonRecord>> ParseJsonLines(const std::string& content) {
 
 TelemetryWriter::TelemetryWriter(Options options)
     : options_(std::move(options)), status_(Status::Ok()) {
-  file_ = std::fopen(options_.path.c_str(), "w");
+  tmp_path_ = options_.path + ".tmp";
+  file_ = std::fopen(tmp_path_.c_str(), "w");
   if (file_ == nullptr) {
-    status_ = Status::IoError("cannot open telemetry file " + options_.path +
+    status_ = Status::IoError("cannot open telemetry file " + tmp_path_ +
                               ": " + std::strerror(errno));
   }
 }
 
-TelemetryWriter::~TelemetryWriter() {
-  if (file_ != nullptr) std::fclose(file_);
-}
+TelemetryWriter::~TelemetryWriter() { Close(); }
 
 Status TelemetryWriter::Write(const JsonRecord& record) {
   std::lock_guard<std::mutex> lock(mu_);
   if (!status_.ok()) return status_;
+  if (closed_) {
+    return Status::FailedPrecondition("telemetry writer already closed: " +
+                                      options_.path);
+  }
   const std::string line = record.ToJsonLine();
   if (std::fwrite(line.data(), 1, line.size(), file_) != line.size() ||
       std::fflush(file_) != 0) {
-    status_ = Status::IoError("telemetry write to " + options_.path +
+    status_ = Status::IoError("telemetry write to " + tmp_path_ +
                               " failed: " + std::strerror(errno));
   }
+  return status_;
+}
+
+Status TelemetryWriter::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (closed_) return status_;
+  closed_ = true;
+  if (file_ == nullptr) return status_;
+  if (!status_.ok()) {
+    // An errored stream is garbage: drop the tmp file rather than promote it.
+    std::fclose(file_);
+    file_ = nullptr;
+    std::remove(tmp_path_.c_str());
+    return status_;
+  }
+  if (std::fflush(file_) != 0 || ::fsync(::fileno(file_)) != 0) {
+    status_ = Status::IoError("telemetry fsync of " + tmp_path_ +
+                              " failed: " + std::strerror(errno));
+    std::fclose(file_);
+    file_ = nullptr;
+    std::remove(tmp_path_.c_str());
+    return status_;
+  }
+  std::fclose(file_);
+  file_ = nullptr;
+  if (std::rename(tmp_path_.c_str(), options_.path.c_str()) != 0) {
+    status_ = Status::IoError("telemetry rename " + tmp_path_ + " -> " +
+                              options_.path + " failed: " +
+                              std::strerror(errno));
+    std::remove(tmp_path_.c_str());
+    return status_;
+  }
+  status_ = common::FsyncParentDir(options_.path);
   return status_;
 }
 

@@ -56,6 +56,11 @@ common::Result<std::vector<JsonRecord>> ParseJsonLines(
 /// written and flushed line-atomically under a mutex, so concurrent writers
 /// interleave whole lines, never bytes.
 ///
+/// The stream goes to `path + ".tmp"`; Close() (also run by the destructor)
+/// fsyncs it and renames it to `path`, fsyncing the parent directory. The
+/// final file therefore appears atomically: a crash mid-run leaves at most a
+/// stray `.tmp`, never a torn file under the final name.
+///
 /// `include_timings` gates wall-clock fields: producers route timing fields
 /// through AddTiming*, which no-op when timings are excluded. A file written
 /// with include_timings = false is a pure function of the computation and
@@ -80,11 +85,18 @@ class TelemetryWriter {
   /// Appends one record as a JSONL line and flushes.
   common::Status Write(const JsonRecord& record);
 
+  /// Commits the stream under its final name (fsync tmp, rename, fsync
+  /// parent dir). Idempotent; further Writes fail. If the writer is already
+  /// in an error state the tmp file is discarded instead of committed.
+  common::Status Close();
+
  private:
   Options options_;
   common::Status status_;
   std::mutex mu_;
   std::FILE* file_ = nullptr;
+  std::string tmp_path_;
+  bool closed_ = false;
 };
 
 }  // namespace rrre::obs

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <utility>
 
+#include "common/failpoint.h"
 #include "common/logging.h"
 #include "common/timer.h"
 
@@ -50,8 +51,23 @@ MicroBatcher::MicroBatcher(std::unique_ptr<core::RrreTrainer> trainer,
                                      "expanded pairs per executed batch");
     m_batch_latency_us_ = m->GetHistogram(
         "rrre_batcher_batch_latency_us", "per-batch Score latency");
+    m_user_cache_hits_ = m->GetCounter("rrre_scorer_user_cache_hits_total",
+                                       "user tower-cache hits");
+    m_user_cache_misses_ = m->GetCounter(
+        "rrre_scorer_user_cache_misses_total", "user tower-cache misses");
+    m_user_cache_evictions_ =
+        m->GetCounter("rrre_scorer_user_cache_evictions_total",
+                      "user tower-cache LRU evictions");
+    m_item_cache_hits_ = m->GetCounter("rrre_scorer_item_cache_hits_total",
+                                       "item tower-cache hits");
+    m_item_cache_misses_ = m->GetCounter(
+        "rrre_scorer_item_cache_misses_total", "item tower-cache misses");
+    m_item_cache_evictions_ =
+        m->GetCounter("rrre_scorer_item_cache_evictions_total",
+                      "item tower-cache LRU evictions");
   }
-  scorer_ = std::make_unique<core::BatchScorer>(trainer_.get());
+  RRRE_CHECK_GE(options_.tower_cache_cap, 0);
+  scorer_ = MakeScorer();
   num_users_.store(trainer_->train_data().num_users());
   num_items_.store(trainer_->train_data().num_items());
   params_version_.store(trainer_->params_version());
@@ -220,6 +236,7 @@ void MicroBatcher::ExecuteBatch(std::vector<WorkItem> batch) {
     RRRE_CHECK_EQ(trainer_->params_version(), version_before)
         << "model parameters changed under an in-flight batch";
     elapsed_us = timer.ElapsedSeconds() * 1e6;
+    MirrorCacheStats();
   }
 
   // Account the batch before dispatching callbacks, so an observer woken by
@@ -263,13 +280,22 @@ void MicroBatcher::ExecuteBatch(std::vector<WorkItem> batch) {
 
 void MicroBatcher::DoReload(ReloadRequest request) {
   // Load into a fresh trainer so a bad checkpoint cannot wreck the snapshot
-  // that is currently serving.
+  // that is currently serving. The serve.reload failpoint injects a load
+  // failure here — the recovery contract (keep the old snapshot, report the
+  // error) is identical to a genuinely corrupt checkpoint.
   auto fresh = std::make_unique<core::RrreTrainer>(trainer_->config());
-  const Status status = fresh->Load(request.prefix);
+  Status status =
+      common::failpoint::MaybeError("serve.reload", "reload " + request.prefix);
+  if (status.ok()) status = fresh->Load(request.prefix);
   int64_t generation = -1;
   if (status.ok()) {
     trainer_ = std::move(fresh);
-    scorer_ = std::make_unique<core::BatchScorer>(trainer_.get());
+    scorer_ = MakeScorer();
+    // The fresh scorer starts its counters at zero; re-base the mirror so
+    // the registry keeps accumulating instead of double-counting or going
+    // backwards.
+    mirrored_user_stats_ = core::BatchScorer::CacheStats();
+    mirrored_item_stats_ = core::BatchScorer::CacheStats();
     num_users_.store(trainer_->train_data().num_users());
     num_items_.store(trainer_->train_data().num_items());
     params_version_.store(trainer_->params_version());
@@ -284,6 +310,28 @@ void MicroBatcher::DoReload(ReloadRequest request) {
                      << status.ToString();
   }
   if (request.done) request.done(status, generation);
+}
+
+std::unique_ptr<core::BatchScorer> MicroBatcher::MakeScorer() {
+  core::BatchScorer::Options scorer_options;
+  scorer_options.tower_cache_cap = options_.tower_cache_cap;
+  return std::make_unique<core::BatchScorer>(trainer_.get(), scorer_options);
+}
+
+void MicroBatcher::MirrorCacheStats() {
+  if (m_user_cache_hits_ == nullptr) return;
+  const auto& user = scorer_->user_cache_stats();
+  const auto& item = scorer_->item_cache_stats();
+  Inc(m_user_cache_hits_, user.hits - mirrored_user_stats_.hits);
+  Inc(m_user_cache_misses_, user.misses - mirrored_user_stats_.misses);
+  Inc(m_user_cache_evictions_,
+      user.evictions - mirrored_user_stats_.evictions);
+  Inc(m_item_cache_hits_, item.hits - mirrored_item_stats_.hits);
+  Inc(m_item_cache_misses_, item.misses - mirrored_item_stats_.misses);
+  Inc(m_item_cache_evictions_,
+      item.evictions - mirrored_item_stats_.evictions);
+  mirrored_user_stats_ = user;
+  mirrored_item_stats_ = item;
 }
 
 }  // namespace rrre::serve

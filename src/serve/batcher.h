@@ -49,6 +49,10 @@ class MicroBatcher {
     int64_t max_batch = 64;        ///< Expanded pairs per batch (>= 1).
     int64_t max_delay_us = 1000;   ///< Linger after the first queued request.
     int64_t queue_capacity = 1024; ///< Admission bound, in queued requests.
+    /// LRU bound on the BatchScorer tower caches (profiles per tower);
+    /// 0 = unbounded. A long-lived server wants a bound — the caches
+    /// otherwise grow with every distinct id ever scored.
+    int64_t tower_cache_cap = 0;
     /// Start with the scorer gate closed (tests use this to fill the queue
     /// deterministically); call Resume() to open it.
     bool start_paused = false;
@@ -146,6 +150,12 @@ class MicroBatcher {
   /// Executes one batch outside the lock; invokes callbacks.
   void ExecuteBatch(std::vector<WorkItem> batch);
   void DoReload(ReloadRequest request);
+  /// Builds a scorer over the current trainer with the configured cache cap.
+  std::unique_ptr<core::BatchScorer> MakeScorer();
+  /// Mirrors tower-cache hit/miss/eviction counters into the registry
+  /// (scorer thread only — reads the scorer's cumulative stats and pushes
+  /// the delta since the last mirror).
+  void MirrorCacheStats();
 
   const Options options_;
   std::unique_ptr<core::RrreTrainer> trainer_;
@@ -162,6 +172,16 @@ class MicroBatcher {
   obs::Gauge* m_generation_ = nullptr;
   obs::HistogramMetric* m_batch_pairs_ = nullptr;
   obs::HistogramMetric* m_batch_latency_us_ = nullptr;
+  obs::Counter* m_user_cache_hits_ = nullptr;
+  obs::Counter* m_user_cache_misses_ = nullptr;
+  obs::Counter* m_user_cache_evictions_ = nullptr;
+  obs::Counter* m_item_cache_hits_ = nullptr;
+  obs::Counter* m_item_cache_misses_ = nullptr;
+  obs::Counter* m_item_cache_evictions_ = nullptr;
+  /// Last-mirrored cumulative cache stats (scorer thread only); reset when a
+  /// reload replaces the scorer.
+  core::BatchScorer::CacheStats mirrored_user_stats_;
+  core::BatchScorer::CacheStats mirrored_item_stats_;
 
   std::atomic<int64_t> num_users_{0};
   std::atomic<int64_t> num_items_{0};

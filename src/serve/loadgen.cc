@@ -52,6 +52,7 @@ struct ConnResult {
   int64_t scored = 0;
   int64_t overloaded = 0;
   int64_t errors = 0;
+  int64_t retried = 0;
   common::Histogram latency_us;
 };
 
@@ -87,37 +88,66 @@ void RunConnection(const LoadGenOptions& options, int64_t conn_index,
         static_cast<int64_t>(rng.UniformInt(static_cast<uint64_t>(num_items)));
     const std::string request =
         std::to_string(user) + "\t" + std::to_string(item) + "\n";
-    common::Timer timer;
-    auto st = sock.value().SendAll(request);
-    if (!st.ok()) {
-      out->status = st;
-      return;
-    }
-    ++out->sent;
-    auto line = reader.ReadLine();
-    if (!line.ok()) {
-      out->status = line.status();
-      return;
-    }
-    if (!line.value().has_value()) {
-      out->status = Status::Internal("server closed mid-run after " +
-                                     std::to_string(n + 1) + " requests");
-      return;
-    }
-    out->latency_us.Record(timer.ElapsedSeconds() * 1e6);
-    const std::string& response = *line.value();
-    if (IsOverloadLine(response)) {
-      ++out->overloaded;
-    } else if (IsErrorLine(response)) {
-      ++out->errors;
-    } else {
-      ++out->scored;
+    // Attempt loop: an overload response is retried up to max_retries times
+    // with jittered exponential backoff; anything else settles the request.
+    for (int64_t attempt = 0;; ++attempt) {
+      common::Timer timer;
+      auto st = sock.value().SendAll(request);
+      if (!st.ok()) {
+        out->status = st;
+        return;
+      }
+      ++out->sent;
+      auto line = reader.ReadLine();
+      if (!line.ok()) {
+        out->status = line.status();
+        return;
+      }
+      if (!line.value().has_value()) {
+        out->status = Status::Internal("server closed mid-run after " +
+                                       std::to_string(n + 1) + " requests");
+        return;
+      }
+      out->latency_us.Record(timer.ElapsedSeconds() * 1e6);
+      const std::string& response = *line.value();
+      if (IsOverloadLine(response)) {
+        if (attempt < options.max_retries) {
+          ++out->retried;
+          std::this_thread::sleep_for(std::chrono::microseconds(BackoffUs(
+              attempt, options.backoff_base_us, options.backoff_cap_us,
+              rng)));
+          continue;
+        }
+        ++out->overloaded;
+      } else if (IsErrorLine(response)) {
+        ++out->errors;
+      } else {
+        ++out->scored;
+      }
+      break;
     }
   }
   sock.value().SendAll("QUIT\n");
 }
 
 }  // namespace
+
+int64_t BackoffUs(int64_t attempt, int64_t base_us, int64_t cap_us,
+                  common::Rng& rng) {
+  if (base_us < 1) base_us = 1;
+  if (cap_us < base_us) cap_us = base_us;
+  // Ceiling = min(cap, base * 2^attempt), computed without overflow.
+  int64_t ceiling = base_us;
+  for (int64_t k = 0; k < attempt && ceiling < cap_us; ++k) {
+    ceiling = ceiling > cap_us / 2 ? cap_us : ceiling * 2;
+  }
+  // Equal jitter: half deterministic, half uniform — bounded below by
+  // ceiling/2 so retries always back off, spread across [ceiling/2, ceiling].
+  const int64_t half = ceiling / 2;
+  return half +
+         static_cast<int64_t>(rng.UniformInt(static_cast<uint64_t>(
+             ceiling - half + 1)));
+}
 
 Result<LoadGenReport> RunLoadGen(const LoadGenOptions& options) {
   int64_t num_users = options.num_users;
@@ -148,6 +178,7 @@ Result<LoadGenReport> RunLoadGen(const LoadGenOptions& options) {
     report.scored += r.scored;
     report.overloaded += r.overloaded;
     report.errors += r.errors;
+    report.retried += r.retried;
     report.latency_us.Merge(r.latency_us);
   }
   const int64_t responses = report.scored + report.overloaded + report.errors;

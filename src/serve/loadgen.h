@@ -5,6 +5,7 @@
 #include <string>
 
 #include "common/histogram.h"
+#include "common/rng.h"
 #include "common/status.h"
 
 namespace rrre::serve {
@@ -25,13 +26,22 @@ struct LoadGenOptions {
   /// Id ranges to draw from. 0 = discover from the server via STATS.
   int64_t num_users = 0;
   int64_t num_items = 0;
+  /// Retries per request on "!ERR overload", with exponential backoff +
+  /// jitter between attempts (see BackoffUs). 0 = report overloads as-is,
+  /// preserving the closed-loop semantics bench_serving measures.
+  int64_t max_retries = 0;
+  /// Backoff base: attempt k waits roughly base * 2^k microseconds (capped,
+  /// jittered) before the retry.
+  int64_t backoff_base_us = 1000;
+  int64_t backoff_cap_us = 100000;
 };
 
 struct LoadGenReport {
   int64_t sent = 0;
   int64_t scored = 0;      ///< Score-line responses.
-  int64_t overloaded = 0;  ///< "!ERR overload" responses.
+  int64_t overloaded = 0;  ///< "!ERR overload" responses (post-retry).
   int64_t errors = 0;      ///< Other error responses.
+  int64_t retried = 0;     ///< Re-sends triggered by overload responses.
   double seconds = 0.0;    ///< Wall clock over the whole run.
   double qps = 0.0;        ///< Responses per second.
   /// Per-request round-trip latency, merged across connections.
@@ -41,6 +51,14 @@ struct LoadGenReport {
 /// Runs the load and blocks until every connection finished. Fails if the
 /// server is unreachable or a connection breaks mid-run.
 common::Result<LoadGenReport> RunLoadGen(const LoadGenOptions& options);
+
+/// Microseconds to wait before retry `attempt` (0-based): equal-jitter
+/// exponential backoff. The ceiling doubles per attempt from `base_us` up to
+/// `cap_us`; the wait is ceiling/2 plus a uniform draw over the other half,
+/// so concurrent clients hitting the same overloaded server decorrelate
+/// instead of retrying in lockstep.
+int64_t BackoffUs(int64_t attempt, int64_t base_us, int64_t cap_us,
+                  common::Rng& rng);
 
 }  // namespace rrre::serve
 

@@ -92,7 +92,17 @@ class Server::Connection
     common::LineReader reader(&socket_);
     for (;;) {
       auto line = reader.ReadLine();
-      if (!line.ok() || !line.value().has_value()) break;
+      if (!line.ok()) {
+        // The read deadline fired: the client sat silent past
+        // read_timeout_ms. Treated like EOF — stop admitting, let already
+        // admitted responses flush — but counted separately.
+        if (line.status().code() == common::StatusCode::kDeadlineExceeded) {
+          server_->read_timeouts_.fetch_add(1);
+          Inc(server_->m_read_timeouts_);
+        }
+        break;
+      }
+      if (!line.value().has_value()) break;
       if (!HandleLine(*line.value())) break;
     }
     {
@@ -283,6 +293,9 @@ Server::Server(const ServerOptions& options,
     m_connections_rejected_ = metrics_->GetCounter(
         "rrre_serve_connections_rejected_total",
         "connections refused at the connection limit");
+    m_read_timeouts_ = metrics_->GetCounter(
+        "rrre_serve_read_timeouts_total",
+        "connections dropped by the read deadline");
     m_connections_active_ = metrics_->GetGauge("rrre_serve_connections_active",
                                                "currently open connections");
   }
@@ -314,6 +327,12 @@ void Server::AcceptLoop() {
     }
     if (!client.value().has_value()) continue;  // Poll timeout.
     Socket socket = std::move(*client.value());
+    if (options_.read_timeout_ms > 0) {
+      // Arm both directions: the recv deadline drops silent clients, the
+      // send deadline keeps a non-reading client from stalling the writer.
+      socket.SetRecvTimeout(options_.read_timeout_ms);
+      socket.SetSendTimeout(options_.read_timeout_ms);
+    }
     std::shared_ptr<Connection> conn;
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -387,6 +406,7 @@ ServerStats Server::stats() const {
   out.parse_errors = parse_errors_.load();
   out.range_errors = range_errors_.load();
   out.overloads = overloads_.load();
+  out.read_timeouts = read_timeouts_.load();
   out.batcher = batcher_->stats();
   std::lock_guard<std::mutex> lock(mu_);
   out.connections_active = static_cast<int64_t>(connections_.size());

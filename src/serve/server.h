@@ -27,6 +27,12 @@ struct ServerOptions {
   MicroBatcher::Options batcher;
   /// Connections beyond this are answered with "!ERR busy" and closed.
   int64_t max_connections = 256;
+  /// Receive/send deadline on accepted connections in milliseconds; 0 = no
+  /// deadline. With a deadline, a client that connects and then goes silent
+  /// is disconnected instead of pinning a connection slot (and a graceful
+  /// drain) forever, and a client that stops reading cannot stall the
+  /// writer past the deadline either.
+  int read_timeout_ms = 0;
   /// When true the server owns a MetricsRegistry, instruments itself and the
   /// batcher into it, and answers the METRICS verb with its exposition.
   /// False turns all metric writes into dead branches (the baseline the
@@ -43,6 +49,7 @@ struct ServerStats {
   int64_t parse_errors = 0;
   int64_t range_errors = 0;
   int64_t overloads = 0;     ///< Requests refused by admission control.
+  int64_t read_timeouts = 0; ///< Connections dropped by the read deadline.
   MicroBatcher::Stats batcher;
 };
 
@@ -113,6 +120,7 @@ class Server {
   obs::Counter* m_overloads_ = nullptr;
   obs::Counter* m_connections_accepted_ = nullptr;
   obs::Counter* m_connections_rejected_ = nullptr;
+  obs::Counter* m_read_timeouts_ = nullptr;
   obs::Gauge* m_connections_active_ = nullptr;
   std::unique_ptr<MicroBatcher> batcher_;
   common::Socket listener_;
@@ -122,6 +130,7 @@ class Server {
   std::atomic<int64_t> parse_errors_{0};
   std::atomic<int64_t> range_errors_{0};
   std::atomic<int64_t> overloads_{0};
+  std::atomic<int64_t> read_timeouts_{0};
   std::atomic<int64_t> connections_accepted_{0};
   std::atomic<int64_t> connections_rejected_{0};
 

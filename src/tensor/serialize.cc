@@ -6,6 +6,8 @@
 #include <fstream>
 #include <utility>
 
+#include "common/io.h"
+
 namespace rrre::tensor {
 
 using common::Result;
@@ -26,11 +28,6 @@ std::array<uint32_t, 256> BuildCrcTable() {
     table[i] = c;
   }
   return table;
-}
-
-template <typename T>
-void WritePod(std::ostream& out, T value) {
-  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
 }
 
 template <typename T>
@@ -128,43 +125,36 @@ Status SaveTensors(const std::string& path,
     return Status::InvalidArgument("too many tensors for one checkpoint: " +
                                    std::to_string(tensors.size()));
   }
-  // Write to a temp file and rename into place so readers never observe a
-  // partially written checkpoint, even across a crash mid-save.
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) return Status::IoError("cannot open for writing: " + tmp);
-    out.write(kMagicV2, sizeof(kMagicV2));
-    WritePod<uint32_t>(out, static_cast<uint32_t>(tensors.size()));
-    for (const auto& [name, t] : tensors) {
-      if (!t.defined()) {
-        std::remove(tmp.c_str());
-        return Status::InvalidArgument("undefined tensor: " + name);
-      }
-      if (name.empty() || name.size() > kMaxTensorNameLen) {
-        std::remove(tmp.c_str());
-        return Status::InvalidArgument("bad tensor name: \"" + name + "\"");
-      }
-      WritePod<uint32_t>(out, static_cast<uint32_t>(name.size()));
-      out.write(name.data(), static_cast<std::streamsize>(name.size()));
-      WritePod<uint32_t>(out, static_cast<uint32_t>(t.ndim()));
-      for (int64_t d : t.shape()) WritePod<int64_t>(out, d);
-      WritePod<uint32_t>(
-          out, Crc32(t.data(), static_cast<size_t>(t.numel()) * sizeof(float)));
-      out.write(reinterpret_cast<const char*>(t.data()),
-                static_cast<std::streamsize>(t.numel() * sizeof(float)));
+  for (const auto& [name, t] : tensors) {
+    if (!t.defined()) {
+      return Status::InvalidArgument("undefined tensor: " + name);
     }
-    out.flush();
-    if (!out) {
-      std::remove(tmp.c_str());
-      return Status::IoError("write failed: " + tmp);
+    if (name.empty() || name.size() > kMaxTensorNameLen) {
+      return Status::InvalidArgument("bad tensor name: \"" + name + "\"");
     }
   }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    return Status::IoError("cannot rename " + tmp + " to " + path);
+  // AtomicFileWriter gives the crash-safety argument: bytes go to a temp
+  // file, are fsynced, renamed into place, and the parent directory is
+  // fsynced — so readers never observe a partial checkpoint and a power loss
+  // after Commit() cannot surface a zero-length "valid" file.
+  common::AtomicFileWriter out;
+  RRRE_RETURN_IF_ERROR(out.Open(path, "ckpt"));
+  auto append_pod = [&out](const auto& value) {
+    return out.Append(&value, sizeof(value));
+  };
+  RRRE_RETURN_IF_ERROR(out.Append(kMagicV2, sizeof(kMagicV2)));
+  RRRE_RETURN_IF_ERROR(append_pod(static_cast<uint32_t>(tensors.size())));
+  for (const auto& [name, t] : tensors) {
+    RRRE_RETURN_IF_ERROR(append_pod(static_cast<uint32_t>(name.size())));
+    RRRE_RETURN_IF_ERROR(out.Append(name.data(), name.size()));
+    RRRE_RETURN_IF_ERROR(append_pod(static_cast<uint32_t>(t.ndim())));
+    for (int64_t d : t.shape()) RRRE_RETURN_IF_ERROR(append_pod(d));
+    RRRE_RETURN_IF_ERROR(append_pod(
+        Crc32(t.data(), static_cast<size_t>(t.numel()) * sizeof(float))));
+    RRRE_RETURN_IF_ERROR(
+        out.Append(t.data(), static_cast<size_t>(t.numel()) * sizeof(float)));
   }
-  return Status::Ok();
+  return out.Commit();
 }
 
 Result<std::map<std::string, Tensor>> LoadTensors(const std::string& path) {

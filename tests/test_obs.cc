@@ -332,6 +332,8 @@ std::string RunTelemetryFit(int threads, bool include_timings,
   telemetry.eval = &corpus;
   trainer.SetTelemetry(telemetry);
   trainer.Fit(corpus);
+  // The stream lives at <path>.tmp until Close() commits it atomically.
+  EXPECT_TRUE(writer.Close().ok());
   auto content = common::ReadFile(path);
   EXPECT_TRUE(content.ok());
   return content.ok() ? content.value() : std::string();

@@ -4,8 +4,10 @@
 # online-serving/metrics path, then the checkpoint/serve/resume tests under
 # AddressSanitizer — the corruption corpus feeds deliberately malformed bytes
 # to the loader, and ASan proves the rejection paths are free of
-# out-of-bounds reads and leaks — and finally the observability + serving
-# suites under UndefinedBehaviorSanitizer.
+# out-of-bounds reads and leaks — then the fault-injection suite (failpoint
+# schedules, torn-checkpoint crashes, socket faults, the seeded server soak)
+# under AddressSanitizer, and finally the observability + serving suites
+# under UndefinedBehaviorSanitizer.
 #
 # Every ctest invocation runs with --no-tests=error: a filter that matches
 # zero tests (e.g. after a suite rename) fails the leg instead of silently
@@ -13,18 +15,21 @@
 # explicitly skipped on the command line actually ran, and it prints which
 # legs ran so CI logs show the coverage at a glance.
 #
-# Usage: tools/check.sh [--skip-tsan] [--skip-asan] [--skip-ubsan]
+# Usage: tools/check.sh [--skip-tsan] [--skip-asan] [--skip-failpoint]
+#                       [--skip-ubsan]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 SKIP_TSAN=0
 SKIP_ASAN=0
+SKIP_FAILPOINT=0
 SKIP_UBSAN=0
 for arg in "$@"; do
   case "$arg" in
     --skip-tsan) SKIP_TSAN=1 ;;
     --skip-asan) SKIP_ASAN=1 ;;
+    --skip-failpoint) SKIP_FAILPOINT=1 ;;
     --skip-ubsan) SKIP_UBSAN=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
@@ -76,6 +81,22 @@ else
   (cd build-asan && ctest --output-on-failure --no-tests=error \
     -R "Serialize|Serving|TrainerPersistence" )
   LEGS_RUN+=(asan)
+fi
+
+if [[ "$SKIP_FAILPOINT" == "1" ]]; then
+  echo "== failpoint pass skipped (--skip-failpoint) =="
+  LEGS_SKIPPED+=(failpoint)
+else
+  echo "== failpoint: fault-injection suite + seeded soak under AddressSanitizer =="
+  cmake -B build-asan -S . -DRRRE_SANITIZE=address >/dev/null
+  require_build_dir build-asan
+  cmake --build build-asan -j --target test_failpoints >/dev/null
+  # The failpoint label covers the whole fault-injection suite: framework
+  # trigger schedules, AtomicFileWriter crash sequencing, torn-checkpoint
+  # rejection, socket short-I/O/EINTR/reset faults, loadgen retry, and the
+  # randomized seeded server soak.
+  (cd build-asan && ctest --output-on-failure --no-tests=error -L failpoint)
+  LEGS_RUN+=(failpoint)
 fi
 
 if [[ "$SKIP_UBSAN" == "1" ]]; then

@@ -4,7 +4,8 @@
 //
 //   rrre_loadgen --port=7475 [--host=127.0.0.1] [--connections=8]
 //                [--requests=10000] [--qps=0] [--seed=42]
-//                [--users=0 --items=0] [--metrics]
+//                [--users=0 --items=0] [--retries=2 --backoff_us=1000]
+//                [--metrics]
 //
 // Id ranges default to whatever the server reports via STATS, so pointing
 // the tool at a running rrre_served is enough. --metrics additionally
@@ -76,6 +77,10 @@ int main(int argc, char** argv) {
   flags.AddInt("seed", 42, "request-stream seed");
   flags.AddInt("users", 0, "user id range (0 = discover via STATS)");
   flags.AddInt("items", 0, "item id range (0 = discover via STATS)");
+  flags.AddInt("retries", 2,
+               "retries per request on overload, with jittered backoff");
+  flags.AddInt("backoff_us", 1000,
+               "backoff base; attempt k waits ~base*2^k us (capped 100x)");
   flags.AddBool("metrics", false,
                 "scrape and print the METRICS exposition after the run");
   RRRE_CHECK_OK(flags.Parse(argc, argv));
@@ -94,6 +99,9 @@ int main(int argc, char** argv) {
   options.seed = static_cast<uint64_t>(flags.GetInt("seed"));
   options.num_users = flags.GetInt("users");
   options.num_items = flags.GetInt("items");
+  options.max_retries = flags.GetInt("retries");
+  options.backoff_base_us = flags.GetInt("backoff_us");
+  options.backoff_cap_us = options.backoff_base_us * 100;
 
   auto report = serve::RunLoadGen(options);
   if (!report.ok()) {
@@ -106,10 +114,11 @@ int main(int argc, char** argv) {
       "%lld requests over %lld connections in %.3fs -> %.1f responses/s\n",
       static_cast<long long>(r.sent),
       static_cast<long long>(options.connections), r.seconds, r.qps);
-  std::printf("  scored=%lld overloaded=%lld errors=%lld\n",
+  std::printf("  scored=%lld overloaded=%lld errors=%lld retried=%lld\n",
               static_cast<long long>(r.scored),
               static_cast<long long>(r.overloaded),
-              static_cast<long long>(r.errors));
+              static_cast<long long>(r.errors),
+              static_cast<long long>(r.retried));
   std::printf("  latency p50=%.0fus p95=%.0fus p99=%.0fus max=%.0fus\n",
               r.latency_us.Percentile(50.0), r.latency_us.Percentile(95.0),
               r.latency_us.Percentile(99.0), r.latency_us.Max());

@@ -3,6 +3,7 @@
 //
 //   rrre_served --model=/ckpt/m --port=7475
 //               [--max_batch=64 --max_delay_us=1000 --queue_cap=1024]
+//               [--tower_cache_cap=65536] [--read_timeout_ms=0]
 //               [--max_connections=256] [--num_threads=8]
 //               [--su=5 --si=7 --seed=42]
 //
@@ -44,7 +45,11 @@ int main(int argc, char** argv) {
   flags.AddInt("max_delay_us", 1000,
                "batching linger after the first queued request");
   flags.AddInt("queue_cap", 1024, "admission queue bound (requests)");
+  flags.AddInt("tower_cache_cap", 65536,
+               "LRU bound on cached tower profiles per tower (0 = unbounded)");
   flags.AddInt("max_connections", 256, "concurrent connection limit");
+  flags.AddInt("read_timeout_ms", 0,
+               "drop connections idle past this deadline (0 = no deadline)");
   flags.AddBool("metrics", true,
                 "maintain the metrics registry and answer the METRICS verb");
   flags.AddInt("num_threads", 0, "global thread pool size (0 = hardware)");
@@ -75,7 +80,9 @@ int main(int argc, char** argv) {
   options.batcher.max_batch = flags.GetInt("max_batch");
   options.batcher.max_delay_us = flags.GetInt("max_delay_us");
   options.batcher.queue_capacity = flags.GetInt("queue_cap");
+  options.batcher.tower_cache_cap = flags.GetInt("tower_cache_cap");
   options.max_connections = flags.GetInt("max_connections");
+  options.read_timeout_ms = static_cast<int>(flags.GetInt("read_timeout_ms"));
   options.enable_metrics = flags.GetBool("metrics");
 
   auto server = serve::Server::Start(options);
