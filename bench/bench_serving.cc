@@ -9,9 +9,19 @@
 // overhead the instrumentation costs, so the "<3% regression" budget is
 // checked on every bench run rather than assumed.
 //
+// Two further legs measure store-backed serving (core/tower_store.h):
+//
+//  * same checkpoint, same load, served from a materialized tower store —
+//    reported as `store_speedup` (store QPS / live-tower QPS);
+//  * a catalog --store_mult (default 100) times larger, store-backed — the
+//    scale a live-tower server cannot reach. The leg's p99 should be no
+//    worse than live-tower p99 at 1x: the store hot path is O(dim) per pair
+//    regardless of catalog size. Only the corpus grows; the prediction-head
+//    dimensions stay identical so latencies compare like for like.
+//
 //   bench_serving [--scale=0.15] [--connections=8] [--requests=5000]
 //                 [--qps=0] [--max_batch=64] [--max_delay_us=1000]
-//                 [--out=BENCH_serving.json]
+//                 [--store_mult=100] [--out=BENCH_serving.json]
 
 #include <cstdio>
 #include <cstdlib>
@@ -23,6 +33,7 @@
 #include "common/logging.h"
 #include "common/strings.h"
 #include "common/threadpool.h"
+#include "core/tower_store.h"
 #include "core/trainer.h"
 #include "serve/loadgen.h"
 #include "serve/server.h"
@@ -74,6 +85,8 @@ int main(int argc, char** argv) {
   flags.AddInt("max_batch", 64, "server: max expanded pairs per batch");
   flags.AddInt("max_delay_us", 1000, "server: batching linger");
   flags.AddInt("queue_cap", 1024, "server: admission queue bound");
+  flags.AddInt("store_mult", 100,
+               "catalog multiplier for the big store-backed leg (0 = skip)");
   flags.AddString("out", "BENCH_serving.json", "JSON results path");
   RRRE_CHECK_OK(flags.Parse(argc, argv));
   if (flags.help_requested()) {
@@ -113,17 +126,78 @@ int main(int argc, char** argv) {
   // Metrics-off first (the baseline), then the instrumented run the rest of
   // the report describes.
   server_options.enable_metrics = false;
-  std::printf("phase 1/2: metrics off...\n");
+  std::printf("phase 1/4: metrics off...\n");
   const PhaseResult off = RunPhase(server_options, load);
   server_options.enable_metrics = true;
-  std::printf("phase 2/2: metrics on...\n");
+  std::printf("phase 2/4: metrics on...\n");
   const PhaseResult on = RunPhase(server_options, load);
+
+  // Store-backed leg: identical checkpoint and load, profiles served out of
+  // the materialized tower store instead of the live towers.
+  const std::string store_path = prefix + ".tower_store";
+  auto built = core::BuildTowerStore(trainer, prefix, store_path);
+  RRRE_CHECK_OK(built.status());
+  std::printf("phase 3/4: store-backed (%.1f MiB store, built in %.3fs)...\n",
+              static_cast<double>(built.value().bytes) / (1024.0 * 1024.0),
+              built.value().seconds);
+  server_options.store_path = store_path;
+  const PhaseResult store1 = RunPhase(server_options, load);
+  server_options.store_path.clear();
 
   const serve::LoadGenReport& r = on.report;
   const serve::ServerStats& stats = on.stats;
   const double overhead_pct =
       off.report.qps > 0.0 ? (off.report.qps - r.qps) / off.report.qps * 100.0
                            : 0.0;
+  const double store_speedup = r.qps > 0.0 ? store1.report.qps / r.qps : 0.0;
+
+  // Big-catalog leg: --store_mult times the corpus, store-backed. Parameter
+  // *quality* is irrelevant for a latency bench, so training is cut to the
+  // bone (one epoch, no word-vector pretraining, short histories) — but the
+  // prediction-head dimensions are untouched, so the per-pair hot path is
+  // exactly the 1x leg's and the p99s compare like for like.
+  const int64_t store_mult = flags.GetInt("store_mult");
+  const std::string big_prefix = "/tmp/rrre_bench_serving_ckpt_big";
+  PhaseResult big;
+  core::TowerStoreBuildStats big_store_stats;
+  int64_t big_users = 0, big_items = 0;
+  if (store_mult > 0) {
+    auto big_bundle =
+        bench::MakeDataset(flags.GetString("dataset"),
+                           opts.scale * static_cast<double>(store_mult),
+                           opts.base_seed + 1);
+    core::RrreConfig big_config = config;
+    big_config.epochs = 1;
+    big_config.pretrain_word_vectors = false;
+    big_config.s_u = 2;
+    big_config.s_i = 2;
+    big_config.max_tokens = 4;
+    big_config.vocab_min_count = 64;
+    big_config.batch_size = 512;
+    big_users = big_bundle.train.num_users();
+    big_items = big_bundle.train.num_items();
+    std::printf(
+        "phase 4/4: store-backed at %lldx catalog "
+        "(%lld users x %lld items)...\n",
+        static_cast<long long>(store_mult), static_cast<long long>(big_users),
+        static_cast<long long>(big_items));
+    core::RrreTrainer big_trainer(big_config);
+    big_trainer.Fit(big_bundle.train);
+    RRRE_CHECK_OK(big_trainer.Save(big_prefix));
+    auto big_built = core::BuildTowerStore(big_trainer, big_prefix,
+                                           big_prefix + ".tower_store");
+    RRRE_CHECK_OK(big_built.status());
+    big_store_stats = big_built.value();
+    std::printf("  %lldx store: %.1f MiB, built in %.3fs\n",
+                static_cast<long long>(store_mult),
+                static_cast<double>(big_store_stats.bytes) / (1024.0 * 1024.0),
+                big_store_stats.seconds);
+    serve::ServerOptions big_options = server_options;
+    big_options.config = big_config;
+    big_options.model_prefix = big_prefix;
+    big_options.store_path = big_prefix + ".tower_store";
+    big = RunPhase(big_options, load);
+  }
 
   std::printf("\n%lld requests over %lld connections in %.3fs -> %.1f qps\n",
               static_cast<long long>(r.sent),
@@ -139,6 +213,18 @@ int main(int argc, char** argv) {
               stats.batcher.batch_latency_us.Summary().c_str());
   std::printf("  metrics off: %.1f qps -> metrics overhead %.2f%%\n",
               off.report.qps, overhead_pct);
+  std::printf("  store-backed: %.1f qps (%.2fx live), latency (us): %s\n",
+              store1.report.qps, store_speedup,
+              store1.report.latency_us.Summary().c_str());
+  if (store_mult > 0) {
+    std::printf(
+        "  store-backed %lldx catalog: %.1f qps, latency (us): %s\n"
+        "  %lldx store p99 %.1fus vs live 1x p99 %.1fus\n",
+        static_cast<long long>(store_mult), big.report.qps,
+        big.report.latency_us.Summary().c_str(),
+        static_cast<long long>(store_mult),
+        big.report.latency_us.Percentile(99.0), r.latency_us.Percentile(99.0));
+  }
 
   const std::string json = common::StrFormat(
       "{\n"
@@ -161,7 +247,12 @@ int main(int argc, char** argv) {
       "  \"batches\": %lld,\n"
       "  \"pairs_scored\": %lld,\n"
       "  \"qps_metrics_off\": %.1f,\n"
-      "  \"metrics_overhead_pct\": %.2f\n"
+      "  \"metrics_overhead_pct\": %.2f,\n"
+      "  \"store_qps\": %.1f,\n"
+      "  \"store_latency_us\": %s,\n"
+      "  \"store_batch_latency_us\": %s,\n"
+      "  \"store_speedup\": %.3f,\n"
+      "  \"store_100x\": %s\n"
       "}\n",
       flags.GetString("dataset").c_str(), opts.scale,
       static_cast<long long>(load.connections),
@@ -175,13 +266,31 @@ int main(int argc, char** argv) {
       JsonHistogram(stats.batcher.batch_latency_us).c_str(),
       static_cast<long long>(stats.batcher.batches),
       static_cast<long long>(stats.batcher.pairs_scored), off.report.qps,
-      overhead_pct);
+      overhead_pct, store1.report.qps,
+      JsonHistogram(store1.report.latency_us).c_str(),
+      JsonHistogram(store1.stats.batcher.batch_latency_us).c_str(),
+      store_speedup,
+      store_mult > 0
+          ? common::StrFormat(
+                "{\"catalog_mult\": %lld, \"num_users\": %lld, "
+                "\"num_items\": %lld, \"store_mib\": %.1f, "
+                "\"build_seconds\": %.3f, \"qps\": %.1f, "
+                "\"latency_us\": %s}",
+                static_cast<long long>(store_mult),
+                static_cast<long long>(big_users),
+                static_cast<long long>(big_items),
+                static_cast<double>(big_store_stats.bytes) / (1024.0 * 1024.0),
+                big_store_stats.seconds, big.report.qps,
+                JsonHistogram(big.report.latency_us).c_str())
+                .c_str()
+          : "null");
   RRRE_CHECK_OK(common::WriteFile(flags.GetString("out"), json));
   std::printf("\nresults written to %s\n", flags.GetString("out").c_str());
 
-  for (const char* suffix :
-       {".model", ".vocab", ".train.tsv", ".meta", ".optimizer"}) {
+  for (const char* suffix : {".model", ".vocab", ".train.tsv", ".meta",
+                             ".optimizer", ".tower_store"}) {
     std::remove((prefix + std::string(suffix)).c_str());
+    std::remove((big_prefix + std::string(suffix)).c_str());
   }
   return 0;
 }

@@ -1,6 +1,8 @@
 #include "common/io.h"
 
 #include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -169,6 +171,67 @@ Status AtomicFileWriter::Commit() {
         (point_prefix_ + ".dirsync").c_str(), "fsync dir of " + path_));
   }
   return FsyncParentDir(path_);
+}
+
+MappedFile::~MappedFile() {
+  if (data_ != nullptr) ::munmap(data_, size_);
+}
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : data_(other.data_),
+      size_(other.size_),
+      mapped_empty_(other.mapped_empty_) {
+  other.data_ = nullptr;
+  other.size_ = 0;
+  other.mapped_empty_ = false;
+}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    if (data_ != nullptr) ::munmap(data_, size_);
+    data_ = other.data_;
+    size_ = other.size_;
+    mapped_empty_ = other.mapped_empty_;
+    other.data_ = nullptr;
+    other.size_ = 0;
+    other.mapped_empty_ = false;
+  }
+  return *this;
+}
+
+Result<MappedFile> MappedFile::Open(const std::string& path,
+                                    const std::string& point_prefix) {
+  if (failpoint::Enabled()) {
+    RRRE_RETURN_IF_ERROR(failpoint::MaybeError(
+        (point_prefix + ".mmap").c_str(), "mmap " + path));
+  }
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::IoError("cannot open for mapping: " + path + " (" +
+                           ErrnoString() + ")");
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const std::string err = ErrnoString();
+    ::close(fd);
+    return Status::IoError("fstat failed: " + path + " (" + err + ")");
+  }
+  MappedFile out;
+  if (st.st_size == 0) {
+    ::close(fd);
+    out.mapped_empty_ = true;
+    return out;
+  }
+  void* mapped = ::mmap(nullptr, static_cast<size_t>(st.st_size), PROT_READ,
+                        MAP_PRIVATE, fd, 0);
+  const std::string err = ErrnoString();
+  ::close(fd);  // The mapping keeps its own reference to the file.
+  if (mapped == MAP_FAILED) {
+    return Status::IoError("mmap failed: " + path + " (" + err + ")");
+  }
+  out.data_ = mapped;
+  out.size_ = static_cast<size_t>(st.st_size);
+  return out;
 }
 
 Status FsyncParentDir(const std::string& path) {

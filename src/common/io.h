@@ -1,6 +1,8 @@
 #ifndef RRRE_COMMON_IO_H_
 #define RRRE_COMMON_IO_H_
 
+#include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -10,6 +12,37 @@ namespace rrre::common {
 
 /// Reads a whole file into a string.
 Result<std::string> ReadFile(const std::string& path);
+
+/// A file mapped read-only into the address space (MAP_PRIVATE): the page
+/// cache backs the bytes, so several processes mapping the same file share
+/// one physical copy — what makes a multi-gigabyte precomputed store cheap
+/// to hold open in every serving process. Move-only; the destructor unmaps.
+///
+/// Open evaluates the failpoint `<point_prefix>.mmap` before touching the
+/// filesystem so fault-injection tests can break the mapping seam.
+class MappedFile {
+ public:
+  MappedFile() = default;
+  ~MappedFile();
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  /// Maps `path` read-only. An empty file yields a valid MappedFile with
+  /// size() == 0 and data() == nullptr (mmap rejects zero-length mappings).
+  static Result<MappedFile> Open(const std::string& path,
+                                 const std::string& point_prefix = "io");
+
+  const uint8_t* data() const { return static_cast<const uint8_t*>(data_); }
+  size_t size() const { return size_; }
+  bool valid() const { return data_ != nullptr || mapped_empty_; }
+
+ private:
+  void* data_ = nullptr;
+  size_t size_ = 0;
+  bool mapped_empty_ = false;  ///< Open succeeded on a zero-length file.
+};
 
 /// Crash-safe file writer: streams into `path + ".tmp"`, and on Commit()
 /// fsyncs the tmp file, renames it over `path`, and fsyncs the parent

@@ -3,12 +3,14 @@
 
 #include <cstdint>
 #include <list>
+#include <memory>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "common/rng.h"
 #include "core/features.h"
+#include "core/tower_store.h"
 #include "core/trainer.h"
 
 namespace rrre::core {
@@ -64,7 +66,20 @@ class BatchScorer {
   /// a checkpoint Load) to keep using the same scorer.
   void Invalidate();
 
-  /// Precomputes profiles for the given ids (idempotent per id).
+  /// Switches Score to store-backed mode: profiles are read straight out of
+  /// the mapped TowerStore instead of being computed by the towers — the
+  /// FM-head-over-two-dot-products fast path, O(dim) per pair with zero
+  /// tower work. The store must have been built from the trainer's current
+  /// parameters (use MapTowerStoreForCheckpoint) and cover its corpus;
+  /// geometry is checked here, parameter identity is the caller's contract.
+  /// Because the store holds exactly the bytes the towers produce, store
+  /// -backed scores are bitwise identical to live-tower scores.
+  /// Invalidate() detaches the store along with the caches.
+  void AttachStore(std::shared_ptr<const TowerStore> store);
+  bool store_backed() const { return store_ != nullptr; }
+
+  /// Precomputes profiles for the given ids (idempotent per id). No-ops in
+  /// store-backed mode — every profile is already materialized.
   void PrimeUsers(const std::vector<int64_t>& users);
   void PrimeItems(const std::vector<int64_t>& items);
 
@@ -118,6 +133,9 @@ class BatchScorer {
 
   RrreTrainer* trainer_;
   Options options_;
+  /// Non-null in store-backed mode; shared so a hot reload can swap the
+  /// batcher's store while an old scorer still drains.
+  std::shared_ptr<const TowerStore> store_;
   FeatureBuilder features_;
   common::Rng rng_;
   int64_t profile_dim_;

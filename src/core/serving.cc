@@ -7,6 +7,7 @@
 #include "common/strings.h"
 #include "common/timer.h"
 #include "core/scorer.h"
+#include "core/tower_store.h"
 
 namespace rrre::core {
 
@@ -101,18 +102,26 @@ Result<ServeStats> ServeBatch(RrreTrainer& trainer,
 
   common::Timer timer;
   BatchScorer scorer(&trainer);
-  // Score() primes missing towers on demand; priming explicitly up front
-  // keeps the per-tower batches dense when requests repeat users/items.
-  std::vector<int64_t> users;
-  std::vector<int64_t> items;
-  users.reserve(pairs.value().size());
-  items.reserve(pairs.value().size());
-  for (const auto& [u, i] : pairs.value()) {
-    users.push_back(u);
-    items.push_back(i);
+  if (!options.store_path.empty()) {
+    auto store = MapTowerStoreForCheckpoint(options.store_path,
+                                            options.model_prefix, trainer);
+    if (!store.ok()) return store.status();
+    scorer.AttachStore(std::move(store).ValueOrDie());
+    stats.store_backed = true;
+  } else {
+    // Score() primes missing towers on demand; priming explicitly up front
+    // keeps the per-tower batches dense when requests repeat users/items.
+    std::vector<int64_t> users;
+    std::vector<int64_t> items;
+    users.reserve(pairs.value().size());
+    items.reserve(pairs.value().size());
+    for (const auto& [u, i] : pairs.value()) {
+      users.push_back(u);
+      items.push_back(i);
+    }
+    scorer.PrimeUsers(users);
+    scorer.PrimeItems(items);
   }
-  scorer.PrimeUsers(users);
-  scorer.PrimeItems(items);
   // Score in score_batch-sized chunks so per-batch latency is observable
   // (the online server lives and dies by this number). Chunking cannot
   // change the scores: profiles are cached per id and the prediction heads

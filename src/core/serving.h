@@ -34,6 +34,11 @@ struct ServeOptions {
   /// chunks the prediction-head sweep so ServeStats can report a per-batch
   /// latency distribution. 0 = one batch. Chunking never changes scores.
   int64_t score_batch = 1024;
+  /// When non-empty, score from this materialized tower store instead of
+  /// running the towers (see core/tower_store.h). The store must have been
+  /// built from the same checkpoint (params fingerprint is verified); the
+  /// output TSV is byte-identical to live-tower serving.
+  std::string store_path;
 };
 
 struct ServeStats {
@@ -41,6 +46,7 @@ struct ServeStats {
   int64_t num_scored = 0;     ///< (user, item) pairs scored.
   int64_t users_primed = 0;   ///< Distinct user tower profiles computed.
   int64_t items_primed = 0;   ///< Distinct item tower profiles computed.
+  bool store_backed = false;  ///< Profiles came from a mapped tower store.
   double seconds = 0.0;       ///< Wall-clock scoring time (excludes load).
   int64_t num_batches = 0;    ///< Scoring batches of <= score_batch pairs.
   /// Per-batch prediction-head latency (towers are primed up front, outside

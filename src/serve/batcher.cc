@@ -6,6 +6,7 @@
 #include "common/failpoint.h"
 #include "common/logging.h"
 #include "common/timer.h"
+#include "core/tower_store.h"
 
 namespace rrre::serve {
 
@@ -24,10 +25,15 @@ inline void GaugeAdd(obs::Gauge* gauge, int64_t delta) {
 }  // namespace
 
 MicroBatcher::MicroBatcher(std::unique_ptr<core::RrreTrainer> trainer,
-                           Options options)
-    : options_(options), trainer_(std::move(trainer)) {
+                           Options options,
+                           std::shared_ptr<const core::TowerStore> store)
+    : options_(std::move(options)),
+      trainer_(std::move(trainer)),
+      store_(std::move(store)) {
   RRRE_CHECK(trainer_ != nullptr);
   RRRE_CHECK(trainer_->fitted()) << "load or fit the trainer before serving";
+  RRRE_CHECK_EQ(store_ != nullptr, !options_.store_path.empty())
+      << "pass a pre-mapped TowerStore iff store_path is set";
   RRRE_CHECK_GE(options_.max_batch, 1);
   RRRE_CHECK_GE(options_.queue_capacity, 1);
   RRRE_CHECK_GE(options_.max_delay_us, 0);
@@ -287,9 +293,25 @@ void MicroBatcher::DoReload(ReloadRequest request) {
   Status status =
       common::failpoint::MaybeError("serve.reload", "reload " + request.prefix);
   if (status.ok()) status = fresh->Load(request.prefix);
+  // Store-backed serving swaps store and parameters together: re-map the
+  // store path (a republish renamed a new file into place; the old mapping
+  // still points at the old inode) and verify it against the *fresh*
+  // checkpoint. A torn, corrupt, or stale-fingerprint store fails the whole
+  // reload — the old snapshot and old store keep serving.
+  std::shared_ptr<const core::TowerStore> fresh_store;
+  if (status.ok() && store_ != nullptr) {
+    auto mapped = core::MapTowerStoreForCheckpoint(options_.store_path,
+                                                   request.prefix, *fresh);
+    if (mapped.ok()) {
+      fresh_store = std::move(mapped).ValueOrDie();
+    } else {
+      status = mapped.status();
+    }
+  }
   int64_t generation = -1;
   if (status.ok()) {
     trainer_ = std::move(fresh);
+    if (store_ != nullptr) store_ = std::move(fresh_store);
     scorer_ = MakeScorer();
     // The fresh scorer starts its counters at zero; re-base the mirror so
     // the registry keeps accumulating instead of double-counting or going
@@ -315,7 +337,10 @@ void MicroBatcher::DoReload(ReloadRequest request) {
 std::unique_ptr<core::BatchScorer> MicroBatcher::MakeScorer() {
   core::BatchScorer::Options scorer_options;
   scorer_options.tower_cache_cap = options_.tower_cache_cap;
-  return std::make_unique<core::BatchScorer>(trainer_.get(), scorer_options);
+  auto scorer =
+      std::make_unique<core::BatchScorer>(trainer_.get(), scorer_options);
+  if (store_ != nullptr) scorer->AttachStore(store_);
+  return scorer;
 }
 
 void MicroBatcher::MirrorCacheStats() {

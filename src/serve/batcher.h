@@ -56,6 +56,14 @@ class MicroBatcher {
     /// Start with the scorer gate closed (tests use this to fill the queue
     /// deterministically); call Resume() to open it.
     bool start_paused = false;
+    /// When non-empty, serve store-backed: the constructor takes a
+    /// pre-mapped TowerStore for the initial snapshot, and every reload
+    /// re-maps this path and verifies it against the *new* checkpoint's
+    /// params fingerprint (MapTowerStoreForCheckpoint) — store and
+    /// parameters swap together or not at all. A reload pointing at a
+    /// checkpoint whose store was not republished fails and keeps the old
+    /// snapshot *and* the old store serving.
+    std::string store_path;
     /// When set, the batcher mirrors its accounting into this registry
     /// (rrre_batcher_* counters, queue-depth gauge, batch histograms) for
     /// the METRICS exposition. Null disables the mirroring entirely — the
@@ -95,8 +103,12 @@ class MicroBatcher {
   static constexpr int64_t kCatalogItem = -1;
 
   /// `trainer` must be fitted (or loaded). The scorer thread starts
-  /// immediately unless options.start_paused.
-  MicroBatcher(std::unique_ptr<core::RrreTrainer> trainer, Options options);
+  /// immediately unless options.start_paused. `store` is the pre-mapped
+  /// tower store for the initial snapshot — required (and validated against
+  /// the trainer) iff options.store_path is non-empty; map it with
+  /// core::MapTowerStoreForCheckpoint so parameter identity is verified.
+  MicroBatcher(std::unique_ptr<core::RrreTrainer> trainer, Options options,
+               std::shared_ptr<const core::TowerStore> store = nullptr);
   ~MicroBatcher();
 
   MicroBatcher(const MicroBatcher&) = delete;
@@ -134,6 +146,8 @@ class MicroBatcher {
   int64_t generation() const { return generation_.load(); }
   /// params_version() of the current snapshot's trainer.
   int64_t params_version() const { return params_version_.load(); }
+  /// True when serving from a materialized tower store.
+  bool store_backed() const { return !options_.store_path.empty(); }
 
  private:
   struct WorkItem {
@@ -159,6 +173,10 @@ class MicroBatcher {
 
   const Options options_;
   std::unique_ptr<core::RrreTrainer> trainer_;
+  /// Current snapshot's mapped tower store (null when live-tower serving).
+  /// Swapped together with trainer_ by DoReload; shared so a draining scorer
+  /// can outlive a swap.
+  std::shared_ptr<const core::TowerStore> store_;
   std::unique_ptr<core::BatchScorer> scorer_;
 
   /// Registry handles, resolved once in the constructor; all null when

@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "common/strings.h"
+#include "core/tower_store.h"
 #include "serve/protocol.h"
 
 namespace rrre::serve {
@@ -253,18 +254,26 @@ class Server::Connection
 Result<std::unique_ptr<Server>> Server::Start(const ServerOptions& options) {
   auto trainer = std::make_unique<core::RrreTrainer>(options.config);
   RRRE_RETURN_IF_ERROR(trainer->Load(options.model_prefix));
+  std::shared_ptr<const core::TowerStore> store;
+  if (!options.store_path.empty()) {
+    auto mapped = core::MapTowerStoreForCheckpoint(
+        options.store_path, options.model_prefix, *trainer);
+    if (!mapped.ok()) return mapped.status();
+    store = std::move(mapped).ValueOrDie();
+  }
   auto listener = Socket::Listen(options.port);
   if (!listener.ok()) return listener.status();
   std::unique_ptr<obs::MetricsRegistry> metrics;
   MicroBatcher::Options batcher_options = options.batcher;
+  batcher_options.store_path = options.store_path;
   if (options.enable_metrics) {
     metrics = std::make_unique<obs::MetricsRegistry>();
     batcher_options.metrics = metrics.get();
   } else {
     batcher_options.metrics = nullptr;
   }
-  auto batcher =
-      std::make_unique<MicroBatcher>(std::move(trainer), batcher_options);
+  auto batcher = std::make_unique<MicroBatcher>(
+      std::move(trainer), batcher_options, std::move(store));
   std::unique_ptr<Server> server(
       new Server(options, std::move(metrics), std::move(batcher),
                  std::move(listener).ValueOrDie()));

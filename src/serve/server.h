@@ -22,6 +22,11 @@ struct ServerOptions {
   core::RrreConfig config;
   /// Checkpoint prefix loaded at startup and re-loaded on hot reload.
   std::string model_prefix;
+  /// When non-empty, serve store-backed from this materialized tower store
+  /// (mapped read-only at startup and re-mapped + fingerprint-verified on
+  /// every reload — see MicroBatcher::Options::store_path). Startup fails if
+  /// the store is missing, corrupt, or stale for the checkpoint.
+  std::string store_path;
   /// TCP port to listen on; 0 picks an ephemeral port (see Server::port()).
   uint16_t port = 0;
   MicroBatcher::Options batcher;

@@ -1,13 +1,14 @@
 #!/usr/bin/env bash
 # CI entry point: tier-1 verification (default build + full test suite),
 # then the full suite under ThreadSanitizer to vet the parallel layer and the
-# online-serving/metrics path, then the checkpoint/serve/resume tests under
-# AddressSanitizer — the corruption corpus feeds deliberately malformed bytes
-# to the loader, and ASan proves the rejection paths are free of
-# out-of-bounds reads and leaks — then the fault-injection suite (failpoint
-# schedules, torn-checkpoint crashes, socket faults, the seeded server soak)
-# under AddressSanitizer, and finally the observability + serving suites
-# under UndefinedBehaviorSanitizer.
+# online-serving/metrics path, then the checkpoint/serve/resume and
+# tower-store tests under AddressSanitizer — the corruption corpora feed
+# deliberately malformed bytes to the checkpoint loader and the store mapper,
+# and ASan proves the rejection paths are free of out-of-bounds reads and
+# leaks — then the fault-injection suites (failpoint schedules,
+# torn-checkpoint and torn-store crashes, socket faults, the seeded server
+# soak) under AddressSanitizer, and finally the observability + serving
+# suites under UndefinedBehaviorSanitizer.
 #
 # Every ctest invocation runs with --no-tests=error: a filter that matches
 # zero tests (e.g. after a suite rename) fails the leg instead of silently
@@ -73,13 +74,18 @@ if [[ "$SKIP_ASAN" == "1" ]]; then
   echo "== ASan pass skipped (--skip-asan) =="
   LEGS_SKIPPED+=(asan)
 else
-  echo "== ASan: checkpoint/serve/resume tests under AddressSanitizer =="
+  echo "== ASan: checkpoint/serve/resume + tower-store tests under AddressSanitizer =="
   cmake -B build-asan -S . -DRRRE_SANITIZE=address >/dev/null
   require_build_dir build-asan
   cmake --build build-asan -j \
-    --target test_tensor test_serving test_extensions >/dev/null
+    --target test_tensor test_serving test_extensions test_tower_store \
+    >/dev/null
   (cd build-asan && ctest --output-on-failure --no-tests=error \
     -R "Serialize|Serving|TrainerPersistence" )
+  # The store label is the tower-store corruption corpus: truncations,
+  # bit flips, forged headers, overflow-sized counts — ASan proves every
+  # rejection path reads no byte it shouldn't.
+  (cd build-asan && ctest --output-on-failure --no-tests=error -L store)
   LEGS_RUN+=(asan)
 fi
 
@@ -90,12 +96,17 @@ else
   echo "== failpoint: fault-injection suite + seeded soak under AddressSanitizer =="
   cmake -B build-asan -S . -DRRRE_SANITIZE=address >/dev/null
   require_build_dir build-asan
-  cmake --build build-asan -j --target test_failpoints >/dev/null
+  cmake --build build-asan -j --target test_failpoints test_tower_store \
+    >/dev/null
   # The failpoint label covers the whole fault-injection suite: framework
   # trigger schedules, AtomicFileWriter crash sequencing, torn-checkpoint
   # rejection, socket short-I/O/EINTR/reset faults, loadgen retry, and the
-  # randomized seeded server soak.
+  # randomized seeded server soak. The store label adds the tower-store
+  # fault tests: store.write/store.mmap/serve.reload injections, crash-mid
+  # -publish death tests, and the torn-store reload that must keep the old
+  # snapshot serving.
   (cd build-asan && ctest --output-on-failure --no-tests=error -L failpoint)
+  (cd build-asan && ctest --output-on-failure --no-tests=error -L store)
   LEGS_RUN+=(failpoint)
 fi
 

@@ -3,7 +3,7 @@
 //
 //   rrre_serve --model=/ckpt/m --input=requests.tsv --output=scores.tsv
 //              [--catalog] [--num_threads=8] [--su=5 --si=7 --seed=42]
-//              [--metrics_out=spans.txt]
+//              [--metrics_out=spans.txt] [--store=PATH] [--store_out=PATH]
 //
 // The input TSV holds one request per line: "user<TAB>item" pairs, or with
 // --catalog a bare "user" that is scored against every item in the training
@@ -17,6 +17,12 @@
 // cheap prediction heads run per pair — O(users + items) tower work instead
 // of O(pairs), which is what makes full-catalog sweeps tractable.
 //
+// --store=PATH serves from a materialized tower store (built by
+// rrre_store_build or --store_out): profiles come straight out of the mapped
+// file, zero tower work, byte-identical output. --store_out=PATH batch-runs
+// both towers over the whole corpus after loading and publishes the store
+// there (crash-atomically) before any scoring happens.
+//
 // The architecture flags (--su, --si, --seed) must match the training run:
 // the checkpoint stores parameters, not the RrreConfig.
 
@@ -25,8 +31,10 @@
 #include "common/flags.h"
 #include "common/io.h"
 #include "common/logging.h"
+#include "common/strings.h"
 #include "common/threadpool.h"
 #include "core/serving.h"
+#include "core/tower_store.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -39,6 +47,12 @@ int main(int argc, char** argv) {
   flags.AddString("output", "", "output TSV: user, item, rating, reliability");
   flags.AddBool("catalog", false, "score each requested user against every item");
   flags.AddInt("score_batch", 1024, "pairs per scoring batch (0 = one batch)");
+  flags.AddString("store", "",
+                  "serve from this materialized tower store (must match the "
+                  "checkpoint's parameters)");
+  flags.AddString("store_out", "",
+                  "precompute all tower profiles and publish a tower store "
+                  "here before scoring");
   flags.AddString("metrics_out", "",
                   "write the kernel span exposition here after the run "
                   "(implies profiling, as if RRRE_PROF=1)");
@@ -76,8 +90,34 @@ int main(int argc, char** argv) {
   options.output_path = flags.GetString("output");
   options.catalog = flags.GetBool("catalog");
   options.score_batch = flags.GetInt("score_batch");
+  options.store_path = flags.GetString("store");
 
-  auto stats = core::LoadAndServe(config, options);
+  core::RrreTrainer trainer(config);
+  const common::Status loaded = trainer.Load(options.model_prefix);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", loaded.ToString().c_str());
+    return 1;
+  }
+  if (!flags.GetString("store_out").empty()) {
+    auto built = core::BuildTowerStore(trainer, options.model_prefix,
+                                       flags.GetString("store_out"));
+    if (!built.ok()) {
+      std::fprintf(stderr, "store build failed: %s\n",
+                   built.status().ToString().c_str());
+      return 1;
+    }
+    std::printf(
+        "tower store published to %s: %lld users + %lld items x dim %lld "
+        "(%.1f MiB) in %.3fs\n",
+        flags.GetString("store_out").c_str(),
+        static_cast<long long>(built.value().num_users),
+        static_cast<long long>(built.value().num_items),
+        static_cast<long long>(built.value().dim),
+        static_cast<double>(built.value().bytes) / (1024.0 * 1024.0),
+        built.value().seconds);
+  }
+
+  auto stats = core::ServeBatch(trainer, options);
   if (!stats.ok()) {
     std::fprintf(stderr, "serve failed: %s\n",
                  stats.status().ToString().c_str());
@@ -85,11 +125,16 @@ int main(int argc, char** argv) {
   }
   std::printf(
       "%lld requests -> %lld pairs scored in %.3fs "
-      "(%lld user towers, %lld item towers, %d threads)\n",
+      "(%s, %d threads)\n",
       static_cast<long long>(stats.value().num_requests),
       static_cast<long long>(stats.value().num_scored), stats.value().seconds,
-      static_cast<long long>(stats.value().users_primed),
-      static_cast<long long>(stats.value().items_primed),
+      stats.value().store_backed
+          ? "store-backed, zero tower work"
+          : common::StrFormat(
+                "%lld user towers, %lld item towers",
+                static_cast<long long>(stats.value().users_primed),
+                static_cast<long long>(stats.value().items_primed))
+                .c_str(),
       common::ThreadPool::GlobalSize());
   const auto& latency = stats.value().batch_latency_us;
   std::printf(

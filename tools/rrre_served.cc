@@ -2,6 +2,7 @@
 // counterpart of the offline rrre_serve batch tool:
 //
 //   rrre_served --model=/ckpt/m --port=7475
+//               [--store=/ckpt/m.tower_store]
 //               [--max_batch=64 --max_delay_us=1000 --queue_cap=1024]
 //               [--tower_cache_cap=65536] [--read_timeout_ms=0]
 //               [--max_connections=256] [--num_threads=8]
@@ -17,10 +18,19 @@
 // (--queue_cap); an overloaded server answers "!ERR overload" immediately
 // instead of queueing unboundedly.
 //
+// --store=PATH serves from a materialized tower store (rrre_store_build):
+// profiles are read out of the mmap'd file — zero tower work per request,
+// one shared page-cache copy across serving processes, scores bitwise
+// identical to live towers. The store must match the checkpoint's parameter
+// fingerprint or startup fails.
+//
 // SIGHUP (or the RELOAD command) hot-reloads the checkpoint: the new
 // snapshot is loaded off to the side and swapped in between batches, so
 // in-flight batches finish on the old parameters and no batch ever mixes
-// versions. SIGINT/SIGTERM drain gracefully: admitted requests are answered,
+// versions. With --store the store is re-mapped and fingerprint-verified
+// against the new checkpoint in the same step — a stale or torn store fails
+// the reload and the old snapshot plus old store keep serving.
+// SIGINT/SIGTERM drain gracefully: admitted requests are answered,
 // then the process exits.
 //
 // The architecture flags (--su, --si, --seed) must match the training run.
@@ -40,6 +50,9 @@ int main(int argc, char** argv) {
 
   common::FlagParser flags;
   flags.AddString("model", "", "checkpoint prefix written by rrre_cli train");
+  flags.AddString("store", "",
+                  "serve from this materialized tower store (built by "
+                  "rrre_store_build; must match the checkpoint)");
   flags.AddInt("port", 7475, "TCP port to listen on (0 = ephemeral)");
   flags.AddInt("max_batch", 64, "max expanded pairs per scoring batch");
   flags.AddInt("max_delay_us", 1000,
@@ -76,6 +89,7 @@ int main(int argc, char** argv) {
   options.config.s_i = flags.GetInt("si");
   options.config.seed = static_cast<uint64_t>(flags.GetInt("seed"));
   options.model_prefix = flags.GetString("model");
+  options.store_path = flags.GetString("store");
   options.port = static_cast<uint16_t>(flags.GetInt("port"));
   options.batcher.max_batch = flags.GetInt("max_batch");
   options.batcher.max_delay_us = flags.GetInt("max_delay_us");
@@ -91,9 +105,10 @@ int main(int argc, char** argv) {
                  server.status().ToString().c_str());
     return 1;
   }
-  std::printf("rrre_served listening on port %u (model %s, %d threads)\n",
+  std::printf("rrre_served listening on port %u (model %s, %d threads%s)\n",
               server.value()->port(), options.model_prefix.c_str(),
-              common::ThreadPool::GlobalSize());
+              common::ThreadPool::GlobalSize(),
+              options.store_path.empty() ? "" : ", store-backed");
   std::fflush(stdout);
 
   uint64_t reloads_seen = common::ReloadRequestCount();
