@@ -19,13 +19,22 @@
 //    regardless of catalog size. Only the corpus grows; the prediction-head
 //    dimensions stay identical so latencies compare like for like.
 //
+// A final routed leg drives the identical load through the rrre_routed
+// sharding proxy in front of 1, 2 and 4 in-process shards: the 1-shard leg
+// measures the pure proxy overhead against direct serving (one extra hop,
+// byte-identical responses), the wider fleets how that overhead behaves as
+// the consistent-hash fan-out spreads users.
+//
 //   bench_serving [--scale=0.15] [--connections=8] [--requests=5000]
 //                 [--qps=0] [--max_batch=64] [--max_delay_us=1000]
-//                 [--store_mult=100] [--out=BENCH_serving.json]
+//                 [--store_mult=100] [--routed_shards=4]
+//                 [--out=BENCH_serving.json]
 
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "bench/harness.h"
 #include "common/flags.h"
@@ -36,6 +45,7 @@
 #include "core/tower_store.h"
 #include "core/trainer.h"
 #include "serve/loadgen.h"
+#include "serve/router.h"
 #include "serve/server.h"
 
 namespace {
@@ -72,6 +82,42 @@ PhaseResult RunPhase(const rrre::serve::ServerOptions& server_options,
   return out;
 }
 
+struct RoutedResult {
+  int shards = 0;
+  rrre::serve::LoadGenReport report;
+  rrre::serve::RouterStats router_stats;
+};
+
+/// One routed lifecycle: N in-process shards behind a Router, the loadgen
+/// pointed at the router, everything drained before the next leg.
+RoutedResult RunRoutedPhase(const rrre::serve::ServerOptions& server_options,
+                            rrre::serve::LoadGenOptions load, int shards) {
+  using namespace rrre;  // NOLINT(build/namespaces)
+  std::vector<std::unique_ptr<serve::Server>> fleet;
+  for (int i = 0; i < shards; ++i) {
+    auto server = serve::Server::Start(server_options);
+    RRRE_CHECK_OK(server.status());
+    fleet.push_back(std::move(server).ValueOrDie());
+  }
+  serve::RouterOptions router_options;
+  for (const auto& server : fleet) {
+    router_options.backends.push_back({"127.0.0.1", server->port()});
+  }
+  router_options.port = 0;
+  auto router = serve::Router::Start(router_options);
+  RRRE_CHECK_OK(router.status());
+  load.port = router.value()->port();
+  auto report = serve::RunLoadGen(load);
+  RRRE_CHECK_OK(report.status());
+  RoutedResult out;
+  out.shards = shards;
+  out.report = report.value();
+  router.value()->Shutdown();
+  out.router_stats = router.value()->stats();
+  for (auto& server : fleet) server->Shutdown();
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -87,6 +133,9 @@ int main(int argc, char** argv) {
   flags.AddInt("queue_cap", 1024, "server: admission queue bound");
   flags.AddInt("store_mult", 100,
                "catalog multiplier for the big store-backed leg (0 = skip)");
+  flags.AddInt("routed_shards", 4,
+               "largest rrre_routed fleet; routed legs run at 1/2/4 shards "
+               "capped here (0 = skip)");
   flags.AddString("out", "BENCH_serving.json", "JSON results path");
   RRRE_CHECK_OK(flags.Parse(argc, argv));
   if (flags.help_requested()) {
@@ -126,10 +175,10 @@ int main(int argc, char** argv) {
   // Metrics-off first (the baseline), then the instrumented run the rest of
   // the report describes.
   server_options.enable_metrics = false;
-  std::printf("phase 1/4: metrics off...\n");
+  std::printf("phase 1/5: metrics off...\n");
   const PhaseResult off = RunPhase(server_options, load);
   server_options.enable_metrics = true;
-  std::printf("phase 2/4: metrics on...\n");
+  std::printf("phase 2/5: metrics on...\n");
   const PhaseResult on = RunPhase(server_options, load);
 
   // Store-backed leg: identical checkpoint and load, profiles served out of
@@ -137,7 +186,7 @@ int main(int argc, char** argv) {
   const std::string store_path = prefix + ".tower_store";
   auto built = core::BuildTowerStore(trainer, prefix, store_path);
   RRRE_CHECK_OK(built.status());
-  std::printf("phase 3/4: store-backed (%.1f MiB store, built in %.3fs)...\n",
+  std::printf("phase 3/5: store-backed (%.1f MiB store, built in %.3fs)...\n",
               static_cast<double>(built.value().bytes) / (1024.0 * 1024.0),
               built.value().seconds);
   server_options.store_path = store_path;
@@ -177,7 +226,7 @@ int main(int argc, char** argv) {
     big_users = big_bundle.train.num_users();
     big_items = big_bundle.train.num_items();
     std::printf(
-        "phase 4/4: store-backed at %lldx catalog "
+        "phase 4/5: store-backed at %lldx catalog "
         "(%lld users x %lld items)...\n",
         static_cast<long long>(store_mult), static_cast<long long>(big_users),
         static_cast<long long>(big_items));
@@ -197,6 +246,18 @@ int main(int argc, char** argv) {
     big_options.model_prefix = big_prefix;
     big_options.store_path = big_prefix + ".tower_store";
     big = RunPhase(big_options, load);
+  }
+
+  // Routed legs: the same live-tower checkpoint and load, behind the
+  // rrre_routed sharding proxy at growing fleet widths. The 1-shard leg
+  // against `on` is the pure per-hop cost of the proxy.
+  std::vector<RoutedResult> routed;
+  const int routed_shards = static_cast<int>(flags.GetInt("routed_shards"));
+  for (const int shards : {1, 2, 4}) {
+    if (shards > routed_shards) continue;
+    std::printf("phase 5/5: routed, %d shard%s...\n", shards,
+                shards == 1 ? "" : "s");
+    routed.push_back(RunRoutedPhase(server_options, load, shards));
   }
 
   std::printf("\n%lld requests over %lld connections in %.3fs -> %.1f qps\n",
@@ -225,6 +286,15 @@ int main(int argc, char** argv) {
         static_cast<long long>(store_mult),
         big.report.latency_us.Percentile(99.0), r.latency_us.Percentile(99.0));
   }
+  for (const RoutedResult& leg : routed) {
+    const double routed_overhead_pct =
+        r.qps > 0.0 ? (r.qps - leg.report.qps) / r.qps * 100.0 : 0.0;
+    std::printf(
+        "  routed %d shard%s: %.1f qps (%.2f%% vs direct), "
+        "latency (us): %s\n",
+        leg.shards, leg.shards == 1 ? "" : "s", leg.report.qps,
+        routed_overhead_pct, leg.report.latency_us.Summary().c_str());
+  }
 
   const std::string json = common::StrFormat(
       "{\n"
@@ -252,7 +322,8 @@ int main(int argc, char** argv) {
       "  \"store_latency_us\": %s,\n"
       "  \"store_batch_latency_us\": %s,\n"
       "  \"store_speedup\": %.3f,\n"
-      "  \"store_100x\": %s\n"
+      "  \"store_100x\": %s,\n"
+      "  \"routed\": [%s]\n"
       "}\n",
       flags.GetString("dataset").c_str(), opts.scale,
       static_cast<long long>(load.connections),
@@ -283,7 +354,26 @@ int main(int argc, char** argv) {
                 big_store_stats.seconds, big.report.qps,
                 JsonHistogram(big.report.latency_us).c_str())
                 .c_str()
-          : "null");
+          : "null",
+      [&] {
+        std::string legs;
+        for (const RoutedResult& leg : routed) {
+          if (!legs.empty()) legs += ", ";
+          legs += common::StrFormat(
+              "{\"shards\": %d, \"qps\": %.1f, "
+              "\"overhead_pct_vs_direct\": %.2f, \"latency_us\": %s, "
+              "\"retries\": %lld, \"failovers\": %lld, "
+              "\"upstream_errors\": %lld}",
+              leg.shards, leg.report.qps,
+              r.qps > 0.0 ? (r.qps - leg.report.qps) / r.qps * 100.0 : 0.0,
+              JsonHistogram(leg.report.latency_us).c_str(),
+              static_cast<long long>(leg.router_stats.retries),
+              static_cast<long long>(leg.router_stats.failovers),
+              static_cast<long long>(leg.router_stats.upstream_errors));
+        }
+        return legs;
+      }()
+          .c_str());
   RRRE_CHECK_OK(common::WriteFile(flags.GetString("out"), json));
   std::printf("\nresults written to %s\n", flags.GetString("out").c_str());
 

@@ -96,9 +96,13 @@ Result<std::optional<Socket>> Socket::AcceptWithTimeout(int timeout_ms) {
   return std::optional<Socket>(Socket(client));
 }
 
-Status Socket::SendAll(std::string_view data) {
+Status Socket::SendAll(std::string_view data, size_t* bytes_sent) {
   const bool inject = failpoint::Enabled();
   size_t sent = 0;
+  // Report progress on every exit path — callers distinguish "never sent"
+  // (sent == 0, safe to retry anywhere) from "maybe delivered" (partial
+  // progress; only idempotent requests may be blindly resent).
+  if (bytes_sent != nullptr) *bytes_sent = 0;
   while (sent < data.size()) {
     size_t want = data.size() - sent;
     if (inject) {
@@ -120,6 +124,7 @@ Status Socket::SendAll(std::string_view data) {
       return ErrnoStatus("send");
     }
     sent += static_cast<size_t>(n);
+    if (bytes_sent != nullptr) *bytes_sent = sent;
   }
   return Status::Ok();
 }

@@ -45,11 +45,19 @@ class Socket {
   /// SIGPIPE). Fails when the peer has closed; DeadlineExceeded when a send
   /// timeout set via SetSendTimeout expires.
   ///
+  /// When `bytes_sent` is non-null it receives the number of bytes handed to
+  /// the kernel before the call returned — on every path, including errors.
+  /// A failure with *bytes_sent == 0 means the request never left this host
+  /// (safe to retry on another peer, whatever the verb); a failure with
+  /// partial progress means the peer may have received and acted on it, so
+  /// only idempotent requests may be blindly resent. The router's failover
+  /// policy is built on exactly this distinction.
+  ///
   /// Failpoints: `sock.send.reset` (IoError as if the peer reset),
   /// `sock.send.eintr` (extra retry loop iterations), `sock.send.short`
   /// (clamps each kernel send to the configured byte budget — exercises the
   /// partial-send resume path).
-  Status SendAll(std::string_view data);
+  Status SendAll(std::string_view data, size_t* bytes_sent = nullptr);
 
   /// Receives up to `len` bytes. 0 means clean EOF (a peer reset also reads
   /// as EOF, matching the drain path). DeadlineExceeded when a receive
@@ -97,6 +105,13 @@ class LineReader {
   explicit LineReader(Socket* socket) : socket_(socket) {}
 
   Result<std::optional<std::string>> ReadLine();
+
+  /// Bytes buffered past the last completed line. After a *failed* ReadLine
+  /// with no other response outstanding, non-zero means the peer started a
+  /// response that was cut off mid-line — a torn response, distinct from
+  /// "never answered". The router uses this to decide whether a failed
+  /// request may have been acted on by a backend.
+  size_t partial_bytes() const { return buffer_.size() - pos_; }
 
  private:
   Socket* socket_;

@@ -22,6 +22,20 @@ inline void GaugeAdd(obs::Gauge* gauge, int64_t delta) {
   if (gauge != nullptr) gauge->Add(delta);
 }
 
+/// Fingerprint of the checkpoint at `prefix`; 0 (unknown) on failure — a
+/// fingerprinting error must never take down serving, it only degrades the
+/// STATS field the router's reload barrier reads.
+uint64_t FingerprintOrZero(const std::string& prefix) {
+  if (prefix.empty()) return 0;
+  auto fp = core::CheckpointParamsFingerprint(prefix);
+  if (!fp.ok()) {
+    RRRE_LOG_WARNING << "cannot fingerprint checkpoint " << prefix << ": "
+                     << fp.status().ToString();
+    return 0;
+  }
+  return fp.value();
+}
+
 }  // namespace
 
 MicroBatcher::MicroBatcher(std::unique_ptr<core::RrreTrainer> trainer,
@@ -77,6 +91,7 @@ MicroBatcher::MicroBatcher(std::unique_ptr<core::RrreTrainer> trainer,
   num_users_.store(trainer_->train_data().num_users());
   num_items_.store(trainer_->train_data().num_items());
   params_version_.store(trainer_->params_version());
+  params_fingerprint_.store(FingerprintOrZero(options_.model_prefix));
   paused_ = options_.start_paused;
   scorer_thread_ = std::thread(&MicroBatcher::ScorerLoop, this);
 }
@@ -321,6 +336,7 @@ void MicroBatcher::DoReload(ReloadRequest request) {
     num_users_.store(trainer_->train_data().num_users());
     num_items_.store(trainer_->train_data().num_items());
     params_version_.store(trainer_->params_version());
+    params_fingerprint_.store(FingerprintOrZero(request.prefix));
     generation = generation_.fetch_add(1) + 1;
     Inc(m_reloads_);
     if (m_generation_ != nullptr) m_generation_->Set(generation);

@@ -64,6 +64,14 @@ class MicroBatcher {
     /// checkpoint whose store was not republished fails and keeps the old
     /// snapshot *and* the old store serving.
     std::string store_path;
+    /// When non-empty, the checkpoint prefix backing the initial snapshot.
+    /// Used to compute the params *fingerprint* surfaced in STATS — the
+    /// durable, cross-process analogue of params_version() (which counts
+    /// per-process mutations and is meaningless across a fleet). The
+    /// router's rolling-reload barrier compares fingerprints across shards
+    /// to prove they serve one parameter version; reloads recompute it from
+    /// the reloaded prefix.
+    std::string model_prefix;
     /// When set, the batcher mirrors its accounting into this registry
     /// (rrre_batcher_* counters, queue-depth gauge, batch histograms) for
     /// the METRICS exposition. Null disables the mirroring entirely — the
@@ -146,6 +154,10 @@ class MicroBatcher {
   int64_t generation() const { return generation_.load(); }
   /// params_version() of the current snapshot's trainer.
   int64_t params_version() const { return params_version_.load(); }
+  /// CheckpointParamsFingerprint of the serving snapshot's checkpoint — a
+  /// cross-process parameter identity. 0 when unknown (no
+  /// Options::model_prefix configured, or fingerprinting failed).
+  uint64_t params_fingerprint() const { return params_fingerprint_.load(); }
   /// True when serving from a materialized tower store.
   bool store_backed() const { return !options_.store_path.empty(); }
 
@@ -205,6 +217,7 @@ class MicroBatcher {
   std::atomic<int64_t> num_items_{0};
   std::atomic<int64_t> generation_{0};
   std::atomic<int64_t> params_version_{0};
+  std::atomic<uint64_t> params_fingerprint_{0};
 
   mutable std::mutex mu_;
   std::condition_variable work_cv_;  ///< Wakes the scorer thread.

@@ -36,8 +36,14 @@ struct LoadGenOptions {
   int64_t backoff_cap_us = 100000;
 };
 
+/// Counter contract: every request settles exactly once — as `scored`,
+/// `overloaded` (an "!ERR overload" answer *after* the retry budget is
+/// spent; never folded into `errors`), or `errors` (any other error
+/// response). `sent` counts wire attempts, so the books always balance:
+///   sent == scored + overloaded + errors + retried.
+/// test_failpoints asserts this accounting under deterministic overload.
 struct LoadGenReport {
-  int64_t sent = 0;
+  int64_t sent = 0;        ///< Wire attempts (first tries + retries).
   int64_t scored = 0;      ///< Score-line responses.
   int64_t overloaded = 0;  ///< "!ERR overload" responses (post-retry).
   int64_t errors = 0;      ///< Other error responses.

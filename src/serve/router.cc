@@ -1,0 +1,1025 @@
+#include "serve/router.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+
+#include "common/failpoint.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "serve/loadgen.h"
+#include "serve/protocol.h"
+
+namespace rrre::serve {
+
+using common::Result;
+using common::Socket;
+using common::Status;
+
+namespace {
+
+inline void Inc(obs::Counter* counter) {
+  if (counter != nullptr) counter->Increment();
+}
+
+/// splitmix64: cheap, well-mixed 64-bit hash for ring points and user keys.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// The STATS fields the router consumes; everything else is ignored.
+struct BackendStatsFields {
+  int64_t users = 0;
+  int64_t items = 0;
+  int64_t generation = 0;
+  uint64_t fingerprint = 0;
+};
+
+Result<BackendStatsFields> ParseBackendStats(const std::string& line) {
+  if (!common::StartsWith(line, "#stats\t")) {
+    return Status::Internal("unexpected STATS response: " + line);
+  }
+  BackendStatsFields out;
+  for (const auto& field : common::Split(line, '\t')) {
+    if (common::StartsWith(field, "users=")) {
+      out.users = std::atoll(field.c_str() + 6);
+    } else if (common::StartsWith(field, "items=")) {
+      out.items = std::atoll(field.c_str() + 6);
+    } else if (common::StartsWith(field, "generation=")) {
+      out.generation = std::atoll(field.c_str() + 11);
+    } else if (common::StartsWith(field, "fingerprint=")) {
+      out.fingerprint = std::strtoull(field.c_str() + 12, nullptr, 10);
+    }
+  }
+  if (out.users <= 0 || out.items <= 0) {
+    return Status::Internal("STATS did not report corpus bounds: " + line);
+  }
+  return out;
+}
+
+/// Rewrites one backend exposition line with a `shard` label so per-shard
+/// series stay distinguishable after aggregation. Comment lines (`# TYPE`)
+/// are dropped — the merged exposition would otherwise repeat them per
+/// shard. Returns "" for lines to drop.
+std::string RelabelShardLine(const std::string& line, int shard) {
+  if (line.empty() || line[0] == '#') return "";
+  const size_t space = line.find(' ');
+  if (space == std::string::npos) return "";
+  const std::string label = "shard=\"" + std::to_string(shard) + "\"";
+  std::string name = line.substr(0, space);
+  const size_t brace = name.find('{');
+  if (brace == std::string::npos) {
+    name += "{" + label + "}";
+  } else {
+    name.insert(brace + 1, label + ",");
+  }
+  return name + line.substr(space) + "\n";
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ConsistentRing
+// ---------------------------------------------------------------------------
+
+ConsistentRing::ConsistentRing(int num_backends, int virtual_nodes)
+    : num_backends_(num_backends) {
+  RRRE_CHECK_GE(num_backends, 1);
+  RRRE_CHECK_GE(virtual_nodes, 1);
+  points_.reserve(static_cast<size_t>(num_backends) *
+                  static_cast<size_t>(virtual_nodes));
+  for (int b = 0; b < num_backends; ++b) {
+    for (int v = 0; v < virtual_nodes; ++v) {
+      // Point = hash(backend, vnode): independent of fleet size, so adding a
+      // backend only inserts its own points and steals only their arcs.
+      points_.emplace_back(
+          Mix64((static_cast<uint64_t>(b) << 32) | static_cast<uint64_t>(v)),
+          b);
+    }
+  }
+  std::sort(points_.begin(), points_.end());
+}
+
+std::vector<int> ConsistentRing::PreferenceOrder(int64_t user) const {
+  const uint64_t h = Mix64(static_cast<uint64_t>(user));
+  auto it = std::lower_bound(points_.begin(), points_.end(),
+                             std::make_pair(h, 0));
+  std::vector<int> order;
+  order.reserve(static_cast<size_t>(num_backends_));
+  std::vector<bool> seen(static_cast<size_t>(num_backends_), false);
+  for (size_t walked = 0;
+       walked < points_.size() &&
+       order.size() < static_cast<size_t>(num_backends_);
+       ++walked, ++it) {
+    if (it == points_.end()) it = points_.begin();
+    const int b = it->second;
+    if (!seen[static_cast<size_t>(b)]) {
+      seen[static_cast<size_t>(b)] = true;
+      order.push_back(b);
+    }
+  }
+  return order;
+}
+
+// ---------------------------------------------------------------------------
+// Backend state (health-thread-owned connection + shared flags)
+// ---------------------------------------------------------------------------
+
+struct Router::BackendState {
+  RouterOptions::Backend addr;
+  std::atomic<bool> alive{true};
+  std::atomic<bool> quarantined{false};
+  std::atomic<uint64_t> fingerprint{0};
+  std::atomic<int64_t> generation{0};
+  /// Health connection — touched only by the health thread.
+  Socket health_socket;
+  std::unique_ptr<common::LineReader> health_reader;
+};
+
+// ---------------------------------------------------------------------------
+// ClientConn: one synchronous handler thread per client connection
+// ---------------------------------------------------------------------------
+
+/// Requests on a connection are handled strictly in arrival order by one
+/// thread, so pipelined clients get ordered responses for free and a
+/// connection can never interleave two parameter versions within a single
+/// routed response. Each connection owns its own lazy backend links — no
+/// cross-connection multiplexing, so a condemned link can only ever
+/// misalign the connection that broke it (and it is closed before that).
+class Router::ClientConn
+    : public std::enable_shared_from_this<Router::ClientConn> {
+ public:
+  ClientConn(Router* router, Socket socket, uint64_t conn_seed)
+      : router_(router),
+        socket_(std::move(socket)),
+        links_(router->backends_.size()),
+        rng_(0x9e3779b97f4a7c15ULL * (conn_seed + 1)) {}
+
+  void Start() {
+    auto self = shared_from_this();
+    thread_ = std::thread([self] { self->HandlerLoop(); });
+  }
+
+  void AbortRead() { socket_.ShutdownRead(); }
+  bool Finished() const { return finished_.load(); }
+  void Join() {
+    if (thread_.joinable()) thread_.join();
+  }
+
+  ~ClientConn() {
+    if (thread_.joinable()) thread_.join();
+  }
+
+ private:
+  /// Lazy connection to one backend. The LineReader points at `socket`,
+  /// which lives at a stable address because links_ is sized once.
+  struct Link {
+    Socket socket;
+    std::unique_ptr<common::LineReader> reader;
+    bool connected = false;
+  };
+
+  void HandlerLoop() {
+    common::LineReader reader(&socket_);
+    for (;;) {
+      auto line = reader.ReadLine();
+      if (!line.ok() || !line.value().has_value()) break;
+      bool close = false;
+      const std::string reply = HandleLine(*line.value(), &close);
+      if (!reply.empty() && !socket_.SendAll(reply).ok()) break;
+      if (close) break;
+    }
+    socket_.ShutdownBoth();
+    finished_.store(true);
+  }
+
+  std::string HandleLine(const std::string& line, bool* close) {
+    const Request req = ParseRequest(line);
+    if (req.type == Request::Type::kBlank) return "";
+    router_->requests_.fetch_add(1);
+    Inc(router_->m_requests_);
+    switch (req.type) {
+      case Request::Type::kPing:
+        return FormatPong();
+      case Request::Type::kStats:
+        return router_->FormatStatsLine();
+      case Request::Type::kMetrics:
+        return HandleMetrics();
+      case Request::Type::kQuit:
+        *close = true;
+        return FormatBye();
+      case Request::Type::kReload:
+        return HandleReload();
+      case Request::Type::kInvalid:
+        router_->parse_errors_.fetch_add(1);
+        Inc(router_->m_parse_errors_);
+        return FormatError("parse", req.error);
+      case Request::Type::kPair: {
+        // Scoring holds the reload barrier shared: a rolling reload cannot
+        // start mid-request, and no request dispatches mid-roll.
+        std::shared_lock<std::shared_mutex> barrier(router_->reload_mu_);
+        auto resp = RouteLine(line, req.user, /*retry_overload=*/false);
+        if (!resp.ok()) {
+          return FormatError("upstream", resp.status().message());
+        }
+        return resp.value() + "\n";
+      }
+      case Request::Type::kCatalog: {
+        std::shared_lock<std::shared_mutex> barrier(router_->reload_mu_);
+        return HandleCatalog(line, req.user);
+      }
+      case Request::Type::kBlank:
+        return "";
+    }
+    return "";
+  }
+
+  // -- backend link primitives ----------------------------------------------
+
+  Status EnsureLink(int k) {
+    Link& link = links_[static_cast<size_t>(k)];
+    if (link.connected) return Status::Ok();
+    const auto& addr = router_->backends_[static_cast<size_t>(k)]->addr;
+    auto sock = Socket::Connect(addr.host, addr.port);
+    if (!sock.ok()) return sock.status();
+    // Per-op deadlines are the stall detector: a backend that stops
+    // answering turns into DeadlineExceeded here and the request fails over.
+    RRRE_RETURN_IF_ERROR(
+        sock.value().SetRecvTimeout(router_->options_.backend_timeout_ms));
+    RRRE_RETURN_IF_ERROR(
+        sock.value().SetSendTimeout(router_->options_.backend_timeout_ms));
+    link.socket = std::move(sock).ValueOrDie();
+    link.reader = std::make_unique<common::LineReader>(&link.socket);
+    link.connected = true;
+    return Status::Ok();
+  }
+
+  /// Closes a link after any failed operation. A failed link is never
+  /// reused: leftover response bytes would misalign every later
+  /// request/response pairing on it.
+  void CondemnLink(int k) {
+    Link& link = links_[static_cast<size_t>(k)];
+    link.reader.reset();
+    link.socket = Socket();
+    link.connected = false;
+  }
+
+  /// Sends one request wire to backend `k`. On failure `*maybe_delivered`
+  /// says whether any byte left this host — the never-sent / maybe-delivered
+  /// distinction (Socket::SendAll's partial-progress count) that gates
+  /// whether non-idempotent verbs may be resent.
+  Status SendToBackend(int k, const std::string& wire, bool* maybe_delivered) {
+    *maybe_delivered = false;
+    RRRE_RETURN_IF_ERROR(EnsureLink(k));
+    Link& link = links_[static_cast<size_t>(k)];
+    if (common::failpoint::Enabled() &&
+        common::failpoint::Check("router.backend.send").has_value()) {
+      // Injected failure before any byte leaves: the never-sent path.
+      CondemnLink(k);
+      return Status::IoError("backend send failed before any byte"
+                             " [failpoint router.backend.send]");
+    }
+    size_t sent = 0;
+    const Status status = link.socket.SendAll(wire, &sent);
+    if (!status.ok()) {
+      *maybe_delivered = sent > 0;
+      CondemnLink(k);
+      return status;
+    }
+    *maybe_delivered = true;
+    if (common::failpoint::Enabled() &&
+        common::failpoint::Check("router.backend.reset").has_value()) {
+      // Reset after the request went out: delivery is uncertain.
+      CondemnLink(k);
+      return Status::IoError("backend connection reset after send"
+                             " [failpoint router.backend.reset]");
+    }
+    return Status::Ok();
+  }
+
+  /// Reads one response line from backend `k`; condemns the link on any
+  /// failure (EOF, reset-as-EOF, deadline, torn line).
+  Result<std::string> ReadResponseLine(int k) {
+    Link& link = links_[static_cast<size_t>(k)];
+    if (common::failpoint::Enabled() &&
+        common::failpoint::Check("router.backend.stall").has_value()) {
+      CondemnLink(k);
+      return Status::DeadlineExceeded(
+          "backend stalled [failpoint router.backend.stall]");
+    }
+    auto line = link.reader->ReadLine();
+    if (!line.ok()) {
+      CondemnLink(k);
+      return line.status();
+    }
+    if (!line.value().has_value()) {
+      const size_t torn = link.reader->partial_bytes();
+      CondemnLink(k);
+      return Status::IoError(
+          torn > 0 ? "backend closed mid-response (" + std::to_string(torn) +
+                         " bytes of a torn line)"
+                   : "backend closed the connection");
+    }
+    if (common::failpoint::Enabled() &&
+        common::failpoint::Check("router.backend.torn").has_value()) {
+      // The response was cut off mid-line: discard what arrived and condemn
+      // the link, exactly as a real torn read would.
+      CondemnLink(k);
+      return Status::IoError(
+          "backend response torn [failpoint router.backend.torn]");
+    }
+    return *line.value();
+  }
+
+  void Backoff(int64_t attempt) {
+    std::this_thread::sleep_for(std::chrono::microseconds(
+        BackoffUs(attempt, router_->options_.backoff_base_us,
+                  router_->options_.backoff_cap_us, rng_)));
+  }
+
+  /// The serving backend for `user` at retry `attempt`: walk the ring
+  /// preference order restricted to serving backends, cycling if the retry
+  /// budget exceeds the fleet. -1 when nothing serves.
+  int PickBackend(const std::vector<int>& preference, int64_t attempt) const {
+    std::vector<int> serving;
+    for (int k : preference) {
+      if (router_->BackendServing(k)) serving.push_back(k);
+    }
+    if (serving.empty()) return -1;
+    return serving[static_cast<size_t>(attempt) % serving.size()];
+  }
+
+  /// Routes a single-line request (pair score, or a bare user relayed for
+  /// its authoritative range error) and returns the single response line.
+  /// Transport faults fail over along the ring with jittered backoff;
+  /// scoring is idempotent, so maybe-delivered requests are still resent.
+  /// With `retry_overload`, "!ERR overload" answers are also retried (used
+  /// inside catalog fan-out, where a torn catalog is unacceptable);
+  /// otherwise they relay to the client, matching a direct backend.
+  Result<std::string> RouteLine(const std::string& line, int64_t user,
+                                bool retry_overload) {
+    const std::string wire = line + "\n";
+    const std::vector<int> preference = router_->ring_.PreferenceOrder(user);
+    Status last = Status::FailedPrecondition("no serving backends");
+    for (int64_t attempt = 0; attempt <= router_->options_.max_retries;
+         ++attempt) {
+      if (attempt > 0) {
+        router_->retries_.fetch_add(1);
+        Inc(router_->m_retries_);
+        Backoff(attempt - 1);
+      }
+      const int k = PickBackend(preference, attempt);
+      if (k < 0) continue;
+      bool maybe_delivered = false;
+      const Status sent = SendToBackend(k, wire, &maybe_delivered);
+      if (!sent.ok()) {
+        last = sent;
+        continue;
+      }
+      auto resp = ReadResponseLine(k);
+      if (!resp.ok()) {
+        last = resp.status();
+        continue;
+      }
+      if (retry_overload && IsOverloadLine(resp.value()) &&
+          attempt < router_->options_.max_retries) {
+        last = Status::FailedPrecondition("backend overloaded");
+        continue;
+      }
+      if (k != preference[0]) {
+        router_->failovers_.fetch_add(1);
+        Inc(router_->m_failovers_);
+      }
+      return resp.value();
+    }
+    router_->upstream_errors_.fetch_add(1);
+    Inc(router_->m_upstream_errors_);
+    return last;
+  }
+
+  // -- catalog fan-out ------------------------------------------------------
+
+  /// Fans a bare-user catalog request out across every serving shard as
+  /// contiguous item slices of pipelined pair requests, then merges the
+  /// responses back in item order. Scoring is batch-composition invariant,
+  /// so the reassembled response is byte-identical to one direct backend
+  /// answering the whole catalog. Items lost to a mid-stream backend fault
+  /// are re-scored individually through the failover path, so a killed
+  /// shard degrades throughput, never correctness.
+  std::string HandleCatalog(const std::string& line, int64_t user) {
+    const int64_t num_users = router_->fleet_users_.load();
+    const int64_t num_items = router_->fleet_items_.load();
+    if (user < 0 || user >= num_users) {
+      // Relay to the home shard so the range error is byte-identical to
+      // direct serving.
+      auto resp = RouteLine(line, user, /*retry_overload=*/false);
+      return resp.ok() ? resp.value() + "\n"
+                       : FormatError("upstream", resp.status().message());
+    }
+    const std::vector<int> serving = router_->ServingBackends();
+    if (serving.empty()) {
+      router_->upstream_errors_.fetch_add(1);
+      Inc(router_->m_upstream_errors_);
+      return FormatError("upstream", "no serving backends");
+    }
+    router_->fanouts_.fetch_add(1);
+    Inc(router_->m_fanouts_);
+
+    const int64_t shards = static_cast<int64_t>(serving.size());
+    auto slice_lo = [&](int64_t s) { return s * num_items / shards; };
+
+    // Phase 1: pipeline each shard its slice. All slices are in flight
+    // before any response is read, so the fan-out overlaps across shards
+    // without the router needing threads of its own.
+    std::vector<bool> broken(serving.size(), false);
+    for (int64_t s = 0; s < shards; ++s) {
+      std::string wire;
+      for (int64_t item = slice_lo(s); item < slice_lo(s + 1); ++item) {
+        wire += std::to_string(user) + "\t" + std::to_string(item) + "\n";
+      }
+      if (wire.empty()) continue;
+      bool maybe_delivered = false;
+      if (!SendToBackend(serving[static_cast<size_t>(s)], wire,
+                         &maybe_delivered)
+               .ok()) {
+        broken[static_cast<size_t>(s)] = true;
+      }
+    }
+
+    // Phase 2: collect responses slice by slice, in item order. A transport
+    // fault or a misaligned line condemns the slice's link and queues its
+    // remaining items for individual re-scoring; an overload answer queues
+    // just that item.
+    std::vector<std::string> lines(static_cast<size_t>(num_items));
+    std::vector<int64_t> missing;
+    for (int64_t s = 0; s < shards; ++s) {
+      const int k = serving[static_cast<size_t>(s)];
+      bool slice_dead = broken[static_cast<size_t>(s)];
+      for (int64_t item = slice_lo(s); item < slice_lo(s + 1); ++item) {
+        if (slice_dead) {
+          missing.push_back(item);
+          continue;
+        }
+        auto resp = ReadResponseLine(k);
+        if (!resp.ok()) {
+          slice_dead = true;
+          missing.push_back(item);
+          continue;
+        }
+        const std::string& got = resp.value();
+        if (IsErrorLine(got)) {
+          missing.push_back(item);
+          continue;
+        }
+        // Responses carry their ids: a line that is not for this item means
+        // the stream lost alignment — never serve it, condemn the link.
+        const std::string expect =
+            std::to_string(user) + "\t" + std::to_string(item) + "\t";
+        if (!common::StartsWith(got, expect)) {
+          CondemnLink(k);
+          slice_dead = true;
+          missing.push_back(item);
+          continue;
+        }
+        lines[static_cast<size_t>(item)] = got + "\n";
+      }
+    }
+
+    // Phase 3: re-score everything missing through the failover path.
+    for (const int64_t item : missing) {
+      const std::string pair_line =
+          std::to_string(user) + "\t" + std::to_string(item);
+      auto resp = RouteLine(pair_line, user, /*retry_overload=*/true);
+      if (!resp.ok()) {
+        return FormatError("upstream", resp.status().message());
+      }
+      if (IsErrorLine(resp.value())) {
+        // A persistent per-item error poisons the whole catalog — answer it
+        // as one unit, like a direct backend would, instead of serving a
+        // torn catalog.
+        return resp.value() + "\n";
+      }
+      lines[static_cast<size_t>(item)] = resp.value() + "\n";
+    }
+
+    std::string out = FormatCatalogHeader(user, num_items);
+    for (const std::string& l : lines) out += l;
+    return out;
+  }
+
+  // -- rolling reload -------------------------------------------------------
+
+  Result<BackendStatsFields> QueryBackendStats(int k) {
+    bool maybe_delivered = false;
+    RRRE_RETURN_IF_ERROR(SendToBackend(k, "STATS\n", &maybe_delivered));
+    auto line = ReadResponseLine(k);
+    if (!line.ok()) return line.status();
+    return ParseBackendStats(line.value());
+  }
+
+  /// After a RELOAD whose delivery is uncertain (sent but the answer was
+  /// lost): never resend — poll STATS until the generation advances past
+  /// `generation_before`. Resending would reload twice; polling observes
+  /// what actually happened.
+  Status AwaitReloadLanded(int k, int64_t generation_before) {
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(router_->options_.backend_timeout_ms);
+    Status last = Status::DeadlineExceeded("reload outcome unknown");
+    while (std::chrono::steady_clock::now() < deadline) {
+      auto stats = QueryBackendStats(k);
+      if (stats.ok()) {
+        if (stats.value().generation > generation_before) return Status::Ok();
+        last = Status::Internal("reload did not advance the generation");
+      } else {
+        last = stats.status();
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    return last;
+  }
+
+  Status ReloadBackend(int k) {
+    auto before = QueryBackendStats(k);
+    if (!before.ok()) return before.status();
+    Status last = Status::FailedPrecondition("no reload attempt made");
+    for (int64_t attempt = 0; attempt <= router_->options_.max_retries;
+         ++attempt) {
+      if (attempt > 0) Backoff(attempt - 1);
+      bool maybe_delivered = false;
+      const Status sent = SendToBackend(k, "RELOAD\n", &maybe_delivered);
+      if (!sent.ok()) {
+        if (!maybe_delivered) {
+          // Never left this host: resending cannot double-reload.
+          last = sent;
+          continue;
+        }
+        return AwaitReloadLanded(k, before.value().generation);
+      }
+      auto resp = ReadResponseLine(k);
+      if (!resp.ok()) {
+        return AwaitReloadLanded(k, before.value().generation);
+      }
+      if (common::StartsWith(resp.value(), "#reloaded\t")) return Status::Ok();
+      return Status::Internal("backend refused reload: " + resp.value());
+    }
+    return last;
+  }
+
+  /// Rolling RELOAD across the fleet behind the exclusive barrier: reload
+  /// one shard at a time, then hold the barrier until every shard reports
+  /// the same params fingerprint. Shards that never converge (their reload
+  /// failed and they kept the old snapshot) are quarantined, so scoring
+  /// resumes against a fleet that provably serves one parameter version.
+  std::string HandleReload() {
+    std::unique_lock<std::shared_mutex> barrier(router_->reload_mu_);
+    const std::vector<int> serving = router_->ServingBackends();
+    if (serving.empty()) {
+      return FormatError("reload", "no serving backends");
+    }
+    router_->reload_barriers_.fetch_add(1);
+    Inc(router_->m_reload_barriers_);
+
+    int64_t reloaded = 0;
+    Status first_error = Status::Ok();
+    for (const int k : serving) {
+      const Status status = ReloadBackend(k);
+      if (status.ok()) {
+        ++reloaded;
+      } else {
+        if (first_error.ok()) first_error = status;
+        RRRE_LOG_WARNING << "rolling reload: backend " << k
+                         << " failed: " << status.ToString();
+      }
+    }
+    if (reloaded == 0) {
+      return FormatError("reload", first_error.ToString());
+    }
+
+    // Fingerprint barrier: poll until every serving shard agrees. The
+    // target is whatever the first successfully reloaded shard now serves.
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(
+                              router_->options_.reload_barrier_timeout_ms);
+    uint64_t target = 0;
+    int64_t min_generation = 0;
+    std::vector<uint64_t> fps(serving.size(), 0);
+    bool converged = false;
+    while (!converged && std::chrono::steady_clock::now() < deadline) {
+      target = 0;
+      min_generation = 0;
+      converged = true;
+      for (size_t i = 0; i < serving.size(); ++i) {
+        auto stats = QueryBackendStats(serving[i]);
+        if (!stats.ok()) {
+          converged = false;
+          continue;
+        }
+        fps[i] = stats.value().fingerprint;
+        if (target == 0) {
+          target = fps[i];
+          min_generation = stats.value().generation;
+        } else {
+          min_generation = std::min(min_generation, stats.value().generation);
+        }
+        if (fps[i] != target) converged = false;
+      }
+      if (!converged) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+    }
+
+    // Quarantine divergers; publish the new fleet fingerprint.
+    for (size_t i = 0; i < serving.size(); ++i) {
+      auto& backend = *router_->backends_[static_cast<size_t>(serving[i])];
+      backend.fingerprint.store(fps[i]);
+      backend.quarantined.store(fps[i] != target);
+      if (fps[i] != target) {
+        RRRE_LOG_WARNING << "rolling reload: backend " << serving[i]
+                         << " diverged (fingerprint " << fps[i]
+                         << " != " << target << "); quarantined";
+      }
+    }
+    router_->fleet_fingerprint_.store(target);
+    if (!converged) {
+      return FormatError("reload",
+                         "fleet did not converge on one fingerprint");
+    }
+    return FormatReloaded(min_generation);
+  }
+
+  // -- metrics aggregation --------------------------------------------------
+
+  /// The router's own exposition followed by every serving backend's,
+  /// relabeled with `shard="k"`. A shard that fails mid-scrape is skipped —
+  /// a scrape is best-effort observability, not a scoring path.
+  std::string HandleMetrics() {
+    if (router_->metrics_ == nullptr) {
+      return FormatError("metrics", "metrics are disabled on this router");
+    }
+    std::shared_lock<std::shared_mutex> barrier(router_->reload_mu_);
+    std::string text = router_->metrics_->RenderText();
+    for (const int k : router_->ServingBackends()) {
+      bool maybe_delivered = false;
+      if (!SendToBackend(k, "METRICS\n", &maybe_delivered).ok()) continue;
+      auto header = ReadResponseLine(k);
+      if (!header.ok()) continue;
+      if (!common::StartsWith(header.value(), "#metrics\tlines=")) {
+        continue;  // Metrics disabled on that shard — its error was 1 line.
+      }
+      const long long lines = std::atoll(header.value().c_str() +
+                                         sizeof("#metrics\tlines=") - 1);
+      std::string shard_text;
+      bool ok = true;
+      for (long long i = 0; i < lines; ++i) {
+        auto line = ReadResponseLine(k);
+        if (!line.ok()) {
+          ok = false;
+          break;
+        }
+        shard_text += RelabelShardLine(line.value(), k);
+      }
+      if (ok) text += shard_text;
+    }
+    int64_t count = 0;
+    for (const char c : text) count += c == '\n' ? 1 : 0;
+    return FormatMetricsHeader(count) + text;
+  }
+
+  Router* router_;
+  Socket socket_;
+  std::vector<Link> links_;
+  common::Rng rng_;
+  std::thread thread_;
+  std::atomic<bool> finished_{false};
+};
+
+// ---------------------------------------------------------------------------
+// Router
+// ---------------------------------------------------------------------------
+
+Result<std::unique_ptr<Router>> Router::Start(const RouterOptions& options) {
+  if (options.backends.empty()) {
+    return Status::InvalidArgument("router needs at least one backend");
+  }
+  // Probe the fleet: every backend must answer STATS, and all must agree on
+  // corpus bounds and params fingerprint — proxying a fleet that already
+  // serves two parameter versions would bake the split-brain in.
+  std::vector<BackendStatsFields> probed;
+  for (size_t k = 0; k < options.backends.size(); ++k) {
+    const auto& addr = options.backends[k];
+    auto sock = Socket::Connect(addr.host, addr.port);
+    if (!sock.ok()) {
+      return Status::IoError("backend " + std::to_string(k) + " (" +
+                                 addr.host + ":" + std::to_string(addr.port) +
+                                 ") unreachable: " +
+                                 sock.status().ToString());
+    }
+    RRRE_RETURN_IF_ERROR(
+        sock.value().SetRecvTimeout(options.backend_timeout_ms));
+    RRRE_RETURN_IF_ERROR(sock.value().SendAll("STATS\n"));
+    common::LineReader reader(&sock.value());
+    auto line = reader.ReadLine();
+    if (!line.ok()) return line.status();
+    if (!line.value().has_value()) {
+      return Status::IoError("backend " + std::to_string(k) +
+                                 " closed during the startup probe");
+    }
+    auto stats = ParseBackendStats(*line.value());
+    if (!stats.ok()) return stats.status();
+    probed.push_back(stats.value());
+    if (probed.front().users != probed.back().users ||
+        probed.front().items != probed.back().items) {
+      return Status::InvalidArgument(
+          "backend " + std::to_string(k) +
+          " serves a different corpus than backend 0");
+    }
+    if (probed.front().fingerprint != probed.back().fingerprint) {
+      return Status::InvalidArgument(
+          "backend " + std::to_string(k) +
+          " serves a different parameter version than backend 0 "
+          "(fingerprint mismatch)");
+    }
+  }
+  auto listener = Socket::Listen(options.port);
+  if (!listener.ok()) return listener.status();
+  std::unique_ptr<obs::MetricsRegistry> metrics;
+  if (options.enable_metrics) {
+    metrics = std::make_unique<obs::MetricsRegistry>();
+  }
+  ConsistentRing ring(static_cast<int>(options.backends.size()),
+                      options.virtual_nodes);
+  std::unique_ptr<Router> router(
+      new Router(options, std::move(ring), std::move(listener).ValueOrDie(),
+                 std::move(metrics)));
+  for (size_t k = 0; k < options.backends.size(); ++k) {
+    router->backends_[k]->fingerprint.store(probed[k].fingerprint);
+    router->backends_[k]->generation.store(probed[k].generation);
+  }
+  router->fleet_users_.store(probed.front().users);
+  router->fleet_items_.store(probed.front().items);
+  router->fleet_fingerprint_.store(probed.front().fingerprint);
+  router->accept_thread_ = std::thread(&Router::AcceptLoop, router.get());
+  router->health_thread_ = std::thread(&Router::HealthLoop, router.get());
+  return router;
+}
+
+Router::Router(const RouterOptions& options, ConsistentRing ring,
+               Socket listener, std::unique_ptr<obs::MetricsRegistry> metrics)
+    : options_(options),
+      ring_(std::move(ring)),
+      listener_(std::move(listener)),
+      metrics_(std::move(metrics)) {
+  for (const auto& addr : options_.backends) {
+    auto state = std::make_unique<BackendState>();
+    state->addr = addr;
+    backends_.push_back(std::move(state));
+  }
+  if (metrics_ != nullptr) {
+    m_requests_ = metrics_->GetCounter(
+        "rrre_router_requests_total",
+        "requests received by the router (incl. control verbs)");
+    m_parse_errors_ = metrics_->GetCounter("rrre_router_parse_errors_total",
+                                           "malformed request lines");
+    m_retries_ = metrics_->GetCounter(
+        "rrre_router_retries_total",
+        "backend round-trips retried after a transport fault");
+    m_failovers_ = metrics_->GetCounter(
+        "rrre_router_failovers_total",
+        "requests answered by a replica instead of the home shard");
+    m_upstream_errors_ = metrics_->GetCounter(
+        "rrre_router_upstream_errors_total",
+        "requests that exhausted every replica");
+    m_fanouts_ = metrics_->GetCounter(
+        "rrre_router_fanouts_total",
+        "catalog requests fanned out across the fleet");
+    m_reload_barriers_ = metrics_->GetCounter(
+        "rrre_router_reload_barriers_total",
+        "rolling reload barriers orchestrated");
+    m_backends_serving_ = metrics_->GetGauge(
+        "rrre_router_backends_serving",
+        "backends currently alive and fingerprint-converged");
+    m_connections_active_ = metrics_->GetGauge(
+        "rrre_router_connections_active", "currently open client connections");
+  }
+}
+
+Router::~Router() { Shutdown(); }
+
+bool Router::BackendServing(int index) const {
+  const auto& backend = *backends_[static_cast<size_t>(index)];
+  return backend.alive.load() && !backend.quarantined.load();
+}
+
+std::vector<int> Router::ServingBackends() const {
+  std::vector<int> out;
+  for (size_t k = 0; k < backends_.size(); ++k) {
+    if (BackendServing(static_cast<int>(k))) out.push_back(static_cast<int>(k));
+  }
+  return out;
+}
+
+void Router::AcceptLoop() {
+  while (!stopping_.load()) {
+    auto client = listener_.AcceptWithTimeout(/*timeout_ms=*/100);
+    ReapFinishedConnections();
+    if (!client.ok()) {
+      if (stopping_.load()) break;
+      RRRE_LOG_WARNING << "accept failed: " << client.status().ToString();
+      continue;
+    }
+    if (!client.value().has_value()) continue;  // Poll timeout.
+    Socket socket = std::move(*client.value());
+    if (options_.read_timeout_ms > 0) {
+      socket.SetRecvTimeout(options_.read_timeout_ms);
+      socket.SetSendTimeout(options_.read_timeout_ms);
+    }
+    std::shared_ptr<ClientConn> conn;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (static_cast<int64_t>(connections_.size()) >=
+          options_.max_connections) {
+        socket.SendAll(FormatError("busy", "connection limit reached"));
+        continue;  // Socket closes on scope exit.
+      }
+      conn = std::make_shared<ClientConn>(
+          this, std::move(socket),
+          static_cast<uint64_t>(connections_accepted_.load()));
+      connections_.push_back(conn);
+      if (m_connections_active_ != nullptr) {
+        m_connections_active_->Set(static_cast<int64_t>(connections_.size()));
+      }
+    }
+    connections_accepted_.fetch_add(1);
+    conn->Start();
+  }
+}
+
+void Router::ReapFinishedConnections() {
+  std::vector<std::shared_ptr<ClientConn>> finished;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t i = 0; i < connections_.size();) {
+      if (connections_[i]->Finished()) {
+        finished.push_back(std::move(connections_[i]));
+        connections_[i] = std::move(connections_.back());
+        connections_.pop_back();
+      } else {
+        ++i;
+      }
+    }
+    if (m_connections_active_ != nullptr) {
+      m_connections_active_->Set(static_cast<int64_t>(connections_.size()));
+    }
+  }
+  for (auto& conn : finished) conn->Join();
+}
+
+void Router::HealthLoop() {
+  while (!stopping_.load()) {
+    HealthPass();
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(options_.health_period_ms);
+    while (!stopping_.load() && std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  for (auto& backend : backends_) {
+    backend->health_reader.reset();
+    backend->health_socket = Socket();
+  }
+}
+
+void Router::HealthPass() {
+  // Skip the pass while a reload barrier holds the lock exclusively:
+  // fingerprints legitimately diverge mid-roll and must not trip the
+  // quarantine. The barrier itself re-evaluates quarantine when it ends.
+  std::shared_lock<std::shared_mutex> barrier(reload_mu_, std::try_to_lock);
+  if (!barrier.owns_lock()) return;
+  const uint64_t fleet_fp = fleet_fingerprint_.load();
+  for (size_t k = 0; k < backends_.size(); ++k) {
+    BackendState& backend = *backends_[k];
+    auto fail = [&] {
+      backend.alive.store(false);
+      backend.health_reader.reset();
+      backend.health_socket = Socket();
+    };
+    if (!backend.health_socket.valid()) {
+      auto sock = Socket::Connect(backend.addr.host, backend.addr.port);
+      if (!sock.ok() ||
+          !sock.value().SetRecvTimeout(options_.backend_timeout_ms).ok() ||
+          !sock.value().SetSendTimeout(options_.backend_timeout_ms).ok()) {
+        fail();
+        continue;
+      }
+      backend.health_socket = std::move(sock).ValueOrDie();
+      backend.health_reader =
+          std::make_unique<common::LineReader>(&backend.health_socket);
+    }
+    // Liveness: PING must pong. Version: STATS must carry a fingerprint.
+    if (!backend.health_socket.SendAll("PING\nSTATS\n").ok()) {
+      fail();
+      continue;
+    }
+    auto pong = backend.health_reader->ReadLine();
+    if (!pong.ok() || !pong.value().has_value() ||
+        *pong.value() != "#pong") {
+      fail();
+      continue;
+    }
+    auto stats_line = backend.health_reader->ReadLine();
+    if (!stats_line.ok() || !stats_line.value().has_value()) {
+      fail();
+      continue;
+    }
+    auto stats = ParseBackendStats(*stats_line.value());
+    if (!stats.ok()) {
+      fail();
+      continue;
+    }
+    backend.alive.store(true);
+    backend.fingerprint.store(stats.value().fingerprint);
+    backend.generation.store(stats.value().generation);
+    // Quarantine policing: a shard whose fingerprint left the fleet's (a
+    // side-channel reload, a divergent restart) must not serve through the
+    // router until it matches again — serving it would let one connection
+    // observe two parameter versions.
+    backend.quarantined.store(fleet_fp != 0 &&
+                              stats.value().fingerprint != fleet_fp);
+  }
+  if (m_backends_serving_ != nullptr) {
+    m_backends_serving_->Set(static_cast<int64_t>(ServingBackends().size()));
+  }
+}
+
+void Router::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_done_) return;
+    shutdown_done_ = true;
+  }
+  stopping_.store(true);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (health_thread_.joinable()) health_thread_.join();
+  std::vector<std::shared_ptr<ClientConn>> conns;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    conns = connections_;
+  }
+  // Half-close every client: handlers finish the request in flight (every
+  // admitted request is answered), then see EOF and exit.
+  for (auto& conn : conns) conn->AbortRead();
+  for (auto& conn : conns) conn->Join();
+  std::lock_guard<std::mutex> lock(mu_);
+  connections_.clear();
+}
+
+RouterStats Router::stats() const {
+  RouterStats out;
+  out.connections_accepted = connections_accepted_.load();
+  out.requests = requests_.load();
+  out.parse_errors = parse_errors_.load();
+  out.retries = retries_.load();
+  out.failovers = failovers_.load();
+  out.upstream_errors = upstream_errors_.load();
+  out.fanouts = fanouts_.load();
+  out.reload_barriers = reload_barriers_.load();
+  for (const auto& backend : backends_) {
+    out.quarantined += backend->quarantined.load() ? 1 : 0;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  out.connections_active = static_cast<int64_t>(connections_.size());
+  return out;
+}
+
+std::string Router::FormatStatsLine() const {
+  // Starts with "#stats\t" and carries users=/items= so loadgen's bounds
+  // discovery works against the router exactly as against a backend.
+  const RouterStats s = stats();
+  return common::StrFormat(
+      "#stats\tusers=%lld\titems=%lld\tfingerprint=%llu\tbackends=%d\t"
+      "serving=%d\trequests=%lld\tparse_errors=%lld\tretries=%lld\t"
+      "failovers=%lld\tupstream_errors=%lld\tfanouts=%lld\t"
+      "reload_barriers=%lld\tquarantined=%lld\tconnections=%lld\n",
+      static_cast<long long>(fleet_users_.load()),
+      static_cast<long long>(fleet_items_.load()),
+      static_cast<unsigned long long>(fleet_fingerprint_.load()),
+      static_cast<int>(backends_.size()),
+      static_cast<int>(ServingBackends().size()),
+      static_cast<long long>(s.requests),
+      static_cast<long long>(s.parse_errors),
+      static_cast<long long>(s.retries),
+      static_cast<long long>(s.failovers),
+      static_cast<long long>(s.upstream_errors),
+      static_cast<long long>(s.fanouts),
+      static_cast<long long>(s.reload_barriers),
+      static_cast<long long>(s.quarantined),
+      static_cast<long long>(s.connections_active));
+}
+
+}  // namespace rrre::serve

@@ -266,6 +266,7 @@ Result<std::unique_ptr<Server>> Server::Start(const ServerOptions& options) {
   std::unique_ptr<obs::MetricsRegistry> metrics;
   MicroBatcher::Options batcher_options = options.batcher;
   batcher_options.store_path = options.store_path;
+  batcher_options.model_prefix = options.model_prefix;
   if (options.enable_metrics) {
     metrics = std::make_unique<obs::MetricsRegistry>();
     batcher_options.metrics = metrics.get();
@@ -429,8 +430,12 @@ std::string Server::FormatStatsLine() const {
     std::lock_guard<std::mutex> lock(mu_);
     active = static_cast<int64_t>(connections_.size());
   }
+  // `fingerprint=` is the checkpoint params fingerprint — the only version
+  // field comparable *across* processes; the router's rolling-reload barrier
+  // reads it to prove a shard fleet serves one parameter version.
   return common::StrFormat(
       "#stats\tusers=%lld\titems=%lld\tversion=%lld\tgeneration=%lld\t"
+      "fingerprint=%llu\t"
       "requests=%lld\tparse_errors=%lld\trange_errors=%lld\toverloads=%lld\t"
       "submitted=%lld\trejected=%lld\tbatches=%lld\tpairs=%lld\t"
       "reloads=%lld\tconnections=%lld\n",
@@ -438,6 +443,7 @@ std::string Server::FormatStatsLine() const {
       static_cast<long long>(batcher_->num_items()),
       static_cast<long long>(batcher_->params_version()),
       static_cast<long long>(batcher_->generation()),
+      static_cast<unsigned long long>(batcher_->params_fingerprint()),
       static_cast<long long>(requests_.load()),
       static_cast<long long>(parse_errors_.load()),
       static_cast<long long>(range_errors_.load()),

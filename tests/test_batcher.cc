@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -100,7 +102,10 @@ class MicroBatcherTest : public ::testing::Test {
         data::GenerateSyntheticDataset(data::YelpChiProfile(0.05), rng));
     auto trainer = std::make_unique<core::RrreTrainer>(TinyConfig());
     trainer->Fit(*corpus_);
-    prefix_ = new std::string(::testing::TempDir() + "/batcher_ckpt");
+    // ctest runs every test as its own process, concurrently: the fixture
+    // paths must be per-process or parallel tests race on the checkpoint.
+    prefix_ = new std::string(::testing::TempDir() + "/batcher_ckpt_" +
+                              std::to_string(::getpid()));
     ASSERT_TRUE(trainer->Save(*prefix_).ok());
     reference_trainer_ = trainer.release();
     reference_scorer_ = new core::BatchScorer(reference_trainer_);

@@ -233,7 +233,12 @@ TEST(FailpointEnvTest, MalformedEnvironmentSpecIsFatalAtStartup) {
 class AtomicWriteTest : public FailpointTest {
  protected:
   static std::string Path() {
-    return ::testing::TempDir() + "/fp_atomic_target";
+    // ctest runs every case as its own process, concurrently, so the target
+    // must be unique per case. The test *name* (not the pid) keys it so a
+    // threadsafe death-test child — a re-exec with a new pid — still shares
+    // its parent's path.
+    return ::testing::TempDir() + "/fp_atomic_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
   }
   void SetUp() override {
     FailpointTest::SetUp();
@@ -310,7 +315,13 @@ TEST_F(AtomicWriteTest, DirsyncFailureReportsAfterContentIsVisible) {
 
 class CheckpointFaultTest : public FailpointTest {
  protected:
-  static std::string Path() { return ::testing::TempDir() + "/fp_ckpt.bin"; }
+  static std::string Path() {
+    // Test-name keyed for the same reason as AtomicWriteTest::Path: unique
+    // across concurrent ctest processes, shared with death-test children.
+    return ::testing::TempDir() + "/fp_ckpt_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+           ".bin";
+  }
 
   static std::map<std::string, tensor::Tensor> TensorsA() {
     std::map<std::string, tensor::Tensor> t;
@@ -554,6 +565,75 @@ TEST_F(FailpointTest, PeerResetMidLineTerminatesTheReaderCleanly) {
   EXPECT_TRUE(settled);
 }
 
+TEST_F(FailpointTest, SendAllReportsNeverSentVersusPartialProgress) {
+  // The router's failover policy rests on SendAll's byte count: a failure
+  // with zero progress means the request never left this host (safe to
+  // retry any verb on a replica); partial progress means the peer may have
+  // received and acted on it (only idempotent verbs may be blindly resent).
+  LocalPair pair = MakeLocalPair();
+  failpoint::Config once;
+  once.count = 1;
+  failpoint::Arm("sock.send.reset", once);
+  size_t sent = 12345;  // Poisoned: the failure path must still write it.
+  Status status = pair.client.SendAll("RELOAD\n", &sent);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(sent, 0u) << "reset before the first send is the never-sent case";
+
+  // Clamp each kernel send to 4 bytes and reset on the second loop pass:
+  // the failure now happens with bytes already handed to the kernel.
+  ASSERT_TRUE(failpoint::ArmFromSpec("sock.send.short:short=4;"
+                                     "sock.send.reset:after=1,count=1")
+                  .ok());
+  sent = 0;
+  status = pair.client.SendAll("0\t1\n0\t2\n0\t3\n", &sent);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(sent, 4u) << "partial progress is the maybe-delivered case";
+  // What the count promises: exactly those bytes are on the wire.
+  char buf[64];
+  auto n = pair.server.RecvSome(buf, sizeof(buf));
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(std::string(buf, n.value()), "0\t1\n");
+  failpoint::DisarmAll();
+  sent = 0;
+  ASSERT_TRUE(pair.client.SendAll("PING\n", &sent).ok());
+  EXPECT_EQ(sent, 5u);  // Success reports the full payload.
+}
+
+TEST_F(FailpointTest, PartialBytesFlagsATornResponseAfterAFailedRead) {
+  // After a failed ReadLine, LineReader::partial_bytes() > 0 means the peer
+  // started a response that was cut off mid-line — "torn", as opposed to
+  // "never answered". The router treats the two exactly like SendAll's
+  // never-sent/maybe-delivered split, from the read side.
+  LocalPair pair = MakeLocalPair();
+  ASSERT_TRUE(pair.server.SendAll("whole\ntor").ok());
+  common::LineReader reader(&pair.client);
+  auto line = reader.ReadLine();
+  ASSERT_TRUE(line.ok());
+  EXPECT_EQ(*line.value(), "whole");
+  EXPECT_EQ(reader.partial_bytes(), 3u);  // "tor" buffered, no terminator.
+
+  failpoint::Config once;
+  once.count = 1;
+  failpoint::Arm("sock.recv.eagain", once);
+  auto torn = reader.ReadLine();
+  EXPECT_FALSE(torn.ok());
+  EXPECT_GT(reader.partial_bytes(), 0u) << "the torn-response signal";
+
+  // A deadline with an empty buffer is the never-answered case.
+  common::LineReader fresh(&pair.server);
+  failpoint::Arm("sock.recv.eagain", once);
+  auto silent = fresh.ReadLine();
+  EXPECT_FALSE(silent.ok());
+  EXPECT_EQ(fresh.partial_bytes(), 0u);
+
+  // The torn line completes once the rest arrives; nothing was lost.
+  ASSERT_TRUE(pair.server.SendAll("n\n").ok());
+  auto completed = reader.ReadLine();
+  ASSERT_TRUE(completed.ok());
+  EXPECT_EQ(*completed.value(), "torn");
+  EXPECT_EQ(reader.partial_bytes(), 0u);
+}
+
 // ---------------------------------------------------------------------------
 // Loadgen backoff
 // ---------------------------------------------------------------------------
@@ -650,7 +730,10 @@ class FaultServeTest : public ::testing::Test {
         data::YelpChiProfile(0.05), rng));
     core::RrreTrainer trainer(TinyConfig());
     trainer.Fit(*corpus_);
-    prefix_ = new std::string(::testing::TempDir() + "/fp_serve_ckpt");
+    // ctest runs every test as its own process, concurrently: the fixture
+    // paths must be per-process or parallel tests race on the checkpoint.
+    prefix_ = new std::string(::testing::TempDir() + "/fp_serve_ckpt_" +
+                              std::to_string(::getpid()));
     ASSERT_TRUE(trainer.Save(*prefix_).ok());
     // The byte-exact reference is a trainer *loaded* from the checkpoint,
     // same as the server's, so float round-trips cancel out.
@@ -824,7 +907,17 @@ TEST_F(FaultServeTest, LoadgenRetriesThroughATransientOverload) {
 
   auto future = std::async(std::launch::async,
                            [&load] { return serve::RunLoadGen(load); });
-  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  // Resume only after admission control has demonstrably refused a request:
+  // a refusal means some loadgen connection received "!ERR overload" and is
+  // retrying, so `retried > 0` below is guaranteed rather than a race
+  // against a wall-clock sleep (the old 100ms nap lost under `ctest -j`).
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (server->stats().batcher.rejected == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_GT(server->stats().batcher.rejected, 0) << "loadgen never overflowed";
   server->batcher().Resume();
   auto report = future.get();
   ASSERT_TRUE(report.ok()) << report.status().ToString();
@@ -835,6 +928,53 @@ TEST_F(FaultServeTest, LoadgenRetriesThroughATransientOverload) {
   EXPECT_GT(report.value().retried, 0);
   EXPECT_EQ(report.value().sent,
             report.value().scored + report.value().retried);
+}
+
+TEST_F(FaultServeTest, LoadgenAccountsExhaustedRetriesAsOverloadsNotErrors) {
+  // A request that is still refused after its final retry must settle as
+  // `overloaded` — never as a transport/`errors` count — and the attempt
+  // accounting must add up exactly:
+  //   sent == scored + overloaded + errors + retried.
+  // Setup: a paused batcher whose single queue slot is pinned by a side
+  // client, so every loadgen attempt deterministically answers overload.
+  serve::ServerOptions options = BaseOptions();
+  options.batcher.queue_capacity = 1;
+  options.batcher.start_paused = true;
+  auto server = StartServer(options);
+
+  Client pin(server->port());
+  pin.Send("0\t0\n");  // Occupies the only queue slot until Resume.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (server->stats().batcher.submitted == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_EQ(server->stats().batcher.submitted, 1);
+
+  serve::LoadGenOptions load;
+  load.port = server->port();
+  load.connections = 1;
+  load.total_requests = 5;
+  load.seed = 11;
+  load.num_users = corpus_->num_users();
+  load.num_items = corpus_->num_items();
+  load.max_retries = 2;
+  load.backoff_base_us = 200;
+  load.backoff_cap_us = 1000;
+  auto report = serve::RunLoadGen(load);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  const serve::LoadGenReport& r = report.value();
+  EXPECT_EQ(r.scored, 0);
+  EXPECT_EQ(r.overloaded, 5);   // One per request, after the final retry.
+  EXPECT_EQ(r.errors, 0);       // Overload exhaustion is not an error.
+  EXPECT_EQ(r.retried, 10);     // max_retries re-sends per request.
+  EXPECT_EQ(r.sent, 15);        // 5 requests x (1 first try + 2 retries).
+  EXPECT_EQ(r.sent, r.scored + r.overloaded + r.errors + r.retried);
+
+  server->batcher().Resume();  // Unpin the side client so the drain is clean.
+  EXPECT_EQ(pin.MustReadLine(), ExpectedScoreLine(0, 0));
 }
 
 TEST_F(FaultServeTest, SeededFaultScheduleSoak) {

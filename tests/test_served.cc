@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -114,7 +116,11 @@ class ServedTest : public ::testing::Test {
         data::GenerateSyntheticDataset(data::YelpChiProfile(0.05), rng_a));
     core::RrreTrainer trainer_a(TinyConfig());
     trainer_a.Fit(*corpus_);
-    prefix_a_ = new std::string(::testing::TempDir() + "/served_ckpt_a");
+    // ctest runs every test as its own process, concurrently: the fixture
+    // paths must be per-process or parallel tests race on the checkpoint
+    // (one process's TearDownTestSuite deletes the files another is loading).
+    prefix_a_ = new std::string(::testing::TempDir() + "/served_ckpt_a_" +
+                                std::to_string(::getpid()));
     ASSERT_TRUE(trainer_a.Save(*prefix_a_).ok());
 
     Rng rng_b(99);
@@ -197,8 +203,10 @@ TEST_F(ServedTest, EndToEndMatchesOfflineServeBitwise) {
     request_tsv += line;
     wire += line;
   }
-  const std::string in = ::testing::TempDir() + "/served_e2e_req.tsv";
-  const std::string out = ::testing::TempDir() + "/served_e2e_out.tsv";
+  const std::string in = ::testing::TempDir() + "/served_e2e_req_" +
+                         std::to_string(::getpid()) + ".tsv";
+  const std::string out = ::testing::TempDir() + "/served_e2e_out_" +
+                          std::to_string(::getpid()) + ".tsv";
   ASSERT_TRUE(common::WriteFile(in, request_tsv).ok());
   core::ServeOptions offline;
   offline.model_prefix = *prefix_a_;
@@ -334,7 +342,8 @@ TEST_F(ServedTest, HotReloadSwitchesToTheNewCheckpoint) {
   // Stage checkpoint A at a private prefix, serve from it, then overwrite
   // with checkpoint B and RELOAD — the same request must now score under B,
   // and the response must be byte-identical to a fresh Load of B.
-  const std::string prefix = ::testing::TempDir() + "/served_reload_ckpt";
+  const std::string prefix = ::testing::TempDir() + "/served_reload_ckpt_" +
+                             std::to_string(::getpid());
   ASSERT_TRUE(ref_trainer_a_->Save(prefix).ok());
   ServerOptions options = BaseOptions();
   options.model_prefix = prefix;
@@ -370,7 +379,8 @@ TEST_F(ServedTest, HotReloadSwitchesToTheNewCheckpoint) {
 TEST_F(ServedTest, ReloadUnderPipelinedLoadNeverDropsResponses) {
   // Requests pipelined around RELOADs all get exactly one response each; the
   // batcher CHECK-fails if any batch mixes parameter versions.
-  const std::string prefix = ::testing::TempDir() + "/served_reload2_ckpt";
+  const std::string prefix = ::testing::TempDir() + "/served_reload2_ckpt_" +
+                             std::to_string(::getpid());
   ASSERT_TRUE(ref_trainer_a_->Save(prefix).ok());
   ServerOptions options = BaseOptions();
   options.model_prefix = prefix;

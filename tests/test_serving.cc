@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -47,7 +49,10 @@ class ServingTest : public ::testing::Test {
         data::GenerateSyntheticDataset(data::YelpChiProfile(0.05), rng));
     trainer_ = new RrreTrainer(TinyConfig());
     trainer_->Fit(*corpus_);
-    prefix_ = new std::string(::testing::TempDir() + "/serving_ckpt");
+    // ctest runs every test as its own process, concurrently: the fixture
+    // paths must be per-process or parallel tests race on the checkpoint.
+    prefix_ = new std::string(::testing::TempDir() + "/serving_ckpt_" +
+                              std::to_string(::getpid()));
     ASSERT_TRUE(trainer_->Save(*prefix_).ok());
   }
 

@@ -7,8 +7,12 @@
 # and ASan proves the rejection paths are free of out-of-bounds reads and
 # leaks — then the fault-injection suites (failpoint schedules,
 # torn-checkpoint and torn-store crashes, socket faults, the seeded server
-# soak) under AddressSanitizer, and finally the observability + serving
-# suites under UndefinedBehaviorSanitizer.
+# soak) under AddressSanitizer, then the sharded-router failover suite under
+# AddressSanitizer (the failpoint layer is runtime-armed in every build, so
+# the same binaries exercise the router.backend.* fault seams) plus a
+# repeat-until-fail guard that reruns the serving suites five times under -j
+# to hold the line on the deflaked socket tests, and finally the
+# observability + serving suites under UndefinedBehaviorSanitizer.
 #
 # Every ctest invocation runs with --no-tests=error: a filter that matches
 # zero tests (e.g. after a suite rename) fails the leg instead of silently
@@ -17,7 +21,7 @@
 # legs ran so CI logs show the coverage at a glance.
 #
 # Usage: tools/check.sh [--skip-tsan] [--skip-asan] [--skip-failpoint]
-#                       [--skip-ubsan]
+#                       [--skip-router] [--skip-ubsan]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -25,12 +29,14 @@ cd "$(dirname "$0")/.."
 SKIP_TSAN=0
 SKIP_ASAN=0
 SKIP_FAILPOINT=0
+SKIP_ROUTER=0
 SKIP_UBSAN=0
 for arg in "$@"; do
   case "$arg" in
     --skip-tsan) SKIP_TSAN=1 ;;
     --skip-asan) SKIP_ASAN=1 ;;
     --skip-failpoint) SKIP_FAILPOINT=1 ;;
+    --skip-router) SKIP_ROUTER=1 ;;
     --skip-ubsan) SKIP_UBSAN=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
@@ -108,6 +114,29 @@ else
   (cd build-asan && ctest --output-on-failure --no-tests=error -L failpoint)
   (cd build-asan && ctest --output-on-failure --no-tests=error -L store)
   LEGS_RUN+=(failpoint)
+fi
+
+if [[ "$SKIP_ROUTER" == "1" ]]; then
+  echo "== router pass skipped (--skip-router) =="
+  LEGS_SKIPPED+=(router)
+else
+  echo "== router: sharded-router failover suite under AddressSanitizer =="
+  cmake -B build-asan -S . -DRRRE_SANITIZE=address >/dev/null
+  require_build_dir build-asan
+  cmake --build build-asan -j --target test_router >/dev/null
+  # The router label covers consistent-hash routing, replica failover on
+  # every router.backend.* failpoint seam (never-sent, maybe-delivered,
+  # stall, torn response), catalog fan-out through a killed shard, the
+  # rolling-reload fingerprint barrier, and side-channel quarantine.
+  # Failpoints are armed at runtime, so the ASan binaries exercise the
+  # injected faults directly.
+  (cd build-asan && ctest --output-on-failure --no-tests=error -L router)
+  # Deflake guard: the serving socket tests used to flake under parallel
+  # ctest load (shared /tmp fixture paths); rerun them five times under -j
+  # so a reintroduced race fails the leg instead of landing.
+  (cd build && ctest --output-on-failure --no-tests=error \
+    -R "ServedTest|RouterTest" --repeat until-fail:5 -j)
+  LEGS_RUN+=(router)
 fi
 
 if [[ "$SKIP_UBSAN" == "1" ]]; then

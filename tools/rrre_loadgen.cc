@@ -110,9 +110,15 @@ int main(int argc, char** argv) {
     return 1;
   }
   const serve::LoadGenReport& r = report.value();
+  // Settled requests (scored + overloaded + errors) and wire attempts are
+  // reported separately so retries can't inflate the request count; the two
+  // differ by exactly `retried` (see the LoadGenReport counter contract).
+  const long long settled =
+      static_cast<long long>(r.scored + r.overloaded + r.errors);
   std::printf(
-      "%lld requests over %lld connections in %.3fs -> %.1f responses/s\n",
-      static_cast<long long>(r.sent),
+      "%lld requests (%lld wire attempts) over %lld connections in %.3fs "
+      "-> %.1f responses/s\n",
+      settled, static_cast<long long>(r.sent),
       static_cast<long long>(options.connections), r.seconds, r.qps);
   std::printf("  scored=%lld overloaded=%lld errors=%lld retried=%lld\n",
               static_cast<long long>(r.scored),
