@@ -1,0 +1,344 @@
+// Streaming retrain bench: runs the adversarial fraud arena through the
+// warm-start retrain loop and reports, per attack wave, the detection lag —
+// epochs until bRMSE and AUC recover to within a slack factor of their
+// pre-attack baseline. Three legs, results to BENCH_streaming.json:
+//
+//  * detection: a full tier-0 -> 1 -> 2 escalation with a sliding ground-
+//    truth eval after every retrain epoch — the per-wave lag table;
+//
+//  * live reload: generation 0 is published under the versioned layout,
+//    a 2-shard rrre_served fleet plus rrre_routed router serve from the
+//    `current` symlink, and the remaining generations are trained,
+//    published and hot-reloaded through the router's rolling barrier while
+//    a catalog client hammers it. The micro-batcher's RRRE_CHECK aborts the
+//    process if any batch mixes two params_versions, so a passing leg *is*
+//    the no-mixed-versions assertion; the bench additionally requires zero
+//    client errors and zero quarantined backends after the final roll;
+//
+//  * resume identity: the stream is re-run with a kill after the
+//    second-to-last generation and finished by a fresh recovered driver;
+//    every artifact of the final generation must be byte-identical to the
+//    uninterrupted run's (the exact-resume determinism contract).
+//
+//   bench_streaming [--scale=0.05] [--days_per_partition=125]
+//                   [--epochs=3 --epochs_per_partition=2]
+//                   [--catalog_requests=200] [--out=BENCH_streaming.json]
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/harness.h"
+#include "common/flags.h"
+#include "common/io.h"
+#include "common/logging.h"
+#include "common/socket.h"
+#include "common/strings.h"
+#include "common/threadpool.h"
+#include "data/adversary.h"
+#include "data/profiles.h"
+#include "serve/router.h"
+#include "serve/server.h"
+#include "stream/driver.h"
+
+namespace {
+
+using namespace rrre;  // NOLINT(build/namespaces)
+
+/// Drives bare-user catalog requests at the router until stopped; each
+/// response is fully consumed (header + count pair lines) and any error or
+/// torn response is counted.
+struct CatalogClient {
+  std::thread thread;
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> responses{0};
+  std::atomic<int64_t> errors{0};
+
+  void Run(uint16_t port, int64_t num_users, uint64_t seed) {
+    thread = std::thread([this, port, num_users, seed] {
+      common::Rng rng(seed);
+      auto socket = common::Socket::Connect("127.0.0.1", port);
+      if (!socket.ok()) {
+        errors.fetch_add(1);
+        return;
+      }
+      common::LineReader reader(&socket.value());
+      while (!stop.load()) {
+        const int64_t user = rng.UniformInt(num_users);
+        if (!socket.value()
+                 .SendAll(common::StrFormat("%lld\n",
+                                            static_cast<long long>(user)))
+                 .ok()) {
+          errors.fetch_add(1);
+          return;
+        }
+        auto header = reader.ReadLine();
+        if (!header.ok() || !header.value().has_value()) {
+          errors.fetch_add(1);
+          return;
+        }
+        if (!common::StartsWith(*header.value(), "#catalog\t")) {
+          errors.fetch_add(1);
+          continue;
+        }
+        const std::vector<std::string> fields =
+            common::Split(*header.value(), '\t');
+        const int64_t count =
+            fields.size() == 3 ? std::strtoll(fields[2].c_str(), nullptr, 10)
+                               : 0;
+        bool torn = false;
+        for (int64_t i = 0; i < count; ++i) {
+          auto line = reader.ReadLine();
+          if (!line.ok() || !line.value().has_value()) {
+            torn = true;
+            break;
+          }
+        }
+        if (torn) {
+          errors.fetch_add(1);
+          return;
+        }
+        responses.fetch_add(1);
+      }
+    });
+  }
+};
+
+std::string WaveJson(const stream::WaveStat& wave) {
+  return common::StrFormat(
+      "{\"tier\": %d, \"start_partition\": %lld, \"start_epoch\": %lld, "
+      "\"baseline_auc\": %.4f, \"baseline_brmse\": %.4f, "
+      "\"target_auc\": %.4f, \"target_brmse\": %.4f, "
+      "\"worst_auc\": %.4f, \"worst_brmse\": %.4f, "
+      "\"lag_epochs\": %lld, \"epochs_observed\": %lld}",
+      wave.tier, static_cast<long long>(wave.start_partition),
+      static_cast<long long>(wave.start_epoch), wave.baseline_auc,
+      wave.baseline_brmse, wave.target_auc, wave.target_brmse, wave.worst_auc,
+      wave.worst_brmse, static_cast<long long>(wave.lag_epochs),
+      static_cast<long long>(wave.epochs_observed));
+}
+
+/// Runs a whole stream to completion (no fleet). Returns the driver so the
+/// caller can read tracker waves / final state.
+std::unique_ptr<stream::StreamDriver> RunStream(
+    const data::AdversaryModel& arena, const stream::StreamOptions& options,
+    int64_t max_steps) {
+  auto driver = std::make_unique<stream::StreamDriver>(&arena, options);
+  RRRE_CHECK_OK(driver->Recover());
+  int64_t steps = 0;
+  while (!driver->Done() && (max_steps <= 0 || steps < max_steps)) {
+    stream::GenerationResult result;
+    RRRE_CHECK_OK(driver->Step(&result));
+    ++steps;
+  }
+  return driver;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  common::FlagParser flags;
+  bench::RegisterBenchFlags(flags, /*default_scale=*/0.05);
+  flags.AddString("dataset", "yelpchi", "arena dataset profile");
+  flags.AddInt("days_per_partition", 125, "arena partition width");
+  flags.AddInt("epochs_per_partition", 2, "epochs per warm-start retrain");
+  flags.AddInt("catalog_requests", 200,
+               "minimum catalog responses the live leg must collect");
+  flags.AddString("out", "BENCH_streaming.json", "JSON results path");
+  RRRE_CHECK_OK(flags.Parse(argc, argv));
+  if (flags.help_requested()) {
+    std::printf("%s", flags.Usage(argv[0]).c_str());
+    return 0;
+  }
+  const bench::BenchOptions opts = bench::ReadBenchOptions(flags);
+  common::ThreadPool::SetGlobalSize(static_cast<int>(opts.num_threads));
+
+  auto profile =
+      data::ProfileByName(flags.GetString("dataset"), opts.scale);
+  RRRE_CHECK_OK(profile.status());
+
+  // Escalation plan: the horizon split in three equal spans, tier 0 -> 1 ->
+  // 2, each spanning days_per_partition-aligned waves.
+  data::AdversaryConfig arena_config;
+  arena_config.profile = profile.value();
+  arena_config.days_per_partition = flags.GetInt("days_per_partition");
+  arena_config.seed = opts.base_seed;
+  const int64_t third = arena_config.profile.horizon_days / 3;
+  arena_config.schedule = {{0, data::AdversaryTier::kStatic},
+                           {third, data::AdversaryTier::kParaphrase},
+                           {2 * third, data::AdversaryTier::kCamouflage}};
+  const data::AdversaryModel arena(arena_config);
+
+  core::RrreConfig config = bench::DefaultRrreConfig(opts, opts.base_seed);
+  stream::StreamOptions options;
+  options.config = config;
+  options.epochs_per_partition = flags.GetInt("epochs_per_partition");
+  options.build_store = false;  // Detection leg never serves.
+  options.publish_root = "/tmp/rrre_bench_streaming_detect";
+
+  std::printf("leg 1/3: detection lag over %lld partitions "
+              "(%lld reviews, tiers 0/1/2)...\n",
+              static_cast<long long>(arena.num_partitions()),
+              static_cast<long long>(arena_config.profile.num_reviews));
+  std::system(("rm -rf " + options.publish_root).c_str());
+  auto detect = RunStream(arena, options, /*max_steps=*/0);
+  for (const stream::WaveStat& wave : detect->tracker().waves()) {
+    std::printf("  wave tier=%d start_epoch=%lld lag=%lld worst_auc=%.4f "
+                "baseline_auc=%.4f\n",
+                wave.tier, static_cast<long long>(wave.start_epoch),
+                static_cast<long long>(wave.lag_epochs), wave.worst_auc,
+                wave.baseline_auc);
+  }
+
+  // ---- Leg 2: live fleet, rolling reloads under catalog load. -------------
+  std::printf("leg 2/3: live 2-shard fleet behind rrre_routed, hot-reloading "
+              "every generation...\n");
+  const std::string live_root = "/tmp/rrre_bench_streaming_live";
+  std::system(("rm -rf " + live_root).c_str());
+  stream::StreamOptions live_options = options;
+  live_options.publish_root = live_root;
+  live_options.build_store = true;
+
+  // Generation 0 must exist before the fleet can start.
+  {
+    stream::StreamDriver bootstrap(&arena, live_options);
+    RRRE_CHECK_OK(bootstrap.Recover());
+    RRRE_CHECK_OK(bootstrap.Step(nullptr));
+  }
+
+  serve::ServerOptions server_options;
+  server_options.config = config;
+  server_options.model_prefix = stream::CurrentPath(live_root, "ckpt");
+  server_options.store_path =
+      stream::CurrentPath(live_root, "ckpt.tower_store");
+  server_options.port = 0;
+  std::vector<std::unique_ptr<serve::Server>> fleet;
+  for (int i = 0; i < 2; ++i) {
+    auto server = serve::Server::Start(server_options);
+    RRRE_CHECK_OK(server.status());
+    fleet.push_back(std::move(server).ValueOrDie());
+  }
+  serve::RouterOptions router_options;
+  for (const auto& server : fleet) {
+    router_options.backends.push_back({"127.0.0.1", server->port()});
+  }
+  auto router = serve::Router::Start(router_options);
+  RRRE_CHECK_OK(router.status());
+
+  CatalogClient client;
+  client.Run(router.value()->port(), arena.num_users(), opts.base_seed + 7);
+
+  // A fresh driver recovers generation 0 from the manifest (exercising the
+  // recovery path) and streams the rest with hot reloads through the router.
+  live_options.reload_endpoints = {{"127.0.0.1", router.value()->port()}};
+  int64_t generations_reloaded = 0;
+  {
+    stream::StreamDriver driver(&arena, live_options);
+    RRRE_CHECK_OK(driver.Recover());
+    RRRE_CHECK(driver.next_partition() == 1)
+        << "live leg expected to recover generation 0";
+    while (!driver.Done()) {
+      stream::GenerationResult result;
+      RRRE_CHECK_OK(driver.Step(&result));
+      RRRE_CHECK(result.reloaded)
+          << "fleet did not converge on generation " << result.generation;
+      ++generations_reloaded;
+    }
+  }
+  // Keep the client running until it has collected enough full catalog
+  // responses *after* the last roll to make the leg meaningful.
+  const int64_t min_responses = flags.GetInt("catalog_requests");
+  while (client.responses.load() < min_responses &&
+         client.errors.load() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  client.stop.store(true);
+  client.thread.join();
+
+  const serve::RouterStats router_stats = router.value()->stats();
+  router.value()->Shutdown();
+  for (auto& server : fleet) server->Shutdown();
+  const int64_t catalog_responses = client.responses.load();
+  const int64_t catalog_errors = client.errors.load();
+  std::printf("  %lld generations rolled, %lld catalog responses, "
+              "%lld errors, %lld quarantined, %lld barriers\n",
+              static_cast<long long>(generations_reloaded),
+              static_cast<long long>(catalog_responses),
+              static_cast<long long>(catalog_errors),
+              static_cast<long long>(router_stats.quarantined),
+              static_cast<long long>(router_stats.reload_barriers));
+  RRRE_CHECK(catalog_errors == 0)
+      << "catalog client saw errors across reloads";
+  RRRE_CHECK(router_stats.quarantined == 0)
+      << "reload left quarantined backends";
+
+  // ---- Leg 3: kill-then-resume bitwise identity. --------------------------
+  std::printf("leg 3/3: kill-then-resume identity...\n");
+  const std::string resume_root = "/tmp/rrre_bench_streaming_resume";
+  std::system(("rm -rf " + resume_root).c_str());
+  stream::StreamOptions resume_options = options;
+  resume_options.publish_root = resume_root;
+  const int64_t last = arena.num_partitions() - 1;
+  // "Kill" after publishing generation last-1 (driver destroyed), then a
+  // fresh driver recovers from the manifest and finishes the stream.
+  RunStream(arena, resume_options, /*max_steps=*/last);
+  RunStream(arena, resume_options, /*max_steps=*/0);
+
+  const std::string detect_dir =
+      stream::GenerationDir(options.publish_root, last);
+  const std::string resume_dir = stream::GenerationDir(resume_root, last);
+  auto manifest = stream::ReadManifest(detect_dir);
+  RRRE_CHECK_OK(manifest.status());
+  bool resume_identical = true;
+  for (const std::string& rel : manifest.value().files) {
+    auto a = common::ReadFile(detect_dir + "/" + rel);
+    auto b = common::ReadFile(resume_dir + "/" + rel);
+    RRRE_CHECK_OK(a.status());
+    RRRE_CHECK_OK(b.status());
+    const bool same = a.value() == b.value();
+    std::printf("  %s: %s\n", rel.c_str(), same ? "identical" : "DIVERGED");
+    resume_identical = resume_identical && same;
+  }
+  RRRE_CHECK(resume_identical)
+      << "kill-then-resume diverged from the uninterrupted stream";
+
+  std::string waves_json;
+  for (const stream::WaveStat& wave : detect->tracker().waves()) {
+    if (!waves_json.empty()) waves_json += ",\n    ";
+    waves_json += WaveJson(wave);
+  }
+  const std::string json = common::StrFormat(
+      "{\n"
+      "  \"bench\": \"streaming\",\n"
+      "  \"dataset\": \"%s\",\n"
+      "  \"scale\": %.3f,\n"
+      "  \"partitions\": %lld,\n"
+      "  \"days_per_partition\": %lld,\n"
+      "  \"epochs_cold\": %lld,\n"
+      "  \"epochs_per_partition\": %lld,\n"
+      "  \"waves\": [\n    %s\n  ],\n"
+      "  \"live\": {\"shards\": 2, \"generations_reloaded\": %lld, "
+      "\"catalog_responses\": %lld, \"catalog_errors\": %lld, "
+      "\"quarantined\": %lld, \"reload_barriers\": %lld},\n"
+      "  \"resume_identical\": %s\n"
+      "}\n",
+      flags.GetString("dataset").c_str(), opts.scale,
+      static_cast<long long>(arena.num_partitions()),
+      static_cast<long long>(arena_config.days_per_partition),
+      static_cast<long long>(options.config.epochs),
+      static_cast<long long>(options.epochs_per_partition),
+      waves_json.c_str(), static_cast<long long>(generations_reloaded),
+      static_cast<long long>(catalog_responses),
+      static_cast<long long>(catalog_errors),
+      static_cast<long long>(router_stats.quarantined),
+      static_cast<long long>(router_stats.reload_barriers),
+      resume_identical ? "true" : "false");
+  RRRE_CHECK_OK(common::WriteFile(flags.GetString("out"), json));
+  std::printf("results written to %s\n", flags.GetString("out").c_str());
+  return 0;
+}

@@ -251,6 +251,28 @@ Status FsyncParentDir(const std::string& path) {
   return Status::Ok();
 }
 
+Status EnsureDir(const std::string& path) {
+  if (path.empty()) return Status::InvalidArgument("EnsureDir of empty path");
+  // Create each missing component left to right; EEXIST at any level is the
+  // success case of a concurrent or earlier creation.
+  size_t pos = 0;
+  while (pos != std::string::npos) {
+    pos = path.find('/', pos + 1);
+    const std::string prefix =
+        pos == std::string::npos ? path : path.substr(0, pos);
+    if (prefix.empty() || prefix == "/" || prefix == ".") continue;
+    if (::mkdir(prefix.c_str(), 0777) != 0 && errno != EEXIST) {
+      return Status::IoError("mkdir failed: " + prefix + " (" + ErrnoString() +
+                             ")");
+    }
+  }
+  struct stat st{};
+  if (::stat(path.c_str(), &st) != 0 || !S_ISDIR(st.st_mode)) {
+    return Status::IoError("EnsureDir: not a directory: " + path);
+  }
+  return Status::Ok();
+}
+
 Status AtomicWriteFile(const std::string& path, const std::string& content) {
   AtomicFileWriter writer;
   RRRE_RETURN_IF_ERROR(writer.Open(path));

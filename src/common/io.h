@@ -94,6 +94,11 @@ Status AtomicWriteFile(const std::string& path, const std::string& content);
 /// (e.g. TelemetryWriter) finish their commit with this.
 Status FsyncParentDir(const std::string& path);
 
+/// Creates `path` and any missing parents (mkdir -p semantics). Succeeds when
+/// the directory already exists; fails when a component exists but is not a
+/// directory.
+Status EnsureDir(const std::string& path);
+
 /// Writes `content` to `path`, replacing any existing file. Routed through
 /// AtomicWriteFile so partially-written output files cannot be observed.
 Status WriteFile(const std::string& path, const std::string& content);

@@ -301,22 +301,9 @@ void RrreTrainer::EmitEpochTelemetry(const EpochStats& stats,
   record.AddInt("examples", examples);
   record.AddInt("batches", batches);
   if (telemetry_.eval != nullptr && telemetry_.eval->size() > 0) {
-    // Scoring draws histories through the trainer RNG; snapshot and restore
-    // it so instrumented and uninstrumented runs train bitwise identically.
-    const auto rng_state = rng_.SerializeState();
-    const Predictions preds = PredictDataset(*telemetry_.eval);
-    rng_.RestoreState(rng_state);
-    std::vector<double> targets;
-    std::vector<int> labels;
-    targets.reserve(static_cast<size_t>(telemetry_.eval->size()));
-    labels.reserve(static_cast<size_t>(telemetry_.eval->size()));
-    for (const data::Review& r : telemetry_.eval->reviews()) {
-      targets.push_back(r.rating);
-      labels.push_back(r.is_benign() ? 1 : 0);
-    }
-    record.AddDouble("eval_brmse",
-                     eval::BiasedRmse(preds.ratings, targets, labels));
-    record.AddDouble("eval_auc", eval::Auc(preds.reliabilities, labels));
+    const EvalResult ev = Evaluate(*telemetry_.eval);
+    record.AddDouble("eval_brmse", ev.brmse);
+    record.AddDouble("eval_auc", ev.auc);
   }
   if (telemetry_.writer->include_timings()) {
     record.AddDouble("seconds", stats.seconds);
@@ -331,6 +318,28 @@ void RrreTrainer::EmitEpochTelemetry(const EpochStats& stats,
   if (!status.ok()) {
     RRRE_LOG_WARNING << "epoch telemetry dropped: " << status.ToString();
   }
+}
+
+RrreTrainer::EvalResult RrreTrainer::Evaluate(const data::ReviewDataset& eval) {
+  RRRE_CHECK(fitted()) << "call Fit() first";
+  RRRE_CHECK_GT(eval.size(), 0);
+  // Scoring draws histories through the trainer RNG; snapshot and restore it
+  // so instrumented and uninstrumented runs train bitwise identically.
+  const auto rng_state = rng_.SerializeState();
+  const Predictions preds = PredictDataset(eval);
+  rng_.RestoreState(rng_state);
+  std::vector<double> targets;
+  std::vector<int> labels;
+  targets.reserve(static_cast<size_t>(eval.size()));
+  labels.reserve(static_cast<size_t>(eval.size()));
+  for (const data::Review& r : eval.reviews()) {
+    targets.push_back(r.rating);
+    labels.push_back(r.is_benign() ? 1 : 0);
+  }
+  EvalResult out;
+  out.brmse = eval::BiasedRmse(preds.ratings, targets, labels);
+  out.auc = eval::Auc(preds.reliabilities, labels);
+  return out;
 }
 
 RrreTrainer::Predictions RrreTrainer::PredictPairs(
@@ -582,6 +591,50 @@ common::Status RrreTrainer::Resume(EpochCallback callback) {
   if (epochs_completed_ >= config_.epochs) return common::Status::Ok();
   TrainEpochs(epochs_completed_, callback);
   return common::Status::Ok();
+}
+
+common::Status RrreTrainer::ResumeWith(const data::ReviewDataset& train,
+                                       int64_t extra_epochs,
+                                       EpochCallback callback) {
+  if (!fitted()) {
+    return common::Status::FailedPrecondition(
+        "nothing to warm-start from: trainer is not fitted");
+  }
+  if (optimizer_ == nullptr) {
+    return common::Status::FailedPrecondition(
+        "checkpoint carries no optimizer state; it was saved before training "
+        "or by a pre-resume version — call Fit to retrain instead");
+  }
+  if (extra_epochs <= 0) {
+    return common::Status::InvalidArgument("extra_epochs must be positive");
+  }
+  if (!train.indexed() || train.size() == 0) {
+    return common::Status::InvalidArgument(
+        "warm-start corpus must be indexed and non-empty");
+  }
+  if (train.num_users() != train_->num_users() ||
+      train.num_items() != train_->num_items()) {
+    return common::Status::FailedPrecondition(
+        "warm-start corpus universe differs from the fitted one; the id "
+        "embedding tables are sized to the original universe");
+  }
+  train_ = std::make_unique<data::ReviewDataset>(train);
+  features_ = std::make_unique<FeatureBuilder>(config_, train_.get(),
+                                               vocab_.get());
+  // The vocabulary and rating offset stay pinned to the corpus that fitted
+  // them: the FM head learned residuals around that offset, and both values
+  // round-trip exactly through Save/Load, which keeps a reloaded warm start
+  // bitwise identical to an in-process one.
+  config_.epochs = epochs_completed_ + extra_epochs;
+  TrainEpochs(epochs_completed_, callback);
+  return common::Status::Ok();
+}
+
+std::vector<std::string> RrreTrainer::CheckpointSuffixes(bool with_optimizer) {
+  std::vector<std::string> suffixes = {".model", ".vocab", ".train.tsv"};
+  if (with_optimizer) suffixes.push_back(".optimizer");
+  suffixes.push_back(".meta");
+  return suffixes;
 }
 
 const RrreModel& RrreTrainer::model() const {

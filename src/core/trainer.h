@@ -3,6 +3,7 @@
 
 #include <functional>
 #include <memory>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -69,6 +70,36 @@ class RrreTrainer {
   /// already reached config().epochs.
   common::Status Resume(EpochCallback callback = nullptr);
 
+  /// Warm-start continuation on a *grown* corpus — the streaming-retrain
+  /// primitive. Replaces the training corpus with `train` (which must cover
+  /// the same user/item universe: the id embedding tables are sized to it),
+  /// keeps the model parameters, optimizer moments, vocabulary and rating
+  /// offset exactly as they are, raises config().epochs by `extra_epochs`
+  /// and trains the new epochs on the new corpus. Words that entered the
+  /// corpus after the vocabulary was built map to OOV, exactly as unseen
+  /// words do at inference.
+  ///
+  /// Determinism contract: the run is a pure function of (checkpoint state,
+  /// train, extra_epochs). A Save → Load → ResumeWith on another process is
+  /// bitwise identical to calling ResumeWith in the original process, which
+  /// is what makes a kill-then-resume of the streaming driver reproduce an
+  /// uninterrupted stream byte for byte.
+  common::Status ResumeWith(const data::ReviewDataset& train,
+                            int64_t extra_epochs,
+                            EpochCallback callback = nullptr);
+
+  struct EvalResult {
+    double brmse = 0.0;  ///< Biased RMSE (Eq. 17) on the eval set.
+    double auc = 0.0;    ///< Benign-vs-fake AUC of the reliability head.
+  };
+
+  /// Scores `eval` with the current parameters without perturbing training:
+  /// the trainer RNG is snapshotted around the prediction pass, so training
+  /// epochs after an Evaluate are bitwise identical to a run that never
+  /// evaluated. This is the sliding detection-lag probe of the streaming
+  /// loop.
+  EvalResult Evaluate(const data::ReviewDataset& eval);
+
   struct Predictions {
     std::vector<double> ratings;
     std::vector<double> reliabilities;  ///< P(benign) per pair.
@@ -104,6 +135,12 @@ class RrreTrainer {
   /// Fit again to retrain from scratch. Legacy checkpoints (scalar-only
   /// .meta) still load but cannot Resume.
   common::Status Load(const std::string& prefix);
+
+  /// File suffixes a Save(prefix) writes, in write order. ".optimizer" is
+  /// included only when optimizer state exists. Publish layers and cleanup
+  /// loops should derive checkpoint file lists from this instead of
+  /// hard-coding suffixes, so a format change cannot orphan artifacts.
+  static std::vector<std::string> CheckpointSuffixes(bool with_optimizer);
 
   bool fitted() const { return model_ != nullptr; }
   const RrreModel& model() const;

@@ -1,0 +1,316 @@
+#include "data/adversary.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "data/review_text.h"
+#include "data/wordbanks.h"
+
+namespace rrre::data {
+
+using common::Rng;
+
+namespace {
+
+constexpr int kLatentDim = 4;
+
+/// Keyed stream ids for the per-partition forks. Partition k trains from
+/// stream 2k, evaluates from stream 2k+1 — disjoint by construction.
+uint64_t TrainStream(int64_t k) { return static_cast<uint64_t>(2 * k); }
+uint64_t EvalStream(int64_t k) { return static_cast<uint64_t>(2 * k + 1); }
+
+}  // namespace
+
+AdversaryModel::AdversaryModel(AdversaryConfig config)
+    : config_(std::move(config)), master_(config_.seed) {
+  const DatasetProfile& p = config_.profile;
+  RRRE_CHECK_GT(p.num_reviews, 0);
+  RRRE_CHECK_GT(p.num_users, 0);
+  RRRE_CHECK_GT(p.num_items, 0);
+  RRRE_CHECK_GE(p.fake_fraction, 0.0);
+  RRRE_CHECK_LT(p.fake_fraction, 1.0);
+  RRRE_CHECK_GT(config_.days_per_partition, 0);
+  RRRE_CHECK_GT(p.horizon_days, 0);
+  RRRE_CHECK(!config_.schedule.empty());
+  RRRE_CHECK_EQ(config_.schedule.front().start_day, 0)
+      << "the tier schedule must cover day 0";
+  for (size_t i = 1; i < config_.schedule.size(); ++i) {
+    RRRE_CHECK_GT(config_.schedule[i].start_day,
+                  config_.schedule[i - 1].start_day)
+        << "tier phases must ascend by start_day";
+  }
+  num_partitions_ = (p.horizon_days + config_.days_per_partition - 1) /
+                    config_.days_per_partition;
+
+  const int64_t num_users = p.num_users;
+  const int64_t num_items = p.num_items;
+
+  // --- Latent world: same processes as the one-shot generator --------------
+  Rng rng = master_;  // World draws advance a copy; master_ stays at seed
+                      // state so keyed forks are stable. The copy's final
+                      // state is folded back below.
+  item_category_.resize(static_cast<size_t>(num_items));
+  item_quality_.resize(static_cast<size_t>(num_items));
+  item_factors_.resize(static_cast<size_t>(num_items));
+  const int num_cats = std::min(p.num_categories, wordbanks::NumCategories());
+  for (int64_t i = 0; i < num_items; ++i) {
+    item_category_[static_cast<size_t>(i)] =
+        static_cast<int>(rng.UniformInt(static_cast<uint64_t>(num_cats)));
+    item_quality_[static_cast<size_t>(i)] =
+        std::clamp(rng.Normal(0.0, 0.8), -1.6, 1.6);
+    auto& f = item_factors_[static_cast<size_t>(i)];
+    f.resize(kLatentDim);
+    for (double& v : f) v = rng.Normal();
+  }
+
+  user_bias_.resize(static_cast<size_t>(num_users));
+  user_factors_.resize(static_cast<size_t>(num_users));
+  is_hasty_.assign(static_cast<size_t>(num_users), false);
+  is_contrarian_.assign(static_cast<size_t>(num_users), false);
+  hasty_window_frac_.assign(static_cast<size_t>(num_users), 0.0);
+  for (int64_t u = 0; u < num_users; ++u) {
+    user_bias_[static_cast<size_t>(u)] = rng.Normal(0.0, 0.25);
+    auto& f = user_factors_[static_cast<size_t>(u)];
+    f.resize(kLatentDim);
+    for (double& v : f) v = rng.Normal();
+    const double roll = rng.Uniform();
+    if (roll < p.hasty_user_fraction) {
+      is_hasty_[static_cast<size_t>(u)] = true;
+      hasty_window_frac_[static_cast<size_t>(u)] = rng.Uniform();
+    } else if (roll < p.hasty_user_fraction + p.contrarian_user_fraction) {
+      is_contrarian_[static_cast<size_t>(u)] = true;
+    }
+  }
+
+  const int64_t num_fraudsters = std::max<int64_t>(
+      1, static_cast<int64_t>(p.fraud_user_fraction * num_users));
+  is_fraudster_.assign(static_cast<size_t>(num_users), false);
+  auto fraud_picks = rng.SampleWithoutReplacement(
+      static_cast<size_t>(num_users), static_cast<size_t>(num_fraudsters));
+  fraudsters_.reserve(fraud_picks.size());
+  for (size_t pick : fraud_picks) {
+    is_fraudster_[pick] = true;
+    fraudsters_.push_back(static_cast<int64_t>(pick));
+  }
+
+  // Sockpuppet rings: the fraudster population split into fixed cells. A
+  // tier-2 campaign is executed by exactly one ring, so its authorship graph
+  // is concentrated — the one signal camouflage cannot wash out.
+  const int64_t ring_size = std::max<int64_t>(1, config_.ring_size);
+  for (size_t start = 0; start < fraudsters_.size();
+       start += static_cast<size_t>(ring_size)) {
+    const size_t end = std::min(fraudsters_.size(),
+                                start + static_cast<size_t>(ring_size));
+    rings_.emplace_back(fraudsters_.begin() + static_cast<int64_t>(start),
+                        fraudsters_.begin() + static_cast<int64_t>(end));
+  }
+
+  item_pop_ = PowerLawWeights(num_items, p.item_popularity_skew, rng);
+  const std::vector<double> user_act =
+      PowerLawWeights(num_users, p.user_activity_skew, rng);
+  benign_author_weights_ = user_act;
+  for (int64_t u = 0; u < num_users; ++u) {
+    if (is_fraudster_[static_cast<size_t>(u)]) {
+      benign_author_weights_[static_cast<size_t>(u)] *= p.camouflage_rate;
+    }
+  }
+
+  const double denom = 1.0 - p.filter_miss_rate - p.filter_false_positive_rate;
+  RRRE_CHECK_GT(denom, 0.0);
+  campaign_fraction_ = std::clamp(
+      (p.fake_fraction - p.filter_false_positive_rate) / denom, 0.0, 0.9);
+
+  // Freeze the post-world state as the fork parent: every partition stream
+  // depends on the complete world build, and nothing ever advances it again.
+  master_ = rng;
+}
+
+AdversaryTier AdversaryModel::TierOnDay(int64_t day) const {
+  AdversaryTier tier = config_.schedule.front().tier;
+  for (const TierPhase& phase : config_.schedule) {
+    if (phase.start_day > day) break;
+    tier = phase.tier;
+  }
+  return tier;
+}
+
+AdversaryTier AdversaryModel::TierOfPartition(int64_t k) const {
+  RRRE_CHECK_GE(k, 0);
+  RRRE_CHECK_LT(k, num_partitions_);
+  return TierOnDay(k * config_.days_per_partition);
+}
+
+int64_t AdversaryModel::PartitionVolume(int64_t k) const {
+  RRRE_CHECK_GE(k, 0);
+  RRRE_CHECK_LT(k, num_partitions_);
+  const int64_t base = config_.profile.num_reviews / num_partitions_;
+  const int64_t rem = config_.profile.num_reviews % num_partitions_;
+  return base + (k < rem ? 1 : 0);
+}
+
+double AdversaryModel::ItemBenignMean(int64_t item) const {
+  // User bias and the factor dot product are zero-mean across the
+  // population, so the expected benign-process rating of an item reduces to
+  // the quality term of the generator's mean formula.
+  return 3.25 + 0.9 * item_quality_[static_cast<size_t>(item)];
+}
+
+ReviewDataset AdversaryModel::Partition(int64_t k) const {
+  RRRE_CHECK_GE(k, 0);
+  RRRE_CHECK_LT(k, num_partitions_);
+  Rng rng = master_.Fork(TrainStream(k));
+  const int64_t day0 = k * config_.days_per_partition;
+  const int64_t day1 =
+      std::min(config_.profile.horizon_days, day0 + config_.days_per_partition);
+  return GenerateSlice(rng, day0, day1, PartitionVolume(k), TierOfPartition(k),
+                       /*oracle_noise=*/true);
+}
+
+ReviewDataset AdversaryModel::EvalSlice(int64_t k) const {
+  RRRE_CHECK_GE(k, 0);
+  RRRE_CHECK_LT(k, num_partitions_);
+  Rng rng = master_.Fork(EvalStream(k));
+  const int64_t day0 = k * config_.days_per_partition;
+  const int64_t day1 =
+      std::min(config_.profile.horizon_days, day0 + config_.days_per_partition);
+  int64_t n = config_.eval_reviews_per_partition;
+  if (n <= 0) n = std::max<int64_t>(32, PartitionVolume(k) / 5);
+  return GenerateSlice(rng, day0, day1, n, TierOfPartition(k),
+                       /*oracle_noise=*/false);
+}
+
+ReviewDataset AdversaryModel::CumulativeThrough(int64_t k) const {
+  RRRE_CHECK_GE(k, 0);
+  RRRE_CHECK_LT(k, num_partitions_);
+  ReviewDataset out = Partition(0);
+  for (int64_t i = 1; i <= k; ++i) {
+    out = ReviewDataset::Merge(out, Partition(i));
+  }
+  return out;
+}
+
+ReviewDataset AdversaryModel::GenerateSlice(Rng& rng, int64_t day0,
+                                            int64_t day1, int64_t n_total,
+                                            AdversaryTier tier,
+                                            bool oracle_noise) const {
+  const DatasetProfile& p = config_.profile;
+  const int64_t window_days = std::max<int64_t>(1, day1 - day0);
+  const double fpr = oracle_noise ? p.filter_false_positive_rate : 0.0;
+  const double miss = oracle_noise ? p.filter_miss_rate : 0.0;
+  const int64_t n_fake =
+      static_cast<int64_t>(campaign_fraction_ * static_cast<double>(n_total));
+  const int64_t n_benign = n_total - n_fake;
+
+  ReviewDataset ds(p.num_users, p.num_items);
+
+  // --- Benign reviews (identical process to the one-shot generator, but
+  // timestamps confined to this partition's window) ------------------------
+  for (int64_t n = 0; n < n_benign; ++n) {
+    const int64_t u =
+        static_cast<int64_t>(rng.Categorical(benign_author_weights_));
+    const int64_t i = static_cast<int64_t>(rng.Categorical(item_pop_));
+    double dot = 0.0;
+    for (int d = 0; d < kLatentDim; ++d) {
+      dot += user_factors_[static_cast<size_t>(u)][static_cast<size_t>(d)] *
+             item_factors_[static_cast<size_t>(i)][static_cast<size_t>(d)];
+    }
+    double mean = 3.25 + user_bias_[static_cast<size_t>(u)] +
+                  0.9 * item_quality_[static_cast<size_t>(i)] + 0.35 * dot;
+    if (is_contrarian_[static_cast<size_t>(u)]) {
+      mean = 6.5 - mean;
+    }
+    Review r;
+    r.user = u;
+    r.item = i;
+    r.rating = ClampRating(mean + rng.Normal(0.0, 0.7));
+    r.label = rng.Bernoulli(fpr) ? ReliabilityLabel::kFake
+                                 : ReliabilityLabel::kBenign;
+    if (is_hasty_[static_cast<size_t>(u)]) {
+      if (rng.Uniform() < 0.5) {
+        r.rating = r.rating >= 3.0f ? 5.0f : 1.0f;
+      }
+      // The binge window sits at the user's fixed fractional position within
+      // whatever partition the review lands in.
+      const int64_t binge_days = std::min<int64_t>(5, window_days);
+      const int64_t start =
+          day0 + static_cast<int64_t>(
+                     hasty_window_frac_[static_cast<size_t>(u)] *
+                     static_cast<double>(window_days - binge_days + 1));
+      r.timestamp = std::min(
+          day1 - 1,
+          start + static_cast<int64_t>(
+                      rng.UniformInt(static_cast<uint64_t>(binge_days))));
+      r.text = HastyText(r.rating, item_category_[static_cast<size_t>(i)], rng);
+    } else {
+      r.timestamp = day0 + static_cast<int64_t>(rng.UniformInt(
+                               static_cast<uint64_t>(window_days)));
+      r.text =
+          BenignText(r.rating, item_category_[static_cast<size_t>(i)], rng);
+    }
+    ds.Add(std::move(r));
+  }
+
+  // --- Fraud campaigns at the window's tier --------------------------------
+  int64_t fakes_emitted = 0;
+  while (fakes_emitted < n_fake) {
+    const int64_t target = static_cast<int64_t>(rng.Categorical(item_pop_));
+    const double quality = item_quality_[static_cast<size_t>(target)];
+    const bool promote = rng.Uniform() < (quality < 0.0 ? 0.85 : 0.15);
+    const int64_t burst_days =
+        std::min<int64_t>(std::max<int64_t>(1, p.campaign_burst_days),
+                          window_days);
+    const int64_t burst_start =
+        day0 + static_cast<int64_t>(rng.UniformInt(static_cast<uint64_t>(
+                   std::max<int64_t>(1, window_days - burst_days))));
+    const int64_t campaign_size = std::min<int64_t>(
+        n_fake - fakes_emitted,
+        rng.UniformInt(p.campaign_size_min, p.campaign_size_max));
+    const size_t template_id = static_cast<size_t>(rng.NextUint64() % 1024);
+    // Tier 2 campaigns are executed by one sockpuppet ring.
+    const std::vector<int64_t>& authors =
+        tier == AdversaryTier::kCamouflage
+            ? rings_[rng.UniformInt(static_cast<uint64_t>(rings_.size()))]
+            : fraudsters_;
+    for (int64_t kth = 0; kth < campaign_size; ++kth) {
+      const int64_t u =
+          authors[rng.UniformInt(static_cast<uint64_t>(authors.size()))];
+      Review r;
+      r.user = u;
+      r.item = target;
+      if (tier == AdversaryTier::kCamouflage) {
+        // FairJudge-style rating camouflage: hug the item's benign mean with
+        // only a small push in the campaign direction.
+        r.rating = ClampRating(ItemBenignMean(target) +
+                               (promote ? 0.9 : -0.9) + rng.Normal(0.0, 0.35));
+      } else {
+        const bool extreme = rng.Uniform() < p.fake_extreme_prob;
+        r.rating = promote ? (extreme ? 5.0f : 4.0f) : (extreme ? 1.0f : 2.0f);
+      }
+      r.label = rng.Bernoulli(miss) ? ReliabilityLabel::kBenign
+                                    : ReliabilityLabel::kFake;
+      if (tier == AdversaryTier::kCamouflage) {
+        // Slow burn: the ring drips reviews across the whole window.
+        r.timestamp = day0 + static_cast<int64_t>(rng.UniformInt(
+                                 static_cast<uint64_t>(window_days)));
+      } else {
+        r.timestamp =
+            burst_start + static_cast<int64_t>(rng.UniformInt(
+                              static_cast<uint64_t>(burst_days)));
+      }
+      const int category = item_category_[static_cast<size_t>(target)];
+      if (tier == AdversaryTier::kStatic) {
+        r.text = SpamText(promote, category, template_id, rng);
+      } else {
+        r.text = ParaphrasedSpamText(promote, category, rng);
+      }
+      ds.Add(std::move(r));
+      ++fakes_emitted;
+    }
+  }
+
+  ds.BuildIndex();
+  return ds;
+}
+
+}  // namespace rrre::data

@@ -1,0 +1,158 @@
+#include "data/review_text.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string_view>
+
+#include "data/wordbanks.h"
+
+namespace rrre::data {
+
+using common::Rng;
+
+namespace {
+
+template <typename Pool>
+std::string_view Pick(const Pool& pool, Rng& rng) {
+  return pool[rng.UniformInt(static_cast<uint64_t>(pool.size()))];
+}
+
+}  // namespace
+
+std::vector<double> PowerLawWeights(int64_t n, double skew, Rng& rng) {
+  std::vector<int64_t> ranks(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) ranks[static_cast<size_t>(i)] = i;
+  rng.Shuffle(ranks);
+  std::vector<double> weights(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    weights[static_cast<size_t>(i)] =
+        std::pow(static_cast<double>(ranks[static_cast<size_t>(i)]) + 1.0,
+                 -skew);
+  }
+  return weights;
+}
+
+float ClampRating(double r) {
+  return static_cast<float>(std::clamp(std::round(r), 1.0, 5.0));
+}
+
+std::string BenignText(float rating, int category, Rng& rng) {
+  const int64_t len = 8 + static_cast<int64_t>(rng.UniformInt(uint64_t{22}));
+  std::string out;
+  for (int64_t t = 0; t < len; ++t) {
+    const double roll = rng.Uniform();
+    std::string_view tok;
+    if (roll < 0.40) {
+      tok = Pick(wordbanks::Function(), rng);
+    } else if (roll < 0.65) {
+      tok = Pick(wordbanks::Aspects(category), rng);
+    } else {
+      // Sentiment word matching the rating, with some hedging noise.
+      const double noise = rng.Uniform();
+      if (rating >= 4.0f) {
+        tok = noise < 0.85 ? Pick(wordbanks::Positive(), rng)
+                           : Pick(wordbanks::Neutral(), rng);
+      } else if (rating <= 2.0f) {
+        tok = noise < 0.85 ? Pick(wordbanks::Negative(), rng)
+                           : Pick(wordbanks::Neutral(), rng);
+      } else {
+        if (noise < 0.6) {
+          tok = Pick(wordbanks::Neutral(), rng);
+        } else if (noise < 0.8) {
+          tok = Pick(wordbanks::Positive(), rng);
+        } else {
+          tok = Pick(wordbanks::Negative(), rng);
+        }
+      }
+    }
+    if (!out.empty()) out += ' ';
+    out += tok;
+  }
+  return out;
+}
+
+std::string HastyText(float rating, int category, Rng& rng) {
+  const int64_t len = 3 + static_cast<int64_t>(rng.UniformInt(uint64_t{4}));
+  std::string out;
+  for (int64_t t = 0; t < len; ++t) {
+    const double roll = rng.Uniform();
+    std::string_view tok;
+    if (roll < 0.4) {
+      tok = Pick(wordbanks::Function(), rng);
+    } else if (roll < 0.6) {
+      tok = Pick(wordbanks::Aspects(category), rng);
+    } else if (rating >= 4.0f) {
+      tok = Pick(wordbanks::Positive(), rng);
+    } else if (rating <= 2.0f) {
+      tok = Pick(wordbanks::Negative(), rng);
+    } else {
+      tok = Pick(wordbanks::Neutral(), rng);
+    }
+    if (!out.empty()) out += ' ';
+    out += tok;
+  }
+  return out;
+}
+
+std::string SpamText(bool promote, int category, size_t template_id,
+                     Rng& rng) {
+  const int64_t len = 8 + static_cast<int64_t>(rng.UniformInt(uint64_t{14}));
+  std::string out;
+  for (int64_t t = 0; t < len; ++t) {
+    const double roll = rng.Uniform();
+    std::string_view tok;
+    if (roll < 0.50) {
+      tok = promote ? Pick(wordbanks::SpamPromote(), rng)
+                    : Pick(wordbanks::SpamDemote(), rng);
+    } else if (roll < 0.80) {
+      tok = Pick(wordbanks::Function(), rng);
+    } else if (roll < 0.92) {
+      tok = Pick(wordbanks::Aspects(category), rng);
+    } else {
+      // Sentiment-consistent camouflage words.
+      tok = promote ? Pick(wordbanks::Positive(), rng)
+                    : Pick(wordbanks::Negative(), rng);
+    }
+    if (!out.empty()) out += ' ';
+    out += tok;
+  }
+  if (rng.Uniform() < 0.5) {
+    const auto& templates = wordbanks::SpamTemplates();
+    const auto& phrase = templates[template_id % templates.size()];
+    for (std::string_view tok : phrase) {
+      out += ' ';
+      out += tok;
+    }
+  }
+  return out;
+}
+
+std::string ParaphrasedSpamText(bool promote, int category, Rng& rng) {
+  const int64_t len = 8 + static_cast<int64_t>(rng.UniformInt(uint64_t{18}));
+  std::string out;
+  for (int64_t t = 0; t < len; ++t) {
+    const double roll = rng.Uniform();
+    std::string_view tok;
+    if (roll < 0.42) {
+      tok = Pick(wordbanks::Function(), rng);
+    } else if (roll < 0.68) {
+      tok = Pick(wordbanks::Aspects(category), rng);
+    } else {
+      // The sentiment of an honest rating-consistent review, hedged exactly
+      // like a benign author would hedge.
+      const double noise = rng.Uniform();
+      if (promote) {
+        tok = noise < 0.85 ? Pick(wordbanks::Positive(), rng)
+                           : Pick(wordbanks::Neutral(), rng);
+      } else {
+        tok = noise < 0.85 ? Pick(wordbanks::Negative(), rng)
+                           : Pick(wordbanks::Neutral(), rng);
+      }
+    }
+    if (!out.empty()) out += ' ';
+    out += tok;
+  }
+  return out;
+}
+
+}  // namespace rrre::data

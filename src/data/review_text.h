@@ -1,0 +1,46 @@
+#ifndef RRRE_DATA_REVIEW_TEXT_H_
+#define RRRE_DATA_REVIEW_TEXT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace rrre::data {
+
+/// Text and distribution helpers shared by the one-shot synthetic generator
+/// (synthetic.cc) and the streaming adversary arena (adversary.cc). The draw
+/// sequences here are load-bearing: GenerateSyntheticDataset's output is
+/// golden for every seeded test, so these functions must consume RNG draws
+/// in exactly the order the original in-generator statics did.
+
+/// Rank-based power-law weights: weight of the element ranked r (0-based) is
+/// (r+1)^-skew; assignment of ranks to ids is a random permutation.
+std::vector<double> PowerLawWeights(int64_t n, double skew, common::Rng& rng);
+
+/// Rounds to the nearest star and clamps to the 1..5 scale.
+float ClampRating(double r);
+
+/// Benign review text: aspect words of the item's category plus sentiment
+/// words consistent with the rating plus function words.
+std::string BenignText(float rating, int category, common::Rng& rng);
+
+/// Very short, low-effort benign text written by hasty reviewers.
+std::string HastyText(float rating, int category, common::Rng& rng);
+
+/// Spam text: generic superlatives/smears diluted with function words and a
+/// campaign-shared template phrase. Length matches benign reviews so text
+/// length alone is not a giveaway; the *vocabulary* is the signal.
+std::string SpamText(bool promote, int category, size_t template_id,
+                     common::Rng& rng);
+
+/// Tier-1 evasion: spam text paraphrased out of the benign wordbanks. The
+/// token mixture matches BenignText of a rating-consistent review — no spam
+/// register, no shared template phrase — so the textual signal the detectors
+/// exploit is gone and only rating/temporal/graph signals remain.
+std::string ParaphrasedSpamText(bool promote, int category, common::Rng& rng);
+
+}  // namespace rrre::data
+
+#endif  // RRRE_DATA_REVIEW_TEXT_H_

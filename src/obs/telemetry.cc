@@ -61,6 +61,11 @@ void JsonRecord::AddString(const std::string& key, const std::string& value) {
   quoted_.push_back(true);
 }
 
+void JsonRecord::AddBool(const std::string& key, bool value) {
+  fields_.emplace_back(key, value ? "true" : "false");
+  quoted_.push_back(false);
+}
+
 std::string JsonRecord::ToJsonLine() const {
   std::string out = "{";
   for (size_t i = 0; i < fields_.size(); ++i) {

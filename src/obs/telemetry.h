@@ -22,6 +22,9 @@ class JsonRecord {
   void AddInt(const std::string& key, int64_t value);
   void AddDouble(const std::string& key, double value);
   void AddString(const std::string& key, const std::string& value);
+  /// Serialized as the JSON literals true/false (round-trips through
+  /// ParseJsonLine like any unquoted token).
+  void AddBool(const std::string& key, bool value);
 
   /// {"k":v,...}\n — one JSONL line.
   std::string ToJsonLine() const;

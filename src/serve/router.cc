@@ -645,6 +645,13 @@ class Router::ClientConn
       }
     }
     router_->fleet_fingerprint_.store(target);
+    if (router_->m_quarantined_ != nullptr) {
+      int64_t quarantined = 0;
+      for (const auto& b : router_->backends_) {
+        quarantined += b->quarantined.load() ? 1 : 0;
+      }
+      router_->m_quarantined_->Set(quarantined);
+    }
     if (!converged) {
       return FormatError("reload",
                          "fleet did not converge on one fingerprint");
@@ -803,6 +810,12 @@ Router::Router(const RouterOptions& options, ConsistentRing ring,
     m_backends_serving_ = metrics_->GetGauge(
         "rrre_router_backends_serving",
         "backends currently alive and fingerprint-converged");
+    // A loadgen --metrics scrape can land mid-roll, racing the fingerprint
+    // barrier; exposing the quarantine count lets the scraper distinguish a
+    // clean roll (0) from a fleet still carrying diverged shards.
+    m_quarantined_ = metrics_->GetGauge(
+        "rrre_router_quarantined",
+        "backends currently quarantined for fingerprint divergence");
     m_connections_active_ = metrics_->GetGauge(
         "rrre_router_connections_active", "currently open client connections");
   }
@@ -954,6 +967,11 @@ void Router::HealthPass() {
   }
   if (m_backends_serving_ != nullptr) {
     m_backends_serving_->Set(static_cast<int64_t>(ServingBackends().size()));
+  }
+  if (m_quarantined_ != nullptr) {
+    int64_t quarantined = 0;
+    for (const auto& b : backends_) quarantined += b->quarantined.load() ? 1 : 0;
+    m_quarantined_->Set(quarantined);
   }
 }
 

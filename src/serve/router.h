@@ -183,6 +183,7 @@ class Router {
   obs::Counter* m_fanouts_ = nullptr;
   obs::Counter* m_reload_barriers_ = nullptr;
   obs::Gauge* m_backends_serving_ = nullptr;
+  obs::Gauge* m_quarantined_ = nullptr;
   obs::Gauge* m_connections_active_ = nullptr;
 
   std::vector<std::unique_ptr<BackendState>> backends_;

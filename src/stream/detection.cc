@@ -1,0 +1,46 @@
+#include "stream/detection.h"
+
+#include <algorithm>
+
+namespace rrre::stream {
+
+void DetectionLagTracker::OnEpoch(int64_t epoch, int64_t partition, int tier,
+                                  double brmse, double auc) {
+  const bool new_wave = !have_last_ || tier != last_tier_;
+  if (new_wave) {
+    WaveStat wave;
+    wave.tier = tier;
+    wave.start_partition = partition;
+    wave.start_epoch = epoch;
+    if (have_last_) {
+      wave.baseline_auc = last_auc_;
+      wave.baseline_brmse = last_brmse_;
+      wave.target_auc = options_.auc_slack * last_auc_;
+      wave.target_brmse = options_.brmse_slack * last_brmse_;
+    } else {
+      // Cold start: no pre-attack metrics exist, so "recovery" means plain
+      // convergence to the absolute targets.
+      wave.target_auc = options_.cold_auc_target;
+      wave.target_brmse = options_.cold_brmse_target;
+    }
+    wave.worst_auc = auc;
+    wave.worst_brmse = brmse;
+    waves_.push_back(wave);
+  }
+
+  WaveStat& wave = waves_.back();
+  ++wave.epochs_observed;
+  wave.worst_auc = std::min(wave.worst_auc, auc);
+  wave.worst_brmse = std::max(wave.worst_brmse, brmse);
+  if (wave.lag_epochs < 0 && auc >= wave.target_auc &&
+      brmse <= wave.target_brmse) {
+    wave.lag_epochs = epoch - wave.start_epoch + 1;
+  }
+
+  have_last_ = true;
+  last_tier_ = tier;
+  last_brmse_ = brmse;
+  last_auc_ = auc;
+}
+
+}  // namespace rrre::stream

@@ -1,0 +1,78 @@
+#ifndef RRRE_STREAM_DETECTION_H_
+#define RRRE_STREAM_DETECTION_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace rrre::stream {
+
+/// Per-wave summary of how the retrain loop absorbed one attack escalation.
+struct WaveStat {
+  int tier = 0;
+  int64_t start_partition = 0;
+  /// Global epoch index of the first retrain epoch under this wave.
+  int64_t start_epoch = 0;
+  /// Eval metrics at the last epoch *before* the wave began (the pre-attack
+  /// baseline the recovery targets are derived from). For wave 0 there is no
+  /// baseline and these are 0.
+  double baseline_auc = 0.0;
+  double baseline_brmse = 0.0;
+  /// Recovery targets: recovered at the first epoch with
+  /// auc >= target_auc && brmse <= target_brmse.
+  double target_auc = 0.0;
+  double target_brmse = 0.0;
+  /// Worst observed metrics during the wave (min AUC, max bRMSE) — how deep
+  /// the attack bit before the loop recovered.
+  double worst_auc = 0.0;
+  double worst_brmse = 0.0;
+  /// Detection lag: epochs from wave onset until recovery, inclusive of the
+  /// recovering epoch. -1 while (or if never) unrecovered.
+  int64_t lag_epochs = -1;
+  int64_t epochs_observed = 0;
+};
+
+/// Measures detection lag across an escalating attack schedule: each change
+/// of adversary tier opens a new wave, the eval metrics at the last epoch
+/// before the change become the baseline, and the wave's lag is the number
+/// of retrain epochs until bRMSE and AUC are back within a slack factor of
+/// that baseline. Wave 0 (cold start) has no baseline, so it recovers
+/// against absolute targets instead.
+///
+/// Feed it every eval point in epoch order via OnEpoch; read waves() at the
+/// end. Deterministic: pure function of the fed sequence.
+class DetectionLagTracker {
+ public:
+  struct Options {
+    /// Recovered when brmse <= brmse_slack * baseline_brmse ...
+    double brmse_slack = 1.05;
+    /// ... and auc >= auc_slack * baseline_auc.
+    double auc_slack = 0.98;
+    /// Absolute targets for wave 0, which has no pre-attack baseline.
+    double cold_auc_target = 0.70;
+    double cold_brmse_target = 1.15;
+  };
+
+  DetectionLagTracker() : DetectionLagTracker(Options{}) {}
+  explicit DetectionLagTracker(const Options& options) : options_(options) {}
+
+  /// Reports the eval metrics after global epoch `epoch` while training on
+  /// data whose newest partition has adversary tier `tier`. Epochs must be
+  /// fed in order; a tier change opens a new wave (closing the previous one
+  /// recovered or not).
+  void OnEpoch(int64_t epoch, int64_t partition, int tier, double brmse,
+               double auc);
+
+  const std::vector<WaveStat>& waves() const { return waves_; }
+
+ private:
+  Options options_;
+  std::vector<WaveStat> waves_;
+  bool have_last_ = false;
+  int last_tier_ = -1;
+  double last_brmse_ = 0.0;
+  double last_auc_ = 0.0;
+};
+
+}  // namespace rrre::stream
+
+#endif  // RRRE_STREAM_DETECTION_H_

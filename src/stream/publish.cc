@@ -1,0 +1,202 @@
+#include "stream/publish.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "common/failpoint.h"
+#include "common/io.h"
+#include "common/strings.h"
+#include "core/tower_store.h"
+
+namespace rrre::stream {
+
+using common::Result;
+using common::Status;
+
+namespace {
+
+constexpr char kManifestName[] = "MANIFEST";
+constexpr char kGenPrefix[] = "gen-";
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+}  // namespace
+
+std::string GenerationDirName(int64_t generation) {
+  return common::StrFormat("%s%06lld", kGenPrefix,
+                           static_cast<long long>(generation));
+}
+
+std::string GenerationDir(const std::string& root, int64_t generation) {
+  return root + "/" + GenerationDirName(generation);
+}
+
+std::string CurrentPath(const std::string& root, const std::string& rel) {
+  return root + "/current/" + rel;
+}
+
+Status WriteManifest(const std::string& dir, const Manifest& m) {
+  if (m.generation < 0) {
+    return Status::InvalidArgument("manifest generation not set");
+  }
+  std::string body;
+  body += "format=1\n";
+  body += common::StrFormat("generation=%lld\n",
+                            static_cast<long long>(m.generation));
+  body += common::StrFormat("partition=%lld\n",
+                            static_cast<long long>(m.partition));
+  body += common::StrFormat("tier=%d\n", m.tier);
+  body += common::StrFormat("epochs_completed=%lld\n",
+                            static_cast<long long>(m.epochs_completed));
+  body += common::StrFormat(
+      "params_fingerprint=%016llx\n",
+      static_cast<unsigned long long>(m.params_fingerprint));
+  body += "checkpoint=" + m.checkpoint + "\n";
+  body += "store=" + m.store + "\n";
+  body += "files=" + common::Join(m.files, ",") + "\n";
+
+  common::AtomicFileWriter writer;
+  RRRE_RETURN_IF_ERROR(writer.Open(dir + "/" + kManifestName, "manifest"));
+  RRRE_RETURN_IF_ERROR(writer.Append(body));
+  return writer.Commit();
+}
+
+Result<Manifest> ReadManifest(const std::string& dir) {
+  const std::string path = dir + "/" + kManifestName;
+  auto content = common::ReadFile(path);
+  if (!content.ok()) {
+    return Status::NotFound("no manifest in " + dir + ": " +
+                            content.status().message());
+  }
+  Manifest m;
+  bool saw_format = false;
+  for (const std::string& raw : common::Split(content.value(), '\n')) {
+    const std::string line(common::Trim(raw));
+    if (line.empty()) continue;
+    const size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      return Status::IoError("malformed manifest line in " + path + ": " +
+                                line);
+    }
+    const std::string key = line.substr(0, eq);
+    const std::string value = line.substr(eq + 1);
+    if (key == "format") {
+      if (value != "1") {
+        return Status::IoError("unsupported manifest format " + value +
+                                  " in " + path);
+      }
+      saw_format = true;
+    } else if (key == "generation") {
+      m.generation = std::strtoll(value.c_str(), nullptr, 10);
+    } else if (key == "partition") {
+      m.partition = std::strtoll(value.c_str(), nullptr, 10);
+    } else if (key == "tier") {
+      m.tier = static_cast<int>(std::strtol(value.c_str(), nullptr, 10));
+    } else if (key == "epochs_completed") {
+      m.epochs_completed = std::strtoll(value.c_str(), nullptr, 10);
+    } else if (key == "params_fingerprint") {
+      m.params_fingerprint = std::strtoull(value.c_str(), nullptr, 16);
+    } else if (key == "checkpoint") {
+      m.checkpoint = value;
+    } else if (key == "store") {
+      m.store = value;
+    } else if (key == "files") {
+      m.files.clear();
+      if (!value.empty()) m.files = common::Split(value, ',');
+    }
+    // Unknown keys are ignored so older readers tolerate newer manifests.
+  }
+  if (!saw_format || m.generation < 0 || m.checkpoint.empty()) {
+    return Status::IoError("manifest " + path + " missing required fields");
+  }
+  for (const std::string& rel : m.files) {
+    if (!FileExists(dir + "/" + rel)) {
+      return Status::IoError("manifest " + path +
+                                " lists missing artifact " + rel);
+    }
+  }
+  auto fingerprint = core::CheckpointParamsFingerprint(dir + "/" + m.checkpoint);
+  if (!fingerprint.ok()) {
+    return Status::IoError("manifest " + path +
+                              " checkpoint unreadable: " +
+                              fingerprint.status().message());
+  }
+  if (fingerprint.value() != m.params_fingerprint) {
+    return Status::IoError(common::StrFormat(
+        "manifest %s fingerprint %016llx != checkpoint %016llx", path.c_str(),
+        static_cast<unsigned long long>(m.params_fingerprint),
+        static_cast<unsigned long long>(fingerprint.value())));
+  }
+  return m;
+}
+
+Result<std::pair<Manifest, std::string>> LatestGeneration(
+    const std::string& root) {
+  DIR* d = ::opendir(root.c_str());
+  if (d == nullptr) {
+    return Status::NotFound("cannot open publish root " + root + ": " +
+                            std::strerror(errno));
+  }
+  std::vector<int64_t> generations;
+  while (struct dirent* entry = ::readdir(d)) {
+    const std::string name = entry->d_name;
+    if (!common::StartsWith(name, kGenPrefix)) continue;
+    const std::string digits = name.substr(std::strlen(kGenPrefix));
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos) {
+      continue;
+    }
+    generations.push_back(std::strtoll(digits.c_str(), nullptr, 10));
+  }
+  ::closedir(d);
+  // Newest first: a generation with a torn or missing manifest (crash between
+  // artifact writes and the manifest commit) is skipped and the previous one
+  // wins — that is the whole recovery story.
+  std::sort(generations.rbegin(), generations.rend());
+  for (int64_t generation : generations) {
+    const std::string dir = GenerationDir(root, generation);
+    auto manifest = ReadManifest(dir);
+    if (!manifest.ok()) continue;
+    if (manifest.value().generation != generation) continue;
+    return std::make_pair(std::move(manifest).ValueOrDie(), dir);
+  }
+  return Status::NotFound("no published generation under " + root);
+}
+
+Status UpdateCurrentLink(const std::string& root, int64_t generation) {
+  const std::string link_path = root + "/current";
+  const std::string tmp_path = link_path + ".tmp";
+  const std::string target = GenerationDirName(generation);
+  // A stale tmp link from a crashed publish would make symlink() fail with
+  // EEXIST; clear it first (unlink of a missing path is fine).
+  ::unlink(tmp_path.c_str());
+  RRRE_RETURN_IF_ERROR(
+      common::failpoint::MaybeError("publish.symlink", "symlink " + target));
+  if (::symlink(target.c_str(), tmp_path.c_str()) != 0) {
+    return Status::IoError("symlink " + tmp_path + " -> " + target +
+                           " failed: " + std::strerror(errno));
+  }
+  RRRE_RETURN_IF_ERROR(
+      common::failpoint::MaybeError("publish.rename", "rename " + link_path));
+  if (::rename(tmp_path.c_str(), link_path.c_str()) != 0) {
+    const Status status =
+        Status::IoError("rename " + tmp_path + " -> " + link_path +
+                        " failed: " + std::strerror(errno));
+    ::unlink(tmp_path.c_str());
+    return status;
+  }
+  RRRE_RETURN_IF_ERROR(
+      common::failpoint::MaybeError("publish.dirsync", "fsync " + root));
+  return common::FsyncParentDir(link_path);
+}
+
+}  // namespace rrre::stream

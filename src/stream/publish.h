@@ -1,0 +1,83 @@
+#ifndef RRRE_STREAM_PUBLISH_H_
+#define RRRE_STREAM_PUBLISH_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace rrre::stream {
+
+/// The versioned publish layout of the streaming retrain loop:
+///
+///   <root>/gen-000000/ckpt.{model,vocab,train.tsv,optimizer,meta}
+///   <root>/gen-000000/ckpt.tower_store
+///   <root>/gen-000000/MANIFEST            <- written LAST
+///   <root>/gen-000001/...
+///   <root>/current -> gen-000001          <- swapped after the manifest
+///
+/// Every artifact is written with AtomicFileWriter; the MANIFEST is written
+/// last (failpoint family "manifest", parent-dir fsync in Commit), so a
+/// crash at any point leaves either no manifest — the generation does not
+/// exist as far as recovery is concerned — or a manifest whose listed
+/// artifacts are all durable. A manifest can never point at missing bytes.
+///
+/// The `current` symlink is a *convenience* pointer for serving processes
+/// (configure them with `<root>/current/ckpt`); recovery never trusts it —
+/// LatestGeneration() re-scans the generation directories and validates
+/// manifests, then the driver repairs the link.
+
+/// Parsed MANIFEST contents. Paths are relative to the generation directory
+/// so a publish root can be moved or mounted elsewhere.
+struct Manifest {
+  int64_t generation = -1;
+  int64_t partition = -1;
+  int tier = 0;
+  int64_t epochs_completed = 0;
+  /// CheckpointParamsFingerprint of the checkpoint — the cross-process
+  /// version identity the serving fleet converges on.
+  uint64_t params_fingerprint = 0;
+  /// Checkpoint prefix relative to the generation dir (always "ckpt").
+  std::string checkpoint = "ckpt";
+  /// Tower store relative path; empty when the generation has no store.
+  std::string store;
+  /// Every artifact file (relative), manifest excluded.
+  std::vector<std::string> files;
+};
+
+/// "gen-%06d".
+std::string GenerationDirName(int64_t generation);
+
+/// "<root>/gen-%06d".
+std::string GenerationDir(const std::string& root, int64_t generation);
+
+/// Serializes `m` and writes `<dir>/MANIFEST` atomically + durably (tmp,
+/// fsync, rename, parent-dir fsync) under the failpoint family "manifest".
+/// Callers must have durably written every listed artifact first.
+common::Status WriteManifest(const std::string& dir, const Manifest& m);
+
+/// Reads and validates `<dir>/MANIFEST`: parses it, checks every listed file
+/// exists, and verifies the checkpoint's params fingerprint matches the
+/// manifest's. A generation that fails any check is treated as not
+/// published.
+common::Result<Manifest> ReadManifest(const std::string& dir);
+
+/// Scans `root` for the newest generation with a valid manifest. Returns
+/// (manifest, generation dir); NotFound when no valid generation exists.
+common::Result<std::pair<Manifest, std::string>> LatestGeneration(
+    const std::string& root);
+
+/// Atomically points `<root>/current` at GenerationDirName(generation):
+/// symlink under a temp name, rename over `current`, parent-dir fsync.
+/// Failpoints: publish.symlink / publish.rename / publish.dirsync.
+common::Status UpdateCurrentLink(const std::string& root, int64_t generation);
+
+/// "<root>/current/<rel>" — the path serving processes should be configured
+/// with so a link swap retargets them on their next reload.
+std::string CurrentPath(const std::string& root, const std::string& rel);
+
+}  // namespace rrre::stream
+
+#endif  // RRRE_STREAM_PUBLISH_H_

@@ -11,7 +11,8 @@
 # AddressSanitizer (the failpoint layer is runtime-armed in every build, so
 # the same binaries exercise the router.backend.* fault seams) plus a
 # repeat-until-fail guard that reruns the serving suites five times under -j
-# to hold the line on the deflaked socket tests, and finally the
+# to hold the line on the deflaked socket tests, then the adversarial-arena /
+# streaming-retrain suite under AddressSanitizer, and finally the
 # observability + serving suites under UndefinedBehaviorSanitizer.
 #
 # Every ctest invocation runs with --no-tests=error: a filter that matches
@@ -21,7 +22,7 @@
 # legs ran so CI logs show the coverage at a glance.
 #
 # Usage: tools/check.sh [--skip-tsan] [--skip-asan] [--skip-failpoint]
-#                       [--skip-router] [--skip-ubsan]
+#                       [--skip-router] [--skip-stream] [--skip-ubsan]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -30,6 +31,7 @@ SKIP_TSAN=0
 SKIP_ASAN=0
 SKIP_FAILPOINT=0
 SKIP_ROUTER=0
+SKIP_STREAM=0
 SKIP_UBSAN=0
 for arg in "$@"; do
   case "$arg" in
@@ -37,6 +39,7 @@ for arg in "$@"; do
     --skip-asan) SKIP_ASAN=1 ;;
     --skip-failpoint) SKIP_FAILPOINT=1 ;;
     --skip-router) SKIP_ROUTER=1 ;;
+    --skip-stream) SKIP_STREAM=1 ;;
     --skip-ubsan) SKIP_UBSAN=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
@@ -103,7 +106,7 @@ else
   cmake -B build-asan -S . -DRRRE_SANITIZE=address >/dev/null
   require_build_dir build-asan
   cmake --build build-asan -j --target test_failpoints test_tower_store \
-    >/dev/null
+    test_stream >/dev/null
   # The failpoint label covers the whole fault-injection suite: framework
   # trigger schedules, AtomicFileWriter crash sequencing, torn-checkpoint
   # rejection, socket short-I/O/EINTR/reset faults, loadgen retry, and the
@@ -113,6 +116,13 @@ else
   # snapshot serving.
   (cd build-asan && ctest --output-on-failure --no-tests=error -L failpoint)
   (cd build-asan && ctest --output-on-failure --no-tests=error -L store)
+  # Seeded end-to-end streaming soak: a 2-partition arena streamed through
+  # the daemon loop against one live shard while the manifest commit, the
+  # tower-store write and the server reload path all fail probabilistically.
+  # The old snapshot must answer scoring requests between retries and the
+  # fleet must converge on the new params version once the faults clear.
+  (cd build-asan && ctest --output-on-failure --no-tests=error \
+    -R "StreamFaults")
   LEGS_RUN+=(failpoint)
 fi
 
@@ -137,6 +147,23 @@ else
   (cd build && ctest --output-on-failure --no-tests=error \
     -R "ServedTest|RouterTest" --repeat until-fail:5 -j)
   LEGS_RUN+=(router)
+fi
+
+if [[ "$SKIP_STREAM" == "1" ]]; then
+  echo "== stream pass skipped (--skip-stream) =="
+  LEGS_SKIPPED+=(stream)
+else
+  echo "== stream: adversarial arena + streaming retrain loop under AddressSanitizer =="
+  cmake -B build-asan -S . -DRRRE_SANITIZE=address >/dev/null
+  require_build_dir build-asan
+  cmake --build build-asan -j --target test_stream >/dev/null
+  # The stream label covers arena partition determinism (regeneration order,
+  # thread counts), the per-tier evasion properties, the versioned publish
+  # layout's crash-safety (manifest written last, torn generations skipped),
+  # kill-then-resume bitwise identity of the retrain driver, live hot-reload
+  # convergence, and the router quarantine gauge in the METRICS scrape.
+  (cd build-asan && ctest --output-on-failure --no-tests=error -L stream)
+  LEGS_RUN+=(stream)
 fi
 
 if [[ "$SKIP_UBSAN" == "1" ]]; then
