@@ -12,6 +12,7 @@
 
 #include "baselines/rev2.h"
 #include "common/rng.h"
+#include "common/threadpool.h"
 #include "data/synthetic.h"
 #include "graph/mrf.h"
 #include "nn/attention.h"
@@ -19,7 +20,9 @@
 #include "nn/lstm.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "tensor/kernels.h"
 #include "tensor/ops.h"
+#include "tensor/tape.h"
 
 namespace {
 
@@ -37,6 +40,65 @@ void BM_MatMul(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n * n * n);
 }
 BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128);
+
+// Naive-vs-blocked reference pair at matched shapes, single-threaded so the
+// times are pure kernel arithmetic (the kernels are single-threaded; ops.cc
+// shards rows above them). Comparing BM_GemmNaiveST/n against
+// BM_GemmBlockedST/n gives the blocked kernel's speedup; the acceptance bar
+// at the model-shaped args (m=384, k=16, n=64 — an LSTM gate block) is >=3x.
+void NaiveGemmRef(int64_t m, int64_t n, int64_t k, const float* a,
+                  const float* b, float* c) {
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (int64_t kk = 0; kk < k; ++kk) acc += a[i * k + kk] * b[kk * n + j];
+      c[i * n + j] += acc;
+    }
+  }
+}
+
+struct GemmFixture {
+  std::vector<float> a, b, c;
+  int64_t m, n, k;
+  explicit GemmFixture(benchmark::State& state) {
+    m = state.range(0);
+    k = state.range(1);
+    n = state.range(2);
+    Rng rng(1);
+    a.resize(static_cast<size_t>(m * k));
+    b.resize(static_cast<size_t>(k * n));
+    c.assign(static_cast<size_t>(m * n), 0.0f);
+    for (auto& v : a) v = static_cast<float>(rng.Normal());
+    for (auto& v : b) v = static_cast<float>(rng.Normal());
+  }
+};
+
+void BM_GemmNaiveST(benchmark::State& state) {
+  GemmFixture f(state);
+  for (auto _ : state) {
+    NaiveGemmRef(f.m, f.n, f.k, f.a.data(), f.b.data(), f.c.data());
+    benchmark::DoNotOptimize(f.c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * f.m * f.n * f.k);
+}
+BENCHMARK(BM_GemmNaiveST)
+    ->Args({384, 16, 64})
+    ->Args({384, 32, 16})
+    ->Args({128, 128, 128});
+
+void BM_GemmBlockedST(benchmark::State& state) {
+  GemmFixture f(state);
+  for (auto _ : state) {
+    rrre::tensor::kernels::GemmNN(f.m, f.n, f.k, f.a.data(), f.k, f.b.data(),
+                                  f.n, f.c.data(), f.n);
+    benchmark::DoNotOptimize(f.c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * f.m * f.n * f.k);
+}
+BENCHMARK(BM_GemmBlockedST)
+    ->Args({384, 16, 64})
+    ->Args({384, 32, 16})
+    ->Args({128, 128, 128});
 
 void BM_MatMulBackward(benchmark::State& state) {
   const int64_t n = state.range(0);
@@ -72,6 +134,24 @@ void BM_LstmCellStep(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_LstmCellStep)->Arg(32)->Arg(384);
+
+void BM_LstmCellStepFused(benchmark::State& state) {
+  // The same step on the fused AddNBiasAct + LstmPointwise graph (what
+  // training runs with --tape): two pointwise nodes instead of the ~15-node
+  // eager gate chain, bitwise identical output.
+  const int64_t batch = state.range(0);
+  Rng rng(3);
+  rrre::nn::LstmCell cell(16, 16, rng);
+  Tensor x = Tensor::Randn({batch, 16}, rng);
+  auto st = cell.InitialState(batch);
+  rrre::tensor::SetFusionEnabled(true);
+  for (auto _ : state) {
+    auto next = cell.Step(x, st);
+    benchmark::DoNotOptimize(next.h.data());
+  }
+  rrre::tensor::SetFusionEnabled(false);
+}
+BENCHMARK(BM_LstmCellStepFused)->Arg(32)->Arg(384);
 
 void BM_BiLstmEncodeReview(benchmark::State& state) {
   // One RRRE batch worth of reviews: 384 slots x 16 tokens x 16 dims.

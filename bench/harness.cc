@@ -60,6 +60,9 @@ void RegisterBenchFlags(common::FlagParser& flags, double default_scale) {
                "thread pool size (0 = hardware concurrency, 1 = serial)");
   flags.AddInt("shard_size", 8,
                "examples per data-parallel shard (0 = whole-batch serial)");
+  flags.AddBool("tape", true,
+                "train on the compiled batch tape (fused kernels + buffer "
+                "arena); --tape=false runs the eager reference path");
 }
 
 BenchOptions ReadBenchOptions(const common::FlagParser& flags) {
@@ -73,6 +76,7 @@ BenchOptions ReadBenchOptions(const common::FlagParser& flags) {
   opts.lambda = flags.GetDouble("lambda");
   opts.num_threads = flags.GetInt("num_threads");
   opts.shard_size = flags.GetInt("shard_size");
+  opts.use_tape = flags.GetBool("tape");
   // Apply immediately so every subsequent kernel/trainer call uses it; the
   // pool size is reported so speedup numbers are attributable.
   common::ThreadPool::SetGlobalSize(static_cast<int>(opts.num_threads));
@@ -100,6 +104,7 @@ core::RrreConfig DefaultRrreConfig(const BenchOptions& opts, uint64_t seed) {
   c.sampling = opts.random_sampling ? data::SamplingStrategy::kRandom
                                     : data::SamplingStrategy::kLatest;
   c.shard_size = opts.shard_size;
+  c.use_tape = opts.use_tape;
   return c;
 }
 
@@ -120,6 +125,7 @@ std::unique_ptr<baselines::RatingPredictor> MakeRatingModel(
     c.common.epochs = opts.epochs;
     c.common.seed = seed;
     c.common.shard_size = opts.shard_size;
+    c.common.use_tape = opts.use_tape;
     return std::make_unique<baselines::DeepCoNN>(c);
   }
   if (name == "narre") {
@@ -127,6 +133,7 @@ std::unique_ptr<baselines::RatingPredictor> MakeRatingModel(
     c.common.epochs = opts.epochs;
     c.common.seed = seed;
     c.common.shard_size = opts.shard_size;
+    c.common.use_tape = opts.use_tape;
     return std::make_unique<baselines::Narre>(c);
   }
   if (name == "der") {
@@ -134,6 +141,7 @@ std::unique_ptr<baselines::RatingPredictor> MakeRatingModel(
     c.common.epochs = opts.epochs;
     c.common.seed = seed;
     c.common.shard_size = opts.shard_size;
+    c.common.use_tape = opts.use_tape;
     return std::make_unique<baselines::Der>(c);
   }
   RRRE_LOG_FATAL << "unknown rating model: " << name;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <optional>
 #include <unordered_set>
 
 #include "common/logging.h"
@@ -63,6 +64,9 @@ void NeuralRatingBaseline::Fit(const data::ReviewDataset& train) {
   const int64_t n = train_->size();
   std::vector<int64_t> order(static_cast<size_t>(n));
   for (int64_t i = 0; i < n; ++i) order[static_cast<size_t>(i)] = i;
+  // Same tape + fusion scheme as RrreTrainer::TrainEpochs; fused graphs are
+  // bitwise identical to eager ones, so the flag never changes results.
+  tensor::SetFusionEnabled(config_.use_tape);
   for (int64_t epoch = 0; epoch < config_.epochs; ++epoch) {
     rng_.Shuffle(order);
     for (int64_t start = 0; start < n; start += config_.batch_size) {
@@ -78,6 +82,14 @@ void NeuralRatingBaseline::Fit(const data::ReviewDataset& train) {
         targets.push_back(r.rating);
       }
       if (config_.shard_size <= 0) {
+        std::optional<tensor::BatchTape::Scope> tape_scope;
+        if (config_.use_tape) {
+          if (tapes_.empty()) {
+            tapes_.push_back(std::make_unique<tensor::BatchTape>());
+          }
+          tapes_[0]->BeginStep();
+          tape_scope.emplace(tapes_[0].get());
+        }
         Tensor pred = ForwardRating(pairs, exclude, /*training=*/true, rng_);
         Tensor loss = nn::MseLoss(pred, targets);
         loss.Backward();
@@ -92,8 +104,18 @@ void NeuralRatingBaseline::Fit(const data::ReviewDataset& train) {
         const std::vector<Tensor> all_params = module()->Parameters();
         std::vector<std::unique_ptr<tensor::GradSink>> sinks(
             static_cast<size_t>(num_shards));
+        if (config_.use_tape) {
+          while (static_cast<int64_t>(tapes_.size()) < num_shards) {
+            tapes_.push_back(std::make_unique<tensor::BatchTape>());
+          }
+        }
         common::ParallelFor(0, num_shards, 1, [&](int64_t lo, int64_t hi) {
           for (int64_t s = lo; s < hi; ++s) {
+            std::optional<tensor::BatchTape::Scope> tape_scope;
+            if (config_.use_tape) {
+              tapes_[static_cast<size_t>(s)]->BeginStep();
+              tape_scope.emplace(tapes_[static_cast<size_t>(s)].get());
+            }
             const int64_t s0 = s * ssz;
             const int64_t s1 = std::min(bsz, s0 + ssz);
             Rng shard_rng = batch_rng.Fork(static_cast<uint64_t>(s));

@@ -10,6 +10,7 @@
 #include "nn/embedding.h"
 #include "nn/module.h"
 #include "nn/optimizer.h"
+#include "tensor/tape.h"
 #include "tensor/tensor.h"
 #include "text/vocab.h"
 
@@ -41,6 +42,9 @@ class NeuralRatingBaseline : public RatingPredictor {
     /// Examples per data-parallel shard; 0 = whole batch on one graph (the
     /// exact serial path). Same contract as RrreConfig::shard_size.
     int64_t shard_size = 0;
+    /// Train on a compiled batch tape with fused kernels; bitwise identical
+    /// to the eager path. Same contract as RrreConfig::use_tape.
+    bool use_tape = true;
   };
 
   void Fit(const data::ReviewDataset& train) final;
@@ -78,6 +82,8 @@ class NeuralRatingBaseline : public RatingPredictor {
   std::unique_ptr<data::ReviewDataset> train_;
   std::unique_ptr<text::Vocabulary> vocab_;
   std::unique_ptr<nn::Adam> optimizer_;
+  /// One batch tape per concurrent training shard; see RrreTrainer::tapes_.
+  std::vector<std::unique_ptr<tensor::BatchTape>> tapes_;
 };
 
 }  // namespace rrre::baselines

@@ -44,6 +44,12 @@ struct RrreConfig {
   /// not depend on the number of threads (see DESIGN.md, "Parallel
   /// execution").
   int64_t shard_size = 0;
+  /// Run each training step on a compiled batch tape: fused gate/attention
+  /// kernels plus a per-step arena that recycles every graph-node buffer
+  /// after the first batch (see DESIGN.md, "Compiled batch tape & blocked
+  /// kernels"). Bitwise identical to the eager path; off is kept as the
+  /// reference for parity tests and bisection.
+  bool use_tape = true;
 
   // -- Text pipeline -----------------------------------------------------------
   int64_t vocab_min_count = 2;

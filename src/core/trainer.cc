@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <optional>
 #include <unordered_set>
 
 #include "common/io.h"
@@ -85,8 +86,32 @@ void RrreTrainer::Fit(const data::ReviewDataset& train,
   TrainEpochs(0, callback);
 }
 
+void RrreTrainer::EnsureTapes(int64_t count) {
+  while (static_cast<int64_t>(tapes_.size()) < count) {
+    tapes_.push_back(std::make_unique<tensor::BatchTape>());
+  }
+}
+
+tensor::BatchTape::Stats RrreTrainer::TapeStats() const {
+  tensor::BatchTape::Stats total;
+  for (const auto& tape : tapes_) {
+    const tensor::BatchTape::Stats s = tape->stats();
+    total.steps += s.steps;
+    total.nodes += s.nodes;
+    total.buffer_allocs += s.buffer_allocs;
+    total.buffer_reuses += s.buffer_reuses;
+    total.distinct_sequences += s.distinct_sequences;
+  }
+  return total;
+}
+
 void RrreTrainer::TrainEpochs(int64_t first_epoch,
                               const EpochCallback& callback) {
+  // Fusion rides the same switch as the tape: fused graphs are bitwise
+  // identical to eager ones, so this changes graph shape, never arithmetic.
+  // The flag is global and sticky — predictions after training also run the
+  // (identical) fused forward.
+  tensor::SetFusionEnabled(config_.use_tape);
   const int64_t n = train_->size();
   std::vector<int64_t> order(static_cast<size_t>(n));
 
@@ -127,6 +152,12 @@ void RrreTrainer::TrainEpochs(int64_t first_epoch,
       }
       if (config_.shard_size <= 0) {
         // Whole-batch path: one graph, one backward.
+        std::optional<tensor::BatchTape::Scope> tape_scope;
+        if (config_.use_tape) {
+          EnsureTapes(1);
+          tapes_[0]->BeginStep();  // Recycle the previous batch's graph.
+          tape_scope.emplace(tapes_[0].get());
+        }
         RrreModel::Batch batch = features_->Build(pairs, exclude, rng_);
         RrreModel::Output out =
             model_->Forward(batch, /*training=*/true, &rng_);
@@ -184,10 +215,18 @@ void RrreTrainer::TrainEpochs(int64_t first_epoch,
         std::vector<double> ce_vals(static_cast<size_t>(num_shards), 0.0);
         std::vector<double> mse_vals(static_cast<size_t>(num_shards), 0.0);
         std::vector<double> shard_secs(static_cast<size_t>(num_shards), 0.0);
+        if (config_.use_tape) EnsureTapes(num_shards);
         common::ParallelFor(0, num_shards, 1, [&](int64_t lo, int64_t hi) {
           for (int64_t s = lo; s < hi; ++s) {
             obs::TraceSpan span("train_shard");
             common::Timer shard_timer;
+            // Tape s belongs to shard index s: the grain-1 ParallelFor hands
+            // each index to exactly one thread, so the arena is never shared.
+            std::optional<tensor::BatchTape::Scope> tape_scope;
+            if (config_.use_tape) {
+              tapes_[static_cast<size_t>(s)]->BeginStep();
+              tape_scope.emplace(tapes_[static_cast<size_t>(s)].get());
+            }
             const int64_t s0 = s * ssz;
             const int64_t s1 = std::min(bsz, s0 + ssz);
             Rng shard_rng = batch_rng.Fork(static_cast<uint64_t>(s));
@@ -234,6 +273,12 @@ void RrreTrainer::TrainEpochs(int64_t first_epoch,
         double l2_val = 0.0;
         std::unordered_set<tensor::internal::TensorImpl*> zeroed;
         if (config_.gamma > 0.0) {
+          // The L2 graph joins shard 0's open tape step (no BeginStep: the
+          // shards' nodes are still referenced by the sinks' Touched sets
+          // until the merge below, and the ParallelFor has joined, so
+          // tapes_[0] is free to use on this thread).
+          std::optional<tensor::BatchTape::Scope> l2_scope;
+          if (config_.use_tape) l2_scope.emplace(tapes_[0].get());
           Tensor l2_pen = nn::L2Penalty(optimizer_->params());
           Tensor l2_scaled = tensor::MulScalar(
               l2_pen, (1.0f - lam) * static_cast<float>(config_.gamma));

@@ -2,6 +2,7 @@
 
 #include "obs/trace.h"
 #include "tensor/ops.h"
+#include "tensor/tape.h"
 
 namespace rrre::nn {
 
@@ -34,10 +35,16 @@ Tensor FraudAttention::Forward(const Tensor& rev, const Tensor& user_ids,
   RRRE_CHECK_EQ(rows % group_size, 0);
   const int64_t batch = rows / group_size;
 
-  Tensor hidden = Tanh(AddBias(
-      Add(Add(MatMul(rev, w_rev_), MatMul(user_ids, w_u_)),
-          MatMul(item_ids, w_i_)),
-      b1_));
+  // Fused: one node for the three-way add + bias + tanh, bitwise identical
+  // to the eager chain (left-to-right partial sums match the Add nesting).
+  Tensor hidden =
+      FusionEnabled()
+          ? AddNBiasAct({MatMul(rev, w_rev_), MatMul(user_ids, w_u_),
+                         MatMul(item_ids, w_i_)},
+                        b1_, Activation::kTanh)
+          : Tanh(AddBias(Add(Add(MatMul(rev, w_rev_), MatMul(user_ids, w_u_)),
+                             MatMul(item_ids, w_i_)),
+                         b1_));
   Tensor scores = AddBias(MatMul(hidden, h_), b2_);       // [B*s, 1]
   Tensor grouped = Reshape(scores, {batch, group_size});  // [B, s]
   if (mask.defined()) {

@@ -1,6 +1,7 @@
 #include "nn/fm.h"
 
 #include "tensor/ops.h"
+#include "tensor/tape.h"
 
 namespace rrre::nn {
 
@@ -22,7 +23,11 @@ Tensor FactorizationMachine::Forward(const Tensor& x) const {
   Tensor linear = AddBias(MatMul(x, w_), w0_);           // [B, 1]
   Tensor xv = MatMul(x, v_);                             // [B, f]
   Tensor x2v2 = MatMul(Square(x), Square(v_));           // [B, f]
-  Tensor pair = MulScalar(RowSum(Sub(Square(xv), x2v2)), 0.5f);  // [B, 1]
+  // Fused: collapses the Square/Sub/RowSum/MulScalar chain into one node,
+  // bitwise identical (same per-element roundings, double row accumulator).
+  Tensor pair = FusionEnabled()
+                    ? FmPairwise(xv, x2v2)
+                    : MulScalar(RowSum(Sub(Square(xv), x2v2)), 0.5f);
   return Add(linear, pair);
 }
 

@@ -1,6 +1,7 @@
 #include "nn/linear.h"
 
 #include "tensor/ops.h"
+#include "tensor/tape.h"
 
 namespace rrre::nn {
 
@@ -22,7 +23,13 @@ Linear::Linear(int64_t in_features, int64_t out_features, common::Rng& rng,
 
 Tensor Linear::Forward(const Tensor& x) const {
   Tensor y = tensor::MatMul(x, weight_);
-  if (use_bias_) y = tensor::AddBias(y, bias_);
+  if (use_bias_) {
+    // Single-part AddNBiasAct with no activation is bitwise AddBias; under
+    // fusion it saves one node per layer call on the tape.
+    y = tensor::FusionEnabled()
+            ? tensor::AddNBiasAct({y}, bias_, tensor::Activation::kNone)
+            : tensor::AddBias(y, bias_);
+  }
   return y;
 }
 

@@ -32,6 +32,14 @@ namespace rrre::tensor {
 ///
 /// A sink must only be activated on one thread at a time and is not
 /// self-synchronizing; the caller orders AccumulateInto calls.
+///
+/// Interplay with BatchTape: the two are orthogonal scopes. The tape recycles
+/// the *graph node* buffers of a step; the sink redirects where leaf
+/// *gradient* contributions land. Ops resolve the sink exactly once per
+/// backward closure (GradBuf in ops.cc) on the thread that runs Backward(),
+/// so chunks fanned out to the pool inside a closure all target the same
+/// already-resolved buffer — activating a sink and a tape scope on the same
+/// shard thread composes without extra locking.
 class GradSink {
  public:
   explicit GradSink(const std::vector<Tensor>& leaves);

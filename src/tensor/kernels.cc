@@ -1,0 +1,258 @@
+#include "tensor/kernels.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#if defined(__AVX2__) && defined(__FMA__)
+#include <immintrin.h>
+#endif
+
+// This translation unit is compiled with the widest vector ISA the build
+// targets (see src/tensor/CMakeLists.txt); everything here is straight-line
+// compute with no locks, no allocation on the steady state, and no calls
+// back into the graph layer.
+//
+// Every multiply-accumulate below is an explicit std::fma. This is not a
+// style choice: the serving layer asserts that a row scores bitwise
+// identically whether it arrives in a micro-batch of 3 or a reference batch
+// of 120, which means the per-element arithmetic must not depend on which
+// MR-tail instantiation (or small-n fallback) a row lands in. Leaving the
+// contraction decision to the compiler lets different instantiations round
+// differently; a correctly-rounded fma is the same operation everywhere
+// (hardware vfmadd with -mfma, correctly-rounded libm otherwise).
+
+namespace rrre::tensor::kernels {
+
+namespace {
+
+/// Packs the [kb, nc] panel of op(B) starting at (k0, j0) into tile-major
+/// layout: tile t holds columns [t*kNr, t*kNr + kNr) of the panel with rows
+/// contiguous —
+///   bp[(t * kb + kk) * kNr + jj] = op(B)(k0 + kk, j0 + t*kNr + jj)
+/// — zero-padded on the right so the micro-kernel always runs fixed kNr-wide
+/// inner loops. Packing order depends only on the panel coordinates, never
+/// on which output rows the caller owns.
+void PackB(bool trans_b, const float* b, int64_t ldb, int64_t k0, int64_t kb,
+           int64_t j0, int64_t nc, float* bp) {
+  const int64_t tiles = (nc + kNr - 1) / kNr;
+  for (int64_t t = 0; t < tiles; ++t) {
+    const int64_t jbase = j0 + t * kNr;
+    const int64_t jb = std::min<int64_t>(kNr, j0 + nc - jbase);
+    float* dst = bp + t * kb * kNr;
+    for (int64_t kk = 0; kk < kb; ++kk) {
+      if (!trans_b) {
+        const float* src = b + (k0 + kk) * ldb + jbase;
+        for (int64_t jj = 0; jj < jb; ++jj) dst[jj] = src[jj];
+      } else {
+        // op(B) = B^T with B stored [n, k]: transpose while packing.
+        for (int64_t jj = 0; jj < jb; ++jj) {
+          dst[jj] = b[(jbase + jj) * ldb + k0 + kk];
+        }
+      }
+      for (int64_t jj = jb; jj < kNr; ++jj) dst[jj] = 0.0f;
+      dst += kNr;
+    }
+  }
+}
+
+/// MR x kNr register micro-tile: C held in accumulators across the whole
+/// k panel and stored once (the register-blocking win over a loop that
+/// reloads the C row every k step). Per element the accumulation runs in
+/// ascending k; only the first nb columns are stored back, so the zero
+/// padding in the packed panel never reaches C.
+///
+/// `a` points at op(A)(panel row 0, tile row 0): for ATrans the stored
+/// matrix is [k, m] and consecutive tile rows are consecutive floats; for
+/// the normal case they are lda apart.
+template <int MR, bool ATrans>
+void MicroKernel(int64_t kb, const float* RRRE_RESTRICT a, int64_t lda,
+                 const float* RRRE_RESTRICT bp, float* RRRE_RESTRICT c,
+                 int64_t ldc, int64_t nb) {
+#if defined(__AVX2__) && defined(__FMA__)
+  // Explicit 8-lane FMA: the auto-vectorizer SLP-splits the fully-unrolled
+  // accumulator array into 128-bit halves and spills them to the stack,
+  // costing ~4x. _mm256_fmadd_ps is the same correctly-rounded fma per lane
+  // as std::fma, and the per-element accumulation order is still ascending
+  // kk, so this path is bitwise identical to the scalar fallback below.
+  static_assert(kNr == 16, "micro-kernel assumes two 8-lane accumulators");
+  __m256 acc[MR][2];
+  for (int r = 0; r < MR; ++r) {
+    acc[r][0] = _mm256_setzero_ps();
+    acc[r][1] = _mm256_setzero_ps();
+  }
+  for (int64_t kk = 0; kk < kb; ++kk) {
+    const float* brow = bp + kk * kNr;
+    const __m256 b0 = _mm256_loadu_ps(brow);
+    const __m256 b1 = _mm256_loadu_ps(brow + 8);
+    for (int r = 0; r < MR; ++r) {
+      const __m256 av =
+          _mm256_set1_ps(ATrans ? a[kk * lda + r] : a[r * lda + kk]);
+      acc[r][0] = _mm256_fmadd_ps(av, b0, acc[r][0]);
+      acc[r][1] = _mm256_fmadd_ps(av, b1, acc[r][1]);
+    }
+  }
+  for (int r = 0; r < MR; ++r) {
+    alignas(32) float arow[kNr];
+    _mm256_store_ps(arow, acc[r][0]);
+    _mm256_store_ps(arow + 8, acc[r][1]);
+    float* crow = c + r * ldc;
+    for (int64_t j = 0; j < nb; ++j) crow[j] += arow[j];
+  }
+#else
+  float acc[MR][kNr] = {};
+  for (int64_t kk = 0; kk < kb; ++kk) {
+    const float* brow = bp + kk * kNr;
+    for (int r = 0; r < MR; ++r) {
+      const float av = ATrans ? a[kk * lda + r] : a[r * lda + kk];
+      float* arow = acc[r];
+      for (int64_t j = 0; j < kNr; ++j) {
+        arow[j] = std::fma(av, brow[j], arow[j]);
+      }
+    }
+  }
+  for (int r = 0; r < MR; ++r) {
+    float* crow = c + r * ldc;
+    const float* arow = acc[r];
+    for (int64_t j = 0; j < nb; ++j) crow[j] += arow[j];
+  }
+#endif
+}
+
+/// Runs the packed panel against all m rows: full kMr tiles first, then one
+/// tail tile of 1..3 rows. The per-row arithmetic is identical regardless of
+/// which tile a row lands in, so row-sharded callers stay bitwise stable.
+template <bool ATrans>
+void GemmPanel(int64_t m, int64_t kb, const float* a, int64_t lda,
+               const float* bp, int64_t tiles, int64_t nc, float* c,
+               int64_t ldc) {
+  for (int64_t t = 0; t < tiles; ++t) {
+    const int64_t nb = std::min<int64_t>(kNr, nc - t * kNr);
+    const float* bpt = bp + t * kb * kNr;
+    float* ct = c + t * kNr;
+    int64_t i = 0;
+    for (; i + kMr <= m; i += kMr) {
+      const float* ai = ATrans ? a + i : a + i * lda;
+      MicroKernel<kMr, ATrans>(kb, ai, lda, bpt, ct + i * ldc, ldc, nb);
+    }
+    const float* ai = ATrans ? a + i : a + i * lda;
+    switch (m - i) {
+      case 3:
+        MicroKernel<3, ATrans>(kb, ai, lda, bpt, ct + i * ldc, ldc, nb);
+        break;
+      case 2:
+        MicroKernel<2, ATrans>(kb, ai, lda, bpt, ct + i * ldc, ldc, nb);
+        break;
+      case 1:
+        MicroKernel<1, ATrans>(kb, ai, lda, bpt, ct + i * ldc, ldc, nb);
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+/// Narrow outputs (n < kSmallN, e.g. the attention score and FM linear
+/// heads) skip packing: the padded micro-kernel would spend most of its
+/// lanes on zeros. Plain loop nests, still ascending-k per element.
+template <bool ATrans, bool BTrans>
+void GemmSmallN(int64_t m, int64_t n, int64_t k, const float* a, int64_t lda,
+                const float* b, int64_t ldb, float* c, int64_t ldc) {
+  for (int64_t i = 0; i < m; ++i) {
+    float* crow = c + i * ldc;
+    if (!BTrans) {
+      for (int64_t kk = 0; kk < k; ++kk) {
+        const float av = ATrans ? a[kk * lda + i] : a[i * lda + kk];
+        const float* brow = b + kk * ldb;
+        for (int64_t j = 0; j < n; ++j) {
+          crow[j] = std::fma(av, brow[j], crow[j]);
+        }
+      }
+    } else {
+      for (int64_t j = 0; j < n; ++j) {
+        const float* brow = b + j * ldb;
+        float acc = 0.0f;
+        for (int64_t kk = 0; kk < k; ++kk) {
+          acc = std::fma(ATrans ? a[kk * lda + i] : a[i * lda + kk], brow[kk],
+                         acc);
+        }
+        crow[j] += acc;
+      }
+    }
+  }
+}
+
+template <bool ATrans, bool BTrans>
+void GemmImpl(int64_t m, int64_t n, int64_t k, const float* a, int64_t lda,
+              const float* b, int64_t ldb, float* c, int64_t ldc) {
+  if (m <= 0 || n <= 0 || k <= 0) return;
+  if (n < kSmallN) {
+    GemmSmallN<ATrans, BTrans>(m, n, k, a, lda, b, ldb, c, ldc);
+    return;
+  }
+  // Packing scratch is thread-local so concurrent row-sharded callers never
+  // share it; it grows to the largest panel once and is reused after that.
+  thread_local std::vector<float> pack;
+  for (int64_t j0 = 0; j0 < n; j0 += kNc) {
+    const int64_t nc = std::min(kNc, n - j0);
+    const int64_t tiles = (nc + kNr - 1) / kNr;
+    for (int64_t k0 = 0; k0 < k; k0 += kKc) {
+      const int64_t kb = std::min(kKc, k - k0);
+      pack.resize(static_cast<size_t>(tiles * kb * kNr));
+      PackB(BTrans, b, ldb, k0, kb, j0, nc, pack.data());
+      const float* a_sub = ATrans ? a + k0 * lda : a + k0;
+      GemmPanel<ATrans>(m, kb, a_sub, lda, pack.data(), tiles, nc, c + j0,
+                        ldc);
+    }
+  }
+}
+
+}  // namespace
+
+void Gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
+          const float* a, int64_t lda, const float* b, int64_t ldb, float* c,
+          int64_t ldc) {
+  if (!trans_a && !trans_b) {
+    GemmImpl<false, false>(m, n, k, a, lda, b, ldb, c, ldc);
+  } else if (!trans_a && trans_b) {
+    GemmImpl<false, true>(m, n, k, a, lda, b, ldb, c, ldc);
+  } else if (trans_a && !trans_b) {
+    GemmImpl<true, false>(m, n, k, a, lda, b, ldb, c, ldc);
+  } else {
+    GemmImpl<true, true>(m, n, k, a, lda, b, ldb, c, ldc);
+  }
+}
+
+void Conv1dMaxPoolExample(int64_t seq_len, int64_t w, int64_t d, int64_t f,
+                          const float* values_ex, const float* kernel,
+                          const float* bias, float* out_row,
+                          int64_t* argmax_row, float* score_scratch) {
+  const int64_t positions = seq_len - w + 1;
+  const int64_t wd = w * d;
+  for (int64_t c = 0; c < f; ++c) {
+    out_row[c] = -std::numeric_limits<float>::infinity();
+    argmax_row[c] = 0;
+  }
+  for (int64_t t = 0; t < positions; ++t) {
+    const float* win = values_ex + t * d;  // w*d contiguous floats.
+    for (int64_t c = 0; c < f; ++c) score_scratch[c] = bias[c];
+    // Filter axis innermost: contiguous axpy rows of the kernel, and per
+    // (t, c) the accumulation order is ascending q = p*d + e — the same
+    // window-position-major order as the serial reference.
+    for (int64_t q = 0; q < wd; ++q) {
+      const float v = win[q];
+      const float* RRRE_RESTRICT krow = kernel + q * f;
+      float* RRRE_RESTRICT sc = score_scratch;
+      for (int64_t c = 0; c < f; ++c) sc[c] = std::fma(v, krow[c], sc[c]);
+    }
+    for (int64_t c = 0; c < f; ++c) {
+      if (score_scratch[c] > out_row[c]) {
+        out_row[c] = score_scratch[c];
+        argmax_row[c] = t;
+      }
+    }
+  }
+}
+
+}  // namespace rrre::tensor::kernels

@@ -7,11 +7,14 @@
 #include "common/threadpool.h"
 #include "obs/trace.h"
 #include "tensor/grad_sink.h"
+#include "tensor/kernels.h"
+#include "tensor/tape.h"
 
 namespace rrre::tensor {
 
 using common::ParallelFor;
 using internal::TensorImpl;
+using kernels::StableSigmoid;
 
 namespace {
 
@@ -19,7 +22,9 @@ namespace {
 // the operand shapes only, never of the thread count. Loops whose iterations
 // write disjoint outputs are split freely; reductions are computed over
 // fixed-grain chunks whose partials are combined in chunk order, so results
-// are bitwise identical whether the chunks run on 1 thread or 16.
+// are bitwise identical whether the chunks run on 1 thread or 16. The
+// blocked GEMM in kernels.cc honors the same contract per output element
+// (ascending k within a cache panel, panels in ascending order).
 
 /// Elements per chunk for cheap elementwise kernels.
 constexpr int64_t kElemGrain = 1 << 14;
@@ -31,12 +36,12 @@ int64_t RowGrain(int64_t cost_per_row) {
 }
 
 /// Creates a result node whose parents are `parents`; requires_grad is
-/// inherited from any parent.
-std::shared_ptr<TensorImpl> MakeNode(const Shape& shape,
+/// inherited from any parent. `op` is a static name used by the tape's
+/// op-sequence fingerprint; the node itself is drawn from the active
+/// BatchTape's buffer pool when one is in scope.
+std::shared_ptr<TensorImpl> MakeNode(const char* op, const Shape& shape,
                                      std::vector<Tensor> parents) {
-  auto impl = std::make_shared<TensorImpl>();
-  impl->shape = shape;
-  impl->data.assign(static_cast<size_t>(NumElements(shape)), 0.0f);
+  auto impl = BatchTape::NewNode(op, shape);
   for (const Tensor& p : parents) {
     RRRE_CHECK(p.defined());
     impl->requires_grad = impl->requires_grad || p.requires_grad();
@@ -63,17 +68,64 @@ void CheckSameShape(const Tensor& a, const Tensor& b) {
       << ShapeToString(a.shape()) << " vs " << ShapeToString(b.shape());
 }
 
+/// C[m, n] += opA(A)·opB(B) with output rows sharded across the pool. Each
+/// chunk owns its rows of C outright and the blocked kernel's per-element
+/// arithmetic is independent of the row range it is handed, so the result is
+/// bitwise identical across thread counts.
+void ShardedGemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
+                 const float* a, int64_t lda, const float* b, int64_t ldb,
+                 float* c, int64_t ldc) {
+  ParallelFor(0, m, RowGrain(k * n), [=](int64_t lo, int64_t hi) {
+    // Row i of opA(A) starts at a + i*lda normally; with trans_a the stored
+    // matrix is [k, m] and op-row i is stored column i, i.e. offset a + i.
+    const float* a_sub = trans_a ? a + lo : a + lo * lda;
+    kernels::Gemm(trans_a, trans_b, hi - lo, n, k, a_sub, lda, b, ldb,
+                  c + lo * ldc, ldc);
+  });
+}
+
+inline float ApplyAct(Activation act, float x) {
+  switch (act) {
+    case Activation::kNone:
+      return x;
+    case Activation::kTanh:
+      return std::tanh(x);
+    case Activation::kSigmoid:
+      return StableSigmoid(x);
+    case Activation::kRelu:
+      return x > 0.0f ? x : 0.0f;
+  }
+  return x;
+}
+
+/// Derivative from the output value, matching the eager UnaryFromOutput
+/// derivative expressions bit for bit (relu's x > 0 test is equivalent to
+/// y > 0 since y = max(x, 0)).
+inline float ActDeriv(Activation act, float y) {
+  switch (act) {
+    case Activation::kNone:
+      return 1.0f;
+    case Activation::kTanh:
+      return 1.0f - y * y;
+    case Activation::kSigmoid:
+      return y * (1.0f - y);
+    case Activation::kRelu:
+      return y > 0.0f ? 1.0f : 0.0f;
+  }
+  return 1.0f;
+}
+
 }  // namespace
 
 Tensor Add(const Tensor& a, const Tensor& b) {
   CheckSameShape(a, b);
-  auto out = MakeNode(a.shape(), {a, b});
+  auto out = MakeNode("add", a.shape(), {a, b});
   const int64_t n = static_cast<int64_t>(out->data.size());
   const float* pa = a.data();
   const float* pb = b.data();
   float* po = out->data.data();
   ParallelFor(0, n, kElemGrain, [=](int64_t lo, int64_t hi) {
-    for (int64_t i = lo; i < hi; ++i) po[i] = pa[i] + pb[i];
+    kernels::EwAdd(hi - lo, pa + lo, pb + lo, po + lo);
   });
   if (out->requires_grad) {
     TensorImpl* o = out.get();
@@ -98,13 +150,13 @@ Tensor Add(const Tensor& a, const Tensor& b) {
 
 Tensor Sub(const Tensor& a, const Tensor& b) {
   CheckSameShape(a, b);
-  auto out = MakeNode(a.shape(), {a, b});
+  auto out = MakeNode("sub", a.shape(), {a, b});
   const int64_t n = static_cast<int64_t>(out->data.size());
   const float* pa = a.data();
   const float* pb = b.data();
   float* po = out->data.data();
   ParallelFor(0, n, kElemGrain, [=](int64_t lo, int64_t hi) {
-    for (int64_t i = lo; i < hi; ++i) po[i] = pa[i] - pb[i];
+    kernels::EwSub(hi - lo, pa + lo, pb + lo, po + lo);
   });
   if (out->requires_grad) {
     TensorImpl* o = out.get();
@@ -129,13 +181,13 @@ Tensor Sub(const Tensor& a, const Tensor& b) {
 
 Tensor Mul(const Tensor& a, const Tensor& b) {
   CheckSameShape(a, b);
-  auto out = MakeNode(a.shape(), {a, b});
+  auto out = MakeNode("mul", a.shape(), {a, b});
   const int64_t n = static_cast<int64_t>(out->data.size());
   const float* pa = a.data();
   const float* pb = b.data();
   float* po = out->data.data();
   ParallelFor(0, n, kElemGrain, [=](int64_t lo, int64_t hi) {
-    for (int64_t i = lo; i < hi; ++i) po[i] = pa[i] * pb[i];
+    kernels::EwMul(hi - lo, pa + lo, pb + lo, po + lo);
   });
   if (out->requires_grad) {
     TensorImpl* o = out.get();
@@ -162,13 +214,13 @@ Tensor Mul(const Tensor& a, const Tensor& b) {
 
 Tensor Div(const Tensor& a, const Tensor& b) {
   CheckSameShape(a, b);
-  auto out = MakeNode(a.shape(), {a, b});
+  auto out = MakeNode("div", a.shape(), {a, b});
   const int64_t n = static_cast<int64_t>(out->data.size());
   const float* pa = a.data();
   const float* pb = b.data();
   float* po = out->data.data();
   ParallelFor(0, n, kElemGrain, [=](int64_t lo, int64_t hi) {
-    for (int64_t i = lo; i < hi; ++i) po[i] = pa[i] / pb[i];
+    kernels::EwDiv(hi - lo, pa + lo, pb + lo, po + lo);
   });
   if (out->requires_grad) {
     TensorImpl* o = out.get();
@@ -199,14 +251,14 @@ Tensor AddBias(const Tensor& a, const Tensor& bias) {
   RRRE_CHECK_EQ(bias.ndim(), 1);
   const int64_t n = bias.dim(0);
   RRRE_CHECK_EQ(a.dim(-1), n);
-  auto out = MakeNode(a.shape(), {a, bias});
+  auto out = MakeNode("add_bias", a.shape(), {a, bias});
   const int64_t rows = a.numel() / n;
   const float* pa = a.data();
   const float* pb = bias.data();
   float* po = out->data.data();
   ParallelFor(0, rows, RowGrain(n), [=](int64_t lo, int64_t hi) {
     for (int64_t r = lo; r < hi; ++r) {
-      for (int64_t j = 0; j < n; ++j) po[r * n + j] = pa[r * n + j] + pb[j];
+      kernels::EwAdd(n, pa + r * n, pb, po + r * n);
     }
   });
   if (out->requires_grad) {
@@ -247,12 +299,12 @@ Tensor AddBias(const Tensor& a, const Tensor& bias) {
 }
 
 Tensor AddScalar(const Tensor& a, float s) {
-  auto out = MakeNode(a.shape(), {a});
+  auto out = MakeNode("add_scalar", a.shape(), {a});
   const int64_t n = static_cast<int64_t>(out->data.size());
   const float* pa = a.data();
   float* po = out->data.data();
   ParallelFor(0, n, kElemGrain, [=](int64_t lo, int64_t hi) {
-    for (int64_t i = lo; i < hi; ++i) po[i] = pa[i] + s;
+    kernels::EwAddScalar(hi - lo, pa + lo, s, po + lo);
   });
   if (out->requires_grad) {
     TensorImpl* o = out.get();
@@ -270,12 +322,12 @@ Tensor AddScalar(const Tensor& a, float s) {
 }
 
 Tensor MulScalar(const Tensor& a, float s) {
-  auto out = MakeNode(a.shape(), {a});
+  auto out = MakeNode("mul_scalar", a.shape(), {a});
   const int64_t n = static_cast<int64_t>(out->data.size());
   const float* pa = a.data();
   float* po = out->data.data();
   ParallelFor(0, n, kElemGrain, [=](int64_t lo, int64_t hi) {
-    for (int64_t i = lo; i < hi; ++i) po[i] = pa[i] * s;
+    kernels::EwMulScalar(hi - lo, pa + lo, s, po + lo);
   });
   if (out->requires_grad) {
     TensorImpl* o = out.get();
@@ -299,8 +351,9 @@ namespace {
 /// Shared implementation for unary elementwise ops where the local derivative
 /// can be computed from the output value.
 template <typename Fwd, typename DerivFromOut>
-Tensor UnaryFromOutput(const Tensor& a, Fwd fwd, DerivFromOut deriv) {
-  auto out = MakeNode(a.shape(), {a});
+Tensor UnaryFromOutput(const char* op, const Tensor& a, Fwd fwd,
+                       DerivFromOut deriv) {
+  auto out = MakeNode(op, a.shape(), {a});
   const int64_t n = static_cast<int64_t>(out->data.size());
   const float* pa = a.data();
   float* po = out->data.data();
@@ -330,122 +383,97 @@ Tensor UnaryFromOutput(const Tensor& a, Fwd fwd, DerivFromOut deriv) {
 
 Tensor Tanh(const Tensor& a) {
   return UnaryFromOutput(
-      a, [](float x) { return std::tanh(x); },
+      "tanh", a, [](float x) { return std::tanh(x); },
       [](float y, float) { return 1.0f - y * y; });
 }
 
 Tensor Sigmoid(const Tensor& a) {
   return UnaryFromOutput(
-      a,
-      [](float x) {
-        // Stable sigmoid for both signs of x.
-        if (x >= 0.0f) {
-          const float z = std::exp(-x);
-          return 1.0f / (1.0f + z);
-        }
-        const float z = std::exp(x);
-        return z / (1.0f + z);
-      },
+      "sigmoid", a, [](float x) { return StableSigmoid(x); },
       [](float y, float) { return y * (1.0f - y); });
 }
 
 Tensor Relu(const Tensor& a) {
   return UnaryFromOutput(
-      a, [](float x) { return x > 0.0f ? x : 0.0f; },
+      "relu", a, [](float x) { return x > 0.0f ? x : 0.0f; },
       [](float, float x) { return x > 0.0f ? 1.0f : 0.0f; });
 }
 
 Tensor Exp(const Tensor& a) {
   return UnaryFromOutput(
-      a, [](float x) { return std::exp(x); },
+      "exp", a, [](float x) { return std::exp(x); },
       [](float y, float) { return y; });
 }
 
 Tensor Log(const Tensor& a) {
   return UnaryFromOutput(
-      a, [](float x) { return std::log(x); },
+      "log", a, [](float x) { return std::log(x); },
       [](float, float x) { return 1.0f / x; });
 }
 
 Tensor Sqrt(const Tensor& a) {
   return UnaryFromOutput(
-      a, [](float x) { return std::sqrt(x); },
+      "sqrt", a, [](float x) { return std::sqrt(x); },
       [](float y, float) { return 0.5f / y; });
 }
 
 Tensor Square(const Tensor& a) {
   return UnaryFromOutput(
-      a, [](float x) { return x * x; },
+      "square", a, [](float x) { return x * x; },
       [](float, float x) { return 2.0f * x; });
 }
 
-Tensor MatMul(const Tensor& a, const Tensor& b) {
+Tensor MatMul(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {
   obs::TraceSpan span("matmul");
   RRRE_CHECK_EQ(a.ndim(), 2);
   RRRE_CHECK_EQ(b.ndim(), 2);
-  const int64_t m = a.dim(0);
-  const int64_t k = a.dim(1);
-  const int64_t n = b.dim(1);
-  RRRE_CHECK_EQ(b.dim(0), k) << "MatMul inner dims: "
-                             << ShapeToString(a.shape()) << " x "
-                             << ShapeToString(b.shape());
-  auto out = MakeNode({m, n}, {a, b});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = out->data.data();
-  // Row-partitioned i-k-j loops: each output row is produced by exactly one
-  // chunk with the serial accumulation order, so the forward value does not
-  // depend on the thread count.
-  ParallelFor(0, m, RowGrain(k * n), [=](int64_t lo, int64_t hi) {
-    for (int64_t i = lo; i < hi; ++i) {
-      for (int64_t kk = 0; kk < k; ++kk) {
-        const float aik = pa[i * k + kk];
-        if (aik == 0.0f) continue;
-        const float* brow = pb + kk * n;
-        float* crow = pc + i * n;
-        for (int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
-      }
-    }
-  });
+  const int64_t m = trans_a ? a.dim(1) : a.dim(0);
+  const int64_t k = trans_a ? a.dim(0) : a.dim(1);
+  const int64_t n = trans_b ? b.dim(0) : b.dim(1);
+  RRRE_CHECK_EQ(trans_b ? b.dim(1) : b.dim(0), k)
+      << "MatMul inner dims: " << ShapeToString(a.shape())
+      << (trans_a ? "^T" : "") << " x " << ShapeToString(b.shape())
+      << (trans_b ? "^T" : "");
+  auto out = MakeNode("matmul", {m, n}, {a, b});
+  const int64_t lda = a.dim(1);
+  const int64_t ldb = b.dim(1);
+  ShardedGemm(trans_a, trans_b, m, n, k, a.data(), lda, b.data(), ldb,
+              out->data.data(), n);
   if (out->requires_grad) {
     TensorImpl* o = out.get();
     TensorImpl* ia = a.impl().get();
     TensorImpl* ib = b.impl().get();
-    out->backward_fn = [o, ia, ib, m, k, n]() {
+    out->backward_fn = [o, ia, ib, m, k, n, lda, ldb, trans_a, trans_b]() {
       const float* go = o->grad.data();
-      // dA = dC * B^T, partitioned by rows of A (private per chunk).
+      // Each gradient is itself a GEMM against the stored (untransposed)
+      // operand buffers; the dispatch below picks the transpose variant that
+      // reads them in place. Both grads accumulate into row-sharded outputs,
+      // so the determinism argument is the same as the forward's.
       if (float* ga = GradBuf(ia)) {
         const float* db = ib->data.data();
-        ParallelFor(0, m, RowGrain(k * n), [=](int64_t lo, int64_t hi) {
-          for (int64_t i = lo; i < hi; ++i) {
-            for (int64_t j = 0; j < n; ++j) {
-              const float g = go[i * n + j];
-              if (g == 0.0f) continue;
-              const float* brow = db + j;
-              float* garow = ga + i * k;
-              for (int64_t kk = 0; kk < k; ++kk) {
-                garow[kk] += g * brow[kk * n];
-              }
-            }
-          }
-        });
+        if (!trans_a) {
+          // dA[m, k] = dC · opB(B)^T.
+          ShardedGemm(false, !trans_b, m, k, n, go, n, db, ldb, ga, lda);
+        } else if (!trans_b) {
+          // A stored [k, m]: dA = B · dC^T.
+          ShardedGemm(false, true, k, m, n, db, ldb, go, n, ga, lda);
+        } else {
+          // A stored [k, m], B stored [n, k]: dA = B^T · dC^T.
+          ShardedGemm(true, true, k, m, n, db, ldb, go, n, ga, lda);
+        }
       }
-      // dB = A^T * dC, partitioned by rows of B (index kk): each chunk owns
-      // its rows of dB outright, and the i-ascending accumulation order per
-      // row is fixed — no thread-count dependence.
       if (float* gb = GradBuf(ib)) {
         const float* da = ia->data.data();
-        ParallelFor(0, k, RowGrain(m * n), [=](int64_t lo, int64_t hi) {
-          for (int64_t kk = lo; kk < hi; ++kk) {
-            float* gbrow = gb + kk * n;
-            for (int64_t i = 0; i < m; ++i) {
-              const float av = da[i * k + kk];
-              if (av == 0.0f) continue;
-              const float* grow = go + i * n;
-              for (int64_t j = 0; j < n; ++j) gbrow[j] += av * grow[j];
-            }
-          }
-        });
+        if (!trans_b) {
+          // dB[k, n] = opA(A)^T · dC.
+          ShardedGemm(!trans_a, false, k, n, m, da, lda, go, n, gb, ldb);
+        } else if (!trans_a) {
+          // B stored [n, k]: dB = dC^T · A.
+          ShardedGemm(true, false, n, k, m, go, n, da, lda, gb, ldb);
+        } else {
+          // B stored [n, k], A stored [k, m]: dB = dC^T · A^T.
+          ShardedGemm(true, true, n, k, m, go, n, da, lda, gb, ldb);
+        }
       }
     };
   }
@@ -456,7 +484,7 @@ Tensor Transpose(const Tensor& a) {
   RRRE_CHECK_EQ(a.ndim(), 2);
   const int64_t m = a.dim(0);
   const int64_t n = a.dim(1);
-  auto out = MakeNode({n, m}, {a});
+  auto out = MakeNode("transpose", {n, m}, {a});
   const float* pa = a.data();
   float* po = out->data.data();
   ParallelFor(0, m, RowGrain(n), [=](int64_t lo, int64_t hi) {
@@ -485,7 +513,7 @@ Tensor Softmax(const Tensor& a) {
   RRRE_CHECK_EQ(a.ndim(), 2);
   const int64_t rows = a.dim(0);
   const int64_t cols = a.dim(1);
-  auto out = MakeNode(a.shape(), {a});
+  auto out = MakeNode("softmax", a.shape(), {a});
   const float* pa = a.data();
   float* po = out->data.data();
   ParallelFor(0, rows, RowGrain(cols), [=](int64_t lo, int64_t hi) {
@@ -531,7 +559,7 @@ Tensor LogSoftmax(const Tensor& a) {
   RRRE_CHECK_EQ(a.ndim(), 2);
   const int64_t rows = a.dim(0);
   const int64_t cols = a.dim(1);
-  auto out = MakeNode(a.shape(), {a});
+  auto out = MakeNode("log_softmax", a.shape(), {a});
   const float* pa = a.data();
   float* po = out->data.data();
   ParallelFor(0, rows, RowGrain(cols), [=](int64_t lo, int64_t hi) {
@@ -572,11 +600,12 @@ Tensor LogSoftmax(const Tensor& a) {
 }
 
 Tensor Sum(const Tensor& a) {
-  auto out = MakeNode({1}, {a});
+  auto out = MakeNode("sum", {1}, {a});
   const int64_t n = static_cast<int64_t>(a.impl()->data.size());
   const float* pa = a.data();
   // Fixed-grain chunk partials combined in chunk order: for n <= kElemGrain
-  // this is the plain serial double accumulation.
+  // this is the plain serial double accumulation. Two scrapes of the same
+  // buffer — at any thread count — produce bitwise identical sums.
   const int64_t chunks = (n + kElemGrain - 1) / kElemGrain;
   std::vector<double> partials(static_cast<size_t>(std::max<int64_t>(chunks, 1)),
                                0.0);
@@ -611,7 +640,7 @@ Tensor RowSum(const Tensor& a) {
   RRRE_CHECK_EQ(a.ndim(), 2);
   const int64_t rows = a.dim(0);
   const int64_t cols = a.dim(1);
-  auto out = MakeNode({rows, 1}, {a});
+  auto out = MakeNode("row_sum", {rows, 1}, {a});
   const float* pa = a.data();
   float* po = out->data.data();
   ParallelFor(0, rows, RowGrain(cols), [=](int64_t lo, int64_t hi) {
@@ -643,7 +672,7 @@ Tensor RowSum(const Tensor& a) {
 Tensor Reshape(const Tensor& a, const Shape& shape) {
   RRRE_CHECK_EQ(NumElements(shape), a.numel())
       << ShapeToString(a.shape()) << " -> " << ShapeToString(shape);
-  auto out = MakeNode(shape, {a});
+  auto out = MakeNode("reshape", shape, {a});
   out->data = a.impl()->data;
   if (out->requires_grad) {
     TensorImpl* o = out.get();
@@ -670,7 +699,7 @@ Tensor ConcatCols(const std::vector<Tensor>& parts) {
     RRRE_CHECK_EQ(p.dim(0), rows);
     total_cols += p.dim(1);
   }
-  auto out = MakeNode({rows, total_cols}, parts);
+  auto out = MakeNode("concat_cols", {rows, total_cols}, parts);
   int64_t col_offset = 0;
   for (const Tensor& p : parts) {
     const int64_t cols = p.dim(1);
@@ -721,7 +750,7 @@ Tensor ConcatRows(const std::vector<Tensor>& parts) {
     RRRE_CHECK_EQ(p.dim(1), cols);
     total_rows += p.dim(0);
   }
-  auto out = MakeNode({total_rows, cols}, parts);
+  auto out = MakeNode("concat_rows", {total_rows, cols}, parts);
   int64_t row_offset = 0;
   for (const Tensor& p : parts) {
     const int64_t rows = p.dim(0);
@@ -761,7 +790,7 @@ Tensor SliceRows(const Tensor& a, int64_t start, int64_t len) {
   RRRE_CHECK_GT(len, 0);
   RRRE_CHECK_LE(start + len, a.dim(0));
   const int64_t cols = a.dim(1);
-  auto out = MakeNode({len, cols}, {a});
+  auto out = MakeNode("slice_rows", {len, cols}, {a});
   std::copy(a.data() + start * cols, a.data() + (start + len) * cols,
             out->data.data());
   if (out->requires_grad) {
@@ -788,7 +817,7 @@ Tensor SliceCols(const Tensor& a, int64_t start, int64_t len) {
   RRRE_CHECK_LE(start + len, a.dim(1));
   const int64_t rows = a.dim(0);
   const int64_t cols = a.dim(1);
-  auto out = MakeNode({rows, len}, {a});
+  auto out = MakeNode("slice_cols", {rows, len}, {a});
   const float* pa = a.data();
   float* po = out->data.data();
   ParallelFor(0, rows, RowGrain(len), [=](int64_t lo, int64_t hi) {
@@ -844,7 +873,7 @@ Tensor Conv1dMaxPool(const Tensor& values, int64_t seq_len,
   RRRE_CHECK_EQ(bias.dim(0), f);
   const int64_t positions = seq_len - w + 1;
 
-  auto out = MakeNode({b, f}, {values, kernel, bias});
+  auto out = MakeNode("conv1d_maxpool", {b, f}, {values, kernel, bias});
   // argmax[b*f + c] = best window start for that (example, filter).
   auto argmax = std::make_shared<std::vector<int64_t>>(
       static_cast<size_t>(b * f), int64_t{0});
@@ -853,31 +882,17 @@ Tensor Conv1dMaxPool(const Tensor& values, int64_t seq_len,
   const float* pb = bias.data();
   float* po = out->data.data();
   int64_t* pam = argmax->data();
-  // Examples are independent: partition by bi.
+  // Examples are independent: partition by bi. A window is w*d contiguous
+  // floats of the example's embedding block, so the per-example kernel runs
+  // contiguous filter-axis axpys (see kernels.cc); per (t, c) the
+  // accumulation still walks the window in ascending (p, e) order.
   ParallelFor(0, b, RowGrain(positions * f * w * d),
               [=](int64_t lo, int64_t hi) {
-    std::vector<float> best(static_cast<size_t>(f));
+    std::vector<float> scores(static_cast<size_t>(f));
     for (int64_t bi = lo; bi < hi; ++bi) {
-      float* orow = po + bi * f;
-      best.assign(static_cast<size_t>(f),
-                  -std::numeric_limits<float>::infinity());
-      for (int64_t t = 0; t < positions; ++t) {
-        const float* window = pv + (bi * seq_len + t) * d;
-        for (int64_t c = 0; c < f; ++c) {
-          float acc = pb[c];
-          // kernel rows are laid out window-position-major: row (p*d + e).
-          for (int64_t p = 0; p < w; ++p) {
-            const float* vrow = window + p * d;
-            const float* krow = pk + p * d * f;
-            for (int64_t e = 0; e < d; ++e) acc += vrow[e] * krow[e * f + c];
-          }
-          if (acc > best[static_cast<size_t>(c)]) {
-            best[static_cast<size_t>(c)] = acc;
-            pam[bi * f + c] = t;
-          }
-        }
-      }
-      for (int64_t c = 0; c < f; ++c) orow[c] = best[static_cast<size_t>(c)];
+      kernels::Conv1dMaxPoolExample(seq_len, w, d, f, pv + bi * seq_len * d,
+                                    pk, pb, po + bi * f, pam + bi * f,
+                                    scores.data());
     }
   });
 
@@ -895,16 +910,31 @@ Tensor Conv1dMaxPool(const Tensor& values, int64_t seq_len,
       const float* dk = ik->data.data();
       const float* dv = iv->data.data();
       const int64_t* pam2 = argmax->data();
+      const int64_t wd = w * d;
+      // Transposed kernel [f, w*d]: row c is filter c's window weights in
+      // ascending q = p*d + e order, so the value-gradient inner loop is a
+      // contiguous axpy over the argmax window while keeping the exact
+      // accumulation order of the reference (ascending q per (bi, c)).
+      std::vector<float> kt;
+      if (gv != nullptr) {
+        kt.resize(static_cast<size_t>(f * wd));
+        for (int64_t q = 0; q < wd; ++q) {
+          for (int64_t c = 0; c < f; ++c) {
+            kt[static_cast<size_t>(c * wd + q)] = dk[q * f + c];
+          }
+        }
+      }
+      const float* ktp = kt.data();
       // Value grads are private per example; kernel and bias grads are
       // cross-example reductions — accumulate per-chunk partials (fixed
       // kConvChunk examples each) and combine them in chunk order.
-      const int64_t ksize = w * d * f;
+      const int64_t ksize = wd * f;
       const int64_t chunks = (b + kConvChunk - 1) / kConvChunk;
       std::vector<std::vector<float>> k_partials(
           static_cast<size_t>(chunks));
       std::vector<std::vector<float>> b_partials(
           static_cast<size_t>(chunks));
-      ParallelFor(0, b, kConvChunk, [&, ksize](int64_t lo, int64_t hi) {
+      ParallelFor(0, b, kConvChunk, [&, ksize, wd](int64_t lo, int64_t hi) {
         const size_t chunk = static_cast<size_t>(lo / kConvChunk);
         float* kp = nullptr;
         float* bp = nullptr;
@@ -917,17 +947,33 @@ Tensor Conv1dMaxPool(const Tensor& values, int64_t seq_len,
           bp = b_partials[chunk].data();
         }
         for (int64_t bi = lo; bi < hi; ++bi) {
+          const float* grow = go + bi * f;
+          const int64_t* trow = pam2 + bi * f;
+          // Bias + value grads, filter-major like the reference: per (bi, c)
+          // with a nonzero incoming grad, one contiguous axpy over the
+          // argmax window.
           for (int64_t c = 0; c < f; ++c) {
-            const float g = go[bi * f + c];
+            const float g = grow[c];
             if (g == 0.0f) continue;
-            const int64_t t = pam2[bi * f + c];
             if (bp != nullptr) bp[c] += g;
-            for (int64_t p = 0; p < w; ++p) {
-              const int64_t vrow = (bi * seq_len + t + p) * d;
-              for (int64_t e = 0; e < d; ++e) {
-                const int64_t krow = (p * d + e) * f + c;
-                if (gv != nullptr) gv[vrow + e] += g * dk[krow];
-                if (kp != nullptr) kp[krow] += g * dv[vrow + e];
+            if (gv != nullptr) {
+              float* win = gv + (bi * seq_len + trow[c]) * d;
+              const float* krow = ktp + c * wd;
+              for (int64_t q = 0; q < wd; ++q) win[q] += g * krow[q];
+            }
+          }
+          // Kernel grads, q-outer/c-inner so the inner loop writes the
+          // partial's contiguous row q*f. Each (q, c) gets at most one
+          // contribution per example, so the regrouping relative to the
+          // filter-major reference changes nothing bitwise.
+          if (kp != nullptr) {
+            const float* dvb = dv + bi * seq_len * d;
+            for (int64_t q = 0; q < wd; ++q) {
+              float* kprow = kp + q * f;
+              for (int64_t c = 0; c < f; ++c) {
+                const float g = grow[c];
+                if (g == 0.0f) continue;
+                kprow[c] += g * dvb[trow[c] * d + q];
               }
             }
           }
@@ -954,7 +1000,7 @@ Tensor EmbeddingLookup(const Tensor& table, const std::vector<int64_t>& ids) {
   const int64_t v = table.dim(0);
   const int64_t d = table.dim(1);
   const int64_t n = static_cast<int64_t>(ids.size());
-  auto out = MakeNode({n, d}, {table});
+  auto out = MakeNode("embedding_lookup", {n, d}, {table});
   for (int64_t i = 0; i < n; ++i) {
     RRRE_CHECK_GE(ids[static_cast<size_t>(i)], 0);
     RRRE_CHECK_LT(ids[static_cast<size_t>(i)], v);
@@ -994,7 +1040,7 @@ Tensor WeightedPool(const Tensor& values, const Tensor& weights) {
   RRRE_CHECK_EQ(values.dim(0), b * s)
       << "values rows must equal B*s: " << ShapeToString(values.shape())
       << " with weights " << ShapeToString(weights.shape());
-  auto out = MakeNode({b, k}, {values, weights});
+  auto out = MakeNode("weighted_pool", {b, k}, {values, weights});
   const float* pv = values.data();
   const float* pw = weights.data();
   float* po = out->data.data();
@@ -1005,7 +1051,7 @@ Tensor WeightedPool(const Tensor& values, const Tensor& weights) {
         const float w = pw[bi * s + j];
         if (w == 0.0f) continue;
         const float* vrow = pv + (bi * s + j) * k;
-        for (int64_t c = 0; c < k; ++c) orow[c] += w * vrow[c];
+        kernels::EwAxpy(k, w, vrow, orow);
       }
     }
   });
@@ -1100,7 +1146,7 @@ Tensor CrossEntropyWithLogits(const Tensor& logits,
   }
   const float norm = static_cast<float>(std::max(weight_acc, 1e-12));
 
-  auto out = MakeNode({1}, {logits});
+  auto out = MakeNode("cross_entropy", {1}, {logits});
   out->data[0] = static_cast<float>(loss_acc) / norm;
   if (out->requires_grad) {
     TensorImpl* o = out.get();
@@ -1123,6 +1169,355 @@ Tensor CrossEntropyWithLogits(const Tensor& logits,
           for (int64_t j = 0; j < c; ++j) {
             const float onehot = (j == label) ? 1.0f : 0.0f;
             grow[j] += g * w * (p[r * c + j] - onehot);
+          }
+        }
+      });
+    };
+  }
+  return Tensor::WrapImpl(out);
+}
+
+// -- Fused ops ----------------------------------------------------------------
+//
+// Bitwise contract with the eager chains (checked by tests/test_kernels.cc):
+// every float written here — forward values, gradient contributions, and the
+// order contributions land in shared buffers — reproduces the exact sequence
+// of rounded operations the eager node-by-node graph performs. Intermediate
+// values the eager graph would store in a node (e.g. g_o = gh*tc) are
+// recomputed as the same single rounded product before the next multiply.
+
+Tensor AddNBiasAct(const std::vector<Tensor>& parts, const Tensor& bias,
+                   Activation act) {
+  RRRE_CHECK(!parts.empty());
+  RRRE_CHECK_EQ(bias.ndim(), 1);
+  const int64_t n = bias.dim(0);
+  for (const Tensor& p : parts) CheckSameShape(p, parts[0]);
+  RRRE_CHECK_EQ(parts[0].dim(-1), n);
+  std::vector<Tensor> node_parents = parts;
+  node_parents.push_back(bias);
+  auto out = MakeNode("addn_bias_act", parts[0].shape(), node_parents);
+  const int64_t total = parts[0].numel();
+  const int64_t rows = total / n;
+  std::vector<const float*> part_data;
+  part_data.reserve(parts.size());
+  for (const Tensor& p : parts) part_data.push_back(p.data());
+  const float* pb = bias.data();
+  float* po = out->data.data();
+  const size_t np = part_data.size();
+  const float* const* ppd = part_data.data();
+  ParallelFor(0, rows, RowGrain(n * static_cast<int64_t>(np)),
+              [&](int64_t lo, int64_t hi) {
+    for (int64_t r = lo; r < hi; ++r) {
+      for (int64_t j = 0; j < n; ++j) {
+        const int64_t i = r * n + j;
+        // Left-to-right partial sums: each += is a separate rounding, same
+        // as the eager Add(Add(p0, p1), p2) nesting, then the bias add.
+        float acc = ppd[0][i];
+        for (size_t q = 1; q < np; ++q) acc += ppd[q][i];
+        acc += pb[j];
+        po[i] = ApplyAct(act, acc);
+      }
+    }
+  });
+  if (out->requires_grad) {
+    TensorImpl* o = out.get();
+    std::vector<TensorImpl*> impls;
+    for (const Tensor& p : parts) impls.push_back(p.impl().get());
+    TensorImpl* ibias = bias.impl().get();
+    out->backward_fn = [o, impls, ibias, rows, n, act]() {
+      const float* go = o->grad.data();
+      const float* yo = o->data.data();
+      const int64_t total = rows * n;
+      std::vector<float*> gps;
+      gps.reserve(impls.size());
+      for (TensorImpl* impl : impls) gps.push_back(GradBuf(impl));
+      float* const* gpp = gps.data();
+      const size_t np = gps.size();
+      ParallelFor(0, total, kElemGrain, [&](int64_t lo, int64_t hi) {
+        for (size_t q = 0; q < np; ++q) {
+          float* gp = gpp[q];
+          if (gp == nullptr) continue;
+          // go[i] * deriv(y) is the single rounded product the eager act
+          // node would store; the identity add chain then copies it.
+          for (int64_t i = lo; i < hi; ++i) {
+            gp[i] += go[i] * ActDeriv(act, yo[i]);
+          }
+        }
+      });
+      if (float* gb = GradBuf(ibias)) {
+        const int64_t grain = RowGrain(n);
+        const int64_t chunks = (rows + grain - 1) / grain;
+        std::vector<std::vector<float>> partials(
+            static_cast<size_t>(chunks));
+        ParallelFor(0, rows, grain, [&, grain](int64_t lo, int64_t hi) {
+          auto& part = partials[static_cast<size_t>(lo / grain)];
+          part.assign(static_cast<size_t>(n), 0.0f);
+          for (int64_t r = lo; r < hi; ++r) {
+            for (int64_t j = 0; j < n; ++j) {
+              part[static_cast<size_t>(j)] +=
+                  go[r * n + j] * ActDeriv(act, yo[r * n + j]);
+            }
+          }
+        });
+        for (const auto& part : partials) {
+          for (int64_t j = 0; j < n; ++j) gb[j] += part[static_cast<size_t>(j)];
+        }
+      }
+    };
+  }
+  return Tensor::WrapImpl(out);
+}
+
+LstmStepOut LstmPointwise(const Tensor& pre, const Tensor& c_prev) {
+  RRRE_CHECK_EQ(pre.ndim(), 2);
+  RRRE_CHECK_EQ(c_prev.ndim(), 2);
+  const int64_t bsz = pre.dim(0);
+  const int64_t hs = c_prev.dim(1);
+  RRRE_CHECK_EQ(pre.dim(1), 4 * hs);
+  RRRE_CHECK_EQ(c_prev.dim(0), bsz);
+  const int64_t bh = bsz * hs;
+
+  // Two nodes: c feeds the next step, h feeds the rest of the model. The
+  // gate activations and tanh(c) are stashed on the c node's scratch
+  // ([i | f | g | o | tanh(c)] blocks of B*H) for both backward closures.
+  auto c_node = MakeNode("lstm_c", {bsz, hs}, {pre, c_prev});
+  c_node->scratch.assign(static_cast<size_t>(5 * bh), 0.0f);
+  const float* pp = pre.data();
+  const float* pcp = c_prev.data();
+  float* pc = c_node->data.data();
+  float* stash = c_node->scratch.data();
+  ParallelFor(0, bsz, RowGrain(4 * hs), [=](int64_t lo, int64_t hi) {
+    for (int64_t bi = lo; bi < hi; ++bi) {
+      const float* prow = pp + bi * 4 * hs;
+      for (int64_t j = 0; j < hs; ++j) {
+        const int64_t idx = bi * hs + j;
+        const float iv = StableSigmoid(prow[j]);
+        const float fv = StableSigmoid(prow[hs + j]);
+        const float gv = std::tanh(prow[2 * hs + j]);
+        const float ov = StableSigmoid(prow[3 * hs + j]);
+        // c = (f*c_prev) + (i*g), two rounded products then one add —
+        // exactly the eager Add(Mul(f, c), Mul(i, g)).
+        const float t1 = fv * pcp[idx];
+        const float t2 = iv * gv;
+        const float cv = t1 + t2;
+        pc[idx] = cv;
+        stash[idx] = iv;
+        stash[bh + idx] = fv;
+        stash[2 * bh + idx] = gv;
+        stash[3 * bh + idx] = ov;
+        stash[4 * bh + idx] = std::tanh(cv);
+      }
+    }
+  });
+
+  auto h_node =
+      MakeNode("lstm_h", {bsz, hs}, {pre, Tensor::WrapImpl(c_node)});
+  float* ph = h_node->data.data();
+  ParallelFor(0, bh, kElemGrain, [=](int64_t lo, int64_t hi) {
+    for (int64_t idx = lo; idx < hi; ++idx) {
+      ph[idx] = stash[3 * bh + idx] * stash[4 * bh + idx];
+    }
+  });
+
+  if (h_node->requires_grad) {
+    TensorImpl* hn = h_node.get();
+    TensorImpl* cn = c_node.get();
+    TensorImpl* ipre = pre.impl().get();
+    h_node->backward_fn = [hn, cn, ipre, bsz, hs, bh]() {
+      const float* gh = hn->grad.data();
+      const float* st = cn->scratch.data();
+      float* gpre = GradBuf(ipre);
+      float* gc = GradBuf(cn);
+      ParallelFor(0, bsz, RowGrain(hs), [=](int64_t lo, int64_t hi) {
+        for (int64_t bi = lo; bi < hi; ++bi) {
+          for (int64_t j = 0; j < hs; ++j) {
+            const int64_t idx = bi * hs + j;
+            const float g = gh[idx];
+            const float ov = st[3 * bh + idx];
+            const float tc = st[4 * bh + idx];
+            if (gpre != nullptr) {
+              // (gh*tc) is the eager Mul node's stored g_o; then the
+              // sigmoid derivative from the output value.
+              gpre[bi * 4 * hs + 3 * hs + j] +=
+                  (g * tc) * (ov * (1.0f - ov));
+            }
+            // (gh*o) is the stored g_tanh(c); then the tanh derivative.
+            if (gc != nullptr) gc[idx] += (g * ov) * (1.0f - tc * tc);
+          }
+        }
+      });
+    };
+  }
+  if (c_node->requires_grad) {
+    TensorImpl* cn = c_node.get();
+    TensorImpl* ipre = pre.impl().get();
+    TensorImpl* icp = c_prev.impl().get();
+    c_node->backward_fn = [cn, ipre, icp, bsz, hs, bh]() {
+      // By topological order both consumers (this step's h, next step's c)
+      // have already deposited into cn->grad.
+      const float* gc = cn->grad.data();
+      const float* st = cn->scratch.data();
+      const float* pcp = icp->data.data();
+      float* gpre = GradBuf(ipre);
+      float* gcp = GradBuf(icp);
+      ParallelFor(0, bsz, RowGrain(hs), [=](int64_t lo, int64_t hi) {
+        for (int64_t bi = lo; bi < hi; ++bi) {
+          for (int64_t j = 0; j < hs; ++j) {
+            const int64_t idx = bi * hs + j;
+            const float g = gc[idx];
+            const float iv = st[idx];
+            const float fv = st[bh + idx];
+            const float gv = st[2 * bh + idx];
+            if (gpre != nullptr) {
+              float* prow = gpre + bi * 4 * hs;
+              prow[j] += (g * gv) * (iv * (1.0f - iv));
+              prow[hs + j] += (g * pcp[idx]) * (fv * (1.0f - fv));
+              prow[2 * hs + j] += (g * iv) * (1.0f - gv * gv);
+            }
+            if (gcp != nullptr) gcp[idx] += g * fv;
+          }
+        }
+      });
+    };
+  }
+  return {Tensor::WrapImpl(h_node), Tensor::WrapImpl(c_node)};
+}
+
+Tensor GruPointwise(const Tensor& gi, const Tensor& gh, const Tensor& h_prev) {
+  RRRE_CHECK_EQ(gi.ndim(), 2);
+  RRRE_CHECK_EQ(gh.ndim(), 2);
+  RRRE_CHECK_EQ(h_prev.ndim(), 2);
+  const int64_t bsz = gi.dim(0);
+  const int64_t hs = h_prev.dim(1);
+  RRRE_CHECK_EQ(gi.dim(1), 3 * hs);
+  RRRE_CHECK_EQ(gh.dim(0), bsz);
+  RRRE_CHECK_EQ(gh.dim(1), 3 * hs);
+  RRRE_CHECK_EQ(h_prev.dim(0), bsz);
+  const int64_t bh = bsz * hs;
+
+  auto out = MakeNode("gru_pointwise", {bsz, hs}, {gi, gh, h_prev});
+  // Stash [r | z | n] blocks of B*H for backward.
+  out->scratch.assign(static_cast<size_t>(3 * bh), 0.0f);
+  const float* pgi = gi.data();
+  const float* pgh = gh.data();
+  const float* php = h_prev.data();
+  float* po = out->data.data();
+  float* stash = out->scratch.data();
+  ParallelFor(0, bsz, RowGrain(3 * hs), [=](int64_t lo, int64_t hi) {
+    for (int64_t bi = lo; bi < hi; ++bi) {
+      const float* girow = pgi + bi * 3 * hs;
+      const float* ghrow = pgh + bi * 3 * hs;
+      for (int64_t j = 0; j < hs; ++j) {
+        const int64_t idx = bi * hs + j;
+        const float rv = StableSigmoid(girow[j] + ghrow[j]);
+        const float zv = StableSigmoid(girow[hs + j] + ghrow[hs + j]);
+        // pre_n = gi_n + (r * gh_n): one rounded product then one add,
+        // matching the eager Add(gi_n, Mul(r, gh_n)).
+        const float nv =
+            std::tanh(girow[2 * hs + j] + rv * ghrow[2 * hs + j]);
+        const float om = 1.0f - zv;
+        const float t1 = om * nv;
+        const float t2 = zv * php[idx];
+        po[idx] = t1 + t2;
+        stash[idx] = rv;
+        stash[bh + idx] = zv;
+        stash[2 * bh + idx] = nv;
+      }
+    }
+  });
+
+  if (out->requires_grad) {
+    TensorImpl* o = out.get();
+    TensorImpl* igi = gi.impl().get();
+    TensorImpl* igh = gh.impl().get();
+    TensorImpl* ihp = h_prev.impl().get();
+    out->backward_fn = [o, igi, igh, ihp, bsz, hs, bh]() {
+      const float* go = o->grad.data();
+      const float* st = o->scratch.data();
+      const float* php = ihp->data.data();
+      const float* pgh = igh->data.data();
+      float* ggi = GradBuf(igi);
+      float* ggh = GradBuf(igh);
+      float* ghp = GradBuf(ihp);
+      ParallelFor(0, bsz, RowGrain(hs), [=](int64_t lo, int64_t hi) {
+        for (int64_t bi = lo; bi < hi; ++bi) {
+          for (int64_t j = 0; j < hs; ++j) {
+            const int64_t idx = bi * hs + j;
+            const float g = go[idx];
+            const float rv = st[idx];
+            const float zv = st[bh + idx];
+            const float nv = st[2 * bh + idx];
+            // g_z accumulates (go*h_prev) from Mul(z, h) first, then
+            // subtracts (go*n) from the 1-z node — same order as the eager
+            // reverse-topological walk.
+            const float gz = (g * php[idx]) - (g * nv);
+            const float gaddz = gz * (zv * (1.0f - zv));
+            // g_n = go * (1 - z); the eager om value is the identical
+            // float subtraction.
+            const float gaddn = (g * (1.0f - zv)) * (1.0f - nv * nv);
+            const float ghn = pgh[bi * 3 * hs + 2 * hs + j];
+            const float gaddr =
+                (gaddn * ghn) * (rv * (1.0f - rv));
+            if (ggi != nullptr) {
+              float* row = ggi + bi * 3 * hs;
+              row[j] += gaddr;
+              row[hs + j] += gaddz;
+              row[2 * hs + j] += gaddn;
+            }
+            if (ggh != nullptr) {
+              float* row = ggh + bi * 3 * hs;
+              row[j] += gaddr;
+              row[hs + j] += gaddz;
+              row[2 * hs + j] += gaddn * rv;
+            }
+            if (ghp != nullptr) ghp[idx] += g * zv;
+          }
+        }
+      });
+    };
+  }
+  return Tensor::WrapImpl(out);
+}
+
+Tensor FmPairwise(const Tensor& xv, const Tensor& x2v2) {
+  CheckSameShape(xv, x2v2);
+  RRRE_CHECK_EQ(xv.ndim(), 2);
+  const int64_t b = xv.dim(0);
+  const int64_t f = xv.dim(1);
+  auto out = MakeNode("fm_pair", {b, 1}, {xv, x2v2});
+  const float* pxv = xv.data();
+  const float* px2 = x2v2.data();
+  float* po = out->data.data();
+  ParallelFor(0, b, RowGrain(f), [=](int64_t lo, int64_t hi) {
+    for (int64_t r = lo; r < hi; ++r) {
+      // Per element: float square, float subtract, double-accumulated row
+      // sum — the same roundings as the eager Square/Sub/RowSum chain —
+      // then the 0.5 scale.
+      double acc = 0.0;
+      for (int64_t j = 0; j < f; ++j) {
+        const float s = pxv[r * f + j] * pxv[r * f + j];
+        acc += s - px2[r * f + j];
+      }
+      po[r] = static_cast<float>(acc) * 0.5f;
+    }
+  });
+  if (out->requires_grad) {
+    TensorImpl* o = out.get();
+    TensorImpl* ixv = xv.impl().get();
+    TensorImpl* ix2 = x2v2.impl().get();
+    out->backward_fn = [o, ixv, ix2, b, f]() {
+      const float* go = o->grad.data();
+      const float* pxv = ixv->data.data();
+      float* gxv = GradBuf(ixv);
+      float* gx2 = GradBuf(ix2);
+      if (gxv == nullptr && gx2 == nullptr) return;
+      ParallelFor(0, b, RowGrain(f), [=](int64_t lo, int64_t hi) {
+        for (int64_t r = lo; r < hi; ++r) {
+          const float g2 = go[r] * 0.5f;
+          for (int64_t j = 0; j < f; ++j) {
+            const int64_t i = r * f + j;
+            if (gxv != nullptr) gxv[i] += g2 * (2.0f * pxv[i]);
+            if (gx2 != nullptr) gx2[i] -= g2;
           }
         }
       });

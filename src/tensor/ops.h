@@ -42,8 +42,13 @@ Tensor Square(const Tensor& a);
 
 // -- Linear algebra -----------------------------------------------------------
 
-/// [m, k] x [k, n] -> [m, n].
-Tensor MatMul(const Tensor& a, const Tensor& b);
+/// opA(a) x opB(b) where opX transposes the stored operand when the flag is
+/// set: a is stored [m, k] (or [k, m] with trans_a), b is stored [k, n] (or
+/// [n, k] with trans_b); result is [m, n]. The transposed operand is never
+/// materialized — the blocked kernel reads it in place. Backward uses the
+/// other transpose variants, so all four are exercised by training.
+Tensor MatMul(const Tensor& a, const Tensor& b, bool trans_a = false,
+              bool trans_b = false);
 /// 2-D transpose.
 Tensor Transpose(const Tensor& a);
 
@@ -103,6 +108,46 @@ Tensor Conv1dMaxPool(const Tensor& values, int64_t seq_len,
 Tensor CrossEntropyWithLogits(const Tensor& logits,
                               const std::vector<int64_t>& labels,
                               const std::vector<float>& example_weights = {});
+
+// -- Fused ops ----------------------------------------------------------------
+//
+// Single graph nodes replacing the eager chains the src/nn modules build.
+// Each fused op is constructed to produce bitwise identical values AND
+// gradients to the eager chain it replaces: the forward applies the same
+// float operations in the same order, and the backward mirrors the exact
+// sequence of rounded products the eager node-by-node backward performs
+// (verified by the fused-vs-eager suites in tests/test_kernels.cc). The win
+// is graph size: one node + one backward closure instead of five to ten.
+
+enum class Activation { kNone, kTanh, kSigmoid, kRelu };
+
+/// act(parts[0] + parts[1] + ... + bias), with the partial sums accumulated
+/// left to right exactly like the eager Add(Add(p0, p1), p2) nesting and the
+/// bias broadcast over the last dim. All parts share one shape [..., n];
+/// bias is [n].
+Tensor AddNBiasAct(const std::vector<Tensor>& parts, const Tensor& bias,
+                   Activation act);
+
+/// Fused LSTM gate pointwise block. pre is [B, 4H] holding the preactivation
+/// (x·W_ih + h·W_hh + b) with gate order i, f, g, o; c_prev is [B, H].
+/// Computes c = sigmoid(f)*c_prev + sigmoid(i)*tanh(g) and
+/// h = sigmoid(o)*tanh(c) as two graph nodes (c is consumed by the next
+/// step, h by the rest of the model), replacing the eager 9-node chain.
+struct LstmStepOut {
+  Tensor h;
+  Tensor c;
+};
+LstmStepOut LstmPointwise(const Tensor& pre, const Tensor& c_prev);
+
+/// Fused GRU gate pointwise block. gi = x·W_ih + b and gh = h_prev·W_hh,
+/// both [B, 3H] with gate order r, z, n; h_prev is [B, H]. Computes
+/// r = sigmoid(gi_r + gh_r), z = sigmoid(gi_z + gh_z),
+/// n = tanh(gi_n + r*gh_n), out = (1 - z)*n + z*h_prev.
+Tensor GruPointwise(const Tensor& gi, const Tensor& gh, const Tensor& h_prev);
+
+/// Fused FM pairwise term: 0.5 * rowsum(xv^2 - x2v2) -> [B, 1], replacing
+/// the eager Square/Sub/RowSum/MulScalar chain (xv = x·V, x2v2 = x²·V²).
+Tensor FmPairwise(const Tensor& xv, const Tensor& x2v2);
 
 }  // namespace rrre::tensor
 

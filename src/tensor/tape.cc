@@ -1,0 +1,126 @@
+#include "tensor/tape.h"
+
+#include <atomic>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace rrre::tensor {
+
+using internal::TensorImpl;
+
+namespace {
+
+thread_local BatchTape* g_active_tape = nullptr;
+
+std::atomic<bool> g_fusion_enabled{false};
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+uint64_t Fnv1a(uint64_t h, const void* bytes, size_t n) {
+  const unsigned char* p = static_cast<const unsigned char*>(bytes);
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace
+
+BatchTape::Scope::Scope(BatchTape* tape) : previous_(g_active_tape) {
+  g_active_tape = tape;
+}
+
+BatchTape::Scope::~Scope() { g_active_tape = previous_; }
+
+BatchTape* BatchTape::Active() { return g_active_tape; }
+
+std::shared_ptr<TensorImpl> BatchTape::NewNode(const char* op,
+                                               const Shape& shape) {
+  RRRE_CHECK(IsValidShape(shape)) << ShapeToString(shape);
+  BatchTape* tape = g_active_tape;
+  if (tape != nullptr) return tape->Acquire(op, shape);
+  auto impl = std::make_shared<TensorImpl>();
+  impl->shape = shape;
+  impl->data.assign(static_cast<size_t>(NumElements(shape)), 0.0f);
+  return impl;
+}
+
+std::shared_ptr<TensorImpl> BatchTape::Acquire(const char* op,
+                                               const Shape& shape) {
+  const size_t n = static_cast<size_t>(NumElements(shape));
+  ++stats_.nodes;
+  if (!step_open_) {
+    step_open_ = true;
+    step_hash_ = kFnvOffset;
+  }
+  step_hash_ = Fnv1a(step_hash_, op, std::strlen(op));
+  step_hash_ = Fnv1a(step_hash_, &n, sizeof(n));
+
+  // Best fit: the smallest pooled buffer whose capacity covers n, so
+  // data.assign below never reallocates.
+  auto it = pool_.lower_bound(n);
+  std::shared_ptr<TensorImpl> impl;
+  if (it != pool_.end()) {
+    impl = std::move(it->second);
+    pool_.erase(it);
+    ++stats_.buffer_reuses;
+  } else {
+    impl = std::make_shared<TensorImpl>();
+    ++stats_.buffer_allocs;
+  }
+  impl->shape = shape;
+  impl->data.assign(n, 0.0f);
+  impl->requires_grad = false;
+  retained_.push_back(impl);
+  return impl;
+}
+
+void BatchTape::BeginStep() {
+  ++stats_.steps;
+  if (step_open_) {
+    if (sequence_hashes_.insert(step_hash_).second) {
+      ++stats_.distinct_sequences;
+    }
+    step_open_ = false;
+  }
+  // Sweep in reverse creation order: children are created after their
+  // parents and hold the parent references, so releasing them first lets a
+  // whole dead graph collapse into the pool in one pass.
+  std::vector<std::shared_ptr<TensorImpl>> survivors;
+  for (auto it = retained_.rbegin(); it != retained_.rend(); ++it) {
+    std::shared_ptr<TensorImpl>& node = *it;
+    if (node.use_count() == 1) {
+      node->backward_fn = nullptr;
+      node->parents.clear();
+      node->scratch.clear();
+      pool_.emplace(node->data.capacity(), std::move(node));
+    } else {
+      survivors.push_back(std::move(node));
+    }
+  }
+  retained_ = std::move(survivors);
+}
+
+void BatchTape::Clear() {
+  if (step_open_) {
+    if (sequence_hashes_.insert(step_hash_).second) {
+      ++stats_.distinct_sequences;
+    }
+    step_open_ = false;
+  }
+  retained_.clear();
+  pool_.clear();
+}
+
+bool FusionEnabled() {
+  return g_fusion_enabled.load(std::memory_order_relaxed);
+}
+
+void SetFusionEnabled(bool enabled) {
+  g_fusion_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+}  // namespace rrre::tensor

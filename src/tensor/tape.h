@@ -1,0 +1,127 @@
+#ifndef RRRE_TENSOR_TAPE_H_
+#define RRRE_TENSOR_TAPE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "tensor/shape.h"
+#include "tensor/tensor.h"
+
+namespace rrre::tensor {
+
+/// Arena for the per-batch autograd graph.
+///
+/// The training graph is static: every batch traces the same op sequence over
+/// the same shapes (modulo the smaller tail batch), so the graph nodes —
+/// value buffer, grad buffer, parents vector, backward closure slot — can be
+/// built once and reused every step instead of being malloc'd and freed
+/// thousands of times per epoch. A BatchTape does exactly that, with no
+/// compile step: while a `BatchTape::Scope` is active on the current thread,
+/// every node the ops layer creates is drawn from the tape's buffer pool and
+/// retained; `BeginStep()` sweeps the previous step's nodes back into the
+/// pool once user code has dropped its handles. After the first step the
+/// steady state performs zero value/grad buffer allocations (asserted by the
+/// counter-based `Stats`; the small per-node std::function closure
+/// allocations remain — they are not buffer-sized).
+///
+/// Usage (one tape per training shard; a tape is single-threaded):
+///
+///   tape.BeginStep();                // recycle last step's graph
+///   BatchTape::Scope scope(&tape);   // route node creation through the tape
+///   ... forward + Backward() ...     // normal eager autograd
+///
+/// Nodes are recycled only when the tape holds the last reference
+/// (use_count == 1), so anything user code keeps alive across steps — e.g.
+/// a Detach()'d prediction — simply stays out of the pool until released.
+/// Parameters and other long-lived leaves are created outside any Scope and
+/// are never touched by the tape.
+///
+/// The tape also fingerprints each step's op sequence (op name + element
+/// count per node, in creation order). A static training graph should
+/// produce at most two distinct fingerprints per epoch — the full batch and
+/// the tail batch — which the tests assert; a drifting fingerprint count
+/// means the "trace once, reuse every batch" premise broke.
+class BatchTape {
+ public:
+  struct Stats {
+    /// BeginStep() calls.
+    int64_t steps = 0;
+    /// Graph nodes served while a Scope was active.
+    int64_t nodes = 0;
+    /// Nodes that needed a fresh value-buffer allocation (pool miss).
+    int64_t buffer_allocs = 0;
+    /// Nodes served from the pool without allocating (pool hit).
+    int64_t buffer_reuses = 0;
+    /// Distinct op-sequence fingerprints seen across all steps.
+    int64_t distinct_sequences = 0;
+  };
+
+  /// RAII: routes node creation on the current thread through `tape`.
+  /// Scopes nest; the previous tape (or none) is restored on destruction.
+  class Scope {
+   public:
+    explicit Scope(BatchTape* tape);
+    ~Scope();
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    BatchTape* previous_;
+  };
+
+  BatchTape() = default;
+  BatchTape(const BatchTape&) = delete;
+  BatchTape& operator=(const BatchTape&) = delete;
+
+  /// Starts a new step: finalizes the previous step's op-sequence
+  /// fingerprint and sweeps nodes the previous step retained back into the
+  /// buffer pool (those no longer referenced outside the tape). Call before
+  /// entering the step's Scope, from the thread that owns the tape.
+  void BeginStep();
+
+  /// Drops every retained node and pooled buffer. Fingerprint history and
+  /// counters are kept.
+  void Clear();
+
+  Stats stats() const { return stats_; }
+
+  /// The tape active on the current thread, or nullptr.
+  static BatchTape* Active();
+
+  /// Graph-node factory used by the ops layer: serves from the active tape
+  /// when one is set, otherwise allocates a fresh node. The returned node has
+  /// `shape` set, data zeroed to the shape's element count, no parents, no
+  /// backward_fn, requires_grad false. `op` is a static string naming the
+  /// operation (used only for the sequence fingerprint).
+  static std::shared_ptr<internal::TensorImpl> NewNode(const char* op,
+                                                       const Shape& shape);
+
+ private:
+  std::shared_ptr<internal::TensorImpl> Acquire(const char* op,
+                                                const Shape& shape);
+
+  /// Buffers not in use, keyed by value-buffer capacity (best-fit lookup).
+  std::multimap<size_t, std::shared_ptr<internal::TensorImpl>> pool_;
+  /// Nodes handed out since the last sweep, in creation order.
+  std::vector<std::shared_ptr<internal::TensorImpl>> retained_;
+  std::unordered_set<uint64_t> sequence_hashes_;
+  uint64_t step_hash_ = 0;
+  bool step_open_ = false;
+  Stats stats_;
+};
+
+/// Global switch for the fused-op paths in src/nn (AddNBiasAct,
+/// LstmPointwise, GruPointwise, FmPairwise). Off by default so unit tests
+/// exercise the eager reference graphs; RrreTrainer and the neural baselines
+/// set it from their `use_tape` config. Fused and eager graphs are built to
+/// produce bitwise identical values and gradients — the flag trades graph
+/// shape (node count, fusion) only.
+bool FusionEnabled();
+void SetFusionEnabled(bool enabled);
+
+}  // namespace rrre::tensor
+
+#endif  // RRRE_TENSOR_TAPE_H_

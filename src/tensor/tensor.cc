@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "tensor/grad_sink.h"
+#include "tensor/tape.h"
 
 namespace rrre::tensor {
 
@@ -12,10 +13,9 @@ using internal::TensorImpl;
 namespace {
 
 std::shared_ptr<TensorImpl> MakeImpl(const Shape& shape, bool requires_grad) {
-  RRRE_CHECK(IsValidShape(shape)) << ShapeToString(shape);
-  auto impl = std::make_shared<TensorImpl>();
-  impl->shape = shape;
-  impl->data.assign(static_cast<size_t>(NumElements(shape)), 0.0f);
+  // Routed through the tape so factory tensors created inside a training
+  // step (Full constants, dropout masks, ...) recycle like any other node.
+  auto impl = BatchTape::NewNode("leaf", shape);
   impl->requires_grad = requires_grad;
   return impl;
 }

@@ -26,6 +26,9 @@ struct TensorImpl {
   /// Kept alive so backward can run after intermediate Tensors go out of
   /// scope in user code.
   std::vector<std::shared_ptr<TensorImpl>> parents;
+  /// Forward-pass stash for fused ops (e.g. gate activations a fused LSTM
+  /// step needs again in backward). Recycled with the node by BatchTape.
+  std::vector<float> scratch;
 
   void EnsureGrad() {
     if (grad.size() != data.size()) grad.assign(data.size(), 0.0f);

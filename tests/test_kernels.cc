@@ -1,0 +1,808 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/threadpool.h"
+#include "core/config.h"
+#include "core/trainer.h"
+#include "data/dataset.h"
+#include "nn/attention.h"
+#include "nn/fm.h"
+#include "nn/gru.h"
+#include "nn/linear.h"
+#include "nn/lstm.h"
+#include "tensor/kernels.h"
+#include "tensor/ops.h"
+#include "tensor/tape.h"
+#include "tensor/tensor.h"
+
+namespace rrre {
+namespace {
+
+using common::Rng;
+using common::ThreadPool;
+using tensor::Shape;
+using tensor::Tensor;
+
+/// Every test in this file restores the two pieces of process-global state it
+/// may touch — the thread-pool size and the fusion switch — so binaries
+/// sharing a ctest invocation (or a manual full-suite run) are unaffected.
+class KernelTestBase : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    original_threads_ = ThreadPool::GlobalSize();
+    original_fusion_ = tensor::FusionEnabled();
+  }
+  void TearDown() override {
+    ThreadPool::SetGlobalSize(original_threads_);
+    tensor::SetFusionEnabled(original_fusion_);
+  }
+
+  int original_threads_ = 0;
+  bool original_fusion_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// GEMM parity oracle: the blocked kernel vs a naive triple loop with double
+// accumulation, over a shape grid that crosses every blocking boundary
+// (1, kMr±1, kNr±1, primes, tall/skinny, wide/flat) and all four transpose
+// variants.
+// ---------------------------------------------------------------------------
+
+class KernelGemmTest : public KernelTestBase {};
+
+std::vector<float> RandomBuffer(int64_t n, Rng& rng) {
+  std::vector<float> out(static_cast<size_t>(n));
+  for (auto& v : out) v = static_cast<float>(rng.Normal()) * 0.5f;
+  return out;
+}
+
+/// C[m,n] += opA(A)·opB(B), accumulated per element in double. The storage
+/// convention matches kernels::Gemm: A is [m,k] ([k,m] when trans_a), B is
+/// [k,n] ([n,k] when trans_b), all row-major with the given strides.
+void NaiveGemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
+               const float* a, int64_t lda, const float* b, int64_t ldb,
+               float* c, int64_t ldc) {
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        const float av = trans_a ? a[kk * lda + i] : a[i * lda + kk];
+        const float bv = trans_b ? b[j * ldb + kk] : b[kk * ldb + j];
+        acc += static_cast<double>(av) * static_cast<double>(bv);
+      }
+      c[i * ldc + j] += static_cast<float>(acc);
+    }
+  }
+}
+
+TEST_F(KernelGemmTest, MatchesNaiveReferenceAcrossShapeGrid) {
+  using tensor::kernels::kMr;
+  using tensor::kernels::kNr;
+  // Crosses the register-tile boundaries (kMr=4, kNr=16), the small-n
+  // fallback threshold (kSmallN=5), primes, and 1.
+  const std::vector<int64_t> dims = {1,        kMr - 1,  kMr,     kMr + 1,
+                                     7,        13,       kNr - 1, kNr,
+                                     kNr + 1,  37};
+  Rng rng(7);
+  for (int variant = 0; variant < 4; ++variant) {
+    const bool ta = (variant & 1) != 0;
+    const bool tb = (variant & 2) != 0;
+    for (int64_t m : dims) {
+      for (int64_t n : dims) {
+        for (int64_t k : dims) {
+          const int64_t lda = ta ? m : k;
+          const int64_t ldb = tb ? k : n;
+          const std::vector<float> a = RandomBuffer(m * k, rng);
+          const std::vector<float> b = RandomBuffer(k * n, rng);
+          std::vector<float> got(static_cast<size_t>(m * n), 0.0f);
+          std::vector<float> want = got;
+          tensor::kernels::Gemm(ta, tb, m, n, k, a.data(), lda, b.data(), ldb,
+                                got.data(), n);
+          NaiveGemm(ta, tb, m, n, k, a.data(), lda, b.data(), ldb, want.data(),
+                    n);
+          for (size_t i = 0; i < got.size(); ++i) {
+            ASSERT_NEAR(got[i], want[i],
+                        1e-4 + 1e-5 * std::fabs(want[i]))
+                << "ta=" << ta << " tb=" << tb << " m=" << m << " n=" << n
+                << " k=" << k << " elem " << i;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST_F(KernelGemmTest, AccumulatesIntoExistingOutput) {
+  Rng rng(11);
+  const int64_t m = 9, n = 17, k = 21;
+  const std::vector<float> a = RandomBuffer(m * k, rng);
+  const std::vector<float> b = RandomBuffer(k * n, rng);
+  std::vector<float> got = RandomBuffer(m * n, rng);
+  std::vector<float> want = got;
+  tensor::kernels::GemmNN(m, n, k, a.data(), k, b.data(), n, got.data(), n);
+  NaiveGemm(false, false, m, n, k, a.data(), k, b.data(), n, want.data(), n);
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_NEAR(got[i], want[i], 1e-4) << "elem " << i;
+  }
+}
+
+TEST_F(KernelGemmTest, RowChunksAreBitwiseIdenticalToOneCall) {
+  // The batch-shape invariance contract: a row's bits may not depend on
+  // which row range (or micro-batch) it was computed in. This is what lets
+  // the serving layer score a pair in a micro-batch of 3 and get the exact
+  // bits of the reference batch of 120. Checked for both A-storage layouts
+  // because the sharded backward calls hand in column sub-blocks when
+  // trans_a is set.
+  Rng rng(13);
+  const int64_t m = 37, n = 29, k = 23;
+  for (bool ta : {false, true}) {
+    for (bool tb : {false, true}) {
+      const int64_t lda = ta ? m : k;
+      const int64_t ldb = tb ? k : n;
+      const std::vector<float> a = RandomBuffer(m * k, rng);
+      const std::vector<float> b = RandomBuffer(k * n, rng);
+      std::vector<float> full(static_cast<size_t>(m * n), 0.0f);
+      tensor::kernels::Gemm(ta, tb, m, n, k, a.data(), lda, b.data(), ldb,
+                            full.data(), n);
+      for (int64_t chunk : {1, 2, 3, 5, 8}) {
+        std::vector<float> pieced(static_cast<size_t>(m * n), 0.0f);
+        for (int64_t lo = 0; lo < m; lo += chunk) {
+          const int64_t hi = std::min(m, lo + chunk);
+          // Sub-block addressing mirrors ShardedGemm in ops.cc.
+          const float* a_sub = ta ? a.data() + lo : a.data() + lo * lda;
+          tensor::kernels::Gemm(ta, tb, hi - lo, n, k, a_sub, lda, b.data(),
+                                ldb, pieced.data() + lo * n, n);
+        }
+        EXPECT_EQ(pieced, full)
+            << "ta=" << ta << " tb=" << tb << " chunk=" << chunk;
+      }
+    }
+  }
+}
+
+TEST_F(KernelGemmTest, RepeatCallsAreBitwiseIdentical) {
+  Rng rng(17);
+  const int64_t m = 33, n = 19, k = 129;  // k crosses the kKc=128 panel
+  const std::vector<float> a = RandomBuffer(m * k, rng);
+  const std::vector<float> b = RandomBuffer(k * n, rng);
+  std::vector<float> first(static_cast<size_t>(m * n), 0.0f);
+  std::vector<float> second = first;
+  tensor::kernels::GemmNN(m, n, k, a.data(), k, b.data(), n, first.data(), n);
+  tensor::kernels::GemmNN(m, n, k, a.data(), k, b.data(), n, second.data(), n);
+  EXPECT_EQ(first, second);
+}
+
+// ---------------------------------------------------------------------------
+// Conv1dMaxPool parity oracle.
+// ---------------------------------------------------------------------------
+
+class KernelConvTest : public KernelTestBase {};
+
+TEST_F(KernelConvTest, MatchesNaiveReference) {
+  Rng rng(19);
+  for (int64_t f : {1, 3, 11, 16, 17}) {
+    const int64_t seq = 9, w = 3, d = 7;
+    const std::vector<float> values = RandomBuffer(seq * d, rng);
+    const std::vector<float> kernel = RandomBuffer(w * d * f, rng);
+    const std::vector<float> bias = RandomBuffer(f, rng);
+    std::vector<float> out(static_cast<size_t>(f), 0.0f);
+    std::vector<int64_t> argmax(static_cast<size_t>(f), -1);
+    std::vector<float> scratch(static_cast<size_t>(f), 0.0f);
+    tensor::kernels::Conv1dMaxPoolExample(seq, w, d, f, values.data(),
+                                          kernel.data(), bias.data(),
+                                          out.data(), argmax.data(),
+                                          scratch.data());
+    for (int64_t c = 0; c < f; ++c) {
+      double best = -1e300;
+      int64_t best_q = -1;
+      for (int64_t q = 0; q + w <= seq; ++q) {
+        double score = bias[static_cast<size_t>(c)];
+        for (int64_t t = 0; t < w * d; ++t) {
+          score += static_cast<double>(values[static_cast<size_t>(q * d + t)]) *
+                   static_cast<double>(kernel[static_cast<size_t>(t * f + c)]);
+        }
+        if (score > best) {  // first position wins ties, like the kernel
+          best = score;
+          best_q = q;
+        }
+      }
+      EXPECT_NEAR(out[static_cast<size_t>(c)], best, 1e-4)
+          << "f=" << f << " filter " << c;
+      EXPECT_EQ(argmax[static_cast<size_t>(c)], best_q)
+          << "f=" << f << " filter " << c;
+    }
+  }
+}
+
+TEST_F(KernelConvTest, RepeatCallsAreBitwiseIdentical) {
+  Rng rng(23);
+  const int64_t seq = 12, w = 3, d = 8, f = 11;
+  const std::vector<float> values = RandomBuffer(seq * d, rng);
+  const std::vector<float> kernel = RandomBuffer(w * d * f, rng);
+  const std::vector<float> bias = RandomBuffer(f, rng);
+  std::vector<float> out1(static_cast<size_t>(f)), out2(static_cast<size_t>(f));
+  std::vector<int64_t> am1(static_cast<size_t>(f)), am2(static_cast<size_t>(f));
+  std::vector<float> scratch(static_cast<size_t>(f));
+  tensor::kernels::Conv1dMaxPoolExample(seq, w, d, f, values.data(),
+                                        kernel.data(), bias.data(), out1.data(),
+                                        am1.data(), scratch.data());
+  tensor::kernels::Conv1dMaxPoolExample(seq, w, d, f, values.data(),
+                                        kernel.data(), bias.data(), out2.data(),
+                                        am2.data(), scratch.data());
+  EXPECT_EQ(out1, out2);
+  EXPECT_EQ(am1, am2);
+}
+
+// ---------------------------------------------------------------------------
+// Gradchecks: central finite differences against the analytic backward, at
+// awkward (non-blocked, prime) shapes. The loss is a fixed random weighting
+// of the output so every output coordinate contributes.
+// ---------------------------------------------------------------------------
+
+class KernelGradcheckTest : public KernelTestBase {};
+
+using ForwardFn = std::function<Tensor(const std::vector<Tensor>&)>;
+
+double WeightedSum(const Tensor& y, const std::vector<float>& w) {
+  const std::vector<float> v = y.ToVector();
+  EXPECT_EQ(v.size(), w.size());
+  double s = 0.0;
+  for (size_t i = 0; i < v.size(); ++i) {
+    s += static_cast<double>(v[i]) * static_cast<double>(w[i]);
+  }
+  return s;
+}
+
+void GradCheck(const std::string& name, const std::vector<Shape>& shapes,
+               const ForwardFn& fn, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Tensor> inputs;
+  for (const Shape& s : shapes) {
+    inputs.push_back(Tensor::Randn(s, rng, 0.5f, /*requires_grad=*/true));
+  }
+  Tensor y = fn(inputs);
+  Rng wrng(seed ^ 0x9e3779b97f4a7c15ULL);
+  Tensor w = Tensor::Randn(y.shape(), wrng);
+  Tensor loss = tensor::Sum(tensor::Mul(y, w));
+  loss.Backward();
+  const std::vector<float> wv = w.ToVector();
+
+  const float eps = 1e-2f;
+  for (size_t t = 0; t < inputs.size(); ++t) {
+    const std::vector<float> analytic = inputs[t].grad();
+    for (int64_t i = 0; i < inputs[t].numel(); ++i) {
+      auto eval = [&](float delta) {
+        std::vector<Tensor> probe;
+        for (size_t u = 0; u < inputs.size(); ++u) {
+          std::vector<float> v = inputs[u].ToVector();
+          if (u == t) v[static_cast<size_t>(i)] += delta;
+          probe.push_back(Tensor::FromVector(inputs[u].shape(), std::move(v)));
+        }
+        return WeightedSum(fn(probe), wv);
+      };
+      const double numeric = (eval(eps) - eval(-eps)) / (2.0 * eps);
+      const double got = analytic[static_cast<size_t>(i)];
+      const double tol =
+          2e-2 + 2e-2 * std::max(std::fabs(got), std::fabs(numeric));
+      EXPECT_NEAR(got, numeric, tol)
+          << name << ": input " << t << " coord " << i;
+    }
+  }
+}
+
+TEST_F(KernelGradcheckTest, MatMulAllTransposeVariants) {
+  const int64_t m = 5, k = 7, n = 3;
+  for (bool ta : {false, true}) {
+    for (bool tb : {false, true}) {
+      const Shape sa = ta ? Shape{k, m} : Shape{m, k};
+      const Shape sb = tb ? Shape{n, k} : Shape{k, n};
+      GradCheck("matmul ta=" + std::to_string(ta) + " tb=" + std::to_string(tb),
+                {sa, sb},
+                [ta, tb](const std::vector<Tensor>& in) {
+                  return tensor::MatMul(in[0], in[1], ta, tb);
+                },
+                29);
+    }
+  }
+}
+
+TEST_F(KernelGradcheckTest, MatMulAtBlockBoundaryShapes) {
+  // kMr=4 / kNr=16 boundaries and a k crossing the kKc panel.
+  for (const auto& mkn : std::vector<std::vector<int64_t>>{
+           {4, 16, 16}, {5, 17, 17}, {3, 130, 15}, {1, 7, 1}}) {
+    GradCheck("matmul m=" + std::to_string(mkn[0]),
+              {Shape{mkn[0], mkn[1]}, Shape{mkn[1], mkn[2]}},
+              [](const std::vector<Tensor>& in) {
+                return tensor::MatMul(in[0], in[1]);
+              },
+              31);
+  }
+}
+
+TEST_F(KernelGradcheckTest, Conv1dMaxPoolMatchesFrozenArgmaxReference) {
+  // Finite differences are invalid for max-pool wherever a perturbation
+  // flips the argmax (the function has a kink there), so the conv backward
+  // is checked against the exact analytic gradient instead: with the argmax
+  // frozen, out[bi,c] = bias[c] + window(argmax)·kernel[:,c] is linear and
+  // its gradient is known in closed form from the forward argmax.
+  const int64_t batch = 3, seq = 5, d = 4, w = 3, f = 6;
+  Rng rng(37);
+  Tensor values =
+      Tensor::Randn({batch * seq, d}, rng, 0.5f, /*requires_grad=*/true);
+  Tensor kernel = Tensor::Randn({w * d, f}, rng, 0.5f, /*requires_grad=*/true);
+  Tensor bias = Tensor::Randn({f}, rng, 0.5f, /*requires_grad=*/true);
+  Tensor out = tensor::Conv1dMaxPool(values, seq, kernel, bias);
+  Rng wrng(73);
+  Tensor lw = Tensor::Randn({batch, f}, wrng);
+  tensor::Sum(tensor::Mul(out, lw)).Backward();
+
+  // Recover each filter's argmax with the standalone kernel on the same
+  // data, then accumulate the frozen-argmax gradient in double.
+  std::vector<double> gv(static_cast<size_t>(batch * seq * d), 0.0);
+  std::vector<double> gk(static_cast<size_t>(w * d * f), 0.0);
+  std::vector<double> gb(static_cast<size_t>(f), 0.0);
+  std::vector<float> out_row(static_cast<size_t>(f));
+  std::vector<int64_t> argmax(static_cast<size_t>(f));
+  std::vector<float> scratch(static_cast<size_t>(f));
+  const std::vector<float> vv = values.ToVector();
+  const std::vector<float> kv = kernel.ToVector();
+  const std::vector<float> bv = bias.ToVector();
+  for (int64_t bi = 0; bi < batch; ++bi) {
+    tensor::kernels::Conv1dMaxPoolExample(
+        seq, w, d, f, vv.data() + bi * seq * d, kv.data(), bv.data(),
+        out_row.data(), argmax.data(), scratch.data());
+    for (int64_t c = 0; c < f; ++c) {
+      const double g = lw.at(bi, c);
+      const int64_t q = argmax[static_cast<size_t>(c)];
+      gb[static_cast<size_t>(c)] += g;
+      for (int64_t t = 0; t < w * d; ++t) {
+        gv[static_cast<size_t>(bi * seq * d + q * d + t)] +=
+            g * kv[static_cast<size_t>(t * f + c)];
+        gk[static_cast<size_t>(t * f + c)] +=
+            g * vv[static_cast<size_t>(bi * seq * d + q * d + t)];
+      }
+    }
+  }
+  const std::vector<float>& agv = values.grad();
+  const std::vector<float>& agk = kernel.grad();
+  const std::vector<float>& agb = bias.grad();
+  for (size_t i = 0; i < gv.size(); ++i) {
+    EXPECT_NEAR(agv[i], gv[i], 1e-4) << "values grad " << i;
+  }
+  for (size_t i = 0; i < gk.size(); ++i) {
+    EXPECT_NEAR(agk[i], gk[i], 1e-4) << "kernel grad " << i;
+  }
+  for (size_t i = 0; i < gb.size(); ++i) {
+    EXPECT_NEAR(agb[i], gb[i], 1e-4) << "bias grad " << i;
+  }
+}
+
+TEST_F(KernelGradcheckTest, AddNBiasActAllActivations) {
+  const int64_t b = 3, d = 5;
+  for (tensor::Activation act :
+       {tensor::Activation::kNone, tensor::Activation::kTanh,
+        tensor::Activation::kSigmoid, tensor::Activation::kRelu}) {
+    GradCheck("addn_bias_act " + std::to_string(static_cast<int>(act)),
+              {Shape{b, d}, Shape{b, d}, Shape{b, d}, Shape{d}},
+              [act](const std::vector<Tensor>& in) {
+                return tensor::AddNBiasAct({in[0], in[1], in[2]}, in[3], act);
+              },
+              41);
+  }
+}
+
+TEST_F(KernelGradcheckTest, LstmPointwise) {
+  const int64_t b = 3, h = 4;
+  GradCheck("lstm_pointwise", {Shape{b, 4 * h}, Shape{b, h}},
+            [](const std::vector<Tensor>& in) {
+              tensor::LstmStepOut out = tensor::LstmPointwise(in[0], in[1]);
+              return tensor::ConcatCols({out.h, out.c});
+            },
+            43);
+}
+
+TEST_F(KernelGradcheckTest, GruPointwise) {
+  const int64_t b = 3, h = 4;
+  GradCheck("gru_pointwise", {Shape{b, 3 * h}, Shape{b, 3 * h}, Shape{b, h}},
+            [](const std::vector<Tensor>& in) {
+              return tensor::GruPointwise(in[0], in[1], in[2]);
+            },
+            47);
+}
+
+TEST_F(KernelGradcheckTest, FmPairwise) {
+  const int64_t b = 4, f = 5;
+  GradCheck("fm_pairwise", {Shape{b, f}, Shape{b, f}},
+            [](const std::vector<Tensor>& in) {
+              return tensor::FmPairwise(in[0], in[1]);
+            },
+            53);
+}
+
+// ---------------------------------------------------------------------------
+// Fusion parity: every nn module that has a fused path must produce bitwise
+// identical values AND parameter/input gradients with fusion on and off.
+// This is the contract that lets `--tape` default on.
+// ---------------------------------------------------------------------------
+
+class KernelFusionParityTest : public KernelTestBase {};
+
+struct ModuleRun {
+  std::vector<float> out;
+  std::vector<std::vector<float>> grads;
+};
+
+/// Runs `body` with the fusion switch forced to `fused`. The body builds its
+/// module from a fresh rng (same seed both runs), returns the output tensor,
+/// and appends every tensor whose grad should be compared.
+ModuleRun RunModule(
+    bool fused,
+    const std::function<Tensor(Rng&, std::vector<Tensor>&)>& body) {
+  tensor::SetFusionEnabled(fused);
+  Rng rng(1234);
+  std::vector<Tensor> tracked;
+  Tensor out = body(rng, tracked);
+  Rng wrng(4321);
+  Tensor w = Tensor::Randn(out.shape(), wrng);
+  Tensor loss = tensor::Sum(tensor::Mul(out, w));
+  loss.Backward();
+  ModuleRun run;
+  run.out = out.ToVector();
+  for (const Tensor& t : tracked) run.grads.push_back(t.grad());
+  return run;
+}
+
+void ExpectFusedMatchesEager(
+    const std::function<Tensor(Rng&, std::vector<Tensor>&)>& body) {
+  const ModuleRun eager = RunModule(false, body);
+  const ModuleRun fused = RunModule(true, body);
+  EXPECT_EQ(fused.out, eager.out);
+  ASSERT_EQ(fused.grads.size(), eager.grads.size());
+  for (size_t i = 0; i < eager.grads.size(); ++i) {
+    EXPECT_EQ(fused.grads[i], eager.grads[i]) << "tracked tensor " << i;
+  }
+}
+
+TEST_F(KernelFusionParityTest, LinearBitwise) {
+  ExpectFusedMatchesEager([](Rng& rng, std::vector<Tensor>& tracked) {
+    nn::Linear layer(7, 5, rng);
+    Tensor x = Tensor::Randn({6, 7}, rng, 0.5f, /*requires_grad=*/true);
+    tracked.push_back(x);
+    for (const Tensor& p : layer.Parameters()) tracked.push_back(p);
+    return layer.Forward(x);
+  });
+}
+
+TEST_F(KernelFusionParityTest, LstmCellBitwise) {
+  ExpectFusedMatchesEager([](Rng& rng, std::vector<Tensor>& tracked) {
+    nn::LstmCell cell(5, 4, rng);
+    Tensor x = Tensor::Randn({3, 5}, rng, 0.5f, /*requires_grad=*/true);
+    Tensor h = Tensor::Randn({3, 4}, rng, 0.5f, /*requires_grad=*/true);
+    Tensor c = Tensor::Randn({3, 4}, rng, 0.5f, /*requires_grad=*/true);
+    tracked.insert(tracked.end(), {x, h, c});
+    for (const Tensor& p : cell.Parameters()) tracked.push_back(p);
+    nn::LstmCell::State next = cell.Step(x, {h, c});
+    return tensor::ConcatCols({next.h, next.c});
+  });
+}
+
+TEST_F(KernelFusionParityTest, GruCellBitwise) {
+  ExpectFusedMatchesEager([](Rng& rng, std::vector<Tensor>& tracked) {
+    nn::GruCell cell(5, 4, rng);
+    Tensor x = Tensor::Randn({3, 5}, rng, 0.5f, /*requires_grad=*/true);
+    Tensor h = Tensor::Randn({3, 4}, rng, 0.5f, /*requires_grad=*/true);
+    tracked.insert(tracked.end(), {x, h});
+    for (const Tensor& p : cell.Parameters()) tracked.push_back(p);
+    return cell.Step(x, h);
+  });
+}
+
+TEST_F(KernelFusionParityTest, FraudAttentionBitwise) {
+  ExpectFusedMatchesEager([](Rng& rng, std::vector<Tensor>& tracked) {
+    nn::FraudAttention attn(6, 4, 4, 5, rng);
+    const int64_t b = 4, s = 3;
+    Tensor rev = Tensor::Randn({b * s, 6}, rng, 0.5f, /*requires_grad=*/true);
+    Tensor uid = Tensor::Randn({b * s, 4}, rng, 0.5f, /*requires_grad=*/true);
+    Tensor iid = Tensor::Randn({b * s, 4}, rng, 0.5f, /*requires_grad=*/true);
+    tracked.insert(tracked.end(), {rev, uid, iid});
+    for (const Tensor& p : attn.Parameters()) tracked.push_back(p);
+    return attn.Forward(rev, uid, iid, s);
+  });
+}
+
+TEST_F(KernelFusionParityTest, FactorizationMachineBitwise) {
+  ExpectFusedMatchesEager([](Rng& rng, std::vector<Tensor>& tracked) {
+    nn::FactorizationMachine fm(9, 4, rng);
+    Tensor x = Tensor::Randn({6, 9}, rng, 0.5f, /*requires_grad=*/true);
+    tracked.push_back(x);
+    for (const Tensor& p : fm.Parameters()) tracked.push_back(p);
+    return fm.Forward(x);
+  });
+}
+
+TEST_F(KernelFusionParityTest, AddNBiasActMatchesEagerChainBitwise) {
+  // Op-level: the fused kernel must reproduce the exact left-to-right Add
+  // nesting + AddBias + activation bits of the eager chain it replaces.
+  Rng rng(99);
+  Tensor a = Tensor::Randn({5, 7}, rng, 0.5f, /*requires_grad=*/true);
+  Tensor b = Tensor::Randn({5, 7}, rng, 0.5f, /*requires_grad=*/true);
+  Tensor c = Tensor::Randn({5, 7}, rng, 0.5f, /*requires_grad=*/true);
+  Tensor bias = Tensor::Randn({7}, rng, 0.5f, /*requires_grad=*/true);
+  Tensor eager = tensor::Tanh(
+      tensor::AddBias(tensor::Add(tensor::Add(a, b), c), bias));
+  Tensor fused =
+      tensor::AddNBiasAct({a, b, c}, bias, tensor::Activation::kTanh);
+  EXPECT_EQ(fused.ToVector(), eager.ToVector());
+
+  Rng wrng(66);
+  Tensor w = Tensor::Randn({5, 7}, wrng);
+  tensor::Sum(tensor::Mul(eager, w)).Backward();
+  const std::vector<float> ga = a.grad(), gb = b.grad(), gc = c.grad(),
+                           gbias = bias.grad();
+  tensor::Sum(tensor::Mul(fused, w)).Backward();
+  EXPECT_EQ(a.grad(), ga);
+  EXPECT_EQ(b.grad(), gb);
+  EXPECT_EQ(c.grad(), gc);
+  EXPECT_EQ(bias.grad(), gbias);
+}
+
+TEST_F(KernelFusionParityTest, FmPairwiseMatchesEagerChainBitwise) {
+  Rng rng(101);
+  Tensor xv = Tensor::Randn({4, 6}, rng, 0.5f, /*requires_grad=*/true);
+  Tensor x2v2 = Tensor::Randn({4, 6}, rng, 0.5f, /*requires_grad=*/true);
+  Tensor eager = tensor::MulScalar(
+      tensor::RowSum(tensor::Sub(tensor::Square(xv), x2v2)), 0.5f);
+  Tensor fused = tensor::FmPairwise(xv, x2v2);
+  EXPECT_EQ(fused.ToVector(), eager.ToVector());
+
+  Rng wrng(67);
+  Tensor w = Tensor::Randn({4, 1}, wrng);
+  tensor::Sum(tensor::Mul(eager, w)).Backward();
+  const std::vector<float> gx = xv.grad(), g2 = x2v2.grad();
+  tensor::Sum(tensor::Mul(fused, w)).Backward();
+  EXPECT_EQ(xv.grad(), gx);
+  EXPECT_EQ(x2v2.grad(), g2);
+}
+
+// ---------------------------------------------------------------------------
+// Reduction accumulation order: blocked reductions keep the fixed
+// shard-order merge, so two scrapes of the same graph are bitwise equal at
+// any thread count (the DESIGN.md accumulation-order contract).
+// ---------------------------------------------------------------------------
+
+class KernelReductionTest : public KernelTestBase {};
+
+TEST_F(KernelReductionTest, DoubleScrapeIsBitwiseEqual) {
+  for (int threads : {1, 4}) {
+    ThreadPool::SetGlobalSize(threads);
+    auto scrape = [] {
+      Rng rng(303);
+      Tensor a = Tensor::Randn({41, 33}, rng, 1.0f, /*requires_grad=*/true);
+      Tensor b = Tensor::Randn({33, 13}, rng, 1.0f, /*requires_grad=*/true);
+      Tensor bias = Tensor::Randn({13}, rng, 1.0f, /*requires_grad=*/true);
+      Tensor y = tensor::AddBias(tensor::MatMul(a, b), bias);
+      Tensor loss = tensor::Add(tensor::Sum(y), tensor::Sum(tensor::RowSum(
+                                                    tensor::Square(y))));
+      loss.Backward();
+      std::vector<std::vector<float>> out = {y.ToVector(), a.grad(), b.grad(),
+                                             bias.grad(), loss.ToVector()};
+      return out;
+    };
+    const auto first = scrape();
+    const auto second = scrape();
+    EXPECT_EQ(first, second) << "threads=" << threads;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Tape correctness: training on the tape is bitwise identical to eager,
+// survives kill+resume, and stops allocating after warmup.
+// ---------------------------------------------------------------------------
+
+class TapeTrainingTest : public KernelTestBase {};
+
+data::ReviewDataset SmallCorpus() {
+  data::ReviewDataset ds(6, 5);
+  const char* texts[] = {
+      "great pasta and friendly staff",  "terrible service avoid this",
+      "amazing deal best place in town", "okay food nothing special",
+      "worst scam ever do not go",       "lovely ambiance great wine",
+      "decent prices quick service",     "fantastic best pasta in town",
+  };
+  int64_t ts = 0;
+  for (int64_t u = 0; u < 6; ++u) {
+    for (int64_t i = 0; i < 5; ++i) {
+      data::Review r;
+      r.user = u;
+      r.item = i;
+      r.rating = static_cast<float>(1 + (u * 3 + i * 2) % 5);
+      r.timestamp = ++ts;
+      r.text = texts[(u * 5 + i) % 8];
+      r.label = ((u + i) % 4 == 0) ? data::ReliabilityLabel::kFake
+                                   : data::ReliabilityLabel::kBenign;
+      ds.Add(r);
+    }
+  }
+  ds.BuildIndex();
+  return ds;
+}
+
+core::RrreConfig SmallConfig() {
+  core::RrreConfig c;
+  c.word_dim = 8;
+  c.rev_dim = 8;
+  c.id_dim = 4;
+  c.attention_dim = 6;
+  c.fm_factors = 4;
+  c.max_tokens = 8;
+  c.s_u = 3;
+  c.s_i = 4;
+  c.batch_size = 16;
+  c.epochs = 2;
+  c.pretrain_epochs = 1;
+  c.lr = 5e-3;
+  return c;
+}
+
+struct FitResult {
+  std::vector<double> losses;
+  std::vector<float> params;
+  std::vector<double> ratings;
+  std::vector<double> reliabilities;
+};
+
+FitResult RunFit(const core::RrreConfig& config, int threads) {
+  ThreadPool::SetGlobalSize(threads);
+  data::ReviewDataset corpus = SmallCorpus();
+  core::RrreTrainer trainer(config);
+  FitResult res;
+  trainer.Fit(corpus, [&](const core::RrreTrainer::EpochStats& s) {
+    res.losses.push_back(s.loss);
+  });
+  for (const Tensor& p : trainer.model().Parameters()) {
+    const std::vector<float> v = p.ToVector();
+    res.params.insert(res.params.end(), v.begin(), v.end());
+  }
+  auto preds = trainer.PredictDataset(corpus);
+  res.ratings = preds.ratings;
+  res.reliabilities = preds.reliabilities;
+  return res;
+}
+
+TEST_F(TapeTrainingTest, TapeMatchesEagerBitwise) {
+  // The headline claim behind `--tape` defaulting on: taped + fused training
+  // reaches the exact bits of the eager path — losses, every parameter, and
+  // downstream predictions — on both the whole-batch and sharded paths, for
+  // serial and parallel pools.
+  for (int64_t shard : {int64_t{0}, int64_t{4}}) {
+    core::RrreConfig eager_config = SmallConfig();
+    eager_config.shard_size = shard;
+    eager_config.use_tape = false;
+    core::RrreConfig taped_config = eager_config;
+    taped_config.use_tape = true;
+    const FitResult eager = RunFit(eager_config, 1);
+    for (int threads : {1, 4}) {
+      const FitResult taped = RunFit(taped_config, threads);
+      EXPECT_EQ(taped.losses, eager.losses)
+          << "shard=" << shard << " threads=" << threads;
+      EXPECT_EQ(taped.params, eager.params)
+          << "shard=" << shard << " threads=" << threads;
+      EXPECT_EQ(taped.ratings, eager.ratings)
+          << "shard=" << shard << " threads=" << threads;
+      EXPECT_EQ(taped.reliabilities, eager.reliabilities)
+          << "shard=" << shard << " threads=" << threads;
+    }
+  }
+}
+
+TEST_F(TapeTrainingTest, TapeRunsAreBitwiseRepeatable) {
+  core::RrreConfig config = SmallConfig();
+  config.shard_size = 4;
+  config.use_tape = true;
+  const FitResult first = RunFit(config, 4);
+  const FitResult second = RunFit(config, 4);
+  EXPECT_EQ(first.losses, second.losses);
+  EXPECT_EQ(first.params, second.params);
+  EXPECT_EQ(first.ratings, second.ratings);
+  EXPECT_EQ(first.reliabilities, second.reliabilities);
+}
+
+TEST_F(TapeTrainingTest, ArenaStopsAllocatingAfterWarmup) {
+  ThreadPool::SetGlobalSize(2);
+  data::ReviewDataset corpus = SmallCorpus();
+  core::RrreConfig config = SmallConfig();
+  config.epochs = 4;  // 30 examples / batch 16 -> 2 steps per epoch, 8 total
+  config.use_tape = true;
+  core::RrreTrainer trainer(config);
+  trainer.Fit(corpus);
+  const tensor::BatchTape::Stats stats = trainer.TapeStats();
+  EXPECT_EQ(stats.steps, 8);
+  EXPECT_GT(stats.nodes, 0);
+  // Steady state: after the first full batch and the first tail batch have
+  // each been traced once, every later step serves all its value buffers
+  // from the pool. Allocations are therefore bounded by the nodes of the
+  // first two steps — at most a quarter of the total over 8 steps.
+  EXPECT_LE(stats.buffer_allocs, stats.nodes / 4)
+      << "arena keeps allocating after warmup";
+  EXPECT_GE(stats.buffer_reuses, stats.nodes / 2);
+  // A static training graph traces the same op sequence every step: one
+  // fingerprint for the full batch, one for the tail.
+  EXPECT_LE(stats.distinct_sequences, 3);
+}
+
+TEST_F(TapeTrainingTest, ShardedArenaStopsAllocatingAfterWarmup) {
+  ThreadPool::SetGlobalSize(4);
+  data::ReviewDataset corpus = SmallCorpus();
+  core::RrreConfig config = SmallConfig();
+  config.epochs = 4;
+  config.shard_size = 4;
+  config.use_tape = true;
+  core::RrreTrainer trainer(config);
+  trainer.Fit(corpus);
+  const tensor::BatchTape::Stats stats = trainer.TapeStats();
+  EXPECT_GT(stats.steps, 0);
+  EXPECT_GT(stats.nodes, 0);
+  EXPECT_LE(stats.buffer_allocs, stats.nodes / 4);
+  EXPECT_GE(stats.buffer_reuses, stats.nodes / 2);
+  // Per shard: full-shard shape, tail-shard shape, and the shard-0 tape also
+  // hosts the whole-batch L2 join.
+  EXPECT_LE(stats.distinct_sequences,
+            3 * static_cast<int64_t>((config.batch_size + 3) / 4));
+}
+
+std::vector<float> FlattenParams(const core::RrreTrainer& trainer) {
+  std::vector<float> params;
+  for (const Tensor& p : trainer.model().Parameters()) {
+    const std::vector<float> v = p.ToVector();
+    params.insert(params.end(), v.begin(), v.end());
+  }
+  return params;
+}
+
+void RemoveCheckpoint(const std::string& prefix) {
+  for (const char* suffix :
+       {".model", ".vocab", ".train.tsv", ".meta", ".optimizer"}) {
+    std::remove((prefix + suffix).c_str());
+  }
+}
+
+TEST_F(TapeTrainingTest, KillThenResumeThroughTapeIsBitwise) {
+  // The resume path re-creates the trainer (fresh tapes) mid-schedule; the
+  // warm-started arena must not perturb a single bit.
+  ThreadPool::SetGlobalSize(2);
+  data::ReviewDataset corpus = SmallCorpus();
+  core::RrreConfig config = SmallConfig();
+  config.epochs = 4;
+  config.use_tape = true;
+
+  core::RrreTrainer straight(config);
+  straight.Fit(corpus);
+
+  const std::string prefix = ::testing::TempDir() + "/tape_resume_ckpt";
+  {
+    core::RrreConfig half = config;
+    half.epochs = 2;
+    core::RrreTrainer first(half);
+    first.Fit(corpus);
+    ASSERT_TRUE(first.Save(prefix).ok());
+  }
+  core::RrreTrainer resumed(config);
+  ASSERT_TRUE(resumed.Load(prefix).ok());
+  ASSERT_TRUE(resumed.Resume().ok());
+  EXPECT_EQ(FlattenParams(resumed), FlattenParams(straight));
+  const auto expect = straight.PredictDataset(corpus);
+  const auto actual = resumed.PredictDataset(corpus);
+  EXPECT_EQ(actual.ratings, expect.ratings);
+  EXPECT_EQ(actual.reliabilities, expect.reliabilities);
+  RemoveCheckpoint(prefix);
+}
+
+}  // namespace
+}  // namespace rrre

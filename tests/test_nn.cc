@@ -298,9 +298,10 @@ TEST(AttentionTest, GradFlowsToAllParams) {
     for (float g : p.grad()) norm += std::abs(g);
     if (name == "b2") {
       // b2 shifts every score in a group equally and softmax is
-      // shift-invariant, so its gradient is identically zero. It is kept
-      // only for fidelity to Eq. (5) of the paper.
-      EXPECT_EQ(norm, 0.0);
+      // shift-invariant, so its gradient is zero up to float rounding (the
+      // per-row cancellation sum_j y_j (g_j - dot) need not hit 0.0f
+      // exactly). It is kept only for fidelity to Eq. (5) of the paper.
+      EXPECT_LE(norm, 1e-5);
     } else {
       EXPECT_GT(norm, 0.0) << name;
     }

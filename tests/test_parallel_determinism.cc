@@ -250,6 +250,49 @@ TEST_F(ParallelDeterminismTest, ShardedFitMatchesWholeBatchPath) {
   EXPECT_NEAR(serial.auc, sharded.auc, 1e-5);
 }
 
+TEST_F(ParallelDeterminismTest, ShardedFitBitwiseAcrossThreadCountsEager) {
+  // Same contract as ShardedFitBitwiseAcrossThreadCounts but on the eager
+  // (tape-off) path, so a regression in either executor is caught on its own.
+  core::RrreConfig config = SmallConfig();
+  config.epochs = 2;
+  config.shard_size = 4;
+  config.use_tape = false;
+  const FitResult serial = RunFit(config, 1);
+  for (int threads : {2, 4}) {
+    const FitResult parallel = RunFit(config, threads);
+    EXPECT_EQ(parallel.losses, serial.losses) << "threads=" << threads;
+    EXPECT_EQ(parallel.params, serial.params) << "threads=" << threads;
+    EXPECT_EQ(parallel.ratings, serial.ratings) << "threads=" << threads;
+    EXPECT_EQ(parallel.reliabilities, serial.reliabilities)
+        << "threads=" << threads;
+  }
+}
+
+TEST_F(ParallelDeterminismTest, TapeMatchesEagerAcrossThreadCounts) {
+  // The strongest cross-executor claim: taped+fused training at any thread
+  // count is bitwise identical to eager serial training, on both the
+  // whole-batch and sharded paths.
+  for (int64_t shard : {int64_t{0}, int64_t{4}}) {
+    core::RrreConfig eager_config = SmallConfig();
+    eager_config.shard_size = shard;
+    eager_config.use_tape = false;
+    const FitResult eager = RunFit(eager_config, 1);
+    core::RrreConfig taped_config = eager_config;
+    taped_config.use_tape = true;
+    for (int threads : {1, 4}) {
+      const FitResult taped = RunFit(taped_config, threads);
+      EXPECT_EQ(taped.losses, eager.losses)
+          << "shard=" << shard << " threads=" << threads;
+      EXPECT_EQ(taped.params, eager.params)
+          << "shard=" << shard << " threads=" << threads;
+      EXPECT_EQ(taped.ratings, eager.ratings)
+          << "shard=" << shard << " threads=" << threads;
+      EXPECT_EQ(taped.reliabilities, eager.reliabilities)
+          << "shard=" << shard << " threads=" << threads;
+    }
+  }
+}
+
 TEST_F(ParallelDeterminismTest, UnevenShardSplitStaysExact) {
   // batch 16 with shard_size 5 -> shards of 5, 5, 5, 1.
   core::RrreConfig config = SmallConfig();

@@ -21,8 +21,15 @@
 # explicitly skipped on the command line actually ran, and it prints which
 # legs ran so CI logs show the coverage at a glance.
 #
+# The kernels leg runs the blocked-GEMM/conv parity oracles, the gradcheck
+# sweeps, the fused-vs-eager bitwise suites and the batch-tape training tests
+# under both AddressSanitizer and UndefinedBehaviorSanitizer (the packed-panel
+# kernels do the most pointer arithmetic in the codebase), and the TSan leg
+# picks the same suites up to vet the per-shard tape executors.
+#
 # Usage: tools/check.sh [--skip-tsan] [--skip-asan] [--skip-failpoint]
 #                       [--skip-router] [--skip-stream] [--skip-ubsan]
+#                       [--skip-kernels]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -33,6 +40,7 @@ SKIP_FAILPOINT=0
 SKIP_ROUTER=0
 SKIP_STREAM=0
 SKIP_UBSAN=0
+SKIP_KERNELS=0
 for arg in "$@"; do
   case "$arg" in
     --skip-tsan) SKIP_TSAN=1 ;;
@@ -41,6 +49,7 @@ for arg in "$@"; do
     --skip-router) SKIP_ROUTER=1 ;;
     --skip-stream) SKIP_STREAM=1 ;;
     --skip-ubsan) SKIP_UBSAN=1 ;;
+    --skip-kernels) SKIP_KERNELS=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -73,9 +82,9 @@ else
   require_build_dir build-tsan
   cmake --build build-tsan -j \
     --target test_threadpool test_parallel_determinism test_tensor \
-             test_batcher test_served >/dev/null
+             test_kernels test_batcher test_served >/dev/null
   (cd build-tsan && ctest --output-on-failure --no-tests=error \
-    -R "ThreadPool|ParallelDeterminism|MicroBatcher|ServedTest" )
+    -R "ThreadPool|ParallelDeterminism|MicroBatcher|ServedTest|Kernel|Tape" )
   LEGS_RUN+=(tsan)
 fi
 
@@ -164,6 +173,28 @@ else
   # convergence, and the router quarantine gauge in the METRICS scrape.
   (cd build-asan && ctest --output-on-failure --no-tests=error -L stream)
   LEGS_RUN+=(stream)
+fi
+
+if [[ "$SKIP_KERNELS" == "1" ]]; then
+  echo "== kernels pass skipped (--skip-kernels) =="
+  LEGS_SKIPPED+=(kernels)
+else
+  echo "== kernels: blocked-kernel parity + batch-tape suites under ASan and UBSan =="
+  cmake -B build-asan -S . -DRRRE_SANITIZE=address >/dev/null
+  require_build_dir build-asan
+  cmake --build build-asan -j --target test_kernels >/dev/null
+  # The kernels label is the parity-oracle + gradcheck + tape suite: blocked
+  # GEMM vs a naive reference across the blocking-boundary shape grid, conv
+  # parity, the frozen-argmax conv gradient, fused-vs-eager bitwise identity
+  # for every module with a fused path, and bitwise tape-vs-eager training.
+  # ASan vets the packed-panel pointer arithmetic and the arena recycling;
+  # UBSan vets the same code for overflow/alignment UB.
+  (cd build-asan && ctest --output-on-failure --no-tests=error -L kernels)
+  cmake -B build-ubsan -S . -DRRRE_SANITIZE=undefined >/dev/null
+  require_build_dir build-ubsan
+  cmake --build build-ubsan -j --target test_kernels >/dev/null
+  (cd build-ubsan && ctest --output-on-failure --no-tests=error -L kernels)
+  LEGS_RUN+=(kernels)
 fi
 
 if [[ "$SKIP_UBSAN" == "1" ]]; then
