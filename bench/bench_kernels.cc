@@ -6,11 +6,13 @@
 //     blocks, attention projections, the FM mix) plus a square reference.
 //     The acceptance bar is >=3x at the model shapes.
 //
-//  2. eager vs taped training — mean s/epoch of an identical RRRE training
-//     run with --tape off and on (same data, seed and thread pool). The tape
-//     reuses the per-batch graph arena and fuses the elementwise chains; the
-//     run also verifies the two paths end on bitwise identical parameters,
-//     so the speedup is known to be free.
+//  2. eager vs tape vs replay training — mean s/epoch of an identical RRRE
+//     training run with --tape off, with the tape rebuilding its backward
+//     closures every step (--tape_replay=false, the PR 9 behavior), and with
+//     the compiled replay cache on (steady-state steps skip the topo DFS and
+//     allocate no closures). All three legs share data, seed and thread
+//     pool; the run verifies every leg ends on bitwise identical parameters,
+//     so the speedups are known to be free.
 //
 //   bench_kernels [--scale=0.15] [--epochs=3] [--num_threads=0]
 //                 [--out=BENCH_kernels.json]
@@ -165,7 +167,7 @@ int main(int argc, char** argv) {
                 r.shape.name, r.naive_gflops, r.blocked_gflops, r.speedup);
   }
 
-  // -- Part 2: eager vs taped training ---------------------------------------
+  // -- Part 2: eager vs tape vs replay training -------------------------------
   auto bundle = bench::MakeDataset(flags.GetString("dataset"), opts.scale,
                                    opts.base_seed);
   core::RrreConfig config = bench::DefaultRrreConfig(opts, opts.base_seed);
@@ -181,17 +183,30 @@ int main(int argc, char** argv) {
 
   core::RrreConfig taped_config = config;
   taped_config.use_tape = true;
+  taped_config.tape_replay = false;
   const EpochRun taped = RunTraining(taped_config, bundle.train);
   const double tape_speedup =
       eager.seconds_per_epoch / std::max(taped.seconds_per_epoch, 1e-12);
-  std::printf("  tape : %7.3f s/epoch  (%.2fx)\n", taped.seconds_per_epoch,
+  std::printf("  tape  : %7.3f s/epoch  (%.2fx)\n", taped.seconds_per_epoch,
               tape_speedup);
 
-  // The speedup claim is only worth recording if the tape changed nothing:
-  // both runs must end on the exact same bits.
+  core::RrreConfig replay_config = config;
+  replay_config.use_tape = true;
+  replay_config.tape_replay = true;
+  const EpochRun replay = RunTraining(replay_config, bundle.train);
+  const double replay_speedup =
+      eager.seconds_per_epoch / std::max(replay.seconds_per_epoch, 1e-12);
+  std::printf("  replay: %7.3f s/epoch  (%.2fx)\n", replay.seconds_per_epoch,
+              replay_speedup);
+
+  // The speedup claims are only worth recording if neither tape mode changed
+  // anything: all runs must end on the exact same bits.
   const bool bitwise = eager.params == taped.params;
   std::printf("  tape-vs-eager parameters bitwise identical: %s\n",
               bitwise ? "yes" : "NO — INVESTIGATE");
+  const bool replay_bitwise = eager.params == replay.params;
+  std::printf("  replay-vs-eager parameters bitwise identical: %s\n",
+              replay_bitwise ? "yes" : "NO — INVESTIGATE");
 
   std::string gemm_json;
   for (const GemmRow& r : rows) {
@@ -216,12 +231,17 @@ int main(int argc, char** argv) {
       "  \"eager_s_per_epoch\": %.3f,\n"
       "  \"tape_s_per_epoch\": %.3f,\n"
       "  \"tape_speedup\": %.2f,\n"
-      "  \"tape_bitwise_identical\": %s\n"
+      "  \"tape_bitwise_identical\": %s,\n"
+      "  \"replay_s_per_epoch\": %.3f,\n"
+      "  \"replay_speedup\": %.2f,\n"
+      "  \"replay_bitwise_identical\": %s\n"
       "}\n",
       flags.GetString("dataset").c_str(), opts.scale,
       static_cast<long long>(config.epochs), common::ThreadPool::GlobalSize(),
       gemm_json.c_str(), min_speedup, eager.seconds_per_epoch,
-      taped.seconds_per_epoch, tape_speedup, bitwise ? "true" : "false");
+      taped.seconds_per_epoch, tape_speedup, bitwise ? "true" : "false",
+      replay.seconds_per_epoch, replay_speedup,
+      replay_bitwise ? "true" : "false");
   RRRE_CHECK_OK(common::WriteFile(flags.GetString("out"), json));
   std::printf("\nresults written to %s\n", flags.GetString("out").c_str());
   return 0;

@@ -41,6 +41,7 @@ struct BenchOptions {
   int64_t num_threads = 0;         ///< Global pool size; 0 = hardware.
   int64_t shard_size = 8;          ///< Data-parallel shard (0 = serial path).
   bool use_tape = true;            ///< Compiled batch tape + fused kernels.
+  bool tape_replay = true;         ///< Replay cached backward schedules.
 };
 
 /// Registers --scale/--epochs/--seeds/--seed/--num_threads flags on a parser.

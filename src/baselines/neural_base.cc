@@ -86,8 +86,11 @@ void NeuralRatingBaseline::Fit(const data::ReviewDataset& train) {
         if (config_.use_tape) {
           if (tapes_.empty()) {
             tapes_.push_back(std::make_unique<tensor::BatchTape>());
+            tapes_.back()->SetReplayEnabled(config_.tape_replay);
           }
-          tapes_[0]->BeginStep();
+          // Keyed by example count: full batch and tail batch compile to
+          // separate replay graphs.
+          tapes_[0]->BeginStep(static_cast<uint64_t>(end - start));
           tape_scope.emplace(tapes_[0].get());
         }
         Tensor pred = ForwardRating(pairs, exclude, /*training=*/true, rng_);
@@ -107,17 +110,24 @@ void NeuralRatingBaseline::Fit(const data::ReviewDataset& train) {
         if (config_.use_tape) {
           while (static_cast<int64_t>(tapes_.size()) < num_shards) {
             tapes_.push_back(std::make_unique<tensor::BatchTape>());
+            tapes_.back()->SetReplayEnabled(config_.tape_replay);
           }
         }
         common::ParallelFor(0, num_shards, 1, [&](int64_t lo, int64_t hi) {
           for (int64_t s = lo; s < hi; ++s) {
-            std::optional<tensor::BatchTape::Scope> tape_scope;
-            if (config_.use_tape) {
-              tapes_[static_cast<size_t>(s)]->BeginStep();
-              tape_scope.emplace(tapes_[static_cast<size_t>(s)].get());
-            }
             const int64_t s0 = s * ssz;
             const int64_t s1 = std::min(bsz, s0 + ssz);
+            // The key carries the parent batch size as well as the shard's
+            // example count: the MulScalar(mse, frac) closure depends on
+            // bsz, so a full batch's shard and a same-sized tail-batch
+            // shard must compile separately (see RrreTrainer).
+            std::optional<tensor::BatchTape::Scope> tape_scope;
+            if (config_.use_tape) {
+              const uint64_t key = (static_cast<uint64_t>(bsz) << 32) |
+                                   static_cast<uint64_t>(s1 - s0);
+              tapes_[static_cast<size_t>(s)]->BeginStep(key);
+              tape_scope.emplace(tapes_[static_cast<size_t>(s)].get());
+            }
             Rng shard_rng = batch_rng.Fork(static_cast<uint64_t>(s));
             std::vector<std::pair<int64_t, int64_t>> spairs(
                 pairs.begin() + s0, pairs.begin() + s1);

@@ -45,6 +45,9 @@ class NeuralRatingBaseline : public RatingPredictor {
     /// Train on a compiled batch tape with fused kernels; bitwise identical
     /// to the eager path. Same contract as RrreConfig::use_tape.
     bool use_tape = true;
+    /// Replay the cached backward schedule per step fingerprint. Same
+    /// contract as RrreConfig::tape_replay.
+    bool tape_replay = true;
   };
 
   void Fit(const data::ReviewDataset& train) final;

@@ -50,6 +50,12 @@ struct RrreConfig {
   /// kernels"). Bitwise identical to the eager path; off is kept as the
   /// reference for parity tests and bisection.
   bool use_tape = true;
+  /// With the tape on, cache the recorded backward schedule per step
+  /// fingerprint and replay it: steady-state steps skip the topological DFS
+  /// and rebuild no closures. Bitwise identical to rebuilding every step;
+  /// off (`--tape_replay=false`) restores the rebuild-every-step tape as an
+  /// escape hatch and a bisection reference.
+  bool tape_replay = true;
 
   // -- Text pipeline -----------------------------------------------------------
   int64_t vocab_min_count = 2;

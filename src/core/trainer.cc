@@ -89,6 +89,7 @@ void RrreTrainer::Fit(const data::ReviewDataset& train,
 void RrreTrainer::EnsureTapes(int64_t count) {
   while (static_cast<int64_t>(tapes_.size()) < count) {
     tapes_.push_back(std::make_unique<tensor::BatchTape>());
+    tapes_.back()->SetReplayEnabled(config_.tape_replay);
   }
 }
 
@@ -101,6 +102,11 @@ tensor::BatchTape::Stats RrreTrainer::TapeStats() const {
     total.buffer_allocs += s.buffer_allocs;
     total.buffer_reuses += s.buffer_reuses;
     total.distinct_sequences += s.distinct_sequences;
+    total.dfs_node_visits += s.dfs_node_visits;
+    total.closure_allocs += s.closure_allocs;
+    total.replay_steps += s.replay_steps;
+    total.replay_backwards += s.replay_backwards;
+    total.replay_fallbacks += s.replay_fallbacks;
   }
   return total;
 }
@@ -155,7 +161,10 @@ void RrreTrainer::TrainEpochs(int64_t first_epoch,
         std::optional<tensor::BatchTape::Scope> tape_scope;
         if (config_.use_tape) {
           EnsureTapes(1);
-          tapes_[0]->BeginStep();  // Recycle the previous batch's graph.
+          // Recycle the previous batch's graph, keyed by example count so
+          // the full batch and the tail batch compile to separate replay
+          // graphs.
+          tapes_[0]->BeginStep(static_cast<uint64_t>(end - start));
           tape_scope.emplace(tapes_[0].get());
         }
         RrreModel::Batch batch = features_->Build(pairs, exclude, rng_);
@@ -220,15 +229,21 @@ void RrreTrainer::TrainEpochs(int64_t first_epoch,
           for (int64_t s = lo; s < hi; ++s) {
             obs::TraceSpan span("train_shard");
             common::Timer shard_timer;
-            // Tape s belongs to shard index s: the grain-1 ParallelFor hands
-            // each index to exactly one thread, so the arena is never shared.
-            std::optional<tensor::BatchTape::Scope> tape_scope;
-            if (config_.use_tape) {
-              tapes_[static_cast<size_t>(s)]->BeginStep();
-              tape_scope.emplace(tapes_[static_cast<size_t>(s)].get());
-            }
             const int64_t s0 = s * ssz;
             const int64_t s1 = std::min(bsz, s0 + ssz);
+            // Tape s belongs to shard index s: the grain-1 ParallelFor hands
+            // each index to exactly one thread, so the arena is never shared.
+            // The replay key carries the parent batch size as well as the
+            // shard's example count: the loss-mix scale lam*frac depends on
+            // bsz, so a full batch's shard and a same-sized tail-batch shard
+            // trace different closures and must compile separately.
+            std::optional<tensor::BatchTape::Scope> tape_scope;
+            if (config_.use_tape) {
+              const uint64_t key = (static_cast<uint64_t>(bsz) << 32) |
+                                   static_cast<uint64_t>(s1 - s0);
+              tapes_[static_cast<size_t>(s)]->BeginStep(key);
+              tape_scope.emplace(tapes_[static_cast<size_t>(s)].get());
+            }
             Rng shard_rng = batch_rng.Fork(static_cast<uint64_t>(s));
             std::vector<std::pair<int64_t, int64_t>> spairs(
                 pairs.begin() + s0, pairs.begin() + s1);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
 
 #include "common/threadpool.h"
@@ -35,13 +36,28 @@ int64_t RowGrain(int64_t cost_per_row) {
   return std::max<int64_t>(1, kElemGrain / std::max<int64_t>(1, cost_per_row));
 }
 
+/// Packs a float op constant into a replay-verified attr word. Bit pattern,
+/// not value, so e.g. -0.0f vs 0.0f scales are distinguished.
+uint64_t FloatBits(float v) {
+  uint32_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
 /// Creates a result node whose parents are `parents`; requires_grad is
 /// inherited from any parent. `op` is a static name used by the tape's
 /// op-sequence fingerprint; the node itself is drawn from the active
-/// BatchTape's buffer pool when one is in scope.
+/// BatchTape's buffer pool when one is in scope. `attr` packs any op
+/// constants a backward closure captures (transpose flags, scalar bits,
+/// slice offsets) so a compiled replay step can verify the recorded closure
+/// still applies. A node served by replay comes back tape_wired with the
+/// recorded parents and closure installed — the wiring below is skipped, and
+/// so is closure construction at each call site (the `!tape_wired` gates).
 std::shared_ptr<TensorImpl> MakeNode(const char* op, const Shape& shape,
-                                     std::vector<Tensor> parents) {
-  auto impl = BatchTape::NewNode(op, shape);
+                                     std::vector<Tensor> parents,
+                                     uint64_t attr = 0) {
+  auto impl = BatchTape::NewNode(op, shape, attr, &parents);
+  if (impl->tape_wired) return impl;
   for (const Tensor& p : parents) {
     RRRE_CHECK(p.defined());
     impl->requires_grad = impl->requires_grad || p.requires_grad();
@@ -127,7 +143,8 @@ Tensor Add(const Tensor& a, const Tensor& b) {
   ParallelFor(0, n, kElemGrain, [=](int64_t lo, int64_t hi) {
     kernels::EwAdd(hi - lo, pa + lo, pb + lo, po + lo);
   });
-  if (out->requires_grad) {
+  if (out->requires_grad && !out->tape_wired) {
+    BatchTape::NoteClosureAlloc();
     TensorImpl* o = out.get();
     TensorImpl* ia = a.impl().get();
     TensorImpl* ib = b.impl().get();
@@ -158,7 +175,8 @@ Tensor Sub(const Tensor& a, const Tensor& b) {
   ParallelFor(0, n, kElemGrain, [=](int64_t lo, int64_t hi) {
     kernels::EwSub(hi - lo, pa + lo, pb + lo, po + lo);
   });
-  if (out->requires_grad) {
+  if (out->requires_grad && !out->tape_wired) {
+    BatchTape::NoteClosureAlloc();
     TensorImpl* o = out.get();
     TensorImpl* ia = a.impl().get();
     TensorImpl* ib = b.impl().get();
@@ -189,7 +207,8 @@ Tensor Mul(const Tensor& a, const Tensor& b) {
   ParallelFor(0, n, kElemGrain, [=](int64_t lo, int64_t hi) {
     kernels::EwMul(hi - lo, pa + lo, pb + lo, po + lo);
   });
-  if (out->requires_grad) {
+  if (out->requires_grad && !out->tape_wired) {
+    BatchTape::NoteClosureAlloc();
     TensorImpl* o = out.get();
     TensorImpl* ia = a.impl().get();
     TensorImpl* ib = b.impl().get();
@@ -222,7 +241,8 @@ Tensor Div(const Tensor& a, const Tensor& b) {
   ParallelFor(0, n, kElemGrain, [=](int64_t lo, int64_t hi) {
     kernels::EwDiv(hi - lo, pa + lo, pb + lo, po + lo);
   });
-  if (out->requires_grad) {
+  if (out->requires_grad && !out->tape_wired) {
+    BatchTape::NoteClosureAlloc();
     TensorImpl* o = out.get();
     TensorImpl* ia = a.impl().get();
     TensorImpl* ib = b.impl().get();
@@ -261,7 +281,8 @@ Tensor AddBias(const Tensor& a, const Tensor& bias) {
       kernels::EwAdd(n, pa + r * n, pb, po + r * n);
     }
   });
-  if (out->requires_grad) {
+  if (out->requires_grad && !out->tape_wired) {
+    BatchTape::NoteClosureAlloc();
     TensorImpl* o = out.get();
     TensorImpl* ia = a.impl().get();
     TensorImpl* ib = bias.impl().get();
@@ -299,14 +320,15 @@ Tensor AddBias(const Tensor& a, const Tensor& bias) {
 }
 
 Tensor AddScalar(const Tensor& a, float s) {
-  auto out = MakeNode("add_scalar", a.shape(), {a});
+  auto out = MakeNode("add_scalar", a.shape(), {a}, FloatBits(s));
   const int64_t n = static_cast<int64_t>(out->data.size());
   const float* pa = a.data();
   float* po = out->data.data();
   ParallelFor(0, n, kElemGrain, [=](int64_t lo, int64_t hi) {
     kernels::EwAddScalar(hi - lo, pa + lo, s, po + lo);
   });
-  if (out->requires_grad) {
+  if (out->requires_grad && !out->tape_wired) {
+    BatchTape::NoteClosureAlloc();
     TensorImpl* o = out.get();
     TensorImpl* ia = a.impl().get();
     out->backward_fn = [o, ia, n]() {
@@ -322,14 +344,18 @@ Tensor AddScalar(const Tensor& a, float s) {
 }
 
 Tensor MulScalar(const Tensor& a, float s) {
-  auto out = MakeNode("mul_scalar", a.shape(), {a});
+  // The backward closure captures s, so its bit pattern is replay-verified:
+  // a same-shape trace with a different scale re-records instead of
+  // replaying a stale closure.
+  auto out = MakeNode("mul_scalar", a.shape(), {a}, FloatBits(s));
   const int64_t n = static_cast<int64_t>(out->data.size());
   const float* pa = a.data();
   float* po = out->data.data();
   ParallelFor(0, n, kElemGrain, [=](int64_t lo, int64_t hi) {
     kernels::EwMulScalar(hi - lo, pa + lo, s, po + lo);
   });
-  if (out->requires_grad) {
+  if (out->requires_grad && !out->tape_wired) {
+    BatchTape::NoteClosureAlloc();
     TensorImpl* o = out.get();
     TensorImpl* ia = a.impl().get();
     out->backward_fn = [o, ia, n, s]() {
@@ -360,7 +386,8 @@ Tensor UnaryFromOutput(const char* op, const Tensor& a, Fwd fwd,
   ParallelFor(0, n, kElemGrain, [=](int64_t lo, int64_t hi) {
     for (int64_t i = lo; i < hi; ++i) po[i] = fwd(pa[i]);
   });
-  if (out->requires_grad) {
+  if (out->requires_grad && !out->tape_wired) {
+    BatchTape::NoteClosureAlloc();
     TensorImpl* o = out.get();
     TensorImpl* ia = a.impl().get();
     out->backward_fn = [o, ia, n, deriv]() {
@@ -434,12 +461,15 @@ Tensor MatMul(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {
       << "MatMul inner dims: " << ShapeToString(a.shape())
       << (trans_a ? "^T" : "") << " x " << ShapeToString(b.shape())
       << (trans_b ? "^T" : "");
-  auto out = MakeNode("matmul", {m, n}, {a, b});
+  auto out = MakeNode("matmul", {m, n}, {a, b},
+                      static_cast<uint64_t>(trans_a ? 1 : 0) |
+                          (static_cast<uint64_t>(trans_b ? 1 : 0) << 1));
   const int64_t lda = a.dim(1);
   const int64_t ldb = b.dim(1);
   ShardedGemm(trans_a, trans_b, m, n, k, a.data(), lda, b.data(), ldb,
               out->data.data(), n);
-  if (out->requires_grad) {
+  if (out->requires_grad && !out->tape_wired) {
+    BatchTape::NoteClosureAlloc();
     TensorImpl* o = out.get();
     TensorImpl* ia = a.impl().get();
     TensorImpl* ib = b.impl().get();
@@ -492,7 +522,8 @@ Tensor Transpose(const Tensor& a) {
       for (int64_t j = 0; j < n; ++j) po[j * m + i] = pa[i * n + j];
     }
   });
-  if (out->requires_grad) {
+  if (out->requires_grad && !out->tape_wired) {
+    BatchTape::NoteClosureAlloc();
     TensorImpl* o = out.get();
     TensorImpl* ia = a.impl().get();
     out->backward_fn = [o, ia, m, n]() {
@@ -530,7 +561,8 @@ Tensor Softmax(const Tensor& a) {
       for (int64_t j = 0; j < cols; ++j) orow[j] /= denom;
     }
   });
-  if (out->requires_grad) {
+  if (out->requires_grad && !out->tape_wired) {
+    BatchTape::NoteClosureAlloc();
     TensorImpl* o = out.get();
     TensorImpl* ia = a.impl().get();
     out->backward_fn = [o, ia, rows, cols]() {
@@ -574,7 +606,8 @@ Tensor LogSoftmax(const Tensor& a) {
       for (int64_t j = 0; j < cols; ++j) orow[j] = row[j] - log_denom;
     }
   });
-  if (out->requires_grad) {
+  if (out->requires_grad && !out->tape_wired) {
+    BatchTape::NoteClosureAlloc();
     TensorImpl* o = out.get();
     TensorImpl* ia = a.impl().get();
     out->backward_fn = [o, ia, rows, cols]() {
@@ -617,7 +650,8 @@ Tensor Sum(const Tensor& a) {
   double total = 0.0;
   for (double p : partials) total += p;
   out->data[0] = static_cast<float>(total);
-  if (out->requires_grad) {
+  if (out->requires_grad && !out->tape_wired) {
+    BatchTape::NoteClosureAlloc();
     TensorImpl* o = out.get();
     TensorImpl* ia = a.impl().get();
     out->backward_fn = [o, ia, n]() {
@@ -650,7 +684,8 @@ Tensor RowSum(const Tensor& a) {
       po[r] = static_cast<float>(acc);
     }
   });
-  if (out->requires_grad) {
+  if (out->requires_grad && !out->tape_wired) {
+    BatchTape::NoteClosureAlloc();
     TensorImpl* o = out.get();
     TensorImpl* ia = a.impl().get();
     out->backward_fn = [o, ia, rows, cols]() {
@@ -674,7 +709,8 @@ Tensor Reshape(const Tensor& a, const Shape& shape) {
       << ShapeToString(a.shape()) << " -> " << ShapeToString(shape);
   auto out = MakeNode("reshape", shape, {a});
   out->data = a.impl()->data;
-  if (out->requires_grad) {
+  if (out->requires_grad && !out->tape_wired) {
+    BatchTape::NoteClosureAlloc();
     TensorImpl* o = out.get();
     TensorImpl* ia = a.impl().get();
     out->backward_fn = [o, ia]() {
@@ -712,7 +748,8 @@ Tensor ConcatCols(const std::vector<Tensor>& parts) {
     });
     col_offset += cols;
   }
-  if (out->requires_grad) {
+  if (out->requires_grad && !out->tape_wired) {
+    BatchTape::NoteClosureAlloc();
     TensorImpl* o = out.get();
     std::vector<TensorImpl*> impls;
     std::vector<int64_t> widths;
@@ -758,7 +795,8 @@ Tensor ConcatRows(const std::vector<Tensor>& parts) {
               out->data.data() + row_offset * cols);
     row_offset += rows;
   }
-  if (out->requires_grad) {
+  if (out->requires_grad && !out->tape_wired) {
+    BatchTape::NoteClosureAlloc();
     TensorImpl* o = out.get();
     std::vector<TensorImpl*> impls;
     std::vector<int64_t> heights;
@@ -790,10 +828,12 @@ Tensor SliceRows(const Tensor& a, int64_t start, int64_t len) {
   RRRE_CHECK_GT(len, 0);
   RRRE_CHECK_LE(start + len, a.dim(0));
   const int64_t cols = a.dim(1);
-  auto out = MakeNode("slice_rows", {len, cols}, {a});
+  auto out = MakeNode("slice_rows", {len, cols}, {a},
+                      static_cast<uint64_t>(start));
   std::copy(a.data() + start * cols, a.data() + (start + len) * cols,
             out->data.data());
-  if (out->requires_grad) {
+  if (out->requires_grad && !out->tape_wired) {
+    BatchTape::NoteClosureAlloc();
     TensorImpl* o = out.get();
     TensorImpl* ia = a.impl().get();
     out->backward_fn = [o, ia, start, len, cols]() {
@@ -817,7 +857,8 @@ Tensor SliceCols(const Tensor& a, int64_t start, int64_t len) {
   RRRE_CHECK_LE(start + len, a.dim(1));
   const int64_t rows = a.dim(0);
   const int64_t cols = a.dim(1);
-  auto out = MakeNode("slice_cols", {rows, len}, {a});
+  auto out = MakeNode("slice_cols", {rows, len}, {a},
+                      static_cast<uint64_t>(start));
   const float* pa = a.data();
   float* po = out->data.data();
   ParallelFor(0, rows, RowGrain(len), [=](int64_t lo, int64_t hi) {
@@ -826,7 +867,8 @@ Tensor SliceCols(const Tensor& a, int64_t start, int64_t len) {
                 po + r * len);
     }
   });
-  if (out->requires_grad) {
+  if (out->requires_grad && !out->tape_wired) {
+    BatchTape::NoteClosureAlloc();
     TensorImpl* o = out.get();
     TensorImpl* ia = a.impl().get();
     out->backward_fn = [o, ia, start, len, rows, cols]() {
@@ -873,15 +915,18 @@ Tensor Conv1dMaxPool(const Tensor& values, int64_t seq_len,
   RRRE_CHECK_EQ(bias.dim(0), f);
   const int64_t positions = seq_len - w + 1;
 
-  auto out = MakeNode("conv1d_maxpool", {b, f}, {values, kernel, bias});
-  // argmax[b*f + c] = best window start for that (example, filter).
-  auto argmax = std::make_shared<std::vector<int64_t>>(
-      static_cast<size_t>(b * f), int64_t{0});
+  auto out = MakeNode("conv1d_maxpool", {b, f}, {values, kernel, bias},
+                      static_cast<uint64_t>(seq_len));
+  // argmax[b*f + c] = best window start for that (example, filter). Stored
+  // on the node rather than captured in the closure: a replayed step reuses
+  // the recorded closure, which must read the positions this step's forward
+  // just wrote.
+  out->iscratch.assign(static_cast<size_t>(b * f), int64_t{0});
   const float* pv = values.data();
   const float* pk = kernel.data();
   const float* pb = bias.data();
   float* po = out->data.data();
-  int64_t* pam = argmax->data();
+  int64_t* pam = out->iscratch.data();
   // Examples are independent: partition by bi. A window is w*d contiguous
   // floats of the example's embedding block, so the per-example kernel runs
   // contiguous filter-axis axpys (see kernels.cc); per (t, c) the
@@ -896,12 +941,13 @@ Tensor Conv1dMaxPool(const Tensor& values, int64_t seq_len,
     }
   });
 
-  if (out->requires_grad) {
+  if (out->requires_grad && !out->tape_wired) {
+    BatchTape::NoteClosureAlloc();
     TensorImpl* o = out.get();
     TensorImpl* iv = values.impl().get();
     TensorImpl* ik = kernel.impl().get();
     TensorImpl* ib = bias.impl().get();
-    out->backward_fn = [o, iv, ik, ib, argmax, b, f, w, d, seq_len]() {
+    out->backward_fn = [o, iv, ik, ib, b, f, w, d, seq_len]() {
       float* gv = GradBuf(iv);
       float* gk = GradBuf(ik);
       float* gb = GradBuf(ib);
@@ -909,7 +955,7 @@ Tensor Conv1dMaxPool(const Tensor& values, int64_t seq_len,
       const float* go = o->grad.data();
       const float* dk = ik->data.data();
       const float* dv = iv->data.data();
-      const int64_t* pam2 = argmax->data();
+      const int64_t* pam2 = o->iscratch.data();
       const int64_t wd = w * d;
       // Transposed kernel [f, w*d]: row c is filter c's window weights in
       // ascending q = p*d + e order, so the value-gradient inner loop is a
@@ -1005,6 +1051,10 @@ Tensor EmbeddingLookup(const Tensor& table, const std::vector<int64_t>& ids) {
     RRRE_CHECK_GE(ids[static_cast<size_t>(i)], 0);
     RRRE_CHECK_LT(ids[static_cast<size_t>(i)], v);
   }
+  // Ids are stashed on the node: each step's batch looks up different rows,
+  // and a replayed step's recorded closure must scatter into the rows this
+  // step's forward actually read.
+  out->iscratch.assign(ids.begin(), ids.end());
   const float* pt = table.data();
   const int64_t* pid = ids.data();
   float* po = out->data.data();
@@ -1013,17 +1063,19 @@ Tensor EmbeddingLookup(const Tensor& table, const std::vector<int64_t>& ids) {
       std::copy(pt + pid[i] * d, pt + (pid[i] + 1) * d, po + i * d);
     }
   });
-  if (out->requires_grad) {
+  if (out->requires_grad && !out->tape_wired) {
+    BatchTape::NoteClosureAlloc();
     TensorImpl* o = out.get();
     TensorImpl* it = table.impl().get();
-    out->backward_fn = [o, it, ids, n, d]() {
+    out->backward_fn = [o, it, n, d]() {
       float* gt = GradBuf(it);
       if (gt == nullptr) return;
       // Serial: duplicate ids scatter-add into the same table row.
       const float* go = o->grad.data();
+      const int64_t* pid = o->iscratch.data();
       for (int64_t i = 0; i < n; ++i) {
         const float* src = go + i * d;
-        float* dst = gt + ids[static_cast<size_t>(i)] * d;
+        float* dst = gt + pid[i] * d;
         for (int64_t j = 0; j < d; ++j) dst[j] += src[j];
       }
     };
@@ -1055,7 +1107,8 @@ Tensor WeightedPool(const Tensor& values, const Tensor& weights) {
       }
     }
   });
-  if (out->requires_grad) {
+  if (out->requires_grad && !out->tape_wired) {
+    BatchTape::NoteClosureAlloc();
     TensorImpl* o = out.get();
     TensorImpl* iv = values.impl().get();
     TensorImpl* iw = weights.impl().get();
@@ -1107,15 +1160,22 @@ Tensor CrossEntropyWithLogits(const Tensor& logits,
     RRRE_CHECK_LT(labels[static_cast<size_t>(r)], c);
   }
 
+  // The node is created up front so the forward writes the backward stash
+  // straight onto it: scratch = [probs (b*c) | example weights (b) | norm],
+  // iscratch = labels. A replayed step reuses the recorded closure, which
+  // reads this stash at closure run time — nothing per-step is captured.
+  auto out = MakeNode("cross_entropy", {1}, {logits});
+  out->scratch.resize(static_cast<size_t>(b * c + b + 1));
+  out->iscratch.assign(labels.begin(), labels.end());
+
   // Forward: per-row stable log-softmax, gather label log-probability. The
   // (loss, weight) accumulators are reduced over fixed-grain row chunks.
-  std::vector<float> probs(static_cast<size_t>(b * c));
   const float* pl = logits.data();
   const int64_t grain = RowGrain(c);
   const int64_t chunks = (b + grain - 1) / grain;
   std::vector<double> loss_partials(static_cast<size_t>(chunks), 0.0);
   std::vector<double> weight_partials(static_cast<size_t>(chunks), 0.0);
-  float* pp = probs.data();
+  float* pp = out->scratch.data();
   ParallelFor(0, b, grain, [&, grain](int64_t lo, int64_t hi) {
     double loss_acc = 0.0;
     double weight_acc = 0.0;
@@ -1146,23 +1206,29 @@ Tensor CrossEntropyWithLogits(const Tensor& logits,
   }
   const float norm = static_cast<float>(std::max(weight_acc, 1e-12));
 
-  auto out = MakeNode("cross_entropy", {1}, {logits});
+  // Unweighted batches stash 1.0f per example; w == 1.0f multiplies
+  // bit-exactly like the old unweighted branch.
+  float* stash_w = out->scratch.data() + b * c;
+  for (int64_t r = 0; r < b; ++r) {
+    stash_w[r] = weighted ? example_weights[static_cast<size_t>(r)] : 1.0f;
+  }
+  out->scratch[static_cast<size_t>(b * c + b)] = norm;
   out->data[0] = static_cast<float>(loss_acc) / norm;
-  if (out->requires_grad) {
+  if (out->requires_grad && !out->tape_wired) {
+    BatchTape::NoteClosureAlloc();
     TensorImpl* o = out.get();
     TensorImpl* il = logits.impl().get();
-    auto probs_shared = std::make_shared<std::vector<float>>(std::move(probs));
-    out->backward_fn = [o, il, probs_shared, labels, example_weights, weighted,
-                        b, c, norm]() {
+    out->backward_fn = [o, il, b, c]() {
       float* gl = GradBuf(il);
       if (gl == nullptr) return;
+      const float* p = o->scratch.data();
+      const float* wts = p + b * c;
+      const float norm = p[b * c + b];
+      const int64_t* lab = o->iscratch.data();
       const float g = o->grad[0] / norm;
-      const float* p = probs_shared->data();
-      const float* wts = weighted ? example_weights.data() : nullptr;
-      const int64_t* lab = labels.data();
       ParallelFor(0, b, RowGrain(c), [=](int64_t lo, int64_t hi) {
         for (int64_t r = lo; r < hi; ++r) {
-          const float w = wts != nullptr ? wts[r] : 1.0f;
+          const float w = wts[r];
           if (w == 0.0f) continue;
           float* grow = gl + r * c;
           const int64_t label = lab[r];
@@ -1195,7 +1261,8 @@ Tensor AddNBiasAct(const std::vector<Tensor>& parts, const Tensor& bias,
   RRRE_CHECK_EQ(parts[0].dim(-1), n);
   std::vector<Tensor> node_parents = parts;
   node_parents.push_back(bias);
-  auto out = MakeNode("addn_bias_act", parts[0].shape(), node_parents);
+  auto out = MakeNode("addn_bias_act", parts[0].shape(), node_parents,
+                      static_cast<uint64_t>(act));
   const int64_t total = parts[0].numel();
   const int64_t rows = total / n;
   std::vector<const float*> part_data;
@@ -1219,7 +1286,8 @@ Tensor AddNBiasAct(const std::vector<Tensor>& parts, const Tensor& bias,
       }
     }
   });
-  if (out->requires_grad) {
+  if (out->requires_grad && !out->tape_wired) {
+    BatchTape::NoteClosureAlloc();
     TensorImpl* o = out.get();
     std::vector<TensorImpl*> impls;
     for (const Tensor& p : parts) impls.push_back(p.impl().get());
@@ -1319,7 +1387,8 @@ LstmStepOut LstmPointwise(const Tensor& pre, const Tensor& c_prev) {
     }
   });
 
-  if (h_node->requires_grad) {
+  if (h_node->requires_grad && !h_node->tape_wired) {
+    BatchTape::NoteClosureAlloc();
     TensorImpl* hn = h_node.get();
     TensorImpl* cn = c_node.get();
     TensorImpl* ipre = pre.impl().get();
@@ -1348,7 +1417,8 @@ LstmStepOut LstmPointwise(const Tensor& pre, const Tensor& c_prev) {
       });
     };
   }
-  if (c_node->requires_grad) {
+  if (c_node->requires_grad && !c_node->tape_wired) {
+    BatchTape::NoteClosureAlloc();
     TensorImpl* cn = c_node.get();
     TensorImpl* ipre = pre.impl().get();
     TensorImpl* icp = c_prev.impl().get();
@@ -1426,7 +1496,8 @@ Tensor GruPointwise(const Tensor& gi, const Tensor& gh, const Tensor& h_prev) {
     }
   });
 
-  if (out->requires_grad) {
+  if (out->requires_grad && !out->tape_wired) {
+    BatchTape::NoteClosureAlloc();
     TensorImpl* o = out.get();
     TensorImpl* igi = gi.impl().get();
     TensorImpl* igh = gh.impl().get();
@@ -1501,7 +1572,8 @@ Tensor FmPairwise(const Tensor& xv, const Tensor& x2v2) {
       po[r] = static_cast<float>(acc) * 0.5f;
     }
   });
-  if (out->requires_grad) {
+  if (out->requires_grad && !out->tape_wired) {
+    BatchTape::NoteClosureAlloc();
     TensorImpl* o = out.get();
     TensorImpl* ixv = xv.impl().get();
     TensorImpl* ix2 = x2v2.impl().get();

@@ -1,5 +1,6 @@
 #include "tensor/tensor.h"
 
+#include <algorithm>
 #include <cmath>
 #include <unordered_set>
 
@@ -15,7 +16,8 @@ namespace {
 std::shared_ptr<TensorImpl> MakeImpl(const Shape& shape, bool requires_grad) {
   // Routed through the tape so factory tensors created inside a training
   // step (Full constants, dropout masks, ...) recycle like any other node.
-  auto impl = BatchTape::NewNode("leaf", shape);
+  // The requires_grad bit rides in attr so a replayed step verifies it.
+  auto impl = BatchTape::NewNode("leaf", shape, requires_grad ? 1u : 0u);
   impl->requires_grad = requires_grad;
   return impl;
 }
@@ -36,6 +38,17 @@ Tensor Tensor::FromVector(const Shape& shape, std::vector<float> values,
                           bool requires_grad) {
   RRRE_CHECK(IsValidShape(shape)) << ShapeToString(shape);
   RRRE_CHECK_EQ(static_cast<int64_t>(values.size()), NumElements(shape));
+  if (BatchTape::Active() != nullptr) {
+    // Per-step value leaves (loss targets, history masks, Detach() copies)
+    // must come from the tape like every other node: a compiled replay step
+    // verifies the full trace, and a node the tape has never seen would
+    // break parent identity on every step and disable replay for good.
+    auto impl =
+        BatchTape::NewNode("from_vector", shape, requires_grad ? 1u : 0u);
+    std::copy(values.begin(), values.end(), impl->data.begin());
+    impl->requires_grad = requires_grad;
+    return Tensor(std::move(impl));
+  }
   auto impl = std::make_shared<TensorImpl>();
   impl->shape = shape;
   impl->data = std::move(values);
@@ -173,6 +186,12 @@ void Tensor::Backward() {
   RRRE_CHECK(impl_->requires_grad)
       << "Backward() on a tensor with requires_grad == false";
 
+  // A compiled tape step executes the recorded schedule directly — no DFS,
+  // no closure rebuilds. Falls through to the eager pass when no schedule
+  // matches this (root, trace position).
+  BatchTape* tape = BatchTape::Active();
+  if (tape != nullptr && tape->ReplayBackward(impl_.get())) return;
+
   // Topological order via iterative post-order DFS.
   std::vector<TensorImpl*> topo;
   std::unordered_set<TensorImpl*> visited;
@@ -195,6 +214,10 @@ void Tensor::Backward() {
       stack.pop_back();
     }
   }
+
+  // Count the DFS against the tape and, on a recording step, store the
+  // linearized order as the replay schedule for this (root, position).
+  if (tape != nullptr) tape->RecordBackward(impl_.get(), topo);
 
   // Zero gradients of every node in this graph, then seed the output. Leaves
   // covered by an active GradSink are skipped: their contributions go to the

@@ -29,6 +29,18 @@ struct TensorImpl {
   /// Forward-pass stash for fused ops (e.g. gate activations a fused LSTM
   /// step needs again in backward). Recycled with the node by BatchTape.
   std::vector<float> scratch;
+  /// Integer stash for backward state that must live on the node rather than
+  /// in the closure (embedding ids, conv argmax positions, cross-entropy
+  /// labels): a replayed BatchTape step reuses the closure recorded on the
+  /// first step of its shape, so anything that changes per step is rewritten
+  /// here by the forward pass and read back at closure run time. Recycled
+  /// with the node by BatchTape.
+  std::vector<int64_t> iscratch;
+  /// True while the node belongs to a compiled BatchTape graph: parents and
+  /// backward_fn are already installed from the recording step, and the ops
+  /// layer must not rebuild them. Cleared whenever the tape recycles the
+  /// node into its buffer pool.
+  bool tape_wired = false;
 
   void EnsureGrad() {
     if (grad.size() != data.size()) grad.assign(data.size(), 0.0f);

@@ -775,7 +775,9 @@ void RemoveCheckpoint(const std::string& prefix) {
 
 TEST_F(TapeTrainingTest, KillThenResumeThroughTapeIsBitwise) {
   // The resume path re-creates the trainer (fresh tapes) mid-schedule; the
-  // warm-started arena must not perturb a single bit.
+  // warm-started arena must not perturb a single bit. With replay on (the
+  // default) the resumed run re-records its graphs from scratch and then
+  // replays them — the stats check pins that replay actually engaged.
   ThreadPool::SetGlobalSize(2);
   data::ReviewDataset corpus = SmallCorpus();
   core::RrreConfig config = SmallConfig();
@@ -797,11 +799,224 @@ TEST_F(TapeTrainingTest, KillThenResumeThroughTapeIsBitwise) {
   ASSERT_TRUE(resumed.Load(prefix).ok());
   ASSERT_TRUE(resumed.Resume().ok());
   EXPECT_EQ(FlattenParams(resumed), FlattenParams(straight));
+  EXPECT_GT(resumed.TapeStats().replay_steps, 0)
+      << "resume never reached a replayed step";
   const auto expect = straight.PredictDataset(corpus);
   const auto actual = resumed.PredictDataset(corpus);
   EXPECT_EQ(actual.ratings, expect.ratings);
   EXPECT_EQ(actual.reliabilities, expect.reliabilities);
   RemoveCheckpoint(prefix);
+}
+
+// ---------------------------------------------------------------------------
+// Compiled replay: steady-state steps execute the recorded backward schedule
+// with zero DFS work and zero closure rebuilds, bitwise identical both to
+// eager training and to the rebuild-every-step tape.
+// ---------------------------------------------------------------------------
+
+TEST_F(TapeTrainingTest, ReplayMatchesRebuildEveryStepBitwise) {
+  // --tape_replay=false is the escape hatch back to PR 9's rebuild-every-step
+  // tape; flipping it must never change a bit, for whole-batch and sharded
+  // training on serial and parallel pools.
+  for (int64_t shard : {int64_t{0}, int64_t{4}}) {
+    core::RrreConfig rebuild_config = SmallConfig();
+    rebuild_config.shard_size = shard;
+    rebuild_config.use_tape = true;
+    rebuild_config.tape_replay = false;
+    core::RrreConfig replay_config = rebuild_config;
+    replay_config.tape_replay = true;
+    const FitResult rebuild = RunFit(rebuild_config, 1);
+    for (int threads : {1, 4}) {
+      const FitResult replay = RunFit(replay_config, threads);
+      EXPECT_EQ(replay.losses, rebuild.losses)
+          << "shard=" << shard << " threads=" << threads;
+      EXPECT_EQ(replay.params, rebuild.params)
+          << "shard=" << shard << " threads=" << threads;
+      EXPECT_EQ(replay.ratings, rebuild.ratings)
+          << "shard=" << shard << " threads=" << threads;
+      EXPECT_EQ(replay.reliabilities, rebuild.reliabilities)
+          << "shard=" << shard << " threads=" << threads;
+    }
+  }
+}
+
+TEST_F(TapeTrainingTest, ReplaySteadyStateDoesNoGraphWork) {
+  // 30 examples / batch 16 -> a 16-example and a 14-example graph per epoch.
+  // Each key records on its first step and replays ever after, so doubling
+  // the epochs must add zero DFS node visits and zero closure allocations —
+  // all graph-building work happened during warmup.
+  ThreadPool::SetGlobalSize(2);
+  data::ReviewDataset corpus = SmallCorpus();
+  auto run = [&](int64_t epochs, int64_t shard) {
+    core::RrreConfig config = SmallConfig();
+    config.epochs = epochs;
+    config.shard_size = shard;
+    config.use_tape = true;
+    core::RrreTrainer trainer(config);
+    trainer.Fit(corpus);
+    return trainer.TapeStats();
+  };
+  for (int64_t shard : {int64_t{0}, int64_t{4}}) {
+    const tensor::BatchTape::Stats warm = run(4, shard);
+    const tensor::BatchTape::Stats longer = run(8, shard);
+    EXPECT_EQ(warm.replay_fallbacks, 0) << "shard=" << shard;
+    EXPECT_EQ(longer.replay_fallbacks, 0) << "shard=" << shard;
+    EXPECT_GT(longer.replay_steps, warm.replay_steps) << "shard=" << shard;
+    EXPECT_GT(longer.replay_backwards, 0) << "shard=" << shard;
+    // The tentpole claim: steady state rebuilds nothing. Every DFS visit and
+    // every closure allocation belongs to the recording steps, which do not
+    // grow with epochs.
+    EXPECT_EQ(longer.dfs_node_visits, warm.dfs_node_visits)
+        << "shard=" << shard << ": replay still walks the graph";
+    EXPECT_EQ(longer.closure_allocs, warm.closure_allocs)
+        << "shard=" << shard << ": replay still rebuilds closures";
+  }
+}
+
+TEST_F(TapeTrainingTest, WholeBatchReplayCountsEveryNonRecordingStep) {
+  ThreadPool::SetGlobalSize(2);
+  data::ReviewDataset corpus = SmallCorpus();
+  core::RrreConfig config = SmallConfig();
+  config.epochs = 4;  // 8 steps: keys 16 and 14, each recorded exactly once
+  config.use_tape = true;
+  core::RrreTrainer trainer(config);
+  trainer.Fit(corpus);
+  const tensor::BatchTape::Stats stats = trainer.TapeStats();
+  EXPECT_EQ(stats.steps, 8);
+  EXPECT_EQ(stats.replay_steps, 6);
+  EXPECT_EQ(stats.replay_fallbacks, 0);
+}
+
+TEST_F(TapeTrainingTest, StatsCountTailBatchFingerprintImmediately) {
+  // Regression: the final step's fingerprint used to be folded into
+  // distinct_sequences only by the NEXT BeginStep()/Clear(), so stats read
+  // right after the tail batch under-reported by one. One epoch ends on the
+  // first 14-example step ever traced; its fingerprint must already count.
+  ThreadPool::SetGlobalSize(2);
+  data::ReviewDataset corpus = SmallCorpus();
+  core::RrreConfig config = SmallConfig();
+  config.epochs = 1;  // steps: 16 examples, then the 14-example tail — stop
+  config.use_tape = true;
+  core::RrreTrainer trainer(config);
+  trainer.Fit(corpus);
+  const tensor::BatchTape::Stats stats = trainer.TapeStats();
+  EXPECT_EQ(stats.steps, 2);
+  EXPECT_EQ(stats.distinct_sequences, 2)
+      << "tail-batch fingerprint not finalized until the next step";
+}
+
+TEST_F(TapeTrainingTest, StatsCountOpenStepFingerprintLazily) {
+  // Same regression at the tape level: an open step's fingerprint shows up
+  // in stats() without waiting for the next BeginStep, and is not double
+  // counted once that step does arrive.
+  tensor::BatchTape tape;
+  tape.SetReplayEnabled(false);
+  tensor::BatchTape::Scope scope(&tape);
+  tape.BeginStep(1);
+  { Tensor a = Tensor::Full({4}, 1.0f); }
+  EXPECT_EQ(tape.stats().distinct_sequences, 1);
+  tape.BeginStep(1);
+  { Tensor a = Tensor::Full({4}, 1.0f); }
+  EXPECT_EQ(tape.stats().distinct_sequences, 1) << "same trace counted twice";
+  tape.BeginStep(2);
+  { Tensor a = Tensor::Full({3}, 1.0f); }
+  EXPECT_EQ(tape.stats().distinct_sequences, 2)
+      << "open tail fingerprint missing";
+}
+
+TEST_F(TapeTrainingTest, HeldThenDroppedSubgraphCollapsesInOnePass) {
+  // Regression: the retained-list sweep used to push survivors back in
+  // reverse creation order, so a child was revisited before its parent on
+  // the next sweep and a dropped chain of N nodes took N sweeps to recycle.
+  // Survivors must keep creation order: recycling the head of a dead chain
+  // clears its parent edges first, collapsing the whole chain in one pass.
+  tensor::BatchTape tape;
+  tape.SetReplayEnabled(false);
+  tensor::BatchTape::Scope scope(&tape);
+  tape.BeginStep(1);
+  Tensor held;
+  {
+    Tensor a = Tensor::Full({8}, 1.0f, /*requires_grad=*/true);
+    Tensor b = tensor::MulScalar(a, 2.0f);
+    held = tensor::MulScalar(b, 3.0f);  // keeps b and a alive via parents
+  }
+  tape.BeginStep(1);  // sweep: all three survive, root still held
+  held = Tensor();    // drop the root -> the whole chain is dead
+  const tensor::BatchTape::Stats before = tape.stats();
+  tape.BeginStep(1);  // sweep: the chain must collapse into the pool NOW
+  {
+    Tensor a = Tensor::Full({8}, 1.0f, /*requires_grad=*/true);
+    Tensor b = tensor::MulScalar(a, 2.0f);
+    Tensor c = tensor::MulScalar(b, 3.0f);
+    const tensor::BatchTape::Stats after = tape.stats();
+    EXPECT_EQ(after.buffer_allocs, before.buffer_allocs)
+        << "dead chain was not fully recycled by a single sweep";
+    EXPECT_EQ(after.buffer_reuses, before.buffer_reuses + 3);
+  }
+}
+
+TEST_F(TapeTrainingTest, ClearMidRunInvalidatesReplayCacheBitwise) {
+  // Clear() drops the arena AND the compiled graphs. A run that clears
+  // mid-stream must re-record transparently (no fallbacks, replay resumes)
+  // and stay bitwise identical to an uninterrupted run.
+  auto run = [&](int clear_after) {
+    tensor::BatchTape tape;
+    std::vector<float> w(4, 0.5f);
+    for (int step = 0; step < 8; ++step) {
+      if (step == clear_after) tape.Clear();
+      tensor::BatchTape::Scope scope(&tape);
+      tape.BeginStep(4);
+      Tensor weights = Tensor::FromVector({4}, w, /*requires_grad=*/true);
+      std::vector<float> xs(4);
+      for (int i = 0; i < 4; ++i) {
+        xs[static_cast<size_t>(i)] = 0.25f * static_cast<float>(step + i + 1);
+      }
+      Tensor x = Tensor::FromVector({4}, xs, /*requires_grad=*/false);
+      Tensor loss = tensor::Sum(tensor::Mul(weights, x));
+      loss.Backward();
+      const std::vector<float>& g = weights.grad();
+      for (int i = 0; i < 4; ++i) {
+        w[static_cast<size_t>(i)] -= 0.1f * g[static_cast<size_t>(i)];
+      }
+    }
+    return std::make_pair(w, tape.stats());
+  };
+  const auto [w_straight, s_straight] = run(/*clear_after=*/-1);
+  const auto [w_cleared, s_cleared] = run(/*clear_after=*/4);
+  EXPECT_EQ(w_cleared, w_straight);
+  EXPECT_EQ(s_straight.replay_fallbacks, 0);
+  EXPECT_EQ(s_cleared.replay_fallbacks, 0)
+      << "Clear() should drop graphs, not trip the fallback path";
+  // Uninterrupted: record on step 0, replay 7. Cleared at 4: re-record once,
+  // replay 3 + 3.
+  EXPECT_EQ(s_straight.replay_steps, 7);
+  EXPECT_EQ(s_cleared.replay_steps, 6);
+}
+
+TEST_F(TapeTrainingTest, NestedScopesRestoreTheOuterTape) {
+  // The sharded L2 join nests a tapes_[0] scope inside the step that built
+  // the shard losses; Scope must restore whatever was active, not null.
+  tensor::BatchTape outer;
+  tensor::BatchTape inner;
+  EXPECT_EQ(tensor::BatchTape::Active(), nullptr);
+  {
+    tensor::BatchTape::Scope s_outer(&outer);
+    EXPECT_EQ(tensor::BatchTape::Active(), &outer);
+    outer.BeginStep(1);
+    { Tensor a = Tensor::Full({2}, 1.0f); }
+    {
+      tensor::BatchTape::Scope s_inner(&inner);
+      EXPECT_EQ(tensor::BatchTape::Active(), &inner);
+      inner.BeginStep(1);
+      { Tensor b = Tensor::Full({2}, 1.0f); }
+    }
+    EXPECT_EQ(tensor::BatchTape::Active(), &outer);
+    { Tensor c = Tensor::Full({2}, 1.0f); }
+  }
+  EXPECT_EQ(tensor::BatchTape::Active(), nullptr);
+  // Each tape owned exactly its own nodes.
+  EXPECT_EQ(outer.stats().nodes, 2);
+  EXPECT_EQ(inner.stats().nodes, 1);
 }
 
 }  // namespace

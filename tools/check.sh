@@ -23,9 +23,12 @@
 #
 # The kernels leg runs the blocked-GEMM/conv parity oracles, the gradcheck
 # sweeps, the fused-vs-eager bitwise suites and the batch-tape training tests
-# under both AddressSanitizer and UndefinedBehaviorSanitizer (the packed-panel
-# kernels do the most pointer arithmetic in the codebase), and the TSan leg
-# picks the same suites up to vet the per-shard tape executors.
+# (including the compiled-replay suites: schedule caching, fallback and the
+# replay-vs-rebuild bitwise crosses) under both AddressSanitizer and
+# UndefinedBehaviorSanitizer (the packed-panel kernels do the most pointer
+# arithmetic in the codebase), plus a repeat-until-fail guard over the
+# tape/replay suites, and the TSan leg picks the same suites up to vet the
+# per-shard tape executors.
 #
 # Usage: tools/check.sh [--skip-tsan] [--skip-asan] [--skip-failpoint]
 #                       [--skip-router] [--skip-stream] [--skip-ubsan]
@@ -186,7 +189,9 @@ else
   # The kernels label is the parity-oracle + gradcheck + tape suite: blocked
   # GEMM vs a naive reference across the blocking-boundary shape grid, conv
   # parity, the frozen-argmax conv gradient, fused-vs-eager bitwise identity
-  # for every module with a fused path, and bitwise tape-vs-eager training.
+  # for every module with a fused path, bitwise tape-vs-eager training, and
+  # the compiled-replay suite (replay-vs-rebuild bitwise crosses, fingerprint
+  # accounting, Clear() invalidation, steady-state zero-rebuild counters).
   # ASan vets the packed-panel pointer arithmetic and the arena recycling;
   # UBSan vets the same code for overflow/alignment UB.
   (cd build-asan && ctest --output-on-failure --no-tests=error -L kernels)
@@ -194,6 +199,12 @@ else
   require_build_dir build-ubsan
   cmake --build build-ubsan -j --target test_kernels >/dev/null
   (cd build-ubsan && ctest --output-on-failure --no-tests=error -L kernels)
+  # Deflake guard (same pattern as the serving-socket guard): the tape/replay
+  # training tests drive the per-shard executors on a parallel pool under -j;
+  # rerun them five times so a reintroduced scheduling race or a
+  # replay-fallback flake fails the leg instead of landing.
+  (cd build && ctest --output-on-failure --no-tests=error \
+    -R "TapeTrainingTest" --repeat until-fail:5 -j)
   LEGS_RUN+=(kernels)
 fi
 
